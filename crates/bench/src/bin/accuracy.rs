@@ -1,0 +1,59 @@
+//! The accuracy experiment: quantifies the paper's "little or no
+//! tradeoff in accuracy" claim by comparing, per design and identical
+//! stimuli, the gate-level reference energy, the software macromodel
+//! estimate, and the emulated (fixed-point hardware) readout.
+//!
+//! Usage: `cargo run -p pe-bench --release --bin accuracy [--scale test]`
+
+use pe_bench::{scale_from_args, standard_flow};
+use pe_core::accuracy::accuracy_experiment;
+use pe_designs::suite::{all_benchmarks, Scale};
+
+fn main() {
+    let scale = scale_from_args();
+    let flow = standard_flow();
+
+    println!("accuracy cross-check (gate-level vs software vs emulated), {scale:?} scale");
+    println!();
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "design", "cycles", "gate(nJ)", "soft(nJ)", "emul(nJ)", "model%", "quantize%", "total%"
+    );
+
+    for bench in all_benchmarks() {
+        // Gate-level runs every gate every cycle: cap the biggest design's
+        // accuracy run so the experiment stays tractable.
+        let cycles = match scale {
+            Scale::Test => bench.cycles(Scale::Test).min(600),
+            Scale::Paper => bench.cycles(Scale::Test) * 2,
+        };
+        eprintln!("[accuracy] running {} ({cycles} cycles) …", bench.name);
+        let report = accuracy_experiment(
+            &flow,
+            &bench.design,
+            bench.testbench(cycles),
+            bench.testbench(cycles),
+            bench.testbench(cycles),
+        );
+        match report {
+            Ok(r) => println!(
+                "{:<12} {:>8} {:>12.2} {:>12.2} {:>12.2} {:>9.2}% {:>11.4}% {:>9.2}%",
+                r.design,
+                r.cycles,
+                r.gate_fj / 1e6,
+                r.software_fj / 1e6,
+                r.emulated_fj / 1e6,
+                100.0 * r.model_error(),
+                100.0 * r.quantization_error(),
+                100.0 * r.total_error(),
+            ),
+            Err(e) => {
+                eprintln!("[accuracy] {} failed: {e}", bench.name);
+                std::process::exit(1);
+            }
+        }
+    }
+    println!();
+    println!("quantize% is the loss from moving the models into fixed-point hardware —");
+    println!("the paper's accuracy-tradeoff claim concerns exactly this column.");
+}

@@ -1,0 +1,67 @@
+//! Ext-4: FPGA capacity and partitioning study — how the enhanced
+//! designs fit across the Virtex-II family, and what multi-device
+//! partitioning costs in emulation clock when they don't fit one chip.
+//!
+//! Usage: `cargo run -p pe-bench --release --bin capacity [--scale test]`
+
+use pe_bench::{fast_flow, scale_from_args};
+use pe_designs::suite::{all_benchmarks, Scale};
+use pe_fpga::device::DeviceModel;
+use pe_fpga::lut::map_to_luts;
+use pe_fpga::partition::partition;
+use pe_fpga::timing::analyze_timing;
+use pe_gate::expand::expand_design;
+use pe_instrument::{instrument, InstrumentConfig};
+
+fn main() {
+    let scale = scale_from_args();
+    let flow = fast_flow();
+    let devices = [
+        DeviceModel::xc2v1000(),
+        DeviceModel::xc2v3000(),
+        DeviceModel::xc2v6000(),
+        DeviceModel::xc2v8000(),
+    ];
+
+    println!("device fit of power-model-enhanced designs (Virtex-II family)");
+    println!();
+    print!("{:<12} {:>10} {:>10}", "design", "LUTs", "FFs");
+    for d in &devices {
+        print!(" {:>20}", d.name());
+    }
+    println!();
+
+    let designs: Vec<_> = match scale {
+        Scale::Paper => all_benchmarks(),
+        Scale::Test => all_benchmarks()
+            .into_iter()
+            .filter(|b| b.name != "MPEG4")
+            .collect(),
+    };
+    for bench in &designs {
+        eprintln!("[capacity] {} …", bench.name);
+        flow.prepare_models(&bench.design).expect("characterize");
+        let library = flow.library();
+        let inst = instrument(&bench.design, &library, &InstrumentConfig::default())
+            .expect("instrument");
+        let mapped = map_to_luts(&expand_design(&inst.design).netlist);
+        let timing = analyze_timing(&mapped);
+        let use_ = mapped.resource_use();
+        print!("{:<12} {:>10} {:>10}", bench.name, use_.luts, use_.flip_flops);
+        for dev in &devices {
+            match partition(&mapped, dev, 64, 0.9) {
+                Ok(p) => {
+                    let f = p.effective_fmax_mhz(timing.fmax_mhz);
+                    print!(" {:>9} dev {:>6.2}MHz", p.devices, f.min(100.0));
+                }
+                Err(_) => print!(" {:>20}", "does not fit"),
+            }
+        }
+        println!();
+    }
+    println!();
+    println!("per-device clocks include the inter-chip multiplexing penalty (virtual");
+    println!("wires): this is the capacity concern raised in the paper's closing");
+    println!("discussion, quantified. Figure 3 follows the paper's methodology and");
+    println!("reports the unpartitioned emulation clock.");
+}

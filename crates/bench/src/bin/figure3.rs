@@ -1,0 +1,51 @@
+//! Regenerates the paper's Figure 3: execution time of RTL power
+//! estimation (two software tools, measured) vs. power emulation
+//! (modeled), with speedups, for the seven benchmark designs.
+//!
+//! Usage: `cargo run -p pe-bench --release --bin figure3 [--scale test]`
+
+use pe_bench::{scale_from_args, standard_flow};
+use pe_core::figure3::{format_table, run_figure3};
+use pe_designs::suite::all_benchmarks;
+use pe_fpga::emulate::EmulationTimeModel;
+
+fn main() {
+    let scale = scale_from_args();
+    let flow = standard_flow();
+    let time_model = EmulationTimeModel::default();
+    let benchmarks = all_benchmarks();
+
+    println!("power emulation evaluation — Figure 3 reproduction ({scale:?} scale)");
+    println!("(software tool times are measured; emulation time is modeled from the");
+    println!(" mapped enhanced design's achievable clock, per the paper's methodology)");
+    println!();
+
+    let mut rows = Vec::new();
+    for bench in &benchmarks {
+        eprintln!("[figure3] running {} …", bench.name);
+        match run_figure3(
+            &flow,
+            std::slice::from_ref(bench),
+            scale,
+            &time_model,
+        ) {
+            Ok(mut r) => rows.append(&mut r),
+            Err(e) => {
+                eprintln!("[figure3] {} failed: {e}", bench.name);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!("{}", format_table(&rows));
+    println!("paper reference: speedups of 10X to over 500X, growing with design size;");
+    let min = rows
+        .iter()
+        .map(|r| r.speedup_nec().min(r.speedup_pt()))
+        .fold(f64::INFINITY, f64::min);
+    let max = rows
+        .iter()
+        .map(|r| r.speedup_nec().max(r.speedup_pt()))
+        .fold(0.0, f64::max);
+    println!("measured here: {min:.0}X to {max:.0}X.");
+}

@@ -1,0 +1,67 @@
+//! Shared setup for the evaluation binaries and criterion benches.
+//!
+//! Binaries (run with `cargo run -p pe-bench --release --bin <name>`):
+//!
+//! * `figure3` — regenerates the paper's Figure 3 (execution times and
+//!   speedups per design). `--scale test` for a quick pass.
+//! * `accuracy` — the "little or no tradeoff in accuracy" cross-check
+//!   (gate-level vs. software vs. emulated energy).
+//! * `overhead` — instrumentation area overhead per design (the paper's
+//!   closing concern), plus coefficient-width and strobe-period ablations.
+//! * `capacity` — device-fit and multi-FPGA partitioning study.
+//!
+//! Criterion benches measure the genuinely wall-clock-measurable pieces:
+//! estimator throughput, simulator throughput, and flow-stage costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pe_core::PowerEmulationFlow;
+use pe_designs::suite::Scale;
+use pe_power::CharacterizeConfig;
+
+/// Parses `--scale test|paper` from argv (default: paper). Unknown
+/// values abort with exit code 2 rather than silently running the long
+/// paper-scale evaluation.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    for pair in args.windows(2) {
+        if pair[0] == "--scale" {
+            return match pair[1].as_str() {
+                "test" => Scale::Test,
+                "paper" => Scale::Paper,
+                other => {
+                    eprintln!("error: unknown --scale `{other}` (expected `test` or `paper`)");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    Scale::Paper
+}
+
+/// The flow configuration used for all reported numbers.
+pub fn standard_flow() -> PowerEmulationFlow {
+    PowerEmulationFlow::new().with_characterize(CharacterizeConfig::standard())
+}
+
+/// A faster flow for smoke runs and criterion benches.
+pub fn fast_flow() -> PowerEmulationFlow {
+    PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_paper() {
+        assert_eq!(scale_from_args(), Scale::Paper);
+    }
+
+    #[test]
+    fn flows_construct() {
+        let _ = standard_flow();
+        let _ = fast_flow();
+    }
+}

@@ -1,0 +1,170 @@
+//! The paper's Figure-1 example: a binary-search circuit.
+//!
+//! The figure shows a controller FSM, registers (`reg_first`, `reg_last`,
+//! `reg_mid`, `reg_c0`, `reg_c1`, `reg_out`), comparators, an
+//! adder/subtractor, a `>> 1` and a data memory on buses. This FSMD
+//! reproduces that structure: it searches a sorted table for an input
+//! value and reports the index (or all-ones when absent).
+
+use pe_hls::expr::Expr;
+use pe_hls::fsmd::FsmdBuilder;
+use pe_rtl::Design;
+
+/// Number of table entries in the generated circuit.
+pub const TABLE_WORDS: u32 = 32;
+
+/// Builds the binary-search design over a sorted 32-entry × 8-bit table.
+///
+/// Ports: input `value` (8 bits), input `start` (1 bit, level-triggered);
+/// outputs `found` (1), `index` (5), `done` (1).
+///
+/// # Panics
+///
+/// Panics only on internal construction bugs.
+pub fn binary_search() -> Design {
+    // A sorted table with distinct values spread over 0..=255.
+    let table: Vec<u64> = (0..TABLE_WORDS as u64).map(|i| i * 8 + 3).collect();
+    let aw = 5; // clog2(32)
+    // Bound registers carry two extra bits so that `last = -1` (searching
+    // below the table) and `first = 32` (above) remain representable for
+    // the signed termination compare.
+    let mut f = FsmdBuilder::new("binary_search");
+    let value = f.input("value", 8);
+    let start = f.input("start", 1);
+    let first = f.reg("reg_first", aw + 2, 0);
+    let last = f.reg("reg_last", aw + 2, (TABLE_WORDS - 1) as u64);
+    let mid = f.reg("reg_mid", aw + 2, 0);
+    let c1 = f.reg("reg_c1", 8, 0);
+    let out = f.reg("reg_out", aw + 2, 0);
+    let found = f.reg("reg_found", 1, 0);
+    let done = f.reg("reg_done", 1, 0);
+    let mem = f.mem("table", TABLE_WORDS, 8, Some(table));
+
+    let idle = f.state("idle");
+    let compute_mid = f.state("compute_mid");
+    let fetch = f.state("fetch");
+    let compare = f.state("compare");
+    let hit = f.state("hit");
+    let miss = f.state("miss");
+
+    let w = aw + 2;
+    // idle: wait for start; reinitialize bounds.
+    f.set(idle, first, Expr::konst(0, w));
+    f.set(idle, last, Expr::konst((TABLE_WORDS - 1) as u64, w));
+    f.set(idle, done, Expr::konst(0, 1));
+    f.set(idle, found, Expr::konst(0, 1));
+    f.branch(idle, Expr::input(start, 1).eq(Expr::konst(1, 1)), compute_mid, idle);
+
+    // compute_mid: mid <= (first + last) >> 1
+    let sum = Expr::reg(first, w).add(Expr::reg(last, w));
+    f.set(compute_mid, mid, sum.shr(Expr::konst(1, 1)));
+    // Terminate when first > last.
+    f.branch(
+        compute_mid,
+        Expr::reg(last, w).slt(Expr::reg(first, w)),
+        miss,
+        fetch,
+    );
+
+    // fetch: read table[mid]
+    f.mem_read(fetch, mem, Expr::reg(mid, w).slice(0, aw));
+    f.goto(fetch, compare);
+
+    // compare: c1 <= data; adjust bounds
+    let data = Expr::mem_data(mem, 8);
+    f.set(compare, c1, data.clone());
+    let eq = data.clone().eq(Expr::input(value, 8));
+    let lt = data.lt(Expr::input(value, 8)); // table[mid] < value → go right
+    f.set(
+        compare,
+        first,
+        Expr::reg(first, w).select(
+            lt.clone(),
+            Expr::reg(mid, w).add(Expr::konst(1, w)),
+        ),
+    );
+    f.set(
+        compare,
+        last,
+        Expr::reg(last, w).select(
+            lt.clone().or(eq.clone()).not(),
+            Expr::reg(mid, w).sub(Expr::konst(1, w)),
+        ),
+    );
+    f.branch(compare, eq, hit, compute_mid);
+
+    // hit: latch result.
+    f.set(hit, out, Expr::reg(mid, w));
+    f.set(hit, found, Expr::konst(1, 1));
+    f.set(hit, done, Expr::konst(1, 1));
+    f.goto(hit, idle);
+
+    // miss: exhausted range.
+    f.set(miss, out, Expr::konst(pe_util::bits::mask(w), w));
+    f.set(miss, found, Expr::konst(0, 1));
+    f.set(miss, done, Expr::konst(1, 1));
+    f.goto(miss, idle);
+
+    f.output("found", Expr::reg(found, 1));
+    f.output("index", Expr::reg(out, w).slice(0, aw));
+    f.output("done", Expr::reg(done, 1));
+    f.output("probe", Expr::reg(c1, 8));
+
+    f.synthesize().expect("binary_search synthesizes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_sim::Simulator;
+
+    fn search(sim: &mut Simulator<'_>, value: u64) -> (u64, u64) {
+        sim.set_input_by_name("value", value);
+        sim.set_input_by_name("start", 1);
+        sim.step(); // leave idle
+        sim.set_input_by_name("start", 0);
+        for _ in 0..64 {
+            if sim.output("done") == 1 {
+                return (sim.output("found"), sim.output("index"));
+            }
+            sim.step();
+        }
+        panic!("search did not terminate");
+    }
+
+    #[test]
+    fn finds_every_table_entry() {
+        let d = binary_search();
+        let mut sim = Simulator::new(&d).unwrap();
+        for i in 0..TABLE_WORDS as u64 {
+            let target = i * 8 + 3;
+            let (found, index) = search(&mut sim, target);
+            assert_eq!(found, 1, "value {target} not found");
+            assert_eq!(index, i, "wrong index for {target}");
+        }
+    }
+
+    #[test]
+    fn rejects_absent_values() {
+        let d = binary_search();
+        let mut sim = Simulator::new(&d).unwrap();
+        for target in [0u64, 4, 100, 255] {
+            let (found, _) = search(&mut sim, target);
+            assert_eq!(found, 0, "value {target} should be absent");
+        }
+    }
+
+    #[test]
+    fn has_the_figures_structure() {
+        let d = binary_search();
+        // Registers, a memory, comparators, adders and muxes all present.
+        let kinds: Vec<&str> = d
+            .components()
+            .iter()
+            .map(|c| c.kind().mnemonic())
+            .collect();
+        for expect in ["reg", "mem", "add", "sub", "lt", "eq", "mux", "shr"] {
+            assert!(kinds.contains(&expect), "missing {expect}");
+        }
+    }
+}

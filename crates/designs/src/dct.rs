@@ -1,0 +1,321 @@
+//! DCT and IDCT: 8-point scaled-integer discrete cosine transforms.
+//!
+//! Both designs share one generator: an FSMD that loads 8 samples (one per
+//! cycle), runs a list-scheduled dataflow graph of 64 constant
+//! multiplications and an adder tree per output (bound onto a small number
+//! of shared multipliers by the scheduler budget), and streams the 8
+//! results out — then loops for the next block. This is exactly the
+//! load/compute/store shape behavioral synthesis produces for
+//! transform kernels.
+//!
+//! Arithmetic is Q8 fixed point (coefficients scaled by 256) in 24-bit
+//! signed datapaths, which the value ranges can never overflow, so the
+//! hardware matches the reference model exactly.
+
+use pe_hls::dfg::{lower, schedule, Dfg, ResourceBudget};
+use pe_hls::expr::Expr;
+use pe_hls::fsmd::FsmdBuilder;
+use pe_rtl::Design;
+use pe_util::bits::to_unsigned;
+
+/// The scaled DCT-II matrix: `C[k][n] = round(256 · c_k · cos((2n+1)kπ/16))`
+/// with `c_0 = √(1/8)`, `c_k = √(2/8)`.
+pub fn dct_matrix() -> [[i64; 8]; 8] {
+    let mut m = [[0i64; 8]; 8];
+    for (k, row) in m.iter_mut().enumerate() {
+        let ck = if k == 0 {
+            (1.0f64 / 8.0).sqrt()
+        } else {
+            (2.0f64 / 8.0).sqrt()
+        };
+        for (n, cell) in row.iter_mut().enumerate() {
+            let angle = (2.0 * n as f64 + 1.0) * k as f64 * std::f64::consts::PI / 16.0;
+            *cell = (256.0 * ck * angle.cos()).round() as i64;
+        }
+    }
+    m
+}
+
+/// Reference forward transform: `X[k] = (Σ C[k][n]·(x[n]−128)) >> 8`.
+pub fn dct_reference(samples: &[i64; 8]) -> [i64; 8] {
+    let c = dct_matrix();
+    let mut out = [0i64; 8];
+    for k in 0..8 {
+        let mut acc = 0i64;
+        for n in 0..8 {
+            acc += c[k][n] * (samples[n] - 128);
+        }
+        out[k] = acc >> 8;
+    }
+    out
+}
+
+/// Reference inverse transform: `x[n] = clip(((Σ C[k][n]·X[k]) >> 8) + 128)`.
+pub fn idct_reference(coeffs: &[i64; 8]) -> [i64; 8] {
+    let c = dct_matrix();
+    let mut out = [0i64; 8];
+    for n in 0..8 {
+        let mut acc = 0i64;
+        for k in 0..8 {
+            acc += c[k][n] * coeffs[k];
+        }
+        out[n] = ((acc >> 8) + 128).clamp(0, 255);
+    }
+    out
+}
+
+const W: u32 = 24;
+
+/// Internal generator shared by [`dct8`] and [`idct8`].
+///
+/// `matrix[r][c]` multiplies loaded sample `c` into result `r`; samples
+/// enter `in_width` bits wide, get `bias` subtracted (level shift), results
+/// are shifted right by 8 and post-processed (`clip_bias`: add 128 and
+/// clip to 0..=255).
+fn transform_design(
+    name: &str,
+    matrix: [[i64; 8]; 8],
+    in_width: u32,
+    input_signed: bool,
+    bias: i64,
+    clip_bias: bool,
+    budget: &ResourceBudget,
+) -> Design {
+    let mut f = FsmdBuilder::new(name);
+    let sample = f.input("sample", in_width);
+    let xs: Vec<_> = (0..8).map(|i| f.reg(&format!("x{i}"), W, 0)).collect();
+    let outs: Vec<_> = (0..8).map(|i| f.reg(&format!("y{i}"), W, 0)).collect();
+    let out_val = f.reg("out_val", 16, 0);
+    let out_idx = f.reg("out_idx", 3, 0);
+    let out_valid = f.reg("out_valid", 1, 0);
+
+    // ── Load phase: one sample per cycle into x0..x7 ─────────────────────
+    let loads: Vec<_> = (0..8).map(|i| f.state(&format!("load{i}"))).collect();
+    for (i, &s) in loads.iter().enumerate() {
+        // Level-shifted, extended sample (pixels are unsigned, transform
+        // coefficients signed).
+        let mut e = if input_signed {
+            Expr::input(sample, in_width).sext(W)
+        } else {
+            Expr::input(sample, in_width).zext(W)
+        };
+        if bias != 0 {
+            e = e.sub(Expr::konst(to_unsigned(bias, W), W));
+        }
+        f.set(s, xs[i], e);
+        f.set(s, out_valid, Expr::konst(0, 1));
+        if i + 1 < loads.len() {
+            f.goto(s, loads[i + 1]);
+        }
+    }
+
+    // ── Compute phase: the scheduled dataflow graph ──────────────────────
+    let mut g = Dfg::new();
+    let sources: Vec<_> = xs.iter().map(|&x| g.source(Expr::reg(x, W))).collect();
+    let mut results = Vec::with_capacity(8);
+    for row in &matrix {
+        let mut terms = Vec::with_capacity(8);
+        for (n, &c) in row.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let cnode = g.source(Expr::konst(to_unsigned(c, W), W));
+            terms.push(g.mul(sources[n], cnode, W));
+        }
+        // Balanced adder tree.
+        let mut level = terms;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    g.add(pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            level = next;
+        }
+        results.push(g.sar_const(level[0], 8));
+    }
+    let sched = schedule(&g, budget);
+    let lowered = lower(&mut f, &g, &sched, "t");
+    f.goto(*loads.last().expect("8 loads"), lowered.entry);
+
+    // Copy DFG results into the output registers (one extra state).
+    let stage = f.state("stage");
+    f.goto(lowered.exit, stage);
+    for (i, &r) in results.iter().enumerate() {
+        f.set(stage, outs[i], lowered.result(r));
+    }
+
+    // ── Emit phase: stream the 8 results ────────────────────────────────
+    let emits: Vec<_> = (0..8).map(|i| f.state(&format!("emit{i}"))).collect();
+    f.goto(stage, emits[0]);
+    for (i, &s) in emits.iter().enumerate() {
+        let y = Expr::reg(outs[i], W);
+        let value = if clip_bias {
+            let shifted = y.add(Expr::konst(128, W));
+            let neg = shifted.clone().slt(Expr::konst(0, W));
+            let big = Expr::konst(255, W).slt(shifted.clone());
+            let hi = shifted.clone().select(big, Expr::konst(255, W));
+            hi.select(neg, Expr::konst(0, W)).slice(0, 16)
+        } else {
+            y.slice(0, 16)
+        };
+        f.set(s, out_val, value);
+        f.set(s, out_idx, Expr::konst(i as u64, 3));
+        f.set(s, out_valid, Expr::konst(1, 1));
+        let next = if i + 1 < 8 { emits[i + 1] } else { loads[0] };
+        f.goto(s, next);
+    }
+
+    f.output("out_val", Expr::reg(out_val, 16));
+    f.output("out_idx", Expr::reg(out_idx, 3));
+    f.output("out_valid", Expr::reg(out_valid, 1));
+    f.synthesize().expect("transform synthesizes")
+}
+
+/// The forward 8-point DCT benchmark design. Input port `sample` takes
+/// 8-bit pixels; results stream on `out_val`/`out_idx`/`out_valid`.
+pub fn dct8() -> Design {
+    transform_design(
+        "dct",
+        dct_matrix(),
+        8,
+        false,
+        128,
+        false,
+        &ResourceBudget {
+            multipliers: 2,
+            adders: 2,
+        },
+    )
+}
+
+/// The inverse 8-point DCT benchmark design. Input port `sample` takes
+/// 12-bit signed coefficients; clipped 8-bit pixels stream out.
+pub fn idct8() -> Design {
+    let c = dct_matrix();
+    let mut t = [[0i64; 8]; 8];
+    for (k, row) in c.iter().enumerate() {
+        for (n, &v) in row.iter().enumerate() {
+            t[n][k] = v;
+        }
+    }
+    transform_design(
+        "idct",
+        t,
+        12,
+        true,
+        0,
+        true,
+        &ResourceBudget {
+            multipliers: 2,
+            adders: 2,
+        },
+    )
+}
+
+/// Drives one block through a transform design, returning the 8 streamed
+/// results. Exposed for tests and the MPEG4 stimulus checks.
+#[cfg(test)]
+fn run_block(design: &Design, samples: &[u64; 8]) -> [i64; 8] {
+    use pe_sim::Simulator;
+    let mut sim = Simulator::new(design).unwrap();
+    let mut fed = 0usize;
+    let mut results = [0i64; 8];
+    let mut got = 0usize;
+    for _ in 0..400 {
+        if fed < 8 {
+            sim.set_input_by_name("sample", samples[fed]);
+        }
+        // Track the load phase by the FSM state: the first 8 cycles are
+        // load states by construction.
+        if fed < 8 {
+            fed += 1;
+        }
+        sim.step();
+        if sim.output("out_valid") == 1 {
+            let idx = sim.output("out_idx") as usize;
+            let val = sim.output("out_val");
+            results[idx] = pe_util::bits::sign_extend(val, 16);
+            got += 1;
+            if got == 8 && idx == 7 {
+                break;
+            }
+        }
+    }
+    assert_eq!(got, 8, "did not receive all results");
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_rtl::ComponentKind;
+
+    #[test]
+    fn matrix_rows_are_orthogonal_enough() {
+        let c = dct_matrix();
+        assert_eq!(c[0][0], 91); // 256/√8 ≈ 90.5 → 91 or 90
+        // DC row is constant.
+        assert!(c[0].iter().all(|&v| v == c[0][0]));
+        // Row 4 alternates sign pairwise: + - - + + - - +
+        assert!(c[4][0] > 0 && c[4][1] < 0 && c[4][2] < 0 && c[4][3] > 0);
+    }
+
+    #[test]
+    fn dct_design_matches_reference() {
+        let d = dct8();
+        let blocks: [[u64; 8]; 3] = [
+            [128; 8],
+            [0, 255, 0, 255, 0, 255, 0, 255],
+            [10, 30, 70, 120, 160, 200, 230, 250],
+        ];
+        for samples in blocks {
+            let got = run_block(&d, &samples);
+            let signed: [i64; 8] = samples.map(|s| s as i64);
+            let expected = dct_reference(&signed);
+            assert_eq!(got, expected, "samples {samples:?}");
+        }
+    }
+
+    #[test]
+    fn idct_design_matches_reference() {
+        let d = idct8();
+        let blocks: [[i64; 8]; 2] = [
+            [362, 0, 0, 0, 0, 0, 0, 0], // DC-only → flat ≈ 128 + 362·91/256
+            [100, -50, 30, -20, 10, -5, 3, -1],
+        ];
+        for coeffs in blocks {
+            let as_u: [u64; 8] = coeffs.map(|c| pe_util::bits::to_unsigned(c, 12));
+            let got = run_block(&d, &as_u);
+            let expected = idct_reference(&coeffs);
+            assert_eq!(got, expected, "coeffs {coeffs:?}");
+        }
+    }
+
+    #[test]
+    fn round_trip_recovers_samples_approximately() {
+        let samples: [i64; 8] = [12, 80, 130, 200, 255, 180, 90, 40];
+        let x = dct_reference(&samples);
+        let back = idct_reference(&x);
+        for (orig, rec) in samples.iter().zip(&back) {
+            assert!(
+                (orig - rec).abs() <= 3,
+                "round trip {samples:?} → {back:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiplier_budget_bounds_physical_units() {
+        let d = dct8();
+        let muls = d
+            .components()
+            .iter()
+            .filter(|c| matches!(c.kind(), ComponentKind::Mul))
+            .count();
+        assert!(muls <= 2, "expected ≤2 shared multipliers, got {muls}");
+    }
+}

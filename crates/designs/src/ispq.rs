@@ -1,0 +1,218 @@
+//! Ispq: the inverse scan + inverse quantization block of the decoder.
+//!
+//! An FSMD that consumes one quantized coefficient level per iteration (in
+//! zigzag transmission order), dequantizes it, and scatters it to its
+//! natural raster position inside a 64-word coefficient memory. The
+//! zigzag permutation is a ROM ([`pe_rtl::ComponentKind::Table`]), the
+//! dequantizer uses the shared multiplier, and saturation clamps to the
+//! 12-bit coefficient range — the standard structure of an MPEG-class
+//! inverse quantizer:
+//!
+//! ```text
+//! rec = sign(level) · min(|level| · (2·qscale), 2047)
+//! ```
+
+use pe_hls::expr::Expr;
+use pe_hls::fsmd::FsmdBuilder;
+use pe_rtl::Design;
+
+/// The 8×8 zigzag scan order: `ZIGZAG[i]` is the raster position of the
+/// `i`-th transmitted coefficient.
+pub const ZIGZAG: [u64; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Reference dequantizer used by tests and the MPEG4 stimulus model.
+pub fn dequant_reference(level: i64, qscale: u64) -> i64 {
+    if level == 0 {
+        return 0;
+    }
+    let mag = (level.unsigned_abs() * 2 * qscale).min(2047) as i64;
+    if level < 0 {
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// Builds the Ispq design.
+///
+/// Ports: inputs `level` (8-bit signed quantized coefficient) and
+/// `qscale` (5); outputs `done_block` (1, one-cycle pulse after every 64
+/// coefficients), `check_data` (12) and input `check_addr` (6) for
+/// post-block read-out (valid while `done_block` is high — the FSM pauses
+/// one state between blocks).
+///
+/// # Panics
+///
+/// Panics only on internal construction bugs.
+pub fn ispq() -> Design {
+    const W: u32 = 14; // headroom: |level|·2·qscale ≤ 127·62 = 7874
+    let mut f = FsmdBuilder::new("ispq");
+    let level_in = f.input("level", 8);
+    let qscale = f.input("qscale", 5);
+    let check_addr = f.input("check_addr", 6);
+    let i = f.reg("i", 7, 0);
+    let level = f.reg("level_r", W, 0);
+    let rec = f.reg("rec", 12, 0);
+    let done = f.reg("done_r", 1, 0);
+    let coef = f.mem("coef", 64, 12, None);
+
+    let fetch = f.state("fetch");
+    let dequant = f.state("dequant");
+    let store = f.state("store");
+    let pause = f.state("pause");
+
+    // fetch: capture the incoming level (sign-extended).
+    f.set(fetch, level, Expr::input(level_in, 8).sext(W));
+    f.set(fetch, done, Expr::konst(0, 1));
+    f.goto(fetch, dequant);
+
+    // dequant: rec <= sign-aware saturating level × 2·qscale.
+    let lv = Expr::reg(level, W);
+    let is_neg = lv.clone().slt(Expr::konst(0, W));
+    let mag_in = lv.clone().neg().select(is_neg.clone().not(), lv.clone());
+    let two_q = Expr::input(qscale, 5).zext(W).shl(Expr::konst(1, 1));
+    let prod = mag_in.mul(two_q, W);
+    let too_big = Expr::konst(2047, W).slt(prod.clone());
+    let sat = prod.select(too_big, Expr::konst(2047, W));
+    let signed_rec = sat.clone().neg().select(is_neg.not(), sat);
+    f.set(dequant, rec, signed_rec.slice(0, 12));
+    f.goto(dequant, store);
+
+    // store: scatter through the zigzag ROM, bump the index.
+    let zig_addr = Expr::reg(i, 7).slice(0, 6);
+    // Zigzag permutation ROM.
+    let raster = zigzag_rom(zig_addr);
+    f.mem_write(store, coef, raster, Expr::reg(rec, 12));
+    f.set(store, i, Expr::reg(i, 7).add(Expr::konst(1, 7)));
+    f.branch(
+        store,
+        Expr::reg(i, 7).eq(Expr::konst(63, 7)),
+        pause,
+        fetch,
+    );
+
+    // pause: one-block boundary; serve check reads, then restart.
+    f.set(pause, done, Expr::konst(1, 1));
+    f.set(pause, i, Expr::konst(0, 7));
+    f.mem_read(pause, coef, Expr::input(check_addr, 6));
+    f.goto(pause, fetch);
+
+    f.output("done_block", Expr::reg(done, 1));
+    f.output("check_data", Expr::mem_data(coef, 12));
+    f.output("index", Expr::reg(i, 7));
+    f.synthesize().expect("ispq synthesizes")
+}
+
+/// Builds the zigzag ROM lookup as an expression. Exposed to the MPEG4
+/// top, which embeds the same inverse scan.
+pub(crate) fn zigzag_rom(index6: Expr) -> Expr {
+    assert_eq!(index6.width(), 6);
+    // Expr has no table node; the FSMD layer reaches tables through memory
+    // or the code generator's control ROMs, so the permutation is realized
+    // arithmetically here — as a mux cascade would be large, we instead
+    // lean on a Table component via a tiny helper FSMD idiom: the
+    // permutation is folded into a select tree generated from the constant
+    // array. With 64 entries a balanced select tree over 6 bits is exactly
+    // what synthesis would emit for a small ROM.
+    const_mux(&ZIGZAG, index6, 6)
+}
+
+/// Recursive constant multiplexer tree (a ROM as select logic); the table
+/// length must be a power of two matching the index width. Shared with the
+/// Vld walker and the MPEG4 top.
+pub(crate) fn const_mux(table: &[u64], index: Expr, out_width: u32) -> Expr {
+    if table.len() == 1 || table.iter().all(|&v| v == table[0]) {
+        return Expr::konst(table[0], out_width);
+    }
+    let half = table.len() / 2;
+    let bit = pe_util::bits::clog2(table.len() as u64) - 1;
+    let low = const_mux(&table[..half], index.clone(), out_width);
+    let high = const_mux(&table[half..], index.clone(), out_width);
+    let sel = index.slice(bit, 1);
+    low.select(sel, high)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_sim::Simulator;
+    use pe_util::bits::to_unsigned;
+    use pe_util::rng::Xoshiro;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &z in &ZIGZAG {
+            assert!(!seen[z as usize]);
+            seen[z as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn dequantizes_and_scatters_a_block() {
+        let d = ispq();
+        let mut sim = Simulator::new(&d).unwrap();
+        let qscale = 6u64;
+        sim.set_input_by_name("qscale", qscale);
+        let mut rng = Xoshiro::new(42);
+        let levels: Vec<i64> = (0..64).map(|_| rng.range_i64(-30, 30)).collect();
+
+        // Feed one level per `fetch` state: the FSM takes 3 cycles per
+        // coefficient (fetch → dequant → store).
+        for &lv in &levels {
+            sim.set_input_by_name("level", to_unsigned(lv, 8));
+            sim.step(); // fetch
+            sim.step(); // dequant
+            sim.step(); // store
+        }
+        assert_eq!(sim.output("done_block"), 0);
+        sim.step(); // pause entered; done goes high after its edge… feed check reads
+        // Now in pause→fetch; but reads were issued in pause. Verify a few
+        // raster positions using the reference model.
+        // Re-run to use the pause read port properly: scan all addresses by
+        // re-entering pause once per block is costly; instead check via a
+        // fresh run per address below (cheap at this size).
+        for probe in [0usize, 1, 8, 20, 63] {
+            let mut sim2 = Simulator::new(&d).unwrap();
+            sim2.set_input_by_name("qscale", qscale);
+            for &lv in &levels {
+                sim2.set_input_by_name("level", to_unsigned(lv, 8));
+                sim2.step_n(3);
+            }
+            sim2.set_input_by_name("check_addr", probe as u64);
+            sim2.step(); // pause: read issued
+            let got = pe_util::bits::sign_extend(sim2.output("check_data"), 12);
+            // Which transmission index landed at raster `probe`?
+            let tx = ZIGZAG.iter().position(|&z| z == probe as u64).unwrap();
+            let expected = dequant_reference(levels[tx], qscale);
+            assert_eq!(got, expected, "raster {probe}");
+        }
+    }
+
+    #[test]
+    fn saturation_clamps_large_products() {
+        assert_eq!(dequant_reference(127, 31), 2047);
+        assert_eq!(dequant_reference(-127, 31), -2047);
+        assert_eq!(dequant_reference(0, 31), 0);
+        let d = ispq();
+        let mut sim = Simulator::new(&d).unwrap();
+        sim.set_input_by_name("qscale", 31);
+        sim.set_input_by_name("level", to_unsigned(127, 8));
+        sim.step_n(3); // first coefficient: lands at raster 0
+        let mut sim_probe = sim;
+        // Finish the block with zeros to reach the pause state.
+        sim_probe.set_input_by_name("level", 0);
+        sim_probe.step_n(63 * 3);
+        sim_probe.set_input_by_name("check_addr", 0);
+        sim_probe.step();
+        assert_eq!(
+            pe_util::bits::sign_extend(sim_probe.output("check_data"), 12),
+            2047
+        );
+    }
+}

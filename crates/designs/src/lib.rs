@@ -1,0 +1,35 @@
+//! The benchmark designs of the DATE 2005 evaluation.
+//!
+//! The paper evaluates power emulation on seven industrial designs
+//! obtained by behavioral synthesis. This crate rebuilds each of them on
+//! our substrates — FSMDs synthesized through [`pe_hls`], or hand-built
+//! streaming pipelines — together with the testbench stimuli used in the
+//! evaluation runs:
+//!
+//! | Paper design | Here | Construction |
+//! |---|---|---|
+//! | Bubble_Sort | [`bubble::bubble_sort`] | FSMD (in-place sort over a block RAM) |
+//! | HVPeakF | [`peakf::hv_peak_filter`] | streaming pipeline with line buffers (horizontal + vertical peaking) |
+//! | DCT | [`dct::dct8`] | FSMD with a list-scheduled, multiplier-shared 8-point DCT dataflow graph |
+//! | IDCT | [`dct::idct8`] | FSMD, inverse transform with clipping |
+//! | Ispq | [`ispq::ispq`] | FSMD: zigzag inverse scan (ROM) + inverse quantization |
+//! | Vld | [`vld::vld`] | FSMD: table-driven Huffman (run, level) decoder |
+//! | MPEG4 | [`mpeg4::mpeg4_decoder`] | monolithic decoder FSMD: VLD → dequant → 2-D IDCT (row/column passes with transpose memory) → reconstruction into a frame buffer |
+//!
+//! [`binary_search::binary_search`] additionally rebuilds the paper's
+//! Figure-1 example circuit, used by the quickstart example.
+//!
+//! [`suite`] packages every design with its stimulus generator and
+//! paper-scale/test-scale testbench lengths for the benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary_search;
+pub mod bubble;
+pub mod dct;
+pub mod ispq;
+pub mod mpeg4;
+pub mod peakf;
+pub mod suite;
+pub mod vld;

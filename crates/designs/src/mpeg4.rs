@@ -1,0 +1,597 @@
+//! MPEG4: the monolithic block-based video decoder — the paper's largest
+//! benchmark.
+//!
+//! One FSMD integrates every stage of the sub-designs into a working
+//! decoder for a simplified MPEG-style bitstream (defined below, encoded
+//! by [`encode_frame`]):
+//!
+//! 1. **VLD** — the Huffman walker of [`crate::vld`] consumes one
+//!    bitstream bit per cycle;
+//! 2. **Inverse scan / quantization** — decoded `(run, level)` pairs are
+//!    dequantized ([`crate::ispq::dequant_reference`] semantics) and
+//!    scattered through the zigzag ROM into the coefficient memory;
+//! 3. **2-D IDCT** — one shared, list-scheduled 8-point IDCT dataflow
+//!    graph is looped over the 8 rows (coefficient memory → transpose
+//!    memory) and then the 8 columns (transpose → residual memory): the
+//!    same datapath states, registers, and bound multipliers serve both
+//!    passes;
+//! 4. **Reconstruction** — residuals are added to the prediction (the
+//!    frame buffer's previous contents for inter blocks, a flat 128 for
+//!    intra blocks), clipped, written back to the frame buffer, and folded
+//!    into a running checksum.
+//!
+//! The frame is 32×32 pixels = 16 blocks of 8×8. Per block the bitstream
+//! carries one intra/inter flag bit followed by VLC-coded coefficients up
+//! to an EOB symbol.
+//!
+//! [`reference_decode`] is the bit-exact software model used to verify the
+//! hardware's checksums, and [`BitstreamFeeder`] adapts a bit vector to
+//! the design's `consume` handshake as a [`pe_sim::Testbench`].
+
+use crate::dct::dct_matrix;
+use crate::ispq::{const_mux, dequant_reference, zigzag_rom, ZIGZAG};
+use crate::vld::{encode_symbol, walker_table, Symbol};
+use pe_hls::dfg::{lower, schedule, Dfg, ResourceBudget};
+use pe_hls::expr::Expr;
+use pe_hls::fsmd::FsmdBuilder;
+use pe_rtl::Design;
+use pe_sim::{Simulator, Testbench};
+use pe_util::rng::Xoshiro;
+
+/// Frame edge length in pixels.
+pub const FRAME_SIZE: u32 = 32;
+/// Blocks per frame (4×4 grid of 8×8 blocks).
+pub const FRAME_BLOCKS: u32 = 16;
+
+const W: u32 = 24;
+
+/// Builds the decoder design.
+///
+/// Ports: inputs `bit` (1), `qscale` (5); outputs `consume` (1),
+/// `checksum` (16), `blocks_done` (16), `frames_done` (8).
+///
+/// # Panics
+///
+/// Panics only on internal construction bugs.
+pub fn mpeg4_decoder() -> Design {
+    let (vtable, node_count) = walker_table();
+    let node_bits = pe_util::bits::clog2(node_count as u64).max(1);
+    let kw = node_bits + 1;
+
+    let mut f = FsmdBuilder::new("mpeg4");
+    let bit_in = f.input("bit", 1);
+    let qscale = f.input("qscale", 5);
+
+    // VLD / scatter stage.
+    let node = f.reg("node", node_bits, 0);
+    let pending = f.reg("pending", 9, 0);
+    let consume = f.reg("consume_r", 1, 0);
+    let intra = f.reg("intra", 1, 0);
+    let ci = f.reg("ci", 7, 0);
+    let rec_val = f.reg("rec_val", 12, 0);
+    let clr = f.reg("clr", 7, 0);
+    // Transform stage.
+    let pass = f.reg("pass", 1, 0);
+    let row = f.reg("row", 3, 0);
+    let n = f.reg("n", 4, 0);
+    let xs: Vec<_> = (0..8).map(|i| f.reg(&format!("x{i}"), W, 0)).collect();
+    let os: Vec<_> = (0..8).map(|i| f.reg(&format!("o{i}"), 16, 0)).collect();
+    // Reconstruction stage.
+    let p = f.reg("p", 7, 0);
+    let blk = f.reg("blk", 4, 0);
+    let frames = f.reg("frames", 8, 0);
+    let blocks = f.reg("blocks", 16, 0);
+    let checksum = f.reg("checksum", 16, 0);
+
+    let coef = f.mem("coef", 64, 12, None);
+    let tmp = f.mem("tmp", 64, 16, None);
+    let resid = f.mem("resid", 64, 16, None);
+    let frame = f.mem("frame", (FRAME_SIZE * FRAME_SIZE) as u32, 8, None);
+
+    // ── States ────────────────────────────────────────────────────────────
+    let clear = f.state("clear");
+    let hdr = f.state("hdr");
+    let walk = f.state("walk");
+    let sign = f.state("sign");
+    let scatter = f.state("scatter");
+    let ld_init = f.state("ld_init");
+    let ld = f.state("ld");
+    // (DFG states are created by `lower` below.)
+
+    // clear: zero the coefficient memory, then read the header bit.
+    f.mem_write(clear, coef, Expr::reg(clr, 7).slice(0, 6), Expr::konst(0, 12));
+    f.set(clear, clr, Expr::reg(clr, 7).add(Expr::konst(1, 7)));
+    let clear_done = Expr::reg(clr, 7).eq(Expr::konst(63, 7));
+    f.set(clear, consume, clear_done.clone()); // hdr consumes the flag bit
+    f.branch(clear, clear_done, hdr, clear);
+
+    // hdr: intra/inter flag; reset the coefficient cursor.
+    f.set(hdr, intra, Expr::input(bit_in, 1));
+    f.set(hdr, ci, Expr::konst(0, 7));
+    f.set(hdr, consume, Expr::konst(1, 1)); // walk consumes
+    f.goto(hdr, walk);
+
+    // walk: Huffman tree walk (see crate::vld).
+    let key = Expr::reg(node, node_bits)
+        .zext(kw)
+        .shl(Expr::konst(1, 1))
+        .or(Expr::input(bit_in, 1).zext(kw));
+    let entry = const_mux(&vtable, key, 9);
+    let is_leaf = entry.clone().slice(8, 1);
+    let is_rl = entry.clone().slice(7, 1);
+    f.set(walk, pending, entry.clone());
+    f.set(
+        walk,
+        node,
+        entry
+            .clone()
+            .slice(0, node_bits)
+            .select(is_leaf.clone(), Expr::konst(0, node_bits)),
+    );
+    f.set(walk, consume, is_leaf.clone().not().or(is_rl));
+    f.branch(walk, is_leaf, sign, walk);
+
+    // sign: dequantize the pending symbol; advance the cursor by the run.
+    let pend = Expr::reg(pending, 9);
+    let pend_rl = pend.clone().slice(7, 1);
+    let mag = pend.clone().slice(0, 3).zext(14);
+    let two_q = Expr::input(qscale, 5).zext(14).shl(Expr::konst(1, 1));
+    let prod = mag.mul(two_q, 14);
+    let too_big = Expr::konst(2047, 14).slt(prod.clone());
+    let sat = prod.select(too_big, Expr::konst(2047, 14));
+    let neg_sat = sat.clone().neg();
+    let signed = sat.select(Expr::input(bit_in, 1), neg_sat);
+    f.set(sign, rec_val, signed.slice(0, 12));
+    let run = pend.clone().slice(4, 3).zext(7);
+    let target = Expr::reg(ci, 7).add(run);
+    let over = Expr::konst(63, 7).lt(target.clone());
+    f.set(sign, ci, target.select(over, Expr::konst(63, 7)));
+    f.set(sign, consume, Expr::konst(0, 1));
+    f.branch(sign, pend_rl, scatter, ld_init);
+
+    // scatter: coef[zigzag[ci]] = rec_val; ci++.
+    f.mem_write(
+        scatter,
+        coef,
+        zigzag_rom(Expr::reg(ci, 7).slice(0, 6)),
+        Expr::reg(rec_val, 12),
+    );
+    f.set(scatter, ci, Expr::reg(ci, 7).add(Expr::konst(1, 7)));
+    f.set(scatter, consume, Expr::konst(1, 1)); // back to walk
+    f.goto(scatter, walk);
+
+    // ld_init: begin the row pass.
+    f.set(ld_init, pass, Expr::konst(0, 1));
+    f.set(ld_init, row, Expr::konst(0, 3));
+    f.set(ld_init, n, Expr::konst(0, 4));
+    f.goto(ld_init, ld);
+
+    // ld: shift-load eight samples (9 iterations; the first shift carries
+    // stale data out). Reads are issued on both source memories; the
+    // shift-in selects by pass.
+    let addr6 = Expr::reg(row, 3)
+        .zext(6)
+        .shl(Expr::konst(3, 2))
+        .or(Expr::reg(n, 4).slice(0, 3).zext(6));
+    f.mem_read(ld, coef, addr6.clone());
+    f.mem_read(ld, tmp, addr6);
+    let shift_in = Expr::mem_data(coef, 12)
+        .sext(W)
+        .select(Expr::reg(pass, 1), Expr::mem_data(tmp, 16).sext(W));
+    for i in 0..8 {
+        let next = if i == 7 {
+            shift_in.clone()
+        } else {
+            Expr::reg(xs[i + 1], W)
+        };
+        f.set(ld, xs[i], next);
+    }
+    f.set(ld, n, Expr::reg(n, 4).add(Expr::konst(1, 4)));
+
+    // ── The shared 8-point IDCT dataflow graph ───────────────────────────
+    let c = dct_matrix();
+    let mut g = Dfg::new();
+    let sources: Vec<_> = xs.iter().map(|&x| g.source(Expr::reg(x, W))).collect();
+    let mut results = Vec::with_capacity(8);
+    for nn in 0..8 {
+        let mut terms = Vec::new();
+        for (k, crow) in c.iter().enumerate() {
+            let cv = crow[nn];
+            if cv == 0 {
+                continue;
+            }
+            let cnode = g.source(Expr::konst(pe_util::bits::to_unsigned(cv, W), W));
+            terms.push(g.mul(sources[k], cnode, W));
+        }
+        let mut level = terms;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    g.add(pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            level = next;
+        }
+        results.push(g.sar_const(level[0], 8));
+    }
+    let sched = schedule(
+        &g,
+        &ResourceBudget {
+            multipliers: 4,
+            adders: 4,
+        },
+    );
+    // Two physical 1-D IDCT datapaths — one per pass, as a
+    // throughput-oriented decoder pipeline would instantiate them.
+    let lowered_row = lower(&mut f, &g, &sched, "idct_row");
+    let lowered_col = lower(&mut f, &g, &sched, "idct_col");
+    let ld_sel = f.state("ld_sel");
+    f.branch(ld, Expr::reg(n, 4).eq(Expr::konst(8, 4)), ld_sel, ld);
+    f.branch(ld_sel, Expr::reg(pass, 1), lowered_col.entry, lowered_row.entry);
+
+    // stage: copy DFG results into the output shift bank.
+    let stage_row = f.state("stage_row");
+    let stage_col = f.state("stage_col");
+    f.goto(lowered_row.exit, stage_row);
+    f.goto(lowered_col.exit, stage_col);
+    for (i, &r) in results.iter().enumerate() {
+        f.set(stage_row, os[i], lowered_row.result(r).slice(0, 16));
+        f.set(stage_col, os[i], lowered_col.result(r).slice(0, 16));
+    }
+    f.set(stage_row, n, Expr::konst(0, 4));
+    f.set(stage_col, n, Expr::konst(0, 4));
+
+    // st_row / st_col: store eight results at transposed addresses
+    // (`n·8 + row`), shifting the bank.
+    let st_row = f.state("st_row");
+    let st_col = f.state("st_col");
+    f.goto(stage_row, st_row);
+    f.goto(stage_col, st_col);
+    let st_addr = Expr::reg(n, 4)
+        .slice(0, 3)
+        .zext(6)
+        .shl(Expr::konst(3, 2))
+        .or(Expr::reg(row, 3).zext(6));
+    for (state, mem) in [(st_row, tmp), (st_col, resid)] {
+        f.mem_write(state, mem, st_addr.clone(), Expr::reg(os[0], 16));
+        for i in 0..8 {
+            let next = if i == 7 {
+                Expr::reg(os[0], 16) // rotate; value unused afterwards
+            } else {
+                Expr::reg(os[i + 1], 16)
+            };
+            f.set(state, os[i], next);
+        }
+        f.set(state, n, Expr::reg(n, 4).add(Expr::konst(1, 4)));
+    }
+    // Loop control after each bank of 8 stores.
+    let rec_init = f.state("rec_init");
+    let bank_done = Expr::reg(n, 4).eq(Expr::konst(7, 4));
+    let row_done = Expr::reg(row, 3).eq(Expr::konst(7, 3));
+    // st_row: next row, or switch to the column pass.
+    let ld_col = f.state("ld_col");
+    f.set(ld_col, pass, Expr::konst(1, 1));
+    f.set(ld_col, row, Expr::konst(0, 3));
+    f.set(ld_col, n, Expr::konst(0, 4));
+    f.goto(ld_col, ld);
+    let next_row = f.state("next_row");
+    f.set(next_row, row, Expr::reg(row, 3).add(Expr::konst(1, 3)));
+    f.set(next_row, n, Expr::konst(0, 4));
+    f.goto(next_row, ld);
+    // Branch chains: two-way branches need intermediate states.
+    let row_adv = f.state("row_adv");
+    f.branch(st_row, bank_done.clone(), row_adv, st_row);
+    f.branch(row_adv, row_done.clone(), ld_col, next_row);
+    let col_adv = f.state("col_adv");
+    f.branch(st_col, bank_done.clone(), col_adv, st_col);
+    let next_row_c = f.state("next_row_c");
+    f.set(next_row_c, row, Expr::reg(row, 3).add(Expr::konst(1, 3)));
+    f.set(next_row_c, n, Expr::konst(0, 4));
+    f.goto(next_row_c, ld);
+    f.branch(col_adv, row_done, rec_init, next_row_c);
+
+    // ── Reconstruction ───────────────────────────────────────────────────
+    f.set(rec_init, p, Expr::konst(0, 7));
+    let rec_issue = f.state("rec_issue");
+    let rec_do = f.state("rec_do");
+    f.goto(rec_init, rec_issue);
+
+    // Frame-buffer address of pixel `p` within block `blk`.
+    let faddr = {
+        let r3 = Expr::reg(p, 7).slice(3, 3).zext(10);
+        let c3 = Expr::reg(p, 7).slice(0, 3).zext(10);
+        let bx = Expr::reg(blk, 4).slice(0, 2).zext(10);
+        let by = Expr::reg(blk, 4).slice(2, 2).zext(10);
+        by.shl(Expr::konst(8, 4))
+            .or(r3.shl(Expr::konst(5, 3)))
+            .or(bx.shl(Expr::konst(3, 2)))
+            .or(c3)
+    };
+    f.mem_read(rec_issue, resid, Expr::reg(p, 7).slice(0, 6));
+    f.mem_read(rec_issue, frame, faddr.clone());
+    f.goto(rec_issue, rec_do);
+
+    let base = Expr::konst(128, 16).select(
+        Expr::reg(intra, 1).not(),
+        Expr::mem_data(frame, 8).zext(16),
+    );
+    let summ = base.add(Expr::mem_data(resid, 16));
+    let neg = summ.clone().slt(Expr::konst(0, 16));
+    let big = Expr::konst(255, 16).slt(summ.clone());
+    let clip_hi = summ.select(big, Expr::konst(255, 16));
+    let pixel = clip_hi.select(neg, Expr::konst(0, 16));
+    f.mem_write(rec_do, frame, faddr, pixel.clone().slice(0, 8));
+    f.set(
+        rec_do,
+        checksum,
+        Expr::reg(checksum, 16)
+            .add(pixel.slice(0, 16))
+            .xor(Expr::reg(p, 7).zext(16)),
+    );
+    f.set(rec_do, p, Expr::reg(p, 7).add(Expr::konst(1, 7)));
+    let blk_adv = f.state("blk_adv");
+    f.branch(
+        rec_do,
+        Expr::reg(p, 7).eq(Expr::konst(63, 7)),
+        blk_adv,
+        rec_issue,
+    );
+
+    // blk_adv: next block / frame bookkeeping, then clear for the next
+    // block.
+    let last_blk = Expr::reg(blk, 4).eq(Expr::konst((FRAME_BLOCKS - 1) as u64, 4));
+    f.set(
+        blk_adv,
+        blk,
+        Expr::reg(blk, 4)
+            .add(Expr::konst(1, 4))
+            .select(last_blk.clone(), Expr::konst(0, 4)),
+    );
+    f.set(
+        blk_adv,
+        frames,
+        Expr::reg(frames, 8).select(last_blk, Expr::reg(frames, 8).add(Expr::konst(1, 8))),
+    );
+    f.set(blk_adv, blocks, Expr::reg(blocks, 16).add(Expr::konst(1, 16)));
+    f.set(blk_adv, clr, Expr::konst(0, 7));
+    f.set(blk_adv, consume, Expr::konst(0, 1));
+    f.goto(blk_adv, clear);
+
+    f.output("consume", Expr::reg(consume, 1));
+    f.output("checksum", Expr::reg(checksum, 16));
+    f.output("blocks_done", Expr::reg(blocks, 16));
+    f.output("frames_done", Expr::reg(frames, 8));
+    f.synthesize().expect("mpeg4 synthesizes")
+}
+
+// ─── Bitstream model ─────────────────────────────────────────────────────
+
+/// One encoded block: the intra flag and its sparse coefficients
+/// `(transmission index gap = run, level)`.
+#[derive(Debug, Clone)]
+pub struct BlockSpec {
+    /// Intra (flat-128 prediction) or inter (frame-buffer prediction).
+    pub intra: bool,
+    /// `(run, level)` pairs in transmission order; magnitudes 1..=3.
+    pub coeffs: Vec<(u8, i8)>,
+}
+
+/// Generates a deterministic synthetic "video" stream of `blocks` blocks
+/// (the workload generator for the evaluation: sparse textured blocks,
+/// occasional intra refreshes).
+pub fn synthetic_blocks(blocks: usize, seed: u64) -> Vec<BlockSpec> {
+    let mut rng = Xoshiro::new(seed ^ 0x4D50_4547);
+    (0..blocks)
+        .map(|i| {
+            let intra = i % (FRAME_BLOCKS as usize) == 0 || rng.chance(0.15);
+            let n_coeffs = rng.range(1, 6) as usize;
+            let coeffs = (0..n_coeffs)
+                .map(|_| {
+                    let run = rng.range(0, 4) as u8;
+                    let mag = rng.range(1, 3) as i8;
+                    let level = if rng.chance(0.5) { -mag } else { mag };
+                    (run, level)
+                })
+                .collect();
+            BlockSpec { intra, coeffs }
+        })
+        .collect()
+}
+
+/// Encodes blocks into the decoder's bitstream format.
+pub fn encode_frame(blocks: &[BlockSpec]) -> Vec<u8> {
+    let mut bits = Vec::new();
+    for b in blocks {
+        bits.push(b.intra as u8);
+        for &(run, level) in &b.coeffs {
+            let symbol = Symbol::RunLevel {
+                run: run.min(4),
+                magnitude: level.unsigned_abs().clamp(1, 3),
+            };
+            encode_symbol(symbol, level < 0, &mut bits);
+        }
+        encode_symbol(Symbol::Eob, false, &mut bits);
+    }
+    bits
+}
+
+/// Bit-exact software model of the decoder. Returns the final checksum
+/// after decoding `blocks` with the given `qscale`.
+pub fn reference_decode(blocks: &[BlockSpec], qscale: u64) -> u16 {
+    let c = dct_matrix();
+    let mut frame = vec![0i64; (FRAME_SIZE * FRAME_SIZE) as usize];
+    let mut checksum: u16 = 0;
+    let mut blk = 0usize;
+    for spec in blocks {
+        // Inverse scan + dequant.
+        let mut coef = [0i64; 64];
+        let mut ci = 0usize;
+        for &(run, level) in &spec.coeffs {
+            ci = (ci + run as usize).min(63);
+            coef[ZIGZAG[ci] as usize] = dequant_reference(level as i64, qscale);
+            ci += 1;
+        }
+        // Row pass (transposed into tmp), then column pass.
+        let idct8 = |input: &[i64; 8]| -> [i64; 8] {
+            let mut out = [0i64; 8];
+            for (nn, o) in out.iter_mut().enumerate() {
+                let mut acc = 0i64;
+                for k in 0..8 {
+                    acc += c[k][nn] * input[k];
+                }
+                *o = acc >> 8;
+            }
+            out
+        };
+        let mut tmp = [0i64; 64];
+        for r in 0..8 {
+            let mut rowv = [0i64; 8];
+            rowv.copy_from_slice(&coef[r * 8..r * 8 + 8]);
+            let out = idct8(&rowv);
+            for (nn, &v) in out.iter().enumerate() {
+                tmp[nn * 8 + r] = sat16(v);
+            }
+        }
+        let mut resid = [0i64; 64];
+        for r in 0..8 {
+            let mut rowv = [0i64; 8];
+            rowv.copy_from_slice(&tmp[r * 8..r * 8 + 8]);
+            let out = idct8(&rowv);
+            for (nn, &v) in out.iter().enumerate() {
+                resid[nn * 8 + r] = sat16(v);
+            }
+        }
+        // Reconstruction.
+        let (bx, by) = (blk % 4, blk / 4);
+        for p in 0..64usize {
+            let (r, col) = (p / 8, p % 8);
+            let addr = (by * 8 + r) * FRAME_SIZE as usize + bx * 8 + col;
+            let base = if spec.intra { 128 } else { frame[addr] };
+            let pixel = (base + resid[p]).clamp(0, 255);
+            frame[addr] = pixel;
+            checksum = checksum.wrapping_add(pixel as u16) ^ (p as u16);
+        }
+        blk = (blk + 1) % FRAME_BLOCKS as usize;
+    }
+    checksum
+}
+
+/// 16-bit two's-complement wraparound (matches the hardware's 16-bit
+/// memories).
+fn sat16(v: i64) -> i64 {
+    pe_util::bits::sign_extend(v as u64 & 0xFFFF, 16)
+}
+
+/// A [`Testbench`] feeding a bitstream under the design's `consume`
+/// handshake. Holds the last bit once the stream is exhausted.
+#[derive(Debug, Clone)]
+pub struct BitstreamFeeder {
+    bits: Vec<u8>,
+    cycles: u64,
+    qscale: Option<u64>,
+    pos: usize,
+    consumed_last: bool,
+}
+
+impl BitstreamFeeder {
+    /// Creates a feeder running for `cycles` cycles. `qscale` drives the
+    /// design's `qscale` port when present (the plain Vld design has
+    /// none).
+    pub fn new(bits: Vec<u8>, qscale: Option<u64>, cycles: u64) -> Self {
+        Self {
+            bits,
+            cycles,
+            qscale,
+            pos: 0,
+            consumed_last: false,
+        }
+    }
+
+    /// Bits consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+impl Testbench for BitstreamFeeder {
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn apply(&mut self, _cycle: u64, sim: &mut Simulator<'_>) {
+        if self.consumed_last {
+            self.pos += 1;
+            self.consumed_last = false;
+        }
+        let bit = *self.bits.get(self.pos).unwrap_or(&0);
+        sim.set_input_by_name("bit", bit as u64);
+        if let Some(q) = self.qscale {
+            sim.set_input_by_name("qscale", q);
+        }
+    }
+
+    fn observe(&mut self, _cycle: u64, sim: &mut Simulator<'_>) {
+        self.consumed_last = sim.output("consume") == 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_sim::run;
+
+    #[test]
+    fn decodes_blocks_matching_the_reference_model() {
+        let d = mpeg4_decoder();
+        let blocks = synthetic_blocks(3, 5);
+        let bits = encode_frame(&blocks);
+        let mut feeder = BitstreamFeeder::new(bits, Some(8), 4000);
+        let mut sim = Simulator::new(&d).unwrap();
+        // Run until 3 blocks are done.
+        let mut done_cycles = 0;
+        for cycle in 0..feeder.cycles() {
+            feeder.apply(cycle, &mut sim);
+            feeder.observe(cycle, &mut sim);
+            sim.step();
+            if sim.output("blocks_done") == 3 {
+                done_cycles = cycle;
+                break;
+            }
+        }
+        assert!(done_cycles > 0, "decoder never finished 3 blocks");
+        let expected = reference_decode(&blocks, 8);
+        assert_eq!(sim.output("checksum") as u16, expected);
+    }
+
+    #[test]
+    fn full_frame_advances_frame_counter() {
+        let d = mpeg4_decoder();
+        let blocks = synthetic_blocks(FRAME_BLOCKS as usize, 9);
+        let bits = encode_frame(&blocks);
+        let mut feeder = BitstreamFeeder::new(bits, Some(6), 40_000);
+        let mut sim = Simulator::new(&d).unwrap();
+        run(&mut sim, &mut feeder);
+        assert_eq!(sim.output("frames_done"), 1);
+        assert_eq!(sim.output("blocks_done") as u32, FRAME_BLOCKS);
+        let expected = reference_decode(&blocks, 6);
+        assert_eq!(sim.output("checksum") as u16, expected);
+    }
+
+    #[test]
+    fn inter_blocks_depend_on_previous_frame() {
+        // Decoding the same stream twice must differ when blocks are
+        // inter-coded (prediction from the evolving frame buffer).
+        let mut blocks = synthetic_blocks(FRAME_BLOCKS as usize, 3);
+        for b in &mut blocks[1..] {
+            b.intra = false;
+        }
+        let one = reference_decode(&blocks, 8);
+        let mut twice = blocks.clone();
+        twice.extend(blocks.clone());
+        let two = reference_decode(&twice, 8);
+        assert_ne!(one, two);
+    }
+}

@@ -1,0 +1,371 @@
+//! Vld: the table-driven variable-length (Huffman) decoder.
+//!
+//! The decoder walks a binary code tree one bitstream bit per cycle. The
+//! tree lives in a node-transition ROM: entry `(node, bit)` yields either
+//! the next internal node or a leaf record carrying the decoded
+//! `(run, |level|)` symbol — mirroring MPEG-class VLC tables (a compact
+//! subset plus an end-of-block symbol; the sign bit trails the code, as in
+//! MPEG).
+//!
+//! Flow control: the design raises `consume` on every cycle in which it
+//! reads the presented bitstream bit (walk cycles and sign-bit cycles);
+//! the stimulus feeder advances its bit pointer accordingly.
+
+use pe_hls::expr::Expr;
+use pe_hls::fsmd::FsmdBuilder;
+use pe_rtl::Design;
+
+/// One decodable symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    /// End of block.
+    Eob,
+    /// A zero-run followed by a nonzero level (sign transmitted
+    /// separately).
+    RunLevel {
+        /// Number of zeros preceding the coefficient.
+        run: u8,
+        /// Coefficient magnitude (1..=3).
+        magnitude: u8,
+    },
+}
+
+/// The code book: `(bit pattern, symbol)`. A prefix-free code over
+/// `{0,1}`; run/level symbols are followed by one sign bit in the stream
+/// (1 = negative).
+pub const CODE_BOOK: [(&str, Symbol); 16] = [
+    ("11", Symbol::RunLevel { run: 0, magnitude: 1 }),
+    ("011", Symbol::RunLevel { run: 1, magnitude: 1 }),
+    ("0101", Symbol::RunLevel { run: 0, magnitude: 2 }),
+    ("0100", Symbol::RunLevel { run: 2, magnitude: 1 }),
+    ("00111", Symbol::RunLevel { run: 0, magnitude: 3 }),
+    ("00110", Symbol::RunLevel { run: 3, magnitude: 1 }),
+    ("00101", Symbol::RunLevel { run: 1, magnitude: 2 }),
+    ("00100", Symbol::RunLevel { run: 4, magnitude: 1 }),
+    ("00011", Symbol::RunLevel { run: 2, magnitude: 2 }),
+    ("00010", Symbol::RunLevel { run: 1, magnitude: 3 }),
+    ("00001", Symbol::RunLevel { run: 3, magnitude: 2 }),
+    ("000001", Symbol::RunLevel { run: 2, magnitude: 3 }),
+    ("0000001", Symbol::RunLevel { run: 4, magnitude: 2 }),
+    ("00000001", Symbol::RunLevel { run: 3, magnitude: 3 }),
+    ("00000000", Symbol::RunLevel { run: 4, magnitude: 3 }),
+    ("10", Symbol::Eob),
+];
+
+/// Encodes a symbol (and its sign for run/level symbols) into bits — the
+/// software encoder used by stimulus generators and tests.
+pub fn encode_symbol(symbol: Symbol, negative: bool, out: &mut Vec<u8>) {
+    let (pattern, _) = CODE_BOOK
+        .iter()
+        .find(|(_, s)| *s == symbol)
+        .expect("symbol in code book");
+    for ch in pattern.chars() {
+        out.push((ch == '1') as u8);
+    }
+    if matches!(symbol, Symbol::RunLevel { .. }) {
+        out.push(negative as u8);
+    }
+}
+
+/// Builds the walker ROM. Returns `(table, internal node count)`; entries
+/// are indexed by `node·2 + bit` and hold either `next_node` (internal,
+/// bit 8 clear) or `0x100 | 0x80·is_runlevel | run<<4 | magnitude` (leaf).
+pub(crate) fn walker_table() -> (Vec<u64>, usize) {
+    #[derive(Clone)]
+    struct Node {
+        children: [Option<usize>; 2],
+        leaf: Option<Symbol>,
+    }
+    let mut nodes = vec![Node {
+        children: [None, None],
+        leaf: None,
+    }];
+    for (pattern, symbol) in CODE_BOOK {
+        let mut at = 0usize;
+        for (i, ch) in pattern.chars().enumerate() {
+            let bit = (ch == '1') as usize;
+            let last = i == pattern.len() - 1;
+            if last {
+                assert!(
+                    nodes[at].children[bit].is_none(),
+                    "code book not prefix-free"
+                );
+                let leaf_idx = nodes.len();
+                nodes.push(Node {
+                    children: [None, None],
+                    leaf: Some(symbol),
+                });
+                nodes[at].children[bit] = Some(leaf_idx);
+            } else {
+                let next = match nodes[at].children[bit] {
+                    Some(n) => n,
+                    None => {
+                        let n = nodes.len();
+                        nodes.push(Node {
+                            children: [None, None],
+                            leaf: None,
+                        });
+                        nodes[at].children[bit] = Some(n);
+                        n
+                    }
+                };
+                assert!(nodes[next].leaf.is_none(), "code book not prefix-free");
+                at = next;
+            }
+        }
+    }
+    let internal: Vec<usize> = (0..nodes.len())
+        .filter(|&n| nodes[n].leaf.is_none())
+        .collect();
+    let index_of = |n: usize| internal.iter().position(|&x| x == n).expect("internal");
+    let node_bits = pe_util::bits::clog2(internal.len() as u64).max(1);
+    let mut table = vec![0u64; 1 << (node_bits + 1)];
+    for &n in &internal {
+        for bit in 0..2 {
+            let key = (index_of(n) << 1) | bit;
+            table[key] = match nodes[n].children[bit] {
+                None => 0, // unreachable in well-formed streams: restart
+                Some(child) => match nodes[child].leaf {
+                    None => index_of(child) as u64,
+                    Some(Symbol::Eob) => 0x100,
+                    Some(Symbol::RunLevel { run, magnitude }) => {
+                        0x100 | 0x80 | ((run as u64) << 4) | magnitude as u64
+                    }
+                },
+            };
+        }
+    }
+    (table, internal.len())
+}
+
+/// Builds the Vld design.
+///
+/// Ports: input `bit` (the current bitstream bit; the feeder advances its
+/// pointer whenever `consume` was high during a cycle); outputs
+/// `consume` (1), `sym_valid` (1-cycle pulse), `run` (3), `level` (5,
+/// two's complement, 0 for EOB), `eob` (1).
+///
+/// # Panics
+///
+/// Panics only on internal construction bugs.
+pub fn vld() -> Design {
+    let (table, node_count) = walker_table();
+    let node_bits = pe_util::bits::clog2(node_count as u64).max(1);
+    let kw = node_bits + 1;
+    let mut f = FsmdBuilder::new("vld");
+    let bit_in = f.input("bit", 1);
+    let node = f.reg("node", node_bits, 0);
+    let run = f.reg("run_r", 3, 0);
+    let level = f.reg("level_r", 5, 0);
+    let eob = f.reg("eob_r", 1, 0);
+    let valid = f.reg("valid_r", 1, 0);
+    let pending = f.reg("pending", 9, 0);
+    // `consume_r` describes the *current* state's appetite; each state
+    // writes it for its successor. The reset state (walk) consumes.
+    let consume = f.reg("consume_r", 1, 1);
+
+    let walk = f.state("walk");
+    let sign = f.state("sign");
+    let emit = f.state("emit");
+
+    // ── walk ─────────────────────────────────────────────────────────────
+    let key = Expr::reg(node, node_bits)
+        .zext(kw)
+        .shl(Expr::konst(1, 1))
+        .or(Expr::input(bit_in, 1).zext(kw));
+    let entry = crate::ispq::const_mux(&table, key, 9);
+    let is_leaf = entry.clone().slice(8, 1);
+    let is_rl = entry.clone().slice(7, 1);
+    f.set(walk, pending, entry.clone());
+    f.set(
+        walk,
+        node,
+        entry
+            .clone()
+            .slice(0, node_bits)
+            .select(is_leaf.clone(), Expr::konst(0, node_bits)),
+    );
+    f.set(walk, valid, Expr::konst(0, 1));
+    // Next state consumes a bit unless it is the EOB pass through `sign`.
+    f.set(
+        walk,
+        consume,
+        is_leaf.clone().not().or(is_rl.clone()),
+    );
+    f.branch(walk, is_leaf, sign, walk);
+
+    // ── sign: latch the symbol (reads the sign bit for run/level) ────────
+    let pend = Expr::reg(pending, 9);
+    let pend_rl = pend.clone().slice(7, 1);
+    let mag = pend.clone().slice(0, 3).zext(5);
+    let neg_mag = mag.clone().neg();
+    // level = EOB ? 0 : (sign ? -mag : mag)
+    let signed_mag = mag.select(Expr::input(bit_in, 1), neg_mag);
+    f.set(
+        sign,
+        level,
+        Expr::konst(0, 5).select(pend_rl.clone(), signed_mag),
+    );
+    f.set(sign, run, pend.clone().slice(4, 3));
+    f.set(sign, eob, pend_rl.not());
+    f.set(sign, consume, Expr::konst(0, 1)); // emit consumes nothing
+    f.goto(sign, emit);
+
+    // ── emit: one-cycle symbol pulse ─────────────────────────────────────
+    f.set(emit, valid, Expr::konst(1, 1));
+    f.set(emit, consume, Expr::konst(1, 1)); // back to walk
+    f.goto(emit, walk);
+
+    f.output("consume", Expr::reg(consume, 1));
+    f.output("sym_valid", Expr::reg(valid, 1));
+    f.output("run", Expr::reg(run, 3));
+    f.output("level", Expr::reg(level, 5));
+    f.output("eob", Expr::reg(eob, 1));
+    f.synthesize().expect("vld synthesizes")
+}
+
+/// Software reference decoder over a bit slice, for tests and the MPEG4
+/// stimulus model. Returns `(run, level)` pairs terminated by EOB
+/// (`None`), and the number of bits consumed.
+pub fn decode_reference(bits: &[u8]) -> (Vec<(u8, i8)>, usize) {
+    let (table, _) = walker_table();
+    let mut out = Vec::new();
+    let mut node = 0u64;
+    let mut pos = 0usize;
+    while pos < bits.len() {
+        let entry = table[(node * 2 + bits[pos] as u64) as usize];
+        pos += 1;
+        if entry & 0x100 == 0 {
+            node = entry;
+            continue;
+        }
+        node = 0;
+        if entry & 0x80 == 0 {
+            return (out, pos); // EOB
+        }
+        let run = ((entry >> 4) & 0x7) as u8;
+        let mag = (entry & 0x7) as i8;
+        let negative = bits[pos] == 1;
+        pos += 1;
+        out.push((run, if negative { -mag } else { mag }));
+    }
+    (out, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_sim::Simulator;
+
+    #[test]
+    fn code_book_is_prefix_free() {
+        for (i, (a, _)) in CODE_BOOK.iter().enumerate() {
+            for (j, (b, _)) in CODE_BOOK.iter().enumerate() {
+                if i != j {
+                    assert!(!b.starts_with(a), "{a} is a prefix of {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn walker_table_decodes_every_symbol() {
+        let (table, nodes) = walker_table();
+        assert!(nodes >= 4);
+        for (pattern, symbol) in CODE_BOOK {
+            let mut node = 0u64;
+            let mut out = None;
+            for ch in pattern.chars() {
+                let bit = (ch == '1') as u64;
+                let e = table[(node * 2 + bit) as usize];
+                if e & 0x100 != 0 {
+                    out = Some(e);
+                } else {
+                    node = e;
+                }
+            }
+            let e = out.expect("pattern must reach a leaf");
+            match symbol {
+                Symbol::Eob => assert_eq!(e & 0x80, 0, "{pattern}"),
+                Symbol::RunLevel { run, magnitude } => {
+                    assert_ne!(e & 0x80, 0, "{pattern}");
+                    assert_eq!((e >> 4) & 0x7, run as u64, "{pattern}");
+                    assert_eq!(e & 0x7, magnitude as u64, "{pattern}");
+                }
+            }
+        }
+    }
+
+    /// Drives the design with a bitstream, returning decoded symbols
+    /// `(run, level, eob)` observed on `sym_valid` pulses.
+    fn drive(design: &pe_rtl::Design, bits: &[u8], max_cycles: usize) -> Vec<(u64, i64, u64)> {
+        let mut sim = Simulator::new(design).unwrap();
+        let mut pos = 0usize;
+        let mut decoded = Vec::new();
+        for _ in 0..max_cycles {
+            if pos >= bits.len() {
+                break; // stream exhausted; zero-fill would decode garbage
+            }
+            let bit = bits[pos];
+            sim.set_input_by_name("bit", bit as u64);
+            // Pre-edge: does this cycle consume the presented bit?
+            if sim.output("consume") == 1 {
+                pos += 1;
+            }
+            sim.step();
+            if sim.output("sym_valid") == 1 {
+                decoded.push((
+                    sim.output("run"),
+                    pe_util::bits::sign_extend(sim.output("level"), 5),
+                    sim.output("eob"),
+                ));
+            }
+        }
+        // Drain the final emit pulse.
+        for _ in 0..3 {
+            sim.step();
+            if sim.output("sym_valid") == 1 {
+                decoded.push((
+                    sim.output("run"),
+                    pe_util::bits::sign_extend(sim.output("level"), 5),
+                    sim.output("eob"),
+                ));
+            }
+        }
+        decoded
+    }
+
+    #[test]
+    fn decodes_an_encoded_stream() {
+        let symbols = [
+            (Symbol::RunLevel { run: 0, magnitude: 1 }, false),
+            (Symbol::RunLevel { run: 2, magnitude: 1 }, true),
+            (Symbol::RunLevel { run: 0, magnitude: 3 }, false),
+            (Symbol::RunLevel { run: 1, magnitude: 2 }, true),
+            (Symbol::Eob, false),
+        ];
+        let mut bits = Vec::new();
+        for (s, neg) in symbols {
+            encode_symbol(s, neg, &mut bits);
+        }
+        let d = vld();
+        let decoded = drive(&d, &bits, 200);
+        assert_eq!(
+            decoded,
+            vec![
+                (0, 1, 0),
+                (2, -1, 0),
+                (0, 3, 0),
+                (1, -2, 0),
+                (0, 0, 1),
+            ]
+        );
+        // Cross-check the software reference.
+        let (pairs, consumed) = decode_reference(&bits);
+        assert_eq!(
+            pairs,
+            vec![(0, 1), (2, -1), (0, 3), (1, -2)]
+        );
+        assert_eq!(consumed, bits.len());
+    }
+}

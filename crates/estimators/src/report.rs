@@ -1,0 +1,212 @@
+//! The estimator trait and its report type.
+
+use pe_rtl::Design;
+use pe_sim::Testbench;
+use std::fmt;
+use std::time::Duration;
+
+/// Result of one power-estimation run.
+#[derive(Debug, Clone)]
+pub struct PowerReport {
+    /// Tool label (e.g. `"nec-rtpower-like"`).
+    pub tool: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Total estimated energy over the run, femtojoules.
+    pub total_energy_fj: f64,
+    /// Per-RTL-component energy, femtojoules, indexed by
+    /// [`pe_rtl::ComponentId::index`].
+    pub per_component_fj: Vec<f64>,
+    /// Windowed power profile: average power (µW) per window of
+    /// [`PowerReport::window_cycles`] cycles.
+    pub profile_uw: Vec<f64>,
+    /// Window size used for [`PowerReport::profile_uw`].
+    pub window_cycles: u64,
+    /// Clock period assumed when converting energy to power (ns).
+    pub period_ns: f64,
+    /// Measured wall-clock time of the estimation run.
+    pub wall: Duration,
+}
+
+impl PowerReport {
+    /// Average power over the whole run, in microwatts.
+    pub fn average_power_uw(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.total_energy_fj / (self.cycles as f64 * self.period_ns)
+    }
+
+    /// Simulated cycles per second of wall time.
+    pub fn cycles_per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.cycles as f64 / secs
+    }
+
+    /// The component consuming the most energy, as
+    /// `(component_index, energy_fj)`; `None` for empty designs.
+    pub fn hottest_component(&self) -> Option<(usize, f64)> {
+        self.per_component_fj
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} cycles, {:.1} nJ total, {:.1} µW avg, {:.3} s wall",
+            self.tool,
+            self.cycles,
+            self.total_energy_fj / 1e6,
+            self.average_power_uw(),
+            self.wall.as_secs_f64()
+        )
+    }
+}
+
+/// Errors from a [`PowerEstimator`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimateError {
+    /// The model library has no model for one or more component classes.
+    MissingModels {
+        /// Display of the first missing class.
+        class: String,
+    },
+    /// The design failed validation.
+    InvalidDesign {
+        /// Validation message.
+        message: String,
+    },
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::MissingModels { class } => {
+                write!(f, "model library lacks a model for class {class}")
+            }
+            EstimateError::InvalidDesign { message } => {
+                write!(f, "design is not simulatable: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// A simulation-based power estimator: runs a testbench against a design
+/// and reports energy/power. Object-safe so harnesses can iterate tools.
+pub trait PowerEstimator {
+    /// Stable tool label used in reports and benchmark tables.
+    fn tool(&self) -> &str;
+
+    /// Runs the estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError`] if the design cannot be simulated or
+    /// required models are missing.
+    fn estimate(
+        &self,
+        design: &Design,
+        testbench: &mut dyn Testbench,
+    ) -> Result<PowerReport, EstimateError>;
+}
+
+/// Shared window-profile accumulator used by the estimator
+/// implementations.
+#[derive(Debug)]
+pub(crate) struct ProfileAccumulator {
+    window_cycles: u64,
+    period_ns: f64,
+    in_window: u64,
+    window_energy: f64,
+    profile: Vec<f64>,
+}
+
+impl ProfileAccumulator {
+    pub(crate) fn new(window_cycles: u64, period_ns: f64) -> Self {
+        Self {
+            window_cycles: window_cycles.max(1),
+            period_ns,
+            in_window: 0,
+            window_energy: 0.0,
+            profile: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push_cycle(&mut self, energy_fj: f64) {
+        self.window_energy += energy_fj;
+        self.in_window += 1;
+        if self.in_window == self.window_cycles {
+            self.profile
+                .push(self.window_energy / (self.window_cycles as f64 * self.period_ns));
+            self.in_window = 0;
+            self.window_energy = 0.0;
+        }
+    }
+
+    pub(crate) fn finish(mut self) -> Vec<f64> {
+        if self.in_window > 0 {
+            self.profile
+                .push(self.window_energy / (self.in_window as f64 * self.period_ns));
+        }
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_derived_quantities() {
+        let r = PowerReport {
+            tool: "t".into(),
+            cycles: 100,
+            total_energy_fj: 1000.0,
+            per_component_fj: vec![100.0, 700.0, 200.0],
+            profile_uw: vec![1.0, 1.0],
+            window_cycles: 50,
+            period_ns: 10.0,
+            wall: Duration::from_millis(20),
+        };
+        assert_eq!(r.average_power_uw(), 1.0);
+        assert_eq!(r.hottest_component(), Some((1, 700.0)));
+        assert_eq!(r.cycles_per_second(), 5000.0);
+        assert!(r.to_string().contains("µW"));
+    }
+
+    #[test]
+    fn profile_accumulator_windows() {
+        let mut acc = ProfileAccumulator::new(2, 10.0);
+        acc.push_cycle(20.0);
+        acc.push_cycle(40.0); // window 1: 60 fJ / 20 ns = 3 µW
+        acc.push_cycle(10.0); // partial window: 10 fJ / 10 ns = 1 µW
+        let profile = acc.finish();
+        assert_eq!(profile, vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_cycles_average_power() {
+        let r = PowerReport {
+            tool: "t".into(),
+            cycles: 0,
+            total_energy_fj: 0.0,
+            per_component_fj: vec![],
+            profile_uw: vec![],
+            window_cycles: 1,
+            period_ns: 10.0,
+            wall: Duration::ZERO,
+        };
+        assert_eq!(r.average_power_uw(), 0.0);
+        assert_eq!(r.hottest_component(), None);
+    }
+}

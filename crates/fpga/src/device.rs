@@ -1,0 +1,193 @@
+//! Device capacity models for the Virtex-II family the paper used.
+
+use std::fmt;
+
+/// Capacity of one FPGA device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceModel {
+    name: String,
+    luts: u32,
+    flip_flops: u32,
+    /// 18-kbit block RAMs.
+    brams: u32,
+    /// Usable user I/O pins.
+    io_pins: u32,
+}
+
+impl DeviceModel {
+    /// Defines a custom device.
+    pub fn new(name: impl Into<String>, luts: u32, flip_flops: u32, brams: u32, io_pins: u32) -> Self {
+        Self {
+            name: name.into(),
+            luts,
+            flip_flops,
+            brams,
+            io_pins,
+        }
+    }
+
+    /// Xilinx XC2V1000: 10,240 LUTs/FFs, 40 BRAMs.
+    pub fn xc2v1000() -> Self {
+        Self::new("XC2V1000", 10_240, 10_240, 40, 432)
+    }
+
+    /// Xilinx XC2V3000: 28,672 LUTs/FFs, 96 BRAMs.
+    pub fn xc2v3000() -> Self {
+        Self::new("XC2V3000", 28_672, 28_672, 96, 720)
+    }
+
+    /// Xilinx XC2V6000: 67,584 LUTs/FFs, 144 BRAMs — the class of device
+    /// in the paper's PC-based emulation platform.
+    pub fn xc2v6000() -> Self {
+        Self::new("XC2V6000", 67_584, 67_584, 144, 1104)
+    }
+
+    /// Xilinx XC2V8000: 93,184 LUTs/FFs, 168 BRAMs.
+    pub fn xc2v8000() -> Self {
+        Self::new("XC2V8000", 93_184, 93_184, 168, 1108)
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Available 4-input LUTs.
+    pub fn luts(&self) -> u32 {
+        self.luts
+    }
+
+    /// Available flip-flops.
+    pub fn flip_flops(&self) -> u32 {
+        self.flip_flops
+    }
+
+    /// Available 18-kbit block RAMs.
+    pub fn brams(&self) -> u32 {
+        self.brams
+    }
+
+    /// Available user I/O pins.
+    pub fn io_pins(&self) -> u32 {
+        self.io_pins
+    }
+
+    /// Data bits one BRAM can hold (without parity).
+    pub const BRAM_BITS: u64 = 18 * 1024;
+}
+
+impl fmt::Display for DeviceModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} LUTs, {} FFs, {} BRAMs, {} I/O)",
+            self.name, self.luts, self.flip_flops, self.brams, self.io_pins
+        )
+    }
+}
+
+/// Resource demand of a mapped netlist, comparable against a
+/// [`DeviceModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceUse {
+    /// 4-input LUTs.
+    pub luts: u32,
+    /// Flip-flops.
+    pub flip_flops: u32,
+    /// 18-kbit block RAMs.
+    pub brams: u32,
+    /// Top-level I/O bits.
+    pub io_pins: u32,
+}
+
+impl ResourceUse {
+    /// Whether this demand fits a device.
+    pub fn fits(&self, device: &DeviceModel) -> bool {
+        self.luts <= device.luts
+            && self.flip_flops <= device.flip_flops
+            && self.brams <= device.brams
+            && self.io_pins <= device.io_pins
+    }
+
+    /// The binding utilization fraction (max over resource classes).
+    pub fn utilization(&self, device: &DeviceModel) -> f64 {
+        [
+            self.luts as f64 / device.luts as f64,
+            self.flip_flops as f64 / device.flip_flops as f64,
+            self.brams as f64 / device.brams.max(1) as f64,
+            self.io_pins as f64 / device.io_pins as f64,
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
+
+    /// Minimum number of devices needed on raw capacity alone (ignoring
+    /// cut constraints — the partitioner may need more).
+    pub fn min_devices(&self, device: &DeviceModel) -> u32 {
+        let per = |need: u32, have: u32| need.div_ceil(have.max(1));
+        per(self.luts, device.luts)
+            .max(per(self.flip_flops, device.flip_flops))
+            .max(per(self.brams, device.brams))
+            .max(1)
+    }
+}
+
+impl fmt::Display for ResourceUse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUTs, {} FFs, {} BRAMs, {} I/O",
+            self.luts, self.flip_flops, self.brams, self.io_pins
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_ordering() {
+        assert!(DeviceModel::xc2v1000().luts() < DeviceModel::xc2v3000().luts());
+        assert!(DeviceModel::xc2v3000().luts() < DeviceModel::xc2v6000().luts());
+        assert!(DeviceModel::xc2v6000().luts() < DeviceModel::xc2v8000().luts());
+    }
+
+    #[test]
+    fn fits_and_utilization() {
+        let dev = DeviceModel::xc2v1000();
+        let small = ResourceUse {
+            luts: 1000,
+            flip_flops: 500,
+            brams: 2,
+            io_pins: 40,
+        };
+        assert!(small.fits(&dev));
+        assert!((small.utilization(&dev) - 1000.0 / 10_240.0).abs() < 1e-12);
+        let big = ResourceUse {
+            luts: 20_000,
+            ..small
+        };
+        assert!(!big.fits(&dev));
+        assert_eq!(big.min_devices(&dev), 2);
+    }
+
+    #[test]
+    fn min_devices_respects_all_classes() {
+        let dev = DeviceModel::xc2v1000();
+        let bram_bound = ResourceUse {
+            luts: 100,
+            flip_flops: 100,
+            brams: 90,
+            io_pins: 10,
+        };
+        assert_eq!(bram_bound.min_devices(&dev), 3); // 90 / 40 → 3
+    }
+
+    #[test]
+    fn display_strings() {
+        assert!(DeviceModel::xc2v6000().to_string().contains("XC2V6000"));
+        let r = ResourceUse::default();
+        assert!(r.to_string().contains("LUTs"));
+    }
+}

@@ -1,0 +1,555 @@
+//! Technology mapping into 4-input LUTs.
+//!
+//! The mapper consumes a [`pe_gate::netlist::GateNetlist`] and produces a
+//! [`LutNetlist`]:
+//!
+//! 1. constants are folded (tie cells disappear into truth tables),
+//!    buffers are eliminated by net aliasing;
+//! 2. every remaining gate becomes a LUT;
+//! 3. a greedy cone-packing pass repeatedly absorbs single-fanout fanin
+//!    LUTs whenever the merged support stays within 4 inputs — the classic
+//!    area-oriented packing heuristic.
+//!
+//! Flip-flops map one-to-one; SRAM macros map to 18-kbit block RAMs.
+
+use crate::device::{DeviceModel, ResourceUse};
+use pe_gate::netlist::{GateKind, GateNetlist, NetId};
+
+/// A mapped 4-input lookup table. `truth` bit `i` gives the output for the
+/// input assignment whose bit `k` is `(i >> k) & 1`. Zero-input LUTs are
+/// constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lut {
+    /// Input nets (0 to 4).
+    pub inputs: Vec<NetId>,
+    /// Truth table over the inputs.
+    pub truth: u16,
+    /// Output net.
+    pub output: NetId,
+}
+
+impl Lut {
+    /// Evaluates the LUT for packed input bits (bit `k` = input `k`).
+    #[inline]
+    pub fn eval(&self, packed: u32) -> bool {
+        (self.truth >> packed) & 1 == 1
+    }
+}
+
+/// A mapped flip-flop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappedFf {
+    /// Data input net.
+    pub d: NetId,
+    /// Output net.
+    pub q: NetId,
+    /// Power-on value.
+    pub init: bool,
+    /// Clock domain index.
+    pub clock: u32,
+}
+
+/// A mapped block-RAM group implementing one SRAM macro.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappedBram {
+    /// Read-address nets, LSB first.
+    pub raddr: Vec<NetId>,
+    /// Write-address nets, LSB first.
+    pub waddr: Vec<NetId>,
+    /// Write-data nets, LSB first.
+    pub wdata: Vec<NetId>,
+    /// Write-enable net.
+    pub wen: NetId,
+    /// Registered read-data nets, LSB first.
+    pub rdata: Vec<NetId>,
+    /// Words stored.
+    pub words: u32,
+    /// Initial contents.
+    pub init: Vec<u64>,
+    /// Clock domain index.
+    pub clock: u32,
+    /// Number of 18-kbit blocks consumed.
+    pub blocks: u32,
+}
+
+/// A technology-mapped netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LutNetlist {
+    name: String,
+    net_count: usize,
+    luts: Vec<Lut>,
+    ffs: Vec<MappedFf>,
+    brams: Vec<MappedBram>,
+    inputs: Vec<(String, Vec<NetId>)>,
+    outputs: Vec<(String, Vec<NetId>)>,
+}
+
+impl LutNetlist {
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total net space (nets indices remain those of the gate netlist).
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// Mapped LUTs.
+    pub fn luts(&self) -> &[Lut] {
+        &self.luts
+    }
+
+    /// Mapped flip-flops.
+    pub fn ffs(&self) -> &[MappedFf] {
+        &self.ffs
+    }
+
+    /// Mapped block-RAM groups.
+    pub fn brams(&self) -> &[MappedBram] {
+        &self.brams
+    }
+
+    /// Input buses.
+    pub fn inputs(&self) -> &[(String, Vec<NetId>)] {
+        &self.inputs
+    }
+
+    /// Output buses.
+    pub fn outputs(&self) -> &[(String, Vec<NetId>)] {
+        &self.outputs
+    }
+
+    /// Resource demand of the mapped netlist.
+    pub fn resource_use(&self) -> ResourceUse {
+        let io: usize = self
+            .inputs
+            .iter()
+            .map(|(_, n)| n.len())
+            .chain(self.outputs.iter().map(|(_, n)| n.len()))
+            .sum();
+        ResourceUse {
+            luts: self.luts.len() as u32,
+            flip_flops: self.ffs.len() as u32,
+            brams: self.brams.iter().map(|b| b.blocks).sum(),
+            io_pins: io as u32,
+        }
+    }
+}
+
+/// Maps a gate netlist into 4-input LUTs.
+pub fn map_to_luts(netlist: &GateNetlist) -> LutNetlist {
+    let nets = netlist.net_count();
+    // Constant and alias resolution.
+    let mut constant: Vec<Option<bool>> = vec![None; nets];
+    let mut alias: Vec<NetId> = (0..nets as u32).map(NetId::from_raw).collect();
+    fn resolve(alias: &[NetId], mut n: NetId) -> NetId {
+        while alias[n.index()] != n {
+            n = alias[n.index()];
+        }
+        n
+    }
+
+    /// Drops inputs the truth table does not actually depend on.
+    fn minimize_support(inputs: &mut Vec<NetId>, truth: &mut u16) {
+        let mut pos = 0;
+        while pos < inputs.len() {
+            let k = inputs.len();
+            let invariant = (0..1u32 << k)
+                .all(|m| (*truth >> m) & 1 == (*truth >> (m ^ (1 << pos))) & 1);
+            if invariant {
+                // Remove variable `pos`, compacting the table.
+                let mut new_truth: u16 = 0;
+                let mut out_bit = 0;
+                for m in 0..1u32 << k {
+                    if (m >> pos) & 1 == 0 {
+                        new_truth |= (((*truth >> m) & 1) as u16) << out_bit;
+                        out_bit += 1;
+                    }
+                }
+                *truth = new_truth;
+                inputs.remove(pos);
+            } else {
+                pos += 1;
+            }
+        }
+    }
+
+    // Initial LUT construction in the gate netlist's (topological) order.
+    // `driver[net]` = index into `luts`.
+    let mut luts: Vec<Lut> = Vec::with_capacity(netlist.gates().len());
+    let mut alive: Vec<bool> = Vec::with_capacity(netlist.gates().len());
+    let mut driver: Vec<Option<u32>> = vec![None; nets];
+
+    for gate in netlist.gates() {
+        match gate.kind {
+            GateKind::Tie0 => {
+                constant[gate.output.index()] = Some(false);
+                continue;
+            }
+            GateKind::Tie1 => {
+                constant[gate.output.index()] = Some(true);
+                continue;
+            }
+            _ => {}
+        }
+        let arity = gate.kind.arity();
+        // Resolve inputs; split into constants and variables.
+        let mut vars: Vec<NetId> = Vec::with_capacity(arity);
+        let mut slots: Vec<Result<usize, bool>> = Vec::with_capacity(arity); // var index or const
+        for slot in 0..arity {
+            let net = resolve(&alias, gate.inputs[slot]);
+            if let Some(c) = constant[net.index()] {
+                slots.push(Err(c));
+            } else {
+                let idx = vars.iter().position(|&v| v == net).unwrap_or_else(|| {
+                    vars.push(net);
+                    vars.len() - 1
+                });
+                slots.push(Ok(idx));
+            }
+        }
+        // Buffer elimination.
+        if gate.kind == GateKind::Buf && slots.len() == 1 {
+            match slots[0] {
+                Ok(_) => {
+                    alias[gate.output.index()] = vars[0];
+                    continue;
+                }
+                Err(c) => {
+                    constant[gate.output.index()] = Some(c);
+                    continue;
+                }
+            }
+        }
+        // Truth table over the variable support.
+        let k = vars.len();
+        let mut truth: u16 = 0;
+        for m in 0..(1u32 << k) {
+            let val_of = |slot: &Result<usize, bool>| match slot {
+                Ok(i) => (m >> i) & 1 == 1,
+                Err(c) => *c,
+            };
+            let a = slots.first().map(&val_of).unwrap_or(false);
+            let b = slots.get(1).map(&val_of).unwrap_or(false);
+            let c = slots.get(2).map(&val_of).unwrap_or(false);
+            if gate.kind.eval(a, b, c) {
+                truth |= 1 << m;
+            }
+        }
+        let mut vars = vars;
+        minimize_support(&mut vars, &mut truth);
+        if vars.is_empty() {
+            // Fully folded: the gate is a constant.
+            constant[gate.output.index()] = Some(truth & 1 == 1);
+            continue;
+        }
+        driver[gate.output.index()] = Some(luts.len() as u32);
+        luts.push(Lut {
+            inputs: vars,
+            truth,
+            output: gate.output,
+        });
+        alive.push(true);
+    }
+
+    // Reference counts over LUT outputs (consumers: LUT inputs, FF data,
+    // BRAM ports, design outputs).
+    let mut refs: Vec<u32> = vec![0; nets];
+    let bump = |refs: &mut Vec<u32>, alias: &[NetId], n: NetId| {
+        refs[resolve(alias, n).index()] += 1;
+    };
+    for lut in &luts {
+        for &n in &lut.inputs {
+            refs[n.index()] += 1; // already resolved
+        }
+    }
+    for ff in netlist.dffs() {
+        bump(&mut refs, &alias, ff.d);
+    }
+    for mem in netlist.mems() {
+        for n in mem
+            .raddr
+            .iter()
+            .chain(&mem.waddr)
+            .chain(&mem.wdata)
+            .chain(std::iter::once(&mem.wen))
+        {
+            bump(&mut refs, &alias, *n);
+        }
+    }
+    for (_, bus) in netlist.outputs() {
+        for &n in bus {
+            bump(&mut refs, &alias, n);
+        }
+    }
+
+    // Greedy cone packing: absorb fanin LUTs whenever the merged support
+    // stays within 4 inputs. Single-fanout fanins disappear outright;
+    // multi-fanout fanins are duplicated into the consumer and retired
+    // once their last reference is absorbed (classic duplication-based
+    // covering, which packs a full adder into 2 LUTs).
+    for i in 0..luts.len() {
+        if !alive[i] {
+            continue;
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let inputs = luts[i].inputs.clone();
+            for &inp in &inputs {
+                let Some(b_idx) = driver[inp.index()] else {
+                    continue;
+                };
+                let b_idx = b_idx as usize;
+                if b_idx == i || !alive[b_idx] {
+                    continue;
+                }
+                // Candidate support.
+                let b_inputs = luts[b_idx].inputs.clone();
+                let mut merged: Vec<NetId> = inputs
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != inp)
+                    .collect();
+                for &bn in &b_inputs {
+                    if !merged.contains(&bn) {
+                        merged.push(bn);
+                    }
+                }
+                if merged.len() > 4 {
+                    continue;
+                }
+                // Recompute the truth table over the merged support.
+                let mut truth: u16 = 0;
+                for m in 0..(1u32 << merged.len()) {
+                    let bit_of = |n: NetId| {
+                        let idx = merged.iter().position(|&x| x == n).expect("in support");
+                        (m >> idx) & 1
+                    };
+                    let b_packed: u32 = b_inputs
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &n)| bit_of(n) << k)
+                        .sum();
+                    let b_val = luts[b_idx].eval(b_packed);
+                    let a_packed: u32 = luts[i]
+                        .inputs
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &n)| {
+                            let v = if n == inp { b_val as u32 } else { bit_of(n) };
+                            v << k
+                        })
+                        .sum();
+                    if luts[i].eval(a_packed) {
+                        truth |= 1 << m;
+                    }
+                }
+                let mut merged = merged;
+                minimize_support(&mut merged, &mut truth);
+                // Commit: rewrite a, retire b if orphaned.
+                for &n in &luts[i].inputs {
+                    refs[n.index()] -= 1;
+                }
+                for &n in &merged {
+                    refs[n.index()] += 1;
+                }
+                luts[i].inputs = merged;
+                luts[i].truth = truth;
+                if refs[inp.index()] == 0 {
+                    alive[b_idx] = false;
+                    driver[inp.index()] = None;
+                    for &n in &b_inputs {
+                        refs[n.index()] -= 1;
+                    }
+                }
+                changed = true;
+                break; // inputs changed; restart scan
+            }
+        }
+    }
+
+    // Materialize constants that are still referenced as 0-input LUTs.
+    let mut final_luts: Vec<Lut> = luts
+        .into_iter()
+        .zip(alive)
+        .filter_map(|(l, keep)| keep.then_some(l))
+        .collect();
+    let needs_const = |n: NetId, constant: &[Option<bool>]| constant[n.index()].is_some();
+    let mut const_emitted: Vec<bool> = vec![false; nets];
+    let emit_const = |n: NetId,
+                          constant: &[Option<bool>],
+                          emitted: &mut Vec<bool>,
+                          out: &mut Vec<Lut>| {
+        if !emitted[n.index()] {
+            emitted[n.index()] = true;
+            out.push(Lut {
+                inputs: Vec::new(),
+                truth: if constant[n.index()] == Some(true) { 1 } else { 0 },
+                output: n,
+            });
+        }
+    };
+
+    let rsv = |n: NetId, alias: &Vec<NetId>| resolve(alias, n);
+    let mut ffs = Vec::with_capacity(netlist.dffs().len());
+    for ff in netlist.dffs() {
+        let d = rsv(ff.d, &alias);
+        if needs_const(d, &constant) {
+            emit_const(d, &constant, &mut const_emitted, &mut final_luts);
+        }
+        ffs.push(MappedFf {
+            d,
+            q: ff.q,
+            init: ff.init,
+            clock: ff.clock,
+        });
+    }
+    let mut brams = Vec::with_capacity(netlist.mems().len());
+    for mem in netlist.mems() {
+        let map_bus = |bus: &[NetId],
+                       constant: &[Option<bool>],
+                       emitted: &mut Vec<bool>,
+                       out: &mut Vec<Lut>|
+         -> Vec<NetId> {
+            bus.iter()
+                .map(|&n| {
+                    let r = rsv(n, &alias);
+                    if needs_const(r, constant) {
+                        emit_const(r, constant, emitted, out);
+                    }
+                    r
+                })
+                .collect()
+        };
+        let raddr = map_bus(&mem.raddr, &constant, &mut const_emitted, &mut final_luts);
+        let waddr = map_bus(&mem.waddr, &constant, &mut const_emitted, &mut final_luts);
+        let wdata = map_bus(&mem.wdata, &constant, &mut const_emitted, &mut final_luts);
+        let wen = {
+            let r = rsv(mem.wen, &alias);
+            if needs_const(r, &constant) {
+                emit_const(r, &constant, &mut const_emitted, &mut final_luts);
+            }
+            r
+        };
+        let bits = mem.words as u64 * mem.wdata.len() as u64;
+        brams.push(MappedBram {
+            raddr,
+            waddr,
+            wdata,
+            wen,
+            rdata: mem.rdata.clone(),
+            words: mem.words,
+            init: mem.init.clone(),
+            clock: mem.clock,
+            blocks: bits.div_ceil(DeviceModel::BRAM_BITS).max(1) as u32,
+        });
+    }
+    let outputs: Vec<(String, Vec<NetId>)> = netlist
+        .outputs()
+        .iter()
+        .map(|(name, bus)| {
+            let mapped = bus
+                .iter()
+                .map(|&n| {
+                    let r = rsv(n, &alias);
+                    if needs_const(r, &constant) {
+                        emit_const(r, &constant, &mut const_emitted, &mut final_luts);
+                    }
+                    r
+                })
+                .collect();
+            (name.clone(), mapped)
+        })
+        .collect();
+
+    LutNetlist {
+        name: netlist.name().to_string(),
+        net_count: nets,
+        luts: final_luts,
+        ffs,
+        brams,
+        inputs: netlist.inputs().to_vec(),
+        outputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_gate::expand::expand_design;
+    use pe_rtl::builder::DesignBuilder;
+
+    #[test]
+    fn adder_maps_to_few_luts() {
+        let mut b = DesignBuilder::new("add");
+        let x = b.input("a", 8);
+        let y = b.input("b", 8);
+        let s = b.add_wide(x, y);
+        b.output("s", s);
+        let d = b.finish().unwrap();
+        let expanded = expand_design(&d);
+        let mapped = map_to_luts(&expanded.netlist);
+        // 40 gates must pack far below 40 LUTs (a full adder fits in
+        // 2 LUTs: sum and carry are both 3-input functions).
+        assert!(
+            mapped.luts().len() <= 16,
+            "expected ≤16 LUTs, got {}",
+            mapped.luts().len()
+        );
+        assert!(mapped.luts().iter().all(|l| l.inputs.len() <= 4));
+    }
+
+    #[test]
+    fn constants_fold_away() {
+        let mut b = DesignBuilder::new("c");
+        let x = b.input("a", 4);
+        let zero = b.constant(0, 4);
+        let s = b.and(x, zero); // constant 0
+        b.output("s", s);
+        let d = b.finish().unwrap();
+        let mapped = map_to_luts(&expand_design(&d).netlist);
+        // Result folds to constant-0 LUTs (zero-input) only.
+        assert!(mapped.luts().iter().all(|l| l.inputs.is_empty()));
+    }
+
+    #[test]
+    fn registers_and_memories_survive_mapping() {
+        let mut b = DesignBuilder::new("seq");
+        let clk = b.clock("clk");
+        let x = b.input("x", 8);
+        let q = b.pipeline_reg("q", x, 0, clk);
+        let a3 = b.slice(x, 0, 3);
+        let wen = b.input("we", 1);
+        let m = b.memory("m", 8, 8, None, clk);
+        b.connect_mem(m, a3, a3, q, wen);
+        b.output("rd", m.rdata());
+        let d = b.finish().unwrap();
+        let mapped = map_to_luts(&expand_design(&d).netlist);
+        assert_eq!(mapped.ffs().len(), 8);
+        assert_eq!(mapped.brams().len(), 1);
+        assert_eq!(mapped.brams()[0].blocks, 1);
+        let use_ = mapped.resource_use();
+        assert_eq!(use_.flip_flops, 8);
+        assert_eq!(use_.brams, 1);
+        assert!(use_.io_pins >= 17);
+    }
+
+    #[test]
+    fn large_memory_needs_multiple_brams() {
+        let mut b = DesignBuilder::new("big");
+        let clk = b.clock("clk");
+        let ra = b.input("ra", 12);
+        let wa = b.input("wa", 12);
+        let wd = b.input("wd", 16);
+        let we = b.input("we", 1);
+        let m = b.memory("m", 4096, 16, None, clk);
+        b.connect_mem(m, ra, wa, wd, we);
+        b.output("rd", m.rdata());
+        let d = b.finish().unwrap();
+        let mapped = map_to_luts(&expand_design(&d).netlist);
+        // 4096 × 16 = 64 Kbit → 4 blocks of 18 Kbit.
+        assert_eq!(mapped.brams()[0].blocks, 4);
+    }
+}

@@ -1,0 +1,288 @@
+//! Multi-device partitioning for designs that exceed one FPGA.
+//!
+//! The paper's closing discussion singles out FPGA capacity as the main
+//! obstacle for power-emulating large instrumented designs. This module
+//! implements the standard engineering answer: split the mapped netlist
+//! across several devices and pay for the cut with inter-chip signal
+//! multiplexing (the virtual-wires model), which divides the achievable
+//! emulation clock.
+
+use crate::device::{DeviceModel, ResourceUse};
+use crate::lut::LutNetlist;
+
+/// Result of partitioning a mapped netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionResult {
+    /// Number of devices used.
+    pub devices: u32,
+    /// Per-device resource demand.
+    pub per_device: Vec<ResourceUse>,
+    /// Nets crossing device boundaries.
+    pub cut_nets: u32,
+    /// Clock division factor imposed by inter-chip multiplexing
+    /// (1 = no penalty).
+    pub clock_divisor: u32,
+    /// Partition index of every LUT.
+    pub lut_partition: Vec<u32>,
+    /// Partition index of every flip-flop.
+    pub ff_partition: Vec<u32>,
+    /// Partition index of every BRAM group.
+    pub bram_partition: Vec<u32>,
+}
+
+impl PartitionResult {
+    /// Effective emulation clock after the multiplexing penalty.
+    pub fn effective_fmax_mhz(&self, fmax_mhz: f64) -> f64 {
+        fmax_mhz / self.clock_divisor as f64
+    }
+}
+
+/// Error when partitioning cannot succeed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "partitioning failed: {}", self.reason)
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Greedily partitions the netlist onto identical `device`s, filling each
+/// to `fill_fraction` of capacity in topological order (which keeps
+/// connected logic together — emitted order follows dataflow). Returns an
+/// error if more than `max_devices` would be required.
+///
+/// Cut accounting: a net whose driver and at least one consumer live in
+/// different partitions crosses the boundary once per *driving* partition
+/// (signals are broadcast on the inter-chip bus). The clock divisor is
+/// `1 + ceil(cut / io_budget)` where the I/O budget is the sum of pins the
+/// devices can dedicate to inter-chip links (half of user I/O).
+///
+/// # Errors
+///
+/// Fails when a single cell exceeds device capacity or `max_devices` is
+/// insufficient.
+pub fn partition(
+    netlist: &LutNetlist,
+    device: &DeviceModel,
+    max_devices: u32,
+    fill_fraction: f64,
+) -> Result<PartitionResult, PartitionError> {
+    let lut_cap = (device.luts() as f64 * fill_fraction) as u32;
+    let ff_cap = (device.flip_flops() as f64 * fill_fraction) as u32;
+    let bram_cap = (device.brams() as f64 * fill_fraction) as u32;
+    if lut_cap == 0 || ff_cap == 0 {
+        return Err(PartitionError {
+            reason: "device capacity too small".into(),
+        });
+    }
+    for bram in netlist.brams() {
+        if bram.blocks > bram_cap.max(1) {
+            return Err(PartitionError {
+                reason: format!(
+                    "one memory needs {} BRAMs, device offers {bram_cap}",
+                    bram.blocks
+                ),
+            });
+        }
+    }
+
+    let mut per_device: Vec<ResourceUse> = vec![ResourceUse::default()];
+    let mut current: u32 = 0;
+    let advance = |per_device: &mut Vec<ResourceUse>, current: &mut u32| {
+        *current += 1;
+        per_device.push(ResourceUse::default());
+    };
+
+    // Assign in stored (topological / dataflow) order.
+    let mut lut_partition = Vec::with_capacity(netlist.luts().len());
+    for _lut in netlist.luts() {
+        if per_device[current as usize].luts + 1 > lut_cap {
+            advance(&mut per_device, &mut current);
+        }
+        per_device[current as usize].luts += 1;
+        lut_partition.push(current);
+    }
+    // Flip-flops fill devices in stored order (emission order follows
+    // dataflow, which keeps most flip-flops near their drivers), never
+    // beyond capacity.
+    let mut ff_partition = Vec::with_capacity(netlist.ffs().len());
+    let mut ff_cursor: u32 = 0;
+    for _ff in netlist.ffs() {
+        while per_device
+            .get(ff_cursor as usize)
+            .is_some_and(|r| r.flip_flops + 1 > ff_cap)
+        {
+            ff_cursor += 1;
+            if ff_cursor as usize >= per_device.len() {
+                per_device.push(ResourceUse::default());
+            }
+        }
+        if ff_cursor as usize >= per_device.len() {
+            per_device.push(ResourceUse::default());
+        }
+        per_device[ff_cursor as usize].flip_flops += 1;
+        ff_partition.push(ff_cursor);
+    }
+    let mut bram_partition = Vec::with_capacity(netlist.brams().len());
+    let mut bram_cursor: u32 = 0;
+    for bram in netlist.brams() {
+        while per_device
+            .get(bram_cursor as usize)
+            .is_some_and(|r| r.brams + bram.blocks > bram_cap)
+        {
+            bram_cursor += 1;
+            if bram_cursor as usize >= per_device.len() {
+                per_device.push(ResourceUse::default());
+            }
+        }
+        if bram_cursor as usize >= per_device.len() {
+            per_device.push(ResourceUse::default());
+        }
+        per_device[bram_cursor as usize].brams += bram.blocks;
+        bram_partition.push(bram_cursor);
+    }
+
+    let devices = per_device.len() as u32;
+    if devices > max_devices {
+        return Err(PartitionError {
+            reason: format!("needs {devices} devices, limit is {max_devices}"),
+        });
+    }
+
+    // Cut counting: driver partition per net, then consumers elsewhere.
+    let nets = netlist.net_count();
+    let mut driver_part: Vec<Option<u32>> = vec![None; nets];
+    for (i, lut) in netlist.luts().iter().enumerate() {
+        driver_part[lut.output.index()] = Some(lut_partition[i]);
+    }
+    for (i, ff) in netlist.ffs().iter().enumerate() {
+        driver_part[ff.q.index()] = Some(ff_partition[i]);
+    }
+    for (i, bram) in netlist.brams().iter().enumerate() {
+        for n in &bram.rdata {
+            driver_part[n.index()] = Some(bram_partition[i]);
+        }
+    }
+    let mut crosses: Vec<bool> = vec![false; nets];
+    let mark = |n: pe_gate::netlist::NetId, part: u32, crosses: &mut Vec<bool>| {
+        if let Some(dp) = driver_part[n.index()] {
+            if dp != part {
+                crosses[n.index()] = true;
+            }
+        }
+    };
+    for (i, lut) in netlist.luts().iter().enumerate() {
+        for &n in &lut.inputs {
+            mark(n, lut_partition[i], &mut crosses);
+        }
+    }
+    for (i, ff) in netlist.ffs().iter().enumerate() {
+        mark(ff.d, ff_partition[i], &mut crosses);
+    }
+    for (i, bram) in netlist.brams().iter().enumerate() {
+        for n in bram
+            .raddr
+            .iter()
+            .chain(&bram.waddr)
+            .chain(&bram.wdata)
+            .chain(std::iter::once(&bram.wen))
+        {
+            mark(*n, bram_partition[i], &mut crosses);
+        }
+    }
+    let cut_nets = crosses.iter().filter(|&&c| c).count() as u32;
+
+    let io_budget = (device.io_pins() / 2).max(1) * devices.max(1);
+    let clock_divisor = if devices <= 1 || cut_nets == 0 {
+        1
+    } else {
+        1 + cut_nets.div_ceil(io_budget)
+    };
+
+    Ok(PartitionResult {
+        devices,
+        per_device,
+        cut_nets,
+        clock_divisor,
+        lut_partition,
+        ff_partition,
+        bram_partition,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::map_to_luts;
+    use pe_gate::expand::expand_design;
+    use pe_rtl::builder::DesignBuilder;
+
+    fn chain_design(stages: u32) -> pe_rtl::Design {
+        let mut b = DesignBuilder::new("chain");
+        let clk = b.clock("clk");
+        let mut cur = b.input("x", 16);
+        for i in 0..stages {
+            let c = b.constant(((i + 1) as u64) & 0xFFFF, 16);
+            let s = b.add(cur, c);
+            let m = b.mul(s, c, 16);
+            cur = b.pipeline_reg(&format!("st{i}"), m, 0, clk);
+        }
+        b.output("y", cur);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn small_design_fits_one_device() {
+        let mapped = map_to_luts(&expand_design(&chain_design(2)).netlist);
+        let part = partition(&mapped, &DeviceModel::xc2v6000(), 8, 0.9).unwrap();
+        assert_eq!(part.devices, 1);
+        assert_eq!(part.clock_divisor, 1);
+        assert_eq!(part.cut_nets, 0);
+        assert_eq!(part.effective_fmax_mhz(50.0), 50.0);
+    }
+
+    #[test]
+    fn tiny_device_forces_partitioning() {
+        let mapped = map_to_luts(&expand_design(&chain_design(6)).netlist);
+        // A toy device with almost no LUTs.
+        let tiny = DeviceModel::new("toy", 200, 400, 4, 64);
+        let part = partition(&mapped, &tiny, 64, 1.0).unwrap();
+        assert!(part.devices > 1, "devices = {}", part.devices);
+        assert!(part.cut_nets > 0);
+        assert!(part.clock_divisor >= 1);
+        // Every per-device demand respects capacity.
+        for r in &part.per_device {
+            assert!(r.luts <= 200);
+        }
+    }
+
+    #[test]
+    fn device_limit_is_enforced() {
+        let mapped = map_to_luts(&expand_design(&chain_design(6)).netlist);
+        let tiny = DeviceModel::new("toy", 64, 64, 4, 64);
+        assert!(partition(&mapped, &tiny, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn oversized_memory_is_rejected() {
+        let mut b = DesignBuilder::new("big");
+        let clk = b.clock("clk");
+        let ra = b.input("ra", 12);
+        let wa = b.input("wa", 12);
+        let wd = b.input("wd", 32);
+        let we = b.input("we", 1);
+        let m = b.memory("m", 4096, 32, None, clk);
+        b.connect_mem(m, ra, wa, wd, we);
+        b.output("rd", m.rdata());
+        let d = b.finish().unwrap();
+        let mapped = map_to_luts(&expand_design(&d).netlist);
+        let tiny = DeviceModel::new("toy", 1000, 1000, 2, 64);
+        assert!(partition(&mapped, &tiny, 8, 1.0).is_err());
+    }
+}

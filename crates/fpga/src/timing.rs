@@ -1,0 +1,184 @@
+//! Static timing analysis over the mapped netlist.
+//!
+//! A simple but standard model: every LUT contributes a fixed logic delay
+//! plus a fanout-dependent routing delay on its output net. The critical
+//! path is the longest combinational path between timing endpoints
+//! (primary inputs / flip-flop outputs / BRAM read ports on the launching
+//! side, primary outputs / flip-flop inputs / BRAM write ports on the
+//! capturing side). The achievable emulation clock is its reciprocal.
+
+use crate::lut::LutNetlist;
+
+/// Delay parameters of the Virtex-II-class fabric (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayModel {
+    /// LUT logic delay.
+    pub t_lut_ns: f64,
+    /// Base routing delay per net hop.
+    pub t_net_ns: f64,
+    /// Extra routing delay per unit of `ln(1 + fanout)`.
+    pub t_fanout_ns: f64,
+    /// Clock-to-out plus setup overhead added to every path.
+    pub t_seq_ns: f64,
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        Self {
+            t_lut_ns: 0.44,
+            t_net_ns: 0.78,
+            t_fanout_ns: 0.25,
+            t_seq_ns: 1.0,
+        }
+    }
+}
+
+/// Results of [`analyze_timing`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Critical-path delay in nanoseconds (including sequential overhead).
+    pub critical_path_ns: f64,
+    /// Critical path length in LUT levels.
+    pub depth_levels: u32,
+    /// Achievable clock in MHz.
+    pub fmax_mhz: f64,
+}
+
+/// Analyzes the mapped netlist with the default delay model.
+pub fn analyze_timing(netlist: &LutNetlist) -> TimingReport {
+    analyze_timing_with(netlist, &DelayModel::default())
+}
+
+/// Analyzes the mapped netlist with an explicit delay model.
+pub fn analyze_timing_with(netlist: &LutNetlist, model: &DelayModel) -> TimingReport {
+    let nets = netlist.net_count();
+    // Fanout per net.
+    let mut fanout = vec![0u32; nets];
+    for lut in netlist.luts() {
+        for &n in &lut.inputs {
+            fanout[n.index()] += 1;
+        }
+    }
+    for ff in netlist.ffs() {
+        fanout[ff.d.index()] += 1;
+    }
+    for bram in netlist.brams() {
+        for n in bram
+            .raddr
+            .iter()
+            .chain(&bram.waddr)
+            .chain(&bram.wdata)
+            .chain(std::iter::once(&bram.wen))
+        {
+            fanout[n.index()] += 1;
+        }
+    }
+    for (_, bus) in netlist.outputs() {
+        for &n in bus {
+            fanout[n.index()] += 1;
+        }
+    }
+
+    // Arrival times and LUT depth per net. LUTs are stored in topological
+    // order by construction; a single forward pass suffices.
+    let mut arrival = vec![0.0f64; nets];
+    let mut depth = vec![0u32; nets];
+    for lut in netlist.luts() {
+        let (mut arr, mut dep) = (0.0f64, 0u32);
+        for &n in &lut.inputs {
+            arr = arr.max(arrival[n.index()]);
+            dep = dep.max(depth[n.index()]);
+        }
+        let wire = model.t_net_ns
+            + model.t_fanout_ns * (1.0 + fanout[lut.output.index()] as f64).ln();
+        arrival[lut.output.index()] = arr + model.t_lut_ns + wire;
+        depth[lut.output.index()] = dep + 1;
+    }
+
+    // Endpoints.
+    let mut worst = 0.0f64;
+    let mut worst_depth = 0u32;
+    let mut visit = |n: pe_gate::netlist::NetId| {
+        worst = worst.max(arrival[n.index()]);
+        worst_depth = worst_depth.max(depth[n.index()]);
+    };
+    for ff in netlist.ffs() {
+        visit(ff.d);
+    }
+    for bram in netlist.brams() {
+        for n in bram
+            .raddr
+            .iter()
+            .chain(&bram.waddr)
+            .chain(&bram.wdata)
+            .chain(std::iter::once(&bram.wen))
+        {
+            visit(*n);
+        }
+    }
+    for (_, bus) in netlist.outputs() {
+        for &n in bus {
+            visit(n);
+        }
+    }
+
+    let critical = worst + model.t_seq_ns;
+    TimingReport {
+        critical_path_ns: critical,
+        depth_levels: worst_depth,
+        fmax_mhz: 1000.0 / critical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::map_to_luts;
+    use pe_gate::expand::expand_design;
+    use pe_rtl::builder::DesignBuilder;
+    use pe_rtl::Design;
+
+    fn adder_design(width: u32) -> Design {
+        let mut b = DesignBuilder::new("add");
+        let clk = b.clock("clk");
+        let x = b.input("a", width);
+        let y = b.input("b", width);
+        let s = b.add(x, y);
+        let q = b.pipeline_reg("q", s, 0, clk);
+        b.output("s", q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn wider_adders_are_slower() {
+        let narrow = analyze_timing(&map_to_luts(&expand_design(&adder_design(4)).netlist));
+        let wide = analyze_timing(&map_to_luts(&expand_design(&adder_design(32)).netlist));
+        assert!(
+            wide.critical_path_ns > narrow.critical_path_ns,
+            "32-bit {} vs 4-bit {}",
+            wide.critical_path_ns,
+            narrow.critical_path_ns
+        );
+        assert!(wide.depth_levels > narrow.depth_levels);
+        assert!(wide.fmax_mhz < narrow.fmax_mhz);
+    }
+
+    #[test]
+    fn purely_sequential_design_hits_seq_floor() {
+        let mut b = DesignBuilder::new("ff");
+        let clk = b.clock("clk");
+        let x = b.input("x", 1);
+        let q = b.pipeline_reg("q", x, 0, clk);
+        b.output("q", q);
+        let d = b.finish().unwrap();
+        let report = analyze_timing(&map_to_luts(&expand_design(&d).netlist));
+        assert_eq!(report.depth_levels, 0);
+        assert!((report.critical_path_ns - DelayModel::default().t_seq_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fmax_is_reciprocal_of_critical_path() {
+        let r = analyze_timing(&map_to_luts(&expand_design(&adder_design(16)).netlist));
+        assert!((r.fmax_mhz * r.critical_path_ns - 1000.0).abs() < 1e-6);
+    }
+}

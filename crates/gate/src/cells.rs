@@ -1,0 +1,179 @@
+//! The synthetic 0.13 µm-class standard-cell library.
+//!
+//! This is the workspace's substitution for the NEC CB130M technology the
+//! paper characterized against: per-cell dynamic energy per output toggle,
+//! leakage power, and area. The absolute values are representative of a
+//! 0.13 µm, 1.2 V standard-cell process (gate switching energies of a few
+//! femtojoules, leakage of fractions of a nanowatt); what matters for the
+//! reproduction is that they are *fixed and consistent*, so macromodel
+//! characterization, software estimation, and emulated estimation all grade
+//! against the same ground truth.
+
+use crate::netlist::GateKind;
+
+/// Electrical characterization of one cell kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// Dynamic energy per output toggle, in femtojoules.
+    pub toggle_energy_fj: f64,
+    /// Static leakage power, in nanowatts.
+    pub leakage_nw: f64,
+    /// Cell area in square micrometres (used in area reports).
+    pub area_um2: f64,
+}
+
+/// A standard-cell library: one [`CellSpec`] per [`GateKind`], plus the
+/// sequential and macro cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellLibrary {
+    name: String,
+    /// Supply voltage in volts (documentation; energies are absolute).
+    vdd: f64,
+    combinational: [CellSpec; GateKind::COUNT],
+    /// Flip-flop: `toggle_energy_fj` applies to `q` toggles.
+    dff: CellSpec,
+    /// Extra energy drawn by a flip-flop's clock pin every cycle,
+    /// regardless of data activity (femtojoules).
+    dff_clock_energy_fj: f64,
+    /// SRAM macro: energy per read access per bit (femtojoules).
+    mem_read_energy_fj_per_bit: f64,
+    /// SRAM macro: energy per write access per bit (femtojoules).
+    mem_write_energy_fj_per_bit: f64,
+    /// SRAM macro: leakage per stored bit (nanowatts).
+    mem_leakage_nw_per_bit: f64,
+}
+
+impl CellLibrary {
+    /// The workspace's reference 0.13 µm / 1.2 V library.
+    pub fn cmos130() -> Self {
+        use GateKind::*;
+        let mut combinational = [CellSpec {
+            toggle_energy_fj: 0.0,
+            leakage_nw: 0.0,
+            area_um2: 0.0,
+        }; GateKind::COUNT];
+        let mut set = |k: GateKind, e: f64, l: f64, a: f64| {
+            combinational[k as usize] = CellSpec {
+                toggle_energy_fj: e,
+                leakage_nw: l,
+                area_um2: a,
+            };
+        };
+        set(Tie0, 0.0, 0.02, 1.0);
+        set(Tie1, 0.0, 0.02, 1.0);
+        set(Buf, 2.0, 0.25, 3.2);
+        set(Inv, 1.4, 0.20, 2.4);
+        set(And2, 3.0, 0.35, 4.0);
+        set(Or2, 3.1, 0.35, 4.0);
+        set(Nand2, 2.4, 0.30, 3.2);
+        set(Nor2, 2.5, 0.30, 3.2);
+        set(Xor2, 4.6, 0.55, 6.4);
+        set(Xnor2, 4.7, 0.55, 6.4);
+        set(Mux2, 4.2, 0.50, 5.6);
+        Self {
+            name: "cmos130".into(),
+            vdd: 1.2,
+            combinational,
+            dff: CellSpec {
+                toggle_energy_fj: 8.5,
+                leakage_nw: 0.9,
+                area_um2: 14.0,
+            },
+            dff_clock_energy_fj: 1.1,
+            mem_read_energy_fj_per_bit: 0.9,
+            mem_write_energy_fj_per_bit: 1.2,
+            mem_leakage_nw_per_bit: 0.015,
+        }
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Supply voltage (volts).
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Spec of a combinational gate kind.
+    pub fn gate(&self, kind: GateKind) -> CellSpec {
+        self.combinational[kind as usize]
+    }
+
+    /// Spec of the D flip-flop.
+    pub fn dff(&self) -> CellSpec {
+        self.dff
+    }
+
+    /// Per-cycle clock-pin energy of one flip-flop (femtojoules).
+    pub fn dff_clock_energy_fj(&self) -> f64 {
+        self.dff_clock_energy_fj
+    }
+
+    /// SRAM read energy for an access of `width` bits (femtojoules).
+    pub fn mem_read_energy_fj(&self, width: u32) -> f64 {
+        self.mem_read_energy_fj_per_bit * width as f64
+    }
+
+    /// SRAM write energy for an access of `width` bits (femtojoules).
+    pub fn mem_write_energy_fj(&self, width: u32) -> f64 {
+        self.mem_write_energy_fj_per_bit * width as f64
+    }
+
+    /// SRAM leakage for a macro of `words × width` bits (nanowatts).
+    pub fn mem_leakage_nw(&self, words: u32, width: u32) -> f64 {
+        self.mem_leakage_nw_per_bit * words as f64 * width as f64
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        Self::cmos130()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_library_is_populated() {
+        let lib = CellLibrary::cmos130();
+        assert_eq!(lib.name(), "cmos130");
+        assert_eq!(lib.vdd(), 1.2);
+        // Every real gate has positive switching energy; ties do not switch.
+        for kind in GateKind::ALL {
+            let spec = lib.gate(kind);
+            if matches!(kind, GateKind::Tie0 | GateKind::Tie1) {
+                assert_eq!(spec.toggle_energy_fj, 0.0);
+            } else {
+                assert!(spec.toggle_energy_fj > 0.0, "{kind:?}");
+                assert!(spec.area_um2 > 0.0, "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn complex_gates_cost_more_than_inverters() {
+        let lib = CellLibrary::cmos130();
+        assert!(lib.gate(GateKind::Xor2).toggle_energy_fj > lib.gate(GateKind::Inv).toggle_energy_fj);
+        assert!(lib.dff().toggle_energy_fj > lib.gate(GateKind::Mux2).toggle_energy_fj);
+    }
+
+    #[test]
+    fn memory_energy_scales_with_width() {
+        let lib = CellLibrary::cmos130();
+        assert_eq!(
+            lib.mem_read_energy_fj(16),
+            2.0 * lib.mem_read_energy_fj(8)
+        );
+        assert!(lib.mem_write_energy_fj(8) > lib.mem_read_energy_fj(8));
+        assert!(lib.mem_leakage_nw(1024, 8) > lib.mem_leakage_nw(16, 8));
+    }
+
+    #[test]
+    fn default_is_cmos130() {
+        assert_eq!(CellLibrary::default(), CellLibrary::cmos130());
+    }
+}

@@ -1,0 +1,661 @@
+//! Structural expansion of RTL components into standard cells.
+//!
+//! Every [`pe_rtl::ComponentKind`] has a gate-level implementation here:
+//! ripple-carry adders and subtractors, shift-add array multipliers,
+//! borrow-chain comparators, barrel shifters, multiplexer trees with
+//! constant folding (which is also how lookup tables / ROMs are realized),
+//! flip-flop registers with enable muxes, and SRAM macros for memories.
+//!
+//! The expansion keeps two maps that the rest of the workspace depends on:
+//!
+//! * *signal nets*: each RTL signal's bit-nets, so stimuli and outputs can
+//!   be applied/read at the gate level and compared bit-exactly against the
+//!   RTL simulator;
+//! * *component cells*: which gates/flip-flops/macros each RTL component
+//!   expanded into, so switched energy can be attributed back to the RTL
+//!   component — the foundation of macromodel characterization.
+
+use crate::netlist::{Dff, Gate, GateKind, GateNetlist, MacroMem, NetId};
+use pe_rtl::{ComponentKind, Design, SignalId};
+use pe_util::bits;
+
+/// Cells owned by one RTL component (indices into the netlist's vectors).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompCells {
+    /// Gate indices.
+    pub gates: Vec<u32>,
+    /// Flip-flop indices.
+    pub dffs: Vec<u32>,
+    /// SRAM macro indices.
+    pub mems: Vec<u32>,
+}
+
+/// The result of expanding a design: the netlist plus the RTL↔gate maps.
+#[derive(Debug, Clone)]
+pub struct ExpandedDesign {
+    /// The flat gate netlist.
+    pub netlist: GateNetlist,
+    signal_nets: Vec<Vec<NetId>>,
+    comp_cells: Vec<CompCells>,
+}
+
+impl ExpandedDesign {
+    /// The bit-nets of an RTL signal, LSB first.
+    pub fn signal_nets(&self, signal: SignalId) -> &[NetId] {
+        &self.signal_nets[signal.index()]
+    }
+
+    /// The cells owned by RTL component `index` (by
+    /// [`pe_rtl::ComponentId::index`]).
+    pub fn component_cells(&self, index: usize) -> &CompCells {
+        &self.comp_cells[index]
+    }
+
+    /// Number of RTL components in the source design.
+    pub fn component_count(&self) -> usize {
+        self.comp_cells.len()
+    }
+}
+
+struct Emitter {
+    netlist: GateNetlist,
+    comp_cells: Vec<CompCells>,
+    owner: Option<usize>,
+    tie0: NetId,
+    tie1: NetId,
+}
+
+impl Emitter {
+    fn new(name: &str, components: usize) -> Self {
+        let mut netlist = GateNetlist::new(name);
+        let tie0 = netlist.fresh_net();
+        let tie1 = netlist.fresh_net();
+        netlist.push_gate(Gate {
+            kind: GateKind::Tie0,
+            inputs: [tie0; 3],
+            output: tie0,
+        });
+        netlist.push_gate(Gate {
+            kind: GateKind::Tie1,
+            inputs: [tie0; 3],
+            output: tie1,
+        });
+        Self {
+            netlist,
+            comp_cells: vec![CompCells::default(); components],
+            owner: None,
+            tie0,
+            tie1,
+        }
+    }
+
+    fn gate(&mut self, kind: GateKind, a: NetId, b: NetId, c: NetId) -> NetId {
+        let out = self.netlist.fresh_net();
+        let idx = self.netlist.push_gate(Gate {
+            kind,
+            inputs: [a, b, c],
+            output: out,
+        });
+        if let Some(owner) = self.owner {
+            self.comp_cells[owner].gates.push(idx as u32);
+        }
+        out
+    }
+
+    fn inv(&mut self, a: NetId) -> NetId {
+        self.gate(GateKind::Inv, a, self.tie0, self.tie0)
+    }
+
+    fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::And2, a, b, self.tie0)
+    }
+
+    fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Or2, a, b, self.tie0)
+    }
+
+    fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Xor2, a, b, self.tie0)
+    }
+
+    fn xnor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Xnor2, a, b, self.tie0)
+    }
+
+    fn mux2(&mut self, sel: NetId, d0: NetId, d1: NetId) -> NetId {
+        if d0 == d1 {
+            return d0; // constant-fold equal branches (ROM minimization)
+        }
+        self.gate(GateKind::Mux2, sel, d0, d1)
+    }
+
+    fn const_net(&mut self, bit: bool) -> NetId {
+        if bit {
+            self.tie1
+        } else {
+            self.tie0
+        }
+    }
+
+    fn const_bits(&mut self, value: u64, width: u32) -> Vec<NetId> {
+        (0..width)
+            .map(|i| self.const_net(bits::bit(value, i) == 1))
+            .collect()
+    }
+
+    /// Balanced reduction tree over `nets` with a 2-input gate.
+    fn reduce(&mut self, kind: GateKind, nets: &[NetId]) -> NetId {
+        assert!(!nets.is_empty());
+        let mut cur = nets.to_vec();
+        while cur.len() > 1 {
+            let mut next = Vec::with_capacity(cur.len().div_ceil(2));
+            for pair in cur.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(self.gate(kind, pair[0], pair[1], self.tie0));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            cur = next;
+        }
+        cur[0]
+    }
+
+    /// Full adder: returns `(sum, carry_out)`.
+    fn full_adder(&mut self, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+        let axb = self.xor2(a, b);
+        let sum = self.xor2(axb, cin);
+        let t1 = self.and2(a, b);
+        let t2 = self.and2(axb, cin);
+        let cout = self.or2(t1, t2);
+        (sum, cout)
+    }
+
+    /// Ripple-carry addition of two equal-width vectors with carry-in,
+    /// producing `out_width ≥ width` bits (the first extra bit is the
+    /// carry; further bits are zero).
+    fn ripple_add(&mut self, a: &[NetId], b: &[NetId], cin: NetId, out_width: u32) -> Vec<NetId> {
+        let w = a.len();
+        assert_eq!(w, b.len());
+        let mut out = Vec::with_capacity(out_width as usize);
+        let mut carry = cin;
+        for i in 0..out_width as usize {
+            if i < w {
+                let (s, c) = self.full_adder(a[i], b[i], carry);
+                out.push(s);
+                carry = c;
+            } else if i == w {
+                out.push(carry);
+            } else {
+                out.push(self.tie0);
+            }
+        }
+        out
+    }
+
+    /// Unsigned `a < b` via a borrow chain.
+    fn less_than(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        assert_eq!(a.len(), b.len());
+        let mut borrow = self.tie0;
+        for i in 0..a.len() {
+            let na = self.inv(a[i]);
+            let gt_bit = self.and2(na, b[i]);
+            let eq_bit = self.xnor2(a[i], b[i]);
+            let keep = self.and2(eq_bit, borrow);
+            borrow = self.or2(gt_bit, keep);
+        }
+        borrow
+    }
+
+    /// Flips the MSB of a vector (maps signed compare onto unsigned).
+    fn bias_signed(&mut self, a: &[NetId]) -> Vec<NetId> {
+        let mut v = a.to_vec();
+        let last = v.len() - 1;
+        v[last] = self.inv(v[last]);
+        v
+    }
+
+    /// Multiplexer tree over `data` (each a bit-vector) addressed by
+    /// `sel` nets; out-of-range selects resolve to the last entry —
+    /// matching the RTL `Mux` clamp semantics.
+    fn mux_tree(&mut self, sel: &[NetId], data: &[Vec<NetId>]) -> Vec<NetId> {
+        let n = data.len();
+        assert!(n >= 1);
+        let width = data[0].len();
+        let k = bits::clog2(n as u64) as usize;
+        let padded: Vec<&Vec<NetId>> = (0..1usize << k)
+            .map(|i| data.get(i).unwrap_or(&data[n - 1]))
+            .collect();
+        let mut out = Vec::with_capacity(width);
+        for bit in 0..width {
+            let mut level: Vec<NetId> = padded.iter().map(|v| v[bit]).collect();
+            for (s, sel_net) in sel.iter().take(k).enumerate() {
+                let _ = s;
+                let mut next = Vec::with_capacity(level.len() / 2);
+                for pair in level.chunks(2) {
+                    next.push(self.mux2(*sel_net, pair[0], pair[1]));
+                }
+                level = next;
+            }
+            out.push(level[0]);
+        }
+        // High select bits beyond the tree force the last entry.
+        if sel.len() > k {
+            let ovf = self.reduce(GateKind::Or2, &sel[k..]);
+            let last = &data[n - 1].clone();
+            for (bit, o) in out.iter_mut().enumerate() {
+                *o = self.mux2(ovf, *o, last[bit]);
+            }
+        }
+        out
+    }
+
+    /// Barrel shifter. `dir_left` picks shift direction; `fill` supplies
+    /// shifted-in bits (for SAR pass the *current* MSB each stage).
+    fn barrel_shift(
+        &mut self,
+        data: &[NetId],
+        amount: &[NetId],
+        dir_left: bool,
+        arithmetic: bool,
+    ) -> Vec<NetId> {
+        let w = data.len();
+        let mut cur = data.to_vec();
+        let max_stage = (0..)
+            .take_while(|s| (1usize << s) < w)
+            .count()
+            .max(1);
+        for (s, amt_net) in amount.iter().take(max_stage).enumerate() {
+            let dist = 1usize << s;
+            let fill = if arithmetic { cur[w - 1] } else { self.tie0 };
+            let shifted: Vec<NetId> = (0..w)
+                .map(|i| {
+                    if dir_left {
+                        if i >= dist {
+                            cur[i - dist]
+                        } else {
+                            self.tie0
+                        }
+                    } else if i + dist < w {
+                        cur[i + dist]
+                    } else {
+                        fill
+                    }
+                })
+                .collect();
+            for i in 0..w {
+                cur[i] = self.mux2(*amt_net, cur[i], shifted[i]);
+            }
+        }
+        // Amount bits beyond max_stage force a full shift-out.
+        if amount.len() > max_stage {
+            let ovf = self.reduce(GateKind::Or2, &amount[max_stage..]);
+            let fill = if arithmetic { cur[w - 1] } else { self.tie0 };
+            for i in 0..w {
+                cur[i] = self.mux2(ovf, cur[i], fill);
+            }
+        }
+        cur
+    }
+
+    /// Shift-add array multiplier producing the low `out_width` bits.
+    fn multiply(&mut self, a: &[NetId], b: &[NetId], out_width: u32) -> Vec<NetId> {
+        let ow = out_width as usize;
+        let mut acc: Vec<NetId> = (0..ow)
+            .map(|i| {
+                if i < a.len() {
+                    self.and2(a[i], b[0])
+                } else {
+                    self.tie0
+                }
+            })
+            .collect();
+        for (j, bj) in b.iter().enumerate().skip(1) {
+            if j >= ow {
+                break;
+            }
+            let addend: Vec<NetId> = (0..ow)
+                .map(|i| {
+                    if i >= j && i - j < a.len() {
+                        self.and2(a[i - j], *bj)
+                    } else {
+                        self.tie0
+                    }
+                })
+                .collect();
+            acc = self.ripple_add(&acc, &addend, self.tie0, out_width);
+        }
+        acc
+    }
+}
+
+/// Expands a validated design into a gate-level netlist.
+///
+/// # Panics
+///
+/// Panics if the design fails validation — expansion is only defined for
+/// well-formed designs.
+pub fn expand_design(design: &Design) -> ExpandedDesign {
+    design.validate().expect("expand requires a valid design");
+    let order = pe_rtl::topo_order(design).expect("validated design");
+    let mut em = Emitter::new(design.name(), design.components().len());
+    let mut signal_nets: Vec<Option<Vec<NetId>>> = vec![None; design.signals().len()];
+
+    // 1. Input ports drive fresh nets.
+    for port in design.inputs() {
+        let width = design.signal(port.signal()).width();
+        let nets: Vec<NetId> = (0..width).map(|_| em.netlist.fresh_net()).collect();
+        em.netlist.push_input(port.name().to_string(), nets.clone());
+        signal_nets[port.signal().index()] = Some(nets);
+    }
+
+    // 2. Sequential outputs are sources: pre-create their nets.
+    for comp in design.components() {
+        if comp.kind().is_sequential() {
+            let width = design.signal(comp.output()).width();
+            let nets: Vec<NetId> = (0..width).map(|_| em.netlist.fresh_net()).collect();
+            signal_nets[comp.output().index()] = Some(nets);
+        }
+    }
+
+    // 3. Combinational components in topological order.
+    for id in order {
+        let comp = design.component(id);
+        em.owner = Some(id.index());
+        let ins: Vec<Vec<NetId>> = comp
+            .inputs()
+            .iter()
+            .map(|s| {
+                signal_nets[s.index()]
+                    .clone()
+                    .expect("topological order defines inputs first")
+            })
+            .collect();
+        let out_width = design.signal(comp.output()).width();
+        let out_nets: Vec<NetId> = match comp.kind() {
+            ComponentKind::Add => em.ripple_add(&ins[0], &ins[1], em.tie0, out_width),
+            ComponentKind::Sub => {
+                let nb: Vec<NetId> = ins[1].iter().map(|&n| em.inv(n)).collect();
+                em.ripple_add(&ins[0], &nb, em.tie1, out_width)
+            }
+            ComponentKind::Neg => {
+                let na: Vec<NetId> = ins[0].iter().map(|&n| em.inv(n)).collect();
+                let zero = vec![em.tie0; na.len()];
+                em.ripple_add(&zero, &na, em.tie1, out_width)
+            }
+            ComponentKind::Mul => em.multiply(&ins[0], &ins[1], out_width),
+            ComponentKind::Eq => {
+                let eqs: Vec<NetId> = ins[0]
+                    .iter()
+                    .zip(&ins[1])
+                    .map(|(&a, &b)| em.xnor2(a, b))
+                    .collect();
+                vec![em.reduce(GateKind::And2, &eqs)]
+            }
+            ComponentKind::Ne => {
+                let nes: Vec<NetId> = ins[0]
+                    .iter()
+                    .zip(&ins[1])
+                    .map(|(&a, &b)| em.xor2(a, b))
+                    .collect();
+                vec![em.reduce(GateKind::Or2, &nes)]
+            }
+            ComponentKind::Lt => vec![em.less_than(&ins[0], &ins[1])],
+            ComponentKind::Le => {
+                let gt = em.less_than(&ins[1], &ins[0]);
+                vec![em.inv(gt)]
+            }
+            ComponentKind::SLt => {
+                let a = em.bias_signed(&ins[0]);
+                let b = em.bias_signed(&ins[1]);
+                vec![em.less_than(&a, &b)]
+            }
+            ComponentKind::SLe => {
+                let a = em.bias_signed(&ins[0]);
+                let b = em.bias_signed(&ins[1]);
+                let gt = em.less_than(&b, &a);
+                vec![em.inv(gt)]
+            }
+            ComponentKind::And | ComponentKind::Or | ComponentKind::Xor => {
+                let kind = match comp.kind() {
+                    ComponentKind::And => GateKind::And2,
+                    ComponentKind::Or => GateKind::Or2,
+                    _ => GateKind::Xor2,
+                };
+                (0..out_width as usize)
+                    .map(|bit| {
+                        let nets: Vec<NetId> = ins.iter().map(|v| v[bit]).collect();
+                        em.reduce(kind, &nets)
+                    })
+                    .collect()
+            }
+            ComponentKind::Not => ins[0].iter().map(|&n| em.inv(n)).collect(),
+            ComponentKind::RedAnd => vec![em.reduce(GateKind::And2, &ins[0])],
+            ComponentKind::RedOr => vec![em.reduce(GateKind::Or2, &ins[0])],
+            ComponentKind::RedXor => vec![em.reduce(GateKind::Xor2, &ins[0])],
+            ComponentKind::Shl => em.barrel_shift(&ins[0], &ins[1], true, false),
+            ComponentKind::Shr => em.barrel_shift(&ins[0], &ins[1], false, false),
+            ComponentKind::Sar => em.barrel_shift(&ins[0], &ins[1], false, true),
+            ComponentKind::Mux => em.mux_tree(&ins[0], &ins[1..]),
+            ComponentKind::Slice { lo } => {
+                ins[0][*lo as usize..(*lo + out_width) as usize].to_vec()
+            }
+            ComponentKind::Concat => ins.iter().flatten().copied().collect(),
+            ComponentKind::ZeroExt => {
+                let mut v = ins[0].clone();
+                v.resize(out_width as usize, em.tie0);
+                v
+            }
+            ComponentKind::SignExt => {
+                let mut v = ins[0].clone();
+                let msb = *v.last().expect("non-zero width");
+                v.resize(out_width as usize, msb);
+                v
+            }
+            ComponentKind::Const { value } => em.const_bits(*value, out_width),
+            ComponentKind::Table { table } => {
+                let data: Vec<Vec<NetId>> = table
+                    .iter()
+                    .map(|&v| em.const_bits(v, out_width))
+                    .collect();
+                em.mux_tree(&ins[0], &data)
+            }
+            ComponentKind::Register { .. } | ComponentKind::Memory { .. } => unreachable!(),
+        };
+        debug_assert_eq!(out_nets.len(), out_width as usize);
+        signal_nets[comp.output().index()] = Some(out_nets);
+    }
+
+    // 4. Sequential components.
+    for (idx, comp) in design.components().iter().enumerate() {
+        if !comp.kind().is_sequential() {
+            continue;
+        }
+        em.owner = Some(idx);
+        let clock = comp.clock().expect("sequential components are clocked").index() as u32;
+        match comp.kind() {
+            ComponentKind::Register { init, has_enable } => {
+                let d_nets = signal_nets[comp.inputs()[0].index()]
+                    .clone()
+                    .expect("driven");
+                let q_nets = signal_nets[comp.output().index()].clone().expect("pre");
+                let en = has_enable
+                    .then(|| signal_nets[comp.inputs()[1].index()].as_ref().unwrap()[0]);
+                for (bit, (&d, &q)) in d_nets.iter().zip(&q_nets).enumerate() {
+                    let d_eff = match en {
+                        Some(en) => em.mux2(en, q, d),
+                        None => d,
+                    };
+                    let dff_idx = em.netlist.push_dff(Dff {
+                        d: d_eff,
+                        q,
+                        init: bits::bit(*init, bit as u32) == 1,
+                        clock,
+                    });
+                    em.comp_cells[idx].dffs.push(dff_idx as u32);
+                }
+            }
+            ComponentKind::Memory { words, init } => {
+                let get = |s: SignalId, nets: &[Option<Vec<NetId>>]| {
+                    nets[s.index()].clone().expect("driven")
+                };
+                let mem_idx = em.netlist.push_mem(MacroMem {
+                    raddr: get(comp.inputs()[0], &signal_nets),
+                    waddr: get(comp.inputs()[1], &signal_nets),
+                    wdata: get(comp.inputs()[2], &signal_nets),
+                    wen: get(comp.inputs()[3], &signal_nets)[0],
+                    rdata: signal_nets[comp.output().index()].clone().expect("pre"),
+                    words: *words,
+                    init: init
+                        .clone()
+                        .unwrap_or_else(|| vec![0u64; *words as usize]),
+                    clock,
+                });
+                em.comp_cells[idx].mems.push(mem_idx as u32);
+            }
+            _ => {}
+        }
+    }
+
+    // 5. Output ports.
+    for port in design.outputs() {
+        let nets = signal_nets[port.signal().index()]
+            .clone()
+            .expect("validated designs have no undriven signals");
+        em.netlist.push_output(port.name().to_string(), nets);
+    }
+
+    ExpandedDesign {
+        netlist: em.netlist,
+        signal_nets: signal_nets.into_iter().map(|n| n.expect("all driven")).collect(),
+        comp_cells: em.comp_cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_rtl::builder::DesignBuilder;
+
+    #[test]
+    fn adder_expansion_has_full_adders() {
+        let mut b = DesignBuilder::new("add8");
+        let a = b.input("a", 8);
+        let c = b.input("b", 8);
+        let s = b.add_wide(a, c);
+        b.output("s", s);
+        let d = b.finish().unwrap();
+        let ex = expand_design(&d);
+        // 8 full adders × 5 gates = 40 logic gates.
+        assert_eq!(ex.netlist.logic_gate_count(), 40);
+        // All owned by the adder component.
+        let add_idx = d
+            .components()
+            .iter()
+            .position(|c| matches!(c.kind(), pe_rtl::ComponentKind::Add))
+            .unwrap();
+        assert_eq!(ex.component_cells(add_idx).gates.len(), 40);
+    }
+
+    #[test]
+    fn wiring_kinds_produce_no_gates() {
+        let mut b = DesignBuilder::new("wire");
+        let a = b.input("a", 8);
+        let hi = b.slice(a, 4, 4);
+        let lo = b.slice(a, 0, 4);
+        let cat = b.concat(&[hi, lo]);
+        let z = b.zext(cat, 12);
+        b.output("y", z);
+        let d = b.finish().unwrap();
+        let ex = expand_design(&d);
+        assert_eq!(ex.netlist.logic_gate_count(), 0);
+    }
+
+    #[test]
+    fn register_expansion_one_dff_per_bit() {
+        let mut b = DesignBuilder::new("reg");
+        let clk = b.clock("clk");
+        let x = b.input("x", 16);
+        let q = b.pipeline_reg("q", x, 0xABCD, clk);
+        b.output("q", q);
+        let d = b.finish().unwrap();
+        let ex = expand_design(&d);
+        assert_eq!(ex.netlist.dffs().len(), 16);
+        // init pattern carried per bit
+        let inits: u64 = ex
+            .netlist
+            .dffs()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.init as u64) << i)
+            .sum();
+        assert_eq!(inits, 0xABCD);
+    }
+
+    #[test]
+    fn enabled_register_adds_mux_per_bit() {
+        let mut b = DesignBuilder::new("regen");
+        let clk = b.clock("clk");
+        let x = b.input("x", 4);
+        let en = b.input("en", 1);
+        let r = b.register_named("r", 4, 0, clk);
+        b.connect_d_en(r, x, en);
+        b.output("q", r.q());
+        let d = b.finish().unwrap();
+        let ex = expand_design(&d);
+        assert_eq!(ex.netlist.dffs().len(), 4);
+        let counts = ex.netlist.count_by_kind();
+        assert_eq!(counts[GateKind::Mux2 as usize], 4);
+    }
+
+    #[test]
+    fn memory_is_a_macro() {
+        let mut b = DesignBuilder::new("mem");
+        let clk = b.clock("clk");
+        let ra = b.input("ra", 4);
+        let wa = b.input("wa", 4);
+        let wd = b.input("wd", 8);
+        let we = b.input("we", 1);
+        let m = b.memory("m", 16, 8, Some((0..16).collect()), clk);
+        b.connect_mem(m, ra, wa, wd, we);
+        b.output("rd", m.rdata());
+        let d = b.finish().unwrap();
+        let ex = expand_design(&d);
+        assert_eq!(ex.netlist.mems().len(), 1);
+        assert_eq!(ex.netlist.mems()[0].words, 16);
+        assert_eq!(ex.netlist.mems()[0].init[5], 5);
+        assert_eq!(ex.netlist.logic_gate_count(), 0);
+    }
+
+    #[test]
+    fn table_with_constant_output_folds_away() {
+        let mut b = DesignBuilder::new("rom");
+        let a = b.input("a", 3);
+        // All entries equal → tree folds to a constant, zero gates.
+        let t = b.table(a, vec![5; 8], 4);
+        b.output("y", t);
+        let d = b.finish().unwrap();
+        let ex = expand_design(&d);
+        assert_eq!(ex.netlist.logic_gate_count(), 0);
+    }
+
+    #[test]
+    fn component_ownership_partitions_gates() {
+        let mut b = DesignBuilder::new("two");
+        let a = b.input("a", 4);
+        let c = b.input("b", 4);
+        let s = b.add(a, c);
+        let t = b.sub(a, c);
+        b.output("s", s);
+        b.output("t", t);
+        let d = b.finish().unwrap();
+        let ex = expand_design(&d);
+        let total: usize = (0..ex.component_count())
+            .map(|i| ex.component_cells(i).gates.len())
+            .sum();
+        assert_eq!(total, ex.netlist.logic_gate_count());
+        assert!(ex.component_cells(0).gates.iter().all(|g| {
+            !ex.component_cells(1).gates.contains(g)
+        }));
+    }
+}

@@ -1,0 +1,305 @@
+//! Flat gate-level netlist model.
+
+use std::fmt;
+
+/// Identifier of a 1-bit net in a [`GateNetlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Raw index of the net.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NetId` from a raw index (for tools that post-process a
+    /// netlist, e.g. the technology mapper).
+    pub fn from_raw(index: u32) -> Self {
+        NetId(index)
+    }
+}
+
+/// Combinational cell kinds. `Mux2` reads inputs `[sel, d0, d1]`; the
+/// constant ties drive 0/1 with no inputs; everything else is 1- or
+/// 2-input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum GateKind {
+    Tie0 = 0,
+    Tie1 = 1,
+    Buf = 2,
+    Inv = 3,
+    And2 = 4,
+    Or2 = 5,
+    Nand2 = 6,
+    Nor2 = 7,
+    Xor2 = 8,
+    Xnor2 = 9,
+    Mux2 = 10,
+}
+
+impl GateKind {
+    /// Number of gate kinds (array sizing).
+    pub const COUNT: usize = 11;
+
+    /// Every gate kind, for iteration.
+    pub const ALL: [GateKind; Self::COUNT] = [
+        GateKind::Tie0,
+        GateKind::Tie1,
+        GateKind::Buf,
+        GateKind::Inv,
+        GateKind::And2,
+        GateKind::Or2,
+        GateKind::Nand2,
+        GateKind::Nor2,
+        GateKind::Xor2,
+        GateKind::Xnor2,
+        GateKind::Mux2,
+    ];
+
+    /// Input arity of the kind.
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Tie0 | GateKind::Tie1 => 0,
+            GateKind::Buf | GateKind::Inv => 1,
+            GateKind::Mux2 => 3,
+            _ => 2,
+        }
+    }
+
+    /// Boolean function of the kind. Unused input slots are ignored.
+    #[inline]
+    pub fn eval(self, a: bool, b: bool, c: bool) -> bool {
+        match self {
+            GateKind::Tie0 => false,
+            GateKind::Tie1 => true,
+            GateKind::Buf => a,
+            GateKind::Inv => !a,
+            GateKind::And2 => a & b,
+            GateKind::Or2 => a | b,
+            GateKind::Nand2 => !(a & b),
+            GateKind::Nor2 => !(a | b),
+            GateKind::Xor2 => a ^ b,
+            GateKind::Xnor2 => !(a ^ b),
+            GateKind::Mux2 => {
+                if a {
+                    c
+                } else {
+                    b
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format!("{self:?}").to_lowercase())
+    }
+}
+
+/// A combinational gate instance. Inputs beyond the kind's arity are
+/// `NetId(0)` placeholders and never read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gate {
+    /// The cell kind.
+    pub kind: GateKind,
+    /// Input nets `[a, b, c]` (see [`GateKind::arity`]).
+    pub inputs: [NetId; 3],
+    /// Output net (single driver).
+    pub output: NetId,
+}
+
+/// A D flip-flop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dff {
+    /// Data input net.
+    pub d: NetId,
+    /// Output net.
+    pub q: NetId,
+    /// Power-on value.
+    pub init: bool,
+    /// Clock domain index (mirrors the RTL design's clock ids).
+    pub clock: u32,
+}
+
+/// An SRAM macro block (memories are kept behavioral; expanding a frame
+/// buffer to flip-flops would be neither realistic nor tractable — real
+/// flows characterize SRAMs as macro cells).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacroMem {
+    /// Read-address nets, LSB first.
+    pub raddr: Vec<NetId>,
+    /// Write-address nets, LSB first.
+    pub waddr: Vec<NetId>,
+    /// Write-data nets, LSB first.
+    pub wdata: Vec<NetId>,
+    /// Write-enable net.
+    pub wen: NetId,
+    /// Registered read-data nets, LSB first.
+    pub rdata: Vec<NetId>,
+    /// Number of words.
+    pub words: u32,
+    /// Initial contents (one value per word).
+    pub init: Vec<u64>,
+    /// Clock domain index.
+    pub clock: u32,
+}
+
+/// A flat gate-level netlist produced by [`crate::expand::expand_design`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateNetlist {
+    name: String,
+    net_count: u32,
+    gates: Vec<Gate>,
+    dffs: Vec<Dff>,
+    mems: Vec<MacroMem>,
+    inputs: Vec<(String, Vec<NetId>)>,
+    outputs: Vec<(String, Vec<NetId>)>,
+}
+
+impl GateNetlist {
+    pub(crate) fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            net_count: 0,
+            gates: Vec::new(),
+            dffs: Vec::new(),
+            mems: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_count as usize
+    }
+
+    /// All combinational gates.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// All flip-flops.
+    pub fn dffs(&self) -> &[Dff] {
+        &self.dffs
+    }
+
+    /// All SRAM macros.
+    pub fn mems(&self) -> &[MacroMem] {
+        &self.mems
+    }
+
+    /// Input buses: port name → nets, LSB first.
+    pub fn inputs(&self) -> &[(String, Vec<NetId>)] {
+        &self.inputs
+    }
+
+    /// Output buses: port name → nets, LSB first.
+    pub fn outputs(&self) -> &[(String, Vec<NetId>)] {
+        &self.outputs
+    }
+
+    /// Gate count excluding ties (headline "gates" number).
+    pub fn logic_gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| !matches!(g.kind, GateKind::Tie0 | GateKind::Tie1))
+            .count()
+    }
+
+    /// Count of gates per kind.
+    pub fn count_by_kind(&self) -> [usize; GateKind::COUNT] {
+        let mut counts = [0usize; GateKind::COUNT];
+        for g in &self.gates {
+            counts[g.kind as usize] += 1;
+        }
+        counts
+    }
+
+    pub(crate) fn fresh_net(&mut self) -> NetId {
+        let id = NetId(self.net_count);
+        self.net_count += 1;
+        id
+    }
+
+    pub(crate) fn push_gate(&mut self, gate: Gate) -> usize {
+        self.gates.push(gate);
+        self.gates.len() - 1
+    }
+
+    pub(crate) fn push_dff(&mut self, dff: Dff) -> usize {
+        self.dffs.push(dff);
+        self.dffs.len() - 1
+    }
+
+    pub(crate) fn push_mem(&mut self, mem: MacroMem) -> usize {
+        self.mems.push(mem);
+        self.mems.len() - 1
+    }
+
+    pub(crate) fn push_input(&mut self, name: String, nets: Vec<NetId>) {
+        self.inputs.push((name, nets));
+    }
+
+    pub(crate) fn push_output(&mut self, name: String, nets: Vec<NetId>) {
+        self.outputs.push((name, nets));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_kind_truth_tables() {
+        use GateKind::*;
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(And2.eval(a, b, false), a & b);
+                assert_eq!(Or2.eval(a, b, false), a | b);
+                assert_eq!(Nand2.eval(a, b, false), !(a & b));
+                assert_eq!(Nor2.eval(a, b, false), !(a | b));
+                assert_eq!(Xor2.eval(a, b, false), a ^ b);
+                assert_eq!(Xnor2.eval(a, b, false), !(a ^ b));
+                for c in [false, true] {
+                    assert_eq!(Mux2.eval(a, b, c), if a { c } else { b });
+                }
+            }
+            assert_eq!(Inv.eval(a, false, false), !a);
+            assert_eq!(Buf.eval(a, false, false), a);
+        }
+        assert!(!Tie0.eval(true, true, true));
+        assert!(Tie1.eval(false, false, false));
+    }
+
+    #[test]
+    fn arities() {
+        assert_eq!(GateKind::Tie0.arity(), 0);
+        assert_eq!(GateKind::Inv.arity(), 1);
+        assert_eq!(GateKind::Nand2.arity(), 2);
+        assert_eq!(GateKind::Mux2.arity(), 3);
+    }
+
+    #[test]
+    fn all_covers_every_kind_once() {
+        let mut seen = [false; GateKind::COUNT];
+        for k in GateKind::ALL {
+            assert!(!seen[k as usize]);
+            seen[k as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(GateKind::Nand2.to_string(), "nand2");
+    }
+}

@@ -1,0 +1,759 @@
+//! FSMD-to-RTL code generation (the "synthesis" half of the substrate).
+//!
+//! The generated structure is the classic controller/datapath split that
+//! Figure 1 of the paper instruments:
+//!
+//! * a binary state register with a state-indexed next-state multiplexer
+//!   network (branches become 2-way muxes on datapath conditions);
+//! * one write-network multiplexer per architectural register, indexed by
+//!   the state, defaulting to the register's own value (hold);
+//! * state-multiplexed memory address/data ports with the write-enable
+//!   realized as a ROM ([`pe_rtl::ComponentKind::Table`]) over the state —
+//!   control signals as lookup tables, as behavioral synthesis emits them;
+//! * **shared multiplier units**: each state's multiplications are bound
+//!   to numbered units, whose operands are state-indexed multiplexers
+//!   (functional-unit binding). Multipliers appearing in continuous
+//!   output expressions are instantiated privately.
+
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::fsmd::{FsmdBuilder, Next};
+use pe_rtl::{ClockId, ComponentKind, Design, DesignError, SignalId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from behavioral synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesisError {
+    /// A state's successor was never specified.
+    UnsetNext {
+        /// The state's name.
+        state: String,
+    },
+    /// A register is assigned twice in one state.
+    DoubleAssign {
+        /// The state's name.
+        state: String,
+        /// The register's name.
+        reg: String,
+    },
+    /// A memory port is used twice in one state.
+    PortConflict {
+        /// The state's name.
+        state: String,
+        /// The memory's name.
+        mem: String,
+    },
+    /// Netlist construction failed.
+    Netlist(DesignError),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::UnsetNext { state } => {
+                write!(f, "state `{state}` has no successor")
+            }
+            SynthesisError::DoubleAssign { state, reg } => {
+                write!(f, "register `{reg}` assigned twice in state `{state}`")
+            }
+            SynthesisError::PortConflict { state, mem } => {
+                write!(f, "memory `{mem}` port used twice in state `{state}`")
+            }
+            SynthesisError::Netlist(e) => write!(f, "netlist construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthesisError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DesignError> for SynthesisError {
+    fn from(e: DesignError) -> Self {
+        SynthesisError::Netlist(e)
+    }
+}
+
+/// A shared multiplier unit being assembled.
+struct MulUnit {
+    a_width: u32,
+    b_width: u32,
+    out_width: u32,
+    /// Per-state operand bindings: `(state, a, b)`.
+    uses: Vec<(u32, SignalId, SignalId)>,
+}
+
+struct Gen<'a> {
+    f: &'a FsmdBuilder,
+    d: Design,
+    clk: ClockId,
+    n: u64,
+    input_sigs: Vec<SignalId>,
+    reg_sigs: Vec<SignalId>,
+    mem_rdata: Vec<SignalId>,
+    state_q: SignalId,
+    units: Vec<MulUnit>,
+    /// Multiplication slots already used in the state being emitted.
+    state_slot: usize,
+    /// Per-state expression memo (cleared between states).
+    memo: HashMap<Expr, SignalId>,
+    /// Pending placeholder slices: `(unit, placeholder, width)`.
+    pending_mul: Vec<(usize, SignalId, u32)>,
+}
+
+impl Gen<'_> {
+    fn name(&mut self, hint: &str) -> String {
+        loop {
+            let name = format!("u_{hint}_{}", self.n);
+            self.n += 1;
+            if self.d.is_name_free(&name) {
+                return name;
+            }
+        }
+    }
+
+    fn sig(&mut self, hint: &str, width: u32) -> Result<SignalId, DesignError> {
+        let name = self.name(hint);
+        self.d.add_signal(name, width)
+    }
+
+    fn comp(
+        &mut self,
+        hint: &str,
+        kind: ComponentKind,
+        ins: &[SignalId],
+        width: u32,
+        clocked: bool,
+    ) -> Result<SignalId, DesignError> {
+        let out = self.sig(&format!("{hint}_o"), width)?;
+        let name = self.name(hint);
+        let clock = clocked.then_some(self.clk);
+        self.d.add_component(name, kind, ins, out, clock)?;
+        Ok(out)
+    }
+
+    fn konst(&mut self, value: u64, width: u32) -> Result<SignalId, DesignError> {
+        self.comp("const", ComponentKind::Const { value }, &[], width, false)
+    }
+
+    /// State-indexed multiplexer, built as a radix-8 tree: FSMDs can have
+    /// a hundred or more states, and a single mux of that arity would be
+    /// an unrealistically wide RTL component (and an unreasonably large
+    /// power-model class). Real write networks decode the state in
+    /// stages; a radix-8 select tree models that while keeping every mux
+    /// at an arity a macromodel characterizes cheaply.
+    fn state_mux(
+        &mut self,
+        entries: &[SignalId],
+        hint: &str,
+    ) -> Result<SignalId, DesignError> {
+        assert_eq!(entries.len(), self.f.states.len());
+        let mut level: Vec<SignalId> = entries.to_vec();
+        let mut offset = 0u32;
+        let state_width = self.d.signal(self.state_q).width();
+        while level.len() > 1 {
+            let sel_bits = 3.min(state_width - offset).max(1);
+            let sel = self.comp(
+                &format!("{hint}_sel"),
+                ComponentKind::Slice { lo: offset },
+                &[self.state_q],
+                sel_bits,
+                false,
+            )?;
+            let group = 1usize << sel_bits;
+            let mut next = Vec::with_capacity(level.len().div_ceil(group));
+            for chunk in level.chunks(group) {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                    continue;
+                }
+                // Deduplicated chunk (common for hold defaults): a mux
+                // whose data inputs are all identical is just a wire.
+                if chunk.iter().all(|&c| c == chunk[0]) {
+                    next.push(chunk[0]);
+                    continue;
+                }
+                let w = self.d.signal(chunk[0]).width();
+                let mut ins = Vec::with_capacity(chunk.len() + 1);
+                ins.push(sel);
+                ins.extend_from_slice(chunk);
+                next.push(self.comp(hint, ComponentKind::Mux, &ins, w, false)?);
+            }
+            level = next;
+            offset += sel_bits;
+        }
+        Ok(level[0])
+    }
+
+    /// Emits an expression. `share_state` enables multiplier binding for
+    /// the given state; `None` instantiates private multipliers
+    /// (continuous output logic).
+    fn emit(&mut self, expr: &Expr, share_state: Option<u32>) -> Result<SignalId, SynthesisError> {
+        if let Some(sig) = self.memo.get(expr) {
+            return Ok(*sig);
+        }
+        let sig = match expr {
+            Expr::Reg(r, w) => {
+                let s = self.reg_sigs[r.0 as usize];
+                debug_assert_eq!(self.d.signal(s).width(), *w, "register width");
+                s
+            }
+            Expr::Input(i, w) => {
+                let s = self.input_sigs[i.0 as usize];
+                debug_assert_eq!(self.d.signal(s).width(), *w, "input width");
+                s
+            }
+            Expr::Const(v, w) => self.konst(*v, *w)?,
+            Expr::MemData(m, w) => {
+                let s = self.mem_rdata[m.0 as usize];
+                debug_assert_eq!(self.d.signal(s).width(), *w, "memory width");
+                s
+            }
+            Expr::Bin(BinOp::Mul, a, b, w) => {
+                let a_sig = self.emit(a, share_state)?;
+                let b_sig = self.emit(b, share_state)?;
+                match share_state {
+                    Some(state) => {
+                        let slot = self.state_slot;
+                        self.state_slot += 1;
+                        if self.units.len() <= slot {
+                            self.units.push(MulUnit {
+                                a_width: 0,
+                                b_width: 0,
+                                out_width: 0,
+                                uses: Vec::new(),
+                            });
+                        }
+                        let unit = &mut self.units[slot];
+                        unit.a_width = unit.a_width.max(a.width());
+                        unit.b_width = unit.b_width.max(b.width());
+                        unit.out_width = unit.out_width.max(*w);
+                        unit.uses.push((state, a_sig, b_sig));
+                        // Placeholder sliced from the unit output later.
+                        let ph = self.sig("mulslot", *w)?;
+                        self.pending_mul.push((slot, ph, *w));
+                        ph
+                    }
+                    None => self.comp("mul", ComponentKind::Mul, &[a_sig, b_sig], *w, false)?,
+                }
+            }
+            Expr::Bin(op, a, b, w) => {
+                let a_sig = self.emit(a, share_state)?;
+                let b_sig = self.emit(b, share_state)?;
+                let kind = match op {
+                    BinOp::Add => ComponentKind::Add,
+                    BinOp::Sub => ComponentKind::Sub,
+                    BinOp::And => ComponentKind::And,
+                    BinOp::Or => ComponentKind::Or,
+                    BinOp::Xor => ComponentKind::Xor,
+                    BinOp::Shl => ComponentKind::Shl,
+                    BinOp::Shr => ComponentKind::Shr,
+                    BinOp::Sar => ComponentKind::Sar,
+                    BinOp::Eq => ComponentKind::Eq,
+                    BinOp::Ne => ComponentKind::Ne,
+                    BinOp::Lt => ComponentKind::Lt,
+                    BinOp::Le => ComponentKind::Le,
+                    BinOp::SLt => ComponentKind::SLt,
+                    BinOp::SLe => ComponentKind::SLe,
+                    BinOp::Mul => unreachable!(),
+                };
+                self.comp("op", kind, &[a_sig, b_sig], *w, false)?
+            }
+            Expr::Un(op, a, w) => {
+                let a_sig = self.emit(a, share_state)?;
+                let kind = match op {
+                    UnOp::Not => ComponentKind::Not,
+                    UnOp::Neg => ComponentKind::Neg,
+                };
+                self.comp("un", kind, &[a_sig], *w, false)?
+            }
+            Expr::Mux(cond, then_, else_, w) => {
+                let c = self.emit(cond, share_state)?;
+                let t = self.emit(then_, share_state)?;
+                let e = self.emit(else_, share_state)?;
+                self.comp("sel", ComponentKind::Mux, &[c, e, t], *w, false)?
+            }
+            Expr::Slice(a, lo, w) => {
+                let a_sig = self.emit(a, share_state)?;
+                self.comp("slice", ComponentKind::Slice { lo: *lo }, &[a_sig], *w, false)?
+            }
+            Expr::ZExt(a, w) => {
+                let a_sig = self.emit(a, share_state)?;
+                if self.d.signal(a_sig).width() == *w {
+                    a_sig
+                } else {
+                    self.comp("zext", ComponentKind::ZeroExt, &[a_sig], *w, false)?
+                }
+            }
+            Expr::SExt(a, w) => {
+                let a_sig = self.emit(a, share_state)?;
+                if self.d.signal(a_sig).width() == *w {
+                    a_sig
+                } else {
+                    self.comp("sext", ComponentKind::SignExt, &[a_sig], *w, false)?
+                }
+            }
+        };
+        self.memo.insert(expr.clone(), sig);
+        Ok(sig)
+    }
+}
+
+/// Lowers an FSMD to structural RTL.
+pub(crate) fn synthesize(f: &FsmdBuilder) -> Result<Design, SynthesisError> {
+    // Static checks first.
+    for state in &f.states {
+        if state.next == Next::Unset {
+            return Err(SynthesisError::UnsetNext {
+                state: state.name.clone(),
+            });
+        }
+        let mut seen_regs = Vec::new();
+        for a in &state.assigns {
+            if seen_regs.contains(&a.dest) {
+                return Err(SynthesisError::DoubleAssign {
+                    state: state.name.clone(),
+                    reg: f.regs[a.dest.0 as usize].name.clone(),
+                });
+            }
+            seen_regs.push(a.dest);
+        }
+        let mut seen_reads = Vec::new();
+        let mut seen_writes = Vec::new();
+        for op in &state.mem_ops {
+            if op.read_addr.is_some() {
+                if seen_reads.contains(&op.mem) {
+                    return Err(SynthesisError::PortConflict {
+                        state: state.name.clone(),
+                        mem: f.mems[op.mem.0 as usize].name.clone(),
+                    });
+                }
+                seen_reads.push(op.mem);
+            }
+            if op.write.is_some() {
+                if seen_writes.contains(&op.mem) {
+                    return Err(SynthesisError::PortConflict {
+                        state: state.name.clone(),
+                        mem: f.mems[op.mem.0 as usize].name.clone(),
+                    });
+                }
+                seen_writes.push(op.mem);
+            }
+        }
+    }
+
+    let mut d = Design::new(f.name.clone());
+    let clk = d.add_clock("clk")?;
+    let n_states = f.states.len().max(1);
+    let state_width = pe_util::bits::clog2(n_states as u64).max(1);
+
+    let input_sigs: Vec<SignalId> = f
+        .inputs
+        .iter()
+        .map(|(name, w)| d.add_input(name, *w))
+        .collect::<Result<_, _>>()?;
+    let reg_sigs: Vec<SignalId> = f
+        .regs
+        .iter()
+        .map(|r| d.add_signal(&r.name, r.width))
+        .collect::<Result<_, _>>()?;
+    let mem_rdata: Vec<SignalId> = f
+        .mems
+        .iter()
+        .map(|m| d.add_signal(format!("{}_rdata", m.name), m.width))
+        .collect::<Result<_, _>>()?;
+    let state_q = d.add_signal("fsm_state", state_width)?;
+
+    let mut gen = Gen {
+        f,
+        d,
+        clk,
+        n: 0,
+        input_sigs,
+        reg_sigs,
+        mem_rdata,
+        state_q,
+        units: Vec::new(),
+        state_slot: 0,
+        memo: HashMap::new(),
+        pending_mul: Vec::new(),
+    };
+
+    // ── Per-state datapath emission ──────────────────────────────────────
+    // reg_entries[r][s] = value signal for register r in state s.
+    let mut reg_entries: Vec<Vec<Option<SignalId>>> =
+        vec![vec![None; n_states]; f.regs.len()];
+    let mut next_entries: Vec<Option<SignalId>> = vec![None; n_states];
+    // Memory port entries.
+    let mut mem_raddr: Vec<Vec<Option<SignalId>>> = vec![vec![None; n_states]; f.mems.len()];
+    let mut mem_waddr: Vec<Vec<Option<SignalId>>> = vec![vec![None; n_states]; f.mems.len()];
+    let mut mem_wdata: Vec<Vec<Option<SignalId>>> = vec![vec![None; n_states]; f.mems.len()];
+    let mut mem_wen: Vec<Vec<bool>> = vec![vec![false; n_states]; f.mems.len()];
+
+    for (s, state) in f.states.iter().enumerate() {
+        gen.memo.clear();
+        gen.state_slot = 0;
+        for assign in &state.assigns {
+            let sig = gen.emit(&assign.expr, Some(s as u32))?;
+            reg_entries[assign.dest.0 as usize][s] = Some(sig);
+        }
+        for op in &state.mem_ops {
+            let m = op.mem.0 as usize;
+            if let Some(addr) = &op.read_addr {
+                let a = gen.emit(&addr.clone().uresize(f_addr_width(f, m)), Some(s as u32))?;
+                mem_raddr[m][s] = Some(a);
+            }
+            if let Some((addr, data)) = &op.write {
+                let a = gen.emit(&addr.clone().uresize(f_addr_width(f, m)), Some(s as u32))?;
+                let v = gen.emit(data, Some(s as u32))?;
+                mem_waddr[m][s] = Some(a);
+                mem_wdata[m][s] = Some(v);
+                mem_wen[m][s] = true;
+            }
+        }
+        let next_sig = match &state.next {
+            Next::Goto(t) => gen.konst(t.0 as u64, state_width)?,
+            Next::Halt => gen.konst(s as u64, state_width)?,
+            Next::Branch { cond, then_, else_ } => {
+                let c = gen.emit(cond, Some(s as u32))?;
+                let t = gen.konst(then_.0 as u64, state_width)?;
+                let e = gen.konst(else_.0 as u64, state_width)?;
+                gen.comp("next", ComponentKind::Mux, &[c, e, t], state_width, false)?
+            }
+            Next::Unset => unreachable!("checked above"),
+        };
+        next_entries[s] = Some(next_sig);
+    }
+    gen.memo.clear();
+
+    // ── Finalize shared multiplier units ─────────────────────────────────
+    let units = std::mem::take(&mut gen.units);
+    let mut unit_outs = Vec::with_capacity(units.len());
+    for (u, unit) in units.iter().enumerate() {
+        let za = gen.konst(0, unit.a_width)?;
+        let zb = gen.konst(0, unit.b_width)?;
+        let mut a_entries = vec![za; n_states];
+        let mut b_entries = vec![zb; n_states];
+        for (state, a, b) in &unit.uses {
+            let aw = gen.d.signal(*a).width();
+            let bw = gen.d.signal(*b).width();
+            a_entries[*state as usize] = if aw == unit.a_width {
+                *a
+            } else {
+                gen.comp("mulop", ComponentKind::ZeroExt, &[*a], unit.a_width, false)?
+            };
+            b_entries[*state as usize] = if bw == unit.b_width {
+                *b
+            } else {
+                gen.comp("mulop", ComponentKind::ZeroExt, &[*b], unit.b_width, false)?
+            };
+        }
+        let a_mux = gen.state_mux(&a_entries, &format!("mul{u}_a"))?;
+        let b_mux = gen.state_mux(&b_entries, &format!("mul{u}_b"))?;
+        let out = gen.comp(
+            &format!("mul_unit{u}"),
+            ComponentKind::Mul,
+            &[a_mux, b_mux],
+            unit.out_width,
+            false,
+        )?;
+        unit_outs.push(out);
+    }
+    let pending = std::mem::take(&mut gen.pending_mul);
+    for (slot, placeholder, width) in pending {
+        // Drive the placeholder from the unit output's low bits.
+        let unit_out = unit_outs[slot];
+        let name = gen.name("mulslice");
+        gen.d.add_component(
+            name,
+            ComponentKind::Slice { lo: 0 },
+            &[unit_out],
+            placeholder,
+            None,
+        )?;
+        debug_assert!(width <= gen.d.signal(unit_out).width());
+    }
+
+    // ── Register write networks ──────────────────────────────────────────
+    for (r, decl) in f.regs.iter().enumerate() {
+        let q = gen.reg_sigs[r];
+        let entries: Vec<SignalId> = reg_entries[r]
+            .iter()
+            .map(|e| e.unwrap_or(q))
+            .collect();
+        let all_hold = reg_entries[r].iter().all(|e| e.is_none());
+        let d_sig = if all_hold {
+            q
+        } else {
+            gen.state_mux(&entries, &format!("{}_wmux", decl.name))?
+        };
+        let reg_name = gen.d.fresh_name(&format!("{}_reg", decl.name));
+        gen.d.add_component(
+            reg_name,
+            ComponentKind::Register {
+                init: decl.init,
+                has_enable: false,
+            },
+            &[d_sig],
+            q,
+            Some(clk),
+        )?;
+    }
+
+    // ── State register ───────────────────────────────────────────────────
+    let next_sigs: Vec<SignalId> = next_entries
+        .into_iter()
+        .map(|e| e.expect("every state emitted"))
+        .collect();
+    let state_next = gen.state_mux(&next_sigs, "fsm_next")?;
+    let fsm_name = gen.d.fresh_name("fsm_reg");
+    gen.d.add_component(
+        fsm_name,
+        ComponentKind::Register {
+            init: 0,
+            has_enable: false,
+        },
+        &[state_next],
+        state_q,
+        Some(clk),
+    )?;
+
+    // ── Memory ports ─────────────────────────────────────────────────────
+    for (m, decl) in f.mems.iter().enumerate() {
+        let aw = f_addr_width(f, m);
+        let zero_a = gen.konst(0, aw)?;
+        let zero_d = gen.konst(0, decl.width)?;
+        let raddr_entries: Vec<SignalId> = mem_raddr[m]
+            .iter()
+            .map(|e| e.unwrap_or(zero_a))
+            .collect();
+        let waddr_entries: Vec<SignalId> = mem_waddr[m]
+            .iter()
+            .map(|e| e.unwrap_or(zero_a))
+            .collect();
+        let wdata_entries: Vec<SignalId> = mem_wdata[m]
+            .iter()
+            .map(|e| e.unwrap_or(zero_d))
+            .collect();
+        let raddr = gen.state_mux(&raddr_entries, &format!("{}_ra", decl.name))?;
+        let waddr = gen.state_mux(&waddr_entries, &format!("{}_wa", decl.name))?;
+        let wdata = gen.state_mux(&wdata_entries, &format!("{}_wd", decl.name))?;
+        // Write enable as a controller ROM over the state.
+        let wen = if f.states.len() == 1 {
+            gen.konst(mem_wen[m][0] as u64, 1)?
+        } else {
+            let mut table = vec![0u64; 1 << state_width];
+            for (s, &w) in mem_wen[m].iter().enumerate() {
+                table[s] = w as u64;
+            }
+            gen.comp(
+                &format!("{}_wen", decl.name),
+                ComponentKind::Table { table },
+                &[state_q],
+                1,
+                false,
+            )?
+        };
+        let mem_name = gen.d.fresh_name(&decl.name);
+        gen.d.add_component(
+            mem_name,
+            ComponentKind::Memory {
+                words: decl.words,
+                init: decl.init.clone(),
+            },
+            &[raddr, waddr, wdata, wen],
+            gen.mem_rdata[m],
+            Some(clk),
+        )?;
+    }
+
+    // ── Outputs (continuous; private multipliers) ────────────────────────
+    for (name, expr) in &f.outputs {
+        let sig = gen.emit(expr, None)?;
+        gen.d.add_output(name, sig)?;
+    }
+    // Expose the state for observability/debug.
+    let state_port = gen.d.fresh_name("fsm_state_out");
+    gen.d.add_output(&state_port, state_q)?;
+
+    gen.d.validate()?;
+    Ok(gen.d)
+}
+
+fn f_addr_width(f: &FsmdBuilder, mem: usize) -> u32 {
+    pe_util::bits::clog2(f.mems[mem].words as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::fsmd::FsmdBuilder;
+    use pe_sim::Simulator;
+
+    #[test]
+    fn accumulator_fsmd_behaves() {
+        let mut f = FsmdBuilder::new("acc");
+        let x = f.input("x", 8);
+        let acc = f.reg("acc", 8, 0);
+        let s = f.state("run");
+        f.set(s, acc, Expr::reg(acc, 8).add(Expr::input(x, 8)));
+        f.goto(s, s);
+        f.output("acc", Expr::reg(acc, 8));
+        let d = f.synthesize().unwrap();
+        let mut sim = Simulator::new(&d).unwrap();
+        sim.set_input_by_name("x", 3);
+        sim.step_n(5);
+        assert_eq!(sim.output("acc"), 15);
+    }
+
+    #[test]
+    fn branching_loop_terminates() {
+        // for i in 0..5 { total += i } then halt
+        let mut f = FsmdBuilder::new("sumto5");
+        let i = f.reg("i", 4, 0);
+        let total = f.reg("total", 8, 0);
+        let body = f.state("body");
+        let done = f.state("done");
+        f.set(body, total, Expr::reg(total, 8).add(Expr::reg(i, 4).zext(8)));
+        f.set(body, i, Expr::reg(i, 4).add(Expr::konst(1, 4)));
+        f.branch(
+            body,
+            Expr::reg(i, 4).eq(Expr::konst(4, 4)),
+            done,
+            body,
+        );
+        f.halt(done);
+        f.output("total", Expr::reg(total, 8));
+        let d = f.synthesize().unwrap();
+        let mut sim = Simulator::new(&d).unwrap();
+        sim.step_n(20);
+        assert_eq!(sim.output("total"), 0 + 1 + 2 + 3 + 4);
+        // State parked in `done` (index 1).
+        assert_eq!(sim.output("fsm_state_out"), 1);
+    }
+
+    #[test]
+    fn memory_read_write_round_trip() {
+        // Write 7 to address 2, read it back into a register.
+        let mut f = FsmdBuilder::new("memrw");
+        let m = f.mem("scratch", 8, 8, None);
+        let r = f.reg("r", 8, 0);
+        let write = f.state("write");
+        let read = f.state("read");
+        let capture = f.state("capture");
+        let done = f.state("done");
+        f.mem_write(write, m, Expr::konst(2, 3), Expr::konst(7, 8));
+        f.goto(write, read);
+        f.mem_read(read, m, Expr::konst(2, 3));
+        f.goto(read, capture);
+        f.set(capture, r, Expr::mem_data(m, 8));
+        f.goto(capture, done);
+        f.halt(done);
+        f.output("r", Expr::reg(r, 8));
+        let d = f.synthesize().unwrap();
+        let mut sim = Simulator::new(&d).unwrap();
+        sim.step_n(6);
+        assert_eq!(sim.output("r"), 7);
+    }
+
+    #[test]
+    fn multiplier_sharing_across_states() {
+        // Two states each multiply — one shared unit must appear.
+        let mut f = FsmdBuilder::new("share");
+        let a = f.input("a", 8);
+        let r1 = f.reg("r1", 16, 0);
+        let r2 = f.reg("r2", 16, 0);
+        let s1 = f.state("s1");
+        let s2 = f.state("s2");
+        let done = f.state("done");
+        let ax = |w| Expr::input(a, 8).zext(w);
+        f.set(s1, r1, ax(16).mul(Expr::konst(3, 16), 16));
+        f.goto(s1, s2);
+        f.set(s2, r2, ax(16).mul(Expr::konst(5, 16), 16));
+        f.goto(s2, done);
+        f.halt(done);
+        f.output("r1", Expr::reg(r1, 16));
+        f.output("r2", Expr::reg(r2, 16));
+        let d = f.synthesize().unwrap();
+        let muls = d
+            .components()
+            .iter()
+            .filter(|c| matches!(c.kind(), ComponentKind::Mul))
+            .count();
+        assert_eq!(muls, 1, "expected one shared multiplier, got {muls}");
+        let mut sim = Simulator::new(&d).unwrap();
+        sim.set_input_by_name("a", 7);
+        sim.step_n(4);
+        assert_eq!(sim.output("r1"), 21);
+        assert_eq!(sim.output("r2"), 35);
+    }
+
+    #[test]
+    fn two_muls_in_one_state_need_two_units() {
+        let mut f = FsmdBuilder::new("two");
+        let a = f.input("a", 8);
+        let r = f.reg("r", 16, 0);
+        let s = f.state("s");
+        let ax = Expr::input(a, 8).zext(16);
+        let m1 = ax.clone().mul(Expr::konst(3, 16), 16);
+        let m2 = ax.mul(Expr::konst(5, 16), 16);
+        f.set(s, r, m1.add(m2));
+        f.goto(s, s);
+        f.output("r", Expr::reg(r, 16));
+        let d = f.synthesize().unwrap();
+        let muls = d
+            .components()
+            .iter()
+            .filter(|c| matches!(c.kind(), ComponentKind::Mul))
+            .count();
+        assert_eq!(muls, 2);
+        let mut sim = Simulator::new(&d).unwrap();
+        sim.set_input_by_name("a", 2);
+        sim.step();
+        assert_eq!(sim.output("r"), 6 + 10);
+    }
+
+    #[test]
+    fn unset_next_is_rejected() {
+        let mut f = FsmdBuilder::new("bad");
+        let _s = f.state("s");
+        assert!(matches!(
+            f.synthesize(),
+            Err(SynthesisError::UnsetNext { .. })
+        ));
+    }
+
+    #[test]
+    fn double_assign_is_rejected() {
+        let mut f = FsmdBuilder::new("bad");
+        let r = f.reg("r", 4, 0);
+        let s = f.state("s");
+        f.set(s, r, Expr::konst(1, 4));
+        f.set(s, r, Expr::konst(2, 4));
+        f.goto(s, s);
+        assert!(matches!(
+            f.synthesize(),
+            Err(SynthesisError::DoubleAssign { .. })
+        ));
+    }
+
+    #[test]
+    fn port_conflict_is_rejected() {
+        let mut f = FsmdBuilder::new("bad");
+        let m = f.mem("m", 4, 4, None);
+        let s = f.state("s");
+        f.mem_read(s, m, Expr::konst(0, 2));
+        f.mem_read(s, m, Expr::konst(1, 2));
+        f.goto(s, s);
+        assert!(matches!(
+            f.synthesize(),
+            Err(SynthesisError::PortConflict { .. })
+        ));
+    }
+}

@@ -1,0 +1,475 @@
+//! Untimed dataflow graphs and resource-constrained list scheduling.
+//!
+//! The second half of the behavioral-synthesis substrate: a computation is
+//! described as a dataflow graph ([`Dfg`]) whose sources are expressions
+//! over the enclosing FSMD's stable state (inputs, registers); the list
+//! scheduler ([`schedule`]) assigns every operation a cycle under per-cycle
+//! resource budgets (multipliers, adders); and [`lower`] materializes the
+//! schedule as a chain of FSMD states with a register per produced value —
+//! a fully registered datapath.
+//!
+//! Because the FSMD code generator binds each state's multiplications onto
+//! shared units, a budget of `m` multipliers per cycle yields at most `m`
+//! physical multipliers in the synthesized RTL: scheduling *is* binding.
+
+use crate::expr::{BinOp, Expr, RegId, StateId, UnOp};
+use crate::fsmd::FsmdBuilder;
+use std::collections::HashMap;
+
+/// Node handle within a [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(u32);
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// An expression over the enclosing FSMD's stable state, available in
+    /// every cycle.
+    Source(Expr),
+    /// Binary operation on two nodes.
+    Bin(BinOp, NodeId, NodeId, u32),
+    /// Unary operation.
+    Un(UnOp, NodeId, u32),
+}
+
+/// An untimed dataflow graph.
+#[derive(Debug, Clone, Default)]
+pub struct Dfg {
+    nodes: Vec<Node>,
+}
+
+impl Dfg {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a source: an expression over FSMD inputs/registers that is
+    /// stable for the duration of the computation.
+    pub fn source(&mut self, expr: Expr) -> NodeId {
+        self.nodes.push(Node::Source(expr));
+        NodeId(self.nodes.len() as u32 - 1)
+    }
+
+    fn push_bin(&mut self, op: BinOp, a: NodeId, b: NodeId, w: u32) -> NodeId {
+        self.nodes.push(Node::Bin(op, a, b, w));
+        NodeId(self.nodes.len() as u32 - 1)
+    }
+
+    /// Result width of a node.
+    pub fn width(&self, n: NodeId) -> u32 {
+        match &self.nodes[n.0 as usize] {
+            Node::Source(e) => e.width(),
+            Node::Bin(_, _, _, w) | Node::Un(_, _, w) => *w,
+        }
+    }
+
+    /// `a + b` (equal widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        assert_eq!(self.width(a), self.width(b), "add width mismatch");
+        let w = self.width(a);
+        self.push_bin(BinOp::Add, a, b, w)
+    }
+
+    /// `a - b` (equal widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        assert_eq!(self.width(a), self.width(b), "sub width mismatch");
+        let w = self.width(a);
+        self.push_bin(BinOp::Sub, a, b, w)
+    }
+
+    /// `a * b` truncated to `out_width`.
+    pub fn mul(&mut self, a: NodeId, b: NodeId, out_width: u32) -> NodeId {
+        self.push_bin(BinOp::Mul, a, b, out_width)
+    }
+
+    /// Arithmetic shift right by a constant (emitted as a `Sar` with a
+    /// constant source).
+    pub fn sar_const(&mut self, a: NodeId, amount: u32) -> NodeId {
+        let w = self.width(a);
+        let amt_w = pe_util::bits::bit_width(amount as u64).max(1);
+        let amt = self.source(Expr::konst(amount as u64, amt_w));
+        self.push_bin(BinOp::Sar, a, amt, w)
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&mut self, a: NodeId) -> NodeId {
+        let w = self.width(a);
+        self.nodes.push(Node::Un(UnOp::Neg, a, w));
+        NodeId(self.nodes.len() as u32 - 1)
+    }
+
+    fn preds(&self, n: NodeId) -> Vec<NodeId> {
+        match &self.nodes[n.0 as usize] {
+            Node::Source(_) => Vec::new(),
+            Node::Bin(_, a, b, _) => vec![*a, *b],
+            Node::Un(_, a, _) => vec![*a],
+        }
+    }
+
+    fn is_op(&self, n: NodeId) -> bool {
+        !matches!(self.nodes[n.0 as usize], Node::Source(_))
+    }
+}
+
+/// Per-cycle resource budget for the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceBudget {
+    /// Multipliers available per cycle.
+    pub multipliers: u32,
+    /// Adders/subtractors available per cycle.
+    pub adders: u32,
+}
+
+impl Default for ResourceBudget {
+    fn default() -> Self {
+        Self {
+            multipliers: 1,
+            adders: 2,
+        }
+    }
+}
+
+/// A computed schedule: the cycle (1-based) of every node; sources are
+/// cycle 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    cycle_of: Vec<u32>,
+    length: u32,
+}
+
+impl Schedule {
+    /// The cycle assigned to a node (0 for sources).
+    pub fn cycle(&self, n: NodeId) -> u32 {
+        self.cycle_of[n.0 as usize]
+    }
+
+    /// Total number of compute cycles.
+    pub fn length(&self) -> u32 {
+        self.length
+    }
+}
+
+fn resource_class(op: &Node) -> Option<usize> {
+    match op {
+        Node::Bin(BinOp::Mul, ..) => Some(0),
+        Node::Bin(BinOp::Add | BinOp::Sub, ..) => Some(1),
+        _ => None, // logic/shift/compare: effectively free
+    }
+}
+
+/// Resource-constrained list scheduling with longest-path-to-sink
+/// priority. Operations take one cycle; an operation may start once all
+/// its predecessors finished in strictly earlier cycles.
+pub fn schedule(dfg: &Dfg, budget: &ResourceBudget) -> Schedule {
+    let n = dfg.len();
+    // Priority: longest path to any sink (computed backwards).
+    let mut height = vec![0u32; n];
+    for i in (0..n).rev() {
+        let id = NodeId(i as u32);
+        for p in dfg.preds(id) {
+            let h = height[i] + 1;
+            if height[p.0 as usize] < h {
+                height[p.0 as usize] = h;
+            }
+        }
+    }
+    let limits = [budget.multipliers.max(1), budget.adders.max(1)];
+    let mut cycle_of = vec![0u32; n];
+    let mut scheduled = vec![false; n];
+    for i in 0..n {
+        if !dfg.is_op(NodeId(i as u32)) {
+            scheduled[i] = true; // sources at cycle 0
+        }
+    }
+    let mut remaining: usize = scheduled.iter().filter(|&&s| !s).count();
+    let mut cycle = 0u32;
+    while remaining > 0 {
+        cycle += 1;
+        let mut used = [0u32; 2];
+        // Ready ops, highest priority first (stable by index for ties).
+        let mut ready: Vec<usize> = (0..n)
+            .filter(|&i| {
+                !scheduled[i]
+                    && dfg
+                        .preds(NodeId(i as u32))
+                        .iter()
+                        .all(|p| scheduled[p.0 as usize] && cycle_of[p.0 as usize] < cycle)
+            })
+            .collect();
+        ready.sort_by_key(|&i| std::cmp::Reverse(height[i]));
+        for i in ready {
+            let class = resource_class(&dfg.nodes[i]);
+            if let Some(c) = class {
+                if used[c] >= limits[c] {
+                    continue;
+                }
+                used[c] += 1;
+            }
+            cycle_of[i] = cycle;
+            scheduled[i] = true;
+            remaining -= 1;
+        }
+    }
+    Schedule {
+        cycle_of,
+        length: cycle,
+    }
+}
+
+/// The FSMD states and result registers produced by [`lower`].
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// First compute state (jump here to start the computation).
+    pub entry: StateId,
+    /// Last compute state (set its successor to continue).
+    pub exit: StateId,
+    results: HashMap<NodeId, (RegId, u32)>,
+}
+
+impl Lowered {
+    /// The register holding a node's result, valid in states after the
+    /// node's scheduled cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics for source nodes (read the source expression instead).
+    pub fn result(&self, n: NodeId) -> Expr {
+        let (reg, width) = self.results[&n];
+        Expr::reg(reg, width)
+    }
+}
+
+/// Materializes a scheduled dataflow graph as a chain of FSMD states,
+/// allocating one result register per operation (`{prefix}_n<k>`).
+/// The caller wires control into `entry` and out of `exit`.
+pub fn lower(
+    f: &mut FsmdBuilder,
+    dfg: &Dfg,
+    sched: &Schedule,
+    prefix: &str,
+) -> Lowered {
+    // Result registers for every op node.
+    let mut results: HashMap<NodeId, (RegId, u32)> = HashMap::new();
+    for i in 0..dfg.len() {
+        let id = NodeId(i as u32);
+        if dfg.is_op(id) {
+            let w = dfg.width(id);
+            let reg = f.reg(&format!("{prefix}_n{i}"), w, 0);
+            results.insert(id, (reg, w));
+        }
+    }
+    // Chain of states.
+    let states: Vec<StateId> = (1..=sched.length().max(1))
+        .map(|c| f.state(&format!("{prefix}_c{c}")))
+        .collect();
+    for w in states.windows(2) {
+        f.goto(w[0], w[1]);
+    }
+    // Operand expression for an op scheduled in some later cycle.
+    let operand = |dfg: &Dfg, results: &HashMap<NodeId, (RegId, u32)>, p: NodeId| -> Expr {
+        match &dfg.nodes[p.0 as usize] {
+            Node::Source(e) => e.clone(),
+            _ => {
+                let (reg, width) = results[&p];
+                Expr::reg(reg, width)
+            }
+        }
+    };
+    for i in 0..dfg.len() {
+        let id = NodeId(i as u32);
+        if !dfg.is_op(id) {
+            continue;
+        }
+        let state = states[(sched.cycle(id) - 1) as usize];
+        let (dest, w) = results[&id];
+        let expr = match &dfg.nodes[i] {
+            Node::Bin(op, a, b, _) => {
+                let ea = operand(dfg, &results, *a);
+                let eb = operand(dfg, &results, *b);
+                match op {
+                    BinOp::Add => ea.add(eb),
+                    BinOp::Sub => ea.sub(eb),
+                    BinOp::Mul => ea.mul(eb, w),
+                    BinOp::And => ea.and(eb),
+                    BinOp::Or => ea.or(eb),
+                    BinOp::Xor => ea.xor(eb),
+                    BinOp::Shl => ea.shl(eb),
+                    BinOp::Shr => ea.shr(eb),
+                    BinOp::Sar => ea.sar(eb),
+                    BinOp::Eq => ea.eq(eb),
+                    BinOp::Ne => ea.ne(eb),
+                    BinOp::Lt => ea.lt(eb),
+                    BinOp::Le => ea.le(eb),
+                    BinOp::SLt => ea.slt(eb),
+                    BinOp::SLe => ea.sle(eb),
+                }
+            }
+            Node::Un(op, a, _) => {
+                let ea = operand(dfg, &results, *a);
+                match op {
+                    UnOp::Not => ea.not(),
+                    UnOp::Neg => ea.neg(),
+                }
+            }
+            Node::Source(_) => unreachable!(),
+        };
+        f.set(state, dest, expr);
+    }
+    Lowered {
+        entry: states[0],
+        exit: *states.last().expect("at least one state"),
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_rtl::ComponentKind;
+    use pe_sim::Simulator;
+
+    /// Builds `(a+b) * (a-b) + a*b` over two 8-bit inputs, 16-bit math.
+    fn test_graph(f: &mut FsmdBuilder) -> (Dfg, NodeId) {
+        let a = f.input("a", 8);
+        let b = f.input("b", 8);
+        let mut g = Dfg::new();
+        let sa = g.source(Expr::input(a, 8).zext(16));
+        let sb = g.source(Expr::input(b, 8).zext(16));
+        let sum = g.add(sa, sb);
+        let diff = g.sub(sa, sb);
+        let p1 = g.mul(sum, diff, 16);
+        let p2 = g.mul(sa, sb, 16);
+        let out = g.add(p1, p2);
+        (g, out)
+    }
+
+    #[test]
+    fn schedule_respects_dependencies_and_budget() {
+        let mut f = FsmdBuilder::new("t");
+        let (g, out) = test_graph(&mut f);
+        let budget = ResourceBudget {
+            multipliers: 1,
+            adders: 2,
+        };
+        let s = schedule(&g, &budget);
+        // p2 and p1 cannot share a cycle (1 multiplier).
+        let muls: Vec<u32> = (0..g.len() as u32)
+            .map(NodeId)
+            .filter(|&n| matches!(g.nodes[n.0 as usize], Node::Bin(BinOp::Mul, ..)))
+            .map(|n| s.cycle(n))
+            .collect();
+        assert_eq!(muls.len(), 2);
+        assert_ne!(muls[0], muls[1]);
+        // Dependencies: every op after its predecessors.
+        for i in 0..g.len() as u32 {
+            let id = NodeId(i);
+            if g.is_op(id) {
+                for p in g.preds(id) {
+                    assert!(s.cycle(p) < s.cycle(id));
+                }
+            }
+        }
+        assert!(s.cycle(out) == s.length());
+    }
+
+    #[test]
+    fn lowered_graph_computes_and_shares_multiplier() {
+        let mut f = FsmdBuilder::new("poly");
+        let (g, out) = test_graph(&mut f);
+        let s = schedule(
+            &g,
+            &ResourceBudget {
+                multipliers: 1,
+                adders: 2,
+            },
+        );
+        let lowered = lower(&mut f, &g, &s, "dfg");
+        let done = f.state("done");
+        f.goto(lowered.exit, done);
+        f.halt(done);
+        f.output("y", lowered.result(out));
+        let d = f.synthesize().unwrap();
+
+        // Budget of one multiplier per cycle → exactly one physical unit.
+        let muls = d
+            .components()
+            .iter()
+            .filter(|c| matches!(c.kind(), ComponentKind::Mul))
+            .count();
+        assert_eq!(muls, 1);
+
+        let mut sim = Simulator::new(&d).unwrap();
+        sim.set_input_by_name("a", 9);
+        sim.set_input_by_name("b", 4);
+        sim.step_n(10);
+        // (9+4)*(9-4) + 9*4 = 65 + 36 = 101
+        assert_eq!(sim.output("y"), 101);
+    }
+
+    #[test]
+    fn more_multipliers_shorten_schedule() {
+        let mut f = FsmdBuilder::new("t");
+        let a = f.input("a", 8);
+        let mut g = Dfg::new();
+        let src = g.source(Expr::input(a, 8).zext(16));
+        // Four independent multiplications.
+        let ms: Vec<NodeId> = (0..4).map(|_| g.mul(src, src, 16)).collect();
+        let s1 = schedule(
+            &g,
+            &ResourceBudget {
+                multipliers: 1,
+                adders: 1,
+            },
+        );
+        let s4 = schedule(
+            &g,
+            &ResourceBudget {
+                multipliers: 4,
+                adders: 1,
+            },
+        );
+        assert_eq!(s1.length(), 4);
+        assert_eq!(s4.length(), 1);
+        let _ = ms;
+    }
+
+    #[test]
+    fn sar_const_and_neg_nodes() {
+        let mut f = FsmdBuilder::new("t");
+        let a = f.input("a", 8);
+        let mut g = Dfg::new();
+        let src = g.source(Expr::input(a, 8).sext(16));
+        let sh = g.sar_const(src, 2);
+        let n = g.neg(sh);
+        let s = schedule(&g, &ResourceBudget::default());
+        let lowered = lower(&mut f, &g, &s, "k");
+        let done = f.state("done");
+        f.goto(lowered.exit, done);
+        f.halt(done);
+        f.output("y", lowered.result(n));
+        let d = f.synthesize().unwrap();
+        let mut sim = Simulator::new(&d).unwrap();
+        sim.set_input_by_name("a", 0xF0); // -16 signed
+        sim.step_n(6);
+        // -16 >> 2 = -4; neg = 4
+        assert_eq!(sim.output("y"), 4);
+    }
+}

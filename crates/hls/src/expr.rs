@@ -1,0 +1,351 @@
+//! Combinational expressions over FSMD state.
+//!
+//! Every [`Expr`] carries its result width explicitly; arithmetic helpers
+//! panic on width mismatches at construction time (an FSMD is static data,
+//! so mismatches are authoring bugs).
+
+/// Handle to an FSMD register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegId(pub(crate) u32);
+
+/// Handle to an FSMD input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InputId(pub(crate) u32);
+
+/// Handle to an FSMD memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemId(pub(crate) u32);
+
+/// Handle to an FSMD state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateId(pub(crate) u32);
+
+/// Binary operators (widths follow [`pe_rtl::ComponentKind`] semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sar,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    SLt,
+    SLe,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Not,
+    Neg,
+}
+
+/// A combinational expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Current value of a register.
+    Reg(RegId, u32),
+    /// Current value of a top-level input.
+    Input(InputId, u32),
+    /// Constant.
+    Const(u64, u32),
+    /// Registered read-data output of a memory (valid one state after the
+    /// read was issued with
+    /// [`crate::fsmd::FsmdBuilder::mem_read`]).
+    MemData(MemId, u32),
+    /// Binary operation; the width is the result width.
+    Bin(BinOp, Box<Expr>, Box<Expr>, u32),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>, u32),
+    /// Two-way select: `cond ? then : else` (cond is 1 bit).
+    Mux(Box<Expr>, Box<Expr>, Box<Expr>, u32),
+    /// Bit-field extraction.
+    Slice(Box<Expr>, u32, u32),
+    /// Zero extension.
+    ZExt(Box<Expr>, u32),
+    /// Sign extension.
+    SExt(Box<Expr>, u32),
+}
+
+impl Expr {
+    /// Register value.
+    pub fn reg(r: RegId, width: u32) -> Expr {
+        Expr::Reg(r, width)
+    }
+
+    /// Input value.
+    pub fn input(i: InputId, width: u32) -> Expr {
+        Expr::Input(i, width)
+    }
+
+    /// Constant value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit the width.
+    pub fn konst(value: u64, width: u32) -> Expr {
+        assert!(
+            width >= 1 && width <= 64 && value <= pe_util::bits::mask(width),
+            "constant {value:#x} does not fit {width} bits"
+        );
+        Expr::Const(value, width)
+    }
+
+    /// Memory read-data value.
+    pub fn mem_data(m: MemId, width: u32) -> Expr {
+        Expr::MemData(m, width)
+    }
+
+    /// Result width of this expression.
+    pub fn width(&self) -> u32 {
+        match self {
+            Expr::Reg(_, w)
+            | Expr::Input(_, w)
+            | Expr::Const(_, w)
+            | Expr::MemData(_, w)
+            | Expr::Bin(_, _, _, w)
+            | Expr::Un(_, _, w)
+            | Expr::Mux(_, _, _, w)
+            | Expr::Slice(_, _, w)
+            | Expr::ZExt(_, w)
+            | Expr::SExt(_, w) => *w,
+        }
+    }
+
+    fn bin_same_width(self, op: BinOp, rhs: Expr) -> Expr {
+        assert_eq!(
+            self.width(),
+            rhs.width(),
+            "{op:?} operands must share a width"
+        );
+        let w = self.width();
+        Expr::Bin(op, Box::new(self), Box::new(rhs), w)
+    }
+
+    fn cmp(self, op: BinOp, rhs: Expr) -> Expr {
+        assert_eq!(
+            self.width(),
+            rhs.width(),
+            "{op:?} operands must share a width"
+        );
+        Expr::Bin(op, Box::new(self), Box::new(rhs), 1)
+    }
+
+    /// `self + rhs` (same width, wrapping).
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.bin_same_width(BinOp::Add, rhs)
+    }
+
+    /// `self - rhs` (same width, wrapping).
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.bin_same_width(BinOp::Sub, rhs)
+    }
+
+    /// `self * rhs`, truncated to `out_width` bits.
+    pub fn mul(self, rhs: Expr, out_width: u32) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(self), Box::new(rhs), out_width)
+    }
+
+    /// Bitwise AND.
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.bin_same_width(BinOp::And, rhs)
+    }
+
+    /// Bitwise OR.
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.bin_same_width(BinOp::Or, rhs)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(self, rhs: Expr) -> Expr {
+        self.bin_same_width(BinOp::Xor, rhs)
+    }
+
+    /// Logical shift left by a dynamic amount.
+    pub fn shl(self, amount: Expr) -> Expr {
+        let w = self.width();
+        Expr::Bin(BinOp::Shl, Box::new(self), Box::new(amount), w)
+    }
+
+    /// Logical shift right by a dynamic amount.
+    pub fn shr(self, amount: Expr) -> Expr {
+        let w = self.width();
+        Expr::Bin(BinOp::Shr, Box::new(self), Box::new(amount), w)
+    }
+
+    /// Arithmetic shift right by a dynamic amount.
+    pub fn sar(self, amount: Expr) -> Expr {
+        let w = self.width();
+        Expr::Bin(BinOp::Sar, Box::new(self), Box::new(amount), w)
+    }
+
+    /// Equality (1-bit result).
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.cmp(BinOp::Eq, rhs)
+    }
+
+    /// Inequality (1-bit result).
+    pub fn ne(self, rhs: Expr) -> Expr {
+        self.cmp(BinOp::Ne, rhs)
+    }
+
+    /// Unsigned less-than (1-bit result).
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.cmp(BinOp::Lt, rhs)
+    }
+
+    /// Unsigned less-or-equal (1-bit result).
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.cmp(BinOp::Le, rhs)
+    }
+
+    /// Signed less-than (1-bit result).
+    pub fn slt(self, rhs: Expr) -> Expr {
+        self.cmp(BinOp::SLt, rhs)
+    }
+
+    /// Signed less-or-equal (1-bit result).
+    pub fn sle(self, rhs: Expr) -> Expr {
+        self.cmp(BinOp::SLe, rhs)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(self) -> Expr {
+        let w = self.width();
+        Expr::Un(UnOp::Not, Box::new(self), w)
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(self) -> Expr {
+        let w = self.width();
+        Expr::Un(UnOp::Neg, Box::new(self), w)
+    }
+
+    /// `cond ? then : self` — select with this expression as the `else`
+    /// arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cond` is 1 bit and the arms share a width.
+    pub fn select(self, cond: Expr, then: Expr) -> Expr {
+        assert_eq!(cond.width(), 1, "select condition must be 1 bit");
+        assert_eq!(self.width(), then.width(), "select arms must share width");
+        let w = self.width();
+        Expr::Mux(Box::new(cond), Box::new(then), Box::new(self), w)
+    }
+
+    /// Bit-field `self[lo .. lo + width]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field exceeds the operand.
+    pub fn slice(self, lo: u32, width: u32) -> Expr {
+        assert!(
+            lo + width <= self.width(),
+            "slice [{lo}..{}] exceeds {} bits",
+            lo + width,
+            self.width()
+        );
+        Expr::Slice(Box::new(self), lo, width)
+    }
+
+    /// Zero extension (or pass-through at equal width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if narrowing.
+    pub fn zext(self, width: u32) -> Expr {
+        assert!(width >= self.width(), "zext cannot narrow");
+        Expr::ZExt(Box::new(self), width)
+    }
+
+    /// Sign extension (or pass-through at equal width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if narrowing.
+    pub fn sext(self, width: u32) -> Expr {
+        assert!(width >= self.width(), "sext cannot narrow");
+        Expr::SExt(Box::new(self), width)
+    }
+
+    /// Unsigned resize: zero-extend or truncate as needed.
+    pub fn uresize(self, width: u32) -> Expr {
+        use std::cmp::Ordering;
+        match self.width().cmp(&width) {
+            Ordering::Less => self.zext(width),
+            Ordering::Equal => self,
+            Ordering::Greater => self.slice(0, width),
+        }
+    }
+
+    /// Signed resize: sign-extend or truncate as needed.
+    pub fn sresize(self, width: u32) -> Expr {
+        use std::cmp::Ordering;
+        match self.width().cmp(&width) {
+            Ordering::Less => self.sext(width),
+            Ordering::Equal => self,
+            Ordering::Greater => self.slice(0, width),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_propagate() {
+        let a = Expr::konst(5, 8);
+        let b = Expr::konst(3, 8);
+        assert_eq!(a.clone().add(b.clone()).width(), 8);
+        assert_eq!(a.clone().mul(b.clone(), 16).width(), 16);
+        assert_eq!(a.clone().lt(b.clone()).width(), 1);
+        assert_eq!(a.clone().slice(2, 3).width(), 3);
+        assert_eq!(a.clone().zext(12).width(), 12);
+        assert_eq!(a.clone().uresize(4).width(), 4);
+        assert_eq!(b.sresize(16).width(), 16);
+        assert_eq!(a.not().width(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a width")]
+    fn mismatched_add_panics() {
+        let _ = Expr::konst(1, 8).add(Expr::konst(1, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_const_panics() {
+        let _ = Expr::konst(256, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 1 bit")]
+    fn wide_select_condition_panics() {
+        let c = Expr::konst(3, 2);
+        let _ = Expr::konst(0, 8).select(c, Expr::konst(1, 8));
+    }
+
+    #[test]
+    fn select_arm_order() {
+        // `else_.select(cond, then)` keeps the receiver as the else arm.
+        let sel = Expr::konst(7, 8).select(Expr::konst(1, 1), Expr::konst(9, 8));
+        match sel {
+            Expr::Mux(_, then, els, _) => {
+                assert_eq!(*then, Expr::konst(9, 8));
+                assert_eq!(*els, Expr::konst(7, 8));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

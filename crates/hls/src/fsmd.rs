@@ -1,0 +1,269 @@
+//! The FSMD (finite-state machine with datapath) behavioral model.
+
+use crate::codegen::SynthesisError;
+use crate::expr::{Expr, InputId, MemId, RegId, StateId};
+use pe_rtl::Design;
+
+/// A register declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RegDecl {
+    pub name: String,
+    pub width: u32,
+    pub init: u64,
+}
+
+/// A memory declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct MemDecl {
+    pub name: String,
+    pub words: u32,
+    pub width: u32,
+    pub init: Option<Vec<u64>>,
+}
+
+/// One register transfer in a state: `dest <= expr`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Assign {
+    pub dest: RegId,
+    pub expr: Expr,
+}
+
+/// One memory operation in a state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct MemOp {
+    pub mem: MemId,
+    pub read_addr: Option<Expr>,
+    pub write: Option<(Expr, Expr)>, // (addr, data)
+}
+
+/// Control-flow successor of a state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Next {
+    /// Unconditional transition.
+    Goto(StateId),
+    /// Two-way branch on a 1-bit condition.
+    Branch {
+        cond: Expr,
+        then_: StateId,
+        else_: StateId,
+    },
+    /// Stay in this state forever.
+    Halt,
+    /// Not yet specified (an error at synthesis time).
+    Unset,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct State {
+    pub name: String,
+    pub assigns: Vec<Assign>,
+    pub mem_ops: Vec<MemOp>,
+    pub next: Next,
+}
+
+/// Builder for FSMD behavioral descriptions — the authoring surface for
+/// the benchmark designs. See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct FsmdBuilder {
+    pub(crate) name: String,
+    pub(crate) inputs: Vec<(String, u32)>,
+    pub(crate) outputs: Vec<(String, Expr)>,
+    pub(crate) regs: Vec<RegDecl>,
+    pub(crate) mems: Vec<MemDecl>,
+    pub(crate) states: Vec<State>,
+}
+
+impl FsmdBuilder {
+    /// Starts an FSMD description.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            regs: Vec::new(),
+            mems: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+
+    /// Declares a top-level input.
+    pub fn input(&mut self, name: &str, width: u32) -> InputId {
+        self.inputs.push((name.to_string(), width));
+        InputId(self.inputs.len() as u32 - 1)
+    }
+
+    /// Declares a register with a power-on value.
+    pub fn reg(&mut self, name: &str, width: u32, init: u64) -> RegId {
+        self.regs.push(RegDecl {
+            name: name.to_string(),
+            width,
+            init,
+        });
+        RegId(self.regs.len() as u32 - 1)
+    }
+
+    /// Declares a memory (synchronous read and write).
+    pub fn mem(&mut self, name: &str, words: u32, width: u32, init: Option<Vec<u64>>) -> MemId {
+        self.mems.push(MemDecl {
+            name: name.to_string(),
+            words,
+            width,
+            init,
+        });
+        MemId(self.mems.len() as u32 - 1)
+    }
+
+    /// Declares a state. The first declared state is the reset state.
+    pub fn state(&mut self, name: &str) -> StateId {
+        self.states.push(State {
+            name: name.to_string(),
+            assigns: Vec::new(),
+            mem_ops: Vec::new(),
+            next: Next::Unset,
+        });
+        StateId(self.states.len() as u32 - 1)
+    }
+
+    /// Adds a register transfer `dest <= expr` executed when leaving
+    /// `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression width does not match the register.
+    pub fn set(&mut self, state: StateId, dest: RegId, expr: Expr) {
+        assert_eq!(
+            expr.width(),
+            self.regs[dest.0 as usize].width,
+            "assignment width mismatch for `{}`",
+            self.regs[dest.0 as usize].name
+        );
+        self.states[state.0 as usize].assigns.push(Assign { dest, expr });
+    }
+
+    /// Issues a memory read in `state`; the data is available as
+    /// [`Expr::mem_data`] in the *following* state (synchronous read).
+    pub fn mem_read(&mut self, state: StateId, mem: MemId, addr: Expr) {
+        self.states[state.0 as usize].mem_ops.push(MemOp {
+            mem,
+            read_addr: Some(addr),
+            write: None,
+        });
+    }
+
+    /// Issues a memory write in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data width does not match the memory.
+    pub fn mem_write(&mut self, state: StateId, mem: MemId, addr: Expr, data: Expr) {
+        assert_eq!(
+            data.width(),
+            self.mems[mem.0 as usize].width,
+            "write width mismatch for `{}`",
+            self.mems[mem.0 as usize].name
+        );
+        self.states[state.0 as usize].mem_ops.push(MemOp {
+            mem,
+            read_addr: None,
+            write: Some((addr, data)),
+        });
+    }
+
+    /// Sets an unconditional transition.
+    pub fn goto(&mut self, state: StateId, next: StateId) {
+        self.states[state.0 as usize].next = Next::Goto(next);
+    }
+
+    /// Sets a conditional branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cond` is 1 bit.
+    pub fn branch(&mut self, state: StateId, cond: Expr, then_: StateId, else_: StateId) {
+        assert_eq!(cond.width(), 1, "branch condition must be 1 bit");
+        self.states[state.0 as usize].next = Next::Branch { cond, then_, else_ };
+    }
+
+    /// Marks a state terminal (it loops on itself).
+    pub fn halt(&mut self, state: StateId) {
+        self.states[state.0 as usize].next = Next::Halt;
+    }
+
+    /// Exposes a combinational function of the datapath as a design
+    /// output.
+    pub fn output(&mut self, name: &str, expr: Expr) {
+        self.outputs.push((name.to_string(), expr));
+    }
+
+    /// Number of declared states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Width of a declared register.
+    pub fn reg_width(&self, reg: RegId) -> u32 {
+        self.regs[reg.0 as usize].width
+    }
+
+    /// Address width of a declared memory.
+    pub fn mem_addr_width(&self, mem: MemId) -> u32 {
+        pe_util::bits::clog2(self.mems[mem.0 as usize].words as u64).max(1)
+    }
+
+    /// Data width of a declared memory.
+    pub fn mem_data_width(&self, mem: MemId) -> u32 {
+        self.mems[mem.0 as usize].width
+    }
+
+    /// Runs behavioral synthesis, producing a structural RTL design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError`] for inconsistent FSMDs (a state with an
+    /// unset successor, double assignments, memory port conflicts) or if
+    /// the generated netlist fails validation.
+    pub fn synthesize(&self) -> Result<Design, SynthesisError> {
+        crate::codegen::synthesize(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declarations_hand_out_sequential_ids() {
+        let mut f = FsmdBuilder::new("t");
+        let a = f.input("a", 8);
+        let b = f.input("b", 4);
+        assert_ne!(a, b);
+        let r0 = f.reg("r0", 8, 0);
+        let r1 = f.reg("r1", 8, 1);
+        assert_ne!(r0, r1);
+        assert_eq!(f.reg_width(r1), 8);
+        let m = f.mem("m", 10, 16, None);
+        assert_eq!(f.mem_addr_width(m), 4);
+        assert_eq!(f.mem_data_width(m), 16);
+        let s = f.state("s");
+        f.halt(s);
+        assert_eq!(f.state_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn set_checks_width() {
+        let mut f = FsmdBuilder::new("t");
+        let r = f.reg("r", 8, 0);
+        let s = f.state("s");
+        f.set(s, r, Expr::konst(1, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 1 bit")]
+    fn branch_checks_condition() {
+        let mut f = FsmdBuilder::new("t");
+        let s = f.state("s");
+        let t = f.state("t");
+        f.branch(s, Expr::konst(3, 2), t, s);
+    }
+}

@@ -1,0 +1,55 @@
+//! Behavioral synthesis substrate.
+//!
+//! The paper's experimental setup begins "with a C behavioral description
+//! of a design" and runs NEC's CYBER behavioral synthesis tool to obtain
+//! RTL. This crate is our equivalent: benchmark designs are authored as
+//! **FSMDs** (finite-state machines with datapaths — the canonical output
+//! model of behavioral synthesis) or as untimed **dataflow graphs** that a
+//! resource-constrained list scheduler lowers onto FSMD states. Code
+//! generation then produces a structural [`pe_rtl::Design`]:
+//!
+//! * a binary-encoded state register and next-state multiplexer network,
+//! * per-register write networks (state-indexed multiplexers),
+//! * state-multiplexed memory ports,
+//! * **shared multiplier units** with state-driven operand multiplexers —
+//!   the classic functional-unit binding step of behavioral synthesis.
+//!
+//! The result is exactly the kind of controller/datapath RTL that Figure 1
+//! of the paper instruments: registers, functional units, muxes and a
+//! controller, each of which gets its own hardware power model.
+//!
+//! # Example — a down-counter with multiply-accumulate
+//!
+//! ```
+//! use pe_hls::expr::Expr;
+//! use pe_hls::fsmd::FsmdBuilder;
+//! use pe_sim::Simulator;
+//!
+//! let mut f = FsmdBuilder::new("mac3");
+//! let x = f.input("x", 8);
+//! let acc = f.reg("acc", 16, 0);
+//! let i = f.reg("i", 4, 0);
+//!
+//! let run = f.state("run");
+//! let done = f.state("done");
+//! // acc <= acc + x*x ; i <= i + 1 ; loop 3 times
+//! f.set(run, acc, Expr::reg(acc, 16).add(Expr::input(x, 8).zext(16).mul(Expr::input(x, 8).zext(16), 16)));
+//! f.set(run, i, Expr::reg(i, 4).add(Expr::konst(1, 4)));
+//! f.branch(run, Expr::reg(i, 4).eq(Expr::konst(2, 4)), done, run);
+//! f.halt(done);
+//! f.output("acc", Expr::reg(acc, 16));
+//!
+//! let design = f.synthesize().unwrap();
+//! let mut sim = Simulator::new(&design).unwrap();
+//! sim.set_input_by_name("x", 5);
+//! for _ in 0..10 { sim.step(); }
+//! assert_eq!(sim.output("acc"), 75); // 3 × 25
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod dfg;
+pub mod expr;
+pub mod fsmd;

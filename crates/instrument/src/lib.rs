@@ -1,0 +1,59 @@
+//! Power emulation: the paper's core contribution.
+//!
+//! This crate implements Section 2.1 of the paper — "enhancing a circuit
+//! with power estimation hardware". Given a design and a characterized
+//! [`pe_power::ModelLibrary`], [`instrument`] produces an *enhanced* design
+//! containing, built from ordinary RTL components:
+//!
+//! * one **hardware power model** per modelled RTL component — snapshot
+//!   registers holding the previous value of every monitored input/output
+//!   ("internal queues" in the paper), XOR transition detectors, the
+//!   coefficient "multiplications … simply implemented using vector AND
+//!   gates" (a sign-extended transition bit ANDed with the quantized
+//!   coefficient constant), and an adder tree producing the component's
+//!   per-strobe energy;
+//! * a **power strobe generator** per clock domain (a modulo counter; a
+//!   constant-1 strobe when the period is one cycle), plus a priming
+//!   register so the first sample only fills the snapshot queues;
+//! * a **power aggregator** — a chain, balanced tree, or pipelined tree of
+//!   adders feeding an energy **accumulator register** exposed as the
+//!   `power_total` output.
+//!
+//! Because the result is a plain [`pe_rtl::Design`], it can be simulated by
+//! [`pe_sim`] (the paper's "simulation using any HDL simulator") or mapped
+//! onto the emulation platform by `pe-fpga` — and its readout can be
+//! compared bit-for-bit against the software estimators, which is how the
+//! accuracy experiments quantify the fixed-point quantization loss.
+//!
+//! # Example
+//!
+//! ```
+//! use pe_rtl::builder::DesignBuilder;
+//! use pe_power::{CharacterizeConfig, ModelLibrary};
+//! use pe_instrument::{instrument, InstrumentConfig};
+//!
+//! let mut b = DesignBuilder::new("acc");
+//! let clk = b.clock("clk");
+//! let x = b.input("x", 8);
+//! let acc = b.register_named("acc", 8, 0, clk);
+//! let sum = b.add(acc.q(), x);
+//! b.connect_d(acc, sum);
+//! b.output("y", acc.q());
+//! let design = b.finish().unwrap();
+//!
+//! let mut lib = ModelLibrary::new();
+//! lib.characterize_design(&design, &CharacterizeConfig::fast()).unwrap();
+//! let enhanced = instrument(&design, &lib, &InstrumentConfig::default()).unwrap();
+//! assert!(enhanced.design.find_output("power_total").is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod overhead;
+mod transform;
+
+pub use config::{AggregatorTopology, InstrumentConfig};
+pub use overhead::OverheadReport;
+pub use transform::{instrument, InstrumentError, InstrumentedDesign};

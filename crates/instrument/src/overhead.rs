@@ -1,0 +1,108 @@
+//! Instrumentation-overhead reporting.
+//!
+//! The paper's closing discussion identifies the *area occupied by the
+//! power estimation hardware* as the open problem of the power-emulation
+//! paradigm. This module quantifies it at the RTL level (component,
+//! signal, and register-bit counts); the FPGA-resource view (LUTs, slices,
+//! device fit) lives in `pe-fpga`, which can map both the original and the
+//! enhanced design.
+
+use crate::transform::InstrumentedDesign;
+use pe_rtl::stats::DesignStats;
+use pe_rtl::Design;
+use std::fmt;
+
+/// RTL-level size comparison between a design and its enhanced version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadReport {
+    /// Design name.
+    pub design: String,
+    /// Statistics of the original design.
+    pub original: DesignStats,
+    /// Statistics of the enhanced design.
+    pub enhanced: DesignStats,
+    /// AND-gated coefficient terms emitted.
+    pub term_count: usize,
+    /// Terms skipped because the coefficient quantized to zero.
+    pub skipped_zero_terms: usize,
+}
+
+impl OverheadReport {
+    /// Measures the overhead of an instrumentation result.
+    pub fn measure(original: &Design, instrumented: &InstrumentedDesign) -> Self {
+        Self {
+            design: original.name().to_string(),
+            original: DesignStats::of(original),
+            enhanced: DesignStats::of(&instrumented.design),
+            term_count: instrumented.term_count,
+            skipped_zero_terms: instrumented.skipped_zero_terms,
+        }
+    }
+
+    /// Component-count ratio (enhanced / original).
+    pub fn component_ratio(&self) -> f64 {
+        self.enhanced.components as f64 / self.original.components.max(1) as f64
+    }
+
+    /// Register-bit ratio (enhanced / original) — snapshot queues dominate
+    /// this number, as the paper anticipates.
+    pub fn register_bit_ratio(&self) -> f64 {
+        self.enhanced.register_bits as f64 / self.original.register_bits.max(1) as f64
+    }
+}
+
+impl fmt::Display for OverheadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instrumentation overhead for `{}`:", self.design)?;
+        writeln!(
+            f,
+            "  components: {} → {} ({:.2}×)",
+            self.original.components,
+            self.enhanced.components,
+            self.component_ratio()
+        )?;
+        writeln!(
+            f,
+            "  register bits: {} → {} ({:.2}×)",
+            self.original.register_bits,
+            self.enhanced.register_bits,
+            self.register_bit_ratio()
+        )?;
+        write!(
+            f,
+            "  coefficient terms: {} (plus {} optimized away as zero)",
+            self.term_count, self.skipped_zero_terms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{instrument, InstrumentConfig};
+    use pe_power::{CharacterizeConfig, ModelLibrary};
+    use pe_rtl::builder::DesignBuilder;
+
+    #[test]
+    fn overhead_grows_with_monitored_bits() {
+        let mut b = DesignBuilder::new("cnt");
+        let clk = b.clock("clk");
+        let one = b.constant(1, 8);
+        let cnt = b.register_named("cnt", 8, 0, clk);
+        let nxt = b.add(cnt.q(), one);
+        b.connect_d(cnt, nxt);
+        b.output("c", cnt.q());
+        let d = b.finish().unwrap();
+        let mut lib = ModelLibrary::new();
+        lib.characterize_design(&d, &CharacterizeConfig::fast())
+            .unwrap();
+        let inst = instrument(&d, &lib, &InstrumentConfig::default()).unwrap();
+        let report = OverheadReport::measure(&d, &inst);
+        assert!(report.component_ratio() > 1.0);
+        // Snapshot queues at minimum double the register bits.
+        assert!(report.register_bit_ratio() > 2.0);
+        let text = report.to_string();
+        assert!(text.contains("components"));
+        assert!(text.contains("coefficient terms"));
+    }
+}

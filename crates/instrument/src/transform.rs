@@ -1,0 +1,841 @@
+//! The power-emulation transform.
+
+use crate::config::{AggregatorTopology, InstrumentConfig};
+use pe_power::{ModelKey, ModelLibrary};
+use pe_rtl::{ClockId, ComponentKind, Design, DesignError, SignalId};
+use pe_sim::Simulator;
+use pe_util::bits;
+use pe_util::fixed::FxFormat;
+use std::fmt;
+
+/// Errors raised by [`instrument`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstrumentError {
+    /// The configuration is out of range.
+    Config(String),
+    /// The input design failed validation.
+    InvalidDesign(String),
+    /// The library lacks a model for a component class.
+    MissingModel {
+        /// Display of the missing class.
+        class: String,
+    },
+    /// The design has no modelled components at all.
+    NothingToInstrument,
+    /// Internal construction error while emitting estimation hardware.
+    Emit(DesignError),
+}
+
+impl fmt::Display for InstrumentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstrumentError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            InstrumentError::InvalidDesign(msg) => write!(f, "invalid design: {msg}"),
+            InstrumentError::MissingModel { class } => {
+                write!(f, "no macromodel for class {class}")
+            }
+            InstrumentError::NothingToInstrument => {
+                write!(f, "design contains no modelled components")
+            }
+            InstrumentError::Emit(e) => write!(f, "failed to emit estimation hardware: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstrumentError {}
+
+impl From<DesignError> for InstrumentError {
+    fn from(e: DesignError) -> Self {
+        InstrumentError::Emit(e)
+    }
+}
+
+/// The result of the transform: the enhanced design plus the metadata
+/// needed to interpret its power outputs.
+#[derive(Debug, Clone)]
+pub struct InstrumentedDesign {
+    /// The enhanced design (original circuit + power estimation hardware).
+    pub design: Design,
+    /// The fixed-point format of all quantized coefficients.
+    pub format: FxFormat,
+    /// The strobe period the hardware was built with.
+    pub strobe_period: u32,
+    /// Names of the total-power output ports (one per clock domain).
+    pub total_ports: Vec<String>,
+    /// Per-model observability: `(component name, output port name)` when
+    /// [`InstrumentConfig::per_model_outputs`] was set.
+    pub model_ports: Vec<(String, String)>,
+    /// Number of AND-gated coefficient terms emitted.
+    pub term_count: usize,
+    /// Monitored bits whose coefficient quantized to zero and were
+    /// optimized away.
+    pub skipped_zero_terms: usize,
+    /// Components in the original design.
+    pub original_components: usize,
+}
+
+impl InstrumentedDesign {
+    /// Reads back the accumulated energy estimate from a simulator running
+    /// the enhanced design, converting accumulator units to femtojoules
+    /// (including the strobe-period scale).
+    pub fn read_energy_fj(&self, sim: &mut Simulator<'_>) -> f64 {
+        let raw: f64 = self
+            .total_ports
+            .iter()
+            .map(|p| sim.output(p) as f64)
+            .sum();
+        raw * self.format.lsb() * self.strobe_period as f64
+    }
+
+    /// Reads one component's per-strobe model output (femtojoules),
+    /// available when instrumented with per-model outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component was not given an output port.
+    pub fn read_model_fj(&self, sim: &mut Simulator<'_>, component: &str) -> f64 {
+        let port = &self
+            .model_ports
+            .iter()
+            .find(|(c, _)| c == component)
+            .unwrap_or_else(|| panic!("no per-model port for `{component}`"))
+            .1;
+        sim.output(port) as f64 * self.format.lsb()
+    }
+}
+
+/// Thin emission helper over [`Design`] for generated hardware.
+struct Emit<'a> {
+    d: &'a mut Design,
+    n: u64,
+}
+
+impl Emit<'_> {
+    fn name(&mut self, hint: &str) -> String {
+        loop {
+            let name = format!("pe__{hint}_{}", self.n);
+            self.n += 1;
+            if self.d.is_name_free(&name) {
+                return name;
+            }
+        }
+    }
+
+    fn sig(&mut self, hint: &str, width: u32) -> Result<SignalId, DesignError> {
+        let name = self.name(hint);
+        self.d.add_signal(name, width)
+    }
+
+    fn comp(
+        &mut self,
+        hint: &str,
+        kind: ComponentKind,
+        ins: &[SignalId],
+        width: u32,
+        clock: Option<ClockId>,
+    ) -> Result<SignalId, DesignError> {
+        let out = self.sig(&format!("{hint}_o"), width)?;
+        let name = self.name(hint);
+        self.d.add_component(name, kind, ins, out, clock)?;
+        Ok(out)
+    }
+
+    fn constant(&mut self, value: u64, width: u32) -> Result<SignalId, DesignError> {
+        self.comp("const", ComponentKind::Const { value }, &[], width, None)
+    }
+
+    fn width(&self, s: SignalId) -> u32 {
+        self.d.signal(s).width()
+    }
+
+    fn zext_to(&mut self, s: SignalId, width: u32) -> Result<SignalId, DesignError> {
+        if self.width(s) == width {
+            Ok(s)
+        } else {
+            self.comp("zext", ComponentKind::ZeroExt, &[s], width, None)
+        }
+    }
+
+    /// `a + b` with one growth bit, capped at `cap` bits.
+    fn add_grow(&mut self, a: SignalId, b: SignalId, cap: u32) -> Result<SignalId, DesignError> {
+        let w = self.width(a).max(self.width(b)).min(cap);
+        let a = self.zext_to(a, w)?;
+        let b = self.zext_to(b, w)?;
+        let out_w = (w + 1).min(cap);
+        self.comp("agg_add", ComponentKind::Add, &[a, b], out_w, None)
+    }
+
+    /// Balanced adder tree, optionally registering each level (pipelined).
+    fn sum_tree(
+        &mut self,
+        terms: &[SignalId],
+        cap: u32,
+        pipeline: Option<ClockId>,
+    ) -> Result<SignalId, DesignError> {
+        assert!(!terms.is_empty());
+        let mut level: Vec<SignalId> = terms.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                let s = if pair.len() == 2 {
+                    self.add_grow(pair[0], pair[1], cap)?
+                } else {
+                    pair[0]
+                };
+                next.push(s);
+            }
+            if let Some(clk) = pipeline {
+                let mut registered = Vec::with_capacity(next.len());
+                for s in next {
+                    let w = self.width(s);
+                    let q = self.comp(
+                        "agg_pipe",
+                        ComponentKind::Register {
+                            init: 0,
+                            has_enable: false,
+                        },
+                        &[s],
+                        w,
+                        Some(clk),
+                    )?;
+                    registered.push(q);
+                }
+                level = registered;
+            } else {
+                level = next;
+            }
+        }
+        Ok(level[0])
+    }
+
+    /// Linear chain of adders (the paper's "sequence of additions").
+    fn sum_chain(&mut self, terms: &[SignalId], cap: u32) -> Result<SignalId, DesignError> {
+        assert!(!terms.is_empty());
+        let mut acc = terms[0];
+        for &t in &terms[1..] {
+            acc = self.add_grow(acc, t, cap)?;
+        }
+        Ok(acc)
+    }
+}
+
+/// Per-clock-domain strobe hardware.
+struct Strobe {
+    strobe: SignalId,
+    accumulate_enable: SignalId,
+}
+
+fn build_strobe(em: &mut Emit<'_>, clk: ClockId, period: u32) -> Result<Strobe, DesignError> {
+    let strobe = if period == 1 {
+        em.constant(1, 1)?
+    } else {
+        let w = bits::clog2(period as u64).max(1);
+        let limit = em.constant(period as u64 - 1, w)?;
+        let zero = em.constant(0, w)?;
+        let one = em.constant(1, w)?;
+        // counter register with a feedback increment and wrap.
+        let cnt_q = em.sig("strobe_cnt", w)?;
+        let inc = em.comp("strobe_inc", ComponentKind::Add, &[cnt_q, one], w, None)?;
+        let wrap = em.comp("strobe_eq", ComponentKind::Eq, &[cnt_q, limit], 1, None)?;
+        let nxt = em.comp("strobe_mux", ComponentKind::Mux, &[wrap, inc, zero], w, None)?;
+        let reg_name = em.name("strobe_reg");
+        em.d.add_component(
+            reg_name,
+            ComponentKind::Register {
+                init: 0,
+                has_enable: false,
+            },
+            &[nxt],
+            cnt_q,
+            Some(clk),
+        )?;
+        wrap
+    };
+    // Priming flag: 0 until the first strobe has filled the snapshot
+    // queues, so the power-on garbage transition is not accumulated.
+    let one1 = em.constant(1, 1)?;
+    let primed = em.comp(
+        "primed",
+        ComponentKind::Register {
+            init: 0,
+            has_enable: true,
+        },
+        &[one1, strobe],
+        1,
+        Some(clk),
+    )?;
+    let accumulate_enable = em.comp("acc_en", ComponentKind::And, &[strobe, primed], 1, None)?;
+    Ok(Strobe {
+        strobe,
+        accumulate_enable,
+    })
+}
+
+/// Enhances `design` with power estimation hardware (Figure 1 of the
+/// paper), consulting `library` for the macromodel of every component.
+///
+/// # Errors
+///
+/// Returns [`InstrumentError`] if the configuration or design is invalid,
+/// a model is missing, or nothing is modelled.
+pub fn instrument(
+    design: &Design,
+    library: &ModelLibrary,
+    config: &InstrumentConfig,
+) -> Result<InstrumentedDesign, InstrumentError> {
+    config.check().map_err(InstrumentError::Config)?;
+    design
+        .validate()
+        .map_err(|e| InstrumentError::InvalidDesign(e.to_string()))?;
+
+    // Gather the models up front (and fail on gaps before mutating).
+    let mut modelled: Vec<(usize, &pe_power::Macromodel)> = Vec::new();
+    for (idx, comp) in design.components().iter().enumerate() {
+        match library.model_for(design, comp) {
+            Some(m) => modelled.push((idx, m)),
+            None => {
+                if pe_power::is_modelled_kind(comp.kind()) {
+                    return Err(InstrumentError::MissingModel {
+                        class: ModelKey::of(design, comp).to_string(),
+                    });
+                }
+            }
+        }
+    }
+    if modelled.is_empty() {
+        return Err(InstrumentError::NothingToInstrument);
+    }
+
+    // Pick the coefficient format.
+    let max_value = modelled
+        .iter()
+        .map(|(_, m)| m.coeff_max().max(m.base_fj()))
+        .fold(0.0f64, f64::max);
+    let frac = match config.frac_bits {
+        Some(f) => f.min(config.coeff_bits),
+        None => {
+            let int_bits = if max_value < 1.0 {
+                0
+            } else {
+                bits::bit_width(max_value.ceil() as u64)
+            };
+            config.coeff_bits.saturating_sub(int_bits)
+        }
+    };
+    let format = FxFormat::new(config.coeff_bits, frac)
+        .map_err(|e| InstrumentError::Config(e.to_string()))?;
+
+    let mut enhanced = design.clone();
+    // A clock for the estimation hardware: reuse the design's domains, or
+    // create one for purely combinational designs.
+    let default_clock = match enhanced.clock_id(0) {
+        Some(c) => c,
+        None => enhanced.add_clock("pe_clk")?,
+    };
+    let n_domains = enhanced.clocks().len();
+
+    let mut em = Emit {
+        d: &mut enhanced,
+        n: 0,
+    };
+
+    // Strobe generator per clock domain (paper: "power strobe generation is
+    // done separately for each clock domain").
+    let mut strobes = Vec::with_capacity(n_domains);
+    for dom in 0..n_domains {
+        let clk = em.d.clock_id(dom).expect("domain in range");
+        strobes.push(build_strobe(&mut em, clk, config.strobe_period)?);
+    }
+
+    let cap = config.accumulator_bits;
+    let mut term_count = 0usize;
+    let mut skipped = 0usize;
+    let mut model_outputs_by_domain: Vec<Vec<SignalId>> = vec![Vec::new(); n_domains];
+    let mut model_ports: Vec<(String, String)> = Vec::new();
+
+    // Clock-domain inference for combinational components: a power model
+    // must strobe with the logic it monitors, so a combinational
+    // component inherits the domain of the sequential components it
+    // connects to (inputs first, then consumers), falling back to the
+    // first domain. Sequential components use their own clock.
+    let mut consumer_domain: Vec<Option<usize>> = vec![None; design.signals().len()];
+    for comp in design.components() {
+        if let Some(clk) = comp.clock() {
+            for sig in comp.inputs() {
+                consumer_domain[sig.index()].get_or_insert(clk.index());
+            }
+        }
+    }
+    let domain_of = |comp: &pe_rtl::Component| -> usize {
+        if let Some(clk) = comp.clock() {
+            return clk.index();
+        }
+        for sig in comp.inputs() {
+            if let Some(drv) = design.driver_of(*sig) {
+                if let Some(clk) = design.component(drv).clock() {
+                    return clk.index();
+                }
+            }
+        }
+        if let Some(d) = consumer_domain[comp.output().index()] {
+            return d;
+        }
+        default_clock.index()
+    };
+
+    for (idx, model) in &modelled {
+        let comp = &design.components()[*idx];
+        let domain = domain_of(comp);
+        let clk = em.d.clock_id(domain).expect("domain exists");
+        let strobe = strobes[domain].strobe;
+
+        // Monitored signals: distinct inputs in first-occurrence order,
+        // then the output — one snapshot queue per distinct signal.
+        let monitored: Vec<SignalId> = {
+            let mut m: Vec<SignalId> = Vec::new();
+            for s in comp.inputs() {
+                if !m.contains(s) {
+                    m.push(*s);
+                }
+            }
+            m.push(comp.output());
+            m
+        };
+
+        let mut terms: Vec<SignalId> = Vec::new();
+        let layout = model.layout();
+        for (i, &sig) in monitored.iter().enumerate() {
+            let w = layout.width(i);
+            // Snapshot queue: previous strobed value of this signal.
+            let snap = em.comp(
+                "snap",
+                ComponentKind::Register {
+                    init: 0,
+                    has_enable: true,
+                },
+                &[sig, strobe],
+                w,
+                Some(clk),
+            )?;
+            // Transition detector.
+            let trans = em.comp("trans", ComponentKind::Xor, &[snap, sig], w, None)?;
+            for b in 0..w {
+                let k = layout.offset(i) + b;
+                let raw = format.encode(model.bit_coeff(k));
+                if raw == 0 {
+                    skipped += 1;
+                    continue;
+                }
+                // The paper's "vector AND" multiplication: replicate the
+                // transition bit across the coefficient width and AND it
+                // with the coefficient constant.
+                let tbit = em.comp(
+                    "tbit",
+                    ComponentKind::Slice { lo: b },
+                    &[trans],
+                    1,
+                    None,
+                )?;
+                let mask = em.comp(
+                    "mask",
+                    ComponentKind::SignExt,
+                    &[tbit],
+                    config.coeff_bits,
+                    None,
+                )?;
+                let coeff = em.constant(raw, config.coeff_bits)?;
+                let term = em.comp(
+                    "term",
+                    ComponentKind::And,
+                    &[mask, coeff],
+                    config.coeff_bits,
+                    None,
+                )?;
+                terms.push(term);
+                term_count += 1;
+            }
+        }
+        let base_raw = format.encode(model.base_fj());
+        if base_raw != 0 {
+            terms.push(em.constant(base_raw, config.coeff_bits)?);
+        }
+        let model_out = if terms.is_empty() {
+            em.constant(0, 1)?
+        } else {
+            em.sum_tree(&terms, cap, None)?
+        };
+        model_outputs_by_domain[domain].push(model_out);
+
+        if config.per_model_outputs {
+            let port = em.d.fresh_name(&format!("power_of__{}", comp.name()));
+            em.d.add_output(&port, model_out)?;
+            model_ports.push((comp.name().to_string(), port));
+        }
+    }
+
+    // Power aggregator + accumulator per domain.
+    let mut total_ports = Vec::new();
+    for dom in 0..n_domains {
+        if model_outputs_by_domain[dom].is_empty() {
+            continue;
+        }
+        let clk = em.d.clock_id(dom).expect("domain exists");
+        let outs = model_outputs_by_domain[dom].clone();
+        let sum = match config.aggregator {
+            AggregatorTopology::Chain => em.sum_chain(&outs, cap)?,
+            AggregatorTopology::Tree => em.sum_tree(&outs, cap, None)?,
+            AggregatorTopology::PipelinedTree => em.sum_tree(&outs, cap, Some(clk))?,
+        };
+        let sum_wide = em.zext_to(sum, config.accumulator_bits)?;
+        let acc_q = em.sig("acc", config.accumulator_bits)?;
+        let acc_next = em.comp(
+            "acc_add",
+            ComponentKind::Add,
+            &[acc_q, sum_wide],
+            config.accumulator_bits,
+            None,
+        )?;
+        let reg_name = em.name("acc_reg");
+        em.d.add_component(
+            reg_name,
+            ComponentKind::Register {
+                init: 0,
+                has_enable: true,
+            },
+            &[acc_next, strobes[dom].accumulate_enable],
+            acc_q,
+            Some(clk),
+        )?;
+        let port = if n_domains == 1 {
+            em.d.fresh_name("power_total")
+        } else {
+            let clock_name = em.d.clocks()[dom].name().to_owned();
+            em.d.fresh_name(&format!("power_total__{clock_name}"))
+        };
+        em.d.add_output(&port, acc_q)?;
+        total_ports.push(port);
+    }
+
+    enhanced
+        .validate()
+        .map_err(|e| InstrumentError::InvalidDesign(format!("internal: {e}")))?;
+
+    Ok(InstrumentedDesign {
+        design: enhanced,
+        format,
+        strobe_period: config.strobe_period,
+        total_ports,
+        model_ports,
+        term_count,
+        skipped_zero_terms: skipped,
+        original_components: design.components().len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_power::CharacterizeConfig;
+    use pe_rtl::builder::DesignBuilder;
+
+    fn counter_design() -> Design {
+        let mut b = DesignBuilder::new("cnt");
+        let clk = b.clock("clk");
+        let one = b.constant(1, 8);
+        let cnt = b.register_named("cnt", 8, 0, clk);
+        let nxt = b.add(cnt.q(), one);
+        b.connect_d(cnt, nxt);
+        b.output("c", cnt.q());
+        b.finish().unwrap()
+    }
+
+    fn library_for(d: &Design) -> ModelLibrary {
+        let mut lib = ModelLibrary::new();
+        lib.characterize_design(d, &CharacterizeConfig::fast())
+            .unwrap();
+        lib
+    }
+
+    #[test]
+    fn instrumented_design_validates_and_has_power_output() {
+        let d = counter_design();
+        let lib = library_for(&d);
+        let inst = instrument(&d, &lib, &InstrumentConfig::default()).unwrap();
+        assert!(inst.design.validate().is_ok());
+        assert!(inst.design.find_output("power_total").is_some());
+        assert!(inst.design.components().len() > d.components().len());
+        assert!(inst.term_count > 0);
+        assert_eq!(inst.original_components, d.components().len());
+    }
+
+    #[test]
+    fn emulated_energy_matches_software_estimate() {
+        let d = counter_design();
+        let lib = library_for(&d);
+        let inst = instrument(&d, &lib, &InstrumentConfig::default()).unwrap();
+
+        // Software estimate.
+        use pe_estimators_shim::software_total;
+        let software = software_total(&d, &lib, 200);
+
+        // Emulated estimate: simulate the enhanced design.
+        let mut sim = Simulator::new(&inst.design).unwrap();
+        for _ in 0..200 {
+            sim.step();
+        }
+        let emulated = inst.read_energy_fj(&mut sim);
+        let rel = (emulated - software).abs() / software;
+        assert!(
+            rel < 0.02,
+            "emulated {emulated} vs software {software} ({:.2}% off)",
+            rel * 100.0
+        );
+    }
+
+    /// Minimal in-crate software evaluation (pe-estimators depends on this
+    /// crate's siblings, so tests here reimplement the reference sum).
+    mod pe_estimators_shim {
+        use super::*;
+
+        pub fn software_total(d: &Design, lib: &ModelLibrary, cycles: u64) -> f64 {
+            let mut sim = Simulator::new(d).unwrap();
+            let mut prev: Vec<u64> = vec![0; d.signals().len()];
+            let mut primed = false;
+            let mut total = 0.0;
+            for _ in 0..cycles {
+                let values = sim.values().to_vec();
+                if primed {
+                    for comp in d.components() {
+                        if let Some(m) = lib.model_for(d, comp) {
+                            let mut sigs: Vec<usize> = Vec::new();
+                            for s in comp.inputs() {
+                                if !sigs.contains(&s.index()) {
+                                    sigs.push(s.index());
+                                }
+                            }
+                            sigs.push(comp.output().index());
+                            let p: Vec<u64> = sigs.iter().map(|&s| prev[s]).collect();
+                            let c: Vec<u64> = sigs.iter().map(|&s| values[s]).collect();
+                            total += m.eval_fj(&p, &c);
+                        }
+                    }
+                }
+                prev.copy_from_slice(&values);
+                primed = true;
+                sim.step();
+            }
+            total
+        }
+    }
+
+    #[test]
+    fn quantization_error_shrinks_with_more_bits() {
+        let d = counter_design();
+        let lib = library_for(&d);
+        let software = {
+            use pe_estimators_shim::software_total;
+            software_total(&d, &lib, 150)
+        };
+        let mut errors = Vec::new();
+        for bits in [6, 10, 16] {
+            let cfg = InstrumentConfig {
+                coeff_bits: bits,
+                accumulator_bits: 48,
+                ..InstrumentConfig::default()
+            };
+            let inst = instrument(&d, &lib, &cfg).unwrap();
+            let mut sim = Simulator::new(&inst.design).unwrap();
+            for _ in 0..150 {
+                sim.step();
+            }
+            let emulated = inst.read_energy_fj(&mut sim);
+            errors.push((emulated - software).abs() / software);
+        }
+        assert!(
+            errors[0] >= errors[2],
+            "error should not grow with precision: {errors:?}"
+        );
+        assert!(errors[2] < 0.01, "16-bit error {:.4}", errors[2]);
+    }
+
+    #[test]
+    fn strobe_period_two_samples_half_the_cycles() {
+        let d = counter_design();
+        let lib = library_for(&d);
+        let cfg = InstrumentConfig {
+            strobe_period: 2,
+            ..InstrumentConfig::default()
+        };
+        let inst = instrument(&d, &lib, &cfg).unwrap();
+        let mut sim = Simulator::new(&inst.design).unwrap();
+        for _ in 0..200 {
+            sim.step();
+        }
+        let emulated = inst.read_energy_fj(&mut sim);
+        assert!(emulated > 0.0);
+        // The counter's LSB toggles every cycle, so a period-2 sample sees
+        // *no* LSB transition (it toggles back); the scaled estimate will
+        // differ from the exact one — that is the documented accuracy
+        // trade-off, here we only check the plumbing (scale applied).
+        assert_eq!(inst.strobe_period, 2);
+    }
+
+    #[test]
+    fn strobe_sampling_semantics_are_exact() {
+        // A register fed by its own inverse toggles every cycle. A
+        // period-2 strobe samples identical values two cycles apart →
+        // zero observed transitions; the readout reduces to the scaled
+        // base energies. A toggle-every-second-cycle design (divide by
+        // two first) is fully visible to a period-2 strobe.
+        let mut b = DesignBuilder::new("toggler");
+        let clk = b.clock("clk");
+        let t = b.register_named("t", 4, 0, clk);
+        let nt = b.not(t.q());
+        b.connect_d(t, nt);
+        b.output("t", t.q());
+        let d = b.finish().unwrap();
+        let lib = library_for(&d);
+        let cycles = 200u64;
+
+        let run = |period: u32| -> f64 {
+            let cfg = InstrumentConfig {
+                strobe_period: period,
+                ..InstrumentConfig::default()
+            };
+            let inst = instrument(&d, &lib, &cfg).unwrap();
+            let mut sim = Simulator::new(&inst.design).unwrap();
+            for _ in 0..cycles {
+                sim.step();
+            }
+            inst.read_energy_fj(&mut sim)
+        };
+        let exact = run(1);
+        let sampled = run(2);
+        // Base-only energy for the sampled case: every pair of samples is
+        // identical (period 2 over a period-2 signal).
+        let base_sum: f64 = d
+            .components()
+            .iter()
+            .filter_map(|c| lib.model_for(&d, c))
+            .map(|m| m.base_fj())
+            .sum();
+        let expected_sampled = base_sum * cycles as f64; // scaled by P already
+        let rel = (sampled - expected_sampled).abs() / expected_sampled.max(1e-9);
+        assert!(
+            rel < 0.05,
+            "sampled {sampled} vs base-only {expected_sampled}"
+        );
+        assert!(
+            exact > sampled * 1.2,
+            "exact {exact} should exceed aliased {sampled}"
+        );
+    }
+
+    #[test]
+    fn aggregator_topologies_agree_on_totals() {
+        let d = counter_design();
+        let lib = library_for(&d);
+        let mut totals = Vec::new();
+        for topo in [
+            AggregatorTopology::Chain,
+            AggregatorTopology::Tree,
+        ] {
+            let cfg = InstrumentConfig {
+                aggregator: topo,
+                ..InstrumentConfig::default()
+            };
+            let inst = instrument(&d, &lib, &cfg).unwrap();
+            let mut sim = Simulator::new(&inst.design).unwrap();
+            for _ in 0..100 {
+                sim.step();
+            }
+            totals.push(inst.read_energy_fj(&mut sim));
+        }
+        assert!((totals[0] - totals[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_tree_close_to_flat_tree() {
+        let d = counter_design();
+        let lib = library_for(&d);
+        let flat = instrument(&d, &lib, &InstrumentConfig::default()).unwrap();
+        let piped = instrument(
+            &d,
+            &lib,
+            &InstrumentConfig {
+                aggregator: AggregatorTopology::PipelinedTree,
+                ..InstrumentConfig::default()
+            },
+        )
+        .unwrap();
+        let run = |inst: &InstrumentedDesign| {
+            let mut sim = Simulator::new(&inst.design).unwrap();
+            for _ in 0..300 {
+                sim.step();
+            }
+            inst.read_energy_fj(&mut sim)
+        };
+        let a = run(&flat);
+        let b = run(&piped);
+        let rel = (a - b).abs() / a;
+        assert!(rel < 0.05, "pipelined boundary error {:.2}%", rel * 100.0);
+    }
+
+    #[test]
+    fn per_model_outputs_exposed() {
+        let d = counter_design();
+        let lib = library_for(&d);
+        let cfg = InstrumentConfig {
+            per_model_outputs: true,
+            ..InstrumentConfig::default()
+        };
+        let inst = instrument(&d, &lib, &cfg).unwrap();
+        // Two modelled components: the adder and the register.
+        assert_eq!(inst.model_ports.len(), 2);
+        let mut sim = Simulator::new(&inst.design).unwrap();
+        for _ in 0..50 {
+            sim.step();
+        }
+        let (name, _) = inst.model_ports[0].clone();
+        let fj = inst.read_model_fj(&mut sim, &name);
+        assert!(fj >= 0.0);
+    }
+
+    #[test]
+    fn missing_model_is_reported() {
+        let d = counter_design();
+        let lib = ModelLibrary::new();
+        assert!(matches!(
+            instrument(&d, &lib, &InstrumentConfig::default()),
+            Err(InstrumentError::MissingModel { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_config_is_reported() {
+        let d = counter_design();
+        let lib = library_for(&d);
+        let cfg = InstrumentConfig {
+            strobe_period: 0,
+            ..InstrumentConfig::default()
+        };
+        assert!(matches!(
+            instrument(&d, &lib, &cfg),
+            Err(InstrumentError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn combinational_design_gets_a_pe_clock() {
+        let mut b = DesignBuilder::new("comb");
+        let a = b.input("a", 4);
+        let c = b.input("b", 4);
+        let s = b.add(a, c);
+        b.output("s", s);
+        let d = b.finish().unwrap();
+        let lib = library_for(&d);
+        let inst = instrument(&d, &lib, &InstrumentConfig::default()).unwrap();
+        assert_eq!(inst.design.clocks().len(), 1);
+        assert_eq!(inst.design.clocks()[0].name(), "pe_clk");
+    }
+}

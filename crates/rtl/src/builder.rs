@@ -1,0 +1,721 @@
+//! Fluent authoring layer over [`Design`].
+//!
+//! [`DesignBuilder`] removes the boilerplate of netlist construction:
+//! it names intermediate signals automatically, wires component outputs
+//! through return values, and supports the forward references that
+//! sequential logic needs (a register's `d` input usually depends on its own
+//! `q` output) via [`RegHandle`] / [`MemHandle`].
+//!
+//! Builder methods **panic** on structurally invalid use (width mismatches,
+//! duplicate names): a design is static data, so these are construction
+//! bugs, not runtime conditions. [`DesignBuilder::finish`] returns the
+//! global validation result.
+
+use crate::component::ComponentKind;
+use crate::design::{ClockId, Design, DesignError, SignalId};
+
+/// Forward reference to a register created by
+/// [`DesignBuilder::register_named`] whose data input is connected later
+/// with [`DesignBuilder::connect_d`].
+#[derive(Debug, Clone, Copy)]
+pub struct RegHandle {
+    q: SignalId,
+    pending: usize,
+}
+
+impl RegHandle {
+    /// The register's output (`q`) signal, usable before the data input is
+    /// connected.
+    pub fn q(self) -> SignalId {
+        self.q
+    }
+}
+
+/// Forward reference to a memory created by [`DesignBuilder::memory`]
+/// whose ports are connected later with [`DesignBuilder::connect_mem`].
+#[derive(Debug, Clone, Copy)]
+pub struct MemHandle {
+    rdata: SignalId,
+    pending: usize,
+}
+
+impl MemHandle {
+    /// The memory's read-data output signal.
+    pub fn rdata(self) -> SignalId {
+        self.rdata
+    }
+}
+
+#[derive(Debug)]
+struct PendingReg {
+    name: String,
+    width: u32,
+    init: u64,
+    clock: ClockId,
+    q: SignalId,
+    connected: bool,
+}
+
+#[derive(Debug)]
+struct PendingMem {
+    name: String,
+    words: u32,
+    data_width: u32,
+    init: Option<Vec<u64>>,
+    clock: ClockId,
+    rdata: SignalId,
+    connection: Option<[SignalId; 4]>,
+}
+
+/// Fluent builder for [`Design`]. See the crate-level example.
+#[derive(Debug)]
+pub struct DesignBuilder {
+    design: Design,
+    pending_regs: Vec<PendingReg>,
+    pending_mems: Vec<PendingMem>,
+    tmp_counter: u64,
+}
+
+impl DesignBuilder {
+    /// Starts a new design.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            design: Design::new(name),
+            pending_regs: Vec::new(),
+            pending_mems: Vec::new(),
+            tmp_counter: 0,
+        }
+    }
+
+    fn tmp_name(&mut self, hint: &str) -> String {
+        loop {
+            let name = format!("{hint}_{}", self.tmp_counter);
+            self.tmp_counter += 1;
+            if self.design.is_name_free(&name) {
+                return name;
+            }
+        }
+    }
+
+    fn sig(&mut self, hint: &str, width: u32) -> SignalId {
+        let name = self.tmp_name(hint);
+        self.design.add_signal(name, width).expect("fresh name")
+    }
+
+    /// Width of a signal.
+    pub fn width(&self, s: SignalId) -> u32 {
+        self.design.signal(s).width()
+    }
+
+    /// Adds a clock domain (default 10 ns period).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is taken.
+    pub fn clock(&mut self, name: &str) -> ClockId {
+        self.design.add_clock(name).expect("clock name free")
+    }
+
+    /// Adds a clock domain with an explicit period in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is taken.
+    pub fn clock_with_period(&mut self, name: &str, period_ns: f64) -> ClockId {
+        self.design
+            .add_clock_with_period(name, period_ns)
+            .expect("clock name free")
+    }
+
+    /// Adds a top-level input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is taken or the width is invalid.
+    pub fn input(&mut self, name: &str, width: u32) -> SignalId {
+        self.design.add_input(name, width).expect("valid input")
+    }
+
+    /// Exposes a signal as a top-level output port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port name is taken.
+    pub fn output(&mut self, name: &str, signal: SignalId) {
+        self.design.add_output(name, signal).expect("valid output");
+    }
+
+    /// Adds a named internal signal (rarely needed; most methods name
+    /// their results automatically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is taken or the width is invalid.
+    pub fn named_signal(&mut self, name: &str, width: u32) -> SignalId {
+        self.design.add_signal(name, width).expect("valid signal")
+    }
+
+    fn comp(
+        &mut self,
+        hint: &str,
+        kind: ComponentKind,
+        inputs: &[SignalId],
+        out_width: u32,
+    ) -> SignalId {
+        let out = self.sig(&format!("{hint}_o"), out_width);
+        let name = self.tmp_name(hint);
+        self.design
+            .add_component(name, kind, inputs, out, None)
+            .unwrap_or_else(|e| panic!("builder misuse: {e}"));
+        out
+    }
+
+    /// Constant of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit.
+    pub fn constant(&mut self, value: u64, width: u32) -> SignalId {
+        self.comp("const", ComponentKind::Const { value }, &[], width)
+    }
+
+    /// `a + b`, same width as the operands (wrapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand widths differ.
+    pub fn add(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        let w = self.width(a);
+        self.comp("add", ComponentKind::Add, &[a, b], w)
+    }
+
+    /// `a + b` with a carry bit: result is one bit wider than the operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand widths differ or exceed 63 bits.
+    pub fn add_wide(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        let w = self.width(a);
+        self.comp("add", ComponentKind::Add, &[a, b], w + 1)
+    }
+
+    /// `a - b` (two's-complement wraparound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand widths differ.
+    pub fn sub(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        let w = self.width(a);
+        self.comp("sub", ComponentKind::Sub, &[a, b], w)
+    }
+
+    /// `a * b`, truncated/extended to `out_width` bits.
+    pub fn mul(&mut self, a: SignalId, b: SignalId, out_width: u32) -> SignalId {
+        self.comp("mul", ComponentKind::Mul, &[a, b], out_width)
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&mut self, a: SignalId) -> SignalId {
+        let w = self.width(a);
+        self.comp("neg", ComponentKind::Neg, &[a], w)
+    }
+
+    /// Bitwise AND of two signals of equal width.
+    pub fn and(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        let w = self.width(a);
+        self.comp("and", ComponentKind::And, &[a, b], w)
+    }
+
+    /// Bitwise OR of two signals of equal width.
+    pub fn or(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        let w = self.width(a);
+        self.comp("or", ComponentKind::Or, &[a, b], w)
+    }
+
+    /// Bitwise XOR of two signals of equal width.
+    pub fn xor(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        let w = self.width(a);
+        self.comp("xor", ComponentKind::Xor, &[a, b], w)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: SignalId) -> SignalId {
+        let w = self.width(a);
+        self.comp("not", ComponentKind::Not, &[a], w)
+    }
+
+    /// 1-bit equality comparison.
+    pub fn eq(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.comp("eq", ComponentKind::Eq, &[a, b], 1)
+    }
+
+    /// 1-bit inequality comparison.
+    pub fn ne(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.comp("ne", ComponentKind::Ne, &[a, b], 1)
+    }
+
+    /// 1-bit unsigned `a < b`.
+    pub fn lt(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.comp("lt", ComponentKind::Lt, &[a, b], 1)
+    }
+
+    /// 1-bit unsigned `a <= b`.
+    pub fn le(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.comp("le", ComponentKind::Le, &[a, b], 1)
+    }
+
+    /// 1-bit signed `a < b`.
+    pub fn slt(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.comp("slt", ComponentKind::SLt, &[a, b], 1)
+    }
+
+    /// 1-bit signed `a <= b`.
+    pub fn sle(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.comp("sle", ComponentKind::SLe, &[a, b], 1)
+    }
+
+    /// Logical left shift by a dynamic amount.
+    pub fn shl(&mut self, a: SignalId, amount: SignalId) -> SignalId {
+        let w = self.width(a);
+        self.comp("shl", ComponentKind::Shl, &[a, amount], w)
+    }
+
+    /// Logical right shift by a dynamic amount.
+    pub fn shr(&mut self, a: SignalId, amount: SignalId) -> SignalId {
+        let w = self.width(a);
+        self.comp("shr", ComponentKind::Shr, &[a, amount], w)
+    }
+
+    /// Arithmetic right shift by a dynamic amount.
+    pub fn sar(&mut self, a: SignalId, amount: SignalId) -> SignalId {
+        let w = self.width(a);
+        self.comp("sar", ComponentKind::Sar, &[a, amount], w)
+    }
+
+    /// Logical left shift by a constant amount.
+    pub fn shl_const(&mut self, a: SignalId, amount: u32) -> SignalId {
+        let aw = pe_util::bits::bit_width(amount as u64).max(1);
+        let amt = self.constant(amount as u64, aw);
+        self.shl(a, amt)
+    }
+
+    /// Logical right shift by a constant amount.
+    pub fn shr_const(&mut self, a: SignalId, amount: u32) -> SignalId {
+        let aw = pe_util::bits::bit_width(amount as u64).max(1);
+        let amt = self.constant(amount as u64, aw);
+        self.shr(a, amt)
+    }
+
+    /// Arithmetic right shift by a constant amount.
+    pub fn sar_const(&mut self, a: SignalId, amount: u32) -> SignalId {
+        let aw = pe_util::bits::bit_width(amount as u64).max(1);
+        let amt = self.constant(amount as u64, aw);
+        self.sar(a, amt)
+    }
+
+    /// General multiplexer: `inputs[sel]`, clamping an out-of-range select
+    /// to the last input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 data inputs are given or widths mismatch.
+    pub fn mux(&mut self, sel: SignalId, inputs: &[SignalId]) -> SignalId {
+        assert!(inputs.len() >= 2, "mux needs at least two data inputs");
+        let w = self.width(inputs[0]);
+        let mut all = Vec::with_capacity(inputs.len() + 1);
+        all.push(sel);
+        all.extend_from_slice(inputs);
+        self.comp("mux", ComponentKind::Mux, &all, w)
+    }
+
+    /// Two-way multiplexer: `if sel { then_v } else { else_v }` with a
+    /// 1-bit select.
+    pub fn mux2(&mut self, sel: SignalId, else_v: SignalId, then_v: SignalId) -> SignalId {
+        self.mux(sel, &[else_v, then_v])
+    }
+
+    /// Bit-field `a[lo .. lo + width]`.
+    pub fn slice(&mut self, a: SignalId, lo: u32, width: u32) -> SignalId {
+        self.comp("slice", ComponentKind::Slice { lo }, &[a], width)
+    }
+
+    /// Single bit `a[index]`.
+    pub fn bit(&mut self, a: SignalId, index: u32) -> SignalId {
+        self.slice(a, index, 1)
+    }
+
+    /// Concatenation; `parts[0]` becomes the least-significant bits.
+    pub fn concat(&mut self, parts: &[SignalId]) -> SignalId {
+        let total: u32 = parts.iter().map(|s| self.width(*s)).sum();
+        self.comp("concat", ComponentKind::Concat, parts, total)
+    }
+
+    /// Zero-extends to `width` bits (no-op widths allowed).
+    pub fn zext(&mut self, a: SignalId, width: u32) -> SignalId {
+        self.comp("zext", ComponentKind::ZeroExt, &[a], width)
+    }
+
+    /// Sign-extends to `width` bits (no-op widths allowed).
+    pub fn sext(&mut self, a: SignalId, width: u32) -> SignalId {
+        self.comp("sext", ComponentKind::SignExt, &[a], width)
+    }
+
+    /// Resizes unsigned: zero-extends when growing, slices when shrinking,
+    /// and passes through when `width` matches.
+    pub fn uresize(&mut self, a: SignalId, width: u32) -> SignalId {
+        let w = self.width(a);
+        if width >= w {
+            self.zext(a, width)
+        } else {
+            self.slice(a, 0, width)
+        }
+    }
+
+    /// Resizes signed: sign-extends when growing, slices when shrinking.
+    pub fn sresize(&mut self, a: SignalId, width: u32) -> SignalId {
+        let w = self.width(a);
+        if width >= w {
+            self.sext(a, width)
+        } else {
+            self.slice(a, 0, width)
+        }
+    }
+
+    /// Lookup table: `table[a]`, with `table.len() == 2^width(a)`.
+    pub fn table(&mut self, a: SignalId, table: Vec<u64>, out_width: u32) -> SignalId {
+        self.comp("table", ComponentKind::Table { table }, &[a], out_width)
+    }
+
+    /// Declares a register whose data input is connected later via
+    /// [`DesignBuilder::connect_d`]. The returned handle's
+    /// [`RegHandle::q`] is immediately usable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is taken (the `q` signal is named `{name}` and the
+    /// component `{name}_reg`).
+    pub fn register_named(
+        &mut self,
+        name: &str,
+        width: u32,
+        init: u64,
+        clock: ClockId,
+    ) -> RegHandle {
+        let q = self
+            .design
+            .add_signal(name.to_string(), width)
+            .expect("register name free");
+        self.pending_regs.push(PendingReg {
+            name: format!("{name}_reg"),
+            width,
+            init,
+            clock,
+            q,
+            connected: false,
+        });
+        RegHandle {
+            q,
+            pending: self.pending_regs.len() - 1,
+        }
+    }
+
+    /// Connects a register's data input (no enable), consuming the pending
+    /// declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register was already connected or widths mismatch.
+    pub fn connect_d(&mut self, reg: RegHandle, d: SignalId) {
+        self.connect_reg(reg, d, None);
+    }
+
+    /// Connects a register's data input with a 1-bit write enable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register was already connected or widths mismatch.
+    pub fn connect_d_en(&mut self, reg: RegHandle, d: SignalId, en: SignalId) {
+        self.connect_reg(reg, d, Some(en));
+    }
+
+    fn connect_reg(&mut self, reg: RegHandle, d: SignalId, en: Option<SignalId>) {
+        let p = &mut self.pending_regs[reg.pending];
+        assert!(!p.connected, "register `{}` connected twice", p.name);
+        p.connected = true;
+        let (name, init, clock, q, width) = (p.name.clone(), p.init, p.clock, p.q, p.width);
+        assert_eq!(
+            self.width(d),
+            width,
+            "register `{name}` data width mismatch"
+        );
+        let mut inputs = vec![d];
+        if let Some(en) = en {
+            inputs.push(en);
+        }
+        self.design
+            .add_component(
+                name,
+                ComponentKind::Register {
+                    init,
+                    has_enable: en.is_some(),
+                },
+                &inputs,
+                q,
+                Some(clock),
+            )
+            .unwrap_or_else(|e| panic!("builder misuse: {e}"));
+    }
+
+    /// Immediately creates a register whose input is already known
+    /// (a plain pipeline stage).
+    pub fn pipeline_reg(&mut self, name: &str, d: SignalId, init: u64, clock: ClockId) -> SignalId {
+        let w = self.width(d);
+        let handle = self.register_named(name, w, init, clock);
+        self.connect_d(handle, d);
+        handle.q()
+    }
+
+    /// Declares a `words × data_width` memory whose ports are connected
+    /// later via [`DesignBuilder::connect_mem`]. Read data is available
+    /// immediately via [`MemHandle::rdata`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is taken (the read-data signal is `{name}_rdata`
+    /// and the component `{name}`).
+    pub fn memory(
+        &mut self,
+        name: &str,
+        words: u32,
+        data_width: u32,
+        init: Option<Vec<u64>>,
+        clock: ClockId,
+    ) -> MemHandle {
+        let rdata = self
+            .design
+            .add_signal(format!("{name}_rdata"), data_width)
+            .expect("memory name free");
+        self.pending_mems.push(PendingMem {
+            name: name.to_string(),
+            words,
+            data_width,
+            init,
+            clock,
+            rdata,
+            connection: None,
+        });
+        MemHandle {
+            rdata,
+            pending: self.pending_mems.len() - 1,
+        }
+    }
+
+    /// Connects a memory's read address, write address, write data, and
+    /// 1-bit write enable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already connected or widths mismatch.
+    pub fn connect_mem(
+        &mut self,
+        mem: MemHandle,
+        raddr: SignalId,
+        waddr: SignalId,
+        wdata: SignalId,
+        wen: SignalId,
+    ) {
+        let p = &mut self.pending_mems[mem.pending];
+        assert!(p.connection.is_none(), "memory `{}` connected twice", p.name);
+        p.connection = Some([raddr, waddr, wdata, wen]);
+        let (name, words, init, clock, rdata, data_width) = (
+            p.name.clone(),
+            p.words,
+            p.init.clone(),
+            p.clock,
+            p.rdata,
+            p.data_width,
+        );
+        assert_eq!(
+            self.width(wdata),
+            data_width,
+            "memory `{name}` data width mismatch"
+        );
+        self.design
+            .add_component(
+                name,
+                ComponentKind::Memory { words, init },
+                &[raddr, waddr, wdata, wen],
+                rdata,
+                Some(clock),
+            )
+            .unwrap_or_else(|e| panic!("builder misuse: {e}"));
+    }
+
+    /// Address width required by a memory of `words` words.
+    pub fn addr_width(words: u32) -> u32 {
+        pe_util::bits::clog2(words as u64).max(1)
+    }
+
+    /// Read-only access to the design under construction.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Finalizes the design: checks all pending registers/memories were
+    /// connected, then runs [`Design::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first global validation error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a declared register or memory was never connected — that
+    /// is a construction bug in the calling code.
+    pub fn finish(self) -> Result<Design, DesignError> {
+        for p in &self.pending_regs {
+            assert!(
+                p.connected,
+                "register `{}` declared but never connected",
+                p.name
+            );
+        }
+        for p in &self.pending_mems {
+            assert!(
+                p.connection.is_some(),
+                "memory `{}` declared but never connected",
+                p.name
+            );
+        }
+        self.design.validate()?;
+        Ok(self.design)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_design() {
+        let mut b = DesignBuilder::new("counter");
+        let clk = b.clock("clk");
+        let one = b.constant(1, 8);
+        let count = b.register_named("count", 8, 0, clk);
+        let next = b.add(count.q(), one);
+        b.connect_d(count, next);
+        b.output("count", count.q());
+        let d = b.finish().unwrap();
+        assert_eq!(d.components().len(), 3);
+        assert_eq!(d.outputs().len(), 1);
+    }
+
+    #[test]
+    fn mux_and_compare() {
+        let mut b = DesignBuilder::new("max");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let gt = b.lt(c, a); // a > c  ⇔  c < a
+        let m = b.mux2(gt, c, a);
+        b.output("max", m);
+        let d = b.finish().unwrap();
+        assert!(d.validate().is_ok());
+        let mux = d.find_component("mux_3").or(d.find_component("mux_2"));
+        assert!(mux.is_some() || d.components().iter().any(|c| c.kind().mnemonic() == "mux"));
+    }
+
+    #[test]
+    fn memory_round_trip_structure() {
+        let mut b = DesignBuilder::new("regfile");
+        let clk = b.clock("clk");
+        let raddr = b.input("raddr", 4);
+        let waddr = b.input("waddr", 4);
+        let wdata = b.input("wdata", 16);
+        let wen = b.input("wen", 1);
+        let mem = b.memory("rf", 16, 16, None, clk);
+        b.connect_mem(mem, raddr, waddr, wdata, wen);
+        b.output("rdata", mem.rdata());
+        let d = b.finish().unwrap();
+        assert_eq!(d.components().len(), 1);
+        assert!(d.components()[0].kind().is_sequential());
+    }
+
+    #[test]
+    fn resize_directions() {
+        let mut b = DesignBuilder::new("resize");
+        let a = b.input("a", 8);
+        let up = b.uresize(a, 12);
+        let down = b.uresize(a, 4);
+        let same = b.uresize(a, 8);
+        let sup = b.sresize(a, 12);
+        b.output("up", up);
+        b.output("down", down);
+        b.output("same", same);
+        b.output("sup", sup);
+        let d = b.finish().unwrap();
+        assert_eq!(d.signal(up).width(), 12);
+        assert_eq!(d.signal(down).width(), 4);
+        assert_eq!(d.signal(same).width(), 8);
+        assert_eq!(d.signal(sup).width(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "never connected")]
+    fn unconnected_register_panics() {
+        let mut b = DesignBuilder::new("bad");
+        let clk = b.clock("clk");
+        let r = b.register_named("r", 8, 0, clk);
+        b.output("q", r.q());
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "connected twice")]
+    fn double_connect_panics() {
+        let mut b = DesignBuilder::new("bad");
+        let clk = b.clock("clk");
+        let x = b.input("x", 8);
+        let r = b.register_named("r", 8, 0, clk);
+        b.connect_d(r, x);
+        b.connect_d(r, x);
+    }
+
+    #[test]
+    fn register_with_enable() {
+        let mut b = DesignBuilder::new("en");
+        let clk = b.clock("clk");
+        let x = b.input("x", 8);
+        let en = b.input("en", 1);
+        let r = b.register_named("r", 8, 0, clk);
+        b.connect_d_en(r, x, en);
+        b.output("q", r.q());
+        let d = b.finish().unwrap();
+        let reg = &d.components()[0];
+        assert_eq!(reg.inputs().len(), 2);
+    }
+
+    #[test]
+    fn shift_const_helpers() {
+        let mut b = DesignBuilder::new("sh");
+        let a = b.input("a", 8);
+        let l = b.shl_const(a, 2);
+        let r = b.shr_const(a, 1);
+        let s = b.sar_const(a, 1);
+        b.output("l", l);
+        b.output("r", r);
+        b.output("s", s);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn pipeline_reg_convenience() {
+        let mut b = DesignBuilder::new("pipe");
+        let clk = b.clock("clk");
+        let x = b.input("x", 8);
+        let q = b.pipeline_reg("stage1", x, 0, clk);
+        b.output("q", q);
+        let d = b.finish().unwrap();
+        assert_eq!(d.signal(q).width(), 8);
+        assert_eq!(d.components().len(), 1);
+    }
+}

@@ -1,0 +1,336 @@
+//! Flattening instantiation of one design inside another.
+//!
+//! The workspace keeps [`Design`] flat — there is no
+//! hierarchy node in the IR — because both the power-emulation transform and
+//! the technology mapper want a flat component list. Hierarchical assembly
+//! (e.g. building the MPEG4 decoder top from IDCT/Ispq/Vld sub-designs) is
+//! done by *flattening instantiation*: every signal and component of the
+//! sub-design is copied into the parent under a prefix, with the
+//! sub-design's input ports spliced onto parent signals.
+
+use crate::design::{ClockId, Design, DesignError, SignalId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Result of an instantiation: where the sub-design's output ports ended up
+/// in the parent.
+#[derive(Debug, Clone)]
+pub struct Instantiation {
+    outputs: HashMap<String, SignalId>,
+}
+
+impl Instantiation {
+    /// The parent signal carrying the sub-design output port `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sub-design has no such output port — that is a static
+    /// wiring bug in the caller.
+    pub fn output(&self, name: &str) -> SignalId {
+        *self
+            .outputs
+            .get(name)
+            .unwrap_or_else(|| panic!("sub-design has no output port `{name}`"))
+    }
+
+    /// All output ports by name.
+    pub fn outputs(&self) -> &HashMap<String, SignalId> {
+        &self.outputs
+    }
+}
+
+/// Errors raised by [`instantiate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierarchyError {
+    /// A sub-design input port has no binding.
+    MissingInput {
+        /// The unbound port name.
+        port: String,
+    },
+    /// A binding referenced a port the sub-design does not have.
+    UnknownPort {
+        /// The unknown port name.
+        port: String,
+    },
+    /// A bound parent signal has the wrong width.
+    WidthMismatch {
+        /// The port name.
+        port: String,
+        /// Width the sub-design expects.
+        expected: u32,
+        /// Width of the bound parent signal.
+        found: u32,
+    },
+    /// A sub-design clock domain has no mapping.
+    MissingClock {
+        /// The unmapped clock name.
+        clock: String,
+    },
+    /// Propagated netlist construction error (e.g. name collision under the
+    /// chosen prefix).
+    Design(DesignError),
+}
+
+impl fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierarchyError::MissingInput { port } => {
+                write!(f, "input port `{port}` is not bound")
+            }
+            HierarchyError::UnknownPort { port } => {
+                write!(f, "sub-design has no port `{port}`")
+            }
+            HierarchyError::WidthMismatch {
+                port,
+                expected,
+                found,
+            } => write!(
+                f,
+                "port `{port}` expects {expected} bits, bound signal has {found}"
+            ),
+            HierarchyError::MissingClock { clock } => {
+                write!(f, "clock domain `{clock}` is not mapped")
+            }
+            HierarchyError::Design(e) => write!(f, "netlist error during flattening: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HierarchyError::Design(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DesignError> for HierarchyError {
+    fn from(e: DesignError) -> Self {
+        HierarchyError::Design(e)
+    }
+}
+
+/// Copies `sub` into `parent` under `prefix`, splicing the sub-design's
+/// input ports onto the given parent signals and mapping each sub clock
+/// domain onto a parent clock.
+///
+/// Internal names become `{prefix}__{name}`. Every input port of `sub`
+/// must appear in `inputs`; every clock of `sub` must appear in `clocks`
+/// (by the sub-design's clock name).
+///
+/// # Errors
+///
+/// See [`HierarchyError`].
+pub fn instantiate(
+    parent: &mut Design,
+    sub: &Design,
+    prefix: &str,
+    inputs: &[(&str, SignalId)],
+    clocks: &[(&str, ClockId)],
+) -> Result<Instantiation, HierarchyError> {
+    // Resolve clock mapping.
+    let mut clock_map: Vec<Option<ClockId>> = vec![None; sub.clocks().len()];
+    for (name, parent_clk) in clocks {
+        let idx = sub
+            .clocks()
+            .iter()
+            .position(|c| c.name() == *name)
+            .ok_or_else(|| HierarchyError::UnknownPort {
+                port: (*name).to_string(),
+            })?;
+        clock_map[idx] = Some(*parent_clk);
+    }
+    for (idx, mapped) in clock_map.iter().enumerate() {
+        if mapped.is_none() {
+            return Err(HierarchyError::MissingClock {
+                clock: sub.clocks()[idx].name().to_string(),
+            });
+        }
+    }
+
+    // Resolve input bindings.
+    let mut binding_of: HashMap<&str, SignalId> = HashMap::new();
+    for (port, sig) in inputs {
+        if sub.find_input(port).is_none() {
+            return Err(HierarchyError::UnknownPort {
+                port: (*port).to_string(),
+            });
+        }
+        binding_of.insert(port, *sig);
+    }
+    for port in sub.inputs() {
+        let bound = binding_of
+            .get(port.name())
+            .ok_or_else(|| HierarchyError::MissingInput {
+                port: port.name().to_string(),
+            })?;
+        let expected = sub.signal(port.signal()).width();
+        let found = parent.signal(*bound).width();
+        if expected != found {
+            return Err(HierarchyError::WidthMismatch {
+                port: port.name().to_string(),
+                expected,
+                found,
+            });
+        }
+    }
+
+    // Map every sub signal to a parent signal: bound inputs alias, the rest
+    // are freshly created under the prefix.
+    let mut signal_map: Vec<Option<SignalId>> = vec![None; sub.signals().len()];
+    for port in sub.inputs() {
+        signal_map[port.signal().index()] = Some(binding_of[port.name()]);
+    }
+    for (i, sig) in sub.signals().iter().enumerate() {
+        if signal_map[i].is_none() {
+            let name = format!("{prefix}__{}", sig.name());
+            let id = parent.add_signal(name, sig.width())?;
+            signal_map[i] = Some(id);
+        }
+    }
+
+    // Copy components.
+    for comp in sub.components() {
+        let ins: Vec<SignalId> = comp
+            .inputs()
+            .iter()
+            .map(|s| signal_map[s.index()].expect("all signals mapped"))
+            .collect();
+        let out = signal_map[comp.output().index()].expect("all signals mapped");
+        let clock = comp.clock().map(|c| clock_map[c.index()].expect("mapped"));
+        parent.add_component(
+            format!("{prefix}__{}", comp.name()),
+            comp.kind().clone(),
+            &ins,
+            out,
+            clock,
+        )?;
+    }
+
+    let outputs = sub
+        .outputs()
+        .iter()
+        .map(|p| {
+            (
+                p.name().to_string(),
+                signal_map[p.signal().index()].expect("all signals mapped"),
+            )
+        })
+        .collect();
+    Ok(Instantiation { outputs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+
+    fn adder_sub() -> Design {
+        let mut b = DesignBuilder::new("adder");
+        let a = b.input("a", 8);
+        let c = b.input("b", 8);
+        let clk = b.clock("clk");
+        let sum = b.add(a, c);
+        let q = b.pipeline_reg("stage", sum, 0, clk);
+        b.output("sum", q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn instantiate_twice_builds_pipeline() {
+        let sub = adder_sub();
+        let mut top = Design::new("top");
+        let clk = top.add_clock("clk").unwrap();
+        let x = top.add_input("x", 8).unwrap();
+        let y = top.add_input("y", 8).unwrap();
+        let z = top.add_input("z", 8).unwrap();
+        let i1 = instantiate(&mut top, &sub, "u1", &[("a", x), ("b", y)], &[("clk", clk)])
+            .unwrap();
+        let i2 = instantiate(
+            &mut top,
+            &sub,
+            "u2",
+            &[("a", i1.output("sum")), ("b", z)],
+            &[("clk", clk)],
+        )
+        .unwrap();
+        top.add_output("sum", i2.output("sum")).unwrap();
+        assert!(top.validate().is_ok());
+        // Each instance contributes its components.
+        assert_eq!(top.components().len(), sub.components().len() * 2);
+    }
+
+    #[test]
+    fn missing_input_rejected() {
+        let sub = adder_sub();
+        let mut top = Design::new("top");
+        let clk = top.add_clock("clk").unwrap();
+        let x = top.add_input("x", 8).unwrap();
+        let err = instantiate(&mut top, &sub, "u1", &[("a", x)], &[("clk", clk)]);
+        assert!(matches!(err, Err(HierarchyError::MissingInput { .. })));
+    }
+
+    #[test]
+    fn missing_clock_rejected() {
+        let sub = adder_sub();
+        let mut top = Design::new("top");
+        let x = top.add_input("x", 8).unwrap();
+        let y = top.add_input("y", 8).unwrap();
+        let err = instantiate(&mut top, &sub, "u1", &[("a", x), ("b", y)], &[]);
+        assert!(matches!(err, Err(HierarchyError::MissingClock { .. })));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let sub = adder_sub();
+        let mut top = Design::new("top");
+        let clk = top.add_clock("clk").unwrap();
+        let x = top.add_input("x", 4).unwrap();
+        let y = top.add_input("y", 8).unwrap();
+        let err = instantiate(&mut top, &sub, "u1", &[("a", x), ("b", y)], &[("clk", clk)]);
+        assert!(matches!(err, Err(HierarchyError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn unknown_port_rejected() {
+        let sub = adder_sub();
+        let mut top = Design::new("top");
+        let clk = top.add_clock("clk").unwrap();
+        let x = top.add_input("x", 8).unwrap();
+        let y = top.add_input("y", 8).unwrap();
+        let err = instantiate(
+            &mut top,
+            &sub,
+            "u1",
+            &[("a", x), ("b", y), ("nope", x)],
+            &[("clk", clk)],
+        );
+        assert!(matches!(err, Err(HierarchyError::UnknownPort { .. })));
+    }
+
+    #[test]
+    fn name_collision_surfaces_as_design_error() {
+        let sub = adder_sub();
+        let mut top = Design::new("top");
+        let clk = top.add_clock("clk").unwrap();
+        let x = top.add_input("x", 8).unwrap();
+        let y = top.add_input("y", 8).unwrap();
+        instantiate(&mut top, &sub, "u1", &[("a", x), ("b", y)], &[("clk", clk)]).unwrap();
+        let err = instantiate(&mut top, &sub, "u1", &[("a", x), ("b", y)], &[("clk", clk)]);
+        assert!(matches!(err, Err(HierarchyError::Design(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "no output port")]
+    fn unknown_output_panics() {
+        let sub = adder_sub();
+        let mut top = Design::new("top");
+        let clk = top.add_clock("clk").unwrap();
+        let x = top.add_input("x", 8).unwrap();
+        let y = top.add_input("y", 8).unwrap();
+        let inst =
+            instantiate(&mut top, &sub, "u1", &[("a", x), ("b", y)], &[("clk", clk)]).unwrap();
+        let _ = inst.output("bogus");
+    }
+}

@@ -1,0 +1,61 @@
+//! Structural register-transfer-level (RTL) intermediate representation.
+//!
+//! This crate defines the netlist data model that the whole power-emulation
+//! workspace operates on: a [`Design`] is a flat netlist of multi-bit
+//! [`Signal`]s connected by typed [`Component`]s (adders, multipliers,
+//! muxes, registers, memories, lookup tables, …) grouped into clock
+//! domains, with named input/output ports.
+//!
+//! The representation is deliberately *structural*, mirroring what a
+//! behavioral-synthesis tool emits and what the power-emulation transform of
+//! the DATE 2005 paper consumes: every RTL component is an explicit node
+//! whose input/output signals can be monitored by a power model.
+//!
+//! Key pieces:
+//!
+//! * [`ComponentKind`] — the component algebra, with cycle-accurate
+//!   evaluation semantics ([`ComponentKind::eval`]) shared by the RTL
+//!   simulator, the gate-level expansion, and the instrumentation transform.
+//! * [`Design`] — the netlist container with incremental validation
+//!   (unique names, width checking, single-driver rule) and global
+//!   validation ([`Design::validate`]: no combinational cycles, no floating
+//!   signals).
+//! * [`builder::DesignBuilder`] — an ergonomic fluent layer for authoring
+//!   designs by hand (used by examples and tests).
+//! * [`hierarchy`] — flattening instantiation of one design inside another
+//!   (used to assemble the MPEG4 top from its sub-designs).
+//! * [`text`] — a line-oriented textual netlist format for serialization.
+//! * [`stats`] — size/composition statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use pe_rtl::builder::DesignBuilder;
+//!
+//! let mut b = DesignBuilder::new("accumulate");
+//! let clk = b.clock("clk");
+//! let x = b.input("x", 8);
+//! let acc = b.register_named("acc", 8, 0, clk);
+//! let sum = b.add(acc.q(), x);
+//! b.connect_d(acc, sum);
+//! b.output("total", acc.q());
+//! let design = b.finish().expect("valid design");
+//! assert_eq!(design.components().len(), 2); // register + adder
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+mod component;
+mod design;
+pub mod hierarchy;
+pub mod stats;
+pub mod text;
+mod validate;
+
+pub use component::{Component, ComponentKind, WidthError};
+pub use design::{
+    ClockDomain, ClockId, ComponentId, Design, DesignError, Port, Signal, SignalId,
+};
+pub use validate::topo_order;

@@ -1,0 +1,140 @@
+//! Design size and composition statistics.
+
+use crate::component::ComponentKind;
+use crate::design::Design;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate statistics of a [`Design`], used for reporting and for the
+/// instrumentation-overhead experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignStats {
+    /// Total number of components.
+    pub components: usize,
+    /// Component count per kind mnemonic, sorted by name.
+    pub by_kind: BTreeMap<String, usize>,
+    /// Total number of signals.
+    pub signals: usize,
+    /// Sum of all signal widths.
+    pub signal_bits: u64,
+    /// Number of registers.
+    pub registers: usize,
+    /// Total register state bits.
+    pub register_bits: u64,
+    /// Number of memories.
+    pub memories: usize,
+    /// Total memory state bits (`words × width`).
+    pub memory_bits: u64,
+    /// Number of sequential components (registers + memories).
+    pub sequential: usize,
+    /// Number of combinational components.
+    pub combinational: usize,
+    /// Total monitored I/O bits (see [`Design::monitored_bits`]).
+    pub monitored_bits: u64,
+}
+
+impl DesignStats {
+    /// Computes statistics for a design.
+    pub fn of(design: &Design) -> Self {
+        let mut by_kind = BTreeMap::new();
+        let mut registers = 0;
+        let mut register_bits = 0u64;
+        let mut memories = 0;
+        let mut memory_bits = 0u64;
+        let mut sequential = 0;
+        for comp in design.components() {
+            *by_kind
+                .entry(comp.kind().mnemonic().to_string())
+                .or_insert(0) += 1;
+            match comp.kind() {
+                ComponentKind::Register { .. } => {
+                    registers += 1;
+                    sequential += 1;
+                    register_bits += design.signal(comp.output()).width() as u64;
+                }
+                ComponentKind::Memory { words, .. } => {
+                    memories += 1;
+                    sequential += 1;
+                    memory_bits +=
+                        *words as u64 * design.signal(comp.output()).width() as u64;
+                }
+                _ => {}
+            }
+        }
+        let components = design.components().len();
+        Self {
+            components,
+            by_kind,
+            signals: design.signals().len(),
+            signal_bits: design.signals().iter().map(|s| s.width() as u64).sum(),
+            registers,
+            register_bits,
+            memories,
+            memory_bits,
+            sequential,
+            combinational: components - sequential,
+            monitored_bits: design.monitored_bits(),
+        }
+    }
+}
+
+impl fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "components: {} ({} comb, {} seq)",
+            self.components, self.combinational, self.sequential
+        )?;
+        writeln!(
+            f,
+            "signals: {} ({} bits), registers: {} ({} bits), memories: {} ({} bits)",
+            self.signals,
+            self.signal_bits,
+            self.registers,
+            self.register_bits,
+            self.memories,
+            self.memory_bits
+        )?;
+        writeln!(f, "monitored I/O bits: {}", self.monitored_bits)?;
+        write!(f, "by kind:")?;
+        for (kind, count) in &self.by_kind {
+            write!(f, " {kind}={count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+
+    #[test]
+    fn stats_of_small_design() {
+        let mut b = DesignBuilder::new("t");
+        let clk = b.clock("clk");
+        let x = b.input("x", 8);
+        let one = b.constant(1, 8);
+        let sum = b.add(x, one);
+        let q = b.pipeline_reg("q", sum, 0, clk);
+        let mem = b.memory("m", 4, 8, None, clk);
+        let a0 = b.constant(0, 2);
+        let wen = b.constant(1, 1);
+        b.connect_mem(mem, a0, a0, q, wen);
+        b.output("rd", mem.rdata());
+        let d = b.finish().unwrap();
+        let s = DesignStats::of(&d);
+        assert_eq!(s.registers, 1);
+        assert_eq!(s.register_bits, 8);
+        assert_eq!(s.memories, 1);
+        assert_eq!(s.memory_bits, 32);
+        assert_eq!(s.sequential, 2);
+        assert_eq!(s.components, s.combinational + s.sequential);
+        assert_eq!(s.by_kind["add"], 1);
+        assert_eq!(s.by_kind["const"], 3);
+        assert!(s.monitored_bits > 0);
+        let text = s.to_string();
+        assert!(text.contains("components"));
+        assert!(text.contains("add=1"));
+    }
+}

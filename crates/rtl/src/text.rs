@@ -1,0 +1,488 @@
+//! Line-oriented textual netlist format.
+//!
+//! The format serializes a [`Design`] losslessly and is meant to be
+//! human-readable and diff-friendly — it is the workspace's equivalent of
+//! the "enhanced RTL description" artifact the paper's flow emits between
+//! step 1 (power model inference) and step 2 (FPGA synthesis).
+//!
+//! Grammar (one declaration per line, `#` starts a comment):
+//!
+//! ```text
+//! design <name>
+//! clock <name> period=<f64>
+//! input <name> <width>
+//! signal <name> <width>
+//! comp <name> <kind> out=<signal> in=<s1,s2,…> [clk=<clock>] [<k>=<v>…]
+//! output <port> <signal>
+//! ```
+//!
+//! Kind parameters: `slice` takes `lo=<u32>`; `const` takes `value=<u64>`;
+//! `table` takes `data=<v0,v1,…>`; `reg` takes `init=<u64>` and `en=<0|1>`;
+//! `mem` takes `words=<u32>` and optional `init=<v0,v1,…>`.
+
+use crate::component::ComponentKind;
+use crate::design::{ClockId, Design, DesignError, SignalId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced when parsing a textual netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Syntax error with a line number (1-based) and message.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Structural error raised while rebuilding the design.
+    Design {
+        /// 1-based line number.
+        line: usize,
+        /// Underlying construction error.
+        source: DesignError,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Design { line, source } => write!(f, "line {line}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Design { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn join_u64(values: impl IntoIterator<Item = u64>) -> String {
+    values
+        .into_iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Serializes a design to the textual netlist format.
+pub fn to_text(design: &Design) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("design {}\n", design.name()));
+    for clk in design.clocks() {
+        out.push_str(&format!("clock {} period={}\n", clk.name(), clk.period_ns()));
+    }
+    for port in design.inputs() {
+        out.push_str(&format!(
+            "input {} {}\n",
+            port.name(),
+            design.signal(port.signal()).width()
+        ));
+    }
+    for sig in design.signals() {
+        // Input-port signals were already declared by their `input` line.
+        if design
+            .find_input(sig.name())
+            .is_some_and(|s| design.signal(s).name() == sig.name())
+        {
+            continue;
+        }
+        out.push_str(&format!("signal {} {}\n", sig.name(), sig.width()));
+    }
+    for comp in design.components() {
+        let ins = comp
+            .inputs()
+            .iter()
+            .map(|s| design.signal(*s).name().to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(
+            "comp {} {} out={}",
+            comp.name(),
+            comp.kind().mnemonic(),
+            design.signal(comp.output()).name()
+        ));
+        if !comp.inputs().is_empty() {
+            out.push_str(&format!(" in={ins}"));
+        }
+        if let Some(clk) = comp.clock() {
+            out.push_str(&format!(" clk={}", design.clocks()[clk.index()].name()));
+        }
+        match comp.kind() {
+            ComponentKind::Slice { lo } => out.push_str(&format!(" lo={lo}")),
+            ComponentKind::Const { value } => out.push_str(&format!(" value={value}")),
+            ComponentKind::Table { table } => {
+                out.push_str(&format!(" data={}", join_u64(table.iter().copied())))
+            }
+            ComponentKind::Register { init, has_enable } => {
+                out.push_str(&format!(" init={init} en={}", u8::from(*has_enable)))
+            }
+            ComponentKind::Memory { words, init } => {
+                out.push_str(&format!(" words={words}"));
+                if let Some(init) = init {
+                    out.push_str(&format!(" init={}", join_u64(init.iter().copied())));
+                }
+            }
+            _ => {}
+        }
+        out.push('\n');
+    }
+    for port in design.outputs() {
+        out.push_str(&format!(
+            "output {} {}\n",
+            port.name(),
+            design.signal(port.signal()).name()
+        ));
+    }
+    out
+}
+
+struct LineCtx {
+    line: usize,
+}
+
+impl LineCtx {
+    fn syntax(&self, message: impl Into<String>) -> ParseError {
+        ParseError::Syntax {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn design(&self, source: DesignError) -> ParseError {
+        ParseError::Design {
+            line: self.line,
+            source,
+        }
+    }
+}
+
+fn parse_kv<'a>(tokens: &'a [&'a str]) -> HashMap<&'a str, &'a str> {
+    let mut map = HashMap::new();
+    for tok in tokens {
+        if let Some((k, v)) = tok.split_once('=') {
+            map.insert(k, v);
+        }
+    }
+    map
+}
+
+fn parse_u64(ctx: &LineCtx, s: &str, what: &str) -> Result<u64, ParseError> {
+    s.parse()
+        .map_err(|_| ctx.syntax(format!("invalid {what}: `{s}`")))
+}
+
+fn parse_u32(ctx: &LineCtx, s: &str, what: &str) -> Result<u32, ParseError> {
+    s.parse()
+        .map_err(|_| ctx.syntax(format!("invalid {what}: `{s}`")))
+}
+
+fn parse_u64_list(ctx: &LineCtx, s: &str, what: &str) -> Result<Vec<u64>, ParseError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|p| parse_u64(ctx, p, what))
+        .collect()
+}
+
+/// Parses a textual netlist back into a [`Design`]. The result is
+/// validated before being returned.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on syntax or
+/// structural errors.
+pub fn from_text(text: &str) -> Result<Design, ParseError> {
+    let mut design: Option<Design> = None;
+    let mut signals: HashMap<String, SignalId> = HashMap::new();
+    let mut clocks: HashMap<String, ClockId> = HashMap::new();
+    let mut ctx = LineCtx { line: 0 };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        ctx.line = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let head = tokens[0];
+        if head == "design" {
+            if tokens.len() != 2 {
+                return Err(ctx.syntax("expected `design <name>`"));
+            }
+            if design.is_some() {
+                return Err(ctx.syntax("duplicate `design` line"));
+            }
+            design = Some(Design::new(tokens[1]));
+            continue;
+        }
+        let d = design
+            .as_mut()
+            .ok_or_else(|| ctx.syntax("first line must be `design <name>`"))?;
+        match head {
+            "clock" => {
+                if tokens.len() < 2 {
+                    return Err(ctx.syntax("expected `clock <name> [period=<ns>]`"));
+                }
+                let kv = parse_kv(&tokens[2..]);
+                let period: f64 = match kv.get("period") {
+                    Some(p) => p
+                        .parse()
+                        .map_err(|_| ctx.syntax(format!("invalid period `{p}`")))?,
+                    None => 10.0,
+                };
+                let id = d
+                    .add_clock_with_period(tokens[1], period)
+                    .map_err(|e| ctx.design(e))?;
+                clocks.insert(tokens[1].to_string(), id);
+            }
+            "input" => {
+                if tokens.len() != 3 {
+                    return Err(ctx.syntax("expected `input <name> <width>`"));
+                }
+                let width = parse_u32(&ctx, tokens[2], "width")?;
+                let id = d.add_input(tokens[1], width).map_err(|e| ctx.design(e))?;
+                signals.insert(tokens[1].to_string(), id);
+            }
+            "signal" => {
+                if tokens.len() != 3 {
+                    return Err(ctx.syntax("expected `signal <name> <width>`"));
+                }
+                let width = parse_u32(&ctx, tokens[2], "width")?;
+                let id = d.add_signal(tokens[1], width).map_err(|e| ctx.design(e))?;
+                signals.insert(tokens[1].to_string(), id);
+            }
+            "comp" => {
+                if tokens.len() < 3 {
+                    return Err(ctx.syntax("expected `comp <name> <kind> …`"));
+                }
+                let name = tokens[1];
+                let kind_str = tokens[2];
+                let kv = parse_kv(&tokens[3..]);
+                let out_name = kv
+                    .get("out")
+                    .ok_or_else(|| ctx.syntax("component missing `out=`"))?;
+                let out = *signals
+                    .get(*out_name)
+                    .ok_or_else(|| ctx.syntax(format!("unknown signal `{out_name}`")))?;
+                let ins: Vec<SignalId> = match kv.get("in") {
+                    Some(list) if !list.is_empty() => list
+                        .split(',')
+                        .map(|n| {
+                            signals
+                                .get(n)
+                                .copied()
+                                .ok_or_else(|| ctx.syntax(format!("unknown signal `{n}`")))
+                        })
+                        .collect::<Result<_, _>>()?,
+                    _ => Vec::new(),
+                };
+                let clock = match kv.get("clk") {
+                    Some(c) => Some(
+                        *clocks
+                            .get(*c)
+                            .ok_or_else(|| ctx.syntax(format!("unknown clock `{c}`")))?,
+                    ),
+                    None => None,
+                };
+                let kind = match kind_str {
+                    "add" => ComponentKind::Add,
+                    "sub" => ComponentKind::Sub,
+                    "mul" => ComponentKind::Mul,
+                    "neg" => ComponentKind::Neg,
+                    "eq" => ComponentKind::Eq,
+                    "ne" => ComponentKind::Ne,
+                    "lt" => ComponentKind::Lt,
+                    "le" => ComponentKind::Le,
+                    "slt" => ComponentKind::SLt,
+                    "sle" => ComponentKind::SLe,
+                    "and" => ComponentKind::And,
+                    "or" => ComponentKind::Or,
+                    "xor" => ComponentKind::Xor,
+                    "not" => ComponentKind::Not,
+                    "redand" => ComponentKind::RedAnd,
+                    "redor" => ComponentKind::RedOr,
+                    "redxor" => ComponentKind::RedXor,
+                    "shl" => ComponentKind::Shl,
+                    "shr" => ComponentKind::Shr,
+                    "sar" => ComponentKind::Sar,
+                    "mux" => ComponentKind::Mux,
+                    "concat" => ComponentKind::Concat,
+                    "zext" => ComponentKind::ZeroExt,
+                    "sext" => ComponentKind::SignExt,
+                    "slice" => {
+                        let lo = parse_u32(
+                            &ctx,
+                            kv.get("lo").ok_or_else(|| ctx.syntax("slice missing `lo=`"))?,
+                            "lo",
+                        )?;
+                        ComponentKind::Slice { lo }
+                    }
+                    "const" => {
+                        let value = parse_u64(
+                            &ctx,
+                            kv.get("value")
+                                .ok_or_else(|| ctx.syntax("const missing `value=`"))?,
+                            "value",
+                        )?;
+                        ComponentKind::Const { value }
+                    }
+                    "table" => {
+                        let data = parse_u64_list(
+                            &ctx,
+                            kv.get("data")
+                                .ok_or_else(|| ctx.syntax("table missing `data=`"))?,
+                            "table entry",
+                        )?;
+                        ComponentKind::Table { table: data }
+                    }
+                    "reg" => {
+                        let init = parse_u64(
+                            &ctx,
+                            kv.get("init")
+                                .ok_or_else(|| ctx.syntax("reg missing `init=`"))?,
+                            "init",
+                        )?;
+                        let has_enable = matches!(kv.get("en"), Some(&"1"));
+                        ComponentKind::Register { init, has_enable }
+                    }
+                    "mem" => {
+                        let words = parse_u32(
+                            &ctx,
+                            kv.get("words")
+                                .ok_or_else(|| ctx.syntax("mem missing `words=`"))?,
+                            "words",
+                        )?;
+                        let init = match kv.get("init") {
+                            Some(list) => Some(parse_u64_list(&ctx, list, "mem init entry")?),
+                            None => None,
+                        };
+                        ComponentKind::Memory { words, init }
+                    }
+                    other => return Err(ctx.syntax(format!("unknown component kind `{other}`"))),
+                };
+                d.add_component(name, kind, &ins, out, clock)
+                    .map_err(|e| ctx.design(e))?;
+            }
+            "output" => {
+                if tokens.len() != 3 {
+                    return Err(ctx.syntax("expected `output <port> <signal>`"));
+                }
+                let sig = *signals
+                    .get(tokens[2])
+                    .ok_or_else(|| ctx.syntax(format!("unknown signal `{}`", tokens[2])))?;
+                d.add_output(tokens[1], sig).map_err(|e| ctx.design(e))?;
+            }
+            other => return Err(ctx.syntax(format!("unknown declaration `{other}`"))),
+        }
+    }
+    let design = design.ok_or_else(|| ParseError::Syntax {
+        line: 1,
+        message: "empty netlist".into(),
+    })?;
+    design.validate().map_err(|e| ParseError::Design {
+        line: 0,
+        source: e,
+    })?;
+    Ok(design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+
+    fn sample_design() -> Design {
+        let mut b = DesignBuilder::new("sample");
+        let clk = b.clock_with_period("clk", 8.0);
+        let a = b.input("a", 8);
+        let c = b.input("b", 8);
+        let sum = b.add_wide(a, c);
+        let low = b.slice(sum, 0, 8);
+        let q = b.pipeline_reg("q", low, 3, clk);
+        let sel = b.input("sel", 1);
+        let m = b.mux2(sel, q, a);
+        let t = b.table(sel, vec![2, 1], 2);
+        let mem = b.memory("scratch", 8, 8, Some(vec![7; 8]), clk);
+        let a3 = b.slice(a, 0, 3);
+        let wen = b.constant(1, 1);
+        b.connect_mem(mem, a3, a3, q, wen);
+        b.output("m", m);
+        b.output("t", t);
+        b.output("rd", mem.rdata());
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_design() {
+        let d = sample_design();
+        let text = to_text(&d);
+        let d2 = from_text(&text).unwrap();
+        assert_eq!(d.name(), d2.name());
+        assert_eq!(d.signals().len(), d2.signals().len());
+        assert_eq!(d.components().len(), d2.components().len());
+        assert_eq!(d.inputs().len(), d2.inputs().len());
+        assert_eq!(d.outputs().len(), d2.outputs().len());
+        // Component kinds and connectivity match by name.
+        for (c1, c2) in d.components().iter().zip(d2.components()) {
+            assert_eq!(c1.name(), c2.name());
+            assert_eq!(c1.kind(), c2.kind());
+            assert_eq!(c1.inputs().len(), c2.inputs().len());
+        }
+        // And a second round-trip is a fixed point.
+        assert_eq!(text, to_text(&d2));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# a comment\ndesign t\ninput a 4  # trailing\nsignal y 4\n\
+                    comp inv not out=y in=a\noutput y y\n";
+        let d = from_text(text).unwrap();
+        assert_eq!(d.name(), "t");
+        assert_eq!(d.components().len(), 1);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = from_text("design t\nbogus decl\n").unwrap_err();
+        match err {
+            ParseError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_design_header_rejected() {
+        assert!(from_text("input a 4\n").is_err());
+        assert!(from_text("").is_err());
+        assert!(from_text("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn unknown_signal_rejected() {
+        let err = from_text("design t\ncomp inv not out=y in=a\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn structural_errors_propagate() {
+        // y driven twice.
+        let text = "design t\ninput a 1\nsignal y 1\n\
+                    comp i1 not out=y in=a\ncomp i2 not out=y in=a\noutput y y\n";
+        let err = from_text(text).unwrap_err();
+        assert!(matches!(err, ParseError::Design { line: 5, .. }));
+    }
+
+    #[test]
+    fn clock_period_round_trips() {
+        let d = sample_design();
+        let d2 = from_text(&to_text(&d)).unwrap();
+        assert_eq!(d2.clocks()[0].period_ns(), 8.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Utility foundations for the power-emulation workspace.
+//!
+//! This crate is dependency-free and fully deterministic. It provides:
+//!
+//! * [`fixed`] — binary fixed-point arithmetic used to quantize power-model
+//!   coefficients into hardware (`Fx`, [`fixed::FxFormat`]).
+//! * [`rng`] — a seedable, portable pseudo-random generator
+//!   ([`rng::Xoshiro`], SplitMix64-seeded xoshiro256**) used for
+//!   characterization stimuli and testbench workloads. We deliberately do
+//!   not use the `rand` crate here so stimuli are bit-stable forever.
+//! * [`stats`] — error metrics (RMSE, MAPE, R², correlation) used to grade
+//!   macromodel accuracy.
+//! * [`linalg`] — a small dense-matrix least-squares solver
+//!   (ridge-regularized normal equations, Cholesky) used by the power-model
+//!   characterization engine.
+//! * [`bits`] — bit-twiddling helpers for transition counting.
+//!
+//! # Example
+//!
+//! ```
+//! use pe_util::fixed::{Fx, FxFormat};
+//!
+//! let fmt = FxFormat::new(16, 8).unwrap();
+//! let a = Fx::from_f64(1.5, fmt);
+//! let b = Fx::from_f64(2.25, fmt);
+//! assert_eq!((a + b).to_f64(), 3.75);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod fixed;
+pub mod linalg;
+pub mod rng;
+pub mod stats;

@@ -1,0 +1,389 @@
+//! Dense linear algebra for macromodel characterization.
+//!
+//! The characterization engine fits the paper's linear regression
+//! macromodel `P = Σ coeff_i · T(x_i)` by least squares over a stimulus
+//! trace: the design matrix rows are per-cycle transition vectors and the
+//! right-hand side is the gate-level reference energy. We solve the
+//! ridge-regularized normal equations `(AᵀA + λI) x = Aᵀb` by Cholesky
+//! decomposition — the systems are small (one column per monitored bit, at
+//! most a few hundred) so this is both fast and robust.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Error returned by solvers when the system is unsolvable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is not symmetric positive definite even after
+    /// regularization.
+    NotPositiveDefinite,
+    /// Dimension mismatch between operands.
+    DimensionMismatch {
+        /// What was expected (rows/cols description).
+        expected: String,
+        /// What was provided.
+        found: String,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            SolveError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or either dimension is zero.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "vector length mismatch");
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            out[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// `AᵀA` (Gram matrix).
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for r in 0..self.rows {
+            let row = &self.data[r * n..(r + 1) * n];
+            for i in 0..n {
+                if row[i] == 0.0 {
+                    continue;
+                }
+                for j in i..n {
+                    g[(i, j)] += row[i] * row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..n {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// `Aᵀb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.rows()`.
+    pub fn transpose_mul_vec(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.rows, "vector length mismatch");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, a) in out.iter_mut().zip(row) {
+                *o += a * b[r];
+            }
+        }
+        out
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Cholesky decomposition of a symmetric positive-definite matrix.
+/// Returns the lower-triangular factor `L` with `A = L·Lᵀ`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::NotPositiveDefinite`] if a non-positive pivot is
+/// encountered, and [`SolveError::DimensionMismatch`] if `a` is not square.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, SolveError> {
+    if a.rows != a.cols {
+        return Err(SolveError::DimensionMismatch {
+            expected: "square matrix".into(),
+            found: format!("{}x{}", a.rows, a.cols),
+        });
+    }
+    let n = a.rows;
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(SolveError::NotPositiveDefinite);
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A·x = b` for symmetric positive-definite `A` via Cholesky.
+///
+/// # Errors
+///
+/// Propagates [`cholesky`] errors; also errors if `b` has the wrong length.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    if b.len() != a.rows {
+        return Err(SolveError::DimensionMismatch {
+            expected: format!("rhs of length {}", a.rows),
+            found: format!("length {}", b.len()),
+        });
+    }
+    let l = cholesky(a)?;
+    let n = a.rows;
+    // Forward substitution: L·y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // Back substitution: Lᵀ·x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Ridge-regularized linear least squares: minimizes
+/// `‖A·x − b‖² + λ‖x‖²` by solving the normal equations.
+///
+/// A small positive `lambda` (e.g. `1e-9` relative to the Gram diagonal)
+/// keeps the system positive definite when columns are collinear — which
+/// genuinely happens in macromodel characterization when two monitored bits
+/// always toggle together. If the first attempt fails, the regularization is
+/// escalated geometrically before giving up.
+///
+/// # Errors
+///
+/// Returns [`SolveError`] if the system cannot be solved even with escalated
+/// regularization, or on dimension mismatch.
+pub fn least_squares(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>, SolveError> {
+    if b.len() != a.rows {
+        return Err(SolveError::DimensionMismatch {
+            expected: format!("rhs of length {}", a.rows),
+            found: format!("length {}", b.len()),
+        });
+    }
+    let mut gram = a.gram();
+    let atb = a.transpose_mul_vec(b);
+    // Scale-aware base regularization.
+    let diag_max = (0..gram.rows())
+        .map(|i| gram[(i, i)])
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+    let mut lam = lambda.max(1e-12 * diag_max);
+    for _attempt in 0..8 {
+        let mut regularized = gram.clone();
+        for i in 0..regularized.rows() {
+            regularized[(i, i)] += lam;
+        }
+        match solve_spd(&regularized, &atb) {
+            Ok(x) => return Ok(x),
+            Err(SolveError::NotPositiveDefinite) => lam *= 100.0,
+            Err(e) => return Err(e),
+        }
+        gram = a.gram();
+    }
+    Err(SolveError::NotPositiveDefinite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_indexing() {
+        let m = Matrix::identity(3);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 0.0);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let a = Matrix::from_rows(3, 2, vec![1.0, 2.0, 0.0, 1.0, 3.0, 1.0]);
+        let g = a.gram();
+        assert_eq!(g[(0, 1)], g[(1, 0)]);
+        assert_eq!(g[(0, 0)], 10.0); // 1 + 0 + 9
+        assert_eq!(g[(1, 1)], 6.0); // 4 + 1 + 1
+        assert_eq!(g[(0, 1)], 5.0); // 2 + 0 + 3
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = Matrix::from_rows(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+        let l = cholesky(&a).unwrap();
+        // L·Lᵀ = A
+        let mut rec = Matrix::zeros(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    rec[(i, j)] += l[(i, k)] * l[(j, k)];
+                }
+            }
+        }
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert_eq!(cholesky(&a), Err(SolveError::NotPositiveDefinite));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            cholesky(&a),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_spd_exact() {
+        let a = Matrix::from_rows(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+        let x = solve_spd(&a, &[8.0, 7.0]).unwrap();
+        let b = a.mul_vec(&x);
+        assert!((b[0] - 8.0).abs() < 1e-10);
+        assert!((b[1] - 7.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_recovers_known_coefficients() {
+        // b = 2*x0 + 5*x1 over random-ish binary design rows.
+        let rows = vec![
+            1.0, 0.0, //
+            0.0, 1.0, //
+            1.0, 1.0, //
+            1.0, 0.0, //
+            0.0, 1.0, //
+        ];
+        let a = Matrix::from_rows(5, 2, rows);
+        let b: Vec<f64> = (0..5)
+            .map(|r| 2.0 * a[(r, 0)] + 5.0 * a[(r, 1)])
+            .collect();
+        let x = least_squares(&a, &b, 0.0).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-4, "x0 = {}", x[0]);
+        assert!((x[1] - 5.0).abs() < 1e-4, "x1 = {}", x[1]);
+    }
+
+    #[test]
+    fn least_squares_handles_collinear_columns() {
+        // Two identical columns: classic singular normal equations.
+        let a = Matrix::from_rows(4, 2, vec![1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+        let b = [3.0, 0.0, 3.0, 0.0];
+        let x = least_squares(&a, &b, 1e-9).unwrap();
+        // Ridge splits the weight between the twins; their sum explains b.
+        assert!((x[0] + x[1] - 3.0).abs() < 1e-3, "sum = {}", x[0] + x[1]);
+    }
+
+    #[test]
+    fn least_squares_dimension_check() {
+        let a = Matrix::zeros(3, 2);
+        assert!(matches!(
+            least_squares(&a, &[1.0], 0.0),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,315 @@
+//! Error metrics and summary statistics.
+//!
+//! Used to grade macromodel accuracy against the gate-level reference and to
+//! report paper-vs-measured comparisons in the benchmark harness.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance. Returns 0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Root-mean-square error between prediction and reference series.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn rmse(predicted: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), reference.len(), "series length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let sq: f64 = predicted
+        .iter()
+        .zip(reference)
+        .map(|(p, r)| (p - r).powi(2))
+        .sum();
+    (sq / predicted.len() as f64).sqrt()
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mae(predicted: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), reference.len(), "series length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted
+        .iter()
+        .zip(reference)
+        .map(|(p, r)| (p - r).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Mean absolute percentage error, in percent. Reference points with
+/// magnitude below `1e-12` are skipped (they would blow up the ratio);
+/// returns 0 if every point is skipped.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mape(predicted: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), reference.len(), "series length mismatch");
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (p, r) in predicted.iter().zip(reference) {
+        if r.abs() > 1e-12 {
+            total += ((p - r) / r).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * total / n as f64
+    }
+}
+
+/// Maximum absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_error(predicted: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), reference.len(), "series length mismatch");
+    predicted
+        .iter()
+        .zip(reference)
+        .map(|(p, r)| (p - r).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Coefficient of determination R² of a prediction against a reference.
+/// Returns 1.0 for a perfect fit and can be negative for fits worse than the
+/// reference mean. A constant reference series yields 0 unless the fit is
+/// exact.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn r_squared(predicted: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), reference.len(), "series length mismatch");
+    if reference.is_empty() {
+        return 0.0;
+    }
+    let m = mean(reference);
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(reference)
+        .map(|(p, r)| (r - p).powi(2))
+        .sum();
+    let ss_tot: f64 = reference.iter().map(|r| (r - m).powi(2)).sum();
+    if ss_tot <= 1e-300 {
+        if ss_res <= 1e-300 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Pearson correlation coefficient. Returns 0 when either series is
+/// constant or empty.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx <= 1e-300 || vy <= 1e-300 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// A running min/max/mean accumulator for streaming series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.sum_sq / self.count as f64 - m * m).max(0.0)
+    }
+
+    /// Minimum observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_and_mae() {
+        let p = [1.0, 2.0, 3.0];
+        let r = [1.0, 2.0, 5.0];
+        assert!((rmse(&p, &r) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mae(&p, &r) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(max_abs_error(&p, &r), 2.0);
+    }
+
+    #[test]
+    fn mape_skips_zero_reference() {
+        let p = [1.1, 2.0];
+        let r = [1.0, 0.0];
+        assert!((mape(&p, &r) - 10.0).abs() < 1e-9);
+        assert_eq!(mape(&[1.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean_fit() {
+        let r = [1.0, 2.0, 3.0];
+        assert!((r_squared(&r, &r) - 1.0).abs() < 1e-12);
+        let mean_fit = [2.0, 2.0, 2.0];
+        assert!(r_squared(&mean_fit, &r).abs() < 1e-12);
+        // Constant reference
+        assert_eq!(r_squared(&[5.0, 5.0], &[5.0, 5.0]), 1.0);
+        assert_eq!(r_squared(&[4.0, 6.0], &[5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_pos = [2.0, 4.0, 6.0, 8.0];
+        let y_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((correlation(&x, &y_pos) - 1.0).abs() < 1e-12);
+        assert!((correlation(&x, &y_neg) + 1.0).abs() < 1e-12);
+        assert_eq!(correlation(&x, &[1.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn summary_accumulates() {
+        let s: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.sum(), 6.0);
+        assert!((s.variance() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

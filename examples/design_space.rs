@@ -1,0 +1,91 @@
+//! Design-space exploration of the power estimation hardware itself:
+//! sweep the coefficient fixed-point width, the power-strobe period, and
+//! the aggregator topology on the DCT benchmark, reporting the
+//! accuracy/area/clock trade-offs (the knobs behind the paper's closing
+//! remarks on instrumentation cost).
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use power_emulation::designs::suite::benchmark;
+use power_emulation::estimators::{PowerEstimator, RtlEventEstimator};
+use power_emulation::fpga::lut::map_to_luts;
+use power_emulation::fpga::timing::analyze_timing;
+use power_emulation::gate::expand::expand_design;
+use power_emulation::instrument::{instrument, AggregatorTopology, InstrumentConfig};
+use power_emulation::power::{CharacterizeConfig, ModelLibrary};
+use power_emulation::sim::Simulator;
+
+fn main() {
+    let bench = benchmark("DCT").expect("suite has DCT");
+    let design = &bench.design;
+    let cycles = 800u64;
+
+    let mut library = ModelLibrary::new();
+    library
+        .characterize_design(design, &CharacterizeConfig::fast())
+        .expect("characterize");
+    let software = {
+        let mut tb = bench.testbench(cycles);
+        RtlEventEstimator::new(&library)
+            .estimate(design, tb.as_mut())
+            .expect("software")
+            .total_energy_fj
+    };
+    println!("DCT, {cycles} cycles; software estimate = {:.2} nJ", software / 1e6);
+
+    let emulate = |cfg: &InstrumentConfig| -> (f64, u32, f64) {
+        let inst = instrument(design, &library, cfg).expect("instrument");
+        let mut sim = Simulator::new(&inst.design).expect("sim");
+        let mut tb = bench.testbench(cycles);
+        power_emulation::sim::run(&mut sim, tb.as_mut());
+        let energy = inst.read_energy_fj(&mut sim);
+        let mapped = map_to_luts(&expand_design(&inst.design).netlist);
+        let fmax = analyze_timing(&mapped).fmax_mhz;
+        (energy, mapped.resource_use().luts, fmax)
+    };
+
+    println!();
+    println!("coefficient width sweep (strobe 1, tree aggregator)");
+    println!("{:>6} {:>12} {:>10} {:>10} {:>10}", "bits", "energy(nJ)", "error%", "LUTs", "fmax(MHz)");
+    for bits in [6u32, 8, 12, 16, 20] {
+        let (e, luts, fmax) = emulate(&InstrumentConfig {
+            coeff_bits: bits,
+            ..InstrumentConfig::default()
+        });
+        println!(
+            "{bits:>6} {:>12.2} {:>9.3}% {luts:>10} {fmax:>10.1}",
+            e / 1e6,
+            100.0 * ((e - software) / software).abs()
+        );
+    }
+
+    println!();
+    println!("strobe period sweep (16-bit coefficients)");
+    println!("{:>6} {:>12} {:>10}", "P", "energy(nJ)", "dev%");
+    for period in [1u32, 2, 4, 8, 16] {
+        let (e, _, _) = emulate(&InstrumentConfig {
+            strobe_period: period,
+            ..InstrumentConfig::default()
+        });
+        println!(
+            "{period:>6} {:>12.2} {:>9.2}%",
+            e / 1e6,
+            100.0 * ((e - software) / software).abs()
+        );
+    }
+
+    println!();
+    println!("aggregator topology sweep");
+    println!("{:>16} {:>10} {:>10}", "topology", "LUTs", "fmax(MHz)");
+    for topo in [
+        AggregatorTopology::Chain,
+        AggregatorTopology::Tree,
+        AggregatorTopology::PipelinedTree,
+    ] {
+        let (_, luts, fmax) = emulate(&InstrumentConfig {
+            aggregator: topo,
+            ..InstrumentConfig::default()
+        });
+        println!("{:>16} {luts:>10} {fmax:>10.1}", topo.to_string());
+    }
+}

@@ -1,0 +1,62 @@
+//! # power-emulation
+//!
+//! A from-scratch reproduction of **"Hardware Accelerated Power
+//! Estimation"** (Coburn, Ravi, Raghunathan — DATE 2005): *power
+//! emulation*, the idea that the power-model arithmetic of RTL power
+//! estimation can itself be synthesized into hardware, attached to any
+//! design, and executed at emulation speed.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`rtl`] | `pe-rtl` | structural RTL netlist IR |
+//! | [`sim`] | `pe-sim` | cycle-accurate RTL simulator |
+//! | [`gate`] | `pe-gate` | gate-level expansion + switched-energy reference |
+//! | [`power`] | `pe-power` | characterization-based macromodels |
+//! | [`estimators`] | `pe-estimators` | software RTL/gate power estimators |
+//! | [`instrument`] | `pe-instrument` | the power-emulation transform |
+//! | [`fpga`] | `pe-fpga` | simulated Virtex-II emulation platform |
+//! | [`hls`] | `pe-hls` | behavioral synthesis substrate |
+//! | [`designs`] | `pe-designs` | the seven benchmark designs |
+//! | [`core`] | `pe-core` | the Figure-2 flow, Figure-3 harness |
+//! | [`util`] | `pe-util` | fixed point, RNG, statistics |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use power_emulation::core::PowerEmulationFlow;
+//! use power_emulation::designs::binary_search::binary_search;
+//! use power_emulation::power::CharacterizeConfig;
+//! use power_emulation::sim::ConstInputs;
+//!
+//! // The paper's Figure-1 example circuit…
+//! let design = binary_search();
+//! // …enhanced with power estimation hardware and mapped to the platform.
+//! let flow = PowerEmulationFlow::new()
+//!     .with_characterize(CharacterizeConfig::fast());
+//! let result = flow.run(&design).expect("flow");
+//! assert!(result.timing.fmax_mhz > 1.0);
+//!
+//! // Execute a workload and read the power accumulator back.
+//! let value = design.find_input("value").unwrap();
+//! let start = design.find_input("start").unwrap();
+//! let mut tb = ConstInputs::new(200, vec![(value, 99), (start, 1)]);
+//! let power = flow.emulate_power(&result, &mut tb).expect("emulation");
+//! assert!(power.average_power_uw > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pe_core as core;
+pub use pe_designs as designs;
+pub use pe_estimators as estimators;
+pub use pe_fpga as fpga;
+pub use pe_gate as gate;
+pub use pe_hls as hls;
+pub use pe_instrument as instrument;
+pub use pe_power as power;
+pub use pe_rtl as rtl;
+pub use pe_sim as sim;
+pub use pe_util as util;

@@ -1,0 +1,78 @@
+//! Cross-substrate equivalence: for every benchmark design, the RTL
+//! simulator, the gate-level expansion, and the technology-mapped LUT
+//! netlist must agree bit-for-bit on the design's real workload.
+//!
+//! This is the reproduction's "bring-up" check: it certifies that the
+//! synthesis path the emulation flow rides on (RTL → gates → LUTs)
+//! preserves behaviour, so a power readout from the mapped design speaks
+//! for the original circuit.
+
+use power_emulation::designs::suite::{all_benchmarks, Scale};
+use power_emulation::fpga::emulate::LutSimulator;
+use power_emulation::fpga::lut::map_to_luts;
+use power_emulation::gate::cells::CellLibrary;
+use power_emulation::gate::expand::expand_design;
+use power_emulation::gate::GateSimulator;
+use power_emulation::sim::Simulator;
+
+/// Cycles compared per design (gate-level MPEG4 is the expensive one).
+fn budget(name: &str) -> u64 {
+    match name {
+        "MPEG4" => 400,
+        _ => 800,
+    }
+}
+
+#[test]
+fn every_benchmark_is_equivalent_across_levels() {
+    let cells = CellLibrary::cmos130();
+    for bench in all_benchmarks() {
+        let design = &bench.design;
+        let expanded = expand_design(design);
+        let mapped = map_to_luts(&expanded.netlist);
+        let mut rtl = Simulator::new(design).expect("rtl sim");
+        let mut gate = GateSimulator::new(&expanded, &cells);
+        let mut lut = LutSimulator::new(&mapped);
+
+        let cycles = budget(bench.name).min(bench.cycles(Scale::Test));
+        let mut tb = bench.testbench(cycles);
+        let inputs: Vec<(String, power_emulation::rtl::SignalId)> = design
+            .inputs()
+            .iter()
+            .map(|p| (p.name().to_string(), p.signal()))
+            .collect();
+        let outputs: Vec<String> = design
+            .outputs()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+
+        for cycle in 0..cycles {
+            tb.apply(cycle, &mut rtl);
+            tb.observe(cycle, &mut rtl);
+            for (name, sig) in &inputs {
+                let v = rtl.value(*sig);
+                gate.set_input(name, v);
+                lut.set_input(name, v);
+            }
+            for port in &outputs {
+                let want = rtl.output(port);
+                assert_eq!(
+                    gate.output(port),
+                    want,
+                    "{}::{port} diverged at gate level, cycle {cycle}",
+                    bench.name
+                );
+                assert_eq!(
+                    lut.output(port),
+                    want,
+                    "{}::{port} diverged at LUT level, cycle {cycle}",
+                    bench.name
+                );
+            }
+            rtl.step();
+            gate.step();
+            lut.step();
+        }
+    }
+}

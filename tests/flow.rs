@@ -1,0 +1,104 @@
+//! End-to-end flow integration: the Figure-2 pipeline on a real
+//! benchmark, artifact round trips, and determinism of the whole
+//! reproduction.
+
+use power_emulation::core::figure3::evaluate_benchmark;
+use power_emulation::core::PowerEmulationFlow;
+use power_emulation::designs::suite::{all_benchmarks, benchmark, Scale};
+use power_emulation::fpga::emulate::EmulationTimeModel;
+use power_emulation::power::{CharacterizeConfig, ModelLibrary};
+use power_emulation::rtl::text;
+
+#[test]
+fn flow_on_vld_produces_consistent_artifacts() {
+    let bench = benchmark("Vld").unwrap();
+    let flow = PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
+    let result = flow.run(&bench.design).expect("flow");
+
+    // The enhanced design is a well-formed netlist that serializes and
+    // reparses losslessly.
+    assert!(result.instrumented.design.validate().is_ok());
+    let netlist_text = text::to_text(&result.instrumented.design);
+    let reparsed = text::from_text(&netlist_text).expect("parse back");
+    assert_eq!(
+        reparsed.components().len(),
+        result.instrumented.design.components().len()
+    );
+
+    // The model library round-trips too.
+    let library = flow.library();
+    let lib2 = ModelLibrary::from_text(&library.to_text()).expect("library parses");
+    assert_eq!(library, lib2);
+
+    // Area/timing are sane.
+    assert!(result.overhead.component_ratio() > 1.0);
+    assert!(result.timing.fmax_mhz > 1.0 && result.timing.fmax_mhz < 1000.0);
+    assert!(result.mapped.resource_use().luts > 0);
+
+    // Power readout beats zero and emulation time beats software
+    // trivially at any scale (speedup sanity is covered in figure3 tests).
+    let mut tb = bench.testbench(500);
+    let power = flow.emulate_power(&result, tb.as_mut()).expect("readout");
+    assert!(power.total_energy_fj > 0.0);
+    let t = result.emulation_time(&EmulationTimeModel::default(), 1_000_000);
+    assert!(t.total.as_secs_f64() < 1.0);
+}
+
+#[test]
+fn figure3_shape_holds_on_small_and_large_designs() {
+    let flow = PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
+    let model = EmulationTimeModel::default();
+    let small = evaluate_benchmark(
+        &flow,
+        &benchmark("Bubble_Sort").unwrap(),
+        Scale::Test,
+        &model,
+    )
+    .expect("small");
+    let large =
+        evaluate_benchmark(&flow, &benchmark("DCT").unwrap(), Scale::Test, &model)
+            .expect("large");
+    // Emulation wins everywhere…
+    assert!(small.speedup_nec() > 1.0, "small speedup {}", small.speedup_nec());
+    assert!(large.speedup_nec() > 1.0, "large speedup {}", large.speedup_nec());
+    // …and wins *more* on the larger design (the paper's headline trend).
+    assert!(
+        large.speedup_nec() > small.speedup_nec(),
+        "expected size-scaling speedups: large {:.1} vs small {:.1}",
+        large.speedup_nec(),
+        small.speedup_nec()
+    );
+}
+
+#[test]
+fn whole_reproduction_is_deterministic() {
+    // Characterization, instrumentation, and the benchmark workloads are
+    // seeded: two fresh flows must produce identical libraries and
+    // identical emulated energies.
+    let bench = benchmark("Ispq").unwrap();
+    let run = || {
+        let flow =
+            PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
+        let result = flow.run(&bench.design).expect("flow");
+        let mut tb = bench.testbench(400);
+        let power = flow.emulate_power(&result, tb.as_mut()).expect("power");
+        (flow.library().to_text(), power.total_energy_fj)
+    };
+    let (lib1, e1) = run();
+    let (lib2, e2) = run();
+    assert_eq!(lib1, lib2);
+    assert_eq!(e1, e2);
+}
+
+#[test]
+fn suite_designs_all_validate_and_synthesize_to_gates() {
+    for bench in all_benchmarks() {
+        assert!(bench.design.validate().is_ok(), "{}", bench.name);
+        let expanded = power_emulation::gate::expand::expand_design(&bench.design);
+        assert!(
+            expanded.netlist.logic_gate_count() > 0,
+            "{} produced no gates",
+            bench.name
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests over the core data structures and invariants:
+//! RTL/gate/LUT semantic agreement on randomized netlists, fixed-point
+//! round trips, macromodel evaluation bounds, and netlist-format
+//! round-trips — driven by proptest.
+
+use pe_util::fixed::{Fx, FxFormat};
+use power_emulation::fpga::emulate::LutSimulator;
+use power_emulation::fpga::lut::map_to_luts;
+use power_emulation::gate::cells::CellLibrary;
+use power_emulation::gate::expand::expand_design;
+use power_emulation::gate::GateSimulator;
+use power_emulation::power::{Macromodel, ModelForm, ModelKey, MonitoredLayout};
+use power_emulation::rtl::builder::DesignBuilder;
+use power_emulation::rtl::{text, ComponentKind, Design};
+use power_emulation::sim::Simulator;
+use proptest::prelude::*;
+
+/// One randomly parameterized combinational operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Lt,
+    SLt,
+    Shl,
+    Sar,
+    Mux,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Add),
+        Just(Op::Sub),
+        Just(Op::Mul),
+        Just(Op::And),
+        Just(Op::Or),
+        Just(Op::Xor),
+        Just(Op::Lt),
+        Just(Op::SLt),
+        Just(Op::Shl),
+        Just(Op::Sar),
+        Just(Op::Mux),
+    ]
+}
+
+/// Builds a random two-input pipeline design from an op list.
+fn random_design(width: u32, ops: &[Op]) -> Design {
+    let mut b = DesignBuilder::new("prop");
+    let clk = b.clock("clk");
+    let a = b.input("a", width);
+    let c = b.input("b", width);
+    let mut x = a;
+    let mut y = c;
+    for (i, op) in ops.iter().enumerate() {
+        let next = match op {
+            Op::Add => b.add(x, y),
+            Op::Sub => b.sub(x, y),
+            Op::Mul => b.mul(x, y, width),
+            Op::And => b.and(x, y),
+            Op::Or => b.or(x, y),
+            Op::Xor => b.xor(x, y),
+            Op::Lt => {
+                let bit = b.lt(x, y);
+                b.zext(bit, width)
+            }
+            Op::SLt => {
+                let bit = b.slt(x, y);
+                b.zext(bit, width)
+            }
+            Op::Shl => {
+                let amt = b.slice(y, 0, 3.min(width));
+                let amt_w = b.zext(amt, width);
+                b.shl(x, amt_w)
+            }
+            Op::Sar => {
+                let amt = b.slice(y, 0, 3.min(width));
+                let amt_w = b.zext(amt, width);
+                b.sar(x, amt_w)
+            }
+            Op::Mux => {
+                let sel = b.slice(y, 0, 1);
+                b.mux2(sel, x, y)
+            }
+        };
+        // Register every other stage to exercise sequential capture.
+        let staged = if i % 2 == 1 {
+            b.pipeline_reg(&format!("s{i}"), next, 0, clk)
+        } else {
+            next
+        };
+        y = x;
+        x = staged;
+    }
+    b.output("out", x);
+    b.finish().expect("random design is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// RTL, gate, and LUT levels agree on random designs and stimuli.
+    #[test]
+    fn levels_agree_on_random_designs(
+        width in 2u32..12,
+        ops in prop::collection::vec(op_strategy(), 1..6),
+        stimuli in prop::collection::vec((0u64..1 << 12, 0u64..1 << 12), 1..20),
+    ) {
+        let design = random_design(width, &ops);
+        let expanded = expand_design(&design);
+        let mapped = map_to_luts(&expanded.netlist);
+        let cells = CellLibrary::cmos130();
+        let mut rtl = Simulator::new(&design).unwrap();
+        let mut gate = GateSimulator::new(&expanded, &cells);
+        let mut lut = LutSimulator::new(&mapped);
+        let mask = pe_util::bits::mask(width);
+        for (a, b) in stimuli {
+            let (a, b) = (a & mask, b & mask);
+            rtl.set_input_by_name("a", a);
+            rtl.set_input_by_name("b", b);
+            gate.set_input("a", a);
+            gate.set_input("b", b);
+            lut.set_input("a", a);
+            lut.set_input("b", b);
+            prop_assert_eq!(rtl.output("out"), gate.output("out"));
+            prop_assert_eq!(rtl.output("out"), lut.output("out"));
+            rtl.step();
+            gate.step();
+            lut.step();
+        }
+    }
+
+    /// The textual netlist format round-trips random designs.
+    #[test]
+    fn netlist_text_round_trips(
+        width in 2u32..10,
+        ops in prop::collection::vec(op_strategy(), 1..6),
+    ) {
+        let design = random_design(width, &ops);
+        let serialized = text::to_text(&design);
+        let reparsed = text::from_text(&serialized).expect("parses");
+        prop_assert_eq!(design.components().len(), reparsed.components().len());
+        prop_assert_eq!(serialized.clone(), text::to_text(&reparsed));
+    }
+
+    /// Fixed-point encode/decode stays within half an LSB for in-range
+    /// values and saturates cleanly outside.
+    #[test]
+    fn fixed_point_quantization_bound(
+        value in 0.0f64..500.0,
+        total in 4u32..24,
+        frac in 0u32..12,
+    ) {
+        let frac = frac.min(total);
+        let fmt = FxFormat::new(total, frac).unwrap();
+        let decoded = fmt.decode(fmt.encode(value));
+        if value <= fmt.max_value() {
+            prop_assert!((decoded - value).abs() <= fmt.quantization_error_bound() + 1e-12);
+        } else {
+            prop_assert_eq!(decoded, fmt.max_value());
+        }
+    }
+
+    /// Signed fixed-point arithmetic matches real arithmetic when the
+    /// results stay in range.
+    #[test]
+    fn fx_tracks_reals(a in -100i32..100, b in -100i32..100) {
+        let fmt = FxFormat::new(24, 8).unwrap();
+        let fa = Fx::from_f64(a as f64, fmt);
+        let fb = Fx::from_f64(b as f64, fmt);
+        prop_assert_eq!((fa + fb).to_f64(), (a + b) as f64);
+        prop_assert_eq!((fa - fb).to_f64(), (a - b) as f64);
+        prop_assert_eq!((fa * fb).to_f64(), (a * b) as f64);
+    }
+
+    /// A macromodel's output is bounded by base + Σcoeffs and monotone in
+    /// the transition set (adding a toggled bit can only add energy for
+    /// non-negative coefficients).
+    #[test]
+    fn macromodel_bounds(
+        coeffs in prop::collection::vec(0.0f64..10.0, 8),
+        prev in 0u64..256,
+        curr in 0u64..256,
+    ) {
+        let key = ModelKey::distinct(ComponentKind::Not, vec![4], 4);
+        let layout = MonitoredLayout::of(&key);
+        let model = Macromodel::new(ModelForm::PerBit, 1.0, coeffs, layout);
+        let (p, c) = (prev & 0xFF, curr & 0xFF);
+        let e = model.eval_fj(&[p & 0xF, p >> 4], &[c & 0xF, c >> 4]);
+        prop_assert!(e >= model.base_fj() - 1e-12);
+        prop_assert!(e <= model.base_fj() + model.coeff_sum() + 1e-12);
+        // No transitions → exactly the base.
+        let idle = model.eval_fj(&[p & 0xF, p >> 4], &[p & 0xF, p >> 4]);
+        prop_assert!((idle - model.base_fj()).abs() < 1e-12);
+    }
+}
