@@ -1,15 +1,17 @@
-//! Criterion benches: throughput of the three power estimators on a
+//! Microbenchmarks: throughput of the three power estimators on a
 //! mid-size design — the measured substance behind the Figure-3 bars
-//! (software tools) at a criterion-friendly cycle count.
+//! (software tools) at a bench-friendly cycle count.
+//!
+//! Run with `cargo bench -p pe-bench --bench estimators`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pe_bench::microbench::Runner;
 use pe_designs::suite::benchmark;
 use pe_estimators::{
     GateLevelEstimator, PowerEstimator, RtlActivityDbEstimator, RtlEventEstimator,
 };
 use pe_power::{CharacterizeConfig, ModelLibrary};
 
-fn estimator_benches(c: &mut Criterion) {
+fn main() {
     let bench = benchmark("DCT").expect("suite has DCT");
     let mut library = ModelLibrary::new();
     library
@@ -17,37 +19,26 @@ fn estimator_benches(c: &mut Criterion) {
         .expect("characterization");
     const CYCLES: u64 = 500;
 
-    let mut group = c.benchmark_group("estimators_dct_500c");
-    group.sample_size(10);
-    group.bench_function("nec_rtpower_like", |b| {
-        b.iter(|| {
-            let mut tb = bench.testbench(CYCLES);
-            RtlEventEstimator::new(&library)
-                .estimate(&bench.design, tb.as_mut())
-                .unwrap()
-                .total_energy_fj
-        })
+    let runner = Runner::new("estimators_dct_500c").sample_size(10);
+    runner.bench("nec_rtpower_like", || {
+        let mut tb = bench.testbench(CYCLES);
+        RtlEventEstimator::new(&library)
+            .estimate(&bench.design, tb.as_mut())
+            .unwrap()
+            .total_energy_fj
     });
-    group.bench_function("powertheater_like", |b| {
-        b.iter(|| {
-            let mut tb = bench.testbench(CYCLES);
-            RtlActivityDbEstimator::new(&library)
-                .estimate(&bench.design, tb.as_mut())
-                .unwrap()
-                .total_energy_fj
-        })
+    runner.bench("powertheater_like", || {
+        let mut tb = bench.testbench(CYCLES);
+        RtlActivityDbEstimator::new(&library)
+            .estimate(&bench.design, tb.as_mut())
+            .unwrap()
+            .total_energy_fj
     });
-    group.bench_function("gate_level", |b| {
-        b.iter(|| {
-            let mut tb = bench.testbench(CYCLES);
-            GateLevelEstimator::new()
-                .estimate(&bench.design, tb.as_mut())
-                .unwrap()
-                .total_energy_fj
-        })
+    runner.bench("gate_level", || {
+        let mut tb = bench.testbench(CYCLES);
+        GateLevelEstimator::new()
+            .estimate(&bench.design, tb.as_mut())
+            .unwrap()
+            .total_energy_fj
     });
-    group.finish();
 }
-
-criterion_group!(benches, estimator_benches);
-criterion_main!(benches);

@@ -1,10 +1,12 @@
-//! Criterion benches: one-time flow-stage costs — characterization of a
+//! Microbenchmarks: one-time flow-stage costs — characterization of a
 //! component class, the instrumentation transform, gate expansion, and
 //! LUT mapping. These are the "compile-side" costs that the paper's
 //! per-run comparison amortizes away; measuring them keeps that
 //! amortization argument honest.
+//!
+//! Run with `cargo bench -p pe-bench --bench flow_stages`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pe_bench::microbench::Runner;
 use pe_designs::suite::benchmark;
 use pe_fpga::lut::map_to_luts;
 use pe_gate::cells::CellLibrary;
@@ -13,7 +15,7 @@ use pe_instrument::{instrument, InstrumentConfig};
 use pe_power::{characterize, CharacterizeConfig, ModelKey, ModelLibrary};
 use pe_rtl::ComponentKind;
 
-fn flow_stage_benches(c: &mut Criterion) {
+fn main() {
     let bench = benchmark("Vld").expect("suite has Vld");
     let design = &bench.design;
     let mut library = ModelLibrary::new();
@@ -24,24 +26,21 @@ fn flow_stage_benches(c: &mut Criterion) {
         instrument(design, &library, &InstrumentConfig::default()).expect("instrument");
     let expanded = expand_design(&instrumented.design);
 
-    let mut group = c.benchmark_group("flow_stages_vld");
-    group.sample_size(10);
-    group.bench_function("characterize_add8", |b| {
+    let runner = Runner::new("flow_stages_vld").sample_size(10);
+    runner.bench("characterize_add8", || {
         let key = ModelKey::distinct(ComponentKind::Add, vec![8, 8], 8);
         let cells = CellLibrary::cmos130();
-        b.iter(|| characterize(&key, &cells, &CharacterizeConfig::fast()).unwrap())
+        characterize(&key, &cells, &CharacterizeConfig::fast()).unwrap()
     });
-    group.bench_function("instrument", |b| {
-        b.iter(|| instrument(design, &library, &InstrumentConfig::default()).unwrap())
+    runner.bench("instrument", || {
+        instrument(design, &library, &InstrumentConfig::default()).unwrap()
     });
-    group.bench_function("expand_to_gates", |b| {
-        b.iter(|| expand_design(&instrumented.design).netlist.logic_gate_count())
+    runner.bench("expand_to_gates", || {
+        expand_design(&instrumented.design)
+            .netlist
+            .logic_gate_count()
     });
-    group.bench_function("map_to_luts", |b| {
-        b.iter(|| map_to_luts(&expanded.netlist).luts().len())
+    runner.bench("map_to_luts", || {
+        map_to_luts(&expanded.netlist).luts().len()
     });
-    group.finish();
 }
-
-criterion_group!(benches, flow_stage_benches);
-criterion_main!(benches);

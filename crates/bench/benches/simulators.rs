@@ -1,9 +1,11 @@
-//! Criterion benches: cycles-per-second of the three simulation levels
+//! Microbenchmarks: cycles-per-second of the three simulation levels
 //! (RTL, gate, LUT) on one design — quantifying the abstraction-level
 //! cost ladder the paper's introduction describes (gate/transistor tools
 //! are "10X to 100X" slower than RTL).
+//!
+//! Run with `cargo bench -p pe-bench --bench simulators`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pe_bench::microbench::Runner;
 use pe_designs::suite::benchmark;
 use pe_fpga::emulate::LutSimulator;
 use pe_fpga::lut::map_to_luts;
@@ -12,7 +14,7 @@ use pe_gate::expand::expand_design;
 use pe_gate::GateSimulator;
 use pe_sim::Simulator;
 
-fn simulator_benches(c: &mut Criterion) {
+fn main() {
     let bench = benchmark("Ispq").expect("suite has Ispq");
     let design = &bench.design;
     let expanded = expand_design(design);
@@ -20,41 +22,30 @@ fn simulator_benches(c: &mut Criterion) {
     let cells = CellLibrary::cmos130();
     const CYCLES: u64 = 500;
 
-    let mut group = c.benchmark_group("simulators_ispq_500c");
-    group.sample_size(10);
-    group.bench_function("rtl", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(design).unwrap();
-            sim.set_input_by_name("level", 3);
-            sim.set_input_by_name("qscale", 8);
-            sim.step_n(CYCLES);
-            sim.cycle()
-        })
+    let runner = Runner::new("simulators_ispq_500c").sample_size(10);
+    runner.bench("rtl", || {
+        let mut sim = Simulator::new(design).unwrap();
+        sim.set_input_by_name("level", 3);
+        sim.set_input_by_name("qscale", 8);
+        sim.step_n(CYCLES);
+        sim.cycle()
     });
-    group.bench_function("gate_with_power", |b| {
-        b.iter(|| {
-            let mut sim = GateSimulator::new(&expanded, &cells);
-            sim.set_input("level", 3);
-            sim.set_input("qscale", 8);
-            for _ in 0..CYCLES {
-                sim.step();
-            }
-            sim.total_energy_fj()
-        })
+    runner.bench("gate_with_power", || {
+        let mut sim = GateSimulator::new(&expanded, &cells);
+        sim.set_input("level", 3);
+        sim.set_input("qscale", 8);
+        for _ in 0..CYCLES {
+            sim.step();
+        }
+        sim.total_energy_fj()
     });
-    group.bench_function("lut", |b| {
-        b.iter(|| {
-            let mut sim = LutSimulator::new(&mapped);
-            sim.set_input("level", 3);
-            sim.set_input("qscale", 8);
-            for _ in 0..CYCLES {
-                sim.step();
-            }
-            sim.cycle()
-        })
+    runner.bench("lut", || {
+        let mut sim = LutSimulator::new(&mapped);
+        sim.set_input("level", 3);
+        sim.set_input("qscale", 8);
+        for _ in 0..CYCLES {
+            sim.step();
+        }
+        sim.cycle()
     });
-    group.finish();
 }
-
-criterion_group!(benches, simulator_benches);
-criterion_main!(benches);

@@ -2,20 +2,19 @@
 //! designs fit across the Virtex-II family, and what multi-device
 //! partitioning costs in emulation clock when they don't fit one chip.
 //!
-//! Usage: `cargo run -p pe-bench --release --bin capacity [--scale test]`
+//! Usage: `cargo run -p pe-bench --release --bin capacity --
+//! [--scale test] [--jobs N] [--cache-dir DIR]`
 
-use pe_bench::{fast_flow, scale_from_args};
+use pe_bench::cli::BenchArgs;
+use pe_bench::fast_flow;
 use pe_designs::suite::{all_benchmarks, Scale};
 use pe_fpga::device::DeviceModel;
-use pe_fpga::lut::map_to_luts;
 use pe_fpga::partition::partition;
-use pe_fpga::timing::analyze_timing;
-use pe_gate::expand::expand_design;
-use pe_instrument::{instrument, InstrumentConfig};
+use pe_harness::{obtain_library, Fanout, JobGraph, JobOutcome, Metrics, StderrLines};
 
 fn main() {
-    let scale = scale_from_args();
-    let flow = fast_flow();
+    let args = BenchArgs::from_env("capacity");
+    let cache = args.open_cache();
     let devices = [
         DeviceModel::xc2v1000(),
         DeviceModel::xc2v3000(),
@@ -31,37 +30,76 @@ fn main() {
     }
     println!();
 
-    let designs: Vec<_> = match scale {
+    let benchmarks: Vec<_> = match args.scale {
         Scale::Paper => all_benchmarks(),
         Scale::Test => all_benchmarks()
             .into_iter()
             .filter(|b| b.name != "MPEG4")
             .collect(),
     };
-    for bench in &designs {
-        eprintln!("[capacity] {} …", bench.name);
-        flow.prepare_models(&bench.design).expect("characterize");
-        let library = flow.library();
-        let inst = instrument(&bench.design, &library, &InstrumentConfig::default())
-            .expect("instrument");
-        let mapped = map_to_luts(&expand_design(&inst.design).netlist);
-        let timing = analyze_timing(&mapped);
-        let use_ = mapped.resource_use();
-        print!("{:<12} {:>10} {:>10}", bench.name, use_.luts, use_.flip_flops);
-        for dev in &devices {
-            match partition(&mapped, dev, 64, 0.9) {
-                Ok(p) => {
-                    let f = p.effective_fmax_mhz(timing.fmax_mhz);
-                    print!(" {:>9} dev {:>6.2}MHz", p.devices, f.min(100.0));
+
+    let progress = StderrLines::new("capacity", false);
+    let metrics = Metrics::new();
+    let sink = Fanout(vec![&progress, &metrics]);
+    let cache = cache.as_ref();
+    let devices = &devices;
+
+    let mut graph: JobGraph<'_, String, String> = JobGraph::new();
+    for bench in &benchmarks {
+        let sink = &sink;
+        graph.add("capacity", bench.name, vec![], move |_| {
+            let flow = fast_flow();
+            let library = obtain_library(
+                &bench.design,
+                flow.characterize_config(),
+                cache,
+                bench.name,
+                sink,
+            )
+            .map_err(|e| e.to_string())?;
+            flow.install_library(library);
+            let (inst, _overhead) = flow
+                .stage_instrument(&bench.design)
+                .map_err(|e| e.to_string())?;
+            let mapped = flow.stage_map(&inst);
+            let timing = flow.stage_time(&mapped);
+            let use_ = mapped.resource_use();
+            let mut line = format!(
+                "{:<12} {:>10} {:>10}",
+                bench.name, use_.luts, use_.flip_flops
+            );
+            for dev in devices {
+                match partition(&mapped, dev, 64, 0.9) {
+                    Ok(p) => {
+                        let f = p.effective_fmax_mhz(timing.fmax_mhz);
+                        line.push_str(&format!(" {:>9} dev {:>6.2}MHz", p.devices, f.min(100.0)));
+                    }
+                    Err(_) => line.push_str(&format!(" {:>20}", "does not fit")),
                 }
-                Err(_) => print!(" {:>20}", "does not fit"),
+            }
+            Ok(line)
+        });
+    }
+
+    let outcomes = graph.run(args.jobs, &sink);
+    for (bench, outcome) in benchmarks.iter().zip(&outcomes) {
+        match outcome {
+            JobOutcome::Done(line) => println!("{line}"),
+            JobOutcome::Failed(e) => {
+                eprintln!("[capacity] {} failed: {e}", bench.name);
+                std::process::exit(1);
+            }
+            other => {
+                eprintln!("[capacity] {} did not complete: {other:?}", bench.name);
+                std::process::exit(1);
             }
         }
-        println!();
     }
     println!();
     println!("per-device clocks include the inter-chip multiplexing penalty (virtual");
     println!("wires): this is the capacity concern raised in the paper's closing");
     println!("discussion, quantified. Figure 3 follows the paper's methodology and");
     println!("reports the unpartitioned emulation clock.");
+    println!();
+    print!("{}", metrics.render());
 }

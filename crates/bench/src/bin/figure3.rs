@@ -2,40 +2,48 @@
 //! estimation (two software tools, measured) vs. power emulation
 //! (modeled), with speedups, for the seven benchmark designs.
 //!
-//! Usage: `cargo run -p pe-bench --release --bin figure3 [--scale test]`
+//! Usage: `cargo run -p pe-bench --release --bin figure3 --
+//! [--scale test] [--jobs N] [--cache-dir DIR]`
 
-use pe_bench::{scale_from_args, standard_flow};
-use pe_core::figure3::{format_table, run_figure3};
+use pe_bench::cli::BenchArgs;
+use pe_bench::standard_flow;
+use pe_core::figure3::format_table;
 use pe_designs::suite::all_benchmarks;
 use pe_fpga::emulate::EmulationTimeModel;
+use pe_harness::{run_figure3, Fanout, Metrics, StderrLines};
 
 fn main() {
-    let scale = scale_from_args();
-    let flow = standard_flow();
+    let args = BenchArgs::from_env("figure3");
+    let cache = args.open_cache();
     let time_model = EmulationTimeModel::default();
     let benchmarks = all_benchmarks();
 
-    println!("power emulation evaluation — Figure 3 reproduction ({scale:?} scale)");
+    println!(
+        "power emulation evaluation — Figure 3 reproduction ({:?} scale, {} job(s))",
+        args.scale, args.jobs
+    );
     println!("(software tool times are measured; emulation time is modeled from the");
     println!(" mapped enhanced design's achievable clock, per the paper's methodology)");
     println!();
 
-    let mut rows = Vec::new();
-    for bench in &benchmarks {
-        eprintln!("[figure3] running {} …", bench.name);
-        match run_figure3(
-            &flow,
-            std::slice::from_ref(bench),
-            scale,
-            &time_model,
-        ) {
-            Ok(mut r) => rows.append(&mut r),
-            Err(e) => {
-                eprintln!("[figure3] {} failed: {e}", bench.name);
-                std::process::exit(1);
-            }
+    let progress = StderrLines::new("figure3", false);
+    let metrics = Metrics::new();
+    let sink = Fanout(vec![&progress, &metrics]);
+    let rows = match run_figure3(
+        &standard_flow,
+        &benchmarks,
+        args.scale,
+        &time_model,
+        args.jobs,
+        cache.as_ref(),
+        &sink,
+    ) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("[figure3] {e}");
+            std::process::exit(1);
         }
-    }
+    };
 
     println!("{}", format_table(&rows));
     println!("paper reference: speedups of 10X to over 500X, growing with design size;");
@@ -48,4 +56,6 @@ fn main() {
         .map(|r| r.speedup_nec().max(r.speedup_pt()))
         .fold(0.0, f64::max);
     println!("measured here: {min:.0}X to {max:.0}X.");
+    println!();
+    print!("{}", metrics.render());
 }

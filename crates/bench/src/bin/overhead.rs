@@ -7,19 +7,27 @@
 //! * Ext-2: coefficient fixed-point width vs. accuracy and area,
 //! * Ext-3: aggregator topology vs. achievable emulation clock.
 //!
-//! Usage: `cargo run -p pe-bench --release --bin overhead [--scale test]`
+//! Usage: `cargo run -p pe-bench --release --bin overhead --
+//! [--scale test] [--jobs N] [--cache-dir DIR]`
 
-use pe_bench::{fast_flow, scale_from_args};
+use pe_bench::cli::BenchArgs;
+use pe_bench::fast_flow;
 use pe_designs::suite::{all_benchmarks, benchmark, Scale};
 use pe_fpga::lut::map_to_luts;
 use pe_fpga::timing::analyze_timing;
 use pe_gate::expand::expand_design;
+use pe_harness::{obtain_library, Fanout, JobGraph, JobOutcome, Metrics, ModelCache, StderrLines};
 use pe_instrument::{instrument, AggregatorTopology, InstrumentConfig, OverheadReport};
+use pe_power::ModelLibrary;
 use pe_sim::Simulator;
 
 fn main() {
-    let scale = scale_from_args();
-    let flow = fast_flow();
+    let args = BenchArgs::from_env("overhead");
+    let cache = args.open_cache();
+
+    let progress = StderrLines::new("overhead", false);
+    let metrics = Metrics::new();
+    let sink = Fanout(vec![&progress, &metrics]);
 
     // ── Per-design overhead table ────────────────────────────────────────
     println!("instrumentation overhead (per-bit models, 16-bit coefficients, tree aggregator)");
@@ -28,41 +36,82 @@ fn main() {
         "{:<12} {:>8} {:>9} {:>8} {:>10} {:>10} {:>8} {:>9}",
         "design", "comps", "enhanced", "ratio", "LUTs", "LUTs+PE", "ratio", "fmax-loss"
     );
-    let designs: Vec<_> = match scale {
+    let benchmarks: Vec<_> = match args.scale {
         Scale::Paper => all_benchmarks(),
         Scale::Test => all_benchmarks()
             .into_iter()
             .filter(|b| b.name != "MPEG4")
             .collect(),
     };
-    for bench in &designs {
-        eprintln!("[overhead] {} …", bench.name);
-        flow.prepare_models(&bench.design).expect("characterize");
-        let library = flow.library();
-        let inst = instrument(&bench.design, &library, &InstrumentConfig::default())
-            .expect("instrument");
-        let report = OverheadReport::measure(&bench.design, &inst);
-        let base_mapped = map_to_luts(&expand_design(&bench.design).netlist);
-        let pe_mapped = map_to_luts(&expand_design(&inst.design).netlist);
-        let base_t = analyze_timing(&base_mapped);
-        let pe_t = analyze_timing(&pe_mapped);
-        println!(
-            "{:<12} {:>8} {:>9} {:>7.2}x {:>10} {:>10} {:>7.2}x {:>8.1}%",
-            bench.name,
-            report.original.components,
-            report.enhanced.components,
-            report.component_ratio(),
-            base_mapped.resource_use().luts,
-            pe_mapped.resource_use().luts,
-            pe_mapped.resource_use().luts as f64 / base_mapped.resource_use().luts.max(1) as f64,
-            100.0 * (1.0 - pe_t.fmax_mhz / base_t.fmax_mhz),
-        );
+
+    let mut graph: JobGraph<'_, String, String> = JobGraph::new();
+    for bench in &benchmarks {
+        let sink = &sink;
+        let cache = cache.as_ref();
+        graph.add("overhead", bench.name, vec![], move |_| {
+            let flow = fast_flow();
+            let library = obtain_library(
+                &bench.design,
+                flow.characterize_config(),
+                cache,
+                bench.name,
+                sink,
+            )
+            .map_err(|e| e.to_string())?;
+            let inst = instrument(&bench.design, &library, &InstrumentConfig::default())
+                .map_err(|e| e.to_string())?;
+            let report = OverheadReport::measure(&bench.design, &inst);
+            let base_mapped = map_to_luts(&expand_design(&bench.design).netlist);
+            let pe_mapped = map_to_luts(&expand_design(&inst.design).netlist);
+            let base_t = analyze_timing(&base_mapped);
+            let pe_t = analyze_timing(&pe_mapped);
+            Ok(format!(
+                "{:<12} {:>8} {:>9} {:>7.2}x {:>10} {:>10} {:>7.2}x {:>8.1}%",
+                bench.name,
+                report.original.components,
+                report.enhanced.components,
+                report.component_ratio(),
+                base_mapped.resource_use().luts,
+                pe_mapped.resource_use().luts,
+                pe_mapped.resource_use().luts as f64
+                    / base_mapped.resource_use().luts.max(1) as f64,
+                100.0 * (1.0 - pe_t.fmax_mhz / base_t.fmax_mhz),
+            ))
+        });
+    }
+    let outcomes = graph.run(args.jobs, &sink);
+    for (bench, outcome) in benchmarks.iter().zip(&outcomes) {
+        match outcome {
+            JobOutcome::Done(line) => println!("{line}"),
+            JobOutcome::Failed(e) => {
+                eprintln!("[overhead] {} failed: {e}", bench.name);
+                std::process::exit(1);
+            }
+            other => {
+                eprintln!("[overhead] {} did not complete: {other:?}", bench.name);
+                std::process::exit(1);
+            }
+        }
     }
 
-    // ── Ext-2: coefficient width ablation on DCT ─────────────────────────
+    ablations(cache.as_ref(), &sink);
+    println!();
+    print!("{}", metrics.render());
+}
+
+/// The DCT ablations (Ext-1/2/3). Serial by nature: each sweeps one
+/// parameter over the same design and library.
+fn ablations(cache: Option<&ModelCache>, sink: &dyn pe_harness::EventSink) {
     let bench = benchmark("DCT").expect("suite has DCT");
-    flow.prepare_models(&bench.design).expect("characterize");
-    let library = flow.library();
+    let flow = fast_flow();
+    let library: ModelLibrary = obtain_library(
+        &bench.design,
+        flow.characterize_config(),
+        cache,
+        bench.name,
+        sink,
+    )
+    .expect("characterize");
     let cycles = 600;
     let software = {
         use pe_estimators::{PowerEstimator, RtlEventEstimator};
@@ -72,9 +121,14 @@ fn main() {
             .expect("software estimate")
             .total_energy_fj
     };
+
+    // ── Ext-2: coefficient width ablation on DCT ─────────────────────────
     println!();
     println!("Ext-2: coefficient width vs accuracy/area (DCT, {cycles} cycles)");
-    println!("{:>6} {:>12} {:>10} {:>10}", "bits", "energy(nJ)", "error%", "LUTs");
+    println!(
+        "{:>6} {:>12} {:>10} {:>10}",
+        "bits", "energy(nJ)", "error%", "LUTs"
+    );
     for bits in [6u32, 8, 10, 12, 16, 20] {
         let cfg = InstrumentConfig {
             coeff_bits: bits,
@@ -122,7 +176,10 @@ fn main() {
     // ── Ext-3: aggregator topology vs timing ─────────────────────────────
     println!();
     println!("Ext-3: aggregator topology vs achievable clock (DCT)");
-    println!("{:>16} {:>12} {:>10} {:>10}", "topology", "crit(ns)", "fmax(MHz)", "LUTs");
+    println!(
+        "{:>16} {:>12} {:>10} {:>10}",
+        "topology", "crit(ns)", "fmax(MHz)", "LUTs"
+    );
     for topo in [
         AggregatorTopology::Chain,
         AggregatorTopology::Tree,

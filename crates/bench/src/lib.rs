@@ -1,4 +1,4 @@
-//! Shared setup for the evaluation binaries and criterion benches.
+//! Shared setup for the evaluation binaries and microbenchmarks.
 //!
 //! Binaries (run with `cargo run -p pe-bench --release --bin <name>`):
 //!
@@ -10,42 +10,31 @@
 //!   closing concern), plus coefficient-width and strobe-period ablations.
 //! * `capacity` — device-fit and multi-FPGA partitioning study.
 //!
-//! Criterion benches measure the genuinely wall-clock-measurable pieces:
-//! estimator throughput, simulator throughput, and flow-stage costs.
+//! Every binary speaks the shared [`cli`] dialect (`--scale`, `--jobs`,
+//! `--cache-dir`, `--help`) and runs on the `pe-harness` executor, so
+//! `--jobs N` overlaps per-design work and `--cache-dir` makes repeat
+//! runs skip characterization entirely. `--jobs 1` (the default) keeps
+//! measured wall-clock columns uncontended.
+//!
+//! The `[[bench]]` targets use the std-only [`microbench`] runner to
+//! measure the genuinely wall-clock-measurable pieces: estimator
+//! throughput, simulator throughput, and flow-stage costs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pe_core::PowerEmulationFlow;
-use pe_designs::suite::Scale;
-use pe_power::CharacterizeConfig;
+pub mod cli;
+pub mod microbench;
 
-/// Parses `--scale test|paper` from argv (default: paper). Unknown
-/// values abort with exit code 2 rather than silently running the long
-/// paper-scale evaluation.
-pub fn scale_from_args() -> Scale {
-    let args: Vec<String> = std::env::args().collect();
-    for pair in args.windows(2) {
-        if pair[0] == "--scale" {
-            return match pair[1].as_str() {
-                "test" => Scale::Test,
-                "paper" => Scale::Paper,
-                other => {
-                    eprintln!("error: unknown --scale `{other}` (expected `test` or `paper`)");
-                    std::process::exit(2);
-                }
-            };
-        }
-    }
-    Scale::Paper
-}
+use pe_core::PowerEmulationFlow;
+use pe_power::CharacterizeConfig;
 
 /// The flow configuration used for all reported numbers.
 pub fn standard_flow() -> PowerEmulationFlow {
     PowerEmulationFlow::new().with_characterize(CharacterizeConfig::standard())
 }
 
-/// A faster flow for smoke runs and criterion benches.
+/// A faster flow for smoke runs and microbenchmarks.
 pub fn fast_flow() -> PowerEmulationFlow {
     PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast())
 }
@@ -53,11 +42,6 @@ pub fn fast_flow() -> PowerEmulationFlow {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn default_scale_is_paper() {
-        assert_eq!(scale_from_args(), Scale::Paper);
-    }
 
     #[test]
     fn flows_construct() {

@@ -1,0 +1,110 @@
+//! A dependency-free microbenchmark runner for the `[[bench]]` targets.
+//!
+//! The workspace builds fully offline (DESIGN.md §6: standard library
+//! only), so the bench binaries use this minimal runner instead of an
+//! external harness: wall-clock a closure `samples` times, keep every
+//! sample, report min / median / mean. Min is the headline number — it
+//! is the least noise-contaminated statistic for a CPU-bound body.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Summary statistics over the collected samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Fastest sample — the headline number.
+    pub min: Duration,
+    /// Middle sample (upper median for even counts).
+    pub median: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+}
+
+/// Computes [`Stats`] from raw samples.
+///
+/// # Panics
+///
+/// Panics on an empty sample set — a runner bug, not a runtime input.
+pub fn stats(samples: &[Duration]) -> Stats {
+    assert!(!samples.is_empty(), "no samples collected");
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    Stats {
+        min: sorted[0],
+        median: sorted[sorted.len() / 2],
+        mean: sorted.iter().sum::<Duration>() / sorted.len() as u32,
+    }
+}
+
+/// A named group of benchmarks, printed as one aligned block.
+pub struct Runner {
+    group: String,
+    samples: usize,
+}
+
+impl Runner {
+    /// A runner printing under `group`, defaulting to 10 samples each.
+    pub fn new(group: &str) -> Self {
+        Self {
+            group: group.to_string(),
+            samples: 10,
+        }
+    }
+
+    /// Overrides the per-benchmark sample count (min 1).
+    #[must_use]
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Times `body` and prints one `group/name` line. The body's return
+    /// value is routed through [`black_box`] so the optimizer cannot
+    /// delete the measured work.
+    pub fn bench<R>(&self, name: &str, mut body: impl FnMut() -> R) -> Stats {
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(body());
+            samples.push(start.elapsed());
+        }
+        let s = stats(&samples);
+        println!(
+            "{:<40} samples={:<3} min={:>10.3?} median={:>10.3?} mean={:>10.3?}",
+            format!("{}/{}", self.group, name),
+            self.samples,
+            s.min,
+            s.median,
+            s.mean
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_order_min_median_mean() {
+        let s = stats(&[
+            Duration::from_millis(5),
+            Duration::from_millis(1),
+            Duration::from_millis(3),
+        ]);
+        assert_eq!(s.min, Duration::from_millis(1));
+        assert_eq!(s.median, Duration::from_millis(3));
+        assert_eq!(s.mean, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn runner_executes_the_body_every_sample() {
+        let mut calls = 0usize;
+        let s = Runner::new("t").sample_size(4).bench("count", || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 4);
+        assert!(s.min <= s.median && s.min <= s.mean);
+    }
+}

@@ -122,8 +122,7 @@ mod tests {
         b.output("x", q);
         let d = b.finish().unwrap();
 
-        let flow =
-            PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
+        let flow = PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
         let mk = || -> Box<dyn Testbench> { Box::new(ConstInputs::new(400, vec![])) };
         let report = accuracy_experiment(&flow, &d, mk(), mk(), mk()).unwrap();
 

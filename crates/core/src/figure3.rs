@@ -15,8 +15,9 @@
 
 use crate::flow::{FlowError, PowerEmulationFlow};
 use pe_designs::suite::{Benchmark, Scale};
-use pe_estimators::{PowerEstimator, RtlActivityDbEstimator, RtlEventEstimator};
-use pe_fpga::emulate::EmulationTimeModel;
+use pe_estimators::{PowerEstimator, PowerReport, RtlActivityDbEstimator, RtlEventEstimator};
+use pe_fpga::emulate::{EmulationEstimate, EmulationTimeModel};
+use pe_power::ModelLibrary;
 use pe_rtl::stats::DesignStats;
 use std::fmt;
 
@@ -60,6 +61,56 @@ impl Figure3Row {
     }
 }
 
+/// Runs the two measured software baselines (fresh testbench per tool,
+/// identical stimuli) against a characterized library. Returned in tool
+/// order: (NEC-RTpower-like, PowerTheater-like).
+///
+/// # Errors
+///
+/// Propagates estimator failures as [`FlowError::Simulate`].
+pub fn measure_software(
+    library: &ModelLibrary,
+    bench: &Benchmark,
+    cycles: u64,
+) -> Result<(PowerReport, PowerReport), FlowError> {
+    let mut tb = bench.testbench(cycles);
+    let nec = RtlEventEstimator::new(library)
+        .estimate(&bench.design, tb.as_mut())
+        .map_err(|e| FlowError::Simulate(e.to_string()))?;
+    let mut tb = bench.testbench(cycles);
+    let pt = RtlActivityDbEstimator::new(library)
+        .estimate(&bench.design, tb.as_mut())
+        .map_err(|e| FlowError::Simulate(e.to_string()))?;
+    Ok((nec, pt))
+}
+
+/// Combines the measured software reports and the modeled emulation path
+/// into one table row. Shared by the serial [`evaluate_benchmark`] and
+/// the `pe-harness` staged schedule so both produce identical rows.
+pub fn assemble_row(
+    bench: &Benchmark,
+    cycles: u64,
+    nec: &PowerReport,
+    pt: &PowerReport,
+    devices: u32,
+    luts: u32,
+    emu: &EmulationEstimate,
+) -> Figure3Row {
+    Figure3Row {
+        design: bench.name.to_string(),
+        components: DesignStats::of(&bench.design).components,
+        cycles,
+        nec_seconds: nec.wall.as_secs_f64(),
+        pt_seconds: pt.wall.as_secs_f64(),
+        emulation_seconds: emu.total.as_secs_f64(),
+        f_emu_mhz: emu.f_emu_mhz,
+        devices,
+        luts,
+        compile_seconds: emu.compile_time.as_secs_f64(),
+        avg_power_uw: nec.average_power_uw(),
+    }
+}
+
 /// Runs the evaluation for one benchmark.
 ///
 /// # Errors
@@ -75,34 +126,21 @@ pub fn evaluate_benchmark(
     flow.prepare_models(&bench.design)?;
     let library = flow.library();
 
-    // Measured software baselines (fresh testbench per tool, identical
-    // stimuli).
-    let mut tb = bench.testbench(cycles);
-    let nec = RtlEventEstimator::new(&library)
-        .estimate(&bench.design, tb.as_mut())
-        .map_err(|e| FlowError::Simulate(e.to_string()))?;
-    let mut tb = bench.testbench(cycles);
-    let pt = RtlActivityDbEstimator::new(&library)
-        .estimate(&bench.design, tb.as_mut())
-        .map_err(|e| FlowError::Simulate(e.to_string()))?;
+    let (nec, pt) = measure_software(&library, bench, cycles)?;
 
     // Modeled emulation path.
     let result = flow.run(&bench.design)?;
     let emu = result.emulation_time(time_model, cycles);
 
-    Ok(Figure3Row {
-        design: bench.name.to_string(),
-        components: DesignStats::of(&bench.design).components,
+    Ok(assemble_row(
+        bench,
         cycles,
-        nec_seconds: nec.wall.as_secs_f64(),
-        pt_seconds: pt.wall.as_secs_f64(),
-        emulation_seconds: emu.total.as_secs_f64(),
-        f_emu_mhz: emu.f_emu_mhz,
-        devices: result.partition.devices,
-        luts: result.mapped.resource_use().luts,
-        compile_seconds: emu.compile_time.as_secs_f64(),
-        avg_power_uw: nec.average_power_uw(),
-    })
+        &nec,
+        &pt,
+        result.partition.devices,
+        result.mapped.resource_use().luts,
+        &emu,
+    ))
 }
 
 /// Runs the evaluation over a set of benchmarks.
@@ -172,16 +210,10 @@ mod tests {
 
     #[test]
     fn small_benchmark_round_trips() {
-        let flow =
-            PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
+        let flow = PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
         let bench = benchmark("Bubble_Sort").unwrap();
-        let row = evaluate_benchmark(
-            &flow,
-            &bench,
-            Scale::Test,
-            &EmulationTimeModel::default(),
-        )
-        .unwrap();
+        let row =
+            evaluate_benchmark(&flow, &bench, Scale::Test, &EmulationTimeModel::default()).unwrap();
         assert_eq!(row.design, "Bubble_Sort");
         assert!(row.nec_seconds > 0.0);
         assert!(row.pt_seconds > 0.0);

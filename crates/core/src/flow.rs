@@ -128,6 +128,23 @@ impl PowerEmulationFlow {
         self
     }
 
+    /// Replaces the internal library in place — the non-consuming form of
+    /// [`PowerEmulationFlow::with_library`], used when a harness restores
+    /// a characterized library from an artifact cache.
+    pub fn install_library(&self, library: ModelLibrary) {
+        *self.library.borrow_mut() = library;
+    }
+
+    /// The characterization configuration this flow characterizes with.
+    pub fn characterize_config(&self) -> &CharacterizeConfig {
+        &self.characterize
+    }
+
+    /// The instrumentation configuration this flow enhances with.
+    pub fn instrument_config(&self) -> &InstrumentConfig {
+        &self.instrument
+    }
+
     /// Overrides the characterization configuration.
     pub fn with_characterize(mut self, config: CharacterizeConfig) -> Self {
         self.characterize = config;
@@ -166,28 +183,65 @@ impl PowerEmulationFlow {
             .map_err(FlowError::Characterize)
     }
 
+    /// Stage 2a: enhances `design` with the power-estimation hardware
+    /// using the models currently in the library (no characterization is
+    /// attempted — run [`PowerEmulationFlow::prepare_models`] or
+    /// [`PowerEmulationFlow::install_library`] first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates instrumentation failures, including missing models.
+    pub fn stage_instrument(
+        &self,
+        design: &Design,
+    ) -> Result<(InstrumentedDesign, OverheadReport), FlowError> {
+        let instrumented = instrument(design, &self.library.borrow(), &self.instrument)
+            .map_err(FlowError::Instrument)?;
+        let overhead = OverheadReport::measure(design, &instrumented);
+        Ok((instrumented, overhead))
+    }
+
+    /// Stage 2b: expands the enhanced design to gates and maps it onto
+    /// 4-LUTs.
+    pub fn stage_map(&self, instrumented: &InstrumentedDesign) -> LutNetlist {
+        map_to_luts(&expand_design(&instrumented.design).netlist)
+    }
+
+    /// Stage 2c: static timing of the mapped design.
+    pub fn stage_time(&self, mapped: &LutNetlist) -> TimingReport {
+        analyze_timing(mapped)
+    }
+
+    /// Stage 2d: fits the mapped design onto the configured device(s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Capacity`] when the design exceeds the
+    /// platform.
+    pub fn stage_partition(&self, mapped: &LutNetlist) -> Result<PartitionResult, FlowError> {
+        partition(mapped, &self.device, self.max_devices, 0.9).map_err(FlowError::Capacity)
+    }
+
     /// Runs steps 1–2 of the flow: model inference, enhancement, FPGA
-    /// mapping, timing, and partitioning.
+    /// mapping, timing, and partitioning — the serial composition of
+    /// [`PowerEmulationFlow::prepare_models`] and the `stage_*` entry
+    /// points (which `pe-harness` schedules individually).
     ///
     /// # Errors
     ///
     /// Returns the first failing stage.
     pub fn run(&self, design: &Design) -> Result<FlowResult, FlowError> {
         self.prepare_models(design)?;
-        let instrumented = instrument(design, &self.library.borrow(), &self.instrument)
-            .map_err(FlowError::Instrument)?;
-        let overhead = OverheadReport::measure(design, &instrumented);
-        let expanded = expand_design(&instrumented.design);
-        let mapped = map_to_luts(&expanded.netlist);
-        let timing = analyze_timing(&mapped);
-        let part = partition(&mapped, &self.device, self.max_devices, 0.9)
-            .map_err(FlowError::Capacity)?;
+        let (instrumented, overhead) = self.stage_instrument(design)?;
+        let mapped = self.stage_map(&instrumented);
+        let timing = self.stage_time(&mapped);
+        let partition = self.stage_partition(&mapped)?;
         Ok(FlowResult {
             instrumented,
             overhead,
             mapped,
             timing,
-            partition: part,
+            partition,
         })
     }
 
@@ -207,8 +261,7 @@ impl PowerEmulationFlow {
         testbench: &mut dyn Testbench,
     ) -> Result<EmulatedPower, FlowError> {
         let design = &result.instrumented.design;
-        let mut sim =
-            Simulator::new(design).map_err(|e| FlowError::Simulate(e.to_string()))?;
+        let mut sim = Simulator::new(design).map_err(|e| FlowError::Simulate(e.to_string()))?;
         let cycles = pe_sim::run(&mut sim, testbench);
         let total_energy_fj = result.instrumented.read_energy_fj(&mut sim);
         let period_ns = design.clocks().first().map_or(10.0, |c| c.period_ns());
@@ -247,8 +300,7 @@ mod tests {
     #[test]
     fn flow_runs_end_to_end() {
         let d = small_design();
-        let flow =
-            PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
+        let flow = PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
         let result = flow.run(&d).unwrap();
         assert!(result.overhead.component_ratio() > 1.0);
         assert!(result.timing.fmax_mhz > 1.0);
@@ -269,14 +321,49 @@ mod tests {
     }
 
     #[test]
+    fn staged_entry_points_match_run() {
+        let d = small_design();
+        let flow = PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
+        let full = flow.run(&d).unwrap();
+
+        // A second flow that never characterizes: the library is restored
+        // via install_library, then each stage runs individually.
+        let staged = PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
+        staged.install_library(flow.library());
+        let (inst, overhead) = staged.stage_instrument(&d).unwrap();
+        let mapped = staged.stage_map(&inst);
+        let timing = staged.stage_time(&mapped);
+        let part = staged.stage_partition(&mapped).unwrap();
+
+        assert_eq!(
+            full.overhead.enhanced.components,
+            overhead.enhanced.components
+        );
+        assert_eq!(full.mapped.resource_use().luts, mapped.resource_use().luts);
+        assert_eq!(full.timing.fmax_mhz.to_bits(), timing.fmax_mhz.to_bits());
+        assert_eq!(full.partition.devices, part.devices);
+    }
+
+    #[test]
+    fn stage_instrument_without_models_fails_cleanly() {
+        let d = small_design();
+        let flow = PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
+        // No prepare_models: instrumentation must report missing models,
+        // not characterize behind the caller's back.
+        assert!(matches!(
+            flow.stage_instrument(&d),
+            Err(FlowError::Instrument(_))
+        ));
+    }
+
+    #[test]
     fn library_accumulates_across_runs() {
         let d = small_design();
-        let flow =
-            PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
+        let flow = PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
         flow.prepare_models(&d).unwrap();
         let n = flow.library().len();
         assert!(n >= 3); // add, mul, registers
-        // Re-running characterizes nothing new.
+                         // Re-running characterizes nothing new.
         flow.prepare_models(&d).unwrap();
         assert_eq!(flow.library().len(), n);
     }

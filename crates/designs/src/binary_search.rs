@@ -25,9 +25,9 @@ pub fn binary_search() -> Design {
     // A sorted table with distinct values spread over 0..=255.
     let table: Vec<u64> = (0..TABLE_WORDS as u64).map(|i| i * 8 + 3).collect();
     let aw = 5; // clog2(32)
-    // Bound registers carry two extra bits so that `last = -1` (searching
-    // below the table) and `first = 32` (above) remain representable for
-    // the signed termination compare.
+                // Bound registers carry two extra bits so that `last = -1` (searching
+                // below the table) and `first = 32` (above) remain representable for
+                // the signed termination compare.
     let mut f = FsmdBuilder::new("binary_search");
     let value = f.input("value", 8);
     let start = f.input("start", 1);
@@ -53,7 +53,12 @@ pub fn binary_search() -> Design {
     f.set(idle, last, Expr::konst((TABLE_WORDS - 1) as u64, w));
     f.set(idle, done, Expr::konst(0, 1));
     f.set(idle, found, Expr::konst(0, 1));
-    f.branch(idle, Expr::input(start, 1).eq(Expr::konst(1, 1)), compute_mid, idle);
+    f.branch(
+        idle,
+        Expr::input(start, 1).eq(Expr::konst(1, 1)),
+        compute_mid,
+        idle,
+    );
 
     // compute_mid: mid <= (first + last) >> 1
     let sum = Expr::reg(first, w).add(Expr::reg(last, w));
@@ -78,10 +83,7 @@ pub fn binary_search() -> Design {
     f.set(
         compare,
         first,
-        Expr::reg(first, w).select(
-            lt.clone(),
-            Expr::reg(mid, w).add(Expr::konst(1, w)),
-        ),
+        Expr::reg(first, w).select(lt.clone(), Expr::reg(mid, w).add(Expr::konst(1, w))),
     );
     f.set(
         compare,
@@ -158,11 +160,7 @@ mod tests {
     fn has_the_figures_structure() {
         let d = binary_search();
         // Registers, a memory, comparators, adders and muxes all present.
-        let kinds: Vec<&str> = d
-            .components()
-            .iter()
-            .map(|c| c.kind().mnemonic())
-            .collect();
+        let kinds: Vec<&str> = d.components().iter().map(|c| c.kind().mnemonic()).collect();
         for expect in ["reg", "mem", "add", "sub", "lt", "eq", "mux", "shr"] {
             assert!(kinds.contains(&expect), "missing {expect}");
         }

@@ -258,7 +258,7 @@ mod tests {
     fn matrix_rows_are_orthogonal_enough() {
         let c = dct_matrix();
         assert_eq!(c[0][0], 91); // 256/√8 ≈ 90.5 → 91 or 90
-        // DC row is constant.
+                                 // DC row is constant.
         assert!(c[0].iter().all(|&v| v == c[0][0]));
         // Row 4 alternates sign pairwise: + - - + + - - +
         assert!(c[4][0] > 0 && c[4][1] < 0 && c[4][2] < 0 && c[4][3] > 0);
@@ -301,10 +301,7 @@ mod tests {
         let x = dct_reference(&samples);
         let back = idct_reference(&x);
         for (orig, rec) in samples.iter().zip(&back) {
-            assert!(
-                (orig - rec).abs() <= 3,
-                "round trip {samples:?} → {back:?}"
-            );
+            assert!((orig - rec).abs() <= 3, "round trip {samples:?} → {back:?}");
         }
     }
 

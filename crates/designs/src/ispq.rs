@@ -19,9 +19,9 @@ use pe_rtl::Design;
 /// The 8×8 zigzag scan order: `ZIGZAG[i]` is the raster position of the
 /// `i`-th transmitted coefficient.
 pub const ZIGZAG: [u64; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Reference dequantizer used by tests and the MPEG4 stimulus model.
@@ -88,12 +88,7 @@ pub fn ispq() -> Design {
     let raster = zigzag_rom(zig_addr);
     f.mem_write(store, coef, raster, Expr::reg(rec, 12));
     f.set(store, i, Expr::reg(i, 7).add(Expr::konst(1, 7)));
-    f.branch(
-        store,
-        Expr::reg(i, 7).eq(Expr::konst(63, 7)),
-        pause,
-        fetch,
-    );
+    f.branch(store, Expr::reg(i, 7).eq(Expr::konst(63, 7)), pause, fetch);
 
     // pause: one-block boundary; serve check reads, then restart.
     f.set(pause, done, Expr::konst(1, 1));
@@ -172,11 +167,11 @@ mod tests {
         }
         assert_eq!(sim.output("done_block"), 0);
         sim.step(); // pause entered; done goes high after its edge… feed check reads
-        // Now in pause→fetch; but reads were issued in pause. Verify a few
-        // raster positions using the reference model.
-        // Re-run to use the pause read port properly: scan all addresses by
-        // re-entering pause once per block is costly; instead check via a
-        // fresh run per address below (cheap at this size).
+                    // Now in pause→fetch; but reads were issued in pause. Verify a few
+                    // raster positions using the reference model.
+                    // Re-run to use the pause read port properly: scan all addresses by
+                    // re-entering pause once per block is costly; instead check via a
+                    // fresh run per address below (cheap at this size).
         for probe in [0usize, 1, 8, 20, 63] {
             let mut sim2 = Simulator::new(&d).unwrap();
             sim2.set_input_by_name("qscale", qscale);

@@ -86,7 +86,7 @@ pub fn mpeg4_decoder() -> Design {
     let coef = f.mem("coef", 64, 12, None);
     let tmp = f.mem("tmp", 64, 16, None);
     let resid = f.mem("resid", 64, 16, None);
-    let frame = f.mem("frame", (FRAME_SIZE * FRAME_SIZE) as u32, 8, None);
+    let frame = f.mem("frame", FRAME_SIZE * FRAME_SIZE, 8, None);
 
     // ── States ────────────────────────────────────────────────────────────
     let clear = f.state("clear");
@@ -99,7 +99,12 @@ pub fn mpeg4_decoder() -> Design {
     // (DFG states are created by `lower` below.)
 
     // clear: zero the coefficient memory, then read the header bit.
-    f.mem_write(clear, coef, Expr::reg(clr, 7).slice(0, 6), Expr::konst(0, 12));
+    f.mem_write(
+        clear,
+        coef,
+        Expr::reg(clr, 7).slice(0, 6),
+        Expr::konst(0, 12),
+    );
     f.set(clear, clr, Expr::reg(clr, 7).add(Expr::konst(1, 7)));
     let clear_done = Expr::reg(clr, 7).eq(Expr::konst(63, 7));
     f.set(clear, consume, clear_done.clone()); // hdr consumes the flag bit
@@ -230,7 +235,12 @@ pub fn mpeg4_decoder() -> Design {
     let lowered_col = lower(&mut f, &g, &sched, "idct_col");
     let ld_sel = f.state("ld_sel");
     f.branch(ld, Expr::reg(n, 4).eq(Expr::konst(8, 4)), ld_sel, ld);
-    f.branch(ld_sel, Expr::reg(pass, 1), lowered_col.entry, lowered_row.entry);
+    f.branch(
+        ld_sel,
+        Expr::reg(pass, 1),
+        lowered_col.entry,
+        lowered_row.entry,
+    );
 
     // stage: copy DFG results into the output shift bank.
     let stage_row = f.state("stage_row");
@@ -314,10 +324,8 @@ pub fn mpeg4_decoder() -> Design {
     f.mem_read(rec_issue, frame, faddr.clone());
     f.goto(rec_issue, rec_do);
 
-    let base = Expr::konst(128, 16).select(
-        Expr::reg(intra, 1).not(),
-        Expr::mem_data(frame, 8).zext(16),
-    );
+    let base =
+        Expr::konst(128, 16).select(Expr::reg(intra, 1).not(), Expr::mem_data(frame, 8).zext(16));
     let summ = base.add(Expr::mem_data(resid, 16));
     let neg = summ.clone().slt(Expr::konst(0, 16));
     let big = Expr::konst(255, 16).slt(summ.clone());
@@ -355,7 +363,11 @@ pub fn mpeg4_decoder() -> Design {
         frames,
         Expr::reg(frames, 8).select(last_blk, Expr::reg(frames, 8).add(Expr::konst(1, 8))),
     );
-    f.set(blk_adv, blocks, Expr::reg(blocks, 16).add(Expr::konst(1, 16)));
+    f.set(
+        blk_adv,
+        blocks,
+        Expr::reg(blocks, 16).add(Expr::konst(1, 16)),
+    );
     f.set(blk_adv, clr, Expr::konst(0, 7));
     f.set(blk_adv, consume, Expr::konst(0, 1));
     f.goto(blk_adv, clear);
@@ -466,11 +478,11 @@ pub fn reference_decode(blocks: &[BlockSpec], qscale: u64) -> u16 {
         }
         // Reconstruction.
         let (bx, by) = (blk % 4, blk / 4);
-        for p in 0..64usize {
+        for (p, &res) in resid.iter().enumerate() {
             let (r, col) = (p / 8, p % 8);
             let addr = (by * 8 + r) * FRAME_SIZE as usize + bx * 8 + col;
             let base = if spec.intra { 128 } else { frame[addr] };
-            let pixel = (base + resid[p]).clamp(0, 255);
+            let pixel = (base + res).clamp(0, 255);
             frame[addr] = pixel;
             checksum = checksum.wrapping_add(pixel as u16) ^ (p as u16);
         }

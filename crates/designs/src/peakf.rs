@@ -170,7 +170,7 @@ mod tests {
             outputs.push(sim.output("pixel_out"));
         }
         assert!(
-            outputs.iter().any(|&y| y < 50 || y > 200),
+            outputs.iter().any(|&y| !(50..=200).contains(&y)),
             "no overshoot in {outputs:?}"
         );
     }
@@ -193,7 +193,7 @@ mod tests {
             outputs.push(sim.output("pixel_out"));
         }
         assert!(
-            outputs.iter().any(|&y| y < 50 || y > 200),
+            outputs.iter().any(|&y| !(50..=200).contains(&y)),
             "no vertical overshoot in {outputs:?}"
         );
     }

@@ -30,10 +30,7 @@ enum Workload {
         seed: u64,
     },
     /// A VLC bitstream under the `consume` handshake.
-    Bitstream {
-        seed: u64,
-        qscale: Option<u64>,
-    },
+    Bitstream { seed: u64, qscale: Option<u64> },
 }
 
 /// Random-stimulus testbench shared by the stream-style designs.
@@ -213,7 +210,15 @@ mod tests {
         let names: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
         assert_eq!(
             names,
-            vec!["Bubble_Sort", "HVPeakF", "DCT", "IDCT", "Ispq", "Vld", "MPEG4"]
+            vec![
+                "Bubble_Sort",
+                "HVPeakF",
+                "DCT",
+                "IDCT",
+                "Ispq",
+                "Vld",
+                "MPEG4"
+            ]
         );
     }
 

@@ -34,21 +34,111 @@ pub enum Symbol {
 /// `{0,1}`; run/level symbols are followed by one sign bit in the stream
 /// (1 = negative).
 pub const CODE_BOOK: [(&str, Symbol); 16] = [
-    ("11", Symbol::RunLevel { run: 0, magnitude: 1 }),
-    ("011", Symbol::RunLevel { run: 1, magnitude: 1 }),
-    ("0101", Symbol::RunLevel { run: 0, magnitude: 2 }),
-    ("0100", Symbol::RunLevel { run: 2, magnitude: 1 }),
-    ("00111", Symbol::RunLevel { run: 0, magnitude: 3 }),
-    ("00110", Symbol::RunLevel { run: 3, magnitude: 1 }),
-    ("00101", Symbol::RunLevel { run: 1, magnitude: 2 }),
-    ("00100", Symbol::RunLevel { run: 4, magnitude: 1 }),
-    ("00011", Symbol::RunLevel { run: 2, magnitude: 2 }),
-    ("00010", Symbol::RunLevel { run: 1, magnitude: 3 }),
-    ("00001", Symbol::RunLevel { run: 3, magnitude: 2 }),
-    ("000001", Symbol::RunLevel { run: 2, magnitude: 3 }),
-    ("0000001", Symbol::RunLevel { run: 4, magnitude: 2 }),
-    ("00000001", Symbol::RunLevel { run: 3, magnitude: 3 }),
-    ("00000000", Symbol::RunLevel { run: 4, magnitude: 3 }),
+    (
+        "11",
+        Symbol::RunLevel {
+            run: 0,
+            magnitude: 1,
+        },
+    ),
+    (
+        "011",
+        Symbol::RunLevel {
+            run: 1,
+            magnitude: 1,
+        },
+    ),
+    (
+        "0101",
+        Symbol::RunLevel {
+            run: 0,
+            magnitude: 2,
+        },
+    ),
+    (
+        "0100",
+        Symbol::RunLevel {
+            run: 2,
+            magnitude: 1,
+        },
+    ),
+    (
+        "00111",
+        Symbol::RunLevel {
+            run: 0,
+            magnitude: 3,
+        },
+    ),
+    (
+        "00110",
+        Symbol::RunLevel {
+            run: 3,
+            magnitude: 1,
+        },
+    ),
+    (
+        "00101",
+        Symbol::RunLevel {
+            run: 1,
+            magnitude: 2,
+        },
+    ),
+    (
+        "00100",
+        Symbol::RunLevel {
+            run: 4,
+            magnitude: 1,
+        },
+    ),
+    (
+        "00011",
+        Symbol::RunLevel {
+            run: 2,
+            magnitude: 2,
+        },
+    ),
+    (
+        "00010",
+        Symbol::RunLevel {
+            run: 1,
+            magnitude: 3,
+        },
+    ),
+    (
+        "00001",
+        Symbol::RunLevel {
+            run: 3,
+            magnitude: 2,
+        },
+    ),
+    (
+        "000001",
+        Symbol::RunLevel {
+            run: 2,
+            magnitude: 3,
+        },
+    ),
+    (
+        "0000001",
+        Symbol::RunLevel {
+            run: 4,
+            magnitude: 2,
+        },
+    ),
+    (
+        "00000001",
+        Symbol::RunLevel {
+            run: 3,
+            magnitude: 3,
+        },
+    ),
+    (
+        "00000000",
+        Symbol::RunLevel {
+            run: 4,
+            magnitude: 3,
+        },
+    ),
     ("10", Symbol::Eob),
 ];
 
@@ -187,11 +277,7 @@ pub fn vld() -> Design {
     );
     f.set(walk, valid, Expr::konst(0, 1));
     // Next state consumes a bit unless it is the EOB pass through `sign`.
-    f.set(
-        walk,
-        consume,
-        is_leaf.clone().not().or(is_rl.clone()),
-    );
+    f.set(walk, consume, is_leaf.clone().not().or(is_rl.clone()));
     f.branch(walk, is_leaf, sign, walk);
 
     // ── sign: latch the symbol (reads the sign bit for run/level) ────────
@@ -338,10 +424,34 @@ mod tests {
     #[test]
     fn decodes_an_encoded_stream() {
         let symbols = [
-            (Symbol::RunLevel { run: 0, magnitude: 1 }, false),
-            (Symbol::RunLevel { run: 2, magnitude: 1 }, true),
-            (Symbol::RunLevel { run: 0, magnitude: 3 }, false),
-            (Symbol::RunLevel { run: 1, magnitude: 2 }, true),
+            (
+                Symbol::RunLevel {
+                    run: 0,
+                    magnitude: 1,
+                },
+                false,
+            ),
+            (
+                Symbol::RunLevel {
+                    run: 2,
+                    magnitude: 1,
+                },
+                true,
+            ),
+            (
+                Symbol::RunLevel {
+                    run: 0,
+                    magnitude: 3,
+                },
+                false,
+            ),
+            (
+                Symbol::RunLevel {
+                    run: 1,
+                    magnitude: 2,
+                },
+                true,
+            ),
             (Symbol::Eob, false),
         ];
         let mut bits = Vec::new();
@@ -352,20 +462,11 @@ mod tests {
         let decoded = drive(&d, &bits, 200);
         assert_eq!(
             decoded,
-            vec![
-                (0, 1, 0),
-                (2, -1, 0),
-                (0, 3, 0),
-                (1, -2, 0),
-                (0, 0, 1),
-            ]
+            vec![(0, 1, 0), (2, -1, 0), (0, 3, 0), (1, -2, 0), (0, 0, 1),]
         );
         // Cross-check the software reference.
         let (pairs, consumed) = decode_reference(&bits);
-        assert_eq!(
-            pairs,
-            vec![(0, 1), (2, -1), (0, 3), (1, -2)]
-        );
+        assert_eq!(pairs, vec![(0, 1), (2, -1), (0, 3), (1, -2)]);
         assert_eq!(consumed, bits.len());
     }
 }

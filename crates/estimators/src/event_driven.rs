@@ -107,10 +107,7 @@ impl PowerEstimator for RtlEventEstimator<'_> {
         let mut sim = Simulator::new(design).map_err(|e| EstimateError::InvalidDesign {
             message: e.to_string(),
         })?;
-        let period_ns = design
-            .clocks()
-            .first()
-            .map_or(10.0, |c| c.period_ns());
+        let period_ns = design.clocks().first().map_or(10.0, |c| c.period_ns());
 
         let cycles = testbench.cycles();
         let mut per_component = vec![0.0f64; design.components().len()];
@@ -200,13 +197,14 @@ mod tests {
             .iter()
             .position(|c| c.kind().is_sequential())
             .unwrap();
-        let model_base = lib
-            .model_for(&d, &d.components()[reg])
-            .unwrap()
-            .base_fj();
+        let model_base = lib.model_for(&d, &d.components()[reg]).unwrap().base_fj();
         let expected = 100.0 * model_base;
         let rel = (report.per_component_fj[reg] - expected).abs() / expected;
-        assert!(rel < 1e-9, "per-component {} vs {expected}", report.per_component_fj[reg]);
+        assert!(
+            rel < 1e-9,
+            "per-component {} vs {expected}",
+            report.per_component_fj[reg]
+        );
     }
 
     #[test]

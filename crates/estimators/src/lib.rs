@@ -77,8 +77,7 @@ mod tests {
 
         // The two macromodel tools evaluate the *same* models: totals must
         // agree almost exactly.
-        let rel_tools =
-            (ev.total_energy_fj - db.total_energy_fj).abs() / gl.total_energy_fj;
+        let rel_tools = (ev.total_energy_fj - db.total_energy_fj).abs() / gl.total_energy_fj;
         assert!(rel_tools < 1e-9, "tool divergence {rel_tools}");
         // And both must sit near the gate-level reference (model error).
         let rel_model = (ev.total_energy_fj - gl.total_energy_fj).abs() / gl.total_energy_fj;

@@ -16,7 +16,13 @@ pub struct DeviceModel {
 
 impl DeviceModel {
     /// Defines a custom device.
-    pub fn new(name: impl Into<String>, luts: u32, flip_flops: u32, brams: u32, io_pins: u32) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        luts: u32,
+        flip_flops: u32,
+        brams: u32,
+        io_pins: u32,
+    ) -> Self {
         Self {
             name: name.into(),
             luts,

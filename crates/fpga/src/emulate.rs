@@ -154,9 +154,7 @@ impl<'a> LutSimulator<'a> {
         for (ff, q) in self.netlist.ffs().iter().zip(new_q) {
             self.values[ff.q.index()] = q;
         }
-        for (mi, (bram, (read, write))) in
-            self.netlist.brams().iter().zip(mem_ops).enumerate()
-        {
+        for (mi, (bram, (read, write))) in self.netlist.brams().iter().zip(mem_ops).enumerate() {
             for (i, net) in bram.rdata.iter().enumerate() {
                 self.values[net.index()] = (read >> i) & 1 == 1;
             }

@@ -155,15 +155,15 @@ pub fn map_to_luts(netlist: &GateNetlist) -> LutNetlist {
         let mut pos = 0;
         while pos < inputs.len() {
             let k = inputs.len();
-            let invariant = (0..1u32 << k)
-                .all(|m| (*truth >> m) & 1 == (*truth >> (m ^ (1 << pos))) & 1);
+            let invariant =
+                (0..1u32 << k).all(|m| (*truth >> m) & 1 == (*truth >> (m ^ (1 << pos))) & 1);
             if invariant {
                 // Remove variable `pos`, compacting the table.
                 let mut new_truth: u16 = 0;
                 let mut out_bit = 0;
                 for m in 0..1u32 << k {
                     if (m >> pos) & 1 == 0 {
-                        new_truth |= (((*truth >> m) & 1) as u16) << out_bit;
+                        new_truth |= ((*truth >> m) & 1) << out_bit;
                         out_bit += 1;
                     }
                 }
@@ -237,7 +237,6 @@ pub fn map_to_luts(netlist: &GateNetlist) -> LutNetlist {
                 truth |= 1 << m;
             }
         }
-        let mut vars = vars;
         minimize_support(&mut vars, &mut truth);
         if vars.is_empty() {
             // Fully folded: the gate is a constant.
@@ -307,11 +306,7 @@ pub fn map_to_luts(netlist: &GateNetlist) -> LutNetlist {
                 }
                 // Candidate support.
                 let b_inputs = luts[b_idx].inputs.clone();
-                let mut merged: Vec<NetId> = inputs
-                    .iter()
-                    .copied()
-                    .filter(|&n| n != inp)
-                    .collect();
+                let mut merged: Vec<NetId> = inputs.iter().copied().filter(|&n| n != inp).collect();
                 for &bn in &b_inputs {
                     if !merged.contains(&bn) {
                         merged.push(bn);
@@ -346,7 +341,6 @@ pub fn map_to_luts(netlist: &GateNetlist) -> LutNetlist {
                         truth |= 1 << m;
                     }
                 }
-                let mut merged = merged;
                 minimize_support(&mut merged, &mut truth);
                 // Commit: rewrite a, retire b if orphaned.
                 for &n in &luts[i].inputs {
@@ -378,19 +372,21 @@ pub fn map_to_luts(netlist: &GateNetlist) -> LutNetlist {
         .collect();
     let needs_const = |n: NetId, constant: &[Option<bool>]| constant[n.index()].is_some();
     let mut const_emitted: Vec<bool> = vec![false; nets];
-    let emit_const = |n: NetId,
-                          constant: &[Option<bool>],
-                          emitted: &mut Vec<bool>,
-                          out: &mut Vec<Lut>| {
-        if !emitted[n.index()] {
-            emitted[n.index()] = true;
-            out.push(Lut {
-                inputs: Vec::new(),
-                truth: if constant[n.index()] == Some(true) { 1 } else { 0 },
-                output: n,
-            });
-        }
-    };
+    let emit_const =
+        |n: NetId, constant: &[Option<bool>], emitted: &mut Vec<bool>, out: &mut Vec<Lut>| {
+            if !emitted[n.index()] {
+                emitted[n.index()] = true;
+                out.push(Lut {
+                    inputs: Vec::new(),
+                    truth: if constant[n.index()] == Some(true) {
+                        1
+                    } else {
+                        0
+                    },
+                    output: n,
+                });
+            }
+        };
 
     let rsv = |n: NetId, alias: &Vec<NetId>| resolve(alias, n);
     let mut ffs = Vec::with_capacity(netlist.dffs().len());

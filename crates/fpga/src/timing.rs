@@ -89,8 +89,8 @@ pub fn analyze_timing_with(netlist: &LutNetlist, model: &DelayModel) -> TimingRe
             arr = arr.max(arrival[n.index()]);
             dep = dep.max(depth[n.index()]);
         }
-        let wire = model.t_net_ns
-            + model.t_fanout_ns * (1.0 + fanout[lut.output.index()] as f64).ln();
+        let wire =
+            model.t_net_ns + model.t_fanout_ns * (1.0 + fanout[lut.output.index()] as f64).ln();
         arrival[lut.output.index()] = arr + model.t_lut_ns + wire;
         depth[lut.output.index()] = dep + 1;
     }

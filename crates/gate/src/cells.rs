@@ -157,17 +157,16 @@ mod tests {
     #[test]
     fn complex_gates_cost_more_than_inverters() {
         let lib = CellLibrary::cmos130();
-        assert!(lib.gate(GateKind::Xor2).toggle_energy_fj > lib.gate(GateKind::Inv).toggle_energy_fj);
+        assert!(
+            lib.gate(GateKind::Xor2).toggle_energy_fj > lib.gate(GateKind::Inv).toggle_energy_fj
+        );
         assert!(lib.dff().toggle_energy_fj > lib.gate(GateKind::Mux2).toggle_energy_fj);
     }
 
     #[test]
     fn memory_energy_scales_with_width() {
         let lib = CellLibrary::cmos130();
-        assert_eq!(
-            lib.mem_read_energy_fj(16),
-            2.0 * lib.mem_read_energy_fj(8)
-        );
+        assert_eq!(lib.mem_read_energy_fj(16), 2.0 * lib.mem_read_energy_fj(8));
         assert!(lib.mem_write_energy_fj(8) > lib.mem_read_energy_fj(8));
         assert!(lib.mem_leakage_nw(1024, 8) > lib.mem_leakage_nw(16, 8));
     }

@@ -261,10 +261,7 @@ impl Emitter {
     ) -> Vec<NetId> {
         let w = data.len();
         let mut cur = data.to_vec();
-        let max_stage = (0..)
-            .take_while(|s| (1usize << s) < w)
-            .count()
-            .max(1);
+        let max_stage = (0..).take_while(|s| (1usize << s) < w).count().max(1);
         for (s, amt_net) in amount.iter().take(max_stage).enumerate() {
             let dist = 1usize << s;
             let fill = if arithmetic { cur[w - 1] } else { self.tie0 };
@@ -291,8 +288,8 @@ impl Emitter {
         if amount.len() > max_stage {
             let ovf = self.reduce(GateKind::Or2, &amount[max_stage..]);
             let fill = if arithmetic { cur[w - 1] } else { self.tie0 };
-            for i in 0..w {
-                cur[i] = self.mux2(ovf, cur[i], fill);
+            for bit in cur.iter_mut() {
+                *bit = self.mux2(ovf, *bit, fill);
             }
         }
         cur
@@ -454,10 +451,8 @@ pub fn expand_design(design: &Design) -> ExpandedDesign {
             }
             ComponentKind::Const { value } => em.const_bits(*value, out_width),
             ComponentKind::Table { table } => {
-                let data: Vec<Vec<NetId>> = table
-                    .iter()
-                    .map(|&v| em.const_bits(v, out_width))
-                    .collect();
+                let data: Vec<Vec<NetId>> =
+                    table.iter().map(|&v| em.const_bits(v, out_width)).collect();
                 em.mux_tree(&ins[0], &data)
             }
             ComponentKind::Register { .. } | ComponentKind::Memory { .. } => unreachable!(),
@@ -472,15 +467,18 @@ pub fn expand_design(design: &Design) -> ExpandedDesign {
             continue;
         }
         em.owner = Some(idx);
-        let clock = comp.clock().expect("sequential components are clocked").index() as u32;
+        let clock = comp
+            .clock()
+            .expect("sequential components are clocked")
+            .index() as u32;
         match comp.kind() {
             ComponentKind::Register { init, has_enable } => {
                 let d_nets = signal_nets[comp.inputs()[0].index()]
                     .clone()
                     .expect("driven");
                 let q_nets = signal_nets[comp.output().index()].clone().expect("pre");
-                let en = has_enable
-                    .then(|| signal_nets[comp.inputs()[1].index()].as_ref().unwrap()[0]);
+                let en =
+                    has_enable.then(|| signal_nets[comp.inputs()[1].index()].as_ref().unwrap()[0]);
                 for (bit, (&d, &q)) in d_nets.iter().zip(&q_nets).enumerate() {
                     let d_eff = match en {
                         Some(en) => em.mux2(en, q, d),
@@ -506,9 +504,7 @@ pub fn expand_design(design: &Design) -> ExpandedDesign {
                     wen: get(comp.inputs()[3], &signal_nets)[0],
                     rdata: signal_nets[comp.output().index()].clone().expect("pre"),
                     words: *words,
-                    init: init
-                        .clone()
-                        .unwrap_or_else(|| vec![0u64; *words as usize]),
+                    init: init.clone().unwrap_or_else(|| vec![0u64; *words as usize]),
                     clock,
                 });
                 em.comp_cells[idx].mems.push(mem_idx as u32);
@@ -527,7 +523,10 @@ pub fn expand_design(design: &Design) -> ExpandedDesign {
 
     ExpandedDesign {
         netlist: em.netlist,
-        signal_nets: signal_nets.into_iter().map(|n| n.expect("all driven")).collect(),
+        signal_nets: signal_nets
+            .into_iter()
+            .map(|n| n.expect("all driven"))
+            .collect(),
         comp_cells: em.comp_cells,
     }
 }
@@ -654,8 +653,10 @@ mod tests {
             .map(|i| ex.component_cells(i).gates.len())
             .sum();
         assert_eq!(total, ex.netlist.logic_gate_count());
-        assert!(ex.component_cells(0).gates.iter().all(|g| {
-            !ex.component_cells(1).gates.contains(g)
-        }));
+        assert!(ex
+            .component_cells(0)
+            .gates
+            .iter()
+            .all(|g| { !ex.component_cells(1).gates.contains(g) }));
     }
 }

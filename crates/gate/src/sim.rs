@@ -346,7 +346,11 @@ impl<'a> GateSimulator<'a> {
     /// output transitions during macromodel characterization.
     pub fn last_cycle_split_fj(&self) -> (f64, f64, f64) {
         let comb = self.cycle_energy_fj - self.cycle_seq_energy_fj - self.leakage_fj_per_cycle;
-        (comb.max(0.0), self.cycle_seq_energy_fj, self.leakage_fj_per_cycle)
+        (
+            comb.max(0.0),
+            self.cycle_seq_energy_fj,
+            self.leakage_fj_per_cycle,
+        )
     }
 
     /// Total energy since construction (femtojoules).
@@ -533,8 +537,7 @@ mod tests {
         let mut rsim = Simulator::new(&d).unwrap();
         let mut rng = Xoshiro::new(4);
         for _ in 0..100 {
-            let (ra_v, wa_v, wd_v, we_v) =
-                (rng.bits(3), rng.bits(3), rng.bits(8), rng.bits(1));
+            let (ra_v, wa_v, wd_v, we_v) = (rng.bits(3), rng.bits(3), rng.bits(8), rng.bits(1));
             for (sim_set, val) in [("ra", ra_v), ("wa", wa_v), ("wd", wd_v), ("we", we_v)] {
                 gsim.set_input(sim_set, val);
                 rsim.set_input_by_name(sim_set, val);
@@ -565,7 +568,10 @@ mod tests {
         // Now toggle all data bits: energy must rise.
         gsim.set_input("x", 0xFF);
         let e_active = gsim.step();
-        assert!(e_active > e_idle + 8.0, "active {e_active} vs idle {e_idle}");
+        assert!(
+            e_active > e_idle + 8.0,
+            "active {e_active} vs idle {e_idle}"
+        );
     }
 
     #[test]

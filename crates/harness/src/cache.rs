@@ -1,0 +1,334 @@
+//! The content-addressed model-library cache.
+//!
+//! Characterization — gate-level lockstep simulation of every component
+//! class — dominates every evaluation run, yet its output depends only
+//! on the design's flattened netlist and the [`CharacterizeConfig`].
+//! This module addresses characterized [`ModelLibrary`] artifacts by the
+//! FNV-1a-128 hash of exactly those two inputs, stores them on disk in
+//! `pe-power`'s text format wrapped in an integrity header, and treats
+//! *any* imperfection (missing file, wrong version, checksum mismatch,
+//! parse failure, incomplete coverage) as a miss that silently falls
+//! back to recharacterization — a corrupt cache can cost time, never
+//! correctness.
+
+use pe_power::{CharacterizeConfig, CharacterizeError, ModelLibrary};
+use pe_rtl::{text, Design};
+use pe_util::hash::Fnv128;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::events::{Event, EventSink};
+
+/// Magic first line of every cache file; bump the version to invalidate
+/// every existing entry on a format change.
+const MAGIC: &str = "pe-model-library-cache v1";
+
+/// A content address: the hash of a flattened netlist text plus a
+/// characterization-config token.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    hex: String,
+}
+
+impl CacheKey {
+    /// The key for characterizing `design` under `config`.
+    pub fn of(design: &Design, config: &CharacterizeConfig) -> Self {
+        let mut h = Fnv128::new();
+        h.update_field(text::to_text(design).as_bytes());
+        h.update_field(config.cache_token().as_bytes());
+        Self { hex: h.hex() }
+    }
+
+    /// The 32-hex-char address.
+    pub fn as_hex(&self) -> &str {
+        &self.hex
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex)
+    }
+}
+
+/// Why a cache probe returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissReason {
+    /// No entry for the key.
+    Absent,
+    /// The entry exists but is damaged: unreadable, truncated, checksum
+    /// mismatch, unparseable, or keyed wrongly.
+    Corrupt,
+    /// The entry was written by an incompatible cache version.
+    Stale,
+}
+
+impl fmt::Display for MissReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MissReason::Absent => "absent",
+            MissReason::Corrupt => "corrupt",
+            MissReason::Stale => "stale",
+        })
+    }
+}
+
+/// An on-disk cache of characterized model libraries.
+#[derive(Debug, Clone)]
+pub struct ModelCache {
+    dir: PathBuf,
+}
+
+impl ModelCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The cache root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a key is stored at.
+    pub fn path_of(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.mlib", key.as_hex()))
+    }
+
+    /// Probes the cache. Every failure mode maps to a [`MissReason`];
+    /// this never panics on damaged entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the miss reason (absent/corrupt/stale) instead of a
+    /// library.
+    pub fn load(&self, key: &CacheKey) -> Result<ModelLibrary, MissReason> {
+        let path = self.path_of(key);
+        let raw = match fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(MissReason::Absent),
+            Err(_) => return Err(MissReason::Corrupt),
+        };
+        let mut lines = raw.splitn(4, '\n');
+        let magic = lines.next().unwrap_or("");
+        let key_line = lines.next().unwrap_or("");
+        let digest_line = lines.next().unwrap_or("");
+        let body = lines.next().ok_or(MissReason::Corrupt)?;
+        if magic != MAGIC {
+            return Err(MissReason::Stale);
+        }
+        if key_line != format!("key={}", key.as_hex()) {
+            return Err(MissReason::Corrupt);
+        }
+        let mut h = Fnv128::new();
+        h.update(body.as_bytes());
+        if digest_line != format!("body={}", h.hex()) {
+            return Err(MissReason::Corrupt);
+        }
+        ModelLibrary::from_text(body).map_err(|_| MissReason::Corrupt)
+    }
+
+    /// Writes a library under `key` (atomically: temp file + rename, so
+    /// concurrent readers never observe a half-written entry).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn store(&self, key: &CacheKey, library: &ModelLibrary) -> io::Result<PathBuf> {
+        let body = library.to_text();
+        let mut h = Fnv128::new();
+        h.update(body.as_bytes());
+        let content = format!("{MAGIC}\nkey={}\nbody={}\n{body}", key.as_hex(), h.hex());
+        let path = self.path_of(key);
+        let tmp = self
+            .dir
+            .join(format!("{}.tmp-{}", key.as_hex(), std::process::id()));
+        fs::write(&tmp, content)?;
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+}
+
+/// The cache-aware characterization stage shared by every evaluation
+/// binary: serve the library from `cache` when a sound entry exists,
+/// otherwise characterize from scratch and (best-effort) populate the
+/// cache. Emits [`Event::CacheHit`]/[`Event::CacheMiss`]/
+/// [`Event::CacheStored`] so metrics can report hit rates.
+///
+/// # Errors
+///
+/// Propagates characterization failures; cache I/O failures only ever
+/// degrade to a miss.
+pub fn obtain_library(
+    design: &Design,
+    config: &CharacterizeConfig,
+    cache: Option<&ModelCache>,
+    label: &str,
+    sink: &dyn EventSink,
+) -> Result<ModelLibrary, CharacterizeError> {
+    let Some(cache) = cache else {
+        let mut library = ModelLibrary::new();
+        library.characterize_design(design, config)?;
+        return Ok(library);
+    };
+    let key = CacheKey::of(design, config);
+    match cache.load(&key) {
+        // A well-formed entry that fails to cover the design means the
+        // content address lied (hand-edited file): recharacterize.
+        Ok(library) if library.is_covered(design) => {
+            sink.emit(&Event::CacheHit {
+                label: label.to_string(),
+                key: key.as_hex().to_string(),
+            });
+            return Ok(library);
+        }
+        Ok(_) => sink.emit(&Event::CacheMiss {
+            label: label.to_string(),
+            key: key.as_hex().to_string(),
+            reason: MissReason::Corrupt,
+        }),
+        Err(reason) => sink.emit(&Event::CacheMiss {
+            label: label.to_string(),
+            key: key.as_hex().to_string(),
+            reason,
+        }),
+    }
+    let mut library = ModelLibrary::new();
+    library.characterize_design(design, config)?;
+    if cache.store(&key, &library).is_ok() {
+        sink.emit(&Event::CacheStored {
+            label: label.to_string(),
+            key: key.as_hex().to_string(),
+        });
+    }
+    Ok(library)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{Collector, NullSink};
+    use pe_rtl::builder::DesignBuilder;
+
+    fn tiny_design(name: &str) -> Design {
+        let mut b = DesignBuilder::new(name);
+        let clk = b.clock("clk");
+        let a = b.input("a", 4);
+        let c = b.input("b", 4);
+        let s = b.add(a, c);
+        let q = b.pipeline_reg("q", s, 0, clk);
+        b.output("q", q);
+        b.finish().unwrap()
+    }
+
+    fn temp_cache(tag: &str) -> ModelCache {
+        let dir = std::env::temp_dir().join(format!(
+            "pe-harness-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        ModelCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn keys_are_content_addresses() {
+        let d = tiny_design("d");
+        let fast = CharacterizeConfig::fast();
+        let k1 = CacheKey::of(&d, &fast);
+        assert_eq!(k1, CacheKey::of(&tiny_design("d"), &fast));
+        // Different config or different netlist → different address.
+        assert_ne!(k1, CacheKey::of(&d, &CharacterizeConfig::standard()));
+        assert_ne!(k1, CacheKey::of(&tiny_design("other"), &fast));
+        assert_eq!(k1.as_hex().len(), 32);
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical_to_fresh_characterization() {
+        let cache = temp_cache("roundtrip");
+        let d = tiny_design("rt");
+        let config = CharacterizeConfig::fast();
+
+        let mut fresh = ModelLibrary::new();
+        fresh.characterize_design(&d, &config).unwrap();
+
+        let key = CacheKey::of(&d, &config);
+        cache.store(&key, &fresh).unwrap();
+        let loaded = cache.load(&key).unwrap();
+
+        // The cached artifact reproduces the fresh characterization
+        // byte for byte in the canonical text encoding.
+        assert_eq!(loaded.to_text(), fresh.to_text());
+        assert_eq!(loaded, fresh);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn truncated_and_corrupted_entries_miss_instead_of_panicking() {
+        let cache = temp_cache("corrupt");
+        let d = tiny_design("cr");
+        let config = CharacterizeConfig::fast();
+        let key = CacheKey::of(&d, &config);
+
+        // Absent.
+        assert_eq!(cache.load(&key).unwrap_err(), MissReason::Absent);
+
+        let mut lib = ModelLibrary::new();
+        lib.characterize_design(&d, &config).unwrap();
+        let path = cache.store(&key, &lib).unwrap();
+
+        // Truncated: keep the header and half the body.
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert_eq!(cache.load(&key).unwrap_err(), MissReason::Corrupt);
+
+        // Flipped body byte: checksum catches it.
+        let mut tampered = full.clone().into_bytes();
+        let last = tampered.len() - 2;
+        tampered[last] = tampered[last].wrapping_add(1);
+        fs::write(&path, tampered).unwrap();
+        assert_eq!(cache.load(&key).unwrap_err(), MissReason::Corrupt);
+
+        // Wrong version: stale.
+        fs::write(&path, full.replace("cache v1", "cache v0")).unwrap();
+        assert_eq!(cache.load(&key).unwrap_err(), MissReason::Stale);
+
+        // And the cache-aware stage silently recharacterizes on top.
+        fs::write(&path, "garbage").unwrap();
+        let recovered = obtain_library(&d, &config, Some(&cache), "cr", &NullSink).unwrap();
+        assert_eq!(recovered.to_text(), lib.to_text());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn obtain_library_emits_miss_store_then_hit() {
+        let cache = temp_cache("events");
+        let d = tiny_design("ev");
+        let config = CharacterizeConfig::fast();
+
+        let cold = Collector::new();
+        let l1 = obtain_library(&d, &config, Some(&cache), "ev", &cold).unwrap();
+        let cold_events = cold.events();
+        assert!(matches!(
+            cold_events[0],
+            Event::CacheMiss {
+                reason: MissReason::Absent,
+                ..
+            }
+        ));
+        assert!(matches!(cold_events[1], Event::CacheStored { .. }));
+
+        let warm = Collector::new();
+        let l2 = obtain_library(&d, &config, Some(&cache), "ev", &warm).unwrap();
+        assert!(matches!(warm.events()[0], Event::CacheHit { .. }));
+        assert_eq!(l1.to_text(), l2.to_text());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

@@ -1,0 +1,408 @@
+//! Structured progress and metrics events.
+//!
+//! Every observable step of a harness run — a job changing state, a
+//! cache probe — is emitted as an [`Event`] to an [`EventSink`]. Events
+//! render as single `key=value` lines ([`fmt::Display`]), so a binary
+//! can stream them to stderr for live progress while a [`Metrics`] sink
+//! accumulates the same stream into an end-of-run stage breakdown.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::cache::MissReason;
+use crate::executor::JobId;
+
+/// One observable step of a harness run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A job was added to the schedule.
+    JobQueued {
+        /// Job id (stable across runs of the same schedule).
+        id: JobId,
+        /// Flow stage the job belongs to (`characterize`, `map`, …).
+        stage: String,
+        /// Human label, usually the design name.
+        label: String,
+    },
+    /// A worker began executing a job.
+    JobStarted {
+        /// Job id.
+        id: JobId,
+        /// Flow stage.
+        stage: String,
+        /// Human label.
+        label: String,
+    },
+    /// A job finished successfully.
+    JobFinished {
+        /// Job id.
+        id: JobId,
+        /// Flow stage.
+        stage: String,
+        /// Human label.
+        label: String,
+        /// Wall-clock spent inside the job closure.
+        wall: Duration,
+    },
+    /// A job returned an error (or panicked).
+    JobFailed {
+        /// Job id.
+        id: JobId,
+        /// Flow stage.
+        stage: String,
+        /// Human label.
+        label: String,
+        /// Wall-clock spent inside the job closure.
+        wall: Duration,
+        /// Rendered error.
+        error: String,
+    },
+    /// A job was skipped because a dependency did not complete.
+    JobSkipped {
+        /// Job id.
+        id: JobId,
+        /// Flow stage.
+        stage: String,
+        /// Human label.
+        label: String,
+        /// The dependency that failed.
+        failed_dep: JobId,
+    },
+    /// A model library was served from the artifact cache.
+    CacheHit {
+        /// Human label, usually the design name.
+        label: String,
+        /// Content address (hex).
+        key: String,
+    },
+    /// A cache probe found nothing usable.
+    CacheMiss {
+        /// Human label.
+        label: String,
+        /// Content address (hex).
+        key: String,
+        /// Why the probe missed.
+        reason: MissReason,
+    },
+    /// A freshly characterized library was written to the cache.
+    CacheStored {
+        /// Human label.
+        label: String,
+        /// Content address (hex).
+        key: String,
+    },
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::JobQueued { id, stage, label } => {
+                write!(f, "event=queued job={id} stage={stage} label={label}")
+            }
+            Event::JobStarted { id, stage, label } => {
+                write!(f, "event=started job={id} stage={stage} label={label}")
+            }
+            Event::JobFinished {
+                id,
+                stage,
+                label,
+                wall,
+            } => write!(
+                f,
+                "event=finished job={id} stage={stage} label={label} wall_ms={:.1}",
+                wall.as_secs_f64() * 1e3
+            ),
+            Event::JobFailed {
+                id,
+                stage,
+                label,
+                wall,
+                error,
+            } => write!(
+                f,
+                "event=failed job={id} stage={stage} label={label} wall_ms={:.1} error={error}",
+                wall.as_secs_f64() * 1e3
+            ),
+            Event::JobSkipped {
+                id,
+                stage,
+                label,
+                failed_dep,
+            } => write!(
+                f,
+                "event=skipped job={id} stage={stage} label={label} failed_dep={failed_dep}"
+            ),
+            Event::CacheHit { label, key } => {
+                write!(f, "event=cache_hit label={label} key={key}")
+            }
+            Event::CacheMiss { label, key, reason } => {
+                write!(
+                    f,
+                    "event=cache_miss label={label} key={key} reason={reason}"
+                )
+            }
+            Event::CacheStored { label, key } => {
+                write!(f, "event=cache_stored label={label} key={key}")
+            }
+        }
+    }
+}
+
+/// A consumer of harness events. Sinks are shared across worker threads,
+/// hence the `Sync` bound.
+pub trait EventSink: Sync {
+    /// Receives one event. Implementations must not panic.
+    fn emit(&self, event: &Event);
+}
+
+/// Discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Streams each event as one line on stderr, prefixed with a tag —
+/// the live-progress view of a run.
+#[derive(Debug)]
+pub struct StderrLines {
+    tag: String,
+    /// When false, per-job queued/started lines are suppressed and only
+    /// finished/failed/skipped and cache events are printed.
+    verbose: bool,
+}
+
+impl StderrLines {
+    /// A sink printing `[tag] <event line>`.
+    pub fn new(tag: &str, verbose: bool) -> Self {
+        Self {
+            tag: tag.to_string(),
+            verbose,
+        }
+    }
+}
+
+impl EventSink for StderrLines {
+    fn emit(&self, event: &Event) {
+        if !self.verbose && matches!(event, Event::JobQueued { .. } | Event::JobStarted { .. }) {
+            return;
+        }
+        eprintln!("[{}] {event}", self.tag);
+    }
+}
+
+/// Fans one event stream out to several sinks.
+pub struct Fanout<'a>(pub Vec<&'a dyn EventSink>);
+
+impl EventSink for Fanout<'_> {
+    fn emit(&self, event: &Event) {
+        for sink in &self.0 {
+            sink.emit(event);
+        }
+    }
+}
+
+/// Collects raw events for inspection (tests, post-processing).
+#[derive(Debug, Default)]
+pub struct Collector {
+    events: Mutex<Vec<Event>>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of everything collected so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("collector poisoned").clone()
+    }
+}
+
+impl EventSink for Collector {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("collector poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Per-stage aggregate of a finished run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageAgg {
+    /// Jobs that finished (successfully or not) in this stage.
+    pub jobs: usize,
+    /// Total wall-clock spent inside job closures of this stage.
+    pub wall: Duration,
+}
+
+/// Aggregates the event stream into queue/cache counters and a
+/// per-stage wall-clock breakdown. Implements [`EventSink`], so it is
+/// simply registered alongside the live-progress sink.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<MetricsInner>,
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    queued: usize,
+    finished: usize,
+    failed: usize,
+    skipped: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    cache_stores: usize,
+    stages: BTreeMap<String, StageAgg>,
+}
+
+impl Metrics {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cache hits observed.
+    pub fn cache_hits(&self) -> usize {
+        self.inner.lock().expect("metrics poisoned").cache_hits
+    }
+
+    /// Cache misses observed.
+    pub fn cache_misses(&self) -> usize {
+        self.inner.lock().expect("metrics poisoned").cache_misses
+    }
+
+    /// Jobs that finished successfully.
+    pub fn jobs_finished(&self) -> usize {
+        self.inner.lock().expect("metrics poisoned").finished
+    }
+
+    /// Jobs that failed (including panics).
+    pub fn jobs_failed(&self) -> usize {
+        self.inner.lock().expect("metrics poisoned").failed
+    }
+
+    /// The per-stage aggregates, keyed by stage name (sorted).
+    pub fn stages(&self) -> BTreeMap<String, StageAgg> {
+        self.inner.lock().expect("metrics poisoned").stages.clone()
+    }
+
+    /// Renders the end-of-run summary: one line per stage plus cache and
+    /// job counters.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        let mut out = String::from("stage breakdown (wall-clock inside jobs):\n");
+        for (stage, agg) in &inner.stages {
+            out.push_str(&format!(
+                "  {:<14} {:>3} job(s) {:>10.3}s\n",
+                stage,
+                agg.jobs,
+                agg.wall.as_secs_f64()
+            ));
+        }
+        out.push_str(&format!(
+            "jobs: {} queued, {} finished, {} failed, {} skipped\n",
+            inner.queued, inner.finished, inner.failed, inner.skipped
+        ));
+        out.push_str(&format!(
+            "cache: {} hit(s), {} miss(es), {} store(s)\n",
+            inner.cache_hits, inner.cache_misses, inner.cache_stores
+        ));
+        out
+    }
+}
+
+impl EventSink for Metrics {
+    fn emit(&self, event: &Event) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        match event {
+            Event::JobQueued { .. } => inner.queued += 1,
+            Event::JobStarted { .. } => {}
+            Event::JobFinished { stage, wall, .. } => {
+                inner.finished += 1;
+                let agg = inner.stages.entry(stage.clone()).or_default();
+                agg.jobs += 1;
+                agg.wall += *wall;
+            }
+            Event::JobFailed { stage, wall, .. } => {
+                inner.failed += 1;
+                let agg = inner.stages.entry(stage.clone()).or_default();
+                agg.jobs += 1;
+                agg.wall += *wall;
+            }
+            Event::JobSkipped { .. } => inner.skipped += 1,
+            Event::CacheHit { .. } => inner.cache_hits += 1,
+            Event::CacheMiss { .. } => inner.cache_misses += 1,
+            Event::CacheStored { .. } => inner.cache_stores += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_as_single_key_value_lines() {
+        let e = Event::JobFinished {
+            id: 3,
+            stage: "characterize".into(),
+            label: "DCT".into(),
+            wall: Duration::from_millis(1500),
+        };
+        let line = e.to_string();
+        assert_eq!(
+            line,
+            "event=finished job=3 stage=characterize label=DCT wall_ms=1500.0"
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn metrics_accumulate_stages_and_cache_counters() {
+        let m = Metrics::new();
+        for (stage, ms) in [("characterize", 30), ("characterize", 50), ("map", 10)] {
+            m.emit(&Event::JobQueued {
+                id: 0,
+                stage: stage.into(),
+                label: "x".into(),
+            });
+            m.emit(&Event::JobFinished {
+                id: 0,
+                stage: stage.into(),
+                label: "x".into(),
+                wall: Duration::from_millis(ms),
+            });
+        }
+        m.emit(&Event::CacheHit {
+            label: "x".into(),
+            key: "00".into(),
+        });
+        assert_eq!(m.jobs_finished(), 3);
+        assert_eq!(m.cache_hits(), 1);
+        let stages = m.stages();
+        assert_eq!(stages["characterize"].jobs, 2);
+        assert_eq!(stages["characterize"].wall, Duration::from_millis(80));
+        let text = m.render();
+        assert!(text.contains("characterize"));
+        assert!(text.contains("cache: 1 hit(s)"));
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = Collector::new();
+        let b = Metrics::new();
+        let fan = Fanout(vec![&a, &b]);
+        fan.emit(&Event::CacheStored {
+            label: "x".into(),
+            key: "ff".into(),
+        });
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.inner.lock().unwrap().cache_stores, 1);
+    }
+}

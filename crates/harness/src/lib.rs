@@ -1,0 +1,34 @@
+//! `pe-harness` — deterministic parallel experiment orchestration.
+//!
+//! The evaluation binaries all run the same shape of work: a flow of
+//! stages (characterize → instrument → map → time → estimate) fanned
+//! across (design × configuration × scale) points. This crate turns that
+//! shape into infrastructure:
+//!
+//! * [`executor`] — a std-only thread-pool executor (`std::thread` +
+//!   `mpsc`) running a dependency-aware [`executor::JobGraph`]; outcomes
+//!   come back in submission order, so reported numbers are independent
+//!   of scheduling interleavings.
+//! * [`cache`] — a content-addressed on-disk cache of characterized
+//!   [`pe_power::ModelLibrary`] artifacts, keyed by the FNV-1a-128 hash
+//!   of the flattened netlist text and the characterization config.
+//!   Damaged entries silently fall back to recharacterization.
+//! * [`events`] — structured progress/metrics events as line-oriented
+//!   `key=value` records, with sinks for live stderr streaming and
+//!   end-of-run stage/cache summaries.
+//! * [`figure3`] — the paper's evaluation rebuilt on the executor: six
+//!   jobs per benchmark, rows bit-identical to the serial path.
+//!
+//! Dependency policy (§6 of DESIGN.md) holds: standard library only.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod events;
+pub mod executor;
+pub mod figure3;
+
+pub use cache::{obtain_library, CacheKey, MissReason, ModelCache};
+pub use events::{Collector, Event, EventSink, Fanout, Metrics, NullSink, StderrLines};
+pub use executor::{JobGraph, JobId, JobOutcome};
+pub use figure3::{run_figure3, FlowFactory, HarnessError};

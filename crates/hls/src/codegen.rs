@@ -147,11 +147,7 @@ impl Gen<'_> {
     /// power-model class). Real write networks decode the state in
     /// stages; a radix-8 select tree models that while keeping every mux
     /// at an arity a macromodel characterizes cheaply.
-    fn state_mux(
-        &mut self,
-        entries: &[SignalId],
-        hint: &str,
-    ) -> Result<SignalId, DesignError> {
+    fn state_mux(&mut self, entries: &[SignalId], hint: &str) -> Result<SignalId, DesignError> {
         assert_eq!(entries.len(), self.f.states.len());
         let mut level: Vec<SignalId> = entries.to_vec();
         let mut offset = 0u32;
@@ -280,7 +276,13 @@ impl Gen<'_> {
             }
             Expr::Slice(a, lo, w) => {
                 let a_sig = self.emit(a, share_state)?;
-                self.comp("slice", ComponentKind::Slice { lo: *lo }, &[a_sig], *w, false)?
+                self.comp(
+                    "slice",
+                    ComponentKind::Slice { lo: *lo },
+                    &[a_sig],
+                    *w,
+                    false,
+                )?
             }
             Expr::ZExt(a, w) => {
                 let a_sig = self.emit(a, share_state)?;
@@ -386,8 +388,7 @@ pub(crate) fn synthesize(f: &FsmdBuilder) -> Result<Design, SynthesisError> {
 
     // ── Per-state datapath emission ──────────────────────────────────────
     // reg_entries[r][s] = value signal for register r in state s.
-    let mut reg_entries: Vec<Vec<Option<SignalId>>> =
-        vec![vec![None; n_states]; f.regs.len()];
+    let mut reg_entries: Vec<Vec<Option<SignalId>>> = vec![vec![None; n_states]; f.regs.len()];
     let mut next_entries: Vec<Option<SignalId>> = vec![None; n_states];
     // Memory port entries.
     let mut mem_raddr: Vec<Vec<Option<SignalId>>> = vec![vec![None; n_states]; f.mems.len()];
@@ -482,10 +483,7 @@ pub(crate) fn synthesize(f: &FsmdBuilder) -> Result<Design, SynthesisError> {
     // ── Register write networks ──────────────────────────────────────────
     for (r, decl) in f.regs.iter().enumerate() {
         let q = gen.reg_sigs[r];
-        let entries: Vec<SignalId> = reg_entries[r]
-            .iter()
-            .map(|e| e.unwrap_or(q))
-            .collect();
+        let entries: Vec<SignalId> = reg_entries[r].iter().map(|e| e.unwrap_or(q)).collect();
         let all_hold = reg_entries[r].iter().all(|e| e.is_none());
         let d_sig = if all_hold {
             q
@@ -528,18 +526,12 @@ pub(crate) fn synthesize(f: &FsmdBuilder) -> Result<Design, SynthesisError> {
         let aw = f_addr_width(f, m);
         let zero_a = gen.konst(0, aw)?;
         let zero_d = gen.konst(0, decl.width)?;
-        let raddr_entries: Vec<SignalId> = mem_raddr[m]
-            .iter()
-            .map(|e| e.unwrap_or(zero_a))
-            .collect();
-        let waddr_entries: Vec<SignalId> = mem_waddr[m]
-            .iter()
-            .map(|e| e.unwrap_or(zero_a))
-            .collect();
-        let wdata_entries: Vec<SignalId> = mem_wdata[m]
-            .iter()
-            .map(|e| e.unwrap_or(zero_d))
-            .collect();
+        let raddr_entries: Vec<SignalId> =
+            mem_raddr[m].iter().map(|e| e.unwrap_or(zero_a)).collect();
+        let waddr_entries: Vec<SignalId> =
+            mem_waddr[m].iter().map(|e| e.unwrap_or(zero_a)).collect();
+        let wdata_entries: Vec<SignalId> =
+            mem_wdata[m].iter().map(|e| e.unwrap_or(zero_d)).collect();
         let raddr = gen.state_mux(&raddr_entries, &format!("{}_ra", decl.name))?;
         let waddr = gen.state_mux(&waddr_entries, &format!("{}_wa", decl.name))?;
         let wdata = gen.state_mux(&wdata_entries, &format!("{}_wd", decl.name))?;
@@ -620,20 +612,19 @@ mod tests {
         let total = f.reg("total", 8, 0);
         let body = f.state("body");
         let done = f.state("done");
-        f.set(body, total, Expr::reg(total, 8).add(Expr::reg(i, 4).zext(8)));
-        f.set(body, i, Expr::reg(i, 4).add(Expr::konst(1, 4)));
-        f.branch(
+        f.set(
             body,
-            Expr::reg(i, 4).eq(Expr::konst(4, 4)),
-            done,
-            body,
+            total,
+            Expr::reg(total, 8).add(Expr::reg(i, 4).zext(8)),
         );
+        f.set(body, i, Expr::reg(i, 4).add(Expr::konst(1, 4)));
+        f.branch(body, Expr::reg(i, 4).eq(Expr::konst(4, 4)), done, body);
         f.halt(done);
         f.output("total", Expr::reg(total, 8));
         let d = f.synthesize().unwrap();
         let mut sim = Simulator::new(&d).unwrap();
         sim.step_n(20);
-        assert_eq!(sim.output("total"), 0 + 1 + 2 + 3 + 4);
+        assert_eq!(sim.output("total"), 1 + 2 + 3 + 4);
         // State parked in `done` (index 1).
         assert_eq!(sim.output("fsm_state_out"), 1);
     }

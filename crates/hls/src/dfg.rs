@@ -194,9 +194,9 @@ pub fn schedule(dfg: &Dfg, budget: &ResourceBudget) -> Schedule {
     let limits = [budget.multipliers.max(1), budget.adders.max(1)];
     let mut cycle_of = vec![0u32; n];
     let mut scheduled = vec![false; n];
-    for i in 0..n {
+    for (i, s) in scheduled.iter_mut().enumerate() {
         if !dfg.is_op(NodeId(i as u32)) {
-            scheduled[i] = true; // sources at cycle 0
+            *s = true; // sources at cycle 0
         }
     }
     let mut remaining: usize = scheduled.iter().filter(|&&s| !s).count();
@@ -260,12 +260,7 @@ impl Lowered {
 /// Materializes a scheduled dataflow graph as a chain of FSMD states,
 /// allocating one result register per operation (`{prefix}_n<k>`).
 /// The caller wires control into `entry` and out of `exit`.
-pub fn lower(
-    f: &mut FsmdBuilder,
-    dfg: &Dfg,
-    sched: &Schedule,
-    prefix: &str,
-) -> Lowered {
+pub fn lower(f: &mut FsmdBuilder, dfg: &Dfg, sched: &Schedule, prefix: &str) -> Lowered {
     // Result registers for every op node.
     let mut results: HashMap<NodeId, (RegId, u32)> = HashMap::new();
     for i in 0..dfg.len() {

@@ -94,7 +94,7 @@ impl Expr {
     /// Panics if the value does not fit the width.
     pub fn konst(value: u64, width: u32) -> Expr {
         assert!(
-            width >= 1 && width <= 64 && value <= pe_util::bits::mask(width),
+            (1..=64).contains(&width) && value <= pe_util::bits::mask(width),
             "constant {value:#x} does not fit {width} bits"
         );
         Expr::Const(value, width)
@@ -141,11 +141,13 @@ impl Expr {
     }
 
     /// `self + rhs` (same width, wrapping).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         self.bin_same_width(BinOp::Add, rhs)
     }
 
     /// `self - rhs` (same width, wrapping).
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         self.bin_same_width(BinOp::Sub, rhs)
     }
@@ -171,12 +173,14 @@ impl Expr {
     }
 
     /// Logical shift left by a dynamic amount.
+    #[allow(clippy::should_implement_trait)]
     pub fn shl(self, amount: Expr) -> Expr {
         let w = self.width();
         Expr::Bin(BinOp::Shl, Box::new(self), Box::new(amount), w)
     }
 
     /// Logical shift right by a dynamic amount.
+    #[allow(clippy::should_implement_trait)]
     pub fn shr(self, amount: Expr) -> Expr {
         let w = self.width();
         Expr::Bin(BinOp::Shr, Box::new(self), Box::new(amount), w)
@@ -219,12 +223,14 @@ impl Expr {
     }
 
     /// Bitwise NOT.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
         let w = self.width();
         Expr::Un(UnOp::Not, Box::new(self), w)
     }
 
     /// Two's-complement negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Expr {
         let w = self.width();
         Expr::Un(UnOp::Neg, Box::new(self), w)

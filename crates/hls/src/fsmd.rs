@@ -137,7 +137,9 @@ impl FsmdBuilder {
             "assignment width mismatch for `{}`",
             self.regs[dest.0 as usize].name
         );
-        self.states[state.0 as usize].assigns.push(Assign { dest, expr });
+        self.states[state.0 as usize]
+            .assigns
+            .push(Assign { dest, expr });
     }
 
     /// Issues a memory read in `state`; the data is available as

@@ -102,18 +102,27 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = InstrumentConfig::default();
-        c.strobe_period = 0;
-        assert!(c.check().is_err());
-        let mut c = InstrumentConfig::default();
-        c.coeff_bits = 0;
-        assert!(c.check().is_err());
-        let mut c = InstrumentConfig::default();
-        c.coeff_bits = 40;
-        assert!(c.check().is_err());
-        let mut c = InstrumentConfig::default();
-        c.accumulator_bits = 12;
-        assert!(c.check().is_err());
+        let cases = [
+            InstrumentConfig {
+                strobe_period: 0,
+                ..InstrumentConfig::default()
+            },
+            InstrumentConfig {
+                coeff_bits: 0,
+                ..InstrumentConfig::default()
+            },
+            InstrumentConfig {
+                coeff_bits: 40,
+                ..InstrumentConfig::default()
+            },
+            InstrumentConfig {
+                accumulator_bits: 12,
+                ..InstrumentConfig::default()
+            },
+        ];
+        for c in cases {
+            assert!(c.check().is_err());
+        }
     }
 
     #[test]

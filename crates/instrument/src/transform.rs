@@ -79,11 +79,7 @@ impl InstrumentedDesign {
     /// the enhanced design, converting accumulator units to femtojoules
     /// (including the strobe-period scale).
     pub fn read_energy_fj(&self, sim: &mut Simulator<'_>) -> f64 {
-        let raw: f64 = self
-            .total_ports
-            .iter()
-            .map(|p| sim.output(p) as f64)
-            .sum();
+        let raw: f64 = self.total_ports.iter().map(|p| sim.output(p) as f64).sum();
         raw * self.format.lsb() * self.strobe_period as f64
     }
 
@@ -237,7 +233,13 @@ fn build_strobe(em: &mut Emit<'_>, clk: ClockId, period: u32) -> Result<Strobe, 
         let cnt_q = em.sig("strobe_cnt", w)?;
         let inc = em.comp("strobe_inc", ComponentKind::Add, &[cnt_q, one], w, None)?;
         let wrap = em.comp("strobe_eq", ComponentKind::Eq, &[cnt_q, limit], 1, None)?;
-        let nxt = em.comp("strobe_mux", ComponentKind::Mux, &[wrap, inc, zero], w, None)?;
+        let nxt = em.comp(
+            "strobe_mux",
+            ComponentKind::Mux,
+            &[wrap, inc, zero],
+            w,
+            None,
+        )?;
         let reg_name = em.name("strobe_reg");
         em.d.add_component(
             reg_name,
@@ -429,13 +431,7 @@ pub fn instrument(
                 // The paper's "vector AND" multiplication: replicate the
                 // transition bit across the coefficient width and AND it
                 // with the coefficient constant.
-                let tbit = em.comp(
-                    "tbit",
-                    ComponentKind::Slice { lo: b },
-                    &[trans],
-                    1,
-                    None,
-                )?;
+                let tbit = em.comp("tbit", ComponentKind::Slice { lo: b }, &[trans], 1, None)?;
                 let mask = em.comp(
                     "mask",
                     ComponentKind::SignExt,
@@ -736,10 +732,7 @@ mod tests {
         let d = counter_design();
         let lib = library_for(&d);
         let mut totals = Vec::new();
-        for topo in [
-            AggregatorTopology::Chain,
-            AggregatorTopology::Tree,
-        ] {
+        for topo in [AggregatorTopology::Chain, AggregatorTopology::Tree] {
             let cfg = InstrumentConfig {
                 aggregator: topo,
                 ..InstrumentConfig::default()

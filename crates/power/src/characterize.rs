@@ -65,6 +65,27 @@ impl CharacterizeConfig {
         self.form = form;
         self
     }
+
+    /// A stable, injective textual encoding of every field that affects
+    /// characterization output. Artifact caches hash this token together
+    /// with the netlist text to form a content address, so two configs
+    /// produce the same token iff they produce the same models. `lambda`
+    /// is encoded by its IEEE-754 bit pattern — decimal formatting is
+    /// not round-trip-exact.
+    pub fn cache_token(&self) -> String {
+        format!(
+            "train={} validate={} form={} seed={:#018x} lambda_bits={:016x}",
+            self.train_cycles,
+            self.validate_cycles,
+            match self.form {
+                ModelForm::PerBit => "perbit",
+                ModelForm::PerSignal => "persignal",
+                ModelForm::Constant => "constant",
+            },
+            self.seed,
+            self.lambda.to_bits(),
+        )
+    }
 }
 
 impl Default for CharacterizeConfig {
@@ -170,9 +191,7 @@ struct Stimulus {
 impl Stimulus {
     fn new(key: &ModelKey, seed: u64) -> Self {
         // One stimulus stream per *distinct* input signal.
-        let widths: Vec<u32> = (0..key.group_count())
-            .map(|g| key.group_width(g))
-            .collect();
+        let widths: Vec<u32> = (0..key.group_count()).map(|g| key.group_width(g)).collect();
         let mut control = vec![false; widths.len()];
         let group_at = |pos: usize| key.dup_groups.get(pos).map(|&g| g as usize);
         match &key.kind {
@@ -232,10 +251,7 @@ impl Stimulus {
                     // 30 %: random walk (correlated data)
                     4..=6 => {
                         let delta = self.rng.range_i64(-3, 3);
-                        bits::to_unsigned(
-                            (self.current[i] as i64).wrapping_add(delta),
-                            w,
-                        )
+                        bits::to_unsigned((self.current[i] as i64).wrapping_add(delta), w)
                     }
                     // 20 %: hold
                     7..=8 => self.current[i],
@@ -488,15 +504,7 @@ mod tests {
         let (model, _) = characterize(&k, &cells, &cfg).unwrap();
         let design = isolated_design(&k).unwrap();
         let layout = MonitoredLayout::of(&k);
-        let trace = collect_trace(
-            &design,
-            &k,
-            &layout,
-            cfg.form,
-            500,
-            0xDEAD_BEEF,
-            &cells,
-        );
+        let trace = collect_trace(&design, &k, &layout, cfg.form, 500, 0xDEAD_BEEF, &cells);
         let reference: f64 = trace.energies.iter().sum();
         let n_cols = layout.total_bits() as usize;
         let predicted: f64 = trace
@@ -589,6 +597,34 @@ mod tests {
         assert!(is_modelled_kind(&ComponentKind::Add));
         assert!(!is_modelled_kind(&ComponentKind::Const { value: 0 }));
         assert!(!is_modelled_kind(&ComponentKind::Concat));
-        assert!(is_modelled_kind(&ComponentKind::Table { table: vec![0, 1] }));
+        assert!(is_modelled_kind(&ComponentKind::Table {
+            table: vec![0, 1]
+        }));
+    }
+
+    #[test]
+    fn cache_token_separates_configs() {
+        let standard = CharacterizeConfig::standard();
+        assert_eq!(
+            standard.cache_token(),
+            CharacterizeConfig::standard().cache_token()
+        );
+        assert_ne!(
+            standard.cache_token(),
+            CharacterizeConfig::fast().cache_token()
+        );
+        assert_ne!(
+            standard.cache_token(),
+            standard
+                .clone()
+                .with_form(ModelForm::PerSignal)
+                .cache_token()
+        );
+        let mut reseeded = CharacterizeConfig::standard();
+        reseeded.seed ^= 1;
+        assert_ne!(standard.cache_token(), reseeded.cache_token());
+        let mut regularized = CharacterizeConfig::standard();
+        regularized.lambda *= 2.0;
+        assert_ne!(standard.cache_token(), regularized.cache_token());
     }
 }

@@ -195,8 +195,7 @@ impl ModelLibrary {
             if tokens[0] != "model" || tokens.len() < 4 {
                 return Err(err("expected `model <kind> <in_widths> <out> …`".into()));
             }
-            let kind = kind_from_text(tokens[1])
-                .map_err(|m| err(m))?;
+            let kind = kind_from_text(tokens[1]).map_err(&err)?;
             let in_widths: Vec<u32> = if tokens[2] == "-" {
                 Vec::new()
             } else {
@@ -218,10 +217,7 @@ impl ModelLibrary {
                         "dups" => {
                             dup_groups = Some(
                                 v.split(',')
-                                    .map(|g| {
-                                        g.parse()
-                                            .map_err(|_| err(format!("bad group `{g}`")))
-                                    })
+                                    .map(|g| g.parse().map_err(|_| err(format!("bad group `{g}`"))))
                                     .collect::<Result<_, _>>()?,
                             );
                         }
@@ -233,16 +229,12 @@ impl ModelLibrary {
                                 other => return Err(err(format!("unknown form `{other}`"))),
                             }
                         }
-                        "base" => {
-                            base = v.parse().map_err(|_| err(format!("bad base `{v}`")))?
-                        }
+                        "base" => base = v.parse().map_err(|_| err(format!("bad base `{v}`")))?,
                         "coeffs" => {
                             if !v.is_empty() {
                                 coeffs = v
                                     .split(',')
-                                    .map(|c| {
-                                        c.parse().map_err(|_| err(format!("bad coeff `{c}`")))
-                                    })
+                                    .map(|c| c.parse().map_err(|_| err(format!("bad coeff `{c}`"))))
                                     .collect::<Result<_, _>>()?;
                             }
                         }
@@ -318,9 +310,8 @@ fn kind_from_text(token: &str) -> Result<ComponentKind, String> {
     let mut parts = token.split(':');
     let head = parts.next().unwrap_or("");
     let rest: Vec<&str> = parts.collect();
-    let parse_u64 = |s: &str| -> Result<u64, String> {
-        s.parse().map_err(|_| format!("bad number `{s}`"))
-    };
+    let parse_u64 =
+        |s: &str| -> Result<u64, String> { s.parse().map_err(|_| format!("bad number `{s}`")) };
     let parse_list = |s: &str| -> Result<Vec<u64>, String> {
         if s.is_empty() {
             Ok(Vec::new())
@@ -456,12 +447,8 @@ mod tests {
             },
         ] {
             let key = match &kind {
-                ComponentKind::Table { .. } => {
-                    ModelKey::distinct(kind.clone(), vec![2], 3)
-                }
-                ComponentKind::Register { .. } => {
-                    ModelKey::distinct(kind.clone(), vec![4, 1], 4)
-                }
+                ComponentKind::Table { .. } => ModelKey::distinct(kind.clone(), vec![2], 3),
+                ComponentKind::Register { .. } => ModelKey::distinct(kind.clone(), vec![4, 1], 4),
                 _ => {
                     // Exercise a duplicated-input signature round trip.
                     ModelKey {

@@ -33,13 +33,11 @@ impl ModelKey {
         let mut seen: Vec<pe_rtl::SignalId> = Vec::new();
         let dup_groups = inputs
             .iter()
-            .map(|s| {
-                match seen.iter().position(|x| x == s) {
-                    Some(g) => g as u8,
-                    None => {
-                        seen.push(*s);
-                        (seen.len() - 1) as u8
-                    }
+            .map(|s| match seen.iter().position(|x| x == s) {
+                Some(g) => g as u8,
+                None => {
+                    seen.push(*s);
+                    (seen.len() - 1) as u8
                 }
             })
             .collect();
@@ -137,9 +135,7 @@ pub struct MonitoredLayout {
 impl MonitoredLayout {
     /// Builds the layout for a component class.
     pub fn of(key: &ModelKey) -> Self {
-        let mut widths: Vec<u32> = (0..key.group_count())
-            .map(|g| key.group_width(g))
-            .collect();
+        let mut widths: Vec<u32> = (0..key.group_count()).map(|g| key.group_width(g)).collect();
         widths.push(key.out_width);
         let mut offsets = Vec::with_capacity(widths.len());
         let mut total = 0;
@@ -287,8 +283,7 @@ impl Macromodel {
             }
             ModelForm::PerBit => {
                 for i in 0..prev.len() {
-                    let mut trans =
-                        bits::transition_bits(prev[i], curr[i], self.layout.width(i));
+                    let mut trans = bits::transition_bits(prev[i], curr[i], self.layout.width(i));
                     let offset = self.layout.offset(i) as usize;
                     while trans != 0 {
                         let b = trans.trailing_zeros() as usize;
@@ -395,8 +390,12 @@ mod tests {
     #[test]
     fn coeff_sum_accounts_for_form() {
         let layout = MonitoredLayout::of(&key_add4());
-        let per_signal =
-            Macromodel::new(ModelForm::PerSignal, 0.0, vec![1.0, 1.0, 1.0], layout.clone());
+        let per_signal = Macromodel::new(
+            ModelForm::PerSignal,
+            0.0,
+            vec![1.0, 1.0, 1.0],
+            layout.clone(),
+        );
         assert_eq!(per_signal.coeff_sum(), 12.0); // 4+4+4 bits × 1.0
         let per_bit = Macromodel::new(ModelForm::PerBit, 0.0, vec![0.5; 12], layout);
         assert_eq!(per_bit.coeff_sum(), 6.0);

@@ -525,7 +525,11 @@ impl DesignBuilder {
         wen: SignalId,
     ) {
         let p = &mut self.pending_mems[mem.pending];
-        assert!(p.connection.is_none(), "memory `{}` connected twice", p.name);
+        assert!(
+            p.connection.is_none(),
+            "memory `{}` connected twice",
+            p.name
+        );
         p.connection = Some([raddr, waddr, wdata, wen]);
         let (name, words, init, clock, rdata, data_width) = (
             p.name.clone(),

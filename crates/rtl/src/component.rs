@@ -250,7 +250,11 @@ impl ComponentKind {
                 Ok(())
             }
             ComponentKind::Sub | ComponentKind::Neg => {
-                arity(if matches!(self, ComponentKind::Neg) { 1 } else { 2 })?;
+                arity(if matches!(self, ComponentKind::Neg) {
+                    1
+                } else {
+                    2
+                })?;
                 let w = equal_inputs()?;
                 out_eq(w)
             }
@@ -664,14 +668,8 @@ mod tests {
 
     #[test]
     fn slice_concat_extend() {
-        assert_eq!(
-            eval1(ComponentKind::Slice { lo: 4 }, &[0xAB], &[8], 4),
-            0xA
-        );
-        assert_eq!(
-            eval1(ComponentKind::Concat, &[0xB, 0xA], &[4, 4], 8),
-            0xAB
-        );
+        assert_eq!(eval1(ComponentKind::Slice { lo: 4 }, &[0xAB], &[8], 4), 0xA);
+        assert_eq!(eval1(ComponentKind::Concat, &[0xB, 0xA], &[4, 4], 8), 0xAB);
         assert_eq!(eval1(ComponentKind::ZeroExt, &[0xF], &[4], 8), 0x0F);
         assert_eq!(eval1(ComponentKind::SignExt, &[0xF], &[4], 8), 0xFF);
         assert_eq!(eval1(ComponentKind::SignExt, &[0x7], &[4], 8), 0x07);
@@ -703,7 +701,9 @@ mod tests {
         assert!(ComponentKind::Add.check_widths(&[8, 8], 4).is_err());
         assert!(ComponentKind::Eq.check_widths(&[8, 8], 2).is_err());
         assert!(ComponentKind::Mux.check_widths(&[1, 8, 8, 8], 8).is_err());
-        assert!(ComponentKind::Slice { lo: 5 }.check_widths(&[8], 4).is_err());
+        assert!(ComponentKind::Slice { lo: 5 }
+            .check_widths(&[8], 4)
+            .is_err());
         assert!(ComponentKind::Concat.check_widths(&[4, 4], 9).is_err());
         assert!(ComponentKind::Const { value: 256 }
             .check_widths(&[], 8)
@@ -760,6 +760,8 @@ mod tests {
     #[test]
     fn zero_width_rejected() {
         assert!(ComponentKind::Not.check_widths(&[0], 1).is_err());
-        assert!(ComponentKind::Const { value: 0 }.check_widths(&[], 0).is_err());
+        assert!(ComponentKind::Const { value: 0 }
+            .check_widths(&[], 0)
+            .is_err());
     }
 }

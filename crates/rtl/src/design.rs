@@ -273,9 +273,7 @@ impl Design {
         let name = name.into();
         if width == 0 || width > 64 {
             return Err(DesignError::Width(
-                ComponentKind::Not
-                    .check_widths(&[width], 1)
-                    .unwrap_err(),
+                ComponentKind::Not.check_widths(&[width], 1).unwrap_err(),
             ));
         }
         self.claim_name(&name)?;
@@ -371,7 +369,10 @@ impl Design {
         if kind.is_sequential() != clock.is_some() {
             return Err(DesignError::ClockMismatch { component: name });
         }
-        let in_widths: Vec<u32> = inputs.iter().map(|s| self.signals[s.index()].width).collect();
+        let in_widths: Vec<u32> = inputs
+            .iter()
+            .map(|s| self.signals[s.index()].width)
+            .collect();
         let out_width = self.signals[output.index()].width;
         kind.check_widths(&in_widths, out_width)?;
         if self.drivers[output.index()].is_some() {

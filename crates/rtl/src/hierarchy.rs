@@ -245,8 +245,7 @@ mod tests {
         let x = top.add_input("x", 8).unwrap();
         let y = top.add_input("y", 8).unwrap();
         let z = top.add_input("z", 8).unwrap();
-        let i1 = instantiate(&mut top, &sub, "u1", &[("a", x), ("b", y)], &[("clk", clk)])
-            .unwrap();
+        let i1 = instantiate(&mut top, &sub, "u1", &[("a", x), ("b", y)], &[("clk", clk)]).unwrap();
         let i2 = instantiate(
             &mut top,
             &sub,

@@ -55,7 +55,5 @@ pub mod text;
 mod validate;
 
 pub use component::{Component, ComponentKind, WidthError};
-pub use design::{
-    ClockDomain, ClockId, ComponentId, Design, DesignError, Port, Signal, SignalId,
-};
+pub use design::{ClockDomain, ClockId, ComponentId, Design, DesignError, Port, Signal, SignalId};
 pub use validate::topo_order;

@@ -55,8 +55,7 @@ impl DesignStats {
                 ComponentKind::Memory { words, .. } => {
                     memories += 1;
                     sequential += 1;
-                    memory_bits +=
-                        *words as u64 * design.signal(comp.output()).width() as u64;
+                    memory_bits += *words as u64 * design.signal(comp.output()).width() as u64;
                 }
                 _ => {}
             }

@@ -75,7 +75,11 @@ pub fn to_text(design: &Design) -> String {
     let mut out = String::new();
     out.push_str(&format!("design {}\n", design.name()));
     for clk in design.clocks() {
-        out.push_str(&format!("clock {} period={}\n", clk.name(), clk.period_ns()));
+        out.push_str(&format!(
+            "clock {} period={}\n",
+            clk.name(),
+            clk.period_ns()
+        ));
     }
     for port in design.inputs() {
         out.push_str(&format!(
@@ -186,9 +190,7 @@ fn parse_u64_list(ctx: &LineCtx, s: &str, what: &str) -> Result<Vec<u64>, ParseE
     if s.is_empty() {
         return Ok(Vec::new());
     }
-    s.split(',')
-        .map(|p| parse_u64(ctx, p, what))
-        .collect()
+    s.split(',').map(|p| parse_u64(ctx, p, what)).collect()
 }
 
 /// Parses a textual netlist back into a [`Design`]. The result is
@@ -319,7 +321,8 @@ pub fn from_text(text: &str) -> Result<Design, ParseError> {
                     "slice" => {
                         let lo = parse_u32(
                             &ctx,
-                            kv.get("lo").ok_or_else(|| ctx.syntax("slice missing `lo=`"))?,
+                            kv.get("lo")
+                                .ok_or_else(|| ctx.syntax("slice missing `lo=`"))?,
                             "lo",
                         )?;
                         ComponentKind::Slice { lo }
@@ -386,10 +389,9 @@ pub fn from_text(text: &str) -> Result<Design, ParseError> {
         line: 1,
         message: "empty netlist".into(),
     })?;
-    design.validate().map_err(|e| ParseError::Design {
-        line: 0,
-        source: e,
-    })?;
+    design
+        .validate()
+        .map_err(|e| ParseError::Design { line: 0, source: e })?;
     Ok(design)
 }
 

@@ -35,6 +35,10 @@ struct CompiledMem {
     state_index: usize,
 }
 
+/// Pending memory commit: the `rdata` value slot, the captured read
+/// value, and an optional `(bank, addr, data)` write.
+type MemNext = (u32, u64, Option<(usize, usize, u64)>);
+
 /// A cycle-accurate simulator for a [`Design`].
 ///
 /// The simulator borrows the design. Signal values are `u64` words masked
@@ -239,13 +243,12 @@ impl<'a> Simulator<'a> {
             if only.is_some_and(|c| c != reg.clock) {
                 continue;
             }
-            let enabled = reg.en.map_or(true, |en| self.values[en as usize] != 0);
+            let enabled = reg.en.is_none_or(|en| self.values[en as usize] != 0);
             if enabled {
                 reg_next.push((reg.q, self.values[reg.d as usize]));
             }
         }
-        let mut mem_next: Vec<(u32, u64, Option<(usize, usize, u64)>)> =
-            Vec::with_capacity(self.mems.len());
+        let mut mem_next: Vec<MemNext> = Vec::with_capacity(self.mems.len());
         for mem in &self.mems {
             if only.is_some_and(|c| c != mem.clock) {
                 continue;
@@ -289,9 +292,7 @@ impl<'a> Simulator<'a> {
         let mem = self
             .mems
             .iter()
-            .find(|m| {
-                self.design.component(component).output().index() == m.rdata as usize
-            })
+            .find(|m| self.design.component(component).output().index() == m.rdata as usize)
             .unwrap_or_else(|| panic!("component is not a memory"));
         self.mem_state[mem.state_index][addr]
     }

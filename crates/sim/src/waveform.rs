@@ -26,10 +26,7 @@ impl Waveform {
                 .iter()
                 .map(|s| design.signal(*s).name().to_string())
                 .collect(),
-            widths: signals
-                .iter()
-                .map(|s| design.signal(*s).width())
-                .collect(),
+            widths: signals.iter().map(|s| design.signal(*s).width()).collect(),
             samples: Vec::new(),
         }
     }

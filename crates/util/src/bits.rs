@@ -68,7 +68,7 @@ pub fn transition_bits(prev: u64, curr: u64, width: u32) -> u64 {
 /// Panics if `width` is 0 or greater than 64.
 #[inline]
 pub fn sign_extend(value: u64, width: u32) -> i64 {
-    assert!(width >= 1 && width <= 64, "invalid width {width}");
+    assert!((1..=64).contains(&width), "invalid width {width}");
     let shift = 64 - width;
     ((value << shift) as i64) >> shift
 }

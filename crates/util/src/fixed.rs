@@ -73,7 +73,7 @@ impl FxFormat {
 
     /// The weight of one least-significant bit, `2^-frac_bits`.
     pub fn lsb(self) -> f64 {
-        (self.frac_bits as f64 * -1.0).exp2()
+        (-(self.frac_bits as f64)).exp2()
     }
 
     /// Largest representable unsigned value.
@@ -287,7 +287,10 @@ mod tests {
         let f = q16_8();
         for v in [0.0, 0.5, 1.25, 100.0, 255.996] {
             let err = (f.decode(f.encode(v)) - v).abs();
-            assert!(err <= f.quantization_error_bound() + 1e-12, "err {err} for {v}");
+            assert!(
+                err <= f.quantization_error_bound() + 1e-12,
+                "err {err} for {v}"
+            );
         }
     }
 

@@ -14,6 +14,8 @@
 //!   (ridge-regularized normal equations, Cholesky) used by the power-model
 //!   characterization engine.
 //! * [`bits`] — bit-twiddling helpers for transition counting.
+//! * [`hash`] — portable FNV-1a-128 content hashing for cache keys and
+//!   artifact integrity (std's `SipHash` is unspecified across releases).
 //!
 //! # Example
 //!
@@ -31,6 +33,7 @@
 
 pub mod bits;
 pub mod fixed;
+pub mod hash;
 pub mod linalg;
 pub mod rng;
 pub mod stats;

@@ -101,9 +101,9 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "vector length mismatch");
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            out[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         out
     }
@@ -140,10 +140,10 @@ impl Matrix {
     pub fn transpose_mul_vec(&self, b: &[f64]) -> Vec<f64> {
         assert_eq!(b.len(), self.rows, "vector length mismatch");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
+        for (r, bv) in b.iter().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             for (o, a) in out.iter_mut().zip(row) {
-                *o += a * b[r];
+                *o += a * bv;
             }
         }
         out
@@ -360,9 +360,7 @@ mod tests {
             0.0, 1.0, //
         ];
         let a = Matrix::from_rows(5, 2, rows);
-        let b: Vec<f64> = (0..5)
-            .map(|r| 2.0 * a[(r, 0)] + 5.0 * a[(r, 1)])
-            .collect();
+        let b: Vec<f64> = (0..5).map(|r| 2.0 * a[(r, 0)] + 5.0 * a[(r, 1)]).collect();
         let x = least_squares(&a, &b, 0.0).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-4, "x0 = {}", x[0]);
         assert!((x[1] - 5.0).abs() < 1e-4, "x1 = {}", x[1]);

@@ -104,8 +104,7 @@ fn main() {
     );
 
     // Archive the flow artifacts.
-    let inst = instrument(&design, &library, &InstrumentConfig::default())
-        .expect("instrument");
+    let inst = instrument(&design, &library, &InstrumentConfig::default()).expect("instrument");
     let netlist_text = text::to_text(&inst.design);
     let library_text = library.to_text();
     println!();

@@ -31,7 +31,10 @@ fn main() {
             .expect("software")
             .total_energy_fj
     };
-    println!("DCT, {cycles} cycles; software estimate = {:.2} nJ", software / 1e6);
+    println!(
+        "DCT, {cycles} cycles; software estimate = {:.2} nJ",
+        software / 1e6
+    );
 
     let emulate = |cfg: &InstrumentConfig| -> (f64, u32, f64) {
         let inst = instrument(design, &library, cfg).expect("instrument");
@@ -46,7 +49,10 @@ fn main() {
 
     println!();
     println!("coefficient width sweep (strobe 1, tree aggregator)");
-    println!("{:>6} {:>12} {:>10} {:>10} {:>10}", "bits", "energy(nJ)", "error%", "LUTs", "fmax(MHz)");
+    println!(
+        "{:>6} {:>12} {:>10} {:>10} {:>10}",
+        "bits", "energy(nJ)", "error%", "LUTs", "fmax(MHz)"
+    );
     for bits in [6u32, 8, 12, 16, 20] {
         let (e, luts, fmax) = emulate(&InstrumentConfig {
             coeff_bits: bits,

@@ -78,8 +78,8 @@ fn main() {
         .expect("software estimate");
     let mut tb = BitstreamFeeder::new(bits, Some(8), check_cycles);
     let emulated = flow.emulate_power(&result, &mut tb).expect("emulation");
-    let rel = (emulated.total_energy_fj - soft_short.total_energy_fj).abs()
-        / soft_short.total_energy_fj;
+    let rel =
+        (emulated.total_energy_fj - soft_short.total_energy_fj).abs() / soft_short.total_energy_fj;
     println!(
         "({check_cycles}-cycle window) software: {:.2} nJ | emulated: {:.2} nJ |          quantization gap: {:.3} %",
         soft_short.total_energy_fj / 1e6,

@@ -69,7 +69,9 @@ fn main() {
         cycles: 2_000,
         rng: Xoshiro::new(7),
     };
-    let power = flow.emulate_power(&result, &mut workload).expect("emulation");
+    let power = flow
+        .emulate_power(&result, &mut workload)
+        .expect("emulation");
     println!(
         "{} cycles → {:.2} nJ total, {:.1} µW average",
         power.cycles,

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: formatting, lints, build, tests — fully offline.
+# Run from anywhere; operates on the workspace containing this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo build --release"
+cargo build --workspace --release --offline
+
+echo "== cargo test"
+cargo test --workspace --release --offline -q
+
+echo "verify: OK"

@@ -19,8 +19,9 @@
 //! | [`fpga`] | `pe-fpga` | simulated Virtex-II emulation platform |
 //! | [`hls`] | `pe-hls` | behavioral synthesis substrate |
 //! | [`designs`] | `pe-designs` | the seven benchmark designs |
-//! | [`core`] | `pe-core` | the Figure-2 flow, Figure-3 harness |
-//! | [`util`] | `pe-util` | fixed point, RNG, statistics |
+//! | [`core`] | `pe-core` | the Figure-2 flow, Figure-3 evaluation |
+//! | [`harness`] | `pe-harness` | parallel orchestration, model-library cache |
+//! | [`util`] | `pe-util` | fixed point, RNG, hashing, statistics |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@ pub use pe_designs as designs;
 pub use pe_estimators as estimators;
 pub use pe_fpga as fpga;
 pub use pe_gate as gate;
+pub use pe_harness as harness;
 pub use pe_hls as hls;
 pub use pe_instrument as instrument;
 pub use pe_power as power;

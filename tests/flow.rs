@@ -56,11 +56,18 @@ fn figure3_shape_holds_on_small_and_large_designs() {
     )
     .expect("small");
     let large =
-        evaluate_benchmark(&flow, &benchmark("DCT").unwrap(), Scale::Test, &model)
-            .expect("large");
+        evaluate_benchmark(&flow, &benchmark("DCT").unwrap(), Scale::Test, &model).expect("large");
     // Emulation wins everywhere…
-    assert!(small.speedup_nec() > 1.0, "small speedup {}", small.speedup_nec());
-    assert!(large.speedup_nec() > 1.0, "large speedup {}", large.speedup_nec());
+    assert!(
+        small.speedup_nec() > 1.0,
+        "small speedup {}",
+        small.speedup_nec()
+    );
+    assert!(
+        large.speedup_nec() > 1.0,
+        "large speedup {}",
+        large.speedup_nec()
+    );
     // …and wins *more* on the larger design (the paper's headline trend).
     assert!(
         large.speedup_nec() > small.speedup_nec(),
@@ -77,8 +84,7 @@ fn whole_reproduction_is_deterministic() {
     // identical emulated energies.
     let bench = benchmark("Ispq").unwrap();
     let run = || {
-        let flow =
-            PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
+        let flow = PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
         let result = flow.run(&bench.design).expect("flow");
         let mut tb = bench.testbench(400);
         let power = flow.emulate_power(&result, tb.as_mut()).expect("power");

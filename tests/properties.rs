@@ -1,9 +1,13 @@
 //! Property-based tests over the core data structures and invariants:
 //! RTL/gate/LUT semantic agreement on randomized netlists, fixed-point
 //! round trips, macromodel evaluation bounds, and netlist-format
-//! round-trips — driven by proptest.
+//! round-trips — driven by the workspace's own seeded PRNG
+//! (`pe_util::rng::Xoshiro`), so the suite needs no external harness,
+//! runs fully offline, and every failure reproduces from the printed
+//! case seed.
 
 use pe_util::fixed::{Fx, FxFormat};
+use pe_util::rng::Xoshiro;
 use power_emulation::fpga::emulate::LutSimulator;
 use power_emulation::fpga::lut::map_to_luts;
 use power_emulation::gate::cells::CellLibrary;
@@ -13,10 +17,24 @@ use power_emulation::power::{Macromodel, ModelForm, ModelKey, MonitoredLayout};
 use power_emulation::rtl::builder::DesignBuilder;
 use power_emulation::rtl::{text, ComponentKind, Design};
 use power_emulation::sim::Simulator;
-use proptest::prelude::*;
+
+/// Runs `cases` independently seeded instances of `property`, naming the
+/// failing case seed so a red run is reproducible in isolation.
+fn check(name: &str, cases: u64, mut property: impl FnMut(&mut Xoshiro)) {
+    for case in 0..cases {
+        let seed = 0x9e37_79b9_7f4a_7c15u64 ^ (case << 8);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            property(&mut Xoshiro::new(seed))
+        }));
+        assert!(
+            result.is_ok(),
+            "property `{name}` failed at case {case} (seed {seed:#x})"
+        );
+    }
+}
 
 /// One randomly parameterized combinational operation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Op {
     Add,
     Sub,
@@ -31,20 +49,25 @@ enum Op {
     Mux,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::Add),
-        Just(Op::Sub),
-        Just(Op::Mul),
-        Just(Op::And),
-        Just(Op::Or),
-        Just(Op::Xor),
-        Just(Op::Lt),
-        Just(Op::SLt),
-        Just(Op::Shl),
-        Just(Op::Sar),
-        Just(Op::Mux),
-    ]
+const ALL_OPS: [Op; 11] = [
+    Op::Add,
+    Op::Sub,
+    Op::Mul,
+    Op::And,
+    Op::Or,
+    Op::Xor,
+    Op::Lt,
+    Op::SLt,
+    Op::Shl,
+    Op::Sar,
+    Op::Mux,
+];
+
+/// Draws 1..=5 random ops.
+fn random_ops(rng: &mut Xoshiro) -> Vec<Op> {
+    (0..rng.range(1, 5))
+        .map(|_| *rng.choose(&ALL_OPS))
+        .collect()
 }
 
 /// Builds a random two-input pipeline design from an op list.
@@ -99,16 +122,12 @@ fn random_design(width: u32, ops: &[Op]) -> Design {
     b.finish().expect("random design is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// RTL, gate, and LUT levels agree on random designs and stimuli.
-    #[test]
-    fn levels_agree_on_random_designs(
-        width in 2u32..12,
-        ops in prop::collection::vec(op_strategy(), 1..6),
-        stimuli in prop::collection::vec((0u64..1 << 12, 0u64..1 << 12), 1..20),
-    ) {
+/// RTL, gate, and LUT levels agree on random designs and stimuli.
+#[test]
+fn levels_agree_on_random_designs() {
+    check("levels_agree_on_random_designs", 24, |rng| {
+        let width = rng.range(2, 11) as u32;
+        let ops = random_ops(rng);
         let design = random_design(width, &ops);
         let expanded = expand_design(&design);
         let mapped = map_to_luts(&expanded.netlist);
@@ -117,83 +136,89 @@ proptest! {
         let mut gate = GateSimulator::new(&expanded, &cells);
         let mut lut = LutSimulator::new(&mapped);
         let mask = pe_util::bits::mask(width);
-        for (a, b) in stimuli {
-            let (a, b) = (a & mask, b & mask);
+        for _ in 0..rng.range(1, 19) {
+            let (a, b) = (rng.bits(12) & mask, rng.bits(12) & mask);
             rtl.set_input_by_name("a", a);
             rtl.set_input_by_name("b", b);
             gate.set_input("a", a);
             gate.set_input("b", b);
             lut.set_input("a", a);
             lut.set_input("b", b);
-            prop_assert_eq!(rtl.output("out"), gate.output("out"));
-            prop_assert_eq!(rtl.output("out"), lut.output("out"));
+            assert_eq!(rtl.output("out"), gate.output("out"));
+            assert_eq!(rtl.output("out"), lut.output("out"));
             rtl.step();
             gate.step();
             lut.step();
         }
-    }
+    });
+}
 
-    /// The textual netlist format round-trips random designs.
-    #[test]
-    fn netlist_text_round_trips(
-        width in 2u32..10,
-        ops in prop::collection::vec(op_strategy(), 1..6),
-    ) {
+/// The textual netlist format round-trips random designs.
+#[test]
+fn netlist_text_round_trips() {
+    check("netlist_text_round_trips", 24, |rng| {
+        let width = rng.range(2, 9) as u32;
+        let ops = random_ops(rng);
         let design = random_design(width, &ops);
         let serialized = text::to_text(&design);
         let reparsed = text::from_text(&serialized).expect("parses");
-        prop_assert_eq!(design.components().len(), reparsed.components().len());
-        prop_assert_eq!(serialized.clone(), text::to_text(&reparsed));
-    }
+        assert_eq!(design.components().len(), reparsed.components().len());
+        assert_eq!(serialized, text::to_text(&reparsed));
+    });
+}
 
-    /// Fixed-point encode/decode stays within half an LSB for in-range
-    /// values and saturates cleanly outside.
-    #[test]
-    fn fixed_point_quantization_bound(
-        value in 0.0f64..500.0,
-        total in 4u32..24,
-        frac in 0u32..12,
-    ) {
-        let frac = frac.min(total);
+/// Fixed-point encode/decode stays within half an LSB for in-range
+/// values and saturates cleanly outside.
+#[test]
+fn fixed_point_quantization_bound() {
+    check("fixed_point_quantization_bound", 64, |rng| {
+        let value = rng.unit_f64() * 500.0;
+        let total = rng.range(4, 23) as u32;
+        let frac = (rng.range(0, 11) as u32).min(total);
         let fmt = FxFormat::new(total, frac).unwrap();
         let decoded = fmt.decode(fmt.encode(value));
         if value <= fmt.max_value() {
-            prop_assert!((decoded - value).abs() <= fmt.quantization_error_bound() + 1e-12);
+            assert!((decoded - value).abs() <= fmt.quantization_error_bound() + 1e-12);
         } else {
-            prop_assert_eq!(decoded, fmt.max_value());
+            assert_eq!(decoded, fmt.max_value());
         }
-    }
+    });
+}
 
-    /// Signed fixed-point arithmetic matches real arithmetic when the
-    /// results stay in range.
-    #[test]
-    fn fx_tracks_reals(a in -100i32..100, b in -100i32..100) {
+/// Signed fixed-point arithmetic matches real arithmetic when the
+/// results stay in range.
+#[test]
+fn fx_tracks_reals() {
+    check("fx_tracks_reals", 64, |rng| {
+        let a = rng.range_i64(-100, 100) as i32;
+        let b = rng.range_i64(-100, 100) as i32;
         let fmt = FxFormat::new(24, 8).unwrap();
         let fa = Fx::from_f64(a as f64, fmt);
         let fb = Fx::from_f64(b as f64, fmt);
-        prop_assert_eq!((fa + fb).to_f64(), (a + b) as f64);
-        prop_assert_eq!((fa - fb).to_f64(), (a - b) as f64);
-        prop_assert_eq!((fa * fb).to_f64(), (a * b) as f64);
-    }
+        assert_eq!((fa + fb).to_f64(), (a + b) as f64);
+        assert_eq!((fa - fb).to_f64(), (a - b) as f64);
+        assert_eq!((fa * fb).to_f64(), (a * b) as f64);
+    });
+}
 
-    /// A macromodel's output is bounded by base + Σcoeffs and monotone in
-    /// the transition set (adding a toggled bit can only add energy for
-    /// non-negative coefficients).
-    #[test]
-    fn macromodel_bounds(
-        coeffs in prop::collection::vec(0.0f64..10.0, 8),
-        prev in 0u64..256,
-        curr in 0u64..256,
-    ) {
+/// A macromodel's output is bounded by base + Σcoeffs and monotone in
+/// the transition set (adding a toggled bit can only add energy for
+/// non-negative coefficients).
+#[test]
+fn macromodel_bounds() {
+    check("macromodel_bounds", 32, |rng| {
+        let coeffs: Vec<f64> = (0..8).map(|_| rng.unit_f64() * 10.0).collect();
+        let prev = rng.bits(8);
+        let curr = rng.bits(8);
         let key = ModelKey::distinct(ComponentKind::Not, vec![4], 4);
         let layout = MonitoredLayout::of(&key);
         let model = Macromodel::new(ModelForm::PerBit, 1.0, coeffs, layout);
         let (p, c) = (prev & 0xFF, curr & 0xFF);
         let e = model.eval_fj(&[p & 0xF, p >> 4], &[c & 0xF, c >> 4]);
-        prop_assert!(e >= model.base_fj() - 1e-12);
-        prop_assert!(e <= model.base_fj() + model.coeff_sum() + 1e-12);
+        assert!(e >= model.base_fj() - 1e-12);
+        assert!(e <= model.base_fj() + model.coeff_sum() + 1e-12);
         // No transitions → exactly the base.
         let idle = model.eval_fj(&[p & 0xF, p >> 4], &[p & 0xF, p >> 4]);
-        prop_assert!((idle - model.base_fj()).abs() < 1e-12);
-    }
+        assert!((idle - model.base_fj()).abs() < 1e-12);
+    });
 }
