@@ -1,0 +1,170 @@
+//! Static-analysis gate over the benchmark suite: instruments every
+//! design and runs `pe-lint` on the result — structural rules, clock
+//! discipline, and the instrumentation-soundness checks including the
+//! interval-analysis accumulator overflow proof at each design's paper
+//! emulation horizon.
+//!
+//! Usage: `cargo run -p pe-bench --release --bin lint --
+//! [--scale test] [--jobs N] [--cache-dir DIR] [--deny RULES]
+//! [--machine]`
+//!
+//! `--deny all` promotes every warning to an error (the CI
+//! configuration); `--deny cdc,acc-overflow` promotes just those rules.
+//! `--machine` emits one `key=value` line per design instead of the
+//! human table. Exit status is 0 iff every design is clean under the
+//! requested denylist.
+
+use pe_bench::cli::{BenchArgs, CliError, FlagExt};
+use pe_bench::fast_flow;
+use pe_designs::suite::all_benchmarks;
+use pe_harness::{obtain_library, Fanout, JobGraph, JobOutcome, Metrics, StderrLines};
+use pe_lint::{Denylist, LintReport, ALL_RULES};
+
+/// The lint binary's extension flags on the shared dialect.
+struct LintFlags {
+    deny: Denylist,
+    machine: bool,
+}
+
+impl FlagExt for LintFlags {
+    fn flag(
+        &mut self,
+        flag: &str,
+        value: &mut dyn FnMut(&str) -> Result<String, CliError>,
+    ) -> Result<bool, CliError> {
+        match flag {
+            "--deny" => {
+                let spec = value("--deny")?;
+                self.deny = Denylist::parse(&spec)
+                    .map_err(|e| CliError::Invalid(format!("--deny: {e}")))?;
+            }
+            "--machine" => self.machine = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+const EXTRA_USAGE: &str = "\x20 --deny RULES         promote warnings to errors: \
+`all`, `none`, or rule ids\n\
+\x20 --machine            key=value output, one line per design\n";
+
+fn main() {
+    let mut flags = LintFlags {
+        deny: Denylist::None,
+        machine: false,
+    };
+    let args = BenchArgs::from_env_with("lint", &mut flags, EXTRA_USAGE);
+    let LintFlags { deny, machine } = flags;
+    let cache = args.open_cache();
+    let benchmarks = all_benchmarks();
+
+    if !machine {
+        println!(
+            "lint: instrumentation soundness over the suite, {:?} scale, {} job(s), deny={deny:?}",
+            args.scale, args.jobs
+        );
+        println!();
+    }
+
+    let progress = StderrLines::new("lint", false);
+    let metrics = Metrics::new();
+    let sink = Fanout(vec![&progress, &metrics]);
+    let cache = cache.as_ref();
+
+    let mut graph: JobGraph<'_, (u64, LintReport), String> = JobGraph::new();
+    for bench in &benchmarks {
+        let horizon = bench.cycles(args.scale);
+        let sink = &sink;
+        graph.add("lint", bench.name, vec![], move |_| {
+            let flow = fast_flow();
+            let library = obtain_library(
+                &bench.design,
+                flow.characterize_config(),
+                cache,
+                bench.name,
+                sink,
+            )
+            .map_err(|e| e.to_string())?;
+            let instrumented =
+                pe_instrument::instrument(&bench.design, &library, flow.instrument_config())
+                    .map_err(|e| e.to_string())?;
+            Ok((
+                horizon,
+                pe_lint::lint_instrumented(&instrumented, Some(horizon)),
+            ))
+        });
+    }
+
+    let outcomes = graph.run(args.jobs, &sink);
+    let mut all_clean = true;
+    for (bench, outcome) in benchmarks.iter().zip(&outcomes) {
+        let (horizon, report) = match outcome {
+            JobOutcome::Done(r) => (&r.0, &r.1),
+            other => {
+                let why = match other {
+                    JobOutcome::Failed(e) => e.clone(),
+                    JobOutcome::Panicked(msg) => format!("panic: {msg}"),
+                    _ => "skipped".to_string(),
+                };
+                eprintln!("[lint] {} failed: {why}", bench.name);
+                std::process::exit(1);
+            }
+        };
+        let clean = report.is_clean(&deny);
+        all_clean &= clean;
+        if machine {
+            print!(
+                "design={} horizon={horizon} findings={} errors={} clean={clean}",
+                bench.name,
+                report.diagnostics.len(),
+                report.error_count(&deny),
+            );
+            for &rule in ALL_RULES {
+                let n = report.by_rule(rule).count();
+                if n > 0 {
+                    print!(" {}={n}", rule.id());
+                }
+            }
+            for b in &report.bounds {
+                print!(
+                    " clock={} accumulator_bits={} max_increment={} strobe_period={} safe_cycles={}",
+                    b.clock, b.accumulator_bits, b.max_increment, b.strobe_period, b.safe_cycles
+                );
+            }
+            println!();
+        } else {
+            let verdict = if clean { "clean" } else { "FAILED" };
+            println!(
+                "{:<12} {verdict:>7}  findings={} errors={}",
+                bench.name,
+                report.diagnostics.len(),
+                report.error_count(&deny),
+            );
+            for d in &report.diagnostics {
+                println!("  {}: {d}", d.effective_severity(&deny));
+            }
+            for b in &report.bounds {
+                println!(
+                    "  note: `{}` accumulator ({} bits) proven safe for {} cycles \
+                     (horizon {horizon}, max increment {}/strobe, period {})",
+                    b.clock, b.accumulator_bits, b.safe_cycles, b.max_increment, b.strobe_period
+                );
+            }
+        }
+    }
+
+    if !machine {
+        println!();
+        if all_clean {
+            println!("lint: all {} designs clean", benchmarks.len());
+        } else {
+            println!("lint: findings promoted to errors by deny={deny:?}");
+        }
+        println!();
+        print!("{}", metrics.render());
+    }
+    if !all_clean {
+        std::process::exit(1);
+    }
+}

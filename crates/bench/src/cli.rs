@@ -64,6 +64,13 @@ impl std::error::Error for CliError {}
 
 /// Renders the usage text for one binary.
 pub fn usage(binary: &str) -> String {
+    usage_with(binary, "")
+}
+
+/// Renders the usage text with extra per-binary option lines appended
+/// (each line should match the built-in indentation, e.g.
+/// `"\x20 --deny RULES         ...\n"`).
+pub fn usage_with(binary: &str, extra: &str) -> String {
     format!(
         "usage: {binary} [--scale test|paper] [--jobs N] [--cache-dir DIR]\n\
          \n\
@@ -71,8 +78,36 @@ pub fn usage(binary: &str) -> String {
          \x20 --scale test|paper   evaluation scale (default: paper)\n\
          \x20 --jobs N             worker threads, N >= 1 (default: 1)\n\
          \x20 --cache-dir DIR      reuse characterized model libraries across runs\n\
+         {extra}\
          \x20 --help               print this message\n"
     )
+}
+
+/// Per-binary flags layered on the shared dialect. A binary that extends
+/// the CLI implements this once and parses through
+/// [`BenchArgs::from_env_with`]; the shared flags keep working unchanged.
+pub trait FlagExt {
+    /// Offered an unrecognized `flag` (with any `=value` already split
+    /// off). Call `value` to consume the flag's value; return `Ok(true)`
+    /// if the flag was handled, `Ok(false)` to reject it as unknown.
+    fn flag(
+        &mut self,
+        flag: &str,
+        value: &mut dyn FnMut(&str) -> Result<String, CliError>,
+    ) -> Result<bool, CliError>;
+}
+
+/// The no-extension parser used by binaries on the plain dialect.
+struct NoExt;
+
+impl FlagExt for NoExt {
+    fn flag(
+        &mut self,
+        _flag: &str,
+        _value: &mut dyn FnMut(&str) -> Result<String, CliError>,
+    ) -> Result<bool, CliError> {
+        Ok(false)
+    }
 }
 
 impl BenchArgs {
@@ -84,6 +119,19 @@ impl BenchArgs {
     /// [`CliError::HelpRequested`] on `--help`; [`CliError::Invalid`]
     /// for unknown flags, bad values, or missing values.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, CliError> {
+        Self::parse_with(args, &mut NoExt)
+    }
+
+    /// Like [`BenchArgs::parse`], but offers flags the shared dialect does
+    /// not know to `ext` before rejecting them.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BenchArgs::parse`], plus whatever `ext` returns.
+    pub fn parse_with(
+        args: impl IntoIterator<Item = String>,
+        ext: &mut dyn FlagExt,
+    ) -> Result<Self, CliError> {
         let mut parsed = Self::default();
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
@@ -118,9 +166,11 @@ impl BenchArgs {
                 }
                 "--cache-dir" => parsed.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
                 other => {
-                    return Err(CliError::Invalid(format!(
-                        "unknown argument `{other}` (see --help)"
-                    )))
+                    if !ext.flag(other, &mut value)? {
+                        return Err(CliError::Invalid(format!(
+                            "unknown argument `{other}` (see --help)"
+                        )));
+                    }
                 }
             }
         }
@@ -131,14 +181,21 @@ impl BenchArgs {
     /// 0, on a parse error prints the error plus usage and exits 2. The
     /// only exit points of the CLI layer live here, not mid-parse.
     pub fn from_env(binary: &str) -> Self {
-        match Self::parse(std::env::args().skip(1)) {
+        Self::from_env_with(binary, &mut NoExt, "")
+    }
+
+    /// Like [`BenchArgs::from_env`] for binaries with extension flags:
+    /// `ext` handles the extra flags, `extra_usage` documents them (see
+    /// [`usage_with`]).
+    pub fn from_env_with(binary: &str, ext: &mut dyn FlagExt, extra_usage: &str) -> Self {
+        match Self::parse_with(std::env::args().skip(1), ext) {
             Ok(parsed) => parsed,
             Err(CliError::HelpRequested) => {
-                print!("{}", usage(binary));
+                print!("{}", usage_with(binary, extra_usage));
                 std::process::exit(0);
             }
             Err(CliError::Invalid(msg)) => {
-                eprint!("error: {msg}\n\n{}", usage(binary));
+                eprint!("error: {msg}\n\n{}", usage_with(binary, extra_usage));
                 std::process::exit(2);
             }
         }
@@ -192,6 +249,49 @@ mod tests {
         assert_eq!(parse(&["--help"]).unwrap_err(), CliError::HelpRequested);
         assert_eq!(parse(&["-h"]).unwrap_err(), CliError::HelpRequested);
         assert!(usage("figure3").contains("--cache-dir"));
+    }
+
+    #[test]
+    fn extension_flags_compose_with_the_shared_dialect() {
+        struct DenyExt {
+            deny: Option<String>,
+            machine: bool,
+        }
+        impl FlagExt for DenyExt {
+            fn flag(
+                &mut self,
+                flag: &str,
+                value: &mut dyn FnMut(&str) -> Result<String, CliError>,
+            ) -> Result<bool, CliError> {
+                match flag {
+                    "--deny" => self.deny = Some(value("--deny")?),
+                    "--machine" => self.machine = true,
+                    _ => return Ok(false),
+                }
+                Ok(true)
+            }
+        }
+        let mut ext = DenyExt {
+            deny: None,
+            machine: false,
+        };
+        let args = ["--deny=all", "--jobs", "4", "--machine"];
+        let parsed = BenchArgs::parse_with(args.iter().map(ToString::to_string), &mut ext).unwrap();
+        assert_eq!(parsed.jobs, 4);
+        assert_eq!(ext.deny.as_deref(), Some("all"));
+        assert!(ext.machine);
+        // Flags the extension rejects still fail like unknown flags.
+        assert!(matches!(
+            BenchArgs::parse_with(
+                ["--frobnicate".to_string()].into_iter(),
+                &mut DenyExt {
+                    deny: None,
+                    machine: false
+                }
+            ),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(usage_with("lint", "\x20 --deny RULES         x\n").contains("--deny RULES"));
     }
 
     #[test]

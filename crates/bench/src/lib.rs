@@ -9,6 +9,8 @@
 //! * `overhead` — instrumentation area overhead per design (the paper's
 //!   closing concern), plus coefficient-width and strobe-period ablations.
 //! * `capacity` — device-fit and multi-FPGA partitioning study.
+//! * `lint` — the `pe-lint` static soundness gate over the instrumented
+//!   suite (`--deny all` for CI, `--machine` for `key=value` output).
 //!
 //! Every binary speaks the shared [`cli`] dialect (`--scale`, `--jobs`,
 //! `--cache-dir`, `--help`) and runs on the `pe-harness` executor, so

@@ -20,6 +20,9 @@ pub enum FlowError {
     Characterize(pe_power::CharacterizeError),
     /// Instrumentation failed.
     Instrument(pe_instrument::InstrumentError),
+    /// The instrumented design failed the lint gate: the report carries
+    /// every finding (and the proven accumulator bounds).
+    Lint(pe_lint::LintReport),
     /// The instrumented design does not fit the platform.
     Capacity(pe_fpga::partition::PartitionError),
     /// Simulation of the enhanced design failed.
@@ -31,6 +34,13 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::Characterize(e) => write!(f, "characterization failed: {e}"),
             FlowError::Instrument(e) => write!(f, "instrumentation failed: {e}"),
+            FlowError::Lint(report) => {
+                write!(f, "lint gate failed:")?;
+                for d in &report.diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             FlowError::Capacity(e) => write!(f, "platform capacity exceeded: {e}"),
             FlowError::Simulate(msg) => write!(f, "emulation execution failed: {msg}"),
         }
@@ -99,6 +109,8 @@ pub struct PowerEmulationFlow {
     library: RefCell<ModelLibrary>,
     characterize: CharacterizeConfig,
     instrument: InstrumentConfig,
+    lint_deny: pe_lint::Denylist,
+    lint_horizon: Option<u64>,
     device: DeviceModel,
     max_devices: u32,
 }
@@ -117,6 +129,8 @@ impl PowerEmulationFlow {
             library: RefCell::new(ModelLibrary::new()),
             characterize: CharacterizeConfig::standard(),
             instrument: InstrumentConfig::default(),
+            lint_deny: pe_lint::Denylist::None,
+            lint_horizon: None,
             device: DeviceModel::xc2v6000(),
             max_devices: 64,
         }
@@ -157,6 +171,17 @@ impl PowerEmulationFlow {
         self
     }
 
+    /// Configures the lint gate run by
+    /// [`PowerEmulationFlow::stage_instrument`]: `deny` promotes the
+    /// listed rules (or all) to hard errors, and `horizon_cycles`, when
+    /// set, requires every accumulator to be proven overflow-free for
+    /// that many cycles. Intrinsic-error findings always gate.
+    pub fn with_lint(mut self, deny: pe_lint::Denylist, horizon_cycles: Option<u64>) -> Self {
+        self.lint_deny = deny;
+        self.lint_horizon = horizon_cycles;
+        self
+    }
+
     /// Overrides the target device model.
     pub fn with_device(mut self, device: DeviceModel, max_devices: u32) -> Self {
         self.device = device;
@@ -188,15 +213,25 @@ impl PowerEmulationFlow {
     /// attempted — run [`PowerEmulationFlow::prepare_models`] or
     /// [`PowerEmulationFlow::install_library`] first).
     ///
+    /// The enhanced design must be lint-clean before anything downstream
+    /// (mapping, timing, partitioning) sees it: the soundness rules run
+    /// here and any effective error under the configured denylist aborts
+    /// the stage.
+    ///
     /// # Errors
     ///
-    /// Propagates instrumentation failures, including missing models.
+    /// Propagates instrumentation failures, including missing models, and
+    /// returns [`FlowError::Lint`] when the lint gate finds errors.
     pub fn stage_instrument(
         &self,
         design: &Design,
     ) -> Result<(InstrumentedDesign, OverheadReport), FlowError> {
         let instrumented = instrument(design, &self.library.borrow(), &self.instrument)
             .map_err(FlowError::Instrument)?;
+        let report = pe_lint::lint_instrumented(&instrumented, self.lint_horizon);
+        if !report.is_clean(&self.lint_deny) {
+            return Err(FlowError::Lint(report));
+        }
         let overhead = OverheadReport::measure(design, &instrumented);
         Ok((instrumented, overhead))
     }
@@ -263,7 +298,10 @@ impl PowerEmulationFlow {
         let design = &result.instrumented.design;
         let mut sim = Simulator::new(design).map_err(|e| FlowError::Simulate(e.to_string()))?;
         let cycles = pe_sim::run(&mut sim, testbench);
-        let total_energy_fj = result.instrumented.read_energy_fj(&mut sim);
+        let total_energy_fj = result
+            .instrumented
+            .try_read_energy_fj(&mut sim)
+            .map_err(|e| FlowError::Simulate(e.to_string()))?;
         let period_ns = design.clocks().first().map_or(10.0, |c| c.period_ns());
         Ok(EmulatedPower {
             cycles,
@@ -354,6 +392,37 @@ mod tests {
             flow.stage_instrument(&d),
             Err(FlowError::Instrument(_))
         ));
+    }
+
+    #[test]
+    fn lint_gate_passes_clean_designs_and_blocks_tight_accumulators() {
+        let d = small_design();
+        // A deny-all gate with a generous horizon: the default transform
+        // output is lint-clean, so the stage must succeed.
+        let flow = PowerEmulationFlow::new()
+            .with_characterize(CharacterizeConfig::fast())
+            .with_lint(pe_lint::Denylist::All, Some(1_000_000));
+        flow.prepare_models(&d).unwrap();
+        assert!(flow.stage_instrument(&d).is_ok());
+
+        // The tightest legal accumulator cannot be proven safe for an
+        // astronomically long run: the gate must reject it with the
+        // overflow rule.
+        let tight = PowerEmulationFlow::new()
+            .with_characterize(CharacterizeConfig::fast())
+            .with_instrument(InstrumentConfig {
+                accumulator_bits: 24,
+                ..InstrumentConfig::default()
+            })
+            .with_lint(pe_lint::Denylist::All, Some(u64::MAX / 2));
+        tight.prepare_models(&d).unwrap();
+        match tight.stage_instrument(&d) {
+            Err(FlowError::Lint(report)) => {
+                assert!(report.by_rule(pe_lint::Rule::AccOverflow).count() >= 1);
+                assert!(!report.bounds.is_empty());
+            }
+            other => panic!("expected lint gate failure, got {other:?}"),
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 use crate::lut::LutNetlist;
 use crate::timing::TimingReport;
+use pe_util::PortError;
 use std::time::Duration;
 
 /// Cycle-accurate simulator for a mapped netlist.
@@ -73,22 +74,25 @@ impl<'a> LutSimulator<'a> {
 
     /// Drives an input bus by port name.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the port does not exist or the value does not fit.
-    pub fn set_input(&mut self, name: &str, value: u64) {
+    /// [`PortError::NoSuchInput`] if the port does not exist, or
+    /// [`PortError::ValueTooWide`] if the value does not fit.
+    pub fn try_set_input(&mut self, name: &str, value: u64) -> Result<(), PortError> {
         let nets = self
             .netlist
             .inputs()
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, nets)| nets.clone())
-            .unwrap_or_else(|| panic!("no input bus `{name}`"));
-        assert!(
-            nets.len() == 64 || value < (1u64 << nets.len()),
-            "value {value:#x} does not fit {} bits",
-            nets.len()
-        );
+            .ok_or_else(|| PortError::NoSuchInput(name.to_string()))?;
+        if nets.len() < 64 && value >= (1u64 << nets.len()) {
+            return Err(PortError::ValueTooWide {
+                port: name.to_string(),
+                value,
+                width: nets.len() as u32,
+            });
+        }
         for (i, net) in nets.iter().enumerate() {
             let bit = (value >> i) & 1 == 1;
             if self.values[net.index()] != bit {
@@ -96,6 +100,38 @@ impl<'a> LutSimulator<'a> {
                 self.dirty = true;
             }
         }
+        Ok(())
+    }
+
+    /// Drives an input bus by port name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or the value does not fit.
+    pub fn set_input(&mut self, name: &str, value: u64) {
+        self.try_set_input(name, value)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Reads an output bus by port name (settling first).
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::NoSuchOutput`] if the port does not exist.
+    pub fn try_output(&mut self, name: &str) -> Result<u64, PortError> {
+        self.settle();
+        let nets = self
+            .netlist
+            .outputs()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, nets)| nets.clone())
+            .ok_or_else(|| PortError::NoSuchOutput(name.to_string()))?;
+        Ok(nets
+            .iter()
+            .enumerate()
+            .map(|(i, net)| (self.values[net.index()] as u64) << i)
+            .sum())
     }
 
     /// Reads an output bus by port name (settling first).
@@ -104,18 +140,7 @@ impl<'a> LutSimulator<'a> {
     ///
     /// Panics if the port does not exist.
     pub fn output(&mut self, name: &str) -> u64 {
-        self.settle();
-        let nets = self
-            .netlist
-            .outputs()
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, nets)| nets.clone())
-            .unwrap_or_else(|| panic!("no output bus `{name}`"));
-        nets.iter()
-            .enumerate()
-            .map(|(i, net)| (self.values[net.index()] as u64) << i)
-            .sum()
+        self.try_output(name).unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn bus_value(&self, nets: &[pe_gate::netlist::NetId]) -> u64 {
@@ -258,6 +283,35 @@ mod tests {
     use pe_rtl::builder::DesignBuilder;
     use pe_sim::Simulator;
     use pe_util::rng::Xoshiro;
+
+    #[test]
+    fn named_bus_lookups_report_errors() {
+        let mut b = DesignBuilder::new("p");
+        let a = b.input("a", 4);
+        let n = b.not(a);
+        b.output("y", n);
+        let d = b.finish().unwrap();
+        let mapped = map_to_luts(&expand_design(&d).netlist);
+        let mut sim = LutSimulator::new(&mapped);
+        assert_eq!(
+            sim.try_set_input("nope", 0),
+            Err(PortError::NoSuchInput("nope".into()))
+        );
+        assert_eq!(
+            sim.try_set_input("a", 0x10),
+            Err(PortError::ValueTooWide {
+                port: "a".into(),
+                value: 0x10,
+                width: 4
+            })
+        );
+        assert_eq!(
+            sim.try_output("nope"),
+            Err(PortError::NoSuchOutput("nope".into()))
+        );
+        sim.try_set_input("a", 0x5).unwrap();
+        assert_eq!(sim.try_output("y"), Ok(0xA));
+    }
 
     #[test]
     fn mapped_netlist_matches_rtl_bit_for_bit() {

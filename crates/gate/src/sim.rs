@@ -2,6 +2,7 @@
 
 use crate::cells::CellLibrary;
 use crate::expand::ExpandedDesign;
+use pe_util::PortError;
 
 /// A zero-delay gate-level simulator.
 ///
@@ -190,10 +191,11 @@ impl<'a> GateSimulator<'a> {
 
     /// Drives an input bus by port name.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the port does not exist or the value does not fit.
-    pub fn set_input(&mut self, name: &str, value: u64) {
+    /// [`PortError::NoSuchInput`] if the port does not exist, or
+    /// [`PortError::ValueTooWide`] if the value does not fit.
+    pub fn try_set_input(&mut self, name: &str, value: u64) -> Result<(), PortError> {
         let nets = self
             .expanded
             .netlist
@@ -201,12 +203,14 @@ impl<'a> GateSimulator<'a> {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, nets)| nets.clone())
-            .unwrap_or_else(|| panic!("no input bus `{name}`"));
-        assert!(
-            nets.len() == 64 || value < (1u64 << nets.len()),
-            "value {value:#x} does not fit {} bits",
-            nets.len()
-        );
+            .ok_or_else(|| PortError::NoSuchInput(name.to_string()))?;
+        if nets.len() < 64 && value >= (1u64 << nets.len()) {
+            return Err(PortError::ValueTooWide {
+                port: name.to_string(),
+                value,
+                width: nets.len() as u32,
+            });
+        }
         for (i, net) in nets.iter().enumerate() {
             let bit = (value >> i) & 1 == 1;
             if self.values[net.index()] != bit {
@@ -214,14 +218,25 @@ impl<'a> GateSimulator<'a> {
                 self.dirty = true;
             }
         }
+        Ok(())
+    }
+
+    /// Drives an input bus by port name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or the value does not fit.
+    pub fn set_input(&mut self, name: &str, value: u64) {
+        self.try_set_input(name, value)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Reads an output bus by port name (settling first).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the port does not exist.
-    pub fn output(&mut self, name: &str) -> u64 {
+    /// [`PortError::NoSuchOutput`] if the port does not exist.
+    pub fn try_output(&mut self, name: &str) -> Result<u64, PortError> {
         self.settle();
         let nets = self
             .expanded
@@ -230,11 +245,21 @@ impl<'a> GateSimulator<'a> {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, nets)| nets.clone())
-            .unwrap_or_else(|| panic!("no output bus `{name}`"));
-        nets.iter()
+            .ok_or_else(|| PortError::NoSuchOutput(name.to_string()))?;
+        Ok(nets
+            .iter()
             .enumerate()
             .map(|(i, net)| (self.values[net.index()] as u64) << i)
-            .sum()
+            .sum())
+    }
+
+    /// Reads an output bus by port name (settling first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn output(&mut self, name: &str) -> u64 {
+        self.try_output(name).unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn credit(&mut self, owner: u32, energy: f64) {
@@ -389,6 +414,36 @@ mod tests {
 
     fn lib() -> CellLibrary {
         CellLibrary::cmos130()
+    }
+
+    #[test]
+    fn named_bus_lookups_report_errors() {
+        let mut b = DesignBuilder::new("p");
+        let a = b.input("a", 4);
+        let n = b.not(a);
+        b.output("y", n);
+        let d = b.finish().unwrap();
+        let ex = expand_design(&d);
+        let lib = lib();
+        let mut sim = GateSimulator::new(&ex, &lib);
+        assert_eq!(
+            sim.try_set_input("nope", 0),
+            Err(PortError::NoSuchInput("nope".into()))
+        );
+        assert_eq!(
+            sim.try_set_input("a", 0x10),
+            Err(PortError::ValueTooWide {
+                port: "a".into(),
+                value: 0x10,
+                width: 4
+            })
+        );
+        assert_eq!(
+            sim.try_output("nope"),
+            Err(PortError::NoSuchOutput("nope".into()))
+        );
+        sim.try_set_input("a", 0x5).unwrap();
+        assert_eq!(sim.try_output("y"), Ok(0xA));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!
 //! Dependency policy (§6 of DESIGN.md) holds: standard library only.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;

@@ -56,4 +56,6 @@ mod transform;
 
 pub use config::{AggregatorTopology, InstrumentConfig};
 pub use overhead::OverheadReport;
-pub use transform::{instrument, InstrumentError, InstrumentedDesign};
+pub use transform::{
+    instrument, DomainHardware, InstrumentError, InstrumentedDesign, ModelBinding,
+};

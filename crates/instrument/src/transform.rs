@@ -6,6 +6,7 @@ use pe_rtl::{ClockId, ComponentKind, Design, DesignError, SignalId};
 use pe_sim::Simulator;
 use pe_util::bits;
 use pe_util::fixed::FxFormat;
+use pe_util::PortError;
 use std::fmt;
 
 /// Errors raised by [`instrument`].
@@ -50,6 +51,43 @@ impl From<DesignError> for InstrumentError {
     }
 }
 
+/// Where one macromodel was bound into the enhanced design: which original
+/// component it covers, which clock domain strobes it, and the generated
+/// hardware that realises it. Consumed by `pe-lint`'s soundness checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelBinding {
+    /// Name of the original component the model covers.
+    pub component: String,
+    /// Clock-domain index the model strobes with.
+    pub domain: usize,
+    /// Names of the snapshot-queue register components (one per monitored
+    /// signal with at least one non-zero quantized coefficient).
+    pub snapshots: Vec<String>,
+    /// Name of the signal carrying the per-strobe model output.
+    pub model_output: String,
+}
+
+/// The per-clock-domain estimation hardware emitted by the transform.
+/// One entry per domain that hosts at least one model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainHardware {
+    /// Clock-domain index.
+    pub domain: usize,
+    /// Clock name.
+    pub clock: String,
+    /// Name of the strobe signal driving the snapshot-queue enables.
+    pub strobe: String,
+    /// Name of the accumulate-enable signal (strobe gated by priming).
+    pub accumulate_enable: String,
+    /// Name of the energy-accumulator register component.
+    pub accumulator: String,
+    /// Name of the signal carrying the domain aggregate (the accumulator
+    /// increment, already zero-extended to the accumulator width).
+    pub aggregate: String,
+    /// Name of the total-power output port.
+    pub total_port: String,
+}
+
 /// The result of the transform: the enhanced design plus the metadata
 /// needed to interpret its power outputs.
 #[derive(Debug, Clone)]
@@ -72,31 +110,70 @@ pub struct InstrumentedDesign {
     pub skipped_zero_terms: usize,
     /// Components in the original design.
     pub original_components: usize,
+    /// Model placement metadata: one entry per bound macromodel.
+    pub bindings: Vec<ModelBinding>,
+    /// Per-domain estimation hardware, for domains hosting models.
+    pub domains: Vec<DomainHardware>,
 }
 
 impl InstrumentedDesign {
     /// Reads back the accumulated energy estimate from a simulator running
     /// the enhanced design, converting accumulator units to femtojoules
     /// (including the strobe-period scale).
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::NoSuchOutput`] if the simulator is not running this
+    /// instrumented design (a total port is missing).
+    pub fn try_read_energy_fj(&self, sim: &mut Simulator<'_>) -> Result<f64, PortError> {
+        let mut raw = 0.0;
+        for p in &self.total_ports {
+            raw += sim.try_output(p)? as f64;
+        }
+        Ok(raw * self.format.lsb() * self.strobe_period as f64)
+    }
+
+    /// Reads back the accumulated energy estimate (see
+    /// [`InstrumentedDesign::try_read_energy_fj`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator is not running this instrumented design.
     pub fn read_energy_fj(&self, sim: &mut Simulator<'_>) -> f64 {
-        let raw: f64 = self.total_ports.iter().map(|p| sim.output(p) as f64).sum();
-        raw * self.format.lsb() * self.strobe_period as f64
+        self.try_read_energy_fj(sim)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Reads one component's per-strobe model output (femtojoules),
     /// available when instrumented with per-model outputs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the component was not given an output port.
-    pub fn read_model_fj(&self, sim: &mut Simulator<'_>, component: &str) -> f64 {
+    /// [`PortError::NoSuchOutput`] if the component was not given an
+    /// output port (or the simulator runs a different design).
+    pub fn try_read_model_fj(
+        &self,
+        sim: &mut Simulator<'_>,
+        component: &str,
+    ) -> Result<f64, PortError> {
         let port = &self
             .model_ports
             .iter()
             .find(|(c, _)| c == component)
-            .unwrap_or_else(|| panic!("no per-model port for `{component}`"))
+            .ok_or_else(|| PortError::NoSuchOutput(format!("model port for `{component}`")))?
             .1;
-        sim.output(port) as f64 * self.format.lsb()
+        Ok(sim.try_output(port)? as f64 * self.format.lsb())
+    }
+
+    /// Reads one component's per-strobe model output (see
+    /// [`InstrumentedDesign::try_read_model_fj`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component was not given an output port.
+    pub fn read_model_fj(&self, sim: &mut Simulator<'_>, component: &str) -> f64 {
+        self.try_read_model_fj(sim, component)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -336,25 +413,6 @@ pub fn instrument(
     };
     let n_domains = enhanced.clocks().len();
 
-    let mut em = Emit {
-        d: &mut enhanced,
-        n: 0,
-    };
-
-    // Strobe generator per clock domain (paper: "power strobe generation is
-    // done separately for each clock domain").
-    let mut strobes = Vec::with_capacity(n_domains);
-    for dom in 0..n_domains {
-        let clk = em.d.clock_id(dom).expect("domain in range");
-        strobes.push(build_strobe(&mut em, clk, config.strobe_period)?);
-    }
-
-    let cap = config.accumulator_bits;
-    let mut term_count = 0usize;
-    let mut skipped = 0usize;
-    let mut model_outputs_by_domain: Vec<Vec<SignalId>> = vec![Vec::new(); n_domains];
-    let mut model_ports: Vec<(String, String)> = Vec::new();
-
     // Clock-domain inference for combinational components: a power model
     // must strobe with the logic it monitors, so a combinational
     // component inherits the domain of the sequential components it
@@ -384,12 +442,44 @@ pub fn instrument(
         }
         default_clock.index()
     };
+    let model_domains: Vec<usize> = modelled
+        .iter()
+        .map(|(idx, _)| domain_of(&design.components()[*idx]))
+        .collect();
+    let mut domain_used = vec![false; n_domains];
+    for &dom in &model_domains {
+        domain_used[dom] = true;
+    }
 
-    for (idx, model) in &modelled {
+    let mut em = Emit {
+        d: &mut enhanced,
+        n: 0,
+    };
+
+    // Strobe generator per clock domain (paper: "power strobe generation is
+    // done separately for each clock domain") — only for domains that host
+    // at least one model; unused domains get no estimation hardware.
+    let mut strobes: Vec<Option<Strobe>> = Vec::with_capacity(n_domains);
+    for (dom, &used) in domain_used.iter().enumerate() {
+        if !used {
+            strobes.push(None);
+            continue;
+        }
+        let clk = em.d.clock_id(dom).expect("domain in range");
+        strobes.push(Some(build_strobe(&mut em, clk, config.strobe_period)?));
+    }
+
+    let cap = config.accumulator_bits;
+    let mut term_count = 0usize;
+    let mut skipped = 0usize;
+    let mut model_outputs_by_domain: Vec<Vec<SignalId>> = vec![Vec::new(); n_domains];
+    let mut model_ports: Vec<(String, String)> = Vec::new();
+    let mut bindings: Vec<ModelBinding> = Vec::new();
+
+    for ((idx, model), &domain) in modelled.iter().zip(&model_domains) {
         let comp = &design.components()[*idx];
-        let domain = domain_of(comp);
         let clk = em.d.clock_id(domain).expect("domain exists");
-        let strobe = strobes[domain].strobe;
+        let strobe = strobes[domain].as_ref().expect("used domain").strobe;
 
         // Monitored signals: distinct inputs in first-occurrence order,
         // then the output — one snapshot queue per distinct signal.
@@ -405,9 +495,17 @@ pub fn instrument(
         };
 
         let mut terms: Vec<SignalId> = Vec::new();
+        let mut snapshots: Vec<String> = Vec::new();
         let layout = model.layout();
         for (i, &sig) in monitored.iter().enumerate() {
             let w = layout.width(i);
+            // Skip the whole snapshot queue when every coefficient of this
+            // signal quantizes to zero — the transition detector would feed
+            // nothing, and the dead queue would only burn area.
+            if (0..w).all(|b| format.encode(model.bit_coeff(layout.offset(i) + b)) == 0) {
+                skipped += w as usize;
+                continue;
+            }
             // Snapshot queue: previous strobed value of this signal.
             let snap = em.comp(
                 "snap",
@@ -419,6 +517,8 @@ pub fn instrument(
                 w,
                 Some(clk),
             )?;
+            let snap_reg = em.d.driver_of(snap).expect("snapshot just emitted");
+            snapshots.push(em.d.component(snap_reg).name().to_string());
             // Transition detector.
             let trans = em.comp("trans", ComponentKind::Xor, &[snap, sig], w, None)?;
             for b in 0..w {
@@ -461,6 +561,12 @@ pub fn instrument(
             em.sum_tree(&terms, cap, None)?
         };
         model_outputs_by_domain[domain].push(model_out);
+        bindings.push(ModelBinding {
+            component: comp.name().to_string(),
+            domain,
+            snapshots,
+            model_output: em.d.signal(model_out).name().to_string(),
+        });
 
         if config.per_model_outputs {
             let port = em.d.fresh_name(&format!("power_of__{}", comp.name()));
@@ -471,10 +577,12 @@ pub fn instrument(
 
     // Power aggregator + accumulator per domain.
     let mut total_ports = Vec::new();
+    let mut domains: Vec<DomainHardware> = Vec::new();
     for dom in 0..n_domains {
         if model_outputs_by_domain[dom].is_empty() {
             continue;
         }
+        let strobe = strobes[dom].as_ref().expect("used domain");
         let clk = em.d.clock_id(dom).expect("domain exists");
         let outs = model_outputs_by_domain[dom].clone();
         let sum = match config.aggregator {
@@ -493,12 +601,12 @@ pub fn instrument(
         )?;
         let reg_name = em.name("acc_reg");
         em.d.add_component(
-            reg_name,
+            reg_name.clone(),
             ComponentKind::Register {
                 init: 0,
                 has_enable: true,
             },
-            &[acc_next, strobes[dom].accumulate_enable],
+            &[acc_next, strobe.accumulate_enable],
             acc_q,
             Some(clk),
         )?;
@@ -509,6 +617,15 @@ pub fn instrument(
             em.d.fresh_name(&format!("power_total__{clock_name}"))
         };
         em.d.add_output(&port, acc_q)?;
+        domains.push(DomainHardware {
+            domain: dom,
+            clock: em.d.clocks()[dom].name().to_string(),
+            strobe: em.d.signal(strobe.strobe).name().to_string(),
+            accumulate_enable: em.d.signal(strobe.accumulate_enable).name().to_string(),
+            accumulator: reg_name,
+            aggregate: em.d.signal(sum_wide).name().to_string(),
+            total_port: port.clone(),
+        });
         total_ports.push(port);
     }
 
@@ -525,6 +642,8 @@ pub fn instrument(
         term_count,
         skipped_zero_terms: skipped,
         original_components: design.components().len(),
+        bindings,
+        domains,
     })
 }
 

@@ -1,0 +1,519 @@
+//! Forward dataflow: constant propagation and unsigned interval range
+//! analysis over the RTL IR.
+//!
+//! Every signal gets an interval `[lo, hi]` of possible unsigned values
+//! (masked to its width). Combinational components are evaluated in
+//! topological order with per-kind transfer functions; when every input is
+//! a constant (a singleton interval) the exact [`ComponentKind::eval`]
+//! semantics are used, so constant propagation falls out for free.
+//! Sequential outputs start at their reset value and are joined with their
+//! data input each round; after a fixed round budget any still-changing
+//! register is widened straight to ⊤ (its full width range), which
+//! guarantees termination while staying sound.
+
+use pe_rtl::validate::topo_order;
+use pe_rtl::{ComponentKind, Design, SignalId};
+use pe_util::bits;
+
+/// An inclusive unsigned interval `[lo, hi]`, masked to a signal's width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest possible value.
+    pub lo: u64,
+    /// Largest possible value.
+    pub hi: u64,
+}
+
+impl Interval {
+    /// A single known value (the constant-propagation case).
+    pub fn singleton(v: u64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The full range of a `width`-bit signal (⊤).
+    pub fn top(width: u32) -> Self {
+        Interval {
+            lo: 0,
+            hi: bits::mask(width),
+        }
+    }
+
+    /// Whether exactly one value is possible.
+    pub fn is_singleton(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The least interval containing both.
+    pub fn union(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+/// The result of the analysis.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Per-signal interval, indexed by signal index.
+    pub intervals: Vec<Interval>,
+    /// Per-component flag: an `Add` whose true sum can exceed its output
+    /// width (the hardware would wrap). Indexed by component index; always
+    /// `false` for non-adders.
+    pub add_may_wrap: Vec<bool>,
+}
+
+impl Analysis {
+    /// The interval of `signal`.
+    pub fn interval(&self, signal: SignalId) -> Interval {
+        self.intervals[signal.index()]
+    }
+}
+
+/// Rounds of plain fixpoint iteration before widening kicks in. Counters
+/// with short periods converge exactly inside this budget; anything still
+/// moving afterwards is widened to ⊤.
+const ROUND_BUDGET: usize = 64;
+
+/// Runs the analysis. Returns `None` if the design has a combinational
+/// cycle or an undriven signal (no well-defined evaluation order).
+pub fn analyze(design: &Design) -> Option<Analysis> {
+    if !pe_rtl::validate::undriven_signals(design).is_empty() {
+        return None;
+    }
+    let order = topo_order(design).ok()?;
+    let n_sigs = design.signals().len();
+    let width = |s: SignalId| design.signal(s).width();
+
+    // Initial state: inputs and memory read-data at ⊤, register outputs at
+    // their reset value, everything else provisionally ⊤ (combinational
+    // signals are overwritten in order before first use).
+    let mut vals: Vec<Interval> = (0..n_sigs)
+        .map(|i| Interval::top(design.signals()[i].width()))
+        .collect();
+    for comp in design.components() {
+        if let ComponentKind::Register { init, .. } = comp.kind() {
+            let w = width(comp.output());
+            vals[comp.output().index()] = Interval::singleton(init & bits::mask(w));
+        }
+    }
+
+    let mut add_may_wrap = vec![false; design.components().len()];
+    let mut rounds = 0usize;
+    loop {
+        // Combinational sweep in topological order.
+        for &id in &order {
+            let comp = design.component(id);
+            let ins: Vec<Interval> = comp.inputs().iter().map(|&s| vals[s.index()]).collect();
+            let in_widths: Vec<u32> = comp.inputs().iter().map(|&s| width(s)).collect();
+            let w = width(comp.output());
+            let (out, wraps) = transfer(comp.kind(), &ins, &in_widths, w);
+            vals[comp.output().index()] = out;
+            add_may_wrap[id.index()] = wraps;
+        }
+        // Sequential join: a register holds its old value (reset, or a
+        // disabled enable) or latches its data input.
+        let mut changed = false;
+        for comp in design.components() {
+            if let ComponentKind::Register { .. } = comp.kind() {
+                let out = comp.output();
+                let old = vals[out.index()];
+                let d = vals[comp.inputs()[0].index()];
+                let mut new = old.union(d);
+                if new != old && rounds >= ROUND_BUDGET {
+                    new = Interval::top(width(out));
+                }
+                if new != old {
+                    vals[out.index()] = new;
+                    changed = true;
+                }
+            }
+        }
+        rounds += 1;
+        if !changed {
+            break;
+        }
+    }
+
+    Some(Analysis {
+        intervals: vals,
+        add_may_wrap,
+    })
+}
+
+/// The per-kind transfer function: the output interval, plus whether an
+/// `Add` can wrap. Sound over-approximations throughout; exact when every
+/// input is a singleton.
+fn transfer(
+    kind: &ComponentKind,
+    ins: &[Interval],
+    in_widths: &[u32],
+    out_width: u32,
+) -> (Interval, bool) {
+    let m = bits::mask(out_width);
+    // Constant propagation: with all inputs known, defer to the exact
+    // simulator semantics.
+    if ins.iter().all(|i| i.is_singleton()) && !kind.is_sequential() {
+        let vs: Vec<u64> = ins.iter().map(|i| i.lo).collect();
+        let v = kind.eval(&vs, in_widths, out_width);
+        let wraps =
+            matches!(kind, ComponentKind::Add) && (vs[0] as u128 + vs[1] as u128) > m as u128;
+        return (Interval::singleton(v), wraps);
+    }
+    let top = Interval::top(out_width);
+    match kind {
+        ComponentKind::Add => {
+            let sum_lo = ins[0].lo as u128 + ins[1].lo as u128;
+            let sum_hi = ins[0].hi as u128 + ins[1].hi as u128;
+            if sum_hi <= m as u128 {
+                (
+                    Interval {
+                        lo: sum_lo as u64,
+                        hi: sum_hi as u64,
+                    },
+                    false,
+                )
+            } else {
+                (top, true)
+            }
+        }
+        ComponentKind::Sub => {
+            if ins[0].lo >= ins[1].hi {
+                (
+                    Interval {
+                        lo: ins[0].lo - ins[1].hi,
+                        hi: ins[0].hi - ins[1].lo,
+                    },
+                    false,
+                )
+            } else {
+                (top, false)
+            }
+        }
+        ComponentKind::Mul => {
+            let p_hi = ins[0].hi as u128 * ins[1].hi as u128;
+            if p_hi <= m as u128 {
+                (
+                    Interval {
+                        lo: ins[0].lo * ins[1].lo,
+                        hi: p_hi as u64,
+                    },
+                    false,
+                )
+            } else {
+                (top, false)
+            }
+        }
+        ComponentKind::Eq => (decide_eq(ins[0], ins[1]), false),
+        ComponentKind::Ne => {
+            let eq = decide_eq(ins[0], ins[1]);
+            let ne = if eq.is_singleton() {
+                Interval::singleton(1 - eq.lo)
+            } else {
+                eq
+            };
+            (ne, false)
+        }
+        ComponentKind::Lt => (decide_lt(ins[0], ins[1], false), false),
+        ComponentKind::Le => (decide_lt(ins[0], ins[1], true), false),
+        ComponentKind::SLt | ComponentKind::SLe => {
+            // Decide only when both operands are provably non-negative,
+            // where signed and unsigned orders agree.
+            let sign_bit = 1u64 << (in_widths[0] - 1);
+            if in_widths[0] >= 1 && ins[0].hi < sign_bit && ins[1].hi < sign_bit {
+                (
+                    decide_lt(ins[0], ins[1], matches!(kind, ComponentKind::SLe)),
+                    false,
+                )
+            } else {
+                (Interval { lo: 0, hi: 1 }, false)
+            }
+        }
+        ComponentKind::And => {
+            // AND can only clear bits: bounded above by the smallest input
+            // bound. This is what proves a coefficient-gated term never
+            // exceeds its coefficient.
+            let hi = ins.iter().map(|i| i.hi).min().unwrap_or(m);
+            (Interval { lo: 0, hi }, false)
+        }
+        ComponentKind::Or => {
+            // OR can only set bits at positions some input can reach.
+            let lo = ins.iter().map(|i| i.lo).max().unwrap_or(0);
+            let reach = ins.iter().fold(0u64, |a, i| a | i.hi);
+            let hi = bits::mask(bits::bit_width(reach)).min(m);
+            (Interval { lo, hi: hi.max(lo) }, false)
+        }
+        ComponentKind::Xor => {
+            let reach = ins.iter().fold(0u64, |a, i| a | i.hi);
+            (
+                Interval {
+                    lo: 0,
+                    hi: bits::mask(bits::bit_width(reach)).min(m),
+                },
+                false,
+            )
+        }
+        ComponentKind::Not => (
+            Interval {
+                lo: m - ins[0].hi,
+                hi: m - ins[0].lo,
+            },
+            false,
+        ),
+        ComponentKind::RedAnd => {
+            let full = bits::mask(in_widths[0]);
+            let out = if ins[0].lo == full {
+                Interval::singleton(1)
+            } else if ins[0].hi < full {
+                Interval::singleton(0)
+            } else {
+                Interval { lo: 0, hi: 1 }
+            };
+            (out, false)
+        }
+        ComponentKind::RedOr => {
+            let out = if ins[0].lo > 0 {
+                Interval::singleton(1)
+            } else if ins[0].hi == 0 {
+                Interval::singleton(0)
+            } else {
+                Interval { lo: 0, hi: 1 }
+            };
+            (out, false)
+        }
+        ComponentKind::RedXor => (Interval { lo: 0, hi: 1 }, false),
+        ComponentKind::Shl => {
+            if ins[1].is_singleton() {
+                let amt = ins[1].lo;
+                if amt >= out_width as u64 {
+                    (Interval::singleton(0), false)
+                } else if ((ins[0].hi as u128) << amt) <= m as u128 {
+                    (
+                        Interval {
+                            lo: ins[0].lo << amt,
+                            hi: ins[0].hi << amt,
+                        },
+                        false,
+                    )
+                } else {
+                    (top, false)
+                }
+            } else {
+                (top, false)
+            }
+        }
+        ComponentKind::Shr => {
+            let in_w = in_widths[0] as u64;
+            let hi = if ins[1].lo >= in_w {
+                0
+            } else {
+                ins[0].hi >> ins[1].lo
+            };
+            let lo = if ins[1].hi >= in_w {
+                0
+            } else {
+                ins[0].lo >> ins[1].hi
+            };
+            (Interval { lo: lo.min(hi), hi }, false)
+        }
+        // Negation and arithmetic right shift are only tracked precisely
+        // through the constant-propagation path above.
+        ComponentKind::Neg | ComponentKind::Sar => (top, false),
+        ComponentKind::Mux => {
+            // Union over the data legs the select interval can reach
+            // (out-of-range selects clamp to the last leg).
+            let n_data = ins.len() - 1;
+            let first = (ins[0].lo as usize).min(n_data - 1);
+            let last = (ins[0].hi as usize).min(n_data - 1);
+            let mut out = ins[1 + first];
+            for leg in &ins[1 + first..=1 + last] {
+                out = out.union(*leg);
+            }
+            (out, false)
+        }
+        ComponentKind::Slice { lo } => {
+            let hi = ins[0].hi >> lo;
+            if hi <= m {
+                (
+                    Interval {
+                        lo: ins[0].lo >> lo,
+                        hi,
+                    },
+                    false,
+                )
+            } else {
+                // Upper truncation makes the shift non-monotone.
+                (top, false)
+            }
+        }
+        ComponentKind::Concat => {
+            // Fields are disjoint bit ranges: bounds add exactly.
+            let mut lo = 0u64;
+            let mut hi = 0u64;
+            let mut shift = 0u32;
+            for (i, w) in ins.iter().zip(in_widths) {
+                lo |= i.lo << shift;
+                hi |= i.hi << shift;
+                shift += w;
+            }
+            (Interval { lo, hi }, false)
+        }
+        ComponentKind::ZeroExt => (ins[0], false),
+        ComponentKind::SignExt => {
+            let in_w = in_widths[0];
+            let sign_bit = 1u64 << (in_w - 1);
+            let ext = m & !bits::mask(in_w);
+            if ins[0].hi < sign_bit {
+                // All non-negative: values unchanged.
+                (ins[0], false)
+            } else if ins[0].lo >= sign_bit {
+                // All negative: extension is monotone.
+                (
+                    Interval {
+                        lo: ins[0].lo | ext,
+                        hi: ins[0].hi | ext,
+                    },
+                    false,
+                )
+            } else {
+                // Spans the sign boundary: smallest value is the smallest
+                // non-negative one, largest the extension of `hi`.
+                (
+                    Interval {
+                        lo: ins[0].lo,
+                        hi: ins[0].hi | ext,
+                    },
+                    false,
+                )
+            }
+        }
+        ComponentKind::Const { value } => (Interval::singleton(value & m), false),
+        ComponentKind::Table { table } => {
+            let lo_idx = ins[0].lo as usize;
+            let hi_idx = (ins[0].hi as usize).min(table.len() - 1);
+            let slice = &table[lo_idx..=hi_idx];
+            (
+                Interval {
+                    lo: slice.iter().copied().min().unwrap_or(0) & m,
+                    hi: slice.iter().copied().max().unwrap_or(m) & m,
+                },
+                false,
+            )
+        }
+        // Sequential outputs are handled by the fixpoint loop; memory read
+        // data stays at ⊤ from initialisation and never reaches here.
+        ComponentKind::Register { .. } | ComponentKind::Memory { .. } => (top, false),
+    }
+}
+
+fn decide_eq(a: Interval, b: Interval) -> Interval {
+    if a.is_singleton() && b.is_singleton() {
+        Interval::singleton((a.lo == b.lo) as u64)
+    } else if a.hi < b.lo || b.hi < a.lo {
+        Interval::singleton(0)
+    } else {
+        Interval { lo: 0, hi: 1 }
+    }
+}
+
+fn decide_lt(a: Interval, b: Interval, or_equal: bool) -> Interval {
+    let definitely = if or_equal { a.hi <= b.lo } else { a.hi < b.lo };
+    let definitely_not = if or_equal { a.lo > b.hi } else { a.lo >= b.hi };
+    if definitely {
+        Interval::singleton(1)
+    } else if definitely_not {
+        Interval::singleton(0)
+    } else {
+        Interval { lo: 0, hi: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_rtl::builder::DesignBuilder;
+
+    #[test]
+    fn constants_propagate_exactly() {
+        let mut b = DesignBuilder::new("c");
+        let x = b.constant(5, 8);
+        let y = b.constant(3, 8);
+        let s = b.add(x, y);
+        b.output("s", s);
+        let d = b.finish().unwrap();
+        let a = analyze(&d).unwrap();
+        let out = d.outputs()[0].signal();
+        assert_eq!(a.interval(out), Interval::singleton(8));
+    }
+
+    #[test]
+    fn counter_register_widens_to_top() {
+        let mut b = DesignBuilder::new("cnt");
+        let clk = b.clock("clk");
+        let one = b.constant(1, 8);
+        let cnt = b.register_named("cnt", 8, 0, clk);
+        let nxt = b.add(cnt.q(), one);
+        b.connect_d(cnt, nxt);
+        b.output("c", cnt.q());
+        let d = b.finish().unwrap();
+        let a = analyze(&d).unwrap();
+        let q = d.find_signal("cnt_q").or_else(|| d.find_signal("cnt"));
+        // Whatever the builder called the q signal, the output port tracks
+        // it: an 8-bit free-running counter must cover its full range.
+        let out = q.unwrap_or(d.outputs()[0].signal());
+        assert_eq!(a.interval(out), Interval::top(8));
+    }
+
+    #[test]
+    fn and_is_bounded_by_smallest_operand() {
+        let mut b = DesignBuilder::new("and");
+        let x = b.input("x", 8);
+        let c = b.constant(0x0f, 8);
+        let y = b.and(x, c);
+        b.output("y", y);
+        let d = b.finish().unwrap();
+        let a = analyze(&d).unwrap();
+        let out = d.outputs()[0].signal();
+        assert_eq!(a.interval(out), Interval { lo: 0, hi: 0x0f });
+    }
+
+    #[test]
+    fn comparison_decided_by_disjoint_ranges() {
+        let mut b = DesignBuilder::new("cmp");
+        let x = b.input("x", 4); // [0, 15]
+        let c = b.constant(31, 5);
+        let xz = b.zext(x, 5);
+        let lt = b.lt(xz, c);
+        b.output("lt", lt);
+        let d = b.finish().unwrap();
+        let a = analyze(&d).unwrap();
+        let out = d.outputs()[0].signal();
+        assert_eq!(a.interval(out), Interval::singleton(1));
+    }
+
+    #[test]
+    fn sign_extended_bit_spans_full_range() {
+        // SignExt of a 1-bit unknown: {0, 1} -> {0, all-ones}.
+        let mut b = DesignBuilder::new("sext");
+        let x = b.input("x", 1);
+        let y = b.sext(x, 8);
+        b.output("y", y);
+        let d = b.finish().unwrap();
+        let a = analyze(&d).unwrap();
+        let out = d.outputs()[0].signal();
+        assert_eq!(a.interval(out), Interval { lo: 0, hi: 255 });
+    }
+
+    #[test]
+    fn cyclic_design_yields_none() {
+        use pe_rtl::{ComponentKind, Design};
+        let mut d = Design::new("cyc");
+        let a = d.add_signal("a", 1).unwrap();
+        let b2 = d.add_signal("b", 1).unwrap();
+        d.add_component("n1", ComponentKind::Not, &[a], b2, None)
+            .unwrap();
+        d.add_component("n2", ComponentKind::Not, &[b2], a, None)
+            .unwrap();
+        assert!(analyze(&d).is_none());
+    }
+}

@@ -1,0 +1,368 @@
+//! Diagnostics: rules, severities, the deny mechanism, and the report.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Every lint rule, with a stable string id. Ids are part of the public
+/// interface (`--deny <id>` and machine output key them) and must never
+/// change meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// A signal with no driver: neither a design input nor a component
+    /// output.
+    UndrivenSignal,
+    /// Two components contend for one signal.
+    MultipleDrivers,
+    /// A component violates its kind's width rules.
+    WidthMismatch,
+    /// A combinational cycle.
+    CombCycle,
+    /// A sequential component without a clock, or a combinational one
+    /// carrying a clock.
+    ClockMismatch,
+    /// A signal crosses clock domains through combinational logic before
+    /// reaching a sequential element (unsynchronized crossing).
+    Cdc,
+    /// A component whose output never transitively reaches a design
+    /// output port.
+    DeadLogic,
+    /// A component-driven signal that no component reads and no output
+    /// port exports.
+    UnreadSignal,
+    /// A design input port whose signal is never read.
+    UnusedInput,
+    /// A sequential component of the original design not covered by any
+    /// power-model binding.
+    UncoveredSequential,
+    /// A model binding that does not resolve to exactly one original
+    /// component (unknown name, generated hardware, or duplicate).
+    OrphanModel,
+    /// A clock domain that hosts models but whose strobe or accumulator
+    /// hardware is missing from the design.
+    MissingStrobe,
+    /// A snapshot queue or accumulator whose enable is not combinationally
+    /// driven by its domain's strobe.
+    StrobeUnreachable,
+    /// The accumulator can overflow within the requested emulation
+    /// horizon, given the worst-case per-strobe increment proven by
+    /// interval analysis.
+    AccOverflow,
+    /// An aggregator adder whose interval can exceed its output width
+    /// (a per-strobe sample could wrap before reaching the accumulator).
+    AggWrap,
+}
+
+/// All rules, in id order.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::UndrivenSignal,
+    Rule::MultipleDrivers,
+    Rule::WidthMismatch,
+    Rule::CombCycle,
+    Rule::ClockMismatch,
+    Rule::Cdc,
+    Rule::DeadLogic,
+    Rule::UnreadSignal,
+    Rule::UnusedInput,
+    Rule::UncoveredSequential,
+    Rule::OrphanModel,
+    Rule::MissingStrobe,
+    Rule::StrobeUnreachable,
+    Rule::AccOverflow,
+    Rule::AggWrap,
+];
+
+impl Rule {
+    /// The stable rule id.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::UndrivenSignal => "undriven-signal",
+            Rule::MultipleDrivers => "multiple-drivers",
+            Rule::WidthMismatch => "width-mismatch",
+            Rule::CombCycle => "comb-cycle",
+            Rule::ClockMismatch => "clock-mismatch",
+            Rule::Cdc => "cdc",
+            Rule::DeadLogic => "dead-logic",
+            Rule::UnreadSignal => "unread-signal",
+            Rule::UnusedInput => "unused-input",
+            Rule::UncoveredSequential => "uncovered-sequential",
+            Rule::OrphanModel => "orphan-model",
+            Rule::MissingStrobe => "missing-strobe",
+            Rule::StrobeUnreachable => "strobe-unreachable",
+            Rule::AccOverflow => "acc-overflow",
+            Rule::AggWrap => "agg-wrap",
+        }
+    }
+
+    /// Looks a rule up by its stable id.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.id() == id)
+    }
+
+    /// The rule's intrinsic severity (before any denylist promotion).
+    /// Integrity violations that make the design meaningless are errors;
+    /// style/soundness risks that still simulate are warnings.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::UndrivenSignal
+            | Rule::MultipleDrivers
+            | Rule::WidthMismatch
+            | Rule::CombCycle
+            | Rule::ClockMismatch
+            | Rule::UncoveredSequential
+            | Rule::OrphanModel
+            | Rule::MissingStrobe
+            | Rule::StrobeUnreachable => Severity::Error,
+            Rule::Cdc
+            | Rule::DeadLogic
+            | Rule::UnreadSignal
+            | Rule::UnusedInput
+            | Rule::AccOverflow
+            | Rule::AggWrap => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The design still simulates; the finding is a soundness or quality
+    /// risk.
+    Warning,
+    /// The design (or its instrumentation) is broken.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Which rules are promoted from warning to error.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Denylist {
+    /// No promotion: intrinsic severities apply.
+    #[default]
+    None,
+    /// Every rule is an error.
+    All,
+    /// The listed rules are errors.
+    Rules(BTreeSet<Rule>),
+}
+
+/// Error parsing a `--deny` specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenyParseError(pub String);
+
+impl fmt::Display for DenyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown lint rule `{}`", self.0)
+    }
+}
+
+impl std::error::Error for DenyParseError {}
+
+impl Denylist {
+    /// Parses a `--deny` value: `all`, `none`, or a comma-separated list
+    /// of rule ids.
+    pub fn parse(spec: &str) -> Result<Denylist, DenyParseError> {
+        match spec.trim() {
+            "all" => return Ok(Denylist::All),
+            "" | "none" => return Ok(Denylist::None),
+            _ => {}
+        }
+        let mut rules = BTreeSet::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            match Rule::from_id(part) {
+                Some(r) => {
+                    rules.insert(r);
+                }
+                None => return Err(DenyParseError(part.to_string())),
+            }
+        }
+        Ok(Denylist::Rules(rules))
+    }
+
+    /// Whether this denylist promotes `rule` to an error.
+    pub fn denies(&self, rule: Rule) -> bool {
+        match self {
+            Denylist::None => false,
+            Denylist::All => true,
+            Denylist::Rules(rules) => rules.contains(&rule),
+        }
+    }
+}
+
+/// One finding: a rule, its location, and a human message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// The offending component's name, when the finding has one.
+    pub component: Option<String>,
+    /// The offending signal's name, when the finding has one.
+    pub signal: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The effective severity under `deny`: the intrinsic severity, or
+    /// [`Severity::Error`] when the denylist promotes the rule.
+    pub fn effective_severity(&self, deny: &Denylist) -> Severity {
+        if deny.denies(self.rule) {
+            Severity::Error
+        } else {
+            self.rule.severity()
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.rule)?;
+        if let Some(c) = &self.component {
+            write!(f, " component `{c}`")?;
+        }
+        if let Some(s) = &self.signal {
+            write!(f, " signal `{s}`")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The proven overflow bound for one clock domain's energy accumulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccBound {
+    /// Clock-domain index.
+    pub domain: usize,
+    /// Clock name.
+    pub clock: String,
+    /// Accumulator register width in bits.
+    pub accumulator_bits: u32,
+    /// Worst-case per-strobe increment in raw fixed-point units, proven
+    /// by interval analysis over the aggregate signal.
+    pub max_increment: u64,
+    /// Strobe period in cycles.
+    pub strobe_period: u32,
+    /// Number of clock cycles the accumulator is proven not to overflow.
+    pub safe_cycles: u64,
+}
+
+/// The outcome of a lint run: findings plus proven accumulator bounds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// All findings, in detection order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Proven accumulator bounds (instrumented designs only).
+    pub bounds: Vec<AccBound>,
+}
+
+impl LintReport {
+    /// Findings whose effective severity under `deny` is an error.
+    pub fn errors<'a>(&'a self, deny: &'a Denylist) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.effective_severity(deny) == Severity::Error)
+    }
+
+    /// Number of effective errors under `deny`.
+    pub fn error_count(&self, deny: &Denylist) -> usize {
+        self.errors(deny).count()
+    }
+
+    /// Whether the run is free of effective errors under `deny`.
+    pub fn is_clean(&self, deny: &Denylist) -> bool {
+        self.error_count(deny) == 0
+    }
+
+    /// Diagnostics for one rule.
+    pub fn by_rule(&self, rule: Rule) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.rule == rule)
+    }
+
+    /// Appends another report's findings and bounds.
+    pub fn merge(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+        self.bounds.extend(other.bounds);
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{}: {d}", d.rule.severity())?;
+        }
+        for b in &self.bounds {
+            writeln!(
+                f,
+                "note: domain `{}` accumulator ({} bits) proven safe for {} cycles \
+                 (max per-strobe increment {} raw, period {})",
+                b.clock, b.accumulator_bits, b.safe_cycles, b.max_increment, b.strobe_period
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for &r in ALL_RULES {
+            assert_eq!(Rule::from_id(r.id()), Some(r));
+        }
+        assert_eq!(Rule::from_id("nonsense"), None);
+    }
+
+    #[test]
+    fn denylist_parsing() {
+        assert_eq!(Denylist::parse("all"), Ok(Denylist::All));
+        assert_eq!(Denylist::parse("none"), Ok(Denylist::None));
+        assert_eq!(Denylist::parse(""), Ok(Denylist::None));
+        let d = Denylist::parse("cdc, acc-overflow").unwrap();
+        assert!(d.denies(Rule::Cdc));
+        assert!(d.denies(Rule::AccOverflow));
+        assert!(!d.denies(Rule::DeadLogic));
+        assert!(Denylist::parse("bogus-rule").is_err());
+    }
+
+    #[test]
+    fn denylist_promotes_severity() {
+        let diag = Diagnostic {
+            rule: Rule::Cdc,
+            component: None,
+            signal: None,
+            message: "x".into(),
+        };
+        assert_eq!(diag.effective_severity(&Denylist::None), Severity::Warning);
+        assert_eq!(diag.effective_severity(&Denylist::All), Severity::Error);
+    }
+
+    #[test]
+    fn report_queries() {
+        let mut r = LintReport::default();
+        r.diagnostics.push(Diagnostic {
+            rule: Rule::DeadLogic,
+            component: Some("c".into()),
+            signal: None,
+            message: "dead".into(),
+        });
+        assert!(r.is_clean(&Denylist::None));
+        assert!(!r.is_clean(&Denylist::All));
+        assert_eq!(r.by_rule(Rule::DeadLogic).count(), 1);
+        assert_eq!(r.error_count(&Denylist::All), 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! `pe-lint`: static analysis over the `pe-rtl` IR.
+//!
+//! Three layers share one analysis engine:
+//!
+//! 1. **Dataflow** ([`dataflow`]): forward constant propagation and
+//!    unsigned interval range analysis in topological order, with widening
+//!    at sequential boundaries for termination.
+//! 2. **Structural rules** ([`rules`]): the integrity checks migrated from
+//!    `pe-rtl::validate` (undriven signals, single driver, widths,
+//!    combinational cycles, clock discipline) plus clock-domain-crossing
+//!    detection, dead/unreachable logic, unread signals, and unused
+//!    inputs.
+//! 3. **Instrumentation soundness** ([`soundness`]): run on the output of
+//!    `pe-instrument::transform` — every sequential component covered by
+//!    exactly one power model, every hosting clock domain's strobe
+//!    reaching its snapshot queues and accumulator, and accumulator
+//!    widths *proven* non-overflowing by interval analysis (or flagged
+//!    with the cycle count at which overflow becomes possible).
+//!
+//! Findings carry a stable rule id and an intrinsic severity; a
+//! [`Denylist`] promotes selected rules (or all of them) to hard errors
+//! at query time, which is what the `--deny` flag of the `lint` binary
+//! and the flow gate build on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataflow;
+mod diag;
+pub mod rules;
+pub mod soundness;
+
+pub use diag::{
+    AccBound, DenyParseError, Denylist, Diagnostic, LintReport, Rule, Severity, ALL_RULES,
+};
+
+use pe_instrument::InstrumentedDesign;
+use pe_rtl::Design;
+
+/// Lints a plain design: every structural rule.
+pub fn lint_design(design: &Design) -> LintReport {
+    LintReport {
+        diagnostics: rules::structural(design),
+        bounds: Vec::new(),
+    }
+}
+
+/// Lints an instrumented design: the structural rules over the enhanced
+/// design, plus the instrumentation-soundness checks. `horizon_cycles`,
+/// when set, is the emulation length the accumulators must provably
+/// survive.
+pub fn lint_instrumented(inst: &InstrumentedDesign, horizon_cycles: Option<u64>) -> LintReport {
+    let mut report = lint_design(&inst.design);
+    report.merge(soundness::check(inst, horizon_cycles));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_instrument::{instrument, InstrumentConfig};
+    use pe_power::{CharacterizeConfig, ModelLibrary};
+    use pe_rtl::builder::DesignBuilder;
+
+    fn counter_design() -> Design {
+        let mut b = DesignBuilder::new("cnt");
+        let clk = b.clock("clk");
+        let one = b.constant(1, 8);
+        let cnt = b.register_named("cnt", 8, 0, clk);
+        let nxt = b.add(cnt.q(), one);
+        b.connect_d(cnt, nxt);
+        b.output("c", cnt.q());
+        b.finish().unwrap()
+    }
+
+    fn instrumented() -> InstrumentedDesign {
+        let d = counter_design();
+        let mut lib = ModelLibrary::new();
+        lib.characterize_design(&d, &CharacterizeConfig::fast())
+            .unwrap();
+        instrument(&d, &lib, &InstrumentConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn clean_instrumented_design_is_clean_under_deny_all() {
+        let inst = instrumented();
+        let report = lint_instrumented(&inst, Some(1_000_000));
+        assert!(
+            report.is_clean(&Denylist::All),
+            "unexpected findings:\n{report}"
+        );
+        assert_eq!(report.bounds.len(), 1);
+        assert!(report.bounds[0].safe_cycles > 1_000_000);
+        assert_eq!(report.bounds[0].accumulator_bits, 48);
+        assert!(report.bounds[0].max_increment > 0);
+    }
+
+    #[test]
+    fn tight_accumulator_is_flagged_with_its_bound() {
+        let d = counter_design();
+        let mut lib = ModelLibrary::new();
+        lib.characterize_design(&d, &CharacterizeConfig::fast())
+            .unwrap();
+        // The tightest legal accumulator for 16-bit coefficients.
+        let cfg = InstrumentConfig {
+            accumulator_bits: 24,
+            ..InstrumentConfig::default()
+        };
+        let inst = instrument(&d, &lib, &cfg).unwrap();
+        let report = lint_instrumented(&inst, Some(u64::MAX / 2));
+        let bound = &report.bounds[0];
+        assert_eq!(bound.accumulator_bits, 24);
+        assert!(report.by_rule(Rule::AccOverflow).count() == 1);
+        // Without a horizon the same analysis is a bound, not a finding.
+        let quiet = lint_instrumented(&inst, None);
+        assert_eq!(quiet.by_rule(Rule::AccOverflow).count(), 0);
+        assert_eq!(quiet.bounds, report.bounds);
+    }
+}

@@ -1,0 +1,324 @@
+//! Structural lint rules over a [`Design`]: the integrity checks migrated
+//! from `pe-rtl::validate` (single driver, width rules, combinational
+//! cycles, clock discipline) plus graph-shape rules (clock-domain
+//! crossings, dead logic, unread signals, unused inputs).
+
+use crate::diag::{Diagnostic, Rule};
+use pe_rtl::validate::{topo_order, undriven_signals};
+use pe_rtl::{Design, DesignError, SignalId};
+
+/// Runs every structural rule, in rule-id order within each category.
+pub fn structural(design: &Design) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    integrity(design, &mut out);
+    clock_domain_crossings(design, &mut out);
+    liveness(design, &mut out);
+    out
+}
+
+/// The rules migrated from `Design::validate`: driver coverage, the
+/// single-driver rule, per-kind width rules, combinational cycles, and
+/// clock discipline. These reuse the same primitives `Design::validate`
+/// does, so there is one analysis engine, not two.
+fn integrity(design: &Design, out: &mut Vec<Diagnostic>) {
+    for s in undriven_signals(design) {
+        out.push(Diagnostic {
+            rule: Rule::UndrivenSignal,
+            component: None,
+            signal: Some(design.signal(s).name().to_string()),
+            message: "signal has no driver (not an input, not a component output)".into(),
+        });
+    }
+
+    // Single-driver rule. `Design` construction enforces it, but a lint
+    // engine must not trust its input was built through the checked path.
+    let mut driver_count = vec![0u32; design.signals().len()];
+    for comp in design.components() {
+        driver_count[comp.output().index()] += 1;
+    }
+    for port in design.inputs() {
+        driver_count[port.signal().index()] += 1;
+    }
+    for (i, &drivers) in driver_count.iter().enumerate() {
+        if drivers > 1 {
+            out.push(Diagnostic {
+                rule: Rule::MultipleDrivers,
+                component: None,
+                signal: Some(design.signals()[i].name().to_string()),
+                message: format!("{drivers} drivers contend for this signal"),
+            });
+        }
+    }
+
+    for comp in design.components() {
+        let in_widths: Vec<u32> = comp
+            .inputs()
+            .iter()
+            .map(|&s| design.signal(s).width())
+            .collect();
+        let out_w = design.signal(comp.output()).width();
+        if let Err(e) = comp.kind().check_widths(&in_widths, out_w) {
+            out.push(Diagnostic {
+                rule: Rule::WidthMismatch,
+                component: Some(comp.name().to_string()),
+                signal: None,
+                message: e.to_string(),
+            });
+        }
+        let sequential = comp.kind().is_sequential();
+        if sequential && comp.clock().is_none() {
+            out.push(Diagnostic {
+                rule: Rule::ClockMismatch,
+                component: Some(comp.name().to_string()),
+                signal: None,
+                message: "sequential component has no clock".into(),
+            });
+        }
+        if !sequential && comp.clock().is_some() {
+            out.push(Diagnostic {
+                rule: Rule::ClockMismatch,
+                component: Some(comp.name().to_string()),
+                signal: None,
+                message: "combinational component carries a clock".into(),
+            });
+        }
+    }
+
+    if let Err(DesignError::CombinationalCycle { component }) = topo_order(design) {
+        out.push(Diagnostic {
+            rule: Rule::CombCycle,
+            component: Some(component),
+            signal: None,
+            message: "component lies on a combinational cycle".into(),
+        });
+    }
+}
+
+/// Flags sequential components whose inputs are fed — through at least one
+/// combinational component — by a sequential source in a different clock
+/// domain. A direct register-to-register crossing is the synchronizer
+/// idiom and is allowed.
+fn clock_domain_crossings(design: &Design, out: &mut Vec<Diagnostic>) {
+    if design.clocks().len() < 2 {
+        return;
+    }
+    for comp in design.components() {
+        let Some(clk) = comp.clock() else { continue };
+        if !comp.kind().is_sequential() {
+            continue;
+        }
+        let mut reported = false;
+        for &input in comp.inputs() {
+            // Walk back through combinational drivers only; sources seen
+            // behind at least one combinational hop are unsynchronized.
+            let mut stack: Vec<SignalId> = Vec::new();
+            let mut seen = vec![false; design.signals().len()];
+            if let Some(drv) = design.driver_of(input) {
+                let d = design.component(drv);
+                if !d.kind().is_sequential() {
+                    stack.push(input);
+                    seen[input.index()] = true;
+                }
+                // A direct sequential driver is a plain (synchronizable)
+                // crossing: skip it.
+            }
+            while let Some(s) = stack.pop() {
+                let Some(drv) = design.driver_of(s) else {
+                    continue;
+                };
+                let d = design.component(drv);
+                if d.kind().is_sequential() {
+                    if d.clock().is_some_and(|c| c != clk) && !reported {
+                        out.push(Diagnostic {
+                            rule: Rule::Cdc,
+                            component: Some(comp.name().to_string()),
+                            signal: Some(design.signal(input).name().to_string()),
+                            message: format!(
+                                "input crosses from clock `{}` through combinational \
+                                 logic without synchronization",
+                                design.clocks()[d.clock().unwrap().index()].name()
+                            ),
+                        });
+                        reported = true;
+                    }
+                    continue;
+                }
+                for &up in d.inputs() {
+                    if !seen[up.index()] {
+                        seen[up.index()] = true;
+                        stack.push(up);
+                    }
+                }
+            }
+            if reported {
+                break;
+            }
+        }
+    }
+}
+
+/// Backward liveness from the design's output ports: a component whose
+/// output never transitively reaches an output port is dead. A dead
+/// component whose output has no readers at all is reported as an unread
+/// signal (the fanout-free case); one that only feeds other dead logic is
+/// reported as dead logic. Unread design inputs get their own rule.
+fn liveness(design: &Design, out: &mut Vec<Diagnostic>) {
+    let n_sigs = design.signals().len();
+    let mut read = vec![false; n_sigs];
+    for comp in design.components() {
+        for &s in comp.inputs() {
+            read[s.index()] = true;
+        }
+    }
+
+    // Live signals: those observable at an output port, propagated back
+    // through every driving component's inputs.
+    let mut live = vec![false; n_sigs];
+    let mut stack: Vec<SignalId> = Vec::new();
+    for port in design.outputs() {
+        if !live[port.signal().index()] {
+            live[port.signal().index()] = true;
+            stack.push(port.signal());
+        }
+    }
+    while let Some(s) = stack.pop() {
+        if let Some(drv) = design.driver_of(s) {
+            for &up in design.component(drv).inputs() {
+                if !live[up.index()] {
+                    live[up.index()] = true;
+                    stack.push(up);
+                }
+            }
+        }
+    }
+
+    for comp in design.components() {
+        let o = comp.output();
+        if live[o.index()] {
+            continue;
+        }
+        if read[o.index()] {
+            out.push(Diagnostic {
+                rule: Rule::DeadLogic,
+                component: Some(comp.name().to_string()),
+                signal: None,
+                message: "output never reaches a design output port (only feeds dead logic)".into(),
+            });
+        } else {
+            out.push(Diagnostic {
+                rule: Rule::UnreadSignal,
+                component: Some(comp.name().to_string()),
+                signal: Some(design.signal(o).name().to_string()),
+                message: "no component reads this signal and no output port exports it".into(),
+            });
+        }
+    }
+
+    for port in design.inputs() {
+        if !read[port.signal().index()] {
+            out.push(Diagnostic {
+                rule: Rule::UnusedInput,
+                component: None,
+                signal: Some(port.name().to_string()),
+                message: "design input is never read".into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_rtl::builder::DesignBuilder;
+
+    #[test]
+    fn clean_design_has_no_findings() {
+        let mut b = DesignBuilder::new("ok");
+        let clk = b.clock("clk");
+        let one = b.constant(1, 8);
+        let cnt = b.register_named("cnt", 8, 0, clk);
+        let nxt = b.add(cnt.q(), one);
+        b.connect_d(cnt, nxt);
+        b.output("c", cnt.q());
+        let d = b.finish().unwrap();
+        assert!(structural(&d).is_empty());
+    }
+
+    #[test]
+    fn unread_and_dead_logic_split() {
+        let mut b = DesignBuilder::new("dead");
+        let x = b.input("x", 4);
+        let live = b.not(x);
+        b.output("y", live);
+        // not1 -> not2, neither reaches an output: not2's output is
+        // unread, not1 only feeds dead logic.
+        let d1 = b.not(x);
+        let _d2 = b.not(d1);
+        let d = b.finish().unwrap();
+        let diags = structural(&d);
+        assert_eq!(
+            diags.iter().filter(|d| d.rule == Rule::DeadLogic).count(),
+            1
+        );
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.rule == Rule::UnreadSignal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn unused_input_detected() {
+        let mut b = DesignBuilder::new("ui");
+        let x = b.input("x", 4);
+        let _unused = b.input("u", 4);
+        let y = b.not(x);
+        b.output("y", y);
+        let d = b.finish().unwrap();
+        let diags = structural(&d);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::UnusedInput);
+        assert_eq!(diags[0].signal.as_deref(), Some("u"));
+    }
+
+    #[test]
+    fn unsynchronized_crossing_flagged_but_direct_crossing_allowed() {
+        let mut b = DesignBuilder::new("cdc");
+        let a_clk = b.clock("a");
+        let b_clk = b.clock("b");
+        let one = b.constant(1, 4);
+        let src = b.register_named("src", 4, 0, a_clk);
+        let nxt = b.add(src.q(), one);
+        b.connect_d(src, nxt);
+        // Direct reg-to-reg crossing: the synchronizer idiom, allowed.
+        let sync = b.register_named("sync", 4, 0, b_clk);
+        b.connect_d(sync, src.q());
+        // Crossing through combinational logic: flagged.
+        let mangled = b.not(src.q());
+        let bad = b.register_named("bad", 4, 0, b_clk);
+        b.connect_d(bad, mangled);
+        b.output("s", sync.q());
+        b.output("t", bad.q());
+        let d = b.finish().unwrap();
+        let diags = structural(&d);
+        let cdc: Vec<_> = diags.iter().filter(|d| d.rule == Rule::Cdc).collect();
+        assert_eq!(cdc.len(), 1);
+        assert_eq!(cdc[0].component.as_deref(), Some("bad_reg"));
+    }
+
+    #[test]
+    fn combinational_cycle_flagged() {
+        use pe_rtl::{ComponentKind, Design};
+        let mut d = Design::new("cyc");
+        let a = d.add_signal("a", 1).unwrap();
+        let b2 = d.add_signal("b", 1).unwrap();
+        d.add_component("n1", ComponentKind::Not, &[a], b2, None)
+            .unwrap();
+        d.add_component("n2", ComponentKind::Not, &[b2], a, None)
+            .unwrap();
+        let diags = structural(&d);
+        assert!(diags.iter().any(|x| x.rule == Rule::CombCycle));
+    }
+}

@@ -1,0 +1,288 @@
+//! Instrumentation-soundness checks over the output of
+//! `pe-instrument::transform`: model coverage, strobe reachability, and
+//! interval-proven accumulator overflow bounds.
+
+use crate::dataflow::{analyze, Analysis};
+use crate::diag::{AccBound, Diagnostic, LintReport, Rule};
+use pe_instrument::InstrumentedDesign;
+use pe_rtl::{ComponentKind, Design, SignalId};
+use pe_util::bits;
+use std::collections::BTreeMap;
+
+/// Runs every soundness check. `horizon_cycles` is the emulation length
+/// the accumulators must survive; when set, a proven-safe bound below it
+/// raises [`Rule::AccOverflow`]. The proven bounds themselves are always
+/// recorded in the report.
+pub fn check(inst: &InstrumentedDesign, horizon_cycles: Option<u64>) -> LintReport {
+    let mut report = LintReport::default();
+    coverage(inst, &mut report.diagnostics);
+    strobe_reach(inst, &mut report.diagnostics);
+    if let Some(analysis) = analyze(&inst.design) {
+        overflow(inst, &analysis, horizon_cycles, &mut report);
+        aggregator_wrap(inst, &analysis, &mut report.diagnostics);
+    }
+    report
+}
+
+/// Every sequential component of the *original* design must be covered by
+/// exactly one model binding; every binding must resolve to one original
+/// component.
+fn coverage(inst: &InstrumentedDesign, out: &mut Vec<Diagnostic>) {
+    let design = &inst.design;
+    let mut bound: BTreeMap<&str, usize> = BTreeMap::new();
+    for b in &inst.bindings {
+        *bound.entry(b.component.as_str()).or_insert(0) += 1;
+    }
+
+    for comp in design
+        .components()
+        .iter()
+        .take(inst.original_components)
+        .filter(|c| c.kind().is_sequential())
+    {
+        if bound.get(comp.name()).copied().unwrap_or(0) == 0 {
+            out.push(Diagnostic {
+                rule: Rule::UncoveredSequential,
+                component: Some(comp.name().to_string()),
+                signal: None,
+                message: "sequential component has no power-model binding".into(),
+            });
+        }
+    }
+
+    for (name, count) in &bound {
+        if *count > 1 {
+            out.push(Diagnostic {
+                rule: Rule::OrphanModel,
+                component: Some((*name).to_string()),
+                signal: None,
+                message: format!("{count} model bindings target one component"),
+            });
+        }
+    }
+    for b in &inst.bindings {
+        match design.find_component(&b.component) {
+            None => out.push(Diagnostic {
+                rule: Rule::OrphanModel,
+                component: Some(b.component.clone()),
+                signal: None,
+                message: "model binding targets a component that does not exist".into(),
+            }),
+            Some(id) if id.index() >= inst.original_components => out.push(Diagnostic {
+                rule: Rule::OrphanModel,
+                component: Some(b.component.clone()),
+                signal: None,
+                message: "model binding targets generated estimation hardware".into(),
+            }),
+            Some(_) => {}
+        }
+        if design.find_signal(&b.model_output).is_none() {
+            out.push(Diagnostic {
+                rule: Rule::OrphanModel,
+                component: Some(b.component.clone()),
+                signal: Some(b.model_output.clone()),
+                message: "model output signal does not exist".into(),
+            });
+        }
+    }
+}
+
+/// Every domain that hosts models must have its strobe hardware, and the
+/// strobe must combinationally reach every snapshot-queue enable and the
+/// accumulator enable in that domain.
+fn strobe_reach(inst: &InstrumentedDesign, out: &mut Vec<Diagnostic>) {
+    let design = &inst.design;
+    for b in &inst.bindings {
+        if !inst.domains.iter().any(|d| d.domain == b.domain) {
+            out.push(Diagnostic {
+                rule: Rule::MissingStrobe,
+                component: Some(b.component.clone()),
+                signal: None,
+                message: format!(
+                    "clock domain {} hosts models but has no strobe/accumulator hardware",
+                    b.domain
+                ),
+            });
+        }
+    }
+
+    for dom in &inst.domains {
+        let Some(strobe) = design.find_signal(&dom.strobe) else {
+            out.push(Diagnostic {
+                rule: Rule::MissingStrobe,
+                component: None,
+                signal: Some(dom.strobe.clone()),
+                message: format!("strobe signal for clock `{}` does not exist", dom.clock),
+            });
+            continue;
+        };
+
+        for binding in inst.bindings.iter().filter(|b| b.domain == dom.domain) {
+            for snap_name in &binding.snapshots {
+                let Some(id) = design.find_component(snap_name) else {
+                    out.push(Diagnostic {
+                        rule: Rule::StrobeUnreachable,
+                        component: Some(snap_name.clone()),
+                        signal: None,
+                        message: "snapshot register does not exist".into(),
+                    });
+                    continue;
+                };
+                let comp = design.component(id);
+                let enable = match comp.kind() {
+                    ComponentKind::Register {
+                        has_enable: true, ..
+                    } => comp.inputs()[1],
+                    _ => {
+                        out.push(Diagnostic {
+                            rule: Rule::StrobeUnreachable,
+                            component: Some(snap_name.clone()),
+                            signal: None,
+                            message: "snapshot register has no strobe enable".into(),
+                        });
+                        continue;
+                    }
+                };
+                if !fan_in_contains(design, enable, strobe) {
+                    out.push(Diagnostic {
+                        rule: Rule::StrobeUnreachable,
+                        component: Some(snap_name.clone()),
+                        signal: Some(dom.strobe.clone()),
+                        message: "snapshot enable is not driven by the domain strobe".into(),
+                    });
+                }
+            }
+        }
+
+        match design.find_component(&dom.accumulator) {
+            None => out.push(Diagnostic {
+                rule: Rule::MissingStrobe,
+                component: Some(dom.accumulator.clone()),
+                signal: None,
+                message: format!("accumulator for clock `{}` does not exist", dom.clock),
+            }),
+            Some(id) => {
+                let comp = design.component(id);
+                let enable = match comp.kind() {
+                    ComponentKind::Register {
+                        has_enable: true, ..
+                    } => Some(comp.inputs()[1]),
+                    _ => None,
+                };
+                match enable {
+                    Some(en) if fan_in_contains(design, en, strobe) => {}
+                    _ => out.push(Diagnostic {
+                        rule: Rule::StrobeUnreachable,
+                        component: Some(dom.accumulator.clone()),
+                        signal: Some(dom.strobe.clone()),
+                        message: "accumulator enable is not driven by the domain strobe".into(),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+/// Whether `target` lies in the combinational fan-in cone of `start`
+/// (including `start` itself). The walk stops at sequential outputs and
+/// design inputs.
+fn fan_in_contains(design: &Design, start: SignalId, target: SignalId) -> bool {
+    let mut seen = vec![false; design.signals().len()];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    while let Some(s) = stack.pop() {
+        if s == target {
+            return true;
+        }
+        let Some(drv) = design.driver_of(s) else {
+            continue;
+        };
+        let comp = design.component(drv);
+        if comp.kind().is_sequential() {
+            continue;
+        }
+        for &up in comp.inputs() {
+            if !seen[up.index()] {
+                seen[up.index()] = true;
+                stack.push(up);
+            }
+        }
+    }
+    false
+}
+
+/// Proves a per-domain overflow bound: the aggregate signal's interval
+/// upper bound is the worst-case per-strobe increment, so the `W`-bit
+/// accumulator survives `⌊(2^W − 1) / max_increment⌋` strobes. The bound
+/// is recorded always; it becomes an [`Rule::AccOverflow`] finding only
+/// when a requested horizon exceeds it.
+fn overflow(
+    inst: &InstrumentedDesign,
+    analysis: &Analysis,
+    horizon_cycles: Option<u64>,
+    report: &mut LintReport,
+) {
+    let design = &inst.design;
+    for dom in &inst.domains {
+        let Some(acc_id) = design.find_component(&dom.accumulator) else {
+            continue;
+        };
+        let Some(agg) = design.find_signal(&dom.aggregate) else {
+            continue;
+        };
+        let acc_bits = design.signal(design.component(acc_id).output()).width();
+        let max_increment = analysis.interval(agg).hi;
+        let capacity = bits::mask(acc_bits);
+        // A zero max increment (all coefficients quantized away) can
+        // never overflow.
+        let safe_cycles = capacity.checked_div(max_increment).map_or(u64::MAX, |n| {
+            n.saturating_mul(u64::from(inst.strobe_period))
+        });
+        report.bounds.push(AccBound {
+            domain: dom.domain,
+            clock: dom.clock.clone(),
+            accumulator_bits: acc_bits,
+            max_increment,
+            strobe_period: inst.strobe_period,
+            safe_cycles,
+        });
+        if let Some(h) = horizon_cycles {
+            if safe_cycles < h {
+                report.diagnostics.push(Diagnostic {
+                    rule: Rule::AccOverflow,
+                    component: Some(dom.accumulator.clone()),
+                    signal: Some(dom.aggregate.clone()),
+                    message: format!(
+                        "accumulator ({acc_bits} bits) can overflow after {safe_cycles} \
+                         cycles, before the {h}-cycle horizon (worst-case per-strobe \
+                         increment {max_increment})"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Flags aggregator adders whose true sum can exceed their output width:
+/// a per-strobe sample would wrap *before* reaching the accumulator, which
+/// the cycle bound cannot account for. The accumulator's own feedback
+/// adder is excluded — its wrap *is* the cycle bound.
+fn aggregator_wrap(inst: &InstrumentedDesign, analysis: &Analysis, out: &mut Vec<Diagnostic>) {
+    let design = &inst.design;
+    for (idx, comp) in design.components().iter().enumerate() {
+        if idx < inst.original_components {
+            continue;
+        }
+        if !comp.name().contains("agg_add") {
+            continue;
+        }
+        if analysis.add_may_wrap[idx] {
+            out.push(Diagnostic {
+                rule: Rule::AggWrap,
+                component: Some(comp.name().to_string()),
+                signal: Some(design.signal(comp.output()).name().to_string()),
+                message: "aggregator adder can wrap within one strobe sample".into(),
+            });
+        }
+    }
+}

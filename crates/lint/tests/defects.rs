@@ -1,0 +1,147 @@
+//! Seeded-defect suite: each test injects one class of instrumentation
+//! or design defect and asserts the expected rule id fires — and that
+//! the unbroken baseline stays clean, so every catch is attributable to
+//! the seeded defect alone.
+
+use pe_instrument::{instrument, InstrumentConfig, InstrumentedDesign};
+use pe_lint::{lint_design, lint_instrumented, Denylist, Rule};
+use pe_power::{CharacterizeConfig, ModelLibrary};
+use pe_rtl::builder::DesignBuilder;
+use pe_rtl::Design;
+
+fn pipeline_design() -> Design {
+    let mut b = DesignBuilder::new("pipe");
+    let clk = b.clock("clk");
+    let x = b.input("x", 8);
+    let s1 = b.pipeline_reg("s1", x, 0, clk);
+    let inv = b.not(s1);
+    let s2 = b.pipeline_reg("s2", inv, 0, clk);
+    b.output("y", s2);
+    b.finish().unwrap()
+}
+
+fn instrumented(cfg: &InstrumentConfig) -> InstrumentedDesign {
+    let d = pipeline_design();
+    let mut lib = ModelLibrary::new();
+    lib.characterize_design(&d, &CharacterizeConfig::fast())
+        .unwrap();
+    instrument(&d, &lib, cfg).unwrap()
+}
+
+fn baseline() -> InstrumentedDesign {
+    instrumented(&InstrumentConfig::default())
+}
+
+#[test]
+fn baseline_is_clean_so_each_defect_is_attributable() {
+    let report = lint_instrumented(&baseline(), Some(100_000));
+    assert!(
+        report.is_clean(&Denylist::All),
+        "baseline not clean:\n{report}"
+    );
+}
+
+#[test]
+fn injected_cdc_fires_cdc() {
+    // A two-clock design where the crossing passes through combinational
+    // logic before the capturing register: the unsynchronized idiom.
+    let mut b = DesignBuilder::new("cdc_defect");
+    let a_clk = b.clock("a");
+    let b_clk = b.clock("b");
+    let one = b.constant(1, 4);
+    let src = b.register_named("src", 4, 0, a_clk);
+    let nxt = b.add(src.q(), one);
+    b.connect_d(src, nxt);
+    let mangled = b.not(src.q());
+    let dst = b.register_named("dst", 4, 0, b_clk);
+    b.connect_d(dst, mangled);
+    b.output("y", dst.q());
+    let d = b.finish().unwrap();
+    let report = lint_design(&d);
+    let cdc: Vec<_> = report.by_rule(Rule::Cdc).collect();
+    assert_eq!(cdc.len(), 1);
+    assert_eq!(cdc[0].component.as_deref(), Some("dst_reg"));
+    assert_eq!(cdc[0].rule.id(), "cdc");
+    // Under --deny cdc the warning is a hard error.
+    let deny = Denylist::parse("cdc").unwrap();
+    assert!(!report.is_clean(&deny));
+    assert!(report.is_clean(&Denylist::None));
+}
+
+#[test]
+fn shrunk_accumulator_fires_acc_overflow() {
+    let inst = instrumented(&InstrumentConfig {
+        accumulator_bits: 24,
+        ..InstrumentConfig::default()
+    });
+    let report = lint_instrumented(&inst, Some(u64::MAX / 2));
+    let hits: Vec<_> = report.by_rule(Rule::AccOverflow).collect();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].rule.id(), "acc-overflow");
+    // The finding carries the proven bound: the message names the cycle
+    // count at which overflow becomes possible, and the bound records it.
+    assert_eq!(report.bounds.len(), 1);
+    let safe = report.bounds[0].safe_cycles;
+    assert!(hits[0].message.contains(&safe.to_string()));
+}
+
+#[test]
+fn deleted_strobe_fires_missing_strobe() {
+    let mut inst = baseline();
+    // Sever the recorded strobe: the metadata now names a signal that
+    // does not exist in the design, as if the generator never emitted it.
+    inst.domains[0].strobe = "pe_strobe_deleted".into();
+    let report = lint_instrumented(&inst, None);
+    assert!(report.by_rule(Rule::MissingStrobe).count() >= 1);
+    assert!(
+        !report.is_clean(&Denylist::None),
+        "missing-strobe is an error"
+    );
+}
+
+#[test]
+fn rerouted_strobe_fires_strobe_unreachable() {
+    let mut inst = baseline();
+    // The strobe signal exists but is not the one feeding the snapshot
+    // queues' enables: reachability, not existence, must be checked.
+    let decoy = inst
+        .design
+        .find_input("x")
+        .map(|s| inst.design.signal(s).name().to_string())
+        .unwrap();
+    inst.domains[0].strobe = decoy;
+    let report = lint_instrumented(&inst, None);
+    assert!(report.by_rule(Rule::StrobeUnreachable).count() >= 1);
+}
+
+#[test]
+fn dropped_binding_fires_uncovered_sequential() {
+    let mut inst = baseline();
+    let victim = inst.bindings.pop().unwrap();
+    let report = lint_instrumented(&inst, None);
+    let uncovered: Vec<_> = report.by_rule(Rule::UncoveredSequential).collect();
+    assert_eq!(uncovered.len(), 1);
+    assert_eq!(
+        uncovered[0].component.as_deref(),
+        Some(victim.component.as_str())
+    );
+}
+
+#[test]
+fn renamed_binding_fires_orphan_model() {
+    let mut inst = baseline();
+    inst.bindings[0].component = "no_such_component".into();
+    let report = lint_instrumented(&inst, None);
+    assert!(report.by_rule(Rule::OrphanModel).count() >= 1);
+    // The victim register also loses its coverage.
+    assert!(report.by_rule(Rule::UncoveredSequential).count() >= 1);
+}
+
+#[test]
+fn duplicated_binding_fires_orphan_model() {
+    let mut inst = baseline();
+    let dup = inst.bindings[0].clone();
+    inst.bindings.push(dup);
+    let report = lint_instrumented(&inst, None);
+    assert!(report.by_rule(Rule::OrphanModel).count() >= 1);
+}

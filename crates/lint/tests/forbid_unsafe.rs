@@ -1,0 +1,30 @@
+//! The workspace's no-`unsafe` policy, checked as a lint: every crate
+//! root (and the umbrella crate) must carry `#![forbid(unsafe_code)]`,
+//! so a stray `unsafe` block anywhere is a compile error, not a review
+//! judgment call.
+
+use std::path::Path;
+
+#[test]
+fn every_crate_forbids_unsafe_code() {
+    let workspace = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut roots = vec![workspace.join("src/lib.rs")];
+    for entry in std::fs::read_dir(workspace.join("crates")).unwrap() {
+        let lib = entry.unwrap().path().join("src/lib.rs");
+        if lib.is_file() {
+            roots.push(lib);
+        }
+    }
+    assert!(
+        roots.len() >= 14,
+        "expected the full workspace, saw {roots:?}"
+    );
+    for root in roots {
+        let text = std::fs::read_to_string(&root).unwrap();
+        assert!(
+            text.contains("#![forbid(unsafe_code)]"),
+            "{} does not forbid unsafe code",
+            root.display()
+        );
+    }
+}

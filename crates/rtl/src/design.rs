@@ -530,12 +530,10 @@ impl Design {
     ///
     /// Returns the first violation found.
     pub fn validate(&self) -> Result<(), DesignError> {
-        for (i, sig) in self.signals.iter().enumerate() {
-            if self.drivers[i].is_none() {
-                return Err(DesignError::UndrivenSignal {
-                    signal: sig.name.clone(),
-                });
-            }
+        if let Some(&s) = crate::validate::undriven_signals(self).first() {
+            return Err(DesignError::UndrivenSignal {
+                signal: self.signals[s.index()].name.clone(),
+            });
         }
         crate::validate::topo_order(self)?;
         Ok(())

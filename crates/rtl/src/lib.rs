@@ -52,7 +52,7 @@ mod design;
 pub mod hierarchy;
 pub mod stats;
 pub mod text;
-mod validate;
+pub mod validate;
 
 pub use component::{Component, ComponentKind, WidthError};
 pub use design::{ClockDomain, ClockId, ComponentId, Design, DesignError, Port, Signal, SignalId};

@@ -1,6 +1,20 @@
-//! Global design validation: combinational topological ordering.
+//! Global design validation: combinational topological ordering and
+//! driver coverage. These are the primitive analyses shared by
+//! [`Design::validate`] and the `pe-lint` rule engine.
 
-use crate::design::{ComponentId, Design, DesignError};
+use crate::design::{ComponentId, Design, DesignError, SignalId};
+
+/// Returns every signal that has no driver: neither a design input nor
+/// any component's output. Sorted by signal index.
+pub fn undriven_signals(design: &Design) -> Vec<SignalId> {
+    design
+        .signals()
+        .iter()
+        .enumerate()
+        .map(|(i, _)| SignalId(i as u32))
+        .filter(|&s| design.driver_of(s).is_none() && !design.is_input_driven(s))
+        .collect()
+}
 
 /// Computes a topological evaluation order of the *combinational*
 /// components: if component `B` reads a signal driven by combinational

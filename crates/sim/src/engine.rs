@@ -2,6 +2,7 @@
 
 use pe_rtl::{ComponentId, ComponentKind, Design, DesignError, SignalId};
 use pe_util::bits;
+use pe_util::PortError;
 
 /// Pre-compiled evaluation record for one combinational component.
 #[derive(Debug)]
@@ -168,16 +169,35 @@ impl<'a> Simulator<'a> {
 
     /// Drives a top-level input by port name.
     ///
+    /// # Errors
+    ///
+    /// [`PortError::NoSuchInput`] if no such input port exists, or
+    /// [`PortError::ValueTooWide`] if the value does not fit.
+    pub fn try_set_input_by_name(&mut self, name: &str, value: u64) -> Result<(), PortError> {
+        let sig = self
+            .design
+            .find_input(name)
+            .ok_or_else(|| PortError::NoSuchInput(name.to_string()))?;
+        if !self.design.value_fits(sig, value) {
+            return Err(PortError::ValueTooWide {
+                port: name.to_string(),
+                value,
+                width: self.design.signal(sig).width(),
+            });
+        }
+        self.set_input(sig, value);
+        Ok(())
+    }
+
+    /// Drives a top-level input by port name.
+    ///
     /// # Panics
     ///
     /// Panics if no such input port exists (see [`Simulator::set_input`]
     /// for value checks).
     pub fn set_input_by_name(&mut self, name: &str, value: u64) {
-        let sig = self
-            .design
-            .find_input(name)
-            .unwrap_or_else(|| panic!("no input port `{name}`"));
-        self.set_input(sig, value);
+        self.try_set_input_by_name(name, value)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     fn settle(&mut self) {
@@ -203,15 +223,24 @@ impl<'a> Simulator<'a> {
 
     /// Current value of a named output port.
     ///
+    /// # Errors
+    ///
+    /// [`PortError::NoSuchOutput`] if no such output port exists.
+    pub fn try_output(&mut self, name: &str) -> Result<u64, PortError> {
+        let sig = self
+            .design
+            .find_output(name)
+            .ok_or_else(|| PortError::NoSuchOutput(name.to_string()))?;
+        Ok(self.value(sig))
+    }
+
+    /// Current value of a named output port.
+    ///
     /// # Panics
     ///
     /// Panics if no such output port exists.
     pub fn output(&mut self, name: &str) -> u64 {
-        let sig = self
-            .design
-            .find_output(name)
-            .unwrap_or_else(|| panic!("no output port `{name}`"));
-        self.value(sig)
+        self.try_output(name).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Settles and returns a consistent snapshot of **all** signal values,
@@ -347,6 +376,37 @@ mod tests {
         b.connect_d(count, next);
         b.output("count", count.q());
         b.finish().unwrap()
+    }
+
+    #[test]
+    fn named_port_lookups_report_errors() {
+        let d = counter();
+        let mut sim = Simulator::new(&d).unwrap();
+        assert_eq!(
+            sim.try_set_input_by_name("reset", 1),
+            Err(PortError::NoSuchInput("reset".into()))
+        );
+        assert_eq!(
+            sim.try_output("cout"),
+            Err(PortError::NoSuchOutput("cout".into()))
+        );
+        assert_eq!(sim.try_output("count"), Ok(0));
+        // Width check goes through the error channel too.
+        let mut b = DesignBuilder::new("w");
+        let x = b.input("x", 4);
+        b.output("y", x);
+        let dw = b.finish().unwrap();
+        let mut simw = Simulator::new(&dw).unwrap();
+        assert_eq!(
+            simw.try_set_input_by_name("x", 0x10),
+            Err(PortError::ValueTooWide {
+                port: "x".into(),
+                value: 0x10,
+                width: 4
+            })
+        );
+        assert_eq!(simw.try_set_input_by_name("x", 0xF), Ok(()));
+        assert_eq!(simw.try_output("y"), Ok(0xF));
     }
 
     #[test]

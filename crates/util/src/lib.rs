@@ -16,6 +16,8 @@
 //! * [`bits`] — bit-twiddling helpers for transition counting.
 //! * [`hash`] — portable FNV-1a-128 content hashing for cache keys and
 //!   artifact integrity (std's `SipHash` is unspecified across releases).
+//! * [`port`] — the named-port lookup error shared by the RTL, gate-level,
+//!   and FPGA execution engines.
 //!
 //! # Example
 //!
@@ -35,5 +37,8 @@ pub mod bits;
 pub mod fixed;
 pub mod hash;
 pub mod linalg;
+pub mod port;
 pub mod rng;
 pub mod stats;
+
+pub use port::PortError;

@@ -1,0 +1,68 @@
+//! Named-port lookup errors shared by every execution engine.
+//!
+//! The RTL simulator, the gate-level simulator, and the FPGA emulation
+//! platform all expose "drive input by name" / "read output by name"
+//! entry points. A misspelled port is a caller bug, but one that testbench
+//! authors hit constantly — so each engine offers a `try_*` variant that
+//! returns this error (naming the port and direction) alongside the
+//! panicking convenience wrapper.
+
+use std::fmt;
+
+/// A named-port lookup failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortError {
+    /// No input port with this name.
+    NoSuchInput(String),
+    /// No output port with this name.
+    NoSuchOutput(String),
+    /// The value does not fit the port's width.
+    ValueTooWide {
+        /// The port's name.
+        port: String,
+        /// The offered value.
+        value: u64,
+        /// The port's width in bits.
+        width: u32,
+    },
+}
+
+impl fmt::Display for PortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortError::NoSuchInput(name) => write!(f, "no input port `{name}`"),
+            PortError::NoSuchOutput(name) => write!(f, "no output port `{name}`"),
+            PortError::ValueTooWide { port, value, width } => {
+                write!(f, "value {value:#x} does not fit `{port}` ({width} bits)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PortError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_port() {
+        assert_eq!(
+            PortError::NoSuchInput("strt".into()).to_string(),
+            "no input port `strt`"
+        );
+        assert_eq!(
+            PortError::NoSuchOutput("totl".into()).to_string(),
+            "no output port `totl`"
+        );
+        assert_eq!(
+            PortError::ValueTooWide {
+                port: "x".into(),
+                value: 0x100,
+                width: 8
+            }
+            .to_string(),
+            "value 0x100 does not fit `x` (8 bits)"
+        );
+    }
+}

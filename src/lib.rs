@@ -58,6 +58,7 @@ pub use pe_gate as gate;
 pub use pe_harness as harness;
 pub use pe_hls as hls;
 pub use pe_instrument as instrument;
+pub use pe_lint as lint;
 pub use pe_power as power;
 pub use pe_rtl as rtl;
 pub use pe_sim as sim;
