@@ -1,0 +1,93 @@
+//! The bit-parallel throughput benchmark: runs every suite design's
+//! testbench 64 ways — 64 serial single-lane simulations vs one 64-lane
+//! wide simulation — verifies the waveforms bit-identical lane by lane,
+//! and writes the measurements to `BENCH_wide.json`.
+//!
+//! Usage: `cargo run -p pe-bench --release --bin wide --
+//! [--scale test] [--jobs N] [--out PATH]`
+//!
+//! `--jobs 1` (the default) keeps the measured wall-clock columns
+//! uncontended; higher counts overlap designs and are useful only for a
+//! quick correctness pass.
+
+use pe_bench::cli::{BenchArgs, CliError, FlagExt};
+use pe_designs::suite::all_benchmarks;
+use pe_harness::wide::{geomean_speedup, render_json, run_wide_bench};
+use pe_harness::{Fanout, Metrics, StderrLines};
+use std::path::PathBuf;
+
+struct WideExt {
+    out: PathBuf,
+}
+
+impl FlagExt for WideExt {
+    fn flag(
+        &mut self,
+        flag: &str,
+        value: &mut dyn FnMut(&str) -> Result<String, CliError>,
+    ) -> Result<bool, CliError> {
+        match flag {
+            "--out" => self.out = PathBuf::from(value("--out")?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+fn main() {
+    let mut ext = WideExt {
+        out: PathBuf::from("BENCH_wide.json"),
+    };
+    let args = BenchArgs::from_env_with(
+        "wide",
+        &mut ext,
+        "\x20 --out PATH           result JSON path (default: BENCH_wide.json)\n",
+    );
+    let benchmarks = all_benchmarks();
+
+    println!(
+        "bit-parallel evaluation — 64-lane wide engine vs serial ({:?} scale, {} job(s))",
+        args.scale, args.jobs
+    );
+    println!("(each design: 64 seeded testbench shards; every lane's waveform digest is");
+    println!(" verified bit-identical between the engines before speedup is reported)");
+    println!();
+
+    let progress = StderrLines::new("wide", false);
+    let metrics = Metrics::new();
+    let sink = Fanout(vec![&progress, &metrics]);
+    let rows = match run_wide_bench(&benchmarks, args.scale, args.jobs, &sink) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("[wide] {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "{:<14} {:>9} {:>6} {:>12} {:>12} {:>9}  digest",
+        "design", "cycles", "lanes", "serial (s)", "wide (s)", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>9} {:>6} {:>12.4} {:>12.4} {:>8.1}x  {}",
+            r.design, r.cycles, r.lanes, r.serial_seconds, r.wide_seconds, r.speedup, r.digest
+        );
+    }
+    println!();
+    println!(
+        "geometric-mean speedup: {:.1}x (64 lanes per word op)",
+        geomean_speedup(&rows)
+    );
+
+    let doc = render_json(&rows, args.scale);
+    match std::fs::write(&ext.out, &doc) {
+        Ok(()) => println!("wrote {}", ext.out.display()),
+        Err(e) => {
+            eprintln!("[wide] cannot write {}: {e}", ext.out.display());
+            std::process::exit(1);
+        }
+    }
+    println!();
+    print!("{}", metrics.render());
+}

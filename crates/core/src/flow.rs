@@ -90,6 +90,24 @@ impl FlowResult {
             self.partition.clock_divisor,
         )
     }
+
+    /// Models the emulation time when the host drains one power sample per
+    /// strobe window, batched by the model's lane-packed readback.
+    pub fn emulation_time_sampled(
+        &self,
+        model: &EmulationTimeModel,
+        cycles: u64,
+    ) -> EmulationEstimate {
+        let strobe = u64::from(self.instrumented.strobe_period.max(1));
+        pe_fpga::emulate::estimate_emulation_time_with_samples(
+            &self.mapped,
+            &self.timing,
+            model,
+            cycles,
+            1,
+            cycles.div_ceil(strobe),
+        )
+    }
 }
 
 /// Power read back from an emulation run.

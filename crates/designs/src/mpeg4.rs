@@ -35,7 +35,7 @@ use pe_hls::dfg::{lower, schedule, Dfg, ResourceBudget};
 use pe_hls::expr::Expr;
 use pe_hls::fsmd::FsmdBuilder;
 use pe_rtl::Design;
-use pe_sim::{Simulator, Testbench};
+use pe_sim::{SimControl, Testbench};
 use pe_util::rng::Xoshiro;
 
 /// Frame edge length in pixels.
@@ -533,7 +533,7 @@ impl Testbench for BitstreamFeeder {
         self.cycles
     }
 
-    fn apply(&mut self, _cycle: u64, sim: &mut Simulator<'_>) {
+    fn apply(&mut self, _cycle: u64, sim: &mut dyn SimControl) {
         if self.consumed_last {
             self.pos += 1;
             self.consumed_last = false;
@@ -545,7 +545,7 @@ impl Testbench for BitstreamFeeder {
         }
     }
 
-    fn observe(&mut self, _cycle: u64, sim: &mut Simulator<'_>) {
+    fn observe(&mut self, _cycle: u64, sim: &mut dyn SimControl) {
         self.consumed_last = sim.output("consume") == 1;
     }
 }
@@ -553,7 +553,7 @@ impl Testbench for BitstreamFeeder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pe_sim::run;
+    use pe_sim::{run, Simulator};
 
     #[test]
     fn decodes_blocks_matching_the_reference_model() {

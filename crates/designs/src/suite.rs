@@ -8,7 +8,7 @@
 
 use crate::mpeg4::{encode_frame, synthetic_blocks, BitstreamFeeder};
 use pe_rtl::Design;
-use pe_sim::{Simulator, Testbench};
+use pe_sim::{SimControl, Testbench};
 use pe_util::rng::Xoshiro;
 
 /// Testbench length scale.
@@ -47,7 +47,7 @@ impl Testbench for RandomStream {
         self.cycles
     }
 
-    fn apply(&mut self, _cycle: u64, sim: &mut Simulator<'_>) {
+    fn apply(&mut self, _cycle: u64, sim: &mut dyn SimControl) {
         for (name, value) in &self.fixed {
             sim.set_input_by_name(name, *value);
         }
@@ -81,6 +81,14 @@ impl Benchmark {
 
     /// Builds a fresh testbench of the given length.
     pub fn testbench(&self, cycles: u64) -> Box<dyn Testbench> {
+        self.testbench_shard(cycles, 0)
+    }
+
+    /// Builds shard `shard` of this benchmark's workload: the same kind of
+    /// stimulus with a shard-derived seed, so independent shards can fill
+    /// the 64 lanes of a bit-parallel pack. Shard 0 is the canonical
+    /// [`Benchmark::testbench`] stimulus.
+    pub fn testbench_shard(&self, cycles: u64, shard: u64) -> Box<dyn Testbench> {
         match &self.workload {
             Workload::Random {
                 fixed,
@@ -90,11 +98,12 @@ impl Benchmark {
                 cycles,
                 fixed: fixed.clone(),
                 random: random.clone(),
-                rng: Xoshiro::new(*seed),
+                rng: Xoshiro::new(shard_seed(*seed, shard)),
             }),
             Workload::Bitstream { seed, qscale } => {
                 // Worst case one bit per cycle: synthesize blocks until the
                 // stream covers the run.
+                let seed = shard_seed(*seed, shard);
                 let mut bits = Vec::new();
                 let mut round = 0u64;
                 while (bits.len() as u64) < cycles {
@@ -106,10 +115,23 @@ impl Benchmark {
         }
     }
 
+    /// Builds `n` independent workload shards (shards `0..n`), ready to
+    /// occupy the lanes of a [`pe_sim::WideSimulator`] pack.
+    pub fn testbench_shards(&self, cycles: u64, n: usize) -> Vec<Box<dyn Testbench>> {
+        (0..n as u64)
+            .map(|s| self.testbench_shard(cycles, s))
+            .collect()
+    }
+
     /// Builds the testbench at a named scale.
     pub fn testbench_at(&self, scale: Scale) -> Box<dyn Testbench> {
         self.testbench(self.cycles(scale))
     }
+}
+
+/// Derives a per-shard RNG seed; shard 0 keeps the canonical seed.
+fn shard_seed(seed: u64, shard: u64) -> u64 {
+    seed ^ shard.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 /// Builds the full seven-design suite of the paper's Figure 3, ordered as

@@ -1,0 +1,312 @@
+//! Bit-parallel 64-lane execution of a mapped LUT netlist.
+//!
+//! [`WideLutSimulator`] mirrors [`crate::emulate::LutSimulator`] with one
+//! `u64` per net (bit `l` = lane `l`), the same lane packing as the wide
+//! RTL and gate engines. Each K-input LUT evaluates over all 64 lanes by
+//! folding its truth table as a mux tree of word ops: the 2^K constant
+//! truth rows collapse pairwise on each input's slice
+//! (`new[e] = (!x & old[2e]) | (x & old[2e+1])`), costing ~2^K word ops
+//! per LUT instead of 64 serial table lookups. This is the closest
+//! software analogue of what the FPGA itself does — every LUT in the
+//! fabric evaluates simultaneously; here every *lane* of each LUT does.
+
+use crate::lut::LutNetlist;
+use pe_gate::netlist::NetId;
+use pe_util::lanes::{unpack_lanes, LANES};
+use pe_util::PortError;
+
+/// Pending BRAM commit: the read-out lanes plus, when any lane wrote,
+/// the per-lane write address/data and the write-enable mask.
+type MemOp = ([u64; LANES], Option<([u64; LANES], [u64; LANES], u64)>);
+
+/// Cycle-accurate, 64-lane simulator for a mapped netlist.
+#[derive(Debug)]
+pub struct WideLutSimulator<'a> {
+    netlist: &'a LutNetlist,
+    values: Vec<u64>,
+    /// Per-BRAM backing store, `state[word * LANES + lane]`.
+    mem_state: Vec<Vec<u64>>,
+    dirty: bool,
+    cycle: u64,
+}
+
+impl<'a> WideLutSimulator<'a> {
+    /// Creates a simulator with every lane at power-on state.
+    pub fn new(netlist: &'a LutNetlist) -> Self {
+        let mut values = vec![0u64; netlist.net_count()];
+        for ff in netlist.ffs() {
+            values[ff.q.index()] = if ff.init { !0u64 } else { 0 };
+        }
+        let mem_state = netlist
+            .brams()
+            .iter()
+            .map(|b| {
+                let mut state = vec![0u64; b.words as usize * LANES];
+                for (w, &v) in b.init.iter().enumerate() {
+                    state[w * LANES..(w + 1) * LANES].fill(v);
+                }
+                state
+            })
+            .collect();
+        Self {
+            netlist,
+            values,
+            mem_state,
+            dirty: true,
+            cycle: 0,
+        }
+    }
+
+    /// Number of clock edges stepped (shared by all lanes).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn settle(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        for lut in self.netlist.luts() {
+            let k = lut.inputs.len();
+            // Fold the truth table over the input slices: start from the
+            // 2^k constant rows (all-0 / all-1 words) and halve per input.
+            let mut rows = [0u64; 16];
+            let n = 1usize << k;
+            for (e, row) in rows.iter_mut().enumerate().take(n) {
+                *row = if (lut.truth >> e) & 1 == 1 { !0u64 } else { 0 };
+            }
+            let mut size = n;
+            for &input in &lut.inputs {
+                let x = self.values[input.index()];
+                size /= 2;
+                for e in 0..size {
+                    rows[e] = (!x & rows[2 * e]) | (x & rows[2 * e + 1]);
+                }
+            }
+            self.values[lut.output.index()] = rows[0];
+        }
+        self.dirty = false;
+    }
+
+    /// Drives an input bus in one lane.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::NoSuchInput`] if the port does not exist, or
+    /// [`PortError::ValueTooWide`] if the value does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn try_set_input_lane(
+        &mut self,
+        name: &str,
+        lane: usize,
+        value: u64,
+    ) -> Result<(), PortError> {
+        assert!(lane < LANES, "lane {lane} out of range 0..{LANES}");
+        let nets = self
+            .netlist
+            .inputs()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, nets)| nets.clone())
+            .ok_or_else(|| PortError::NoSuchInput(name.to_string()))?;
+        if nets.len() < 64 && value >= (1u64 << nets.len()) {
+            return Err(PortError::ValueTooWide {
+                port: name.to_string(),
+                value,
+                width: nets.len() as u32,
+            });
+        }
+        let lane_mask = 1u64 << lane;
+        for (i, net) in nets.iter().enumerate() {
+            let bit = if (value >> i) & 1 == 1 { lane_mask } else { 0 };
+            let cur = self.values[net.index()];
+            let new = (cur & !lane_mask) | bit;
+            if new != cur {
+                self.values[net.index()] = new;
+                self.dirty = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drives an input bus in one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist, the value does not fit, or
+    /// `lane >= 64`.
+    pub fn set_input_lane(&mut self, name: &str, lane: usize, value: u64) {
+        self.try_set_input_lane(name, lane, value)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Reads an output bus in one lane (settling first).
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::NoSuchOutput`] if the port does not exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn try_output_lane(&mut self, name: &str, lane: usize) -> Result<u64, PortError> {
+        assert!(lane < LANES, "lane {lane} out of range 0..{LANES}");
+        self.settle();
+        let nets = self
+            .netlist
+            .outputs()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, nets)| nets.clone())
+            .ok_or_else(|| PortError::NoSuchOutput(name.to_string()))?;
+        Ok(nets
+            .iter()
+            .enumerate()
+            .map(|(i, net)| ((self.values[net.index()] >> lane) & 1) << i)
+            .sum())
+    }
+
+    /// Reads an output bus in one lane (settling first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or `lane >= 64`.
+    pub fn output_lane(&mut self, name: &str, lane: usize) -> u64 {
+        self.try_output_lane(name, lane)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn bus_lanes(&self, nets: &[NetId], lanes: &mut [u64; LANES]) {
+        let mut tmp = [0u64; LANES];
+        for (i, n) in nets.iter().enumerate() {
+            tmp[i] = self.values[n.index()];
+        }
+        unpack_lanes(&tmp[..nets.len()], lanes);
+    }
+
+    /// Advances one clock edge on all domains in every lane.
+    pub fn step(&mut self) {
+        self.settle();
+        let new_q: Vec<u64> = self
+            .netlist
+            .ffs()
+            .iter()
+            .map(|ff| self.values[ff.d.index()])
+            .collect();
+        let mem_ops: Vec<MemOp> = self
+            .netlist
+            .brams()
+            .iter()
+            .enumerate()
+            .map(|(mi, bram)| {
+                let words = bram.words as usize;
+                let mut raddr = [0u64; LANES];
+                self.bus_lanes(&bram.raddr, &mut raddr);
+                let state = &self.mem_state[mi];
+                let mut read = [0u64; LANES];
+                for (l, r) in read.iter_mut().enumerate() {
+                    *r = state[(raddr[l] as usize % words) * LANES + l];
+                }
+                let wen = self.values[bram.wen.index()];
+                let write = if wen != 0 {
+                    let mut waddr = [0u64; LANES];
+                    let mut wdata = [0u64; LANES];
+                    self.bus_lanes(&bram.waddr, &mut waddr);
+                    self.bus_lanes(&bram.wdata, &mut wdata);
+                    Some((waddr, wdata, wen))
+                } else {
+                    None
+                };
+                (read, write)
+            })
+            .collect();
+        for (ff, q) in self.netlist.ffs().iter().zip(new_q) {
+            self.values[ff.q.index()] = q;
+        }
+        for (mi, (bram, (read, write))) in self.netlist.brams().iter().zip(mem_ops).enumerate() {
+            for (i, net) in bram.rdata.iter().enumerate() {
+                let mut slice = 0u64;
+                for (l, r) in read.iter().enumerate() {
+                    slice |= ((r >> i) & 1) << l;
+                }
+                self.values[net.index()] = slice;
+            }
+            if let Some((waddr, wdata, wen)) = write {
+                let words = bram.words as usize;
+                let state = &mut self.mem_state[mi];
+                let mut w = wen;
+                while w != 0 {
+                    let l = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    state[(waddr[l] as usize % words) * LANES + l] = wdata[l];
+                }
+            }
+        }
+        self.dirty = true;
+        self.cycle += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emulate::LutSimulator;
+    use crate::lut::map_to_luts;
+    use pe_gate::expand::expand_design;
+    use pe_rtl::builder::DesignBuilder;
+    use pe_util::rng::Xoshiro;
+
+    #[test]
+    fn every_lane_matches_a_serial_lut_run() {
+        let mut b = DesignBuilder::new("mix");
+        let clk = b.clock("clk");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let sum = b.add_wide(x, y);
+        let low = b.slice(sum, 0, 8);
+        let acc = b.register_named("acc", 8, 0, clk);
+        let nxt = b.xor(acc.q(), low);
+        b.connect_d(acc, nxt);
+        let lt = b.lt(x, y);
+        let sel = b.mux2(lt, acc.q(), low);
+        let a3 = b.slice(x, 0, 3);
+        let wen = b.input("we", 1);
+        let m = b.memory("m", 8, 8, Some(vec![9; 8]), clk);
+        b.connect_mem(m, a3, a3, sel, wen);
+        b.output("acc", acc.q());
+        b.output("sel", sel);
+        b.output("rd", m.rdata());
+        let d = b.finish().unwrap();
+
+        let mapped = map_to_luts(&expand_design(&d).netlist);
+        let mut wide = WideLutSimulator::new(&mapped);
+        let mut serials: Vec<LutSimulator<'_>> =
+            (0..LANES).map(|_| LutSimulator::new(&mapped)).collect();
+        let mut rng = Xoshiro::new(0x10A);
+        for cycle in 0..80 {
+            for (lane, serial) in serials.iter_mut().enumerate() {
+                for (p, w) in [("x", 8), ("y", 8), ("we", 1)] {
+                    let v = rng.bits(w);
+                    wide.set_input_lane(p, lane, v);
+                    serial.set_input(p, v);
+                }
+            }
+            for (lane, serial) in serials.iter_mut().enumerate() {
+                for port in ["acc", "sel", "rd"] {
+                    assert_eq!(
+                        wide.output_lane(port, lane),
+                        serial.output(port),
+                        "cycle {cycle} lane {lane} port {port}"
+                    );
+                }
+            }
+            wide.step();
+            for s in &mut serials {
+                s.step();
+            }
+        }
+    }
+}

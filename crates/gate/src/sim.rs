@@ -63,43 +63,10 @@ impl<'a> GateSimulator<'a> {
     /// See [`GateSimulator::new`].
     pub fn with_period(expanded: &'a ExpandedDesign, lib: &'a CellLibrary, period_ns: f64) -> Self {
         let nl = &expanded.netlist;
-        let nets = nl.net_count();
-        // Net → driving gate map for levelization. Nets driven by inputs,
-        // DFF q, or memory rdata are sources.
-        let mut driver: Vec<Option<u32>> = vec![None; nets];
-        for (i, g) in nl.gates().iter().enumerate() {
-            driver[g.output.index()] = Some(i as u32);
-        }
-        // Kahn over gates.
-        let n_gates = nl.gates().len();
-        let mut in_deg = vec![0u32; n_gates];
-        let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); n_gates];
-        for (i, g) in nl.gates().iter().enumerate() {
-            for slot in 0..g.kind.arity() {
-                if let Some(drv) = driver[g.inputs[slot].index()] {
-                    consumers[drv as usize].push(i as u32);
-                    in_deg[i] += 1;
-                }
-            }
-        }
-        let mut order: Vec<u32> = (0..n_gates as u32)
-            .filter(|&i| in_deg[i as usize] == 0)
-            .collect();
-        let mut head = 0;
-        while head < order.len() {
-            let g = order[head];
-            head += 1;
-            for &c in &consumers[g as usize] {
-                in_deg[c as usize] -= 1;
-                if in_deg[c as usize] == 0 {
-                    order.push(c);
-                }
-            }
-        }
-        assert_eq!(order.len(), n_gates, "combinational loop in gate netlist");
+        let order = levelize(nl);
 
         // Ownership maps.
-        let mut gate_owner = vec![0u32; n_gates];
+        let mut gate_owner = vec![0u32; nl.gates().len()];
         let mut dff_owner = vec![0u32; nl.dffs().len()];
         let mut mem_owner = vec![0u32; nl.mems().len()];
         for comp in 0..expanded.component_count() {
@@ -127,7 +94,7 @@ impl<'a> GateSimulator<'a> {
         // nW × ns = 1e-18 J = 1e-3 fJ.
         let leakage_fj_per_cycle = leak_nw * period_ns * 1e-3;
 
-        let mut values = vec![false; nets];
+        let mut values = vec![false; nl.net_count()];
         let mut mem_state = Vec::with_capacity(nl.mems().len());
         for dff in nl.dffs() {
             values[dff.q.index()] = dff.init;
@@ -402,6 +369,50 @@ impl<'a> GateSimulator<'a> {
         }
         self.total_energy_fj / (self.cycle as f64 * self.period_ns)
     }
+}
+
+/// Kahn levelization of a gate netlist's combinational gates: a topological
+/// evaluation order. Nets driven by inputs, DFF `q`, or memory `rdata` are
+/// sources. Shared by the serial and 64-lane wide simulators so both
+/// evaluate gates in the identical order.
+///
+/// # Panics
+///
+/// Panics if the netlist's combinational gates are cyclic (cannot happen
+/// for netlists produced by [`crate::expand::expand_design`] from a
+/// validated design).
+pub(crate) fn levelize(nl: &crate::netlist::GateNetlist) -> Vec<u32> {
+    let mut driver: Vec<Option<u32>> = vec![None; nl.net_count()];
+    for (i, g) in nl.gates().iter().enumerate() {
+        driver[g.output.index()] = Some(i as u32);
+    }
+    let n_gates = nl.gates().len();
+    let mut in_deg = vec![0u32; n_gates];
+    let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); n_gates];
+    for (i, g) in nl.gates().iter().enumerate() {
+        for slot in 0..g.kind.arity() {
+            if let Some(drv) = driver[g.inputs[slot].index()] {
+                consumers[drv as usize].push(i as u32);
+                in_deg[i] += 1;
+            }
+        }
+    }
+    let mut order: Vec<u32> = (0..n_gates as u32)
+        .filter(|&i| in_deg[i as usize] == 0)
+        .collect();
+    let mut head = 0;
+    while head < order.len() {
+        let g = order[head];
+        head += 1;
+        for &c in &consumers[g as usize] {
+            in_deg[c as usize] -= 1;
+            if in_deg[c as usize] == 0 {
+                order.push(c);
+            }
+        }
+    }
+    assert_eq!(order.len(), n_gates, "combinational loop in gate netlist");
+    order
 }
 
 #[cfg(test)]

@@ -1,0 +1,479 @@
+//! Bit-parallel 64-lane gate simulation with per-lane energy accounting.
+//!
+//! [`WideGateSimulator`] runs 64 independent gate-level simulations at
+//! once: every net holds one `u64` whose bit `l` is the net's value in
+//! lane `l`, and each gate evaluates as a single word op (an AND2 serves
+//! 64 simulations per `&`). Energy is accounted **per lane** with the
+//! identical floating-point accumulation order as [`crate::GateSimulator`]
+//! — gate toggles in gate-index order, then flip-flop clock/toggle
+//! energies, then memory access energies, then leakage, then the cycle
+//! total folded into the running total — so each lane's
+//! [`WideGateSimulator::total_energy_fj_lane`] is *bit-identical* to the
+//! total a fresh serial simulator would report for that lane's stimulus.
+//! The differential suite relies on this exactness.
+
+use crate::cells::CellLibrary;
+use crate::expand::ExpandedDesign;
+use crate::netlist::{GateKind, NetId};
+use crate::sim::levelize;
+use pe_util::lanes::{unpack_lanes, LANES};
+use pe_util::PortError;
+
+/// Pending memory commit for one RAM: the read-out lanes plus, when any
+/// lane wrote, the per-lane write address/data and the write-enable mask.
+type MemUpdate = ([u64; LANES], Option<([u64; LANES], [u64; LANES], u64)>);
+
+/// A zero-delay, 64-lane gate-level simulator.
+///
+/// Mirrors [`crate::GateSimulator`] lane-for-lane; see the module docs for
+/// the energy-exactness contract. Inputs are driven per lane with
+/// [`WideGateSimulator::set_input_lane`] and outputs read with
+/// [`WideGateSimulator::output_lane`].
+#[derive(Debug)]
+pub struct WideGateSimulator<'a> {
+    expanded: &'a ExpandedDesign,
+    lib: &'a CellLibrary,
+    values: Vec<u64>,
+    prev_settled: Vec<u64>,
+    order: Vec<u32>,
+    /// Per-memory backing store, `state[word * LANES + lane]`.
+    mem_state: Vec<Vec<u64>>,
+    lane_cycle_fj: Vec<f64>,
+    lane_total_fj: Vec<f64>,
+    leakage_fj_per_cycle: f64,
+    period_ns: f64,
+    cycle: u64,
+    dirty: bool,
+}
+
+impl<'a> WideGateSimulator<'a> {
+    /// Creates a 64-lane simulator with the default 10 ns clock period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist's combinational gates are cyclic (cannot
+    /// happen for netlists produced by [`crate::expand::expand_design`]
+    /// from a validated design).
+    pub fn new(expanded: &'a ExpandedDesign, lib: &'a CellLibrary) -> Self {
+        Self::with_period(expanded, lib, 10.0)
+    }
+
+    /// Creates a 64-lane simulator with an explicit clock period in
+    /// nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// See [`WideGateSimulator::new`].
+    pub fn with_period(expanded: &'a ExpandedDesign, lib: &'a CellLibrary, period_ns: f64) -> Self {
+        let nl = &expanded.netlist;
+        let order = levelize(nl);
+
+        let mut leak_nw = 0.0;
+        for g in nl.gates() {
+            leak_nw += lib.gate(g.kind).leakage_nw;
+        }
+        leak_nw += lib.dff().leakage_nw * nl.dffs().len() as f64;
+        for m in nl.mems() {
+            leak_nw += lib.mem_leakage_nw(m.words, m.wdata.len() as u32);
+        }
+        let leakage_fj_per_cycle = leak_nw * period_ns * 1e-3;
+
+        let mut values = vec![0u64; nl.net_count()];
+        let mut mem_state = Vec::with_capacity(nl.mems().len());
+        for dff in nl.dffs() {
+            values[dff.q.index()] = if dff.init { !0u64 } else { 0 };
+        }
+        for m in nl.mems() {
+            let mut state = vec![0u64; m.words as usize * LANES];
+            for (w, &v) in m.init.iter().enumerate() {
+                state[w * LANES..(w + 1) * LANES].fill(v);
+            }
+            mem_state.push(state);
+        }
+
+        let mut sim = Self {
+            expanded,
+            lib,
+            values,
+            prev_settled: Vec::new(),
+            order,
+            mem_state,
+            lane_cycle_fj: vec![0.0; LANES],
+            lane_total_fj: vec![0.0; LANES],
+            leakage_fj_per_cycle,
+            period_ns,
+            cycle: 0,
+            dirty: true,
+        };
+        sim.settle();
+        sim.prev_settled = sim.values.clone();
+        sim
+    }
+
+    /// The clock period used for leakage integration (nanoseconds).
+    pub fn period_ns(&self) -> f64 {
+        self.period_ns
+    }
+
+    /// Number of clock edges stepped (shared by all lanes).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn settle(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        let gates = self.expanded.netlist.gates();
+        for &gi in &self.order {
+            let g = &gates[gi as usize];
+            let a = self.values[g.inputs[0].index()];
+            let b = self.values[g.inputs[1].index()];
+            let c = self.values[g.inputs[2].index()];
+            self.values[g.output.index()] = match g.kind {
+                GateKind::Tie0 => 0,
+                GateKind::Tie1 => !0,
+                GateKind::Buf => a,
+                GateKind::Inv => !a,
+                GateKind::And2 => a & b,
+                GateKind::Or2 => a | b,
+                GateKind::Nand2 => !(a & b),
+                GateKind::Nor2 => !(a | b),
+                GateKind::Xor2 => a ^ b,
+                GateKind::Xnor2 => !(a ^ b),
+                GateKind::Mux2 => (a & c) | (!a & b),
+            };
+        }
+        self.dirty = false;
+    }
+
+    /// Drives an input bus in one lane.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::NoSuchInput`] if the port does not exist, or
+    /// [`PortError::ValueTooWide`] if the value does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn try_set_input_lane(
+        &mut self,
+        name: &str,
+        lane: usize,
+        value: u64,
+    ) -> Result<(), PortError> {
+        assert!(lane < LANES, "lane {lane} out of range 0..{LANES}");
+        let nets = self
+            .expanded
+            .netlist
+            .inputs()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, nets)| nets.clone())
+            .ok_or_else(|| PortError::NoSuchInput(name.to_string()))?;
+        if nets.len() < 64 && value >= (1u64 << nets.len()) {
+            return Err(PortError::ValueTooWide {
+                port: name.to_string(),
+                value,
+                width: nets.len() as u32,
+            });
+        }
+        let lane_mask = 1u64 << lane;
+        for (i, net) in nets.iter().enumerate() {
+            let bit = if (value >> i) & 1 == 1 { lane_mask } else { 0 };
+            let cur = self.values[net.index()];
+            let new = (cur & !lane_mask) | bit;
+            if new != cur {
+                self.values[net.index()] = new;
+                self.dirty = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drives an input bus in one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist, the value does not fit, or
+    /// `lane >= 64`.
+    pub fn set_input_lane(&mut self, name: &str, lane: usize, value: u64) {
+        self.try_set_input_lane(name, lane, value)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Reads an output bus in one lane (settling first).
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::NoSuchOutput`] if the port does not exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn try_output_lane(&mut self, name: &str, lane: usize) -> Result<u64, PortError> {
+        assert!(lane < LANES, "lane {lane} out of range 0..{LANES}");
+        self.settle();
+        let nets = self
+            .expanded
+            .netlist
+            .outputs()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, nets)| nets.clone())
+            .ok_or_else(|| PortError::NoSuchOutput(name.to_string()))?;
+        Ok(nets
+            .iter()
+            .enumerate()
+            .map(|(i, net)| ((self.values[net.index()] >> lane) & 1) << i)
+            .sum())
+    }
+
+    /// Reads an output bus in one lane (settling first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or `lane >= 64`.
+    pub fn output_lane(&mut self, name: &str, lane: usize) -> u64 {
+        self.try_output_lane(name, lane)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Unpacks a bus of nets into per-lane scalar values.
+    fn bus_lanes(&self, nets: &[NetId], lanes: &mut [u64; LANES]) {
+        let mut tmp = [0u64; LANES];
+        for (i, n) in nets.iter().enumerate() {
+            tmp[i] = self.values[n.index()];
+        }
+        unpack_lanes(&tmp[..nets.len()], lanes);
+    }
+
+    /// Advances one clock edge on all domains in every lane, accounting
+    /// each lane's energy in the serial simulator's exact order.
+    pub fn step(&mut self) {
+        self.settle();
+        self.lane_cycle_fj.fill(0.0);
+
+        // 1. Toggle energy of combinational gates vs the previous settled
+        //    state, in gate-index order (the serial credit order).
+        let gates = self.expanded.netlist.gates();
+        for g in gates.iter() {
+            let net = g.output.index();
+            let toggled = self.values[net] ^ self.prev_settled[net];
+            if toggled == 0 {
+                continue;
+            }
+            let e = self.lib.gate(g.kind).toggle_energy_fj;
+            let mut t = toggled;
+            while t != 0 {
+                let l = t.trailing_zeros() as usize;
+                t &= t - 1;
+                self.lane_cycle_fj[l] += e;
+            }
+        }
+
+        // 2. Sequential capture with flip-flop/memory energies.
+        let dffs = self.expanded.netlist.dffs();
+        let dff_spec = self.lib.dff();
+        let dff_clk = self.lib.dff_clock_energy_fj();
+        let mut new_q = Vec::with_capacity(dffs.len());
+        for dff in dffs.iter() {
+            let d = self.values[dff.d.index()];
+            let q = self.values[dff.q.index()];
+            for e in self.lane_cycle_fj.iter_mut() {
+                *e += dff_clk;
+            }
+            let mut t = d ^ q;
+            while t != 0 {
+                let l = t.trailing_zeros() as usize;
+                t &= t - 1;
+                self.lane_cycle_fj[l] += dff_spec.toggle_energy_fj;
+            }
+            new_q.push(d);
+        }
+        let mems = self.expanded.netlist.mems();
+        let mut mem_updates: Vec<MemUpdate> = Vec::with_capacity(mems.len());
+        for (mi, mem) in mems.iter().enumerate() {
+            let width = mem.wdata.len() as u32;
+            let read_e = self.lib.mem_read_energy_fj(width);
+            let write_e = self.lib.mem_write_energy_fj(width);
+            let mut raddr = [0u64; LANES];
+            self.bus_lanes(&mem.raddr, &mut raddr);
+            let state = &self.mem_state[mi];
+            let words = mem.words as usize;
+            let mut read = [0u64; LANES];
+            for (l, r) in read.iter_mut().enumerate() {
+                *r = state[(raddr[l] as usize % words) * LANES + l];
+            }
+            let wen = self.values[mem.wen.index()];
+            for (l, e) in self.lane_cycle_fj.iter_mut().enumerate() {
+                *e += read_e;
+                if (wen >> l) & 1 == 1 {
+                    *e += write_e;
+                }
+            }
+            let write = if wen != 0 {
+                let mut waddr = [0u64; LANES];
+                let mut wdata = [0u64; LANES];
+                self.bus_lanes(&mem.waddr, &mut waddr);
+                self.bus_lanes(&mem.wdata, &mut wdata);
+                Some((waddr, wdata, wen))
+            } else {
+                None
+            };
+            mem_updates.push((read, write));
+        }
+
+        // 3. Leakage for the cycle, in every lane.
+        for e in self.lane_cycle_fj.iter_mut() {
+            *e += self.leakage_fj_per_cycle;
+        }
+
+        // 4. Commit sequential updates, then snapshot (same ordering
+        //    argument as the serial engine: q/rdata nets have no driving
+        //    gate, so the post-commit snapshot is safe).
+        for (dff, q) in dffs.iter().zip(new_q) {
+            self.values[dff.q.index()] = q;
+        }
+        for (mi, (mem, (read, write))) in mems.iter().zip(mem_updates).enumerate() {
+            for (i, net) in mem.rdata.iter().enumerate() {
+                let mut slice = 0u64;
+                for (l, r) in read.iter().enumerate() {
+                    slice |= ((r >> i) & 1) << l;
+                }
+                self.values[net.index()] = slice;
+            }
+            if let Some((waddr, wdata, wen)) = write {
+                let words = mem.words as usize;
+                let state = &mut self.mem_state[mi];
+                let mut w = wen;
+                while w != 0 {
+                    let l = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    state[(waddr[l] as usize % words) * LANES + l] = wdata[l];
+                }
+            }
+        }
+        self.prev_settled.copy_from_slice(&self.values);
+        self.dirty = true;
+        self.cycle += 1;
+        for (t, c) in self.lane_total_fj.iter_mut().zip(&self.lane_cycle_fj) {
+            *t += *c;
+        }
+    }
+
+    /// Energy of the most recently completed cycle in one lane
+    /// (femtojoules).
+    pub fn last_cycle_energy_fj_lane(&self, lane: usize) -> f64 {
+        self.lane_cycle_fj[lane]
+    }
+
+    /// Total energy since construction in one lane (femtojoules),
+    /// bit-identical to a serial [`crate::GateSimulator`] run of that
+    /// lane's stimulus.
+    pub fn total_energy_fj_lane(&self, lane: usize) -> f64 {
+        self.lane_total_fj[lane]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::expand_design;
+    use crate::GateSimulator;
+    use pe_rtl::builder::DesignBuilder;
+    use pe_util::rng::Xoshiro;
+
+    #[test]
+    fn every_lane_matches_a_serial_run_bit_for_bit() {
+        let mut b = DesignBuilder::new("acc");
+        let clk = b.clock("clk");
+        let x = b.input("x", 8);
+        let acc = b.register_named("acc", 8, 0, clk);
+        let sum = b.add(acc.q(), x);
+        b.connect_d(acc, sum);
+        b.output("total", acc.q());
+        let d = b.finish().unwrap();
+        let ex = expand_design(&d);
+        let lib = CellLibrary::cmos130();
+
+        let mut wide = WideGateSimulator::new(&ex, &lib);
+        let mut serials: Vec<GateSimulator<'_>> =
+            (0..LANES).map(|_| GateSimulator::new(&ex, &lib)).collect();
+        let mut rng = Xoshiro::new(0xAAA);
+        for _ in 0..40 {
+            for (lane, serial) in serials.iter_mut().enumerate() {
+                let v = rng.bits(8);
+                wide.set_input_lane("x", lane, v);
+                serial.set_input("x", v);
+            }
+            wide.step();
+            for s in &mut serials {
+                s.step();
+            }
+        }
+        for (lane, serial) in serials.iter_mut().enumerate() {
+            assert_eq!(
+                wide.output_lane("total", lane),
+                serial.output("total"),
+                "lane {lane} output"
+            );
+            let wide_e = wide.total_energy_fj_lane(lane);
+            let serial_e = serial.total_energy_fj();
+            assert_eq!(
+                wide_e.to_bits(),
+                serial_e.to_bits(),
+                "lane {lane} energy: wide {wide_e} vs serial {serial_e}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_lanes_track_serial_state() {
+        let mut b = DesignBuilder::new("mem");
+        let clk = b.clock("clk");
+        let ra = b.input("ra", 3);
+        let wa = b.input("wa", 3);
+        let wd = b.input("wd", 8);
+        let we = b.input("we", 1);
+        let m = b.memory("m", 8, 8, Some(vec![9, 8, 7, 6, 5, 4, 3, 2]), clk);
+        b.connect_mem(m, ra, wa, wd, we);
+        b.output("rd", m.rdata());
+        let d = b.finish().unwrap();
+        let ex = expand_design(&d);
+        let lib = CellLibrary::cmos130();
+
+        let mut wide = WideGateSimulator::new(&ex, &lib);
+        let mut serials: Vec<GateSimulator<'_>> =
+            (0..LANES).map(|_| GateSimulator::new(&ex, &lib)).collect();
+        let mut rng = Xoshiro::new(0xBBB);
+        for _ in 0..60 {
+            for (lane, serial) in serials.iter_mut().enumerate() {
+                for (p, w) in [("ra", 3), ("wa", 3), ("wd", 8), ("we", 1)] {
+                    let v = rng.bits(w);
+                    wide.set_input_lane(p, lane, v);
+                    serial.set_input(p, v);
+                }
+            }
+            wide.step();
+            for s in &mut serials {
+                s.step();
+            }
+            for lane in [0, 7, 63] {
+                assert_eq!(
+                    wide.output_lane("rd", lane),
+                    serials[lane].output("rd"),
+                    "lane {lane}"
+                );
+            }
+        }
+        for (lane, serial) in serials.iter().enumerate() {
+            assert_eq!(
+                wide.total_energy_fj_lane(lane).to_bits(),
+                serial.total_energy_fj().to_bits(),
+                "lane {lane} energy"
+            );
+        }
+    }
+}

@@ -42,7 +42,8 @@ pub struct HarnessError {
 }
 
 impl HarnessError {
-    fn new(stage: &str, label: &str, message: impl fmt::Display) -> Self {
+    /// Builds an error for `stage` of `label`.
+    pub fn new(stage: &str, label: &str, message: impl fmt::Display) -> Self {
         Self {
             stage: stage.to_string(),
             label: label.to_string(),

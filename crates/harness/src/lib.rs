@@ -18,6 +18,9 @@
 //!   end-of-run stage/cache summaries.
 //! * [`figure3`] — the paper's evaluation rebuilt on the executor: six
 //!   jobs per benchmark, rows bit-identical to the serial path.
+//! * [`wide`] — the bit-parallel throughput benchmark: 64 testbench
+//!   shards per design through the serial and 64-lane RTL engines, with
+//!   per-lane waveform digests verified before any speedup is reported.
 //!
 //! Dependency policy (§6 of DESIGN.md) holds: standard library only.
 
@@ -28,8 +31,10 @@ pub mod cache;
 pub mod events;
 pub mod executor;
 pub mod figure3;
+pub mod wide;
 
 pub use cache::{obtain_library, CacheKey, MissReason, ModelCache};
 pub use events::{Collector, Event, EventSink, Fanout, Metrics, NullSink, StderrLines};
 pub use executor::{JobGraph, JobId, JobOutcome};
 pub use figure3::{run_figure3, FlowFactory, HarnessError};
+pub use wide::{run_wide_bench, WideRow};

@@ -1,0 +1,417 @@
+//! The bit-parallel throughput benchmark: 64 testbench shards per design,
+//! run once through the serial RTL engine (lane by lane) and once through
+//! the 64-lane [`pe_sim::WideSimulator`], with waveform digests proving
+//! the two executions bit-identical before any speedup is reported.
+//!
+//! Per benchmark, three jobs on the [`crate::executor::JobGraph`]:
+//!
+//! ```text
+//! serial (64 × Simulator) ──┐
+//!                           ├─► assemble (verify digests, compute speedup)
+//! wide (1 × WideSimulator) ─┘
+//! ```
+//!
+//! The digest covers every output bit of every lane on every cycle,
+//! sampled at the same point of the cycle in both engines, so a single
+//! diverging bit anywhere in the run fails the row. Each lane runs a
+//! rotate-XOR accumulator over its output bit stream; the serial engine
+//! computes the 64 chains bit by bit, the wide engine computes all of
+//! them *bit-parallel* (one word op folds one output bit of all 64 lanes,
+//! exactly as the datapath itself evaluates), and the final accumulator
+//! states are digested with FNV-1a-128. Hashing is thus part of each
+//! engine's natural representation and never dominates what it measures.
+//! Wall-clock columns are measured; everything else is deterministic.
+
+use pe_designs::suite::{Benchmark, Scale};
+use pe_rtl::SignalId;
+use pe_sim::{Simulator, WideSimulator};
+use pe_util::hash::Fnv128;
+use pe_util::lanes::LANES;
+use std::time::Instant;
+
+use crate::events::EventSink;
+use crate::executor::{JobGraph, JobOutcome};
+use crate::figure3::HarnessError;
+
+/// One design's serial-vs-wide comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WideRow {
+    /// Design name.
+    pub design: String,
+    /// Cycles per lane.
+    pub cycles: u64,
+    /// Stimulus lanes exercised (64).
+    pub lanes: usize,
+    /// Wall time for 64 serial single-lane runs, seconds (measured).
+    pub serial_seconds: f64,
+    /// Wall time for one 64-lane wide run, seconds (measured).
+    pub wide_seconds: f64,
+    /// `serial_seconds / wide_seconds`.
+    pub speedup: f64,
+    /// FNV-1a-128 over all lanes' waveforms, identical in both engines
+    /// (the row fails otherwise).
+    pub digest: String,
+}
+
+/// The per-engine artifact passed between jobs: one waveform digest per
+/// lane plus the measured wall time.
+enum Node {
+    Run {
+        lane_digests: Vec<u128>,
+        seconds: f64,
+    },
+    Row(WideRow),
+}
+
+fn output_signals(bench: &Benchmark) -> Vec<(SignalId, u32)> {
+    bench
+        .design
+        .outputs()
+        .iter()
+        .map(|p| {
+            let sig = p.signal();
+            (sig, bench.design.signal(sig).width())
+        })
+        .collect()
+}
+
+/// Order-sensitive per-lane waveform checksum: `acc = rotl(acc, 1) ^ bit`
+/// for every output bit in a fixed order (outputs ascending, bits
+/// ascending, cycles ascending). Defined per *bit* so the wide engine can
+/// fold all 64 lanes' chains with one word op per output bit (see
+/// [`PackChain`]); both engines compute the identical per-lane function.
+#[derive(Clone, Copy)]
+struct LaneChain(u64);
+
+impl LaneChain {
+    fn new() -> Self {
+        LaneChain(0)
+    }
+
+    /// Folds the low `width` bits of `v`, LSB first.
+    #[inline]
+    fn update(&mut self, v: u64, width: u32) {
+        for i in 0..width {
+            self.0 = self.0.rotate_left(1) ^ ((v >> i) & 1);
+        }
+    }
+
+    fn digest(self, cycles: u64) -> u128 {
+        let mut h = Fnv128::new();
+        h.update(&self.0.to_le_bytes());
+        h.update(&cycles.to_le_bytes());
+        h.digest()
+    }
+}
+
+/// All 64 lanes' [`LaneChain`]s, bit-parallel: plane `j` holds bit `j` of
+/// every lane's accumulator, and the rotate is an index shift, so folding
+/// one output bit of all 64 lanes is a single XOR into the current base
+/// plane. This is the digest in the wide engine's own representation —
+/// the slices feed it directly, no transpose per cycle.
+struct PackChain {
+    planes: [u64; 64],
+    off: usize,
+}
+
+impl PackChain {
+    fn new() -> Self {
+        PackChain {
+            planes: [0u64; 64],
+            off: 0,
+        }
+    }
+
+    /// Folds one bit-plane word (bit `l` = this output bit in lane `l`).
+    #[inline]
+    fn update(&mut self, plane: u64) {
+        self.off = (self.off + 63) & 63;
+        self.planes[self.off] ^= plane;
+    }
+
+    /// Recovers the per-lane accumulators (one transpose, at end of run)
+    /// and digests each as [`LaneChain::digest`] would.
+    fn digests(&self, cycles: u64) -> Vec<u128> {
+        let mut ordered = [0u64; 64];
+        for (j, slot) in ordered.iter_mut().enumerate() {
+            *slot = self.planes[(j + self.off) & 63];
+        }
+        pe_util::lanes::transpose64(&mut ordered);
+        ordered
+            .iter()
+            .map(|&acc| LaneChain(acc).digest(cycles))
+            .collect()
+    }
+}
+
+/// Runs lane `shard`'s testbench on the serial engine, digesting every
+/// output port each cycle.
+fn serial_lane_digest(bench: &Benchmark, cycles: u64, shard: u64) -> Result<u128, HarnessError> {
+    let mut sim =
+        Simulator::new(&bench.design).map_err(|e| HarnessError::new("serial", bench.name, e))?;
+    let outs = output_signals(bench);
+    let mut tb = bench.testbench_shard(cycles, shard);
+    let mut chain = LaneChain::new();
+    for cycle in 0..tb.cycles() {
+        tb.apply(cycle, &mut sim);
+        tb.observe(cycle, &mut sim);
+        for &(sig, width) in &outs {
+            chain.update(sim.value(sig), width);
+        }
+        sim.step();
+    }
+    Ok(chain.digest(cycles))
+}
+
+/// Runs all 64 shards through the wide engine at once, digesting every
+/// lane's output ports each cycle (same sampling point as the serial
+/// path).
+fn wide_digests(bench: &Benchmark, cycles: u64) -> Result<Vec<u128>, HarnessError> {
+    let mut sim =
+        WideSimulator::new(&bench.design).map_err(|e| HarnessError::new("wide", bench.name, e))?;
+    let outs = output_signals(bench);
+    let mut tbs = bench.testbench_shards(cycles, LANES);
+    let mut chain = PackChain::new();
+    for cycle in 0..cycles {
+        for (lane, tb) in tbs.iter_mut().enumerate() {
+            tb.apply(cycle, &mut sim.lane(lane));
+        }
+        for (lane, tb) in tbs.iter_mut().enumerate() {
+            tb.observe(cycle, &mut sim.lane(lane));
+        }
+        for &(sig, _) in &outs {
+            for &plane in sim.slices(sig) {
+                chain.update(plane);
+            }
+        }
+        sim.step();
+    }
+    Ok(chain.digests(cycles))
+}
+
+/// Runs the serial-vs-wide benchmark as a job graph; rows come back in
+/// `benchmarks` order. Use `workers = 1` when the wall-clock columns
+/// matter (overlapping jobs contend for the measured time).
+///
+/// # Errors
+///
+/// Returns the first failing stage in schedule order — including an
+/// `assemble` failure naming the first lane whose waveform digests
+/// diverge between the engines.
+pub fn run_wide_bench(
+    benchmarks: &[Benchmark],
+    scale: Scale,
+    workers: usize,
+    sink: &dyn EventSink,
+) -> Result<Vec<WideRow>, HarnessError> {
+    let mut graph: JobGraph<'_, Node, HarnessError> = JobGraph::new();
+    let mut row_jobs = Vec::with_capacity(benchmarks.len());
+
+    for bench in benchmarks {
+        let cycles = bench.cycles(scale);
+        let name = bench.name;
+
+        let serial = graph.add("serial", name, vec![], move |_| {
+            let start = Instant::now();
+            let lane_digests = (0..LANES as u64)
+                .map(|shard| serial_lane_digest(bench, cycles, shard))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Node::Run {
+                lane_digests,
+                seconds: start.elapsed().as_secs_f64(),
+            })
+        });
+
+        let wide = graph.add("wide", name, vec![], move |_| {
+            let start = Instant::now();
+            let lane_digests = wide_digests(bench, cycles)?;
+            Ok(Node::Run {
+                lane_digests,
+                seconds: start.elapsed().as_secs_f64(),
+            })
+        });
+
+        let row = graph.add("assemble", name, vec![serial, wide], move |deps| {
+            let Node::Run {
+                lane_digests: serial_digests,
+                seconds: serial_seconds,
+            } = &*deps[0]
+            else {
+                unreachable!("assemble depends on serial")
+            };
+            let Node::Run {
+                lane_digests: wide_lane_digests,
+                seconds: wide_seconds,
+            } = &*deps[1]
+            else {
+                unreachable!("assemble depends on wide")
+            };
+            if let Some(lane) = (0..LANES).find(|&l| serial_digests[l] != wide_lane_digests[l]) {
+                return Err(HarnessError::new(
+                    "assemble",
+                    name,
+                    format!(
+                        "lane {lane} diverges: serial {:032x} vs wide {:032x}",
+                        serial_digests[lane], wide_lane_digests[lane]
+                    ),
+                ));
+            }
+            let mut combined = Fnv128::new();
+            for d in serial_digests {
+                combined.update(&d.to_le_bytes());
+            }
+            Ok(Node::Row(WideRow {
+                design: name.to_string(),
+                cycles,
+                lanes: LANES,
+                serial_seconds: *serial_seconds,
+                wide_seconds: *wide_seconds,
+                speedup: serial_seconds / wide_seconds.max(1e-12),
+                digest: combined.hex(),
+            }))
+        });
+        row_jobs.push(row);
+    }
+
+    let outcomes = graph.run(workers, sink);
+    collect_rows(&outcomes, &row_jobs)
+}
+
+fn collect_rows(
+    outcomes: &[JobOutcome<Node, HarnessError>],
+    row_jobs: &[usize],
+) -> Result<Vec<WideRow>, HarnessError> {
+    if let Some(err) = outcomes.iter().find_map(|o| match o {
+        JobOutcome::Failed(e) => Some(e.clone()),
+        JobOutcome::Panicked(msg) => Some(HarnessError::new("executor", "panic", msg)),
+        _ => None,
+    }) {
+        return Err(err);
+    }
+    row_jobs
+        .iter()
+        .map(|&id| match outcomes[id].done() {
+            Some(Node::Row(row)) => Ok(row.clone()),
+            _ => Err(HarnessError::new(
+                "assemble",
+                "wide",
+                "row job did not complete",
+            )),
+        })
+        .collect()
+}
+
+/// Geometric mean of the per-design speedups (0 for no rows).
+pub fn geomean_speedup(rows: &[WideRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = rows.iter().map(|r| r.speedup.max(1e-12).ln()).sum();
+    (log_sum / rows.len() as f64).exp()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the benchmark result as the `BENCH_wide.json` document: one
+/// row per design plus the geometric-mean speedup.
+pub fn render_json(rows: &[WideRow], scale: Scale) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"wide\",\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Test => "test",
+            Scale::Paper => "paper",
+        }
+    ));
+    out.push_str(&format!("  \"lanes\": {LANES},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"design\": \"{}\", \"cycles\": {}, \"serial_seconds\": {:.6}, \
+             \"wide_seconds\": {:.6}, \"speedup\": {:.3}, \"digest\": \"{}\"}}{}\n",
+            json_escape(&r.design),
+            r.cycles,
+            r.serial_seconds,
+            r.wide_seconds,
+            r.speedup,
+            r.digest,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"geomean_speedup\": {:.3}\n",
+        geomean_speedup(rows)
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{Metrics, NullSink};
+    use pe_designs::suite::benchmark;
+
+    #[test]
+    fn wide_rows_verify_and_speed_up() {
+        let benches = [benchmark("Bubble_Sort").unwrap()];
+        let rows = run_wide_bench(&benches, Scale::Test, 1, &NullSink).unwrap();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.design, "Bubble_Sort");
+        assert_eq!(r.lanes, 64);
+        assert_eq!(r.digest.len(), 32);
+        // The digests already passed lane-by-lane verification inside
+        // assemble; sanity-check the measured columns are populated.
+        assert!(r.serial_seconds > 0.0);
+        assert!(r.wide_seconds > 0.0);
+        assert!(r.speedup > 1.0, "wide should beat 64 serial runs");
+    }
+
+    #[test]
+    fn metrics_count_three_jobs_per_benchmark() {
+        let benches = [benchmark("HVPeakF").unwrap()];
+        let metrics = Metrics::new();
+        run_wide_bench(&benches, Scale::Test, 2, &metrics).unwrap();
+        assert_eq!(metrics.jobs_finished(), 3);
+        assert_eq!(metrics.jobs_failed(), 0);
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let rows = vec![WideRow {
+            design: "DCT".into(),
+            cycles: 1200,
+            lanes: 64,
+            serial_seconds: 1.0,
+            wide_seconds: 0.05,
+            speedup: 20.0,
+            digest: "0".repeat(32),
+        }];
+        let doc = render_json(&rows, Scale::Test);
+        assert!(doc.contains("\"bench\": \"wide\""));
+        assert!(doc.contains("\"design\": \"DCT\""));
+        assert!(doc.contains("\"geomean_speedup\": 20.000"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn geomean_is_geometric() {
+        let mk = |s: f64| WideRow {
+            design: "d".into(),
+            cycles: 1,
+            lanes: 64,
+            serial_seconds: s,
+            wide_seconds: 1.0,
+            speedup: s,
+            digest: String::new(),
+        };
+        let rows = vec![mk(4.0), mk(16.0)];
+        assert!((geomean_speedup(&rows) - 8.0).abs() < 1e-9);
+        assert_eq!(geomean_speedup(&[]), 0.0);
+    }
+}

@@ -144,6 +144,44 @@ impl InstrumentedDesign {
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// Reads back one lane's accumulated energy estimate from a 64-lane
+    /// wide simulator running the enhanced design (femtojoules, including
+    /// the strobe-period scale). Lane packing leaves the accumulator
+    /// arithmetic untouched, so each lane reads back exactly what a serial
+    /// run of that lane's stimulus would.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::NoSuchOutput`] if the simulator is not running this
+    /// instrumented design (a total port is missing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn try_read_energy_fj_lane(
+        &self,
+        sim: &mut pe_sim::WideSimulator<'_>,
+        lane: usize,
+    ) -> Result<f64, PortError> {
+        let mut raw = 0.0;
+        for p in &self.total_ports {
+            raw += sim.try_output_lane(p, lane)? as f64;
+        }
+        Ok(raw * self.format.lsb() * self.strobe_period as f64)
+    }
+
+    /// Reads back one lane's accumulated energy estimate (see
+    /// [`InstrumentedDesign::try_read_energy_fj_lane`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator is not running this instrumented design or
+    /// `lane >= 64`.
+    pub fn read_energy_fj_lane(&self, sim: &mut pe_sim::WideSimulator<'_>, lane: usize) -> f64 {
+        self.try_read_energy_fj_lane(sim, lane)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Reads one component's per-strobe model output (femtojoules),
     /// available when instrumented with per-model outputs.
     ///
@@ -771,6 +809,52 @@ mod tests {
             "error should not grow with precision: {errors:?}"
         );
         assert!(errors[2] < 0.01, "16-bit error {:.4}", errors[2]);
+    }
+
+    #[test]
+    fn wide_lanes_read_back_serial_energy() {
+        // Instrumented design with an input: each lane of a wide run gets
+        // its own stimulus, and each lane's accumulator readback must equal
+        // a serial run of that stimulus exactly (integer accumulators, so
+        // the f64 conversion is deterministic).
+        let mut b = DesignBuilder::new("laned");
+        let clk = b.clock("clk");
+        let x = b.input("x", 8);
+        let acc = b.register_named("acc", 8, 0, clk);
+        let nxt = b.add(acc.q(), x);
+        b.connect_d(acc, nxt);
+        b.output("acc", acc.q());
+        let d = b.finish().unwrap();
+        let lib = library_for(&d);
+        let inst = instrument(&d, &lib, &InstrumentConfig::default()).unwrap();
+
+        let mut wide = pe_sim::WideSimulator::new(&inst.design).unwrap();
+        let mut serials: Vec<Simulator<'_>> = (0..64)
+            .map(|_| Simulator::new(&inst.design).unwrap())
+            .collect();
+        let x_id = inst.design.find_input("x").unwrap();
+        let mut rng = pe_util::rng::Xoshiro::new(0x51DE);
+        for _ in 0..100 {
+            for (lane, s) in serials.iter_mut().enumerate() {
+                let v = rng.bits(8);
+                wide.set_input_lane(x_id, lane, v);
+                s.set_input(x_id, v);
+            }
+            wide.step();
+            for s in serials.iter_mut() {
+                s.step();
+            }
+        }
+        for (lane, s) in serials.iter_mut().enumerate() {
+            let serial_e = inst.read_energy_fj(s);
+            let wide_e = inst.read_energy_fj_lane(&mut wide, lane);
+            assert_eq!(
+                wide_e.to_bits(),
+                serial_e.to_bits(),
+                "lane {lane}: wide {wide_e} vs serial {serial_e}"
+            );
+        }
+        assert!(inst.read_energy_fj_lane(&mut wide, 0) > 0.0);
     }
 
     #[test]

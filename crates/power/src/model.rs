@@ -296,6 +296,63 @@ impl Macromodel {
         energy
     }
 
+    /// Evaluates the model for 64 lanes at once from bit-sliced signal
+    /// values: `prev[i]`/`curr[i]` hold one `u64` per bit of monitored
+    /// signal `i` (bit `l` of word `b` = bit `b` of lane `l`'s value, the
+    /// [`pe_util::lanes`] packing), and `energies[l]` receives lane `l`'s
+    /// energy for the cycle.
+    ///
+    /// One XOR word op detects a bit's transitions across all 64 lanes;
+    /// each set lane bit then gates that bit's coefficient into the lane's
+    /// accumulator. Coefficients are added in the same order as
+    /// [`Macromodel::eval_fj`] (signals ascending, bits ascending), and
+    /// per-signal models multiply the lane's Hamming count exactly as the
+    /// serial path does, so every lane's result is bit-identical to a
+    /// serial evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the slice shapes do not match the layout.
+    pub fn eval_packed_fj(&self, prev: &[&[u64]], curr: &[&[u64]], energies: &mut [f64; 64]) {
+        debug_assert_eq!(prev.len(), self.layout.signal_count());
+        debug_assert_eq!(curr.len(), self.layout.signal_count());
+        energies.fill(self.base_fj);
+        match self.form {
+            ModelForm::Constant => {}
+            ModelForm::PerSignal => {
+                let mut counts = [0u32; 64];
+                for i in 0..prev.len() {
+                    debug_assert_eq!(prev[i].len(), self.layout.width(i) as usize);
+                    counts.fill(0);
+                    for b in 0..self.layout.width(i) as usize {
+                        let mut t = prev[i][b] ^ curr[i][b];
+                        while t != 0 {
+                            counts[t.trailing_zeros() as usize] += 1;
+                            t &= t - 1;
+                        }
+                    }
+                    for (e, &c) in energies.iter_mut().zip(&counts) {
+                        *e += self.coeffs[i] * c as f64;
+                    }
+                }
+            }
+            ModelForm::PerBit => {
+                for i in 0..prev.len() {
+                    debug_assert_eq!(prev[i].len(), self.layout.width(i) as usize);
+                    let offset = self.layout.offset(i) as usize;
+                    for b in 0..self.layout.width(i) as usize {
+                        let mut t = prev[i][b] ^ curr[i][b];
+                        let coeff = self.coeffs[offset + b];
+                        while t != 0 {
+                            energies[t.trailing_zeros() as usize] += coeff;
+                            t &= t - 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Sum of all coefficients — the model's maximum activity-dependent
     /// energy per cycle; used for fixed-point range planning during
     /// instrumentation.
@@ -409,6 +466,61 @@ mod tests {
         assert_eq!(m.bit_coeff(3), 1.0);
         assert_eq!(m.bit_coeff(4), 2.0);
         assert_eq!(m.bit_coeff(11), 3.0);
+    }
+
+    #[test]
+    fn packed_eval_matches_serial_on_every_lane() {
+        use pe_util::lanes::{pack_lanes, LANES};
+        use pe_util::rng::Xoshiro;
+        let layout = MonitoredLayout::of(&key_add4());
+        let models = [
+            Macromodel::new(
+                ModelForm::PerBit,
+                3.25,
+                (0..12).map(|i| 0.1 * i as f64 + 0.7).collect(),
+                layout.clone(),
+            ),
+            Macromodel::new(
+                ModelForm::PerSignal,
+                1.5,
+                vec![0.3, 0.9, 1.7],
+                layout.clone(),
+            ),
+            Macromodel::new(ModelForm::Constant, 7.5, vec![], layout.clone()),
+        ];
+        let mut rng = Xoshiro::new(0xBEEF);
+        // 64 lanes of (prev, curr) per monitored signal.
+        let prev_lanes: Vec<[u64; LANES]> = (0..3)
+            .map(|_| std::array::from_fn(|_| rng.bits(4)))
+            .collect();
+        let curr_lanes: Vec<[u64; LANES]> = (0..3)
+            .map(|_| std::array::from_fn(|_| rng.bits(4)))
+            .collect();
+        let pack = |lanes: &[u64; LANES]| {
+            let mut slices = vec![0u64; 4];
+            pack_lanes(lanes, 4, &mut slices);
+            slices
+        };
+        let prev_slices: Vec<Vec<u64>> = prev_lanes.iter().map(pack).collect();
+        let curr_slices: Vec<Vec<u64>> = curr_lanes.iter().map(pack).collect();
+        let prev_refs: Vec<&[u64]> = prev_slices.iter().map(|s| s.as_slice()).collect();
+        let curr_refs: Vec<&[u64]> = curr_slices.iter().map(|s| s.as_slice()).collect();
+        for m in &models {
+            let mut packed = [0.0f64; 64];
+            m.eval_packed_fj(&prev_refs, &curr_refs, &mut packed);
+            for lane in 0..LANES {
+                let prev: Vec<u64> = prev_lanes.iter().map(|l| l[lane]).collect();
+                let curr: Vec<u64> = curr_lanes.iter().map(|l| l[lane]).collect();
+                let serial = m.eval_fj(&prev, &curr);
+                assert_eq!(
+                    packed[lane].to_bits(),
+                    serial.to_bits(),
+                    "{} lane {lane}: packed {} vs serial {serial}",
+                    m.form(),
+                    packed[lane]
+                );
+            }
+        }
     }
 
     #[test]

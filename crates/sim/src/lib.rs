@@ -12,7 +12,13 @@
 //! * [`Simulator`] — the execution engine, with lazy settling so that
 //!   reads after a clock edge always see consistent values.
 //! * [`Testbench`] and [`run`] — the driver abstraction shared by the
-//!   software power estimators, the emulation flow, and functional tests.
+//!   software power estimators, the emulation flow, and functional tests,
+//!   built on [`SimControl`] so the same testbench drives a serial
+//!   simulator or one lane of a 64-wide pack.
+//! * [`wide::WideSimulator`] — bit-parallel evaluation: 64 independent
+//!   stimulus vectors packed into `u64` lanes per signal bit, advanced
+//!   with word-wide logic ops (the paper's evaluate-everything-at-once
+//!   datapath, in software).
 //! * [`activity::ActivityRecorder`] — per-signal toggle counting (switching
 //!   activity), the quantity that both gate-level power analysis and the
 //!   paper's macromodels consume.
@@ -47,6 +53,8 @@ pub mod activity;
 mod engine;
 pub mod testbench;
 pub mod waveform;
+pub mod wide;
 
 pub use engine::Simulator;
-pub use testbench::{run, ConstInputs, Testbench, VectorTestbench};
+pub use testbench::{run, ConstInputs, SimControl, Testbench, VectorTestbench};
+pub use wide::{run_lanes, WideLane, WideSimulator};

@@ -3,7 +3,87 @@
 
 use crate::engine::Simulator;
 use pe_rtl::SignalId;
+use pe_util::PortError;
 use std::collections::HashMap;
+
+/// The control surface a [`Testbench`] drives.
+///
+/// Both the serial [`Simulator`] and a single lane of the bit-parallel
+/// [`crate::wide::WideSimulator`] implement this trait, so the *same*
+/// testbench object can stimulate a lone simulation or one lane of a
+/// 64-wide pack — the differential-testing contract is that the two are
+/// indistinguishable through this interface.
+pub trait SimControl {
+    /// Number of clock edges stepped so far.
+    fn cycle(&self) -> u64;
+
+    /// Drives a top-level input signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal` is not input-driven or `value` does not fit its
+    /// width — both are testbench bugs.
+    fn set_input(&mut self, signal: SignalId, value: u64);
+
+    /// Drives a top-level input by port name.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::NoSuchInput`] if no such input port exists, or
+    /// [`PortError::ValueTooWide`] if the value does not fit.
+    fn try_set_input_by_name(&mut self, name: &str, value: u64) -> Result<(), PortError>;
+
+    /// Current value of a named output port.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::NoSuchOutput`] if no such output port exists.
+    fn try_output(&mut self, name: &str) -> Result<u64, PortError>;
+
+    /// Current value of a signal (settling first if needed).
+    fn value(&mut self, signal: SignalId) -> u64;
+
+    /// Drives a top-level input by port name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such input port exists or the value does not fit.
+    fn set_input_by_name(&mut self, name: &str, value: u64) {
+        self.try_set_input_by_name(name, value)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Current value of a named output port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such output port exists.
+    fn output(&mut self, name: &str) -> u64 {
+        self.try_output(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+impl SimControl for Simulator<'_> {
+    fn cycle(&self) -> u64 {
+        Simulator::cycle(self)
+    }
+
+    fn set_input(&mut self, signal: SignalId, value: u64) {
+        Simulator::set_input(self, signal, value);
+    }
+
+    fn try_set_input_by_name(&mut self, name: &str, value: u64) -> Result<(), PortError> {
+        Simulator::try_set_input_by_name(self, name, value)
+    }
+
+    fn try_output(&mut self, name: &str) -> Result<u64, PortError> {
+        Simulator::try_output(self, name)
+    }
+
+    fn value(&mut self, signal: SignalId) -> u64 {
+        Simulator::value(self, signal)
+    }
+}
 
 /// A testbench drives a design's inputs cycle-by-cycle and may observe
 /// outputs. The same testbench object can be replayed against the software
@@ -15,11 +95,11 @@ pub trait Testbench {
 
     /// Applies the inputs for `cycle` (0-based, called before the clock
     /// edge of that cycle).
-    fn apply(&mut self, cycle: u64, sim: &mut Simulator<'_>);
+    fn apply(&mut self, cycle: u64, sim: &mut dyn SimControl);
 
     /// Observes outputs after the settle for `cycle`'s inputs but before
     /// the clock edge. The default does nothing.
-    fn observe(&mut self, cycle: u64, sim: &mut Simulator<'_>) {
+    fn observe(&mut self, cycle: u64, sim: &mut dyn SimControl) {
         let _ = (cycle, sim);
     }
 }
@@ -30,8 +110,8 @@ pub trait Testbench {
 pub fn run(sim: &mut Simulator<'_>, tb: &mut dyn Testbench) -> u64 {
     let cycles = tb.cycles();
     for cycle in 0..cycles {
-        tb.apply(cycle, sim);
-        tb.observe(cycle, sim);
+        tb.apply(cycle, &mut *sim);
+        tb.observe(cycle, &mut *sim);
         sim.step();
     }
     cycles
@@ -57,7 +137,7 @@ impl Testbench for ConstInputs {
         self.cycles
     }
 
-    fn apply(&mut self, _cycle: u64, sim: &mut Simulator<'_>) {
+    fn apply(&mut self, _cycle: u64, sim: &mut dyn SimControl) {
         for (sig, v) in &self.values {
             sim.set_input(*sig, *v);
         }
@@ -108,13 +188,13 @@ impl Testbench for VectorTestbench {
         self.vectors.len() as u64
     }
 
-    fn apply(&mut self, cycle: u64, sim: &mut Simulator<'_>) {
+    fn apply(&mut self, cycle: u64, sim: &mut dyn SimControl) {
         for (name, value) in &self.vectors[cycle as usize] {
             sim.set_input_by_name(name, *value);
         }
     }
 
-    fn observe(&mut self, _cycle: u64, sim: &mut Simulator<'_>) {
+    fn observe(&mut self, _cycle: u64, sim: &mut dyn SimControl) {
         if let Some(port) = &self.watch {
             let v = sim.output(port);
             self.captured.push(v);

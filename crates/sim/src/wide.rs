@@ -1,0 +1,1103 @@
+//! Bit-parallel 64-lane RTL simulation.
+//!
+//! [`WideSimulator`] evaluates a [`Design`] for 64 *independent* stimulus
+//! vectors at once. Every signal bit is stored as one `u64` *slice* whose
+//! bit `l` is that signal bit's value in lane `l` (see [`pe_util::lanes`]);
+//! combinational components are evaluated with plain word-wide
+//! AND/OR/XOR/NOT over the slices, so one pass over the netlist advances
+//! 64 simulations. This is the software analogue of the paper's FPGA
+//! datapath, which evaluates every power model simultaneously in hardware:
+//! the word width plays the role of the hardware's spatial parallelism.
+//!
+//! Semantics are bit-identical to the serial [`Simulator`] per lane —
+//! two-phase synchronous evaluation (settle in topological order, then a
+//! capture/commit clock edge), read-first memories, enable-gated
+//! registers, multi-clock domains, and the exact edge-case behaviour of
+//! every [`ComponentKind`] (shift saturation, mux clamping, signed
+//! compares). The differential suite (`tests/differential.rs`) and the
+//! property harness enforce this lane-for-lane against fresh serial runs.
+//!
+//! Lanes are fully independent: every operation is either a bitwise word
+//! op (columns never mix) or an explicitly per-lane scalar op (memory
+//! addressing, large table lookups). Driving one lane's inputs can never
+//! perturb another lane.
+
+use crate::testbench::{SimControl, Testbench};
+use pe_rtl::{ComponentKind, Design, DesignError, SignalId};
+use pe_util::lanes::LANES;
+use pe_util::PortError;
+
+/// Bit-slice location of a signal: offset into the slice arena plus width.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    off: u32,
+    width: u32,
+}
+
+/// Pre-compiled evaluation record for one combinational component.
+#[derive(Debug)]
+struct WideOp {
+    kind: ComponentKind,
+    ins: Vec<Slot>,
+    out: Slot,
+}
+
+/// Pre-compiled record for a register.
+#[derive(Debug)]
+struct WideReg {
+    d: Slot,
+    en: Option<u32>,
+    q: Slot,
+    clock: u32,
+    scratch: u32,
+}
+
+/// Per-lane staging buffer for one top-level input. Lane writes land
+/// here in O(1); the buffer transposes into the bit-slice arena once per
+/// settle, so driving all 64 lanes costs one transpose per input instead
+/// of a per-bit read-modify-write per lane. The port name and width mask
+/// are carried so by-name driving resolves and validates in one pass.
+#[derive(Debug)]
+struct StagedInput<'a> {
+    name: &'a str,
+    slot: Slot,
+    mask: u64,
+    lanes: [u64; LANES],
+    dirty: bool,
+}
+
+/// Pre-compiled record for a memory.
+#[derive(Debug)]
+struct WideMem {
+    raddr: Slot,
+    waddr: Slot,
+    wdata: Slot,
+    wen: u32,
+    rdata: Slot,
+    words: u32,
+    clock: u32,
+    state_index: usize,
+}
+
+/// A 64-lane bit-parallel simulator for a [`Design`].
+///
+/// Construction mirrors [`Simulator::new`]; every lane starts from the
+/// same power-on state (register `init` values, memory initial contents,
+/// zeroed inputs). Inputs are driven per lane with
+/// [`WideSimulator::set_input_lane`] (or across all lanes with
+/// [`WideSimulator::broadcast_input`]), and values are read back per lane
+/// with [`WideSimulator::value_lane`]. [`WideSimulator::lane`] wraps one
+/// lane as a [`SimControl`] so unmodified [`Testbench`]es can drive it.
+#[derive(Debug)]
+pub struct WideSimulator<'a> {
+    design: &'a Design,
+    slots: Vec<Slot>,
+    slices: Vec<u64>,
+    ops: Vec<WideOp>,
+    regs: Vec<WideReg>,
+    mems: Vec<WideMem>,
+    /// Per-memory backing store, `state[word * LANES + lane]`.
+    mem_state: Vec<Vec<u64>>,
+    reg_scratch: Vec<u64>,
+    staged: Vec<StagedInput<'a>>,
+    /// Signal index → index into `staged`, for input-driven signals.
+    staged_of: Vec<Option<u32>>,
+    dirty: bool,
+    cycle: u64,
+}
+
+impl<'a> WideSimulator<'a> {
+    /// Compiles a design for 64-lane simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the design's validation error if it is not a well-formed
+    /// synchronous netlist.
+    pub fn new(design: &'a Design) -> Result<Self, DesignError> {
+        design.validate()?;
+        let order = pe_rtl::topo_order(design)?;
+        let mut slots = Vec::with_capacity(design.signals().len());
+        let mut off = 0u32;
+        for sig in design.signals() {
+            let width = sig.width();
+            slots.push(Slot { off, width });
+            off += width;
+        }
+        let slices = vec![0u64; off as usize];
+        let slot = |s: SignalId| slots[s.index()];
+        let mut ops = Vec::with_capacity(order.len());
+        for id in order {
+            let comp = design.component(id);
+            ops.push(WideOp {
+                kind: comp.kind().clone(),
+                ins: comp.inputs().iter().map(|&s| slot(s)).collect(),
+                out: slot(comp.output()),
+            });
+        }
+        let mut regs = Vec::new();
+        let mut mems = Vec::new();
+        let mut mem_state = Vec::new();
+        let mut scratch_len = 0u32;
+        for comp in design.components() {
+            match comp.kind() {
+                ComponentKind::Register { has_enable, .. } => {
+                    let q = slot(comp.output());
+                    regs.push(WideReg {
+                        d: slot(comp.inputs()[0]),
+                        en: has_enable.then(|| slot(comp.inputs()[1]).off),
+                        q,
+                        clock: comp.clock().expect("registers are clocked").index() as u32,
+                        scratch: scratch_len,
+                    });
+                    scratch_len += q.width;
+                }
+                ComponentKind::Memory { words, .. } => {
+                    mems.push(WideMem {
+                        raddr: slot(comp.inputs()[0]),
+                        waddr: slot(comp.inputs()[1]),
+                        wdata: slot(comp.inputs()[2]),
+                        wen: slot(comp.inputs()[3]).off,
+                        rdata: slot(comp.output()),
+                        words: *words,
+                        clock: comp.clock().expect("memories are clocked").index() as u32,
+                        state_index: mem_state.len(),
+                    });
+                    mem_state.push(Vec::new());
+                }
+                _ => {}
+            }
+        }
+        let mut staged = Vec::with_capacity(design.inputs().len());
+        let mut staged_of = vec![None; design.signals().len()];
+        for port in design.inputs() {
+            let sig = port.signal();
+            staged_of[sig.index()] = Some(staged.len() as u32);
+            let slot = slots[sig.index()];
+            staged.push(StagedInput {
+                name: port.name(),
+                slot,
+                mask: pe_util::bits::mask(slot.width),
+                lanes: [0u64; LANES],
+                dirty: false,
+            });
+        }
+        let mut sim = Self {
+            design,
+            slots,
+            slices,
+            ops,
+            regs,
+            mems,
+            mem_state,
+            reg_scratch: vec![0u64; scratch_len as usize],
+            staged,
+            staged_of,
+            dirty: true,
+            cycle: 0,
+        };
+        sim.load_power_on_state();
+        Ok(sim)
+    }
+
+    fn load_power_on_state(&mut self) {
+        for comp in self.design.components() {
+            match comp.kind() {
+                ComponentKind::Register { init, .. } => {
+                    let q = self.slots[comp.output().index()];
+                    broadcast(&mut self.slices, q, *init);
+                }
+                ComponentKind::Memory { words, init } => {
+                    let mem = self
+                        .mems
+                        .iter()
+                        .find(|m| m.rdata.off == self.slots[comp.output().index()].off)
+                        .expect("memory was compiled");
+                    let state = &mut self.mem_state[mem.state_index];
+                    state.clear();
+                    state.resize(*words as usize * LANES, 0);
+                    if let Some(init) = init {
+                        for (w, &v) in init.iter().enumerate() {
+                            state[w * LANES..(w + 1) * LANES].fill(v);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The design under simulation.
+    pub fn design(&self) -> &'a Design {
+        self.design
+    }
+
+    /// Number of clock edges stepped so far (shared by all lanes).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Drives a top-level input signal in one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal` is not input-driven, `value` does not fit its
+    /// width, or `lane >= 64`.
+    pub fn set_input_lane(&mut self, signal: SignalId, lane: usize, value: u64) {
+        assert!(lane < LANES, "lane {lane} out of range 0..{LANES}");
+        let Some(si) = self.staged_of[signal.index()] else {
+            panic!(
+                "signal `{}` is not a top-level input",
+                self.design.signal(signal).name()
+            );
+        };
+        let st = &mut self.staged[si as usize];
+        assert!(
+            value & !st.mask == 0,
+            "value {:#x} does not fit `{}` ({} bits)",
+            value,
+            self.design.signal(signal).name(),
+            st.slot.width
+        );
+        if st.lanes[lane] != value {
+            st.lanes[lane] = value;
+            st.dirty = true;
+            self.dirty = true;
+        }
+    }
+
+    /// Drives a named top-level input in one lane: the by-name fast path
+    /// used by [`WideLane`], resolving and validating against the staging
+    /// table in one pass.
+    fn stage_by_name(&mut self, name: &str, lane: usize, value: u64) -> Result<(), PortError> {
+        let Some(st) = self.staged.iter_mut().find(|s| s.name == name) else {
+            return Err(PortError::NoSuchInput(name.to_string()));
+        };
+        if value & !st.mask != 0 {
+            return Err(PortError::ValueTooWide {
+                port: name.to_string(),
+                value,
+                width: st.slot.width,
+            });
+        }
+        if st.lanes[lane] != value {
+            st.lanes[lane] = value;
+            st.dirty = true;
+            self.dirty = true;
+        }
+        Ok(())
+    }
+
+    /// Drives a top-level input signal to the same value in **all** lanes.
+    ///
+    /// # Panics
+    ///
+    /// As [`WideSimulator::set_input_lane`].
+    pub fn broadcast_input(&mut self, signal: SignalId, value: u64) {
+        let Some(si) = self.staged_of[signal.index()] else {
+            panic!(
+                "signal `{}` is not a top-level input",
+                self.design.signal(signal).name()
+            );
+        };
+        let st = &mut self.staged[si as usize];
+        assert!(
+            value & !st.mask == 0,
+            "value {:#x} does not fit `{}` ({} bits)",
+            value,
+            self.design.signal(signal).name(),
+            st.slot.width
+        );
+        if st.lanes.iter().any(|&v| v != value) {
+            st.lanes.fill(value);
+            st.dirty = true;
+            self.dirty = true;
+        }
+    }
+
+    fn settle(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        for st in &mut self.staged {
+            if st.dirty {
+                let range = st.slot.off as usize..(st.slot.off + st.slot.width) as usize;
+                pe_util::lanes::pack_lanes(&st.lanes, st.slot.width, &mut self.slices[range]);
+                st.dirty = false;
+            }
+        }
+        for op in &self.ops {
+            eval_wide(&op.kind, &op.ins, op.out, &mut self.slices);
+        }
+        self.dirty = false;
+    }
+
+    /// Current value of a signal in one lane (settling first if needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn value_lane(&mut self, signal: SignalId, lane: usize) -> u64 {
+        assert!(lane < LANES, "lane {lane} out of range 0..{LANES}");
+        self.settle();
+        let slot = self.slots[signal.index()];
+        gather_lane(&self.slices, slot, lane)
+    }
+
+    /// Current value of a named output port in one lane.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::NoSuchOutput`] if no such output port exists.
+    pub fn try_output_lane(&mut self, name: &str, lane: usize) -> Result<u64, PortError> {
+        let sig = self
+            .design
+            .find_output(name)
+            .ok_or_else(|| PortError::NoSuchOutput(name.to_string()))?;
+        Ok(self.value_lane(sig, lane))
+    }
+
+    /// Current value of a named output port in one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such output port exists.
+    pub fn output_lane(&mut self, name: &str, lane: usize) -> u64 {
+        self.try_output_lane(name, lane)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Settles and returns the raw bit-slices of a signal: element `i`
+    /// holds bit `i` of the signal across all 64 lanes. This is the hot
+    /// read of packed power-model evaluation (XOR transition detection
+    /// over slices, 64 cycles of switching activity per word op).
+    pub fn slices(&mut self, signal: SignalId) -> &[u64] {
+        self.settle();
+        let slot = self.slots[signal.index()];
+        &self.slices[slot.off as usize..(slot.off + slot.width) as usize]
+    }
+
+    /// Advances one clock edge on **all** clock domains in every lane.
+    pub fn step(&mut self) {
+        self.step_domains(None);
+    }
+
+    /// Advances one clock edge on the given domain only.
+    pub fn step_clock(&mut self, clock: pe_rtl::ClockId) {
+        self.step_domains(Some(clock.index() as u32));
+    }
+
+    fn step_domains(&mut self, only: Option<u32>) {
+        self.settle();
+        // Capture phase: next-state from the settled slices, commit after —
+        // simultaneous edges, exactly as the serial engine.
+        for reg in &self.regs {
+            if only.is_some_and(|c| c != reg.clock) {
+                continue;
+            }
+            let w = reg.q.width as usize;
+            let (d0, s0) = (reg.d.off as usize, reg.scratch as usize);
+            match reg.en {
+                // No enable: next state is the settled D input wholesale.
+                None => self.reg_scratch[s0..s0 + w].copy_from_slice(&self.slices[d0..d0 + w]),
+                Some(e) => {
+                    let en = self.slices[e as usize];
+                    let q0 = reg.q.off as usize;
+                    for i in 0..w {
+                        let d = self.slices[d0 + i];
+                        let q = self.slices[q0 + i];
+                        self.reg_scratch[s0 + i] = (en & d) | (!en & q);
+                    }
+                }
+            }
+        }
+        // Memory capture: per-lane scalar addressing. `rdata` next-values
+        // are staged in the scratch lane buffers and committed with the
+        // registers below.
+        let mut mem_rdata: Vec<[u64; LANES]> = Vec::with_capacity(self.mems.len());
+        let mut mem_writes: Vec<(usize, [u64; LANES], [u64; LANES], u64)> =
+            Vec::with_capacity(self.mems.len());
+        for mem in &self.mems {
+            if only.is_some_and(|c| c != mem.clock) {
+                continue;
+            }
+            let mut raddr = [0u64; LANES];
+            unpack_slot(&self.slices, mem.raddr, &mut raddr);
+            let state = &self.mem_state[mem.state_index];
+            let words = mem.words as usize;
+            let mut read = [0u64; LANES];
+            for l in 0..LANES {
+                read[l] = state[(raddr[l] as usize % words) * LANES + l];
+            }
+            mem_rdata.push(read);
+            let wen = self.slices[mem.wen as usize];
+            if wen != 0 {
+                let mut waddr = [0u64; LANES];
+                let mut wdata = [0u64; LANES];
+                unpack_slot(&self.slices, mem.waddr, &mut waddr);
+                unpack_slot(&self.slices, mem.wdata, &mut wdata);
+                mem_writes.push((mem.state_index, waddr, wdata, wen));
+            }
+        }
+        // Commit phase.
+        for reg in &self.regs {
+            if only.is_some_and(|c| c != reg.clock) {
+                continue;
+            }
+            let w = reg.q.width as usize;
+            let (q0, s0) = (reg.q.off as usize, reg.scratch as usize);
+            self.slices[q0..q0 + w].copy_from_slice(&self.reg_scratch[s0..s0 + w]);
+        }
+        let mut next_read = mem_rdata.into_iter();
+        for mem in &self.mems {
+            if only.is_some_and(|c| c != mem.clock) {
+                continue;
+            }
+            let read = next_read.next().expect("captured above");
+            pack_slot(&read, mem.rdata, &mut self.slices);
+        }
+        for (state_index, waddr, wdata, wen) in mem_writes {
+            let words = self.mems.iter().find(|m| m.state_index == state_index);
+            let words = words.expect("memory exists").words as usize;
+            let state = &mut self.mem_state[state_index];
+            let mut w = wen;
+            while w != 0 {
+                let l = w.trailing_zeros() as usize;
+                w &= w - 1;
+                state[(waddr[l] as usize % words) * LANES + l] = wdata[l];
+            }
+        }
+        self.cycle += 1;
+        self.dirty = true;
+    }
+
+    /// Runs `n` clock edges on all domains.
+    pub fn step_n(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Resets every lane to power-on state: registers to `init`, memories
+    /// to initial contents, inputs to zero, cycle counter to 0.
+    pub fn reset(&mut self) {
+        self.slices.fill(0);
+        for st in &mut self.staged {
+            st.lanes.fill(0);
+            st.dirty = false;
+        }
+        self.load_power_on_state();
+        self.cycle = 0;
+        self.dirty = true;
+    }
+
+    /// A [`SimControl`] view of one lane, for driving with an unmodified
+    /// [`Testbench`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn lane<'s>(&'s mut self, lane: usize) -> WideLane<'s, 'a> {
+        assert!(lane < LANES, "lane {lane} out of range 0..{LANES}");
+        WideLane { sim: self, lane }
+    }
+}
+
+/// One lane of a [`WideSimulator`], exposed through [`SimControl`] so a
+/// [`Testbench`] written for the serial engine can drive it unchanged.
+#[derive(Debug)]
+pub struct WideLane<'s, 'a> {
+    sim: &'s mut WideSimulator<'a>,
+    lane: usize,
+}
+
+impl SimControl for WideLane<'_, '_> {
+    fn cycle(&self) -> u64 {
+        self.sim.cycle()
+    }
+
+    fn set_input(&mut self, signal: SignalId, value: u64) {
+        self.sim.set_input_lane(signal, self.lane, value);
+    }
+
+    fn try_set_input_by_name(&mut self, name: &str, value: u64) -> Result<(), PortError> {
+        self.sim.stage_by_name(name, self.lane, value)
+    }
+
+    fn try_output(&mut self, name: &str) -> Result<u64, PortError> {
+        self.sim.try_output_lane(name, self.lane)
+    }
+
+    fn value(&mut self, signal: SignalId) -> u64 {
+        self.sim.value_lane(signal, self.lane)
+    }
+}
+
+/// Runs up to 64 testbenches in lock-step, one per lane. Lane `l` executes
+/// `tbs[l]` exactly as [`crate::run`] would against a serial simulator;
+/// lanes whose testbench has fewer cycles than the longest simply stop
+/// receiving stimulus (their inputs hold). Returns the number of clock
+/// edges stepped (the maximum cycle count).
+///
+/// # Panics
+///
+/// Panics if more than 64 testbenches are supplied.
+pub fn run_lanes(sim: &mut WideSimulator<'_>, tbs: &mut [Box<dyn Testbench>]) -> u64 {
+    assert!(
+        tbs.len() <= LANES,
+        "at most {LANES} lanes, got {}",
+        tbs.len()
+    );
+    let cycles = tbs.iter().map(|t| t.cycles()).max().unwrap_or(0);
+    for cycle in 0..cycles {
+        // Apply every lane's inputs before any lane observes: lanes are
+        // independent, so this is per-lane equivalent to the serial
+        // apply/observe order but settles the whole pack only once.
+        for (lane, tb) in tbs.iter_mut().enumerate() {
+            if cycle < tb.cycles() {
+                tb.apply(cycle, &mut sim.lane(lane));
+            }
+        }
+        for (lane, tb) in tbs.iter_mut().enumerate() {
+            if cycle < tb.cycles() {
+                tb.observe(cycle, &mut sim.lane(lane));
+            }
+        }
+        sim.step();
+    }
+    cycles
+}
+
+/// Broadcasts a scalar value into a slot: each output slice becomes all-0
+/// or all-1 according to the corresponding value bit.
+fn broadcast(slices: &mut [u64], out: Slot, value: u64) {
+    for i in 0..out.width {
+        slices[(out.off + i) as usize] = if (value >> i) & 1 == 1 { !0u64 } else { 0 };
+    }
+}
+
+/// Reads one lane's scalar value out of a slot.
+fn gather_lane(slices: &[u64], slot: Slot, lane: usize) -> u64 {
+    let mut v = 0u64;
+    for i in 0..slot.width {
+        v |= ((slices[(slot.off + i) as usize] >> lane) & 1) << i;
+    }
+    v
+}
+
+/// Unpacks a slot's slices into per-lane scalars via the 64×64 transpose.
+fn unpack_slot(slices: &[u64], slot: Slot, lanes: &mut [u64; LANES]) {
+    pe_util::lanes::unpack_lanes(
+        &slices[slot.off as usize..(slot.off + slot.width) as usize],
+        lanes,
+    );
+}
+
+/// Packs per-lane scalars into a slot's slices.
+fn pack_slot(lanes: &[u64; LANES], slot: Slot, slices: &mut [u64]) {
+    pe_util::lanes::pack_lanes(
+        lanes,
+        slot.width,
+        &mut slices[slot.off as usize..(slot.off + slot.width) as usize],
+    );
+}
+
+/// Bit `i` of slot `s` across all lanes, reading 0 beyond the slot's width
+/// (values are zero-extended exactly as the serial engine's masked words).
+#[inline]
+fn rd(slices: &[u64], s: Slot, i: u32) -> u64 {
+    if i < s.width {
+        slices[(s.off + i) as usize]
+    } else {
+        0
+    }
+}
+
+/// All-lanes mask of `slot == value` for a constant `value`. Exits as
+/// soon as the mask empties (no lane can match any more).
+fn eq_const(slices: &[u64], s: Slot, value: u64) -> u64 {
+    let mut m = !0u64;
+    for i in 0..s.width {
+        let bit = slices[(s.off + i) as usize];
+        m &= if (value >> i) & 1 == 1 { bit } else { !bit };
+        if m == 0 {
+            return 0;
+        }
+    }
+    m
+}
+
+/// Lane-mask of `a < b` (unsigned) via the final borrow of `a - b`.
+/// When `signed` is set the MSBs are flipped first (two's-complement
+/// order is unsigned order with the sign bit inverted).
+fn lt_mask(slices: &[u64], a: Slot, b: Slot, w: u32, signed: bool) -> u64 {
+    let mut borrow = 0u64;
+    for i in 0..w {
+        let mut ai = rd(slices, a, i);
+        let mut bi = rd(slices, b, i);
+        if signed && i == w - 1 {
+            ai = !ai;
+            bi = !bi;
+        }
+        // Borrow of a - b at bit i.
+        borrow = (!ai & bi) | (borrow & !(ai ^ bi));
+    }
+    borrow
+}
+
+/// Evaluates one combinational component over all 64 lanes.
+///
+/// The output slot never aliases an input slot (combinational cycles are
+/// rejected at design validation), so writes may proceed in place while
+/// inputs are still being read — except where noted (shifts copy into the
+/// output first and then permute it in place).
+fn eval_wide(kind: &ComponentKind, ins: &[Slot], out: Slot, slices: &mut [u64]) {
+    match kind {
+        ComponentKind::Add => {
+            let (a, b) = (ins[0], ins[1]);
+            let mut carry = 0u64;
+            for i in 0..out.width {
+                let ai = rd(slices, a, i);
+                let bi = rd(slices, b, i);
+                slices[(out.off + i) as usize] = ai ^ bi ^ carry;
+                carry = (ai & bi) | (carry & (ai ^ bi));
+            }
+        }
+        ComponentKind::Sub => {
+            let (a, b) = (ins[0], ins[1]);
+            let mut borrow = 0u64;
+            for i in 0..out.width {
+                let ai = rd(slices, a, i);
+                let bi = rd(slices, b, i);
+                slices[(out.off + i) as usize] = ai ^ bi ^ borrow;
+                borrow = (!ai & bi) | (borrow & !(ai ^ bi));
+            }
+        }
+        ComponentKind::Mul => {
+            // Shift-add over the narrower operand's bits; carries ripple
+            // only up to the truncated output width.
+            let (a, b) = if ins[0].width <= ins[1].width {
+                (ins[1], ins[0])
+            } else {
+                (ins[0], ins[1])
+            };
+            for i in 0..out.width {
+                slices[(out.off + i) as usize] = 0;
+            }
+            for j in 0..b.width.min(out.width) {
+                let bj = rd(slices, b, j);
+                let mut carry = 0u64;
+                for i in 0..(out.width - j) {
+                    let pp = rd(slices, a, i) & bj;
+                    let acc = slices[(out.off + j + i) as usize];
+                    slices[(out.off + j + i) as usize] = acc ^ pp ^ carry;
+                    carry = (acc & pp) | (carry & (acc ^ pp));
+                }
+            }
+        }
+        ComponentKind::Neg => {
+            // -a == ~a + 1: invert and ripple an initial carry of 1.
+            let a = ins[0];
+            let mut carry = !0u64;
+            for i in 0..out.width {
+                let ai = !rd(slices, a, i);
+                slices[(out.off + i) as usize] = ai ^ carry;
+                carry &= ai;
+            }
+        }
+        ComponentKind::Eq => {
+            slices[out.off as usize] = eq_mask(slices, ins[0], ins[1]);
+        }
+        ComponentKind::Ne => {
+            slices[out.off as usize] = !eq_mask(slices, ins[0], ins[1]);
+        }
+        ComponentKind::Lt => {
+            slices[out.off as usize] = lt_mask(slices, ins[0], ins[1], ins[0].width, false);
+        }
+        ComponentKind::Le => {
+            slices[out.off as usize] = !lt_mask(slices, ins[1], ins[0], ins[0].width, false);
+        }
+        ComponentKind::SLt => {
+            slices[out.off as usize] = lt_mask(slices, ins[0], ins[1], ins[0].width, true);
+        }
+        ComponentKind::SLe => {
+            slices[out.off as usize] = !lt_mask(slices, ins[1], ins[0], ins[0].width, true);
+        }
+        ComponentKind::And => {
+            for i in 0..out.width {
+                let mut acc = !0u64;
+                for s in ins {
+                    acc &= rd(slices, *s, i);
+                }
+                slices[(out.off + i) as usize] = acc;
+            }
+        }
+        ComponentKind::Or => {
+            for i in 0..out.width {
+                let mut acc = 0u64;
+                for s in ins {
+                    acc |= rd(slices, *s, i);
+                }
+                slices[(out.off + i) as usize] = acc;
+            }
+        }
+        ComponentKind::Xor => {
+            for i in 0..out.width {
+                let mut acc = 0u64;
+                for s in ins {
+                    acc ^= rd(slices, *s, i);
+                }
+                slices[(out.off + i) as usize] = acc;
+            }
+        }
+        ComponentKind::Not => {
+            let a = ins[0];
+            for i in 0..out.width {
+                slices[(out.off + i) as usize] = !rd(slices, a, i);
+            }
+        }
+        ComponentKind::RedAnd => {
+            let a = ins[0];
+            let mut acc = !0u64;
+            for i in 0..a.width {
+                acc &= slices[(a.off + i) as usize];
+            }
+            slices[out.off as usize] = acc;
+        }
+        ComponentKind::RedOr => {
+            let a = ins[0];
+            let mut acc = 0u64;
+            for i in 0..a.width {
+                acc |= slices[(a.off + i) as usize];
+            }
+            slices[out.off as usize] = acc;
+        }
+        ComponentKind::RedXor => {
+            let a = ins[0];
+            let mut acc = 0u64;
+            for i in 0..a.width {
+                acc ^= slices[(a.off + i) as usize];
+            }
+            slices[out.off as usize] = acc;
+        }
+        ComponentKind::Shl => {
+            // Barrel shifter: copy the data into the output, then apply
+            // each amount bit as a conditional stage. Stage distance is
+            // clamped to the width so lanes with amount ≥ width end up 0
+            // (matching the serial saturation rule).
+            let (a, amt) = (ins[0], ins[1]);
+            for i in 0..out.width {
+                slices[(out.off + i) as usize] = rd(slices, a, i);
+            }
+            for j in 0..amt.width {
+                let aj = slices[(amt.off + j) as usize];
+                if aj == 0 {
+                    continue;
+                }
+                let dist = (1u64 << j.min(32)).min(out.width as u64) as u32;
+                for i in (0..out.width).rev() {
+                    let src = if i >= dist {
+                        slices[(out.off + i - dist) as usize]
+                    } else {
+                        0
+                    };
+                    let cur = slices[(out.off + i) as usize];
+                    slices[(out.off + i) as usize] = (aj & src) | (!aj & cur);
+                }
+            }
+        }
+        ComponentKind::Shr | ComponentKind::Sar => {
+            let (a, amt) = (ins[0], ins[1]);
+            let fill = if matches!(kind, ComponentKind::Sar) {
+                slices[(a.off + a.width - 1) as usize]
+            } else {
+                0
+            };
+            for i in 0..out.width {
+                slices[(out.off + i) as usize] = rd(slices, a, i);
+            }
+            for j in 0..amt.width {
+                let aj = slices[(amt.off + j) as usize];
+                if aj == 0 {
+                    continue;
+                }
+                let dist = (1u64 << j.min(32)).min(out.width as u64) as u32;
+                for i in 0..out.width {
+                    let src = if i + dist < out.width {
+                        slices[(out.off + i + dist) as usize]
+                    } else {
+                        fill
+                    };
+                    let cur = slices[(out.off + i) as usize];
+                    slices[(out.off + i) as usize] = (aj & src) | (!aj & cur);
+                }
+            }
+        }
+        ComponentKind::Mux => {
+            let sel = ins[0];
+            let n_data = ins.len() - 1;
+            if n_data == 2 {
+                // Two legs: any non-zero select picks the second (the
+                // clamp-to-last rule makes sel ≥ 2 equivalent to 1), so a
+                // single OR-reduction of the select bits is the leg mask.
+                let mut m1 = 0u64;
+                for i in 0..sel.width {
+                    m1 |= slices[(sel.off + i) as usize];
+                }
+                let (a, b) = (ins[1], ins[2]);
+                for i in 0..out.width {
+                    slices[(out.off + i) as usize] =
+                        (m1 & rd(slices, b, i)) | (!m1 & rd(slices, a, i));
+                }
+                return;
+            }
+            // General case: accumulate legs under their one-hot select
+            // masks into a stack buffer (zipped, so the hot inner loop is
+            // bounds-check free), then store the result once.
+            let w = out.width as usize;
+            let mut acc = [0u64; 64];
+            let mut used = 0u64;
+            for d in 0..n_data {
+                // The last data input also absorbs every out-of-range
+                // select value (the serial clamp-to-last rule).
+                let m = if d + 1 == n_data {
+                    !used
+                } else {
+                    let m = eq_const(slices, sel, d as u64);
+                    used |= m;
+                    m
+                };
+                if m == 0 {
+                    continue;
+                }
+                let leg = ins[1 + d];
+                let lw = (leg.width as usize).min(w);
+                let leg_sl = &slices[leg.off as usize..leg.off as usize + lw];
+                for (a, &s) in acc[..lw].iter_mut().zip(leg_sl) {
+                    *a |= m & s;
+                }
+            }
+            slices[out.off as usize..out.off as usize + w].copy_from_slice(&acc[..w]);
+        }
+        ComponentKind::Slice { lo } => {
+            let a = ins[0];
+            for i in 0..out.width {
+                slices[(out.off + i) as usize] = slices[(a.off + lo + i) as usize];
+            }
+        }
+        ComponentKind::Concat => {
+            let mut shift = 0u32;
+            for s in ins {
+                for k in 0..s.width {
+                    if shift + k < out.width {
+                        slices[(out.off + shift + k) as usize] = slices[(s.off + k) as usize];
+                    }
+                }
+                shift += s.width;
+            }
+        }
+        ComponentKind::ZeroExt => {
+            let a = ins[0];
+            for i in 0..out.width {
+                slices[(out.off + i) as usize] = rd(slices, a, i);
+            }
+        }
+        ComponentKind::SignExt => {
+            let a = ins[0];
+            let sign = slices[(a.off + a.width - 1) as usize];
+            for i in 0..out.width {
+                slices[(out.off + i) as usize] = if i < a.width {
+                    slices[(a.off + i) as usize]
+                } else {
+                    sign
+                };
+            }
+        }
+        ComponentKind::Const { value } => {
+            broadcast(slices, out, *value);
+        }
+        ComponentKind::Table { table } => {
+            let addr = ins[0];
+            if table.len() <= 64 {
+                // Small tables: one equality mask per entry, OR the
+                // entry's set bits under that mask.
+                for i in 0..out.width {
+                    slices[(out.off + i) as usize] = 0;
+                }
+                for (entry, &tv) in table.iter().enumerate() {
+                    if tv == 0 {
+                        continue;
+                    }
+                    let m = eq_const(slices, addr, entry as u64);
+                    if m == 0 {
+                        continue;
+                    }
+                    let mut v = tv;
+                    while v != 0 {
+                        let i = v.trailing_zeros();
+                        v &= v - 1;
+                        if i < out.width {
+                            slices[(out.off + i) as usize] |= m;
+                        }
+                    }
+                }
+            } else {
+                // Large tables: unpack addresses, look up per lane, repack.
+                let mut addrs = [0u64; LANES];
+                unpack_slot(slices, addr, &mut addrs);
+                let mut vals = [0u64; LANES];
+                for l in 0..LANES {
+                    vals[l] = table[addrs[l] as usize];
+                }
+                pack_slot(&vals, out, slices);
+            }
+        }
+        ComponentKind::Register { .. } | ComponentKind::Memory { .. } => {
+            unreachable!("sequential kinds are handled in the clock-edge step")
+        }
+    }
+}
+
+/// All-lanes mask of `a == b`.
+fn eq_mask(slices: &[u64], a: Slot, b: Slot) -> u64 {
+    let mut m = !0u64;
+    for i in 0..a.width {
+        m &= !(rd(slices, a, i) ^ rd(slices, b, i));
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::testbench::run;
+    use pe_rtl::builder::DesignBuilder;
+    use pe_util::rng::Xoshiro;
+
+    fn counter() -> Design {
+        let mut b = DesignBuilder::new("counter");
+        let clk = b.clock("clk");
+        let one = b.constant(1, 8);
+        let count = b.register_named("count", 8, 0, clk);
+        let next = b.add(count.q(), one);
+        b.connect_d(count, next);
+        b.output("count", count.q());
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn all_lanes_count_in_lock_step() {
+        let d = counter();
+        let mut wide = WideSimulator::new(&d).unwrap();
+        wide.step_n(7);
+        for lane in 0..LANES {
+            assert_eq!(wide.output_lane("count", lane), 7, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let mut b = DesignBuilder::new("mix");
+        let clk = b.clock("clk");
+        let x = b.input("x", 8);
+        let acc = b.register_named("acc", 8, 0, clk);
+        let sum = b.add(acc.q(), x);
+        b.connect_d(acc, sum);
+        b.output("total", acc.q());
+        let d = b.finish().unwrap();
+        let x = d.find_input("x").unwrap();
+        let mut wide = WideSimulator::new(&d).unwrap();
+        for lane in 0..LANES {
+            wide.set_input_lane(x, lane, lane as u64);
+        }
+        wide.step_n(3);
+        for lane in 0..LANES {
+            assert_eq!(
+                wide.output_lane("total", lane),
+                (3 * lane as u64) & 0xFF,
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_lane_matches_serial_on_memory_design() {
+        let mut b = DesignBuilder::new("mem");
+        let clk = b.clock("clk");
+        let raddr = b.input("raddr", 3);
+        let waddr = b.input("waddr", 3);
+        let wdata = b.input("wdata", 8);
+        let wen = b.input("wen", 1);
+        let m = b.memory("m", 8, 8, Some((0..8).map(|i| i * 3).collect()), clk);
+        b.connect_mem(m, raddr, waddr, wdata, wen);
+        b.output("rdata", m.rdata());
+        let d = b.finish().unwrap();
+
+        let mut wide = WideSimulator::new(&d).unwrap();
+        let mut serials: Vec<Simulator<'_>> =
+            (0..LANES).map(|_| Simulator::new(&d).unwrap()).collect();
+        let mut rng = Xoshiro::new(0xD1FF);
+        let ports = ["raddr", "waddr", "wdata", "wen"];
+        let widths = [3u32, 3, 8, 1];
+        for _ in 0..50 {
+            for (lane, serial) in serials.iter_mut().enumerate() {
+                for (p, w) in ports.iter().zip(widths) {
+                    let v = rng.bits(w);
+                    wide.lane(lane).set_input_by_name(p, v);
+                    serial.set_input_by_name(p, v);
+                }
+            }
+            for (lane, serial) in serials.iter_mut().enumerate() {
+                assert_eq!(
+                    wide.output_lane("rdata", lane),
+                    serial.output("rdata"),
+                    "lane {lane}"
+                );
+            }
+            wide.step();
+            for s in &mut serials {
+                s.step();
+            }
+        }
+    }
+
+    #[test]
+    fn run_lanes_drives_testbenches_per_lane() {
+        let d = counter();
+        let mut wide = WideSimulator::new(&d).unwrap();
+        let mut tbs: Vec<Box<dyn Testbench>> = (0..4)
+            .map(|_| Box::new(crate::ConstInputs::new(5, vec![])) as Box<dyn Testbench>)
+            .collect();
+        let stepped = run_lanes(&mut wide, &mut tbs);
+        assert_eq!(stepped, 5);
+        assert_eq!(wide.output_lane("count", 0), 5);
+    }
+
+    #[test]
+    fn reset_restores_power_on_state_in_every_lane() {
+        let d = counter();
+        let mut wide = WideSimulator::new(&d).unwrap();
+        wide.step_n(9);
+        wide.reset();
+        assert_eq!(wide.cycle(), 0);
+        for lane in [0, 13, 63] {
+            assert_eq!(wide.output_lane("count", lane), 0);
+        }
+        wide.step();
+        assert_eq!(wide.output_lane("count", 63), 1);
+    }
+
+    #[test]
+    fn serial_testbench_runs_unmodified_on_a_lane() {
+        let d = counter();
+        let mut serial = Simulator::new(&d).unwrap();
+        let mut tb = crate::ConstInputs::new(12, vec![]);
+        run(&mut serial, &mut tb);
+
+        let mut wide = WideSimulator::new(&d).unwrap();
+        for _ in 0..12 {
+            wide.step();
+        }
+        assert_eq!(wide.output_lane("count", 31), serial.output("count"));
+    }
+}

@@ -1,0 +1,113 @@
+//! 64-lane bit-slicing primitives for bit-parallel simulation.
+//!
+//! The bit-parallel engines ([`pe-sim`'s wide simulator and friends]) store
+//! one `u64` *slice* per signal bit: bit `l` of slice `i` holds bit `i` of
+//! the value observed by lane `l`. Sixty-four independent stimulus vectors
+//! (testbench shards or consecutive strobe windows) then advance through the
+//! netlist with plain word-wide AND/OR/XOR/NOT — the software analogue of
+//! the paper's "evaluate everything at once" FPGA datapath.
+//!
+//! Converting between the two layouts — `LANES` scalar values versus a stack
+//! of bit-slices — is a 64×64 bit-matrix transpose, implemented here with
+//! the classic recursive block-swap (no unsafe, no lookup tables).
+//!
+//! Bit convention: `matrix[row]` bit `col` (LSB = column 0), so for packed
+//! slices `slices[bit]` bit `lane` and for unpacked lanes `lanes[lane]`
+//! bit `bit`. [`transpose64`] is an involution under this convention.
+
+/// Number of independent simulation lanes packed into one `u64` slice.
+pub const LANES: usize = 64;
+
+/// In-place 64×64 bit-matrix transpose (LSB-first columns).
+///
+/// After the call, bit `j` of `a[i]` equals bit `i` of the original `a[j]`.
+/// Applying it twice restores the input.
+pub fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k | j]) & m;
+            a[k | j] ^= t;
+            a[k] ^= t << j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Pack per-lane scalar values into bit-slices.
+///
+/// `lanes[l]` is the scalar value lane `l` observes; the result's element
+/// `i` (for `i < width`) holds bit `i` of every lane. Bits at or above
+/// `width` are ignored. `slices.len()` must be `width`.
+pub fn pack_lanes(lanes: &[u64; LANES], width: u32, slices: &mut [u64]) {
+    debug_assert_eq!(slices.len(), width as usize);
+    let mut m = *lanes;
+    transpose64(&mut m);
+    slices.copy_from_slice(&m[..width as usize]);
+}
+
+/// Unpack bit-slices into per-lane scalar values.
+///
+/// `slices[i]` holds bit `i` of every lane (`slices.len()` bits total, at
+/// most 64). The result's element `l` is lane `l`'s scalar value.
+pub fn unpack_lanes(slices: &[u64], lanes: &mut [u64; LANES]) {
+    debug_assert!(slices.len() <= LANES);
+    lanes.fill(0);
+    lanes[..slices.len()].copy_from_slice(slices);
+    transpose64(lanes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro;
+
+    #[test]
+    fn transpose_matches_bit_by_bit_definition() {
+        let mut rng = Xoshiro::new(0x1a9e5);
+        let mut m = [0u64; 64];
+        for w in m.iter_mut() {
+            *w = rng.next_u64();
+        }
+        let orig = m;
+        transpose64(&mut m);
+        for (i, &row) in m.iter().enumerate() {
+            for (j, &col) in orig.iter().enumerate() {
+                assert_eq!((row >> j) & 1, (col >> i) & 1, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution() {
+        let mut rng = Xoshiro::new(0x7777);
+        let mut m = [0u64; 64];
+        for w in m.iter_mut() {
+            *w = rng.next_u64();
+        }
+        let orig = m;
+        transpose64(&mut m);
+        transpose64(&mut m);
+        assert_eq!(m, orig);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let mut rng = Xoshiro::new(0xbeef);
+        for width in [1u32, 3, 17, 32, 63, 64] {
+            let mut lanes = [0u64; LANES];
+            for l in lanes.iter_mut() {
+                *l = rng.bits(width);
+            }
+            let mut slices = vec![0u64; width as usize];
+            pack_lanes(&lanes, width, &mut slices);
+            let mut back = [0u64; LANES];
+            unpack_lanes(&slices, &mut back);
+            assert_eq!(back, lanes, "width {width}");
+        }
+    }
+}

@@ -14,6 +14,8 @@
 //!   (ridge-regularized normal equations, Cholesky) used by the power-model
 //!   characterization engine.
 //! * [`bits`] — bit-twiddling helpers for transition counting.
+//! * [`lanes`] — 64-lane bit-slicing (pack/unpack via 64×64 bit-matrix
+//!   transpose) shared by the bit-parallel simulation engines.
 //! * [`hash`] — portable FNV-1a-128 content hashing for cache keys and
 //!   artifact integrity (std's `SipHash` is unspecified across releases).
 //! * [`port`] — the named-port lookup error shared by the RTL, gate-level,
@@ -36,6 +38,7 @@
 pub mod bits;
 pub mod fixed;
 pub mod hash;
+pub mod lanes;
 pub mod linalg;
 pub mod port;
 pub mod rng;

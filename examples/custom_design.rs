@@ -12,7 +12,7 @@ use power_emulation::instrument::{instrument, InstrumentConfig};
 use power_emulation::power::{CharacterizeConfig, ModelLibrary};
 use power_emulation::rtl::builder::DesignBuilder;
 use power_emulation::rtl::{text, Design};
-use power_emulation::sim::{Simulator, Testbench};
+use power_emulation::sim::{SimControl, Testbench};
 use power_emulation::util::rng::Xoshiro;
 
 /// A 4-tap FIR filter: y = 3·x + 5·x₋₁ + 5·x₋₂ + 3·x₋₃ (shifted down).
@@ -52,7 +52,7 @@ impl Testbench for NoiseInput {
         self.cycles
     }
 
-    fn apply(&mut self, _cycle: u64, sim: &mut Simulator<'_>) {
+    fn apply(&mut self, _cycle: u64, sim: &mut dyn SimControl) {
         let v = self.rng.bits(8);
         sim.set_input_by_name("x", v);
     }

@@ -12,7 +12,7 @@ use power_emulation::designs::binary_search::{binary_search, TABLE_WORDS};
 use power_emulation::fpga::emulate::EmulationTimeModel;
 use power_emulation::power::CharacterizeConfig;
 use power_emulation::rtl::stats::DesignStats;
-use power_emulation::sim::{Simulator, Testbench};
+use power_emulation::sim::{SimControl, Testbench};
 use power_emulation::util::rng::Xoshiro;
 
 /// Workload: a stream of randomized searches, started back-to-back.
@@ -26,7 +26,7 @@ impl Testbench for SearchWorkload {
         self.cycles
     }
 
-    fn apply(&mut self, _cycle: u64, sim: &mut Simulator<'_>) {
+    fn apply(&mut self, _cycle: u64, sim: &mut dyn SimControl) {
         // Re-arm `start` whenever the previous search finished.
         let done = sim.output("done");
         if done == 1 || sim.cycle() == 0 {

@@ -16,4 +16,7 @@ cargo build --workspace --release --offline
 echo "== cargo test"
 cargo test --workspace --release --offline -q
 
+echo "== wide bench smoke (lane digests verified, BENCH_wide.json)"
+cargo run -p pe-bench --release --offline --bin wide -- --scale test --jobs 2 --out BENCH_wide.json
+
 echo "verify: OK"

@@ -1,0 +1,258 @@
+//! Differential testing of the bit-parallel 64-lane engines against every
+//! serial engine in the workspace.
+//!
+//! The wide simulators claim lane-for-lane bit-identical semantics with
+//! their serial counterparts; this suite enforces the claim on the full
+//! seven-design benchmark suite with seeded per-lane stimulus shards:
+//!
+//! * wide RTL vs 64 fresh serial RTL runs (every output, every cycle);
+//! * wide gate-level and wide LUT-level vs the wide RTL engine
+//!   (cross-substrate, all lanes at once);
+//! * gate-level switching energy per lane vs serial runs (bit-exact f64);
+//! * instrumented `read_energy_fj` per lane vs serial instrumented runs.
+//!
+//! Every assertion names the design, signal, lane, and first diverging
+//! cycle, so a red run points straight at the divergence.
+
+use pe_util::lanes::LANES;
+use power_emulation::designs::suite::{all_benchmarks, benchmark, Benchmark, Scale};
+use power_emulation::fpga::lut::map_to_luts;
+use power_emulation::fpga::WideLutSimulator;
+use power_emulation::gate::cells::CellLibrary;
+use power_emulation::gate::expand::expand_design;
+use power_emulation::gate::{GateSimulator, WideGateSimulator};
+use power_emulation::sim::{Simulator, WideSimulator};
+
+/// Cycles compared per design (the gate/LUT expansions of MPEG4 are the
+/// expensive ones).
+fn budget(name: &str) -> u64 {
+    match name {
+        "MPEG4" => 250,
+        _ => 600,
+    }
+}
+
+/// The design's output ports as `(name, signal)` pairs.
+fn outputs(bench: &Benchmark) -> Vec<(String, power_emulation::rtl::SignalId)> {
+    bench
+        .design
+        .outputs()
+        .iter()
+        .map(|p| (p.name().to_string(), p.signal()))
+        .collect()
+}
+
+/// Input ports as `(name, signal)` pairs.
+fn inputs(bench: &Benchmark) -> Vec<(String, power_emulation::rtl::SignalId)> {
+    bench
+        .design
+        .inputs()
+        .iter()
+        .map(|p| (p.name().to_string(), p.signal()))
+        .collect()
+}
+
+/// Every lane of the wide RTL engine reproduces a fresh serial RTL run of
+/// the same stimulus shard, output for output, cycle for cycle.
+#[test]
+fn wide_rtl_matches_serial_rtl_on_every_lane() {
+    for bench in all_benchmarks() {
+        let cycles = budget(bench.name).min(bench.cycles(Scale::Test));
+        let outs = outputs(&bench);
+
+        let mut wide = WideSimulator::new(&bench.design).expect("wide sim");
+        let mut serials: Vec<Simulator<'_>> = (0..LANES)
+            .map(|_| Simulator::new(&bench.design).expect("serial sim"))
+            .collect();
+        let mut wide_tbs = bench.testbench_shards(cycles, LANES);
+        let mut serial_tbs = bench.testbench_shards(cycles, LANES);
+
+        for cycle in 0..cycles {
+            for lane in 0..LANES {
+                wide_tbs[lane].apply(cycle, &mut wide.lane(lane));
+                serial_tbs[lane].apply(cycle, &mut serials[lane]);
+            }
+            for lane in 0..LANES {
+                wide_tbs[lane].observe(cycle, &mut wide.lane(lane));
+                serial_tbs[lane].observe(cycle, &mut serials[lane]);
+            }
+            for (name, sig) in &outs {
+                for (lane, serial) in serials.iter_mut().enumerate() {
+                    let got = wide.value_lane(*sig, lane);
+                    let want = serial.value(*sig);
+                    assert_eq!(
+                        got, want,
+                        "{}::{name} diverged: lane {lane}, first at cycle {cycle} \
+                         (wide {got:#x}, serial {want:#x})",
+                        bench.name
+                    );
+                }
+            }
+            wide.step();
+            for s in &mut serials {
+                s.step();
+            }
+        }
+    }
+}
+
+/// The wide gate-level and wide LUT-level engines agree with the wide RTL
+/// engine on every lane of the suite workloads (the synthesis path
+/// preserves behaviour lane-for-lane, not just for one stimulus).
+#[test]
+fn wide_gate_and_wide_lut_match_wide_rtl_on_every_lane() {
+    let cells = CellLibrary::cmos130();
+    for bench in all_benchmarks() {
+        let cycles = budget(bench.name).min(bench.cycles(Scale::Test)) / 2;
+        let expanded = expand_design(&bench.design);
+        let mapped = map_to_luts(&expanded.netlist);
+        let ins = inputs(&bench);
+        let outs = outputs(&bench);
+
+        let mut rtl = WideSimulator::new(&bench.design).expect("wide rtl");
+        let mut gate = WideGateSimulator::new(&expanded, &cells);
+        let mut lut = WideLutSimulator::new(&mapped);
+        let mut tbs = bench.testbench_shards(cycles, LANES);
+
+        for cycle in 0..cycles {
+            for (lane, tb) in tbs.iter_mut().enumerate() {
+                tb.apply(cycle, &mut rtl.lane(lane));
+                tb.observe(cycle, &mut rtl.lane(lane));
+            }
+            // Mirror the settled RTL input lanes into the other engines.
+            for (name, sig) in &ins {
+                for lane in 0..LANES {
+                    let v = rtl.value_lane(*sig, lane);
+                    gate.set_input_lane(name, lane, v);
+                    lut.set_input_lane(name, lane, v);
+                }
+            }
+            for (name, sig) in &outs {
+                for lane in 0..LANES {
+                    let want = rtl.value_lane(*sig, lane);
+                    let got_gate = gate.output_lane(name, lane);
+                    assert_eq!(
+                        got_gate, want,
+                        "{}::{name} diverged at gate level: lane {lane}, first at cycle {cycle}",
+                        bench.name
+                    );
+                    let got_lut = lut.output_lane(name, lane);
+                    assert_eq!(
+                        got_lut, want,
+                        "{}::{name} diverged at LUT level: lane {lane}, first at cycle {cycle}",
+                        bench.name
+                    );
+                }
+            }
+            rtl.step();
+            gate.step();
+            lut.step();
+        }
+    }
+}
+
+/// The wide gate engine's per-lane switching energy is bit-exactly the
+/// serial gate engine's, checked on spot lanes across three designs.
+#[test]
+fn wide_gate_energy_is_bit_exact_on_spot_lanes() {
+    let cells = CellLibrary::cmos130();
+    for name in ["Bubble_Sort", "Vld", "DCT"] {
+        let bench = benchmark(name).unwrap();
+        let cycles = 200;
+        let expanded = expand_design(&bench.design);
+        let ins = inputs(&bench);
+
+        let mut wide = WideGateSimulator::new(&expanded, &cells);
+        let mut tbs = bench.testbench_shards(cycles, LANES);
+        // Reference inputs per lane come from serial RTL shard runs.
+        let spot_lanes = [0usize, 17, 63];
+        let mut serial_gates: Vec<GateSimulator<'_>> = spot_lanes
+            .iter()
+            .map(|_| GateSimulator::new(&expanded, &cells))
+            .collect();
+        let mut rtl = WideSimulator::new(&bench.design).expect("wide rtl");
+
+        for cycle in 0..cycles {
+            for (lane, tb) in tbs.iter_mut().enumerate() {
+                tb.apply(cycle, &mut rtl.lane(lane));
+                tb.observe(cycle, &mut rtl.lane(lane));
+            }
+            for (pname, sig) in &ins {
+                for lane in 0..LANES {
+                    let v = rtl.value_lane(*sig, lane);
+                    wide.set_input_lane(pname, lane, v);
+                }
+                for (si, &lane) in spot_lanes.iter().enumerate() {
+                    serial_gates[si].set_input(pname, rtl.value_lane(*sig, lane));
+                }
+            }
+            rtl.step();
+            wide.step();
+            for (si, &lane) in spot_lanes.iter().enumerate() {
+                serial_gates[si].step();
+                let got = wide.last_cycle_energy_fj_lane(lane);
+                let want = serial_gates[si].last_cycle_energy_fj();
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{name} gate energy diverged: lane {lane}, first at cycle {cycle} \
+                     (wide {got} fJ, serial {want} fJ)"
+                );
+            }
+        }
+        for (si, &lane) in spot_lanes.iter().enumerate() {
+            assert_eq!(
+                wide.total_energy_fj_lane(lane).to_bits(),
+                serial_gates[si].total_energy_fj().to_bits(),
+                "{name} total gate energy diverged on lane {lane}"
+            );
+        }
+    }
+}
+
+/// The instrumented design's hardware energy readout is bit-exactly equal
+/// per lane between a 64-lane wide run and fresh serial runs.
+#[test]
+fn instrumented_energy_readout_matches_per_lane() {
+    use power_emulation::core::PowerEmulationFlow;
+    use power_emulation::power::CharacterizeConfig;
+
+    for name in ["Bubble_Sort", "HVPeakF"] {
+        let bench = benchmark(name).unwrap();
+        let cycles = 200;
+        let flow = PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
+        flow.prepare_models(&bench.design).expect("characterize");
+        let (instrumented, _) = flow.stage_instrument(&bench.design).expect("instrument");
+
+        let mut wide = WideSimulator::new(&instrumented.design).expect("wide sim");
+        let mut serials: Vec<Simulator<'_>> = (0..LANES)
+            .map(|_| Simulator::new(&instrumented.design).expect("serial sim"))
+            .collect();
+        let mut wide_tbs = bench.testbench_shards(cycles, LANES);
+        let mut serial_tbs = bench.testbench_shards(cycles, LANES);
+
+        for cycle in 0..cycles {
+            for lane in 0..LANES {
+                wide_tbs[lane].apply(cycle, &mut wide.lane(lane));
+                serial_tbs[lane].apply(cycle, &mut serials[lane]);
+            }
+            wide.step();
+            for s in &mut serials {
+                s.step();
+            }
+            if cycle % 50 != 49 {
+                continue;
+            }
+            for (lane, serial) in serials.iter_mut().enumerate() {
+                let got = instrumented.read_energy_fj_lane(&mut wide, lane);
+                let want = instrumented.read_energy_fj(serial);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{name} instrumented energy diverged: lane {lane}, first at cycle {cycle} \
+                     (wide {got} fJ, serial {want} fJ)"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Golden regression fixtures for the benchmark suite.
+//!
+//! Each design has a committed fixture under `tests/golden/` pinning two
+//! deterministic quantities of its canonical (shard 0) workload:
+//!
+//! * the FNV-1a-128 digest of the full output waveform of a serial RTL
+//!   run at test scale (every output port, every cycle, little-endian);
+//! * the bit-exact gate-level switching energy total over a 200-cycle
+//!   prefix (an `f64::to_bits` hex, so any rounding drift is caught).
+//!
+//! A red run here means observable behaviour or the power arithmetic
+//! changed. If the change is intentional, regenerate the fixtures with
+//! `PE_BLESS=1 cargo test --test golden` and review the diff like any
+//! other code change.
+
+use pe_util::hash::Fnv128;
+use power_emulation::designs::suite::{all_benchmarks, Benchmark, Scale};
+use power_emulation::gate::cells::CellLibrary;
+use power_emulation::gate::expand::expand_design;
+use power_emulation::gate::GateSimulator;
+use power_emulation::sim::Simulator;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Cycles of gate-level energy accumulation per fixture.
+const GATE_CYCLES: u64 = 200;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.golden"))
+}
+
+/// Serial-RTL waveform digest of the canonical workload at test scale.
+fn waveform_digest(bench: &Benchmark) -> (u64, String) {
+    let cycles = bench.cycles(Scale::Test);
+    let mut sim = Simulator::new(&bench.design).expect("rtl sim");
+    let mut tb = bench.testbench(cycles);
+    let outs: Vec<_> = bench.design.outputs().iter().map(|p| p.signal()).collect();
+    let mut h = Fnv128::new();
+    for cycle in 0..cycles {
+        tb.apply(cycle, &mut sim);
+        tb.observe(cycle, &mut sim);
+        for &sig in &outs {
+            h.update(&sim.value(sig).to_le_bytes());
+        }
+        sim.step();
+    }
+    (cycles, h.hex())
+}
+
+/// Gate-level switching energy over the workload prefix, bit-exact.
+fn gate_energy_bits(bench: &Benchmark, cells: &CellLibrary) -> u64 {
+    let expanded = expand_design(&bench.design);
+    let mut gate = GateSimulator::new(&expanded, cells);
+    let mut rtl = Simulator::new(&bench.design).expect("rtl sim");
+    let mut tb = bench.testbench(GATE_CYCLES);
+    let inputs: Vec<_> = bench
+        .design
+        .inputs()
+        .iter()
+        .map(|p| (p.name().to_string(), p.signal()))
+        .collect();
+    for cycle in 0..GATE_CYCLES {
+        tb.apply(cycle, &mut rtl);
+        tb.observe(cycle, &mut rtl);
+        for (name, sig) in &inputs {
+            gate.set_input(name, rtl.value(*sig));
+        }
+        rtl.step();
+        gate.step();
+    }
+    gate.total_energy_fj().to_bits()
+}
+
+/// Renders one design's fixture document.
+fn render(bench: &Benchmark, cells: &CellLibrary) -> String {
+    let (cycles, digest) = waveform_digest(bench);
+    let energy = gate_energy_bits(bench, cells);
+    let mut out = String::new();
+    writeln!(out, "design {}", bench.name).unwrap();
+    writeln!(out, "waveform_cycles {cycles}").unwrap();
+    writeln!(out, "waveform_fnv128 {digest}").unwrap();
+    writeln!(out, "gate_cycles {GATE_CYCLES}").unwrap();
+    writeln!(out, "gate_energy_fj_bits {energy:016x}").unwrap();
+    out
+}
+
+#[test]
+fn suite_matches_golden_fixtures() {
+    let bless = std::env::var_os("PE_BLESS").is_some_and(|v| v == "1");
+    let cells = CellLibrary::cmos130();
+    let mut failures = Vec::new();
+    for bench in all_benchmarks() {
+        let got = render(&bench, &cells);
+        let path = fixture_path(bench.name);
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir tests/golden");
+            std::fs::write(&path, &got).expect("write fixture");
+            eprintln!("blessed {}", path.display());
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(want) if want == got => {}
+            Ok(want) => failures.push(format!(
+                "{}: fixture mismatch\n--- {}\n{want}--- regenerated\n{got}",
+                bench.name,
+                path.display()
+            )),
+            Err(e) => failures.push(format!(
+                "{}: cannot read {} ({e}); regenerate with PE_BLESS=1 cargo test --test golden",
+                bench.name,
+                path.display()
+            )),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden fixtures diverged:\n{}",
+        failures.join("\n")
+    );
+}

@@ -8,7 +8,7 @@ use power_emulation::designs::dct::dct8;
 use power_emulation::power::CharacterizeConfig;
 use power_emulation::rtl::hierarchy::instantiate;
 use power_emulation::rtl::{Design, DesignError};
-use power_emulation::sim::{Simulator, Testbench};
+use power_emulation::sim::{SimControl, Simulator, Testbench};
 use power_emulation::util::rng::Xoshiro;
 
 /// Two DCT cores side by side, processing interleaved sample streams,
@@ -47,7 +47,7 @@ impl Testbench for DualStream {
         self.cycles
     }
 
-    fn apply(&mut self, _cycle: u64, sim: &mut Simulator<'_>) {
+    fn apply(&mut self, _cycle: u64, sim: &mut dyn SimControl) {
         let a = self.rng.bits(8);
         sim.set_input_by_name("sample0", a);
         sim.set_input_by_name("sample1", a ^ 0xFF);
