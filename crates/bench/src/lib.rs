@@ -11,6 +11,10 @@
 //! * `capacity` — device-fit and multi-FPGA partitioning study.
 //! * `lint` — the `pe-lint` static soundness gate over the instrumented
 //!   suite (`--deny all` for CI, `--machine` for `key=value` output).
+//! * `trace` — the observability benchmark: per-design power waveforms
+//!   (serial and wide engines, bit-exact integral invariant), flow-stage
+//!   profiling, and measured tracing overhead (`BENCH_trace.json` plus
+//!   one `.waveform` file per design).
 //!
 //! Every binary speaks the shared [`cli`] dialect (`--scale`, `--jobs`,
 //! `--cache-dir`, `--help`) and runs on the `pe-harness` executor, so

@@ -298,6 +298,37 @@ impl PowerEmulationFlow {
         })
     }
 
+    /// [`PowerEmulationFlow::run`] with every stage wrapped in a
+    /// [`pe_trace::Profiler`] scope (`characterize`, `instrument`,
+    /// `map`, `time`, `partition`), labeled with the design name. The
+    /// stage wall-clock lands in the profiler's JSONL/summary output;
+    /// the result is identical to an unprofiled run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing stage (the spans recorded so far are
+    /// kept, so partial timings survive a failure).
+    pub fn run_profiled(
+        &self,
+        design: &Design,
+        profiler: &pe_trace::Profiler,
+    ) -> Result<FlowResult, FlowError> {
+        let label = design.name();
+        profiler.time("characterize", label, || self.prepare_models(design))?;
+        let (instrumented, overhead) =
+            profiler.time("instrument", label, || self.stage_instrument(design))?;
+        let mapped = profiler.time("map", label, || self.stage_map(&instrumented));
+        let timing = profiler.time("time", label, || self.stage_time(&mapped));
+        let partition = profiler.time("partition", label, || self.stage_partition(&mapped))?;
+        Ok(FlowResult {
+            instrumented,
+            overhead,
+            mapped,
+            timing,
+            partition,
+        })
+    }
+
     /// Step 3: executes the testbench against the enhanced design and
     /// reads the power accumulator back — functionally equivalent to
     /// running on the platform (the wall-clock of *this* simulation is
@@ -398,6 +429,33 @@ mod tests {
         assert_eq!(full.mapped.resource_use().luts, mapped.resource_use().luts);
         assert_eq!(full.timing.fmax_mhz.to_bits(), timing.fmax_mhz.to_bits());
         assert_eq!(full.partition.devices, part.devices);
+    }
+
+    #[test]
+    fn run_profiled_matches_run_and_records_every_stage() {
+        let d = small_design();
+        let flow = PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
+        let plain = flow.run(&d).unwrap();
+
+        let profiled_flow = PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
+        let profiler = pe_trace::Profiler::new();
+        let profiled = profiled_flow.run_profiled(&d, &profiler).unwrap();
+
+        assert_eq!(
+            plain.mapped.resource_use().luts,
+            profiled.mapped.resource_use().luts
+        );
+        assert_eq!(
+            plain.timing.fmax_mhz.to_bits(),
+            profiled.timing.fmax_mhz.to_bits()
+        );
+        let spans = profiler.spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["characterize", "instrument", "map", "time", "partition"]
+        );
+        assert!(spans.iter().all(|s| s.label == "flow_test"));
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub struct LutSimulator<'a> {
     mem_state: Vec<Vec<u64>>,
     dirty: bool,
     cycle: u64,
+    settles: u64,
 }
 
 impl<'a> LutSimulator<'a> {
@@ -50,6 +51,7 @@ impl<'a> LutSimulator<'a> {
             mem_state,
             dirty: true,
             cycle: 0,
+            settles: 0,
         }
     }
 
@@ -58,10 +60,26 @@ impl<'a> LutSimulator<'a> {
         self.cycle
     }
 
+    /// Number of LUT-network settle passes performed so far.
+    pub fn settle_count(&self) -> u64 {
+        self.settles
+    }
+
+    /// Observes this simulator's run counters into `registry`
+    /// (`fpga.cycles`, `fpga.settle_passes` histograms). Call once at
+    /// the end of a run.
+    pub fn record_metrics(&self, registry: &pe_trace::Registry) {
+        registry.histogram("fpga.cycles").observe(self.cycle);
+        registry
+            .histogram("fpga.settle_passes")
+            .observe(self.settles);
+    }
+
     fn settle(&mut self) {
         if !self.dirty {
             return;
         }
+        self.settles += 1;
         for lut in self.netlist.luts() {
             let mut packed = 0u32;
             for (k, &n) in lut.inputs.iter().enumerate() {

@@ -41,6 +41,7 @@ pub struct GateSimulator<'a> {
     period_ns: f64,
     cycle: u64,
     dirty: bool,
+    toggles: u64,
 }
 
 impl<'a> GateSimulator<'a> {
@@ -125,6 +126,7 @@ impl<'a> GateSimulator<'a> {
             period_ns,
             cycle: 0,
             dirty: true,
+            toggles: 0,
         };
         sim.settle();
         sim.prev_settled = sim.values.clone();
@@ -139,6 +141,22 @@ impl<'a> GateSimulator<'a> {
     /// Number of clock edges stepped.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Total gate-output toggles accounted so far — the raw switching
+    /// activity behind the toggle-count energy model.
+    pub fn toggle_count(&self) -> u64 {
+        self.toggles
+    }
+
+    /// Observes this simulator's run counters into `registry`
+    /// (`gate.cycles`, `gate.output_toggles` histograms). Call once at
+    /// the end of a run.
+    pub fn record_metrics(&self, registry: &pe_trace::Registry) {
+        registry.histogram("gate.cycles").observe(self.cycle);
+        registry
+            .histogram("gate.output_toggles")
+            .observe(self.toggles);
     }
 
     fn settle(&mut self) {
@@ -253,6 +271,7 @@ impl<'a> GateSimulator<'a> {
             if self.values[net] != self.prev_settled[net] {
                 let e = self.lib.gate(g.kind).toggle_energy_fj;
                 self.credit(self.gate_owner[gi], e);
+                self.toggles += 1;
             }
         }
 

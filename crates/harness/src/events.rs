@@ -343,6 +343,54 @@ impl EventSink for Metrics {
     }
 }
 
+/// Bridges the harness event stream into a [`pe_trace::Registry`], so
+/// job and cache activity lands in the same metrics table as engine
+/// counters and bench gauges. Counters: `harness.jobs_queued`,
+/// `harness.jobs_finished`, `harness.jobs_failed`,
+/// `harness.jobs_skipped`, `harness.cache_hits`, `harness.cache_misses`,
+/// `harness.cache_stores`. Per-stage job wall-clock is observed (in
+/// microseconds) into `harness.job_wall_us.<stage>` histograms.
+#[derive(Debug, Clone)]
+pub struct RegistrySink {
+    registry: pe_trace::Registry,
+}
+
+impl RegistrySink {
+    /// A sink recording into `registry`.
+    pub fn new(registry: pe_trace::Registry) -> Self {
+        Self { registry }
+    }
+
+    /// The registry this sink records into.
+    pub fn registry(&self) -> &pe_trace::Registry {
+        &self.registry
+    }
+}
+
+impl EventSink for RegistrySink {
+    fn emit(&self, event: &Event) {
+        let r = &self.registry;
+        match event {
+            Event::JobQueued { .. } => r.counter("harness.jobs_queued").inc(),
+            Event::JobStarted { .. } => {}
+            Event::JobFinished { stage, wall, .. } => {
+                r.counter("harness.jobs_finished").inc();
+                r.histogram(&format!("harness.job_wall_us.{stage}"))
+                    .observe(wall.as_micros() as u64);
+            }
+            Event::JobFailed { stage, wall, .. } => {
+                r.counter("harness.jobs_failed").inc();
+                r.histogram(&format!("harness.job_wall_us.{stage}"))
+                    .observe(wall.as_micros() as u64);
+            }
+            Event::JobSkipped { .. } => r.counter("harness.jobs_skipped").inc(),
+            Event::CacheHit { .. } => r.counter("harness.cache_hits").inc(),
+            Event::CacheMiss { .. } => r.counter("harness.cache_misses").inc(),
+            Event::CacheStored { .. } => r.counter("harness.cache_stores").inc(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,6 +21,11 @@
 //! * [`wide`] — the bit-parallel throughput benchmark: 64 testbench
 //!   shards per design through the serial and 64-lane RTL engines, with
 //!   per-lane waveform digests verified before any speedup is reported.
+//! * [`trace`] — the observability benchmark: strobe-aligned power
+//!   waveforms from the serial and wide engines (bit-exact integral
+//!   against the energy readback), flow-stage profiling, and measured
+//!   tracing overhead, emitted as `BENCH_trace.json` plus per-design
+//!   waveform files.
 //!
 //! Dependency policy (§6 of DESIGN.md) holds: standard library only.
 
@@ -31,10 +36,14 @@ pub mod cache;
 pub mod events;
 pub mod executor;
 pub mod figure3;
+pub mod trace;
 pub mod wide;
 
 pub use cache::{obtain_library, CacheKey, MissReason, ModelCache};
-pub use events::{Collector, Event, EventSink, Fanout, Metrics, NullSink, StderrLines};
+pub use events::{
+    Collector, Event, EventSink, Fanout, Metrics, NullSink, RegistrySink, StderrLines,
+};
 pub use executor::{JobGraph, JobId, JobOutcome};
 pub use figure3::{run_figure3, FlowFactory, HarnessError};
+pub use trace::{run_trace_bench, TraceRow};
 pub use wide::{run_wide_bench, WideRow};

@@ -126,11 +126,136 @@ impl InstrumentedDesign {
     /// [`PortError::NoSuchOutput`] if the simulator is not running this
     /// instrumented design (a total port is missing).
     pub fn try_read_energy_fj(&self, sim: &mut Simulator<'_>) -> Result<f64, PortError> {
-        let mut raw = 0.0;
-        for p in &self.total_ports {
-            raw += sim.try_output(p)? as f64;
+        let raw = self.try_read_raw_totals(sim)?;
+        Ok(self.raw_totals_to_fj(&raw))
+    }
+
+    /// Reads the raw (unscaled) per-domain accumulator values, one per
+    /// entry of [`InstrumentedDesign::total_ports`]. These are the
+    /// cumulative readings a `pe_trace::WaveformRecorder` samples; feed
+    /// the deltas through [`InstrumentedDesign::raw_totals_to_fj`] to
+    /// recover femtojoules with the exact arithmetic of
+    /// [`InstrumentedDesign::try_read_energy_fj`].
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::NoSuchOutput`] if the simulator is not running this
+    /// instrumented design (a total port is missing).
+    pub fn try_read_raw_totals(&self, sim: &mut Simulator<'_>) -> Result<Vec<u64>, PortError> {
+        self.total_ports.iter().map(|p| sim.try_output(p)).collect()
+    }
+
+    /// One lane's raw per-domain accumulator values (see
+    /// [`InstrumentedDesign::try_read_raw_totals`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::NoSuchOutput`] if the simulator is not running this
+    /// instrumented design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn try_read_raw_totals_lane(
+        &self,
+        sim: &mut pe_sim::WideSimulator<'_>,
+        lane: usize,
+    ) -> Result<Vec<u64>, PortError> {
+        self.total_ports
+            .iter()
+            .map(|p| sim.try_output_lane(p, lane))
+            .collect()
+    }
+
+    /// Converts raw per-domain accumulator readings (in
+    /// [`InstrumentedDesign::total_ports`] order) to femtojoules.
+    ///
+    /// This is the single scaling path shared by the cumulative
+    /// readbacks and waveform integrals: readings are summed as `f64`
+    /// in port order, then scaled once by the format LSB and once by
+    /// the strobe period, so a waveform built from
+    /// [`InstrumentedDesign::try_read_raw_totals`] samples integrates
+    /// to the same bits as [`InstrumentedDesign::try_read_energy_fj`].
+    pub fn raw_totals_to_fj(&self, raw: &[u64]) -> f64 {
+        let mut acc = 0.0f64;
+        for &r in raw {
+            acc += r as f64;
         }
-        Ok(raw * self.format.lsb() * self.strobe_period as f64)
+        acc * self.format.lsb() * self.strobe_period as f64
+    }
+
+    /// The waveform channel list for this instrumentation: one
+    /// [`pe_trace::ChannelKind::Domain`] channel per total port,
+    /// followed by one `Component` channel per model port (present only
+    /// with [`InstrumentConfig::per_model_outputs`]). Matches the raw
+    /// ordering of [`InstrumentedDesign::try_read_waveform_raw`].
+    pub fn waveform_channels(&self) -> Vec<pe_trace::Channel> {
+        self.total_ports
+            .iter()
+            .map(|p| pe_trace::Channel::domain(p.as_str()))
+            .chain(
+                self.model_ports
+                    .iter()
+                    .map(|(c, _)| pe_trace::Channel::component(c.as_str())),
+            )
+            .collect()
+    }
+
+    /// Reads one strobe-boundary waveform sample: raw domain totals
+    /// (cumulative) followed by raw per-model outputs (per-strobe), in
+    /// [`InstrumentedDesign::waveform_channels`] order.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::NoSuchOutput`] if the simulator is not running this
+    /// instrumented design.
+    pub fn try_read_waveform_raw(&self, sim: &mut Simulator<'_>) -> Result<Vec<u64>, PortError> {
+        self.total_ports
+            .iter()
+            .chain(self.model_ports.iter().map(|(_, p)| p))
+            .map(|p| sim.try_output(p))
+            .collect()
+    }
+
+    /// A [`pe_trace::WaveformRecorder`] preconfigured with this
+    /// instrumentation's channels, LSB scale, and strobe period. Offer
+    /// it one [`InstrumentedDesign::try_read_waveform_raw`] reading per
+    /// strobe boundary; the finished waveform's
+    /// [`pe_trace::PowerWaveform::integral_fj`] then matches the
+    /// cumulative energy readback bit-for-bit.
+    pub fn waveform_recorder(
+        &self,
+        design: &str,
+        sample_period: u32,
+        mode: pe_trace::CaptureMode,
+    ) -> pe_trace::WaveformRecorder {
+        pe_trace::WaveformRecorder::new(
+            design,
+            self.waveform_channels(),
+            self.format.lsb(),
+            self.strobe_period,
+            sample_period,
+            mode,
+        )
+    }
+
+    /// Observes this instrumentation's size counters into `registry`
+    /// (`instrument.terms`, `instrument.skipped_zero_terms`,
+    /// `instrument.bindings`, `instrument.domains` histograms). Call
+    /// once per instrumented design.
+    pub fn record_metrics(&self, registry: &pe_trace::Registry) {
+        registry
+            .histogram("instrument.terms")
+            .observe(self.term_count as u64);
+        registry
+            .histogram("instrument.skipped_zero_terms")
+            .observe(self.skipped_zero_terms as u64);
+        registry
+            .histogram("instrument.bindings")
+            .observe(self.bindings.len() as u64);
+        registry
+            .histogram("instrument.domains")
+            .observe(self.domains.len() as u64);
     }
 
     /// Reads back the accumulated energy estimate (see
@@ -163,11 +288,8 @@ impl InstrumentedDesign {
         sim: &mut pe_sim::WideSimulator<'_>,
         lane: usize,
     ) -> Result<f64, PortError> {
-        let mut raw = 0.0;
-        for p in &self.total_ports {
-            raw += sim.try_output_lane(p, lane)? as f64;
-        }
-        Ok(raw * self.format.lsb() * self.strobe_period as f64)
+        let raw = self.try_read_raw_totals_lane(sim, lane)?;
+        Ok(self.raw_totals_to_fj(&raw))
     }
 
     /// Reads back one lane's accumulated energy estimate (see

@@ -57,6 +57,7 @@ pub struct Simulator<'a> {
     mem_state: Vec<Vec<u64>>,
     dirty: bool,
     cycle: u64,
+    settles: u64,
 }
 
 impl<'a> Simulator<'a> {
@@ -129,6 +130,7 @@ impl<'a> Simulator<'a> {
             mem_state,
             dirty: true,
             cycle: 0,
+            settles: 0,
         })
     }
 
@@ -140,6 +142,24 @@ impl<'a> Simulator<'a> {
     /// Number of clock edges stepped so far.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Number of combinational settle passes performed so far. Settling
+    /// is lazy, so this exposes how much evaluation a workload actually
+    /// triggered (read-heavy testbenches settle more often than cycle
+    /// count alone suggests).
+    pub fn settle_count(&self) -> u64 {
+        self.settles
+    }
+
+    /// Observes this simulator's run counters into `registry`
+    /// (`sim.cycles`, `sim.settle_passes` histograms). Call once at the
+    /// end of a run; each call contributes one observation per metric.
+    pub fn record_metrics(&self, registry: &pe_trace::Registry) {
+        registry.histogram("sim.cycles").observe(self.cycle);
+        registry
+            .histogram("sim.settle_passes")
+            .observe(self.settles);
     }
 
     /// Drives a top-level input signal.
@@ -204,6 +224,7 @@ impl<'a> Simulator<'a> {
         if !self.dirty {
             return;
         }
+        self.settles += 1;
         let mut ins: Vec<u64> = Vec::with_capacity(8);
         for op in &self.ops {
             ins.clear();

@@ -104,6 +104,7 @@ pub struct WideSimulator<'a> {
     staged_of: Vec<Option<u32>>,
     dirty: bool,
     cycle: u64,
+    settles: u64,
 }
 
 impl<'a> WideSimulator<'a> {
@@ -194,6 +195,7 @@ impl<'a> WideSimulator<'a> {
             staged_of,
             dirty: true,
             cycle: 0,
+            settles: 0,
         };
         sim.load_power_on_state();
         Ok(sim)
@@ -234,6 +236,24 @@ impl<'a> WideSimulator<'a> {
     /// Number of clock edges stepped so far (shared by all lanes).
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Number of wide settle passes performed so far. Each pass
+    /// evaluates all 64 lanes at once, so comparing this against a
+    /// serial run's [`crate::Simulator::settle_count`] exposes the
+    /// bit-parallel work amortization.
+    pub fn settle_count(&self) -> u64 {
+        self.settles
+    }
+
+    /// Observes this simulator's run counters into `registry`
+    /// (`sim.wide_cycles`, `sim.wide_settle_passes` histograms). Call
+    /// once at the end of a run.
+    pub fn record_metrics(&self, registry: &pe_trace::Registry) {
+        registry.histogram("sim.wide_cycles").observe(self.cycle);
+        registry
+            .histogram("sim.wide_settle_passes")
+            .observe(self.settles);
     }
 
     /// Drives a top-level input signal in one lane.
@@ -318,6 +338,7 @@ impl<'a> WideSimulator<'a> {
         if !self.dirty {
             return;
         }
+        self.settles += 1;
         for st in &mut self.staged {
             if st.dirty {
                 let range = st.slot.off as usize..(st.slot.off + st.slot.width) as usize;

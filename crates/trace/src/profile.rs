@@ -1,0 +1,261 @@
+//! Scoped wall-clock profiling with JSONL export.
+//!
+//! A [`Profiler`] hands out RAII [`Scope`] guards: entering a flow stage
+//! or a job opens a scope, dropping the guard records one
+//! [`SpanRecord`]. Spans carry the wall-clock offset from profiler
+//! creation, so a run's JSONL stream reconstructs the timeline without
+//! any global clock. The profiler is `Sync` — harness worker threads
+//! record into one shared instance.
+
+use crate::metrics::{json_escape, json_f64};
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One completed profiling span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name, usually a flow stage (`instrument`, `map`, …).
+    pub name: String,
+    /// Free-form label, usually the design name.
+    pub label: String,
+    /// Offset of the span start from profiler creation.
+    pub start: Duration,
+    /// Wall-clock spent inside the span.
+    pub wall: Duration,
+}
+
+/// Collects [`SpanRecord`]s from scoped timers.
+#[derive(Debug)]
+pub struct Profiler {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Profiler {
+    /// An empty profiler; spans are timestamped relative to this call.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Opens a scope; the span is recorded when the guard drops.
+    pub fn scope(&self, name: &str, label: &str) -> Scope<'_> {
+        Scope {
+            profiler: self,
+            name: name.to_string(),
+            label: label.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Times `f` under a scope and returns its result.
+    pub fn time<T>(&self, name: &str, label: &str, f: impl FnOnce() -> T) -> T {
+        let _scope = self.scope(name, label);
+        f()
+    }
+
+    /// Records an externally measured span.
+    pub fn record(&self, name: &str, label: &str, start: Duration, wall: Duration) {
+        self.spans
+            .lock()
+            .expect("profiler poisoned")
+            .push(SpanRecord {
+                name: name.to_string(),
+                label: label.to_string(),
+                start,
+                wall,
+            });
+    }
+
+    /// A snapshot of every span recorded so far, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().expect("profiler poisoned").clone()
+    }
+
+    /// Per-name aggregates `(name, spans, total wall)`, sorted by name.
+    pub fn totals(&self) -> Vec<(String, usize, Duration)> {
+        let mut agg: std::collections::BTreeMap<String, (usize, Duration)> = Default::default();
+        for span in self.spans.lock().expect("profiler poisoned").iter() {
+            let e = agg.entry(span.name.clone()).or_default();
+            e.0 += 1;
+            e.1 += span.wall;
+        }
+        agg.into_iter().map(|(n, (c, w))| (n, c, w)).collect()
+    }
+
+    /// Renders each span as one JSON line:
+    /// `{"span":"instrument","label":"DCT","start_ms":1.0,"wall_ms":2.5}`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in self.spans.lock().expect("profiler poisoned").iter() {
+            let _ = writeln!(
+                out,
+                "{{\"span\": \"{}\", \"label\": \"{}\", \"start_ms\": {}, \"wall_ms\": {}}}",
+                json_escape(&s.name),
+                json_escape(&s.label),
+                json_f64(s.start.as_secs_f64() * 1e3),
+                json_f64(s.wall.as_secs_f64() * 1e3),
+            );
+        }
+        out
+    }
+
+    /// Renders the per-stage aggregate as a human summary table.
+    pub fn render(&self) -> String {
+        let totals = self.totals();
+        let mut out = String::from("profile (wall-clock inside scopes):\n");
+        for (name, count, wall) in &totals {
+            let _ = writeln!(
+                out,
+                "  {:<20} {:>4} span(s) {:>10.3}s",
+                name,
+                count,
+                wall.as_secs_f64()
+            );
+        }
+        out
+    }
+
+    /// Renders the per-stage aggregate as a JSON object keyed by span
+    /// name: `{"instrument": {"spans": 7, "wall_seconds": 0.12}, …}`.
+    pub fn render_json(&self, indent: &str) -> String {
+        let totals = self.totals();
+        let mut out = String::from("{");
+        for (i, (name, count, wall)) in totals.iter().enumerate() {
+            let _ = write!(
+                out,
+                "\n{indent}  \"{}\": {{\"spans\": {count}, \"wall_seconds\": {}}}",
+                json_escape(name),
+                json_f64(wall.as_secs_f64())
+            );
+            if i + 1 < totals.len() {
+                out.push(',');
+            }
+        }
+        let _ = write!(out, "\n{indent}}}");
+        out
+    }
+
+    fn close(&self, name: String, label: String, start: Instant, end: Instant) {
+        self.spans
+            .lock()
+            .expect("profiler poisoned")
+            .push(SpanRecord {
+                name,
+                label,
+                start: start.saturating_duration_since(self.epoch),
+                wall: end.saturating_duration_since(start),
+            });
+    }
+}
+
+/// RAII guard of one open span; records on drop.
+#[derive(Debug)]
+pub struct Scope<'a> {
+    profiler: &'a Profiler,
+    name: String,
+    label: String,
+    start: Instant,
+}
+
+impl Drop for Scope<'_> {
+    fn drop(&mut self) {
+        self.profiler.close(
+            std::mem::take(&mut self.name),
+            std::mem::take(&mut self.label),
+            self.start,
+            Instant::now(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_record_spans_in_completion_order() {
+        let p = Profiler::new();
+        {
+            let _outer = p.scope("outer", "x");
+            let _inner = p.scope("inner", "x");
+        }
+        let spans = p.spans();
+        assert_eq!(spans.len(), 2);
+        // Inner drops first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[1].name, "outer");
+        assert!(spans[1].wall >= spans[0].wall);
+    }
+
+    #[test]
+    fn time_wraps_a_closure() {
+        let p = Profiler::new();
+        let v = p.time("stage", "d", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(p.spans().len(), 1);
+        assert_eq!(p.spans()[0].label, "d");
+    }
+
+    #[test]
+    fn totals_aggregate_by_name() {
+        let p = Profiler::new();
+        p.record("map", "a", Duration::ZERO, Duration::from_millis(10));
+        p.record("map", "b", Duration::ZERO, Duration::from_millis(30));
+        p.record("instrument", "a", Duration::ZERO, Duration::from_millis(5));
+        let totals = p.totals();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].0, "instrument");
+        assert_eq!(totals[1], ("map".to_string(), 2, Duration::from_millis(40)));
+        let table = p.render();
+        assert!(table.contains("map"));
+        assert!(table.contains("2 span(s)"));
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let p = Profiler::new();
+        p.record(
+            "characterize",
+            "DCT",
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+        );
+        p.record("map", "DCT", Duration::from_millis(3), Duration::ZERO);
+        let jsonl = p.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+        assert!(jsonl.contains("\"span\": \"characterize\""));
+        let json = p.render_json("");
+        assert!(json.contains("\"map\": {\"spans\": 1"));
+    }
+
+    #[test]
+    fn concurrent_scopes_are_all_recorded() {
+        let p = Profiler::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let p = &p;
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let _scope = p.scope("job", &format!("t{t}"));
+                    }
+                });
+            }
+        });
+        assert_eq!(p.spans().len(), 200);
+    }
+}

@@ -19,4 +19,8 @@ cargo test --workspace --release --offline -q
 echo "== wide bench smoke (lane digests verified, BENCH_wide.json)"
 cargo run -p pe-bench --release --offline --bin wide -- --scale test --jobs 2 --out BENCH_wide.json
 
+echo "== trace bench smoke (waveform integral invariant, BENCH_trace.json)"
+cargo run -p pe-bench --release --offline --bin trace -- --scale test --jobs 2 \
+  --out BENCH_trace.json --waveform-dir waveforms
+
 echo "verify: OK"

@@ -21,6 +21,7 @@
 //! | [`designs`] | `pe-designs` | the seven benchmark designs |
 //! | [`core`] | `pe-core` | the Figure-2 flow, Figure-3 evaluation |
 //! | [`harness`] | `pe-harness` | parallel orchestration, model-library cache |
+//! | [`trace`] | `pe-trace` | power waveforms, metrics registry, profiling |
 //! | [`util`] | `pe-util` | fixed point, RNG, hashing, statistics |
 //!
 //! # Quickstart
@@ -62,4 +63,5 @@ pub use pe_lint as lint;
 pub use pe_power as power;
 pub use pe_rtl as rtl;
 pub use pe_sim as sim;
+pub use pe_trace as trace;
 pub use pe_util as util;

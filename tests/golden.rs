@@ -1,12 +1,19 @@
 //! Golden regression fixtures for the benchmark suite.
 //!
-//! Each design has a committed fixture under `tests/golden/` pinning two
+//! Each design has a committed fixture under `tests/golden/` pinning
 //! deterministic quantities of its canonical (shard 0) workload:
 //!
 //! * the FNV-1a-128 digest of the full output waveform of a serial RTL
-//!   run at test scale (every output port, every cycle, little-endian);
+//!   run at test scale (every output port, every cycle, little-endian),
+//!   plus rolling-digest checkpoints at [`CHECKPOINTS`] evenly spaced
+//!   cycles so a mismatch names the cycle window where the run first
+//!   diverged instead of just "digest differs";
 //! * the bit-exact gate-level switching energy total over a 200-cycle
 //!   prefix (an `f64::to_bits` hex, so any rounding drift is caught).
+//!
+//! The committed *power* waveforms (`tests/golden/*.waveform`) are
+//! checked sample-for-sample by `tests/trace.rs`, which names the first
+//! diverging sample index and channel on mismatch.
 //!
 //! A red run here means observable behaviour or the power arithmetic
 //! changed. If the change is intentional, regenerate the fixtures with
@@ -25,19 +32,100 @@ use std::path::PathBuf;
 /// Cycles of gate-level energy accumulation per fixture.
 const GATE_CYCLES: u64 = 200;
 
+/// Rolling-digest checkpoints recorded per fixture (plus the final
+/// digest, which doubles as the last checkpoint).
+const CHECKPOINTS: u64 = 16;
+
 fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
         .join(format!("{name}.golden"))
 }
 
-/// Serial-RTL waveform digest of the canonical workload at test scale.
-fn waveform_digest(bench: &Benchmark) -> (u64, String) {
+/// Everything a fixture pins, regenerated or parsed from disk.
+#[derive(Debug, PartialEq)]
+struct Fixture {
+    design: String,
+    waveform_cycles: u64,
+    /// `(cycles_hashed, rolling_digest)` in ascending cycle order; the
+    /// last entry covers the full run.
+    checkpoints: Vec<(u64, String)>,
+    gate_cycles: u64,
+    gate_energy_fj_bits: u64,
+}
+
+impl Fixture {
+    fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "design {}", self.design).unwrap();
+        writeln!(out, "waveform_cycles {}", self.waveform_cycles).unwrap();
+        let (_, full) = self.checkpoints.last().expect("at least one checkpoint");
+        writeln!(out, "waveform_fnv128 {full}").unwrap();
+        for (cycle, digest) in &self.checkpoints {
+            writeln!(out, "waveform_fnv128_at {cycle} {digest}").unwrap();
+        }
+        writeln!(out, "gate_cycles {}", self.gate_cycles).unwrap();
+        writeln!(out, "gate_energy_fj_bits {:016x}", self.gate_energy_fj_bits).unwrap();
+        out
+    }
+
+    /// Field-wise parser; returns a description of the first malformed
+    /// line instead of panicking so the caller can name the file.
+    fn parse(text: &str) -> Result<Fixture, String> {
+        let mut design = None;
+        let mut waveform_cycles = None;
+        let mut checkpoints = Vec::new();
+        let mut gate_cycles = None;
+        let mut gate_energy_fj_bits = None;
+        for (i, line) in text.lines().enumerate() {
+            let err = |what: &str| format!("line {}: {what}: `{line}`", i + 1);
+            let mut fields = line.split_whitespace();
+            let key = fields.next().ok_or_else(|| err("empty line"))?;
+            let val = fields.next().ok_or_else(|| err("missing value"))?;
+            match key {
+                "design" => design = Some(val.to_string()),
+                "waveform_cycles" => {
+                    waveform_cycles = Some(val.parse().map_err(|_| err("bad cycle count"))?);
+                }
+                "waveform_fnv128" => {} // redundant with the last checkpoint
+                "waveform_fnv128_at" => {
+                    let cycle = val.parse().map_err(|_| err("bad checkpoint cycle"))?;
+                    let digest = fields.next().ok_or_else(|| err("missing digest"))?;
+                    checkpoints.push((cycle, digest.to_string()));
+                }
+                "gate_cycles" => {
+                    gate_cycles = Some(val.parse().map_err(|_| err("bad cycle count"))?);
+                }
+                "gate_energy_fj_bits" => {
+                    gate_energy_fj_bits =
+                        Some(u64::from_str_radix(val, 16).map_err(|_| err("bad bits"))?);
+                }
+                _ => return Err(err("unknown key")),
+            }
+        }
+        if checkpoints.is_empty() {
+            return Err("no waveform_fnv128_at checkpoints".to_string());
+        }
+        Ok(Fixture {
+            design: design.ok_or("missing `design`")?,
+            waveform_cycles: waveform_cycles.ok_or("missing `waveform_cycles`")?,
+            checkpoints,
+            gate_cycles: gate_cycles.ok_or("missing `gate_cycles`")?,
+            gate_energy_fj_bits: gate_energy_fj_bits.ok_or("missing `gate_energy_fj_bits`")?,
+        })
+    }
+}
+
+/// Serial-RTL waveform digest of the canonical workload at test scale,
+/// with rolling checkpoints for divergence localisation.
+fn waveform_checkpoints(bench: &Benchmark) -> (u64, Vec<(u64, String)>) {
     let cycles = bench.cycles(Scale::Test);
+    let stride = cycles.div_ceil(CHECKPOINTS).max(1);
     let mut sim = Simulator::new(&bench.design).expect("rtl sim");
     let mut tb = bench.testbench(cycles);
     let outs: Vec<_> = bench.design.outputs().iter().map(|p| p.signal()).collect();
     let mut h = Fnv128::new();
+    let mut checkpoints = Vec::new();
     for cycle in 0..cycles {
         tb.apply(cycle, &mut sim);
         tb.observe(cycle, &mut sim);
@@ -45,8 +133,12 @@ fn waveform_digest(bench: &Benchmark) -> (u64, String) {
             h.update(&sim.value(sig).to_le_bytes());
         }
         sim.step();
+        if (cycle + 1) % stride == 0 && cycle + 1 != cycles {
+            checkpoints.push((cycle + 1, h.hex()));
+        }
     }
-    (cycles, h.hex())
+    checkpoints.push((cycles, h.hex()));
+    (cycles, checkpoints)
 }
 
 /// Gate-level switching energy over the workload prefix, bit-exact.
@@ -73,16 +165,72 @@ fn gate_energy_bits(bench: &Benchmark, cells: &CellLibrary) -> u64 {
     gate.total_energy_fj().to_bits()
 }
 
-/// Renders one design's fixture document.
-fn render(bench: &Benchmark, cells: &CellLibrary) -> String {
-    let (cycles, digest) = waveform_digest(bench);
-    let energy = gate_energy_bits(bench, cells);
-    let mut out = String::new();
-    writeln!(out, "design {}", bench.name).unwrap();
-    writeln!(out, "waveform_cycles {cycles}").unwrap();
-    writeln!(out, "waveform_fnv128 {digest}").unwrap();
-    writeln!(out, "gate_cycles {GATE_CYCLES}").unwrap();
-    writeln!(out, "gate_energy_fj_bits {energy:016x}").unwrap();
+/// Regenerates one design's fixture from scratch.
+fn regenerate(bench: &Benchmark, cells: &CellLibrary) -> Fixture {
+    let (waveform_cycles, checkpoints) = waveform_checkpoints(bench);
+    Fixture {
+        design: bench.name.to_string(),
+        waveform_cycles,
+        checkpoints,
+        gate_cycles: GATE_CYCLES,
+        gate_energy_fj_bits: gate_energy_bits(bench, cells),
+    }
+}
+
+/// Compares field by field, localising waveform divergence to the first
+/// mismatching checkpoint window instead of reporting "digest differs".
+fn diff(want: &Fixture, got: &Fixture) -> Vec<String> {
+    let mut out = Vec::new();
+    if want.design != got.design {
+        out.push(format!(
+            "design name: fixture `{}`, regenerated `{}`",
+            want.design, got.design
+        ));
+    }
+    if want.waveform_cycles != got.waveform_cycles {
+        out.push(format!(
+            "waveform_cycles: fixture {}, regenerated {}",
+            want.waveform_cycles, got.waveform_cycles
+        ));
+    } else if want.checkpoints != got.checkpoints {
+        let mut prev = 0;
+        let mut located = false;
+        for (w, g) in want.checkpoints.iter().zip(&got.checkpoints) {
+            if w != g {
+                out.push(format!(
+                    "output waveform first diverges in cycles {prev}..{} \
+                     (checkpoint digest {} vs {})",
+                    w.0.min(g.0),
+                    w.1,
+                    g.1
+                ));
+                located = true;
+                break;
+            }
+            prev = w.0;
+        }
+        if !located {
+            out.push(format!(
+                "checkpoint counts differ after cycle {prev}: fixture has {}, regenerated {}",
+                want.checkpoints.len(),
+                got.checkpoints.len()
+            ));
+        }
+    }
+    if want.gate_cycles != got.gate_cycles {
+        out.push(format!(
+            "gate_cycles: fixture {}, regenerated {}",
+            want.gate_cycles, got.gate_cycles
+        ));
+    } else if want.gate_energy_fj_bits != got.gate_energy_fj_bits {
+        out.push(format!(
+            "gate energy: fixture {} fJ ({:016x}), regenerated {} fJ ({:016x})",
+            f64::from_bits(want.gate_energy_fj_bits),
+            want.gate_energy_fj_bits,
+            f64::from_bits(got.gate_energy_fj_bits),
+            got.gate_energy_fj_bits
+        ));
+    }
     out
 }
 
@@ -92,31 +240,78 @@ fn suite_matches_golden_fixtures() {
     let cells = CellLibrary::cmos130();
     let mut failures = Vec::new();
     for bench in all_benchmarks() {
-        let got = render(&bench, &cells);
+        let got = regenerate(&bench, &cells);
         let path = fixture_path(bench.name);
         if bless {
             std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir tests/golden");
-            std::fs::write(&path, &got).expect("write fixture");
+            std::fs::write(&path, got.render()).expect("write fixture");
             eprintln!("blessed {}", path.display());
             continue;
         }
-        match std::fs::read_to_string(&path) {
-            Ok(want) if want == got => {}
-            Ok(want) => failures.push(format!(
-                "{}: fixture mismatch\n--- {}\n{want}--- regenerated\n{got}",
-                bench.name,
-                path.display()
-            )),
-            Err(e) => failures.push(format!(
-                "{}: cannot read {} ({e}); regenerate with PE_BLESS=1 cargo test --test golden",
-                bench.name,
-                path.display()
-            )),
+        let want = match std::fs::read_to_string(&path) {
+            Ok(text) => match Fixture::parse(&text) {
+                Ok(want) => want,
+                Err(e) => {
+                    failures.push(format!("{}: corrupt {}: {e}", bench.name, path.display()));
+                    continue;
+                }
+            },
+            Err(e) => {
+                failures.push(format!(
+                    "{}: cannot read {} ({e}); regenerate with PE_BLESS=1 cargo test --test golden",
+                    bench.name,
+                    path.display()
+                ));
+                continue;
+            }
+        };
+        for line in diff(&want, &got) {
+            failures.push(format!("{}: {line}", bench.name));
         }
     }
     assert!(
         failures.is_empty(),
-        "golden fixtures diverged:\n{}",
+        "golden fixtures diverged (if intentional: PE_BLESS=1 cargo test --test golden):\n{}",
         failures.join("\n")
+    );
+}
+
+#[test]
+fn fixture_render_and_parse_round_trip() {
+    let fixture = Fixture {
+        design: "Sample".to_string(),
+        waveform_cycles: 96,
+        checkpoints: vec![
+            (32, "0123456789abcdef0123456789abcdef".to_string()),
+            (96, "fedcba9876543210fedcba9876543210".to_string()),
+        ],
+        gate_cycles: GATE_CYCLES,
+        gate_energy_fj_bits: 0x40a5_5512_3456_789a,
+    };
+    let parsed = Fixture::parse(&fixture.render()).expect("round trip");
+    assert_eq!(parsed, fixture);
+}
+
+#[test]
+fn diff_localises_the_first_diverging_checkpoint_window() {
+    let mk = |digests: &[&str]| Fixture {
+        design: "Sample".to_string(),
+        waveform_cycles: 96,
+        checkpoints: digests
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (32 * (i as u64 + 1), d.to_string()))
+            .collect(),
+        gate_cycles: GATE_CYCLES,
+        gate_energy_fj_bits: 1,
+    };
+    let want = mk(&["aa", "bb", "cc"]);
+    let got = mk(&["aa", "ee", "ff"]);
+    let lines = diff(&want, &got);
+    assert_eq!(lines.len(), 1, "one localised divergence: {lines:?}");
+    assert!(
+        lines[0].contains("cycles 32..64"),
+        "names the first diverging window: {}",
+        lines[0]
     );
 }
