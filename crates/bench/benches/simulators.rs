@@ -32,8 +32,8 @@ fn main() {
     });
     runner.bench("gate_with_power", || {
         let mut sim = GateSimulator::new(&expanded, &cells);
-        sim.set_input("level", 3);
-        sim.set_input("qscale", 8);
+        sim.try_set_input("level", 3).unwrap();
+        sim.try_set_input("qscale", 8).unwrap();
         for _ in 0..CYCLES {
             sim.step();
         }

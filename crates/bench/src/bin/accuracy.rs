@@ -4,7 +4,7 @@
 //! estimate, and the emulated (fixed-point hardware) readout.
 //!
 //! Usage: `cargo run -p pe-bench --release --bin accuracy --
-//! [--scale test] [--jobs N] [--cache-dir DIR]`
+//! [--scale test|paper] [--jobs N] [--cache-dir DIR]`
 
 use pe_bench::cli::BenchArgs;
 use pe_bench::standard_flow;

@@ -3,7 +3,7 @@
 //! partitioning costs in emulation clock when they don't fit one chip.
 //!
 //! Usage: `cargo run -p pe-bench --release --bin capacity --
-//! [--scale test] [--jobs N] [--cache-dir DIR]`
+//! [--scale test|paper] [--jobs N] [--cache-dir DIR]`
 
 use pe_bench::cli::BenchArgs;
 use pe_bench::fast_flow;

@@ -3,7 +3,7 @@
 //! (modeled), with speedups, for the seven benchmark designs.
 //!
 //! Usage: `cargo run -p pe-bench --release --bin figure3 --
-//! [--scale test] [--jobs N] [--cache-dir DIR]`
+//! [--scale test|paper] [--jobs N] [--cache-dir DIR]`
 
 use pe_bench::cli::BenchArgs;
 use pe_bench::standard_flow;

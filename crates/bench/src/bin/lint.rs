@@ -5,7 +5,7 @@
 //! emulation horizon.
 //!
 //! Usage: `cargo run -p pe-bench --release --bin lint --
-//! [--scale test] [--jobs N] [--cache-dir DIR] [--deny RULES]
+//! [--scale test|paper] [--jobs N] [--cache-dir DIR] [--deny RULES]
 //! [--machine]`
 //!
 //! `--deny all` promotes every warning to an error (the CI

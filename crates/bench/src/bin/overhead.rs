@@ -8,7 +8,7 @@
 //! * Ext-3: aggregator topology vs. achievable emulation clock.
 //!
 //! Usage: `cargo run -p pe-bench --release --bin overhead --
-//! [--scale test] [--jobs N] [--cache-dir DIR]`
+//! [--scale test|paper] [--jobs N] [--cache-dir DIR]`
 
 use pe_bench::cli::BenchArgs;
 use pe_bench::fast_flow;

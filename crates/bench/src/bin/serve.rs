@@ -1,0 +1,482 @@
+//! The serving benchmark: drives the `pe-serve` batching scheduler with
+//! many concurrent clients submitting same-design estimation jobs,
+//! measures throughput and latency against a serial one-job-at-a-time
+//! baseline, verifies every batched result bit-identical to a fresh
+//! serial run, and writes the measurements to `BENCH_serve.json`.
+//!
+//! Usage: `cargo run -p pe-bench --release --bin serve --
+//! [--scale test|paper] [--jobs N] [--cache-dir DIR] [--clients N]
+//! [--requests N] [--cycles N] [--design NAME] [--out PATH]`
+//!
+//! Each client pipelines a small window of requests (submit the next
+//! while one runs), the way a real async client would. With
+//! `--clients 64` the scheduler always has a full complement of
+//! same-design jobs queued and packs them into one 64-lane wide run;
+//! the headline `speedup` column is that packed throughput over the
+//! serial baseline. `--jobs` sets the scheduler's batch worker count
+//! (default: 1, uncontended measurement).
+//!
+//! The default design is DCT: lane packing pays in proportion to how
+//! much of the simulated work is the design itself rather than the
+//! power instrumentation (whose word-wide accumulator arithmetic is
+//! the wide engine's worst case), and DCT is the suite's
+//! compute-heavy middle ground. `--design Bubble_Sort` shows the
+//! small-design floor.
+
+use pe_bench::cli::{BenchArgs, CliError, FlagExt};
+use pe_designs::suite::{benchmark, Benchmark, Scale};
+use pe_harness::{obtain_library, NullSink};
+use pe_instrument::InstrumentedDesign;
+use pe_serve::{ModelChoice, Response, Scheduler, ServeConfig, SubmitRequest};
+use pe_sim::Simulator;
+use pe_trace::{MetricValue, Registry};
+use pe_util::lanes::LANES;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+struct ServeExt {
+    clients: usize,
+    requests: usize,
+    cycles: Option<u64>,
+    design: String,
+    out: PathBuf,
+}
+
+impl FlagExt for ServeExt {
+    fn flag(
+        &mut self,
+        flag: &str,
+        value: &mut dyn FnMut(&str) -> Result<String, CliError>,
+    ) -> Result<bool, CliError> {
+        let positive = |flag: &str, raw: String| {
+            raw.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| {
+                    CliError::Invalid(format!("{flag} `{raw}` is not a positive integer"))
+                })
+        };
+        match flag {
+            "--clients" => self.clients = positive("--clients", value("--clients")?)?,
+            "--requests" => self.requests = positive("--requests", value("--requests")?)?,
+            "--cycles" => self.cycles = Some(positive("--cycles", value("--cycles")?)? as u64),
+            "--design" => self.design = value("--design")?,
+            "--out" => self.out = PathBuf::from(value("--out")?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+/// One completed request as seen by a client thread.
+struct Completion {
+    seed: u64,
+    energy_bits: u64,
+    latency: Duration,
+}
+
+fn main() {
+    let mut ext = ServeExt {
+        clients: LANES,
+        requests: 2,
+        cycles: None,
+        design: "DCT".to_string(),
+        out: PathBuf::from("BENCH_serve.json"),
+    };
+    let args = BenchArgs::from_env_with(
+        "serve",
+        &mut ext,
+        "\x20 --clients N          concurrent clients (default: 64)\n\
+         \x20 --requests N         requests per client (default: 2)\n\
+         \x20 --cycles N           cycles per request (default: by --scale)\n\
+         \x20 --design NAME        suite design every client asks for (default: DCT)\n\
+         \x20 --out PATH           result JSON path (default: BENCH_serve.json)\n",
+    );
+    let cycles = ext.cycles.unwrap_or(match args.scale {
+        Scale::Test => 512,
+        Scale::Paper => 4096,
+    });
+    let Some(bench) = benchmark(&ext.design) else {
+        eprintln!("error: design `{}` is not in the suite", ext.design);
+        std::process::exit(2);
+    };
+
+    println!(
+        "serving evaluation — {} clients x {} requests, {} @ {} cycles ({:?} scale, {} worker(s))",
+        ext.clients, ext.requests, ext.design, cycles, args.scale, args.jobs
+    );
+    println!("(every batched result is verified bit-identical to a fresh serial run");
+    println!(" before throughput is reported)");
+    println!();
+
+    let cache = args.open_cache();
+    let registry = Registry::new();
+    let sched = Scheduler::start(
+        ServeConfig {
+            workers: args.jobs,
+            model_cache: cache.clone(),
+            // Throughput-oriented fill window: the daemon default (2ms)
+            // optimizes latency, but here every client re-submits the
+            // moment its batch lands, and a short linger de-phases them
+            // into half-full cohorts. 10ms lets each round pack fully.
+            linger: Duration::from_millis(10),
+            ..ServeConfig::default()
+        },
+        registry.clone(),
+    );
+
+    // Warm-up: one request through the scheduler forces the
+    // characterize→instrument prepare, excluding it from the timed
+    // phase. The serial baseline gets the same treatment below.
+    let warm_seed = u64::MAX;
+    run_clients(&sched, &ext.design, cycles, 1, 1, warm_seed);
+    let before = snapshot_counts(&registry);
+
+    // Timed batched phase.
+    let t0 = Instant::now();
+    let completions = run_clients(&sched, &ext.design, cycles, ext.clients, ext.requests, 0);
+    let batched_seconds = t0.elapsed().as_secs_f64();
+    let total = completions.len();
+    assert_eq!(total, ext.clients * ext.requests, "a client lost a request");
+
+    // Serial baseline over the identical request set, prepare excluded.
+    let inst = match prepare_serial(&bench, cache.as_ref()) {
+        Ok(inst) => inst,
+        Err(e) => {
+            eprintln!("[serve] serial prepare failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let t1 = Instant::now();
+    let mut serial_bits = std::collections::BTreeMap::new();
+    for c in &completions {
+        serial_bits
+            .entry(c.seed)
+            .or_insert_with(|| run_serial(&bench, &inst, cycles, c.seed).to_bits());
+    }
+    let unique_seeds = serial_bits.len();
+    let serial_seconds = t1.elapsed().as_secs_f64() * total as f64 / unique_seeds as f64;
+
+    // Differential verification: every client's energy equals a fresh
+    // serial run of the same (design, cycles, seed) — bit for bit.
+    for c in &completions {
+        let expect = serial_bits[&c.seed];
+        assert_eq!(
+            c.energy_bits, expect,
+            "seed {} diverged: batched {:016x} vs serial {:016x}",
+            c.seed, c.energy_bits, expect
+        );
+    }
+
+    let after = snapshot_counts(&registry);
+    let (batches, lane_sum, lane_max) = (
+        after.batches - before.batches,
+        after.lane_sum - before.lane_sum,
+        after.lane_max,
+    );
+    let mean_occupancy = if batches > 0 {
+        lane_sum as f64 / batches as f64
+    } else {
+        0.0
+    };
+    let hits = after.design_hits - before.design_hits;
+    let misses = after.design_misses - before.design_misses;
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    let mut latencies: Vec<u64> = completions
+        .iter()
+        .map(|c| c.latency.as_micros() as u64)
+        .collect();
+    latencies.sort_unstable();
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    let (p50, p99, lat_max) = (pct(0.50), pct(0.99), *latencies.last().unwrap());
+    let rps = total as f64 / batched_seconds;
+    let speedup = serial_seconds / batched_seconds;
+
+    println!(
+        "{:<10} {:>9} {:>12} {:>12} {:>8} {:>10} {:>9} {:>9}",
+        "requests",
+        "batches",
+        "batched (s)",
+        "serial (s)",
+        "speedup",
+        "occupancy",
+        "p50 (us)",
+        "p99 (us)"
+    );
+    println!(
+        "{:<10} {:>9} {:>12.4} {:>12.4} {:>7.1}x {:>7.1}/{} {:>9} {:>9}",
+        total, batches, batched_seconds, serial_seconds, speedup, mean_occupancy, LANES, p50, p99
+    );
+    println!();
+    let mean_batch_ms =
+        (after.batch_wall_us - before.batch_wall_us) as f64 / batches.max(1) as f64 / 1000.0;
+    println!(
+        "all {total} results verified bit-identical to serial; fullest batch {lane_max}/{LANES} lanes; \
+         mean batch wall {mean_batch_ms:.1} ms; design cache hit rate {hit_rate:.3}"
+    );
+
+    let doc = render_json(&RenderInput {
+        scale: args.scale,
+        design: &ext.design,
+        clients: ext.clients,
+        requests: ext.requests,
+        cycles,
+        total,
+        batches,
+        batched_seconds,
+        serial_seconds,
+        rps,
+        speedup,
+        mean_occupancy,
+        hit_rate,
+        p50,
+        p99,
+        lat_max,
+    });
+    match std::fs::write(&ext.out, &doc) {
+        Ok(()) => println!("wrote {}", ext.out.display()),
+        Err(e) => {
+            eprintln!("[serve] cannot write {}: {e}", ext.out.display());
+            std::process::exit(1);
+        }
+    }
+
+    sched.shutdown();
+    sched.drain();
+    sched.join();
+}
+
+/// How many requests each client keeps in flight. Two is enough to hide
+/// the scheduler's linger window entirely: while one batch runs, every
+/// client already has its next job queued, so each round packs a full
+/// complement of lanes without waiting for result→resubmit turnarounds.
+const CLIENT_WINDOW: usize = 2;
+
+/// Spawns `clients` threads, each submitting `requests` jobs with up to
+/// [`CLIENT_WINDOW`] outstanding at a time; seeds are
+/// `base + client*requests + r` so every job is a distinct testbench
+/// shard. Returns all completions.
+fn run_clients(
+    sched: &std::sync::Arc<Scheduler>,
+    design: &str,
+    cycles: u64,
+    clients: usize,
+    requests: usize,
+    seed_base: u64,
+) -> Vec<Completion> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let sched = std::sync::Arc::clone(sched);
+                scope.spawn(move || client_loop(&sched, design, cycles, c, requests, seed_base))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    })
+}
+
+/// One client: a submit window over its request sequence. Accepted and
+/// result responses interleave on the same channel (results land when a
+/// batch completes, accepts synchronously at submit), so the loop
+/// dispatches on response type rather than assuming an order.
+fn client_loop(
+    sched: &Scheduler,
+    design: &str,
+    cycles: u64,
+    client: usize,
+    requests: usize,
+    seed_base: u64,
+) -> Vec<Completion> {
+    let (tx, rx) = mpsc::channel();
+    let mut done = Vec::with_capacity(requests);
+    let mut started = std::collections::HashMap::new();
+    let mut accepted = 0usize;
+    let record = |resp: Response, started: &std::collections::HashMap<u64, Instant>| match resp {
+        Response::Result(body) => Completion {
+            seed: body.seed,
+            energy_bits: body.energy_bits,
+            latency: started[&body.seed].elapsed(),
+        },
+        other => panic!("unexpected batch reply: {other}"),
+    };
+    for r in 0..requests {
+        let seed = seed_base.wrapping_add((client * requests + r) as u64);
+        let req = SubmitRequest {
+            id: format!("c{client}.{r}"),
+            design: design.to_string(),
+            cycles,
+            seed,
+            model: ModelChoice::Fast,
+        };
+        started.insert(seed, Instant::now());
+        loop {
+            sched.submit(req.clone(), client as u64, &tx);
+            // The synchronous accept/reject may queue behind earlier
+            // batch results; drain those while looking for it.
+            let verdict = loop {
+                match rx.recv().expect("scheduler dropped the channel") {
+                    Response::Accepted { .. } => break None,
+                    Response::Rejected { retry_after_ms, .. } => break Some(retry_after_ms),
+                    resp => done.push(record(resp, &started)),
+                }
+            };
+            match verdict {
+                None => break,
+                Some(backoff) => std::thread::sleep(Duration::from_millis(backoff)),
+            }
+        }
+        accepted += 1;
+        while accepted - done.len() >= CLIENT_WINDOW {
+            done.push(record(
+                rx.recv().expect("scheduler dropped the channel"),
+                &started,
+            ));
+        }
+    }
+    while done.len() < requests {
+        done.push(record(
+            rx.recv().expect("scheduler dropped the channel"),
+            &started,
+        ));
+    }
+    done
+}
+
+/// Builds the instrumented design once for the serial baseline — the
+/// same characterize→instrument pipeline the scheduler's prepare step
+/// runs, kept outside both timed phases.
+fn prepare_serial(
+    bench: &Benchmark,
+    cache: Option<&pe_harness::ModelCache>,
+) -> Result<InstrumentedDesign, String> {
+    let flow = pe_bench::fast_flow();
+    let library = obtain_library(
+        &bench.design,
+        flow.characterize_config(),
+        cache,
+        bench.name,
+        &NullSink,
+    )
+    .map_err(|e| e.to_string())?;
+    flow.install_library(library);
+    let (inst, _overhead) = flow
+        .stage_instrument(&bench.design)
+        .map_err(|e| e.to_string())?;
+    Ok(inst)
+}
+
+/// One serial single-lane run: the baseline unit of work.
+fn run_serial(bench: &Benchmark, inst: &InstrumentedDesign, cycles: u64, seed: u64) -> f64 {
+    let mut sim = Simulator::new(&inst.design).expect("instrumented design simulates");
+    let mut tb = bench.testbench_shard(cycles, seed);
+    for cycle in 0..cycles {
+        tb.apply(cycle, &mut sim);
+        tb.observe(cycle, &mut sim);
+        sim.step();
+    }
+    inst.try_read_energy_fj(&mut sim)
+        .expect("instrumented design exposes the energy port")
+}
+
+/// The registry counters the report needs, read as a consistent point
+/// sample so warm-up work can be subtracted out.
+#[derive(Default)]
+struct Counts {
+    batches: u64,
+    lane_sum: u64,
+    lane_max: u64,
+    batch_wall_us: u64,
+    design_hits: u64,
+    design_misses: u64,
+}
+
+fn snapshot_counts(registry: &Registry) -> Counts {
+    let mut c = Counts::default();
+    for (name, value) in registry.snapshot() {
+        match (name.as_str(), value) {
+            ("serve.batches", MetricValue::Counter(v)) => c.batches = v,
+            ("serve.batch_lanes", MetricValue::Histogram { sum, max, .. }) => {
+                c.lane_sum = sum;
+                c.lane_max = max;
+            }
+            ("serve.batch_wall_us", MetricValue::Histogram { sum, .. }) => c.batch_wall_us = sum,
+            ("serve.design_cache_hits", MetricValue::Counter(v)) => c.design_hits = v,
+            ("serve.design_cache_misses", MetricValue::Counter(v)) => c.design_misses = v,
+            _ => {}
+        }
+    }
+    c
+}
+
+struct RenderInput<'a> {
+    scale: Scale,
+    design: &'a str,
+    clients: usize,
+    requests: usize,
+    cycles: u64,
+    total: usize,
+    batches: u64,
+    batched_seconds: f64,
+    serial_seconds: f64,
+    rps: f64,
+    speedup: f64,
+    mean_occupancy: f64,
+    hit_rate: f64,
+    p50: u64,
+    p99: u64,
+    lat_max: u64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the `BENCH_serve.json` document.
+fn render_json(r: &RenderInput<'_>) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"serve\",\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match r.scale {
+            Scale::Test => "test",
+            Scale::Paper => "paper",
+        }
+    ));
+    out.push_str(&format!("  \"design\": \"{}\",\n", json_escape(r.design)));
+    out.push_str(&format!("  \"clients\": {},\n", r.clients));
+    out.push_str(&format!("  \"requests_per_client\": {},\n", r.requests));
+    out.push_str(&format!("  \"cycles\": {},\n", r.cycles));
+    out.push_str(&format!("  \"lanes\": {LANES},\n"));
+    out.push_str(&format!("  \"total_requests\": {},\n", r.total));
+    out.push_str(&format!("  \"batches\": {},\n", r.batches));
+    out.push_str(&format!(
+        "  \"batched_seconds\": {:.6},\n",
+        r.batched_seconds
+    ));
+    out.push_str(&format!("  \"serial_seconds\": {:.6},\n", r.serial_seconds));
+    out.push_str(&format!("  \"requests_per_sec\": {:.3},\n", r.rps));
+    out.push_str(&format!("  \"speedup\": {:.3},\n", r.speedup));
+    out.push_str(&format!(
+        "  \"mean_lane_occupancy\": {:.3},\n",
+        r.mean_occupancy
+    ));
+    out.push_str(&format!(
+        "  \"design_cache_hit_rate\": {:.3},\n",
+        r.hit_rate
+    ));
+    out.push_str(&format!(
+        "  \"latency_us\": {{\"p50\": {}, \"p99\": {}, \"max\": {}}},\n",
+        r.p50, r.p99, r.lat_max
+    ));
+    out.push_str("  \"verified_bit_identical\": true\n");
+    out.push_str("}\n");
+    out
+}

@@ -5,7 +5,7 @@
 //! `BENCH_trace.json` plus one `.waveform` file per design.
 //!
 //! Usage: `cargo run -p pe-bench --release --bin trace --
-//! [--scale test] [--jobs N] [--cache-dir DIR] [--out PATH]
+//! [--scale test|paper] [--jobs N] [--cache-dir DIR] [--out PATH]
 //! [--waveform-dir DIR] [--sample-period N] [--capture MODE]`
 //!
 //! `--jobs 1` (the default) keeps the overhead columns uncontended.

@@ -4,11 +4,13 @@
 //! and writes the measurements to `BENCH_wide.json`.
 //!
 //! Usage: `cargo run -p pe-bench --release --bin wide --
-//! [--scale test] [--jobs N] [--out PATH]`
+//! [--scale test|paper] [--jobs N] [--cache-dir DIR] [--out PATH]`
 //!
 //! `--jobs 1` (the default) keeps the measured wall-clock columns
 //! uncontended; higher counts overlap designs and are useful only for a
-//! quick correctness pass.
+//! quick correctness pass. `--cache-dir` is accepted (every binary
+//! speaks the full shared dialect) but has no effect here: the wide
+//! benchmark simulates raw designs and never characterizes.
 
 use pe_bench::cli::{BenchArgs, CliError, FlagExt};
 use pe_designs::suite::all_benchmarks;

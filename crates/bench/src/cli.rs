@@ -295,6 +295,24 @@ mod tests {
     }
 
     #[test]
+    fn common_flag_help_is_identical_across_binaries() {
+        // Every binary renders its help through `usage_with`, so the
+        // common-flag block (everything after the `usage:` line) must
+        // be byte-identical no matter which binary asks.
+        let strip = |u: String| u.lines().skip(1).collect::<Vec<_>>().join("\n");
+        let reference = strip(usage("figure3"));
+        for binary in ["accuracy", "overhead", "capacity", "wide", "serve"] {
+            assert_eq!(strip(usage(binary)), reference);
+        }
+        // Extension lines append between the shared flags and --help,
+        // leaving the shared lines untouched.
+        let extended = usage_with("lint", "\x20 --deny RULES         x\n");
+        for line in reference.lines().filter(|l| l.contains("--")) {
+            assert!(extended.contains(line), "extension dropped `{line}`");
+        }
+    }
+
+    #[test]
     fn bad_input_is_reported_not_exited() {
         for bad in [
             vec!["--scale", "huge"],

@@ -15,6 +15,10 @@
 //!   (serial and wide engines, bit-exact integral invariant), flow-stage
 //!   profiling, and measured tracing overhead (`BENCH_trace.json` plus
 //!   one `.waveform` file per design).
+//! * `serve` — the serving benchmark: concurrent clients against the
+//!   `pe-serve` batching scheduler, cross-request lane packing
+//!   throughput vs a serial baseline with bit-exact verification
+//!   (`BENCH_serve.json`).
 //!
 //! Every binary speaks the shared [`cli`] dialect (`--scale`, `--jobs`,
 //! `--cache-dir`, `--help`) and runs on the `pe-harness` executor, so

@@ -76,7 +76,11 @@ impl PowerEstimator for GateLevelEstimator {
             testbench.apply(cycle, &mut rsim);
             testbench.observe(cycle, &mut rsim);
             for (name, sig) in &input_signals {
-                gsim.set_input(name, rsim.value(*sig));
+                gsim.try_set_input(name, rsim.value(*sig)).map_err(|e| {
+                    EstimateError::InvalidDesign {
+                        message: e.to_string(),
+                    }
+                })?;
             }
             let e = gsim.step();
             rsim.step();

@@ -37,9 +37,9 @@
 //! let expanded = expand_design(&design);
 //! let lib = CellLibrary::cmos130();
 //! let mut sim = GateSimulator::new(&expanded, &lib);
-//! sim.set_input("a", 100);
-//! sim.set_input("b", 55);
-//! assert_eq!(sim.output("sum"), 155);
+//! sim.try_set_input("a", 100).unwrap();
+//! sim.try_set_input("b", 55).unwrap();
+//! assert_eq!(sim.try_output("sum").unwrap(), 155);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -206,16 +206,6 @@ impl<'a> GateSimulator<'a> {
         Ok(())
     }
 
-    /// Drives an input bus by port name.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the port does not exist or the value does not fit.
-    pub fn set_input(&mut self, name: &str, value: u64) {
-        self.try_set_input(name, value)
-            .unwrap_or_else(|e| panic!("{e}"));
-    }
-
     /// Reads an output bus by port name (settling first).
     ///
     /// # Errors
@@ -236,15 +226,6 @@ impl<'a> GateSimulator<'a> {
             .enumerate()
             .map(|(i, net)| (self.values[net.index()] as u64) << i)
             .sum())
-    }
-
-    /// Reads an output bus by port name (settling first).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the port does not exist.
-    pub fn output(&mut self, name: &str) -> u64 {
-        self.try_output(name).unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn credit(&mut self, owner: u32, energy: f64) {
@@ -491,11 +472,15 @@ mod tests {
         let mut rng = Xoshiro::new(1);
         for _ in 0..200 {
             let (x, y) = (rng.bits(12), rng.bits(12));
-            gsim.set_input("a", x);
-            gsim.set_input("b", y);
+            gsim.try_set_input("a", x).unwrap();
+            gsim.try_set_input("b", y).unwrap();
             rsim.set_input_by_name("a", x);
             rsim.set_input_by_name("b", y);
-            assert_eq!(gsim.output("s"), rsim.output("s"), "a={x} b={y}");
+            assert_eq!(
+                gsim.try_output("s").unwrap(),
+                rsim.output("s"),
+                "a={x} b={y}"
+            );
         }
     }
 
@@ -528,12 +513,16 @@ mod tests {
         let mut rng = Xoshiro::new(2);
         for _ in 0..300 {
             let (x, y) = (rng.bits(8), rng.bits(8));
-            gsim.set_input("a", x);
-            gsim.set_input("b", y);
+            gsim.try_set_input("a", x).unwrap();
+            gsim.try_set_input("b", y).unwrap();
             rsim.set_input_by_name("a", x);
             rsim.set_input_by_name("b", y);
             for port in ["sub", "mul", "lt", "slt", "le", "sle", "eq", "ne"] {
-                assert_eq!(gsim.output(port), rsim.output(port), "{port} a={x} b={y}");
+                assert_eq!(
+                    gsim.try_output(port).unwrap(),
+                    rsim.output(port),
+                    "{port} a={x} b={y}"
+                );
             }
         }
     }
@@ -562,15 +551,15 @@ mod tests {
         let mut rng = Xoshiro::new(3);
         for _ in 0..300 {
             let (x, k, s) = (rng.bits(8), rng.bits(4), rng.bits(2));
-            gsim.set_input("a", x);
-            gsim.set_input("amt", k);
-            gsim.set_input("sel", s);
+            gsim.try_set_input("a", x).unwrap();
+            gsim.try_set_input("amt", k).unwrap();
+            gsim.try_set_input("sel", s).unwrap();
             rsim.set_input_by_name("a", x);
             rsim.set_input_by_name("amt", k);
             rsim.set_input_by_name("sel", s);
             for port in ["shl", "shr", "sar", "m"] {
                 assert_eq!(
-                    gsim.output(port),
+                    gsim.try_output(port).unwrap(),
                     rsim.output(port),
                     "{port} a={x} amt={k} sel={s}"
                 );
@@ -595,7 +584,7 @@ mod tests {
         for _ in 0..50 {
             gsim.step();
             rsim.step();
-            assert_eq!(gsim.output("count"), rsim.output("count"));
+            assert_eq!(gsim.try_output("count").unwrap(), rsim.output("count"));
         }
         assert!(gsim.total_energy_fj() > 0.0);
         assert!(gsim.average_power_uw() > 0.0);
@@ -624,12 +613,12 @@ mod tests {
         for _ in 0..100 {
             let (ra_v, wa_v, wd_v, we_v) = (rng.bits(3), rng.bits(3), rng.bits(8), rng.bits(1));
             for (sim_set, val) in [("ra", ra_v), ("wa", wa_v), ("wd", wd_v), ("we", we_v)] {
-                gsim.set_input(sim_set, val);
+                gsim.try_set_input(sim_set, val).unwrap();
                 rsim.set_input_by_name(sim_set, val);
             }
             gsim.step();
             rsim.step();
-            assert_eq!(gsim.output("rd"), rsim.output("rd"));
+            assert_eq!(gsim.try_output("rd").unwrap(), rsim.output("rd"));
         }
     }
 
@@ -644,14 +633,14 @@ mod tests {
         let ex = expand_design(&d);
         let lib = lib();
         let mut gsim = GateSimulator::new(&ex, &lib);
-        gsim.set_input("x", 0);
+        gsim.try_set_input("x", 0).unwrap();
         gsim.step(); // settle into steady state
         let e_idle = gsim.step();
         // 8 DFFs × clock energy + leakage; no toggles.
         let expected = 8.0 * lib.dff_clock_energy_fj();
         assert!(e_idle >= expected, "idle energy {e_idle} < clock floor");
         // Now toggle all data bits: energy must rise.
-        gsim.set_input("x", 0xFF);
+        gsim.try_set_input("x", 0xFF).unwrap();
         let e_active = gsim.step();
         assert!(
             e_active > e_idle + 8.0,
@@ -671,8 +660,8 @@ mod tests {
         let lib = lib();
         let mut gsim = GateSimulator::new(&ex, &lib);
         for i in 0..16u64 {
-            gsim.set_input("a", i);
-            assert_eq!(gsim.output("y"), table[i as usize]);
+            gsim.try_set_input("a", i).unwrap();
+            assert_eq!(gsim.try_output("y").unwrap(), table[i as usize]);
         }
     }
 }

@@ -406,7 +406,7 @@ mod tests {
             for (lane, serial) in serials.iter_mut().enumerate() {
                 let v = rng.bits(8);
                 wide.set_input_lane("x", lane, v);
-                serial.set_input("x", v);
+                serial.try_set_input("x", v).unwrap();
             }
             wide.step();
             for s in &mut serials {
@@ -416,7 +416,7 @@ mod tests {
         for (lane, serial) in serials.iter_mut().enumerate() {
             assert_eq!(
                 wide.output_lane("total", lane),
-                serial.output("total"),
+                serial.try_output("total").unwrap(),
                 "lane {lane} output"
             );
             let wide_e = wide.total_energy_fj_lane(lane);
@@ -453,7 +453,7 @@ mod tests {
                 for (p, w) in [("ra", 3), ("wa", 3), ("wd", 8), ("we", 1)] {
                     let v = rng.bits(w);
                     wide.set_input_lane(p, lane, v);
-                    serial.set_input(p, v);
+                    serial.try_set_input(p, v).unwrap();
                 }
             }
             wide.step();
@@ -463,7 +463,7 @@ mod tests {
             for lane in [0, 7, 63] {
                 assert_eq!(
                     wide.output_lane("rd", lane),
-                    serials[lane].output("rd"),
+                    serials[lane].try_output("rd").unwrap(),
                     "lane {lane}"
                 );
             }

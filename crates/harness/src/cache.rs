@@ -75,14 +75,21 @@ impl fmt::Display for MissReason {
     }
 }
 
-/// An on-disk cache of characterized model libraries.
+/// An on-disk cache of characterized model libraries, optionally
+/// size-capped: when a capacity is set, every store evicts
+/// least-recently-used entries (by file modification time, which
+/// [`load`](ModelCache::load) refreshes on each hit) until the cache
+/// fits. Multi-tenant by construction — entries are content-addressed,
+/// loads touch atime-equivalents, and eviction never removes the entry
+/// just written.
 #[derive(Debug, Clone)]
 pub struct ModelCache {
     dir: PathBuf,
+    cap_bytes: Option<u64>,
 }
 
 impl ModelCache {
-    /// Opens (creating if needed) a cache rooted at `dir`.
+    /// Opens (creating if needed) an uncapped cache rooted at `dir`.
     ///
     /// # Errors
     ///
@@ -90,7 +97,23 @@ impl ModelCache {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        Ok(Self {
+            dir,
+            cap_bytes: None,
+        })
+    }
+
+    /// Caps the cache at `cap_bytes` of entry files, evicted LRU on
+    /// store. The most recently stored entry always survives, even when
+    /// it alone exceeds the cap.
+    pub fn with_capacity_bytes(mut self, cap_bytes: u64) -> Self {
+        self.cap_bytes = Some(cap_bytes);
+        self
+    }
+
+    /// The configured size cap, if any.
+    pub fn capacity_bytes(&self) -> Option<u64> {
+        self.cap_bytes
     }
 
     /// The cache root.
@@ -133,7 +156,13 @@ impl ModelCache {
         if digest_line != format!("body={}", h.hex()) {
             return Err(MissReason::Corrupt);
         }
-        ModelLibrary::from_text(body).map_err(|_| MissReason::Corrupt)
+        let library = ModelLibrary::from_text(body).map_err(|_| MissReason::Corrupt)?;
+        // Refresh the entry's LRU clock. Best-effort: a read-only cache
+        // still serves hits, it just loses recency precision.
+        if let Ok(f) = fs::OpenOptions::new().append(true).open(&path) {
+            let _ = f.set_modified(std::time::SystemTime::now());
+        }
+        Ok(library)
     }
 
     /// Writes a library under `key` (atomically: temp file + rename, so
@@ -153,7 +182,44 @@ impl ModelCache {
             .join(format!("{}.tmp-{}", key.as_hex(), std::process::id()));
         fs::write(&tmp, content)?;
         fs::rename(&tmp, &path)?;
+        self.evict_to_cap(&path);
         Ok(path)
+    }
+
+    /// Removes oldest-touched `.mlib` entries (never `keep`) until the
+    /// cache fits its cap. Races with concurrent stores are benign: a
+    /// vanished file is simply skipped, and ties break by file name so
+    /// eviction order is deterministic.
+    fn evict_to_cap(&self, keep: &Path) {
+        let Some(cap) = self.cap_bytes else { return };
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, u64, PathBuf)> = entries
+            .flatten()
+            .filter_map(|entry| {
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("mlib") {
+                    return None;
+                }
+                let meta = entry.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((mtime, meta.len(), path))
+            })
+            .collect();
+        let mut total: u64 = files.iter().map(|(_, size, _)| size).sum();
+        files.sort();
+        for (_, size, path) in files {
+            if total <= cap {
+                break;
+            }
+            if path == keep {
+                continue;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(size);
+            }
+        }
     }
 }
 
@@ -304,6 +370,65 @@ mod tests {
         fs::write(&path, "garbage").unwrap();
         let recovered = obtain_library(&d, &config, Some(&cache), "cr", &NullSink).unwrap();
         assert_eq!(recovered.to_text(), lib.to_text());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_oldest_entry_which_recharacterizes() {
+        use std::time::{Duration, SystemTime};
+        let backdate = |path: &std::path::Path, secs: u64| {
+            fs::OpenOptions::new()
+                .append(true)
+                .open(path)
+                .unwrap()
+                .set_modified(SystemTime::now() - Duration::from_secs(secs))
+                .unwrap();
+        };
+        let config = CharacterizeConfig::fast();
+        let characterize = |tag: &str| {
+            let d = tiny_design(tag);
+            let mut lib = ModelLibrary::new();
+            lib.characterize_design(&d, &config).unwrap();
+            (d, lib)
+        };
+
+        let cache = temp_cache("lru");
+        let (d0, lib0) = characterize("lru0");
+        let k0 = CacheKey::of(&d0, &config);
+        let p0 = cache.store(&k0, &lib0).unwrap();
+        // Cap at two-and-a-half entries, measured from a real one.
+        let entry = fs::metadata(&p0).unwrap().len();
+        let cache = cache.with_capacity_bytes(entry * 2 + entry / 2);
+        backdate(&p0, 3600);
+
+        let (d1, lib1) = characterize("lru1");
+        let k1 = CacheKey::of(&d1, &config);
+        let p1 = cache.store(&k1, &lib1).unwrap();
+        assert!(p0.exists(), "two entries fit under the cap");
+        backdate(&p1, 1800);
+
+        // A hit refreshes recency: entry 0 is now the newest, so the
+        // third store must evict entry 1, the least recently used.
+        cache.load(&k0).unwrap();
+        let (d2, lib2) = characterize("lru2");
+        let k2 = CacheKey::of(&d2, &config);
+        cache.store(&k2, &lib2).unwrap();
+
+        assert_eq!(cache.load(&k1).unwrap_err(), MissReason::Absent);
+        assert!(cache.load(&k0).is_ok(), "recently-hit entry survives");
+        assert!(cache.load(&k2).is_ok(), "just-stored entry survives");
+
+        // And the evicted design transparently recharacterizes.
+        let events = Collector::new();
+        let again = obtain_library(&d1, &config, Some(&cache), "lru1", &events).unwrap();
+        assert_eq!(again.to_text(), lib1.to_text());
+        assert!(matches!(
+            events.events()[0],
+            Event::CacheMiss {
+                reason: MissReason::Absent,
+                ..
+            }
+        ));
         let _ = fs::remove_dir_all(cache.dir());
     }
 

@@ -102,6 +102,9 @@ pub enum CharacterizeError {
     Construction(DesignError),
     /// The regression failed (degenerate stimulus).
     Fit(String),
+    /// The lockstep RT/gate simulation of the isolated design failed
+    /// (e.g. a stimulus port the gate netlist does not expose).
+    Simulation(String),
 }
 
 impl fmt::Display for CharacterizeError {
@@ -109,6 +112,7 @@ impl fmt::Display for CharacterizeError {
         match self {
             CharacterizeError::Construction(e) => write!(f, "cannot isolate component: {e}"),
             CharacterizeError::Fit(msg) => write!(f, "regression failed: {msg}"),
+            CharacterizeError::Simulation(msg) => write!(f, "lockstep simulation failed: {msg}"),
         }
     }
 }
@@ -270,6 +274,12 @@ struct Trace {
 }
 
 /// Runs the lockstep RT/gate simulation and collects regression data.
+///
+/// # Errors
+///
+/// [`CharacterizeError`] if the isolated design cannot be simulated —
+/// propagated instead of panicking so a bad design takes down one
+/// characterization request, not the process hosting it.
 fn collect_trace(
     design: &Design,
     key: &ModelKey,
@@ -278,11 +288,13 @@ fn collect_trace(
     cycles: usize,
     seed: u64,
     lib: &CellLibrary,
-) -> Trace {
+) -> Result<Trace, CharacterizeError> {
     let expanded = expand_design(design);
     let mut gsim = GateSimulator::new(&expanded, lib);
-    let mut rsim = Simulator::new(design).expect("isolated design is valid");
-    let dut = design.find_component("dut").expect("dut exists");
+    let mut rsim = Simulator::new(design)?;
+    let dut = design.find_component("dut").ok_or_else(|| {
+        CharacterizeError::Simulation("isolated design has no `dut` component".to_string())
+    })?;
     let comp = design.component(dut);
     let monitored: Vec<SignalId> = {
         let mut m: Vec<SignalId> = Vec::new();
@@ -315,7 +327,8 @@ fn collect_trace(
     for t in 0..=cycles {
         let vector = stim.next_vector().to_vec();
         for (name, v) in in_ports.iter().zip(&vector) {
-            gsim.set_input(name, *v);
+            gsim.try_set_input(name, *v)
+                .map_err(|e| CharacterizeError::Simulation(e.to_string()))?;
             rsim.set_input_by_name(name, *v);
         }
         let cur_vals: Vec<u64> = monitored.iter().map(|s| rsim.value(*s)).collect();
@@ -353,7 +366,7 @@ fn collect_trace(
         pending_seq = seq;
         prev_vals = cur_vals;
     }
-    Trace { rows, energies }
+    Ok(Trace { rows, energies })
 }
 
 /// Characterizes one component class against the gate-level reference.
@@ -377,7 +390,7 @@ pub fn characterize(
         config.train_cycles,
         config.seed,
         lib,
-    );
+    )?;
 
     let n_cols = match config.form {
         ModelForm::PerBit => layout.total_bits() as usize,
@@ -428,7 +441,7 @@ pub fn characterize(
         config.validate_cycles,
         config.seed ^ 0x5EED_5EED,
         lib,
-    );
+    )?;
     let predicted: Vec<f64> = validate
         .rows
         .iter()
@@ -504,7 +517,8 @@ mod tests {
         let (model, _) = characterize(&k, &cells, &cfg).unwrap();
         let design = isolated_design(&k).unwrap();
         let layout = MonitoredLayout::of(&k);
-        let trace = collect_trace(&design, &k, &layout, cfg.form, 500, 0xDEAD_BEEF, &cells);
+        let trace =
+            collect_trace(&design, &k, &layout, cfg.form, 500, 0xDEAD_BEEF, &cells).unwrap();
         let reference: f64 = trace.energies.iter().sum();
         let n_cols = layout.total_bits() as usize;
         let predicted: f64 = trace

@@ -1,0 +1,154 @@
+//! The `pe-serve` daemon: the estimation service over stdio or TCP.
+//!
+//! Usage: `pe-serve [--transport stdio|tcp] [--listen ADDR] [--workers N]
+//! [--queue-cap N] [--linger-ms N] [--max-cycles N] [--retry-after-ms N]
+//! [--cache-dir DIR] [--cache-cap-mb N]`
+//!
+//! On the stdio transport the protocol runs over stdin/stdout and EOF is
+//! treated as `shutdown`; on TCP the daemon accepts any number of
+//! concurrent connections and any client may request `shutdown`. Either
+//! way the daemon drains accepted work and exits 0.
+
+use pe_harness::ModelCache;
+use pe_serve::{serve_stdio, serve_tcp, Scheduler, ServeConfig};
+use pe_trace::Registry;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+Usage: pe-serve [OPTIONS]
+
+The power-estimation daemon: accepts `submit` jobs over a line-oriented
+protocol and answers with per-request energy readouts, batching
+same-design requests into 64-lane wide-engine runs.
+
+Options:
+  --transport stdio|tcp   transport to serve on (default: stdio)
+  --listen ADDR           TCP listen address (default: 127.0.0.1:7070)
+  --workers N             batch worker threads (default: 2)
+  --queue-cap N           pending-job bound before rejects (default: 256)
+  --linger-ms N           batch fill window in ms (default: 2)
+  --max-cycles N          per-request cycle limit (default: 1048576)
+  --retry-after-ms N      backoff hint on rejects (default: 50)
+  --cache-dir DIR         on-disk model-library cache directory
+  --cache-cap-mb N        LRU size cap for the cache, in MiB
+  --help                  print this help
+";
+
+struct Args {
+    transport: String,
+    listen: String,
+    config: ServeConfig,
+    cache_dir: Option<String>,
+    cache_cap_mb: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        transport: "stdio".to_string(),
+        listen: "127.0.0.1:7070".to_string(),
+        config: ServeConfig::default(),
+        cache_dir: None,
+        cache_cap_mb: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--transport" => args.transport = value("--transport")?,
+            "--listen" => args.listen = value("--listen")?,
+            "--workers" => {
+                args.config.workers = parse_num(&value("--workers")?, "--workers")? as usize;
+            }
+            "--queue-cap" => {
+                args.config.queue_cap = parse_num(&value("--queue-cap")?, "--queue-cap")? as usize;
+            }
+            "--linger-ms" => {
+                args.config.linger =
+                    Duration::from_millis(parse_num(&value("--linger-ms")?, "--linger-ms")?);
+            }
+            "--max-cycles" => {
+                args.config.max_cycles = parse_num(&value("--max-cycles")?, "--max-cycles")?;
+            }
+            "--retry-after-ms" => {
+                args.config.retry_after_ms =
+                    parse_num(&value("--retry-after-ms")?, "--retry-after-ms")?;
+            }
+            "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
+            "--cache-cap-mb" => {
+                args.cache_cap_mb = Some(parse_num(&value("--cache-cap-mb")?, "--cache-cap-mb")?);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    match args.transport.as_str() {
+        "stdio" | "tcp" => {}
+        other => return Err(format!("unknown transport `{other}` (stdio|tcp)")),
+    }
+    if args.config.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn parse_num(raw: &str, name: &str) -> Result<u64, String> {
+    raw.parse()
+        .map_err(|_| format!("{name} `{raw}` is not an unsigned integer"))
+}
+
+fn main() -> ExitCode {
+    let mut args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("pe-serve: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(dir) = &args.cache_dir {
+        match ModelCache::open(dir) {
+            Ok(cache) => {
+                let cache = match args.cache_cap_mb {
+                    Some(mb) => cache.with_capacity_bytes(mb.saturating_mul(1024 * 1024)),
+                    None => cache,
+                };
+                args.config.model_cache = Some(cache);
+            }
+            Err(e) => {
+                eprintln!("pe-serve: cannot open cache dir `{dir}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let scheduler = Scheduler::start(args.config, Registry::new());
+    let served = match args.transport.as_str() {
+        "stdio" => serve_stdio(&scheduler),
+        _ => match TcpListener::bind(&args.listen) {
+            Ok(listener) => {
+                // Stderr, so the protocol stream (stdout) stays clean.
+                match listener.local_addr() {
+                    Ok(addr) => eprintln!("event=listening addr={addr}"),
+                    Err(_) => eprintln!("event=listening addr={}", args.listen),
+                }
+                serve_tcp(&scheduler, listener)
+            }
+            Err(e) => {
+                eprintln!("pe-serve: cannot bind `{}`: {e}", args.listen);
+                return ExitCode::from(2);
+            }
+        },
+    };
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pe-serve: transport failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Transports: the stdio and TCP front ends over the scheduler.
+//!
+//! Both speak the same one-line-per-message protocol ([`crate::proto`])
+//! and share one dispatch path, so a session transcript is identical
+//! whichever transport carried it. Each connection gets a dedicated
+//! writer thread fed by an `mpsc` channel — the scheduler's batch
+//! workers send results into the channel from any thread, and a client
+//! that disconnects mid-stream just makes the sends no-ops: its jobs
+//! finish and are discarded, never leaked.
+
+use pe_trace::MetricValue;
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::proto::{parse_request, ErrorCode, Request, Response};
+use crate::sched::Scheduler;
+
+/// What a dispatched line asks of the transport loop.
+enum Dispatch {
+    /// Keep reading.
+    Continue,
+    /// The client requested shutdown: stop reading, drain, acknowledge.
+    Shutdown,
+}
+
+/// Renders one metric reading as a space-free `stat` value token.
+fn stat_value(value: &MetricValue) -> String {
+    match value {
+        MetricValue::Counter(v) => v.to_string(),
+        MetricValue::Gauge(v) => format!("{v:.3}"),
+        MetricValue::Histogram { count, sum, max } => {
+            format!("count:{count},sum:{sum},max:{max}")
+        }
+    }
+}
+
+/// Parses and executes one request line. Malformed input becomes an
+/// `event=error code=parse` response — never a panic, never a closed
+/// connection.
+fn handle_line(scheduler: &Scheduler, client: u64, tx: &Sender<Response>, line: &str) -> Dispatch {
+    if line.trim().is_empty() {
+        return Dispatch::Continue;
+    }
+    match parse_request(line) {
+        Ok(Request::Submit(req)) => {
+            scheduler.submit(req, client, tx);
+            Dispatch::Continue
+        }
+        Ok(Request::Ping) => {
+            let _ = tx.send(Response::Pong);
+            Dispatch::Continue
+        }
+        Ok(Request::Stats) => {
+            for (name, value) in scheduler.registry().snapshot() {
+                let _ = tx.send(Response::Stat {
+                    name,
+                    value: stat_value(&value),
+                });
+            }
+            Dispatch::Continue
+        }
+        Ok(Request::Shutdown) => Dispatch::Shutdown,
+        Err(e) => {
+            scheduler.registry().counter("serve.parse_errors").inc();
+            let _ = tx.send(Response::Error {
+                req: None,
+                code: ErrorCode::Parse,
+                message: e.to_string(),
+            });
+            Dispatch::Continue
+        }
+    }
+}
+
+/// Serves one client over stdin/stdout until EOF or a `shutdown`
+/// request, then drains the scheduler and acknowledges with `bye`.
+///
+/// # Errors
+///
+/// Propagates stdin read failures; client-visible problems (malformed
+/// lines, bad requests) are protocol responses, not errors.
+pub fn serve_stdio(scheduler: &Arc<Scheduler>) -> io::Result<()> {
+    let (tx, rx) = mpsc::channel::<Response>();
+    let writer = std::thread::Builder::new()
+        .name("pe-serve-stdout".into())
+        .spawn(move || {
+            let stdout = io::stdout();
+            for resp in rx {
+                let mut out = stdout.lock();
+                if writeln!(out, "{resp}").is_err() || out.flush().is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn stdout writer");
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if io::stdin().read_line(&mut line)? == 0 {
+            break; // EOF: treat like a shutdown request.
+        }
+        match handle_line(scheduler, 0, &tx, &line) {
+            Dispatch::Continue => {}
+            Dispatch::Shutdown => break,
+        }
+    }
+    scheduler.shutdown();
+    let drained = scheduler.drain();
+    let _ = tx.send(Response::Bye { drained });
+    drop(tx);
+    let _ = writer.join();
+    scheduler.join();
+    Ok(())
+}
+
+/// Accepts connections on `listener` until some client requests
+/// shutdown, then joins every connection and drains the scheduler.
+/// Bind the listener yourself (port 0 works) to learn the address.
+///
+/// # Errors
+///
+/// Propagates listener configuration/accept failures; per-connection
+/// I/O problems only end that connection.
+pub fn serve_tcp(scheduler: &Arc<Scheduler>, listener: TcpListener) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut next_client: u64 = 1;
+    let mut connections = Vec::new();
+    while !scheduler.is_shutting_down() {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let client = next_client;
+                next_client += 1;
+                let scheduler = Arc::clone(scheduler);
+                let handle = std::thread::Builder::new()
+                    .name(format!("pe-serve-conn-{client}"))
+                    .spawn(move || handle_conn(&scheduler, stream, client))
+                    .expect("spawn connection handler");
+                connections.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    // Connection readers poll the shutdown flag, so they all exit
+    // promptly; the one that requested shutdown drains and sends `bye`.
+    for handle in connections {
+        let _ = handle.join();
+    }
+    scheduler.drain();
+    scheduler.join();
+    Ok(())
+}
+
+/// One TCP connection: a polling line reader (so shutdown interrupts
+/// idle clients) feeding the shared dispatch, plus a writer thread.
+/// A read error or mid-line disconnect just ends the connection;
+/// accepted jobs finish in their batches and their results are dropped.
+fn handle_conn(scheduler: &Arc<Scheduler>, stream: TcpStream, client: u64) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<Response>();
+    let writer = std::thread::Builder::new()
+        .name(format!("pe-serve-write-{client}"))
+        .spawn(move || {
+            let mut out = BufWriter::new(write_half);
+            for resp in rx {
+                if writeln!(out, "{resp}").is_err() || out.flush().is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn connection writer");
+    let wants_shutdown = read_loop(scheduler, &stream, client, &tx);
+    if wants_shutdown {
+        scheduler.shutdown();
+        let drained = scheduler.drain();
+        let _ = tx.send(Response::Bye { drained });
+    }
+    drop(tx);
+    let _ = writer.join();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Reads lines with a short timeout so the loop can notice a shutdown
+/// triggered by another connection. Returns true if *this* client asked
+/// for the shutdown.
+fn read_loop(
+    scheduler: &Scheduler,
+    stream: &TcpStream,
+    client: u64,
+    tx: &Sender<Response>,
+) -> bool {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .is_err()
+    {
+        return false;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut read_half = stream; // `impl Read for &TcpStream`
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let raw: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&raw);
+            match handle_line(scheduler, client, tx, line.trim_end()) {
+                Dispatch::Continue => {}
+                Dispatch::Shutdown => return true,
+            }
+        }
+        if scheduler.is_shutting_down() {
+            return false;
+        }
+        match read_half.read(&mut chunk) {
+            Ok(0) => return false, // client hung up
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false, // connection reset etc.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::ServeConfig;
+    use pe_trace::Registry;
+
+    #[test]
+    fn stat_values_never_contain_spaces() {
+        for v in [
+            MetricValue::Counter(42),
+            MetricValue::Gauge(0.5),
+            MetricValue::Histogram {
+                count: 3,
+                sum: 10,
+                max: 5,
+            },
+        ] {
+            let s = stat_value(&v);
+            assert!(!s.contains(' '), "`{s}` would split the stat line");
+            // And the resulting line survives a protocol round trip.
+            let line = Response::Stat {
+                name: "serve.test".into(),
+                value: s.clone(),
+            };
+            assert_eq!(
+                crate::proto::parse_response(&line.to_string()).unwrap(),
+                line
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_lines_become_parse_errors_not_panics() {
+        let scheduler = Scheduler::start(
+            ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+            Registry::new(),
+        );
+        let (tx, rx) = mpsc::channel();
+        for bad in ["frobnicate", "submit id=!!", "submit", "event=result"] {
+            assert!(matches!(
+                handle_line(&scheduler, 7, &tx, bad),
+                Dispatch::Continue
+            ));
+            assert!(matches!(
+                rx.try_recv().unwrap(),
+                Response::Error {
+                    req: None,
+                    code: ErrorCode::Parse,
+                    ..
+                }
+            ));
+        }
+        assert!(matches!(
+            handle_line(&scheduler, 7, &tx, ""),
+            Dispatch::Continue
+        ));
+        assert!(rx.try_recv().is_err(), "blank lines are ignored");
+        assert_eq!(scheduler.registry().counter("serve.parse_errors").get(), 4);
+    }
+
+    #[test]
+    fn ping_stats_and_shutdown_dispatch() {
+        let scheduler = Scheduler::start(
+            ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+            Registry::new(),
+        );
+        scheduler.registry().counter("serve.requests_completed");
+        let (tx, rx) = mpsc::channel();
+        assert!(matches!(
+            handle_line(&scheduler, 1, &tx, "ping"),
+            Dispatch::Continue
+        ));
+        assert_eq!(rx.try_recv().unwrap(), Response::Pong);
+        assert!(matches!(
+            handle_line(&scheduler, 1, &tx, "stats"),
+            Dispatch::Continue
+        ));
+        let Response::Stat { name, .. } = rx.try_recv().unwrap() else {
+            panic!("expected a stat line");
+        };
+        assert_eq!(name, "serve.requests_completed");
+        assert!(matches!(
+            handle_line(&scheduler, 1, &tx, "shutdown"),
+            Dispatch::Shutdown
+        ));
+    }
+}

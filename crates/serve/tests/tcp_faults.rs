@@ -1,0 +1,215 @@
+//! Fault injection against a real TCP server: malformed lines, invalid
+//! submits, backpressure, a client vanishing mid-stream, and graceful
+//! shutdown — the daemon must answer every fault with a structured
+//! response and never panic or leak in-flight jobs.
+
+use pe_harness::ModelCache;
+use pe_serve::{
+    parse_response, serve_tcp, ErrorCode, RejectReason, Response, Scheduler, ServeConfig,
+};
+use pe_trace::Registry;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn start_server(
+    config: ServeConfig,
+) -> (
+    std::net::SocketAddr,
+    Arc<Scheduler>,
+    JoinHandle<std::io::Result<()>>,
+) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let sched = Scheduler::start(config, Registry::new());
+    let server = {
+        let sched = Arc::clone(&sched);
+        std::thread::spawn(move || serve_tcp(&sched, listener))
+    };
+    (addr, sched, server)
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(300)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Self { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.stream, "{line}").expect("send line");
+    }
+
+    fn recv(&mut self) -> Response {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read line");
+        parse_response(&line).unwrap_or_else(|e| panic!("unparseable `{}`: {e}", line.trim()))
+    }
+}
+
+fn shared_cache() -> ModelCache {
+    // One per-process cache directory shared by every test in this
+    // file, so Bubble_Sort characterizes once no matter which test
+    // runs first (concurrent stores are atomic rename, last wins).
+    let dir = std::env::temp_dir().join(format!("pe-serve-tcp-cache-{}", std::process::id()));
+    ModelCache::open(dir).expect("temp cache dir")
+}
+
+#[test]
+fn malformed_and_invalid_lines_are_structured_errors_and_the_connection_survives() {
+    let (addr, _sched, server) = start_server(ServeConfig::default());
+    let mut c = Client::connect(addr);
+
+    for (line, want) in [
+        ("frobnicate the power", ErrorCode::Parse),
+        ("submit id=a design=DCT cycles=10", ErrorCode::Parse), // truncated: seed missing
+        (
+            "submit id=a design=No_Such_Design cycles=10 seed=0",
+            ErrorCode::UnknownDesign,
+        ),
+        (
+            "submit id=a design=Bubble_Sort cycles=0 seed=0",
+            ErrorCode::CyclesOutOfRange,
+        ),
+        (
+            // Over the default 2^20 limit.
+            "submit id=a design=Bubble_Sort cycles=1048577 seed=0",
+            ErrorCode::CyclesOutOfRange,
+        ),
+    ] {
+        c.send(line);
+        match c.recv() {
+            Response::Error { code, message, .. } => {
+                assert_eq!(code, want, "`{line}`");
+                assert!(!message.is_empty());
+            }
+            other => panic!("`{line}` got {other}"),
+        }
+    }
+
+    // The connection is still serviceable after every fault.
+    c.send("ping");
+    assert_eq!(c.recv(), Response::Pong);
+
+    c.send("shutdown");
+    assert!(matches!(c.recv(), Response::Bye { .. }));
+    server
+        .join()
+        .expect("server thread")
+        .expect("server exits cleanly");
+}
+
+#[test]
+fn queue_full_submits_are_rejected_with_a_retry_hint() {
+    let (addr, _sched, server) = start_server(ServeConfig {
+        queue_cap: 0, // every submit sees a full queue — deterministic
+        retry_after_ms: 7,
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(addr);
+    c.send("submit id=j1 design=Bubble_Sort cycles=32 seed=0");
+    match c.recv() {
+        Response::Rejected {
+            req,
+            reason,
+            retry_after_ms,
+        } => {
+            assert_eq!(req, "j1");
+            assert_eq!(reason, RejectReason::QueueFull);
+            assert_eq!(retry_after_ms, 7);
+        }
+        other => panic!("expected rejection, got {other}"),
+    }
+    c.send("shutdown");
+    assert_eq!(c.recv(), Response::Bye { drained: 0 });
+    server
+        .join()
+        .expect("server thread")
+        .expect("server exits cleanly");
+}
+
+#[test]
+fn a_client_vanishing_mid_stream_leaks_nothing() {
+    let (addr, sched, server) = start_server(ServeConfig {
+        model_cache: Some(shared_cache()),
+        ..ServeConfig::default()
+    });
+
+    // Client A submits a job and disconnects before its result exists.
+    {
+        let mut a = Client::connect(addr);
+        a.send("submit id=doomed design=Bubble_Sort cycles=64 seed=1");
+        assert!(matches!(a.recv(), Response::Accepted { .. }));
+    } // socket dropped here, mid-stream
+
+    // Client B gets full service while A's orphaned job completes and
+    // is discarded.
+    let mut b = Client::connect(addr);
+    b.send("ping");
+    assert_eq!(b.recv(), Response::Pong);
+    b.send("submit id=alive design=Bubble_Sort cycles=48 seed=2");
+    assert!(matches!(b.recv(), Response::Accepted { .. }));
+    match b.recv() {
+        Response::Result(body) => assert_eq!(body.req, "alive"),
+        other => panic!("expected a result, got {other}"),
+    }
+
+    b.send("shutdown");
+    assert!(matches!(b.recv(), Response::Bye { .. }));
+    server
+        .join()
+        .expect("server thread")
+        .expect("server exits cleanly");
+    assert_eq!(sched.pending(), 0, "orphaned job must not linger");
+}
+
+#[test]
+fn graceful_shutdown_drains_accepted_jobs_before_bye() {
+    let (addr, _sched, server) = start_server(ServeConfig {
+        model_cache: Some(shared_cache()),
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(addr);
+    for i in 0..3 {
+        c.send(&format!(
+            "submit id=d{i} design=Bubble_Sort cycles={} seed={i}",
+            24 + 8 * i
+        ));
+    }
+    c.send("shutdown");
+
+    let mut accepted = 0;
+    let mut results = Vec::new();
+    loop {
+        match c.recv() {
+            Response::Accepted { .. } => accepted += 1,
+            Response::Result(body) => results.push(body.req),
+            Response::Bye { drained } => {
+                // Every accepted job completed before the goodbye; how
+                // many finished after shutdown began is timing-
+                // dependent, but never more than were accepted.
+                assert!(drained <= 3, "drained {drained}");
+                break;
+            }
+            other => panic!("unexpected response: {other}"),
+        }
+    }
+    assert_eq!(accepted, 3);
+    let mut got = results.clone();
+    got.sort();
+    assert_eq!(got, vec!["d0", "d1", "d2"], "all results precede bye");
+    server
+        .join()
+        .expect("server thread")
+        .expect("server exits cleanly");
+}

@@ -255,7 +255,16 @@ impl PowerWaveform {
         let mut raw = 0.0f64;
         for (i, ch) in self.channels.iter().enumerate() {
             if ch.kind == ChannelKind::Domain {
-                raw += (last.raw[i] - first.raw[i]) as f64;
+                // Recorder-built waveforms are monotone per channel, but
+                // `from_text` accepts arbitrary input: wrap (the u64
+                // two's-complement delta, matching release semantics)
+                // instead of panicking in debug builds, and treat a
+                // short row as zero contribution.
+                let (f, l) = match (first.raw.get(i), last.raw.get(i)) {
+                    (Some(f), Some(l)) => (*f, *l),
+                    _ => continue,
+                };
+                raw += l.wrapping_sub(f) as f64;
             }
         }
         raw * self.lsb_fj * self.strobe_period as f64
@@ -279,8 +288,12 @@ impl PowerWaveform {
         h.hex()
     }
 
-    /// Digests the half-open sample range `[from, to)` into `h`.
+    /// Digests the half-open sample range `[from, to)` into `h`. The
+    /// range is clamped to the retained samples (an inverted or
+    /// out-of-bounds range digests nothing rather than panicking).
     pub fn update_digest(&self, h: &mut Fnv128, from: usize, to: usize) {
+        let to = to.min(self.samples.len());
+        let from = from.min(to);
         for sample in &self.samples[from..to] {
             h.update(&sample.cycle.to_le_bytes());
             for &raw in &sample.raw {

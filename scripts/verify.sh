@@ -23,4 +23,15 @@ echo "== trace bench smoke (waveform integral invariant, BENCH_trace.json)"
 cargo run -p pe-bench --release --offline --bin trace -- --scale test --jobs 2 \
   --out BENCH_trace.json --waveform-dir waveforms
 
+echo "== serve smoke (stdio transport: ping, submit, drained shutdown)"
+serve_out=$(printf 'ping\nsubmit id=smoke design=Bubble_Sort cycles=64 seed=1\nshutdown\n' \
+  | cargo run -p pe-serve --release --offline --quiet -- --transport stdio)
+grep -q '^event=pong$' <<<"$serve_out"
+grep -q '^event=result req=smoke ' <<<"$serve_out"
+grep -q '^event=bye ' <<<"$serve_out"
+
+echo "== serve bench smoke (lane packing vs serial, bit-exact, BENCH_serve_smoke.json)"
+cargo run -p pe-bench --release --offline --bin serve -- --scale test --jobs 2 \
+  --clients 8 --requests 2 --cycles 128 --design Bubble_Sort --out BENCH_serve_smoke.json
+
 echo "verify: OK"

@@ -183,7 +183,9 @@ fn wide_gate_energy_is_bit_exact_on_spot_lanes() {
                     wide.set_input_lane(pname, lane, v);
                 }
                 for (si, &lane) in spot_lanes.iter().enumerate() {
-                    serial_gates[si].set_input(pname, rtl.value_lane(*sig, lane));
+                    serial_gates[si]
+                        .try_set_input(pname, rtl.value_lane(*sig, lane))
+                        .unwrap();
                 }
             }
             rtl.step();

@@ -52,13 +52,13 @@ fn every_benchmark_is_equivalent_across_levels() {
             tb.observe(cycle, &mut rtl);
             for (name, sig) in &inputs {
                 let v = rtl.value(*sig);
-                gate.set_input(name, v);
+                gate.try_set_input(name, v).unwrap();
                 lut.set_input(name, v);
             }
             for port in &outputs {
                 let want = rtl.output(port);
                 assert_eq!(
-                    gate.output(port),
+                    gate.try_output(port).unwrap(),
                     want,
                     "{}::{port} diverged at gate level, cycle {cycle}",
                     bench.name

@@ -157,7 +157,7 @@ fn gate_energy_bits(bench: &Benchmark, cells: &CellLibrary) -> u64 {
         tb.apply(cycle, &mut rtl);
         tb.observe(cycle, &mut rtl);
         for (name, sig) in &inputs {
-            gate.set_input(name, rtl.value(*sig));
+            gate.try_set_input(name, rtl.value(*sig)).unwrap();
         }
         rtl.step();
         gate.step();

@@ -141,11 +141,11 @@ fn levels_agree_on_random_designs() {
             let (a, b) = (rng.bits(12) & mask, rng.bits(12) & mask);
             rtl.set_input_by_name("a", a);
             rtl.set_input_by_name("b", b);
-            gate.set_input("a", a);
-            gate.set_input("b", b);
+            gate.try_set_input("a", a).unwrap();
+            gate.try_set_input("b", b).unwrap();
             lut.set_input("a", a);
             lut.set_input("b", b);
-            assert_eq!(rtl.output("out"), gate.output("out"));
+            assert_eq!(rtl.output("out"), gate.try_output("out").unwrap());
             assert_eq!(rtl.output("out"), lut.output("out"));
             rtl.step();
             gate.step();

@@ -289,7 +289,10 @@ fn gate_and_lut_waveforms_integrate_exactly_on_the_suite() {
         let mut gate_rec = domain_recorder(inst, bench.name, 1);
         let mut lut_rec = domain_recorder(inst, bench.name, 1);
         let read_gate = |gate: &mut GateSimulator<'_>| -> Vec<u64> {
-            inst.total_ports.iter().map(|p| gate.output(p)).collect()
+            inst.total_ports
+                .iter()
+                .map(|p| gate.try_output(p).unwrap())
+                .collect()
         };
         let read_lut = |lut: &mut LutSimulator<'_>| -> Vec<u64> {
             inst.total_ports.iter().map(|p| lut.output(p)).collect()
@@ -306,7 +309,7 @@ fn gate_and_lut_waveforms_integrate_exactly_on_the_suite() {
             tb.observe(cycle, &mut rtl);
             for (name, sig) in &inputs {
                 let v = rtl.value(*sig);
-                gate.set_input(name, v);
+                gate.try_set_input(name, v).unwrap();
                 lut.set_input(name, v);
             }
             rtl.step();
