@@ -132,6 +132,19 @@ fn main() {
                     b.clock, b.accumulator_bits, b.max_increment, b.strobe_period, b.safe_cycles
                 );
             }
+            for c in &report.certs {
+                print!(
+                    " cert_clock={} cert_max_increment={} cert_period={} cert_toggle_bound={} \
+                     cert_monitored_bits={} cert_stable_bits={} cert_energy_fj={:e}",
+                    c.clock,
+                    c.max_increment,
+                    c.strobe_period,
+                    c.toggle_bound,
+                    c.monitored_bits,
+                    c.stable_bits,
+                    c.energy_bound_fj(*horizon)
+                );
+            }
             println!();
         } else {
             let verdict = if clean { "clean" } else { "FAILED" };
@@ -149,6 +162,17 @@ fn main() {
                     "  note: `{}` accumulator ({} bits) proven safe for {} cycles \
                      (horizon {horizon}, max increment {}/strobe, period {})",
                     b.clock, b.accumulator_bits, b.safe_cycles, b.max_increment, b.strobe_period
+                );
+            }
+            for c in &report.certs {
+                println!(
+                    "  note: `{}` certified energy <= {:.3e} fJ over {horizon} cycles \
+                     (toggle bound {} of {} monitored bits, {} proven stable)",
+                    c.clock,
+                    c.energy_bound_fj(*horizon),
+                    c.toggle_bound,
+                    c.monitored_bits,
+                    c.stable_bits
                 );
             }
         }

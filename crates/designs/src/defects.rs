@@ -1,0 +1,115 @@
+//! Deliberately unsound benchmark variants for admission-path testing.
+//!
+//! These designs simulate fine under two-state semantics (an
+//! uninitialized register just reads zero), so nothing in the
+//! characterize → instrument → emulate pipeline rejects them — only the
+//! static X-propagation analysis in `pe-lint` can. They exist so the
+//! serving daemon's admission gate has something real to reject: the
+//! scheduler resolves them by name exactly like suite designs, but they
+//! are **not** part of [`crate::suite::all_benchmarks`] and never appear
+//! in evaluation runs.
+
+use crate::suite::{benchmark, Benchmark, Workload};
+use pe_rtl::builder::DesignBuilder;
+use pe_rtl::Design;
+
+/// Names of every defect benchmark, resolvable via
+/// [`benchmark_or_defect`].
+pub const DEFECT_NAMES: &[&str] = &["Defect_Uninit_Reg", "Defect_X_Mux"];
+
+/// A pipeline whose second stage has no power-on value: its X reaches the
+/// instrumentation snapshots (`x-strobe`), the accumulator increment
+/// (`x-accumulator`), and the domain's reset cover is incomplete
+/// (`x-reset-cover`).
+fn uninit_reg_design() -> Design {
+    let mut b = DesignBuilder::new("defect_uninit_reg");
+    let clk = b.clock("clk");
+    let x = b.input("x", 8);
+    let s1 = b.pipeline_reg("s1", x, 0, clk);
+    let ghost = b.register_uninit("ghost", 8, clk);
+    b.connect_d(ghost, s1);
+    let y = b.not(ghost.q());
+    b.output("y", y);
+    b.finish().expect("defect design is structurally valid")
+}
+
+/// A datapath steered by an uninitialized select register: the mux output
+/// is arbitrary at power-on (`x-mux-select`, plus the strobe-path X
+/// findings on everything downstream).
+fn x_mux_design() -> Design {
+    let mut b = DesignBuilder::new("defect_x_mux");
+    let clk = b.clock("clk");
+    let x = b.input("x", 8);
+    let sel_d = b.input("sel", 1);
+    let sel = b.register_uninit("sel_q", 1, clk);
+    b.connect_d(sel, sel_d);
+    let inv = b.not(x);
+    let picked = b.mux(sel.q(), &[x, inv]);
+    let out = b.pipeline_reg("out", picked, 0, clk);
+    b.output("y", out);
+    b.finish().expect("defect design is structurally valid")
+}
+
+/// Finds a defect benchmark by name.
+pub fn defect_benchmark(name: &str) -> Option<Benchmark> {
+    let design = match name {
+        "Defect_Uninit_Reg" => uninit_reg_design(),
+        "Defect_X_Mux" => x_mux_design(),
+        _ => return None,
+    };
+    Some(Benchmark {
+        name: DEFECT_NAMES
+            .iter()
+            .find(|n| **n == name)
+            .expect("name matched above"),
+        design,
+        workload: Workload::Random {
+            fixed: Vec::new(),
+            random: vec![("x", 8)],
+            seed: 99,
+        },
+        test_cycles: 200,
+        paper_cycles: 200,
+    })
+}
+
+/// Resolves a design name against the evaluation suite first, then the
+/// defect set — the lookup the serving daemon admits designs through.
+pub fn benchmark_or_defect(name: &str) -> Option<Benchmark> {
+    benchmark(name).or_else(|| defect_benchmark(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defects_resolve_but_stay_out_of_the_suite() {
+        for name in DEFECT_NAMES {
+            assert!(defect_benchmark(name).is_some(), "{name}");
+            assert!(benchmark_or_defect(name).is_some(), "{name}");
+            assert!(
+                !crate::suite::all_benchmarks()
+                    .iter()
+                    .any(|b| b.name == *name),
+                "{name} leaked into the evaluation suite"
+            );
+        }
+        assert!(defect_benchmark("Bubble_Sort").is_none());
+        assert_eq!(
+            benchmark_or_defect("Bubble_Sort").unwrap().name,
+            "Bubble_Sort"
+        );
+        assert!(benchmark_or_defect("nope").is_none());
+    }
+
+    #[test]
+    fn defect_designs_simulate_under_two_state_semantics() {
+        for name in DEFECT_NAMES {
+            let b = defect_benchmark(name).unwrap();
+            let mut sim = pe_sim::Simulator::new(&b.design).unwrap();
+            let mut tb = b.testbench(50);
+            assert_eq!(pe_sim::run(&mut sim, tb.as_mut()), 50, "{name}");
+        }
+    }
+}

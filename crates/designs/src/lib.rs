@@ -28,6 +28,7 @@
 pub mod binary_search;
 pub mod bubble;
 pub mod dct;
+pub mod defects;
 pub mod ispq;
 pub mod mpeg4;
 pub mod peakf;

@@ -22,7 +22,7 @@ pub enum Scale {
 
 /// Workload description, turned into a fresh [`Testbench`] per run.
 #[derive(Debug, Clone)]
-enum Workload {
+pub(crate) enum Workload {
     /// Fixed values plus per-cycle uniform-random values on named ports.
     Random {
         fixed: Vec<(&'static str, u64)>,
@@ -65,9 +65,9 @@ pub struct Benchmark {
     pub name: &'static str,
     /// The constructed design.
     pub design: Design,
-    workload: Workload,
-    test_cycles: u64,
-    paper_cycles: u64,
+    pub(crate) workload: Workload,
+    pub(crate) test_cycles: u64,
+    pub(crate) paper_cycles: u64,
 }
 
 impl Benchmark {

@@ -487,7 +487,7 @@ pub fn expand_design(design: &Design) -> ExpandedDesign {
                     let dff_idx = em.netlist.push_dff(Dff {
                         d: d_eff,
                         q,
-                        init: bits::bit(*init, bit as u32) == 1,
+                        init: bits::bit(init.unwrap_or(0), bit as u32) == 1,
                         clock,
                     });
                     em.comp_cells[idx].dffs.push(dff_idx as u32);

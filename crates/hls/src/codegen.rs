@@ -494,7 +494,7 @@ pub(crate) fn synthesize(f: &FsmdBuilder) -> Result<Design, SynthesisError> {
         gen.d.add_component(
             reg_name,
             ComponentKind::Register {
-                init: decl.init,
+                init: Some(decl.init),
                 has_enable: false,
             },
             &[d_sig],
@@ -513,7 +513,7 @@ pub(crate) fn synthesize(f: &FsmdBuilder) -> Result<Design, SynthesisError> {
     gen.d.add_component(
         fsm_name,
         ComponentKind::Register {
-            init: 0,
+            init: Some(0),
             has_enable: false,
         },
         &[state_next],

@@ -63,6 +63,11 @@ pub struct ModelBinding {
     /// Names of the snapshot-queue register components (one per monitored
     /// signal with at least one non-zero quantized coefficient).
     pub snapshots: Vec<String>,
+    /// Names of the monitored signals actually snapshotted, aligned with
+    /// [`ModelBinding::snapshots`]. These are the signals whose values the
+    /// strobe samples — the points X-propagation analysis must prove
+    /// defined.
+    pub monitored: Vec<String>,
     /// Name of the signal carrying the per-strobe model output.
     pub model_output: String,
 }
@@ -424,7 +429,7 @@ impl Emit<'_> {
                     let q = self.comp(
                         "agg_pipe",
                         ComponentKind::Register {
-                            init: 0,
+                            init: Some(0),
                             has_enable: false,
                         },
                         &[s],
@@ -481,7 +486,7 @@ fn build_strobe(em: &mut Emit<'_>, clk: ClockId, period: u32) -> Result<Strobe, 
         em.d.add_component(
             reg_name,
             ComponentKind::Register {
-                init: 0,
+                init: Some(0),
                 has_enable: false,
             },
             &[nxt],
@@ -496,7 +501,7 @@ fn build_strobe(em: &mut Emit<'_>, clk: ClockId, period: u32) -> Result<Strobe, 
     let primed = em.comp(
         "primed",
         ComponentKind::Register {
-            init: 0,
+            init: Some(0),
             has_enable: true,
         },
         &[one1, strobe],
@@ -656,6 +661,7 @@ pub fn instrument(
 
         let mut terms: Vec<SignalId> = Vec::new();
         let mut snapshots: Vec<String> = Vec::new();
+        let mut monitored_names: Vec<String> = Vec::new();
         let layout = model.layout();
         for (i, &sig) in monitored.iter().enumerate() {
             let w = layout.width(i);
@@ -670,7 +676,7 @@ pub fn instrument(
             let snap = em.comp(
                 "snap",
                 ComponentKind::Register {
-                    init: 0,
+                    init: Some(0),
                     has_enable: true,
                 },
                 &[sig, strobe],
@@ -679,6 +685,7 @@ pub fn instrument(
             )?;
             let snap_reg = em.d.driver_of(snap).expect("snapshot just emitted");
             snapshots.push(em.d.component(snap_reg).name().to_string());
+            monitored_names.push(em.d.signal(sig).name().to_string());
             // Transition detector.
             let trans = em.comp("trans", ComponentKind::Xor, &[snap, sig], w, None)?;
             for b in 0..w {
@@ -725,6 +732,7 @@ pub fn instrument(
             component: comp.name().to_string(),
             domain,
             snapshots,
+            monitored: monitored_names,
             model_output: em.d.signal(model_out).name().to_string(),
         });
 
@@ -763,7 +771,7 @@ pub fn instrument(
         em.d.add_component(
             reg_name.clone(),
             ComponentKind::Register {
-                init: 0,
+                init: Some(0),
                 has_enable: true,
             },
             &[acc_next, strobe.accumulate_enable],

@@ -1,19 +1,39 @@
-//! Forward dataflow: constant propagation and unsigned interval range
-//! analysis over the RTL IR.
+//! Forward dataflow: constant propagation, unsigned interval range
+//! analysis, and ternary {0, 1, X} propagation over the RTL IR.
 //!
-//! Every signal gets an interval `[lo, hi]` of possible unsigned values
-//! (masked to its width). Combinational components are evaluated in
-//! topological order with per-kind transfer functions; when every input is
-//! a constant (a singleton interval) the exact [`ComponentKind::eval`]
-//! semantics are used, so constant propagation falls out for free.
-//! Sequential outputs start at their reset value and are joined with their
-//! data input each round; after a fixed round budget any still-changing
-//! register is widened straight to ⊤ (its full width range), which
-//! guarantees termination while staying sound.
+//! Two abstract domains run as a **product** through one topo-order
+//! fixed point:
+//!
+//! * Every signal gets an interval `[lo, hi]` of possible unsigned values
+//!   (masked to its width). Combinational components are evaluated in
+//!   topological order with per-kind transfer functions; when every input
+//!   is a constant (a singleton interval) the exact
+//!   [`ComponentKind::eval`] semantics are used, so constant propagation
+//!   falls out for free.
+//! * Every signal also gets a ternary word [`Tern`]: three bitmasks
+//!   recording, per bit, whether it can be observed 0, observed 1, or may
+//!   carry **X** (power-on garbage from an uninitialized register).
+//!
+//! After each transfer the two domains *reduce* each other: a singleton
+//! interval pins the ternary word exactly (killing false X downstream of
+//! masking), interval upper bounds clear high ternary bits, and ternary
+//! must-1 / can-1 masks tighten interval endpoints. The reduction is what
+//! turns "this monitored bit is provably stable" into a smaller certified
+//! toggle bound.
+//!
+//! Sequential outputs start at their reset value — or at ⊤ with all bits
+//! X for uninitialized registers, since real hardware powers on with
+//! arbitrary garbage even though two-state simulation reads zero — and
+//! are joined with their data input each round. After a fixed round
+//! budget any still-changing register is widened: intervals straight to
+//! ⊤ and the ternary 0/1 masks to full, but **never** the X mask, which
+//! only grows monotonically through joins (widening X would invent
+//! contamination that no execution exhibits).
 
 use pe_rtl::validate::topo_order;
 use pe_rtl::{ComponentKind, Design, SignalId};
 use pe_util::bits;
+use std::fmt;
 
 /// An inclusive unsigned interval `[lo, hi]`, masked to a signal's width.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,11 +72,126 @@ impl Interval {
     }
 }
 
+/// One signal's ternary word: per-bit observability masks. A bit may be
+/// listed in several masks at once; each mask is an over-approximation
+/// ("this bit *may* be seen so").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tern {
+    /// Bits that can be observed 0 in some defined execution.
+    pub zero: u64,
+    /// Bits that can be observed 1 in some defined execution.
+    pub one: u64,
+    /// Bits that may carry X (uninitialized power-on garbage). An X bit
+    /// can be observed either way, so queries must treat it as both.
+    pub x: u64,
+}
+
+impl Tern {
+    /// A fully known value: every bit pinned, no X.
+    pub fn exact(v: u64, width: u32) -> Self {
+        let m = bits::mask(width);
+        Tern {
+            zero: !v & m,
+            one: v & m,
+            x: 0,
+        }
+    }
+
+    /// Defined but unknown: every bit can be 0 or 1, none is X.
+    pub fn defined(width: u32) -> Self {
+        let m = bits::mask(width);
+        Tern {
+            zero: m,
+            one: m,
+            x: 0,
+        }
+    }
+
+    /// Completely unknown: every bit may additionally be X (⊤).
+    pub fn undef(width: u32) -> Self {
+        let m = bits::mask(width);
+        Tern {
+            zero: m,
+            one: m,
+            x: m,
+        }
+    }
+
+    /// The least ternary word covering both.
+    pub fn join(self, other: Tern) -> Tern {
+        Tern {
+            zero: self.zero | other.zero,
+            one: self.one | other.one,
+            x: self.x | other.x,
+        }
+    }
+
+    /// Whether any bit may carry X.
+    pub fn may_be_x(self) -> bool {
+        self.x != 0
+    }
+
+    /// Bits that can change value between cycles: both polarities are
+    /// possible, or the bit is X. The complement within the signal width
+    /// is proven stable — it can never contribute a toggle.
+    pub fn toggle_mask(self) -> u64 {
+        (self.zero & self.one) | self.x
+    }
+
+    /// Bits that can be observed 1 (including via garbage).
+    pub fn can_one(self) -> u64 {
+        self.one | self.x
+    }
+
+    /// Bits that are 1 in every execution.
+    pub fn must_one(self) -> u64 {
+        self.one & !self.zero & !self.x
+    }
+}
+
+impl fmt::Display for Tern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0:{:x}/1:{:x}/x:{:x}", self.zero, self.one, self.x)
+    }
+}
+
+/// Why [`analyze`] could not run: the design has no well-defined
+/// combinational evaluation order. Carried into lint reports as
+/// `analysis-blocked` so interval/ternary findings never silently vanish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeBlocked {
+    /// A signal has no driver (neither input nor component output).
+    Undriven {
+        /// Name of the first undriven signal found.
+        signal: String,
+    },
+    /// The design has a combinational cycle.
+    CombCycle,
+}
+
+impl fmt::Display for AnalyzeBlocked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeBlocked::Undriven { signal } => write!(
+                f,
+                "signal `{signal}` has no driver, so no evaluation order exists"
+            ),
+            AnalyzeBlocked::CombCycle => {
+                f.write_str("combinational cycle: no evaluation order exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeBlocked {}
+
 /// The result of the analysis.
 #[derive(Debug, Clone)]
 pub struct Analysis {
     /// Per-signal interval, indexed by signal index.
     pub intervals: Vec<Interval>,
+    /// Per-signal ternary word, indexed by signal index.
+    pub terns: Vec<Tern>,
     /// Per-component flag: an `Add` whose true sum can exceed its output
     /// width (the hardware would wrap). Indexed by component index; always
     /// `false` for non-adders.
@@ -68,6 +203,22 @@ impl Analysis {
     pub fn interval(&self, signal: SignalId) -> Interval {
         self.intervals[signal.index()]
     }
+
+    /// The ternary word of `signal`.
+    pub fn tern(&self, signal: SignalId) -> Tern {
+        self.terns[signal.index()]
+    }
+
+    /// Whether `signal` may carry X on any bit.
+    pub fn may_be_x(&self, signal: SignalId) -> bool {
+        self.terns[signal.index()].may_be_x()
+    }
+
+    /// Proven per-cycle toggle upper bound for `signal`: the number of
+    /// bits that can change value between two cycles.
+    pub fn toggle_bound(&self, signal: SignalId) -> u32 {
+        self.terns[signal.index()].toggle_mask().count_ones()
+    }
 }
 
 /// Rounds of plain fixpoint iteration before widening kicks in. Counters
@@ -75,26 +226,61 @@ impl Analysis {
 /// moving afterwards is widened to ⊤.
 const ROUND_BUDGET: usize = 64;
 
-/// Runs the analysis. Returns `None` if the design has a combinational
-/// cycle or an undriven signal (no well-defined evaluation order).
-pub fn analyze(design: &Design) -> Option<Analysis> {
-    if !pe_rtl::validate::undriven_signals(design).is_empty() {
-        return None;
+/// Hard safety cap: past this the X masks of still-changing registers are
+/// widened too. The X mask grows monotonically through joins, so this is
+/// unreachable in practice (one round per flipped bit at worst); the cap
+/// only guarantees termination against future transfer-function bugs.
+const ROUND_CAP: usize = ROUND_BUDGET * 80;
+
+/// Runs the product analysis.
+///
+/// # Errors
+///
+/// [`AnalyzeBlocked`] if the design has an undriven signal or a
+/// combinational cycle (no well-defined evaluation order).
+pub fn analyze(design: &Design) -> Result<Analysis, AnalyzeBlocked> {
+    if let Some(&s) = pe_rtl::validate::undriven_signals(design).first() {
+        return Err(AnalyzeBlocked::Undriven {
+            signal: design.signal(s).name().to_string(),
+        });
     }
-    let order = topo_order(design).ok()?;
+    let order = topo_order(design).map_err(|_| AnalyzeBlocked::CombCycle)?;
     let n_sigs = design.signals().len();
     let width = |s: SignalId| design.signal(s).width();
 
-    // Initial state: inputs and memory read-data at ⊤, register outputs at
-    // their reset value, everything else provisionally ⊤ (combinational
+    // Initial state: inputs and memory read-data at defined-unknown,
+    // register outputs at their reset value — or all-X ⊤ when
+    // uninitialized — everything else provisionally ⊤ (combinational
     // signals are overwritten in order before first use).
     let mut vals: Vec<Interval> = (0..n_sigs)
         .map(|i| Interval::top(design.signals()[i].width()))
         .collect();
+    let mut terns: Vec<Tern> = (0..n_sigs)
+        .map(|i| Tern::undef(design.signals()[i].width()))
+        .collect();
+    for port in design.inputs() {
+        terns[port.signal().index()] = Tern::defined(width(port.signal()));
+    }
     for comp in design.components() {
-        if let ComponentKind::Register { init, .. } = comp.kind() {
-            let w = width(comp.output());
-            vals[comp.output().index()] = Interval::singleton(init & bits::mask(w));
+        let w = width(comp.output());
+        match comp.kind() {
+            ComponentKind::Register { init: Some(v), .. } => {
+                vals[comp.output().index()] = Interval::singleton(v & bits::mask(w));
+                terns[comp.output().index()] = Tern::exact(v & bits::mask(w), w);
+            }
+            ComponentKind::Register { init: None, .. } => {
+                // Power-on garbage: any value, every bit X. The interval
+                // must be ⊤ so downstream interval facts stay sound for
+                // real hardware, not just the zero-filled simulation.
+                vals[comp.output().index()] = Interval::top(w);
+                terns[comp.output().index()] = Tern::undef(w);
+            }
+            ComponentKind::Memory { .. } => {
+                // Read data starts at the (defined) initial contents; X
+                // write data is folded in by the sequential join below.
+                terns[comp.output().index()] = Tern::defined(w);
+            }
+            _ => {}
         }
     }
 
@@ -105,28 +291,64 @@ pub fn analyze(design: &Design) -> Option<Analysis> {
         for &id in &order {
             let comp = design.component(id);
             let ins: Vec<Interval> = comp.inputs().iter().map(|&s| vals[s.index()]).collect();
+            let tins: Vec<Tern> = comp.inputs().iter().map(|&s| terns[s.index()]).collect();
             let in_widths: Vec<u32> = comp.inputs().iter().map(|&s| width(s)).collect();
             let w = width(comp.output());
-            let (out, wraps) = transfer(comp.kind(), &ins, &in_widths, w);
-            vals[comp.output().index()] = out;
+            let (iv, wraps) = transfer(comp.kind(), &ins, &in_widths, w);
+            let t = transfer_tern(comp.kind(), &tins, &ins, &in_widths, w);
+            // Product reduction, both directions.
+            let t = refine_tern(t, iv, w);
+            let iv = refine_interval(iv, t);
+            vals[comp.output().index()] = iv;
+            terns[comp.output().index()] = t;
             add_may_wrap[id.index()] = wraps;
         }
         // Sequential join: a register holds its old value (reset, or a
-        // disabled enable) or latches its data input.
+        // disabled enable) or latches its data input; memory read data is
+        // defined contents, X-tainted iff the write data can be X.
         let mut changed = false;
         for comp in design.components() {
-            if let ComponentKind::Register { .. } = comp.kind() {
-                let out = comp.output();
-                let old = vals[out.index()];
-                let d = vals[comp.inputs()[0].index()];
-                let mut new = old.union(d);
-                if new != old && rounds >= ROUND_BUDGET {
-                    new = Interval::top(width(out));
+            match comp.kind() {
+                ComponentKind::Register { .. } => {
+                    let out = comp.output();
+                    let w = width(out);
+                    let old = vals[out.index()];
+                    let old_t = terns[out.index()];
+                    let d = vals[comp.inputs()[0].index()];
+                    let d_t = terns[comp.inputs()[0].index()];
+                    let mut new = old.union(d);
+                    let mut new_t = old_t.join(d_t);
+                    if rounds >= ROUND_BUDGET && (new != old || new_t != old_t) {
+                        new = Interval::top(w);
+                        // Widen values, never X: the X mask is monotone
+                        // under join and converges on its own.
+                        let m = bits::mask(w);
+                        new_t.zero = m;
+                        new_t.one = m;
+                        if rounds >= ROUND_CAP {
+                            new_t.x = m;
+                        }
+                    }
+                    if new != old || new_t != old_t {
+                        vals[out.index()] = new;
+                        terns[out.index()] = new_t;
+                        changed = true;
+                    }
                 }
-                if new != old {
-                    vals[out.index()] = new;
-                    changed = true;
+                ComponentKind::Memory { .. } => {
+                    let out = comp.output();
+                    let wdata_t = terns[comp.inputs()[2].index()];
+                    let old_t = terns[out.index()];
+                    let new_t = Tern {
+                        x: old_t.x | wdata_t.x,
+                        ..old_t
+                    };
+                    if new_t != old_t {
+                        terns[out.index()] = new_t;
+                        changed = true;
+                    }
                 }
+                _ => {}
             }
         }
         rounds += 1;
@@ -135,15 +357,191 @@ pub fn analyze(design: &Design) -> Option<Analysis> {
         }
     }
 
-    Some(Analysis {
+    Ok(Analysis {
         intervals: vals,
+        terns,
         add_may_wrap,
     })
 }
 
-/// The per-kind transfer function: the output interval, plus whether an
-/// `Add` can wrap. Sound over-approximations throughout; exact when every
-/// input is a singleton.
+/// Interval → ternary reduction: a singleton interval pins the word
+/// exactly (no execution, garbage included, can deviate — uninitialized
+/// registers start at interval ⊤, so intervals are sound over garbage);
+/// otherwise bits above the upper bound's width are known 0.
+fn refine_tern(t: Tern, iv: Interval, width: u32) -> Tern {
+    if iv.is_singleton() {
+        return Tern::exact(iv.lo, width);
+    }
+    let m = bits::mask(width);
+    let reachable = bits::mask(bits::bit_width(iv.hi));
+    Tern {
+        zero: t.zero | (m & !reachable),
+        one: t.one & reachable,
+        x: t.x & reachable,
+    }
+}
+
+/// Ternary → interval reduction: must-1 bits raise the floor, and no
+/// value can exceed the can-be-1 mask.
+fn refine_interval(iv: Interval, t: Tern) -> Interval {
+    let lo = iv.lo.max(t.must_one());
+    let hi = iv.hi.min(t.can_one());
+    if lo > hi {
+        // Both domains are sound over-approximations of the same set, so
+        // an empty intersection only means dead code; keep the interval.
+        return iv;
+    }
+    Interval { lo, hi }
+}
+
+fn and2(a: Tern, b: Tern, m: u64) -> Tern {
+    Tern {
+        zero: (a.zero | b.zero) & m,
+        one: a.one & b.one & m,
+        // X survives an AND only where the other side can pass it (1 or X).
+        x: ((a.x & (b.one | b.x)) | (b.x & (a.one | a.x))) & m,
+    }
+}
+
+fn or2(a: Tern, b: Tern, m: u64) -> Tern {
+    Tern {
+        zero: a.zero & b.zero & m,
+        one: (a.one | b.one) & m,
+        // X survives an OR only where the other side can pass it (0 or X).
+        x: ((a.x & (b.zero | b.x)) | (b.x & (a.zero | a.x))) & m,
+    }
+}
+
+fn xor2(a: Tern, b: Tern, m: u64) -> Tern {
+    Tern {
+        zero: ((a.zero & b.zero) | (a.one & b.one)) & m,
+        one: ((a.one & b.zero) | (a.zero & b.one)) & m,
+        // XOR never masks X.
+        x: (a.x | b.x) & m,
+    }
+}
+
+/// The ternary transfer function. Bitwise kinds propagate X per bit;
+/// word-level kinds (arithmetic, comparisons, shifts, tables) go to
+/// all-X when any input bit may be X, defined-unknown otherwise — the
+/// interval reduction in the caller then sharpens both cases.
+fn transfer_tern(
+    kind: &ComponentKind,
+    tins: &[Tern],
+    ins_iv: &[Interval],
+    in_widths: &[u32],
+    out_width: u32,
+) -> Tern {
+    let m = bits::mask(out_width);
+    match kind {
+        ComponentKind::And => {
+            let mut t = tins[0];
+            for &b in &tins[1..] {
+                t = and2(t, b, m);
+            }
+            t
+        }
+        ComponentKind::Or => {
+            let mut t = tins[0];
+            for &b in &tins[1..] {
+                t = or2(t, b, m);
+            }
+            t
+        }
+        ComponentKind::Xor => {
+            let mut t = tins[0];
+            for &b in &tins[1..] {
+                t = xor2(t, b, m);
+            }
+            t
+        }
+        ComponentKind::Not => Tern {
+            zero: tins[0].one & m,
+            one: tins[0].zero & m,
+            x: tins[0].x & m,
+        },
+        ComponentKind::Slice { lo } => Tern {
+            zero: (tins[0].zero >> lo) & m,
+            one: (tins[0].one >> lo) & m,
+            x: (tins[0].x >> lo) & m,
+        },
+        ComponentKind::Concat => {
+            let mut t = Tern {
+                zero: 0,
+                one: 0,
+                x: 0,
+            };
+            let mut shift = 0u32;
+            for (i, w) in tins.iter().zip(in_widths) {
+                t.zero |= i.zero << shift;
+                t.one |= i.one << shift;
+                t.x |= i.x << shift;
+                shift += w;
+            }
+            t.zero &= m;
+            t.one &= m;
+            t.x &= m;
+            t
+        }
+        ComponentKind::ZeroExt => Tern {
+            zero: (tins[0].zero | (m & !bits::mask(in_widths[0]))) & m,
+            one: tins[0].one & m,
+            x: tins[0].x & m,
+        },
+        ComponentKind::SignExt => {
+            let in_w = in_widths[0];
+            let sb = 1u64 << (in_w - 1);
+            let high = m & !bits::mask(in_w);
+            let mut t = Tern {
+                zero: tins[0].zero & m,
+                one: tins[0].one & m,
+                x: tins[0].x & m,
+            };
+            if tins[0].zero & sb != 0 {
+                t.zero |= high;
+            }
+            if tins[0].one & sb != 0 {
+                t.one |= high;
+            }
+            if tins[0].x & sb != 0 {
+                t.x |= high;
+            }
+            t
+        }
+        ComponentKind::Mux => {
+            // Union over the data legs the select interval can reach.
+            let n_data = tins.len() - 1;
+            let first = (ins_iv[0].lo as usize).min(n_data - 1);
+            let last = (ins_iv[0].hi as usize).min(n_data - 1);
+            let mut t = tins[1 + first];
+            for leg in &tins[1 + first..=1 + last] {
+                t = t.join(*leg);
+            }
+            if tins[0].may_be_x() {
+                // An X select picks arbitrarily (and a glitching select
+                // can produce non-leg values in real hardware): poison.
+                t = t.join(Tern::undef(out_width));
+            }
+            t
+        }
+        ComponentKind::Const { value } => Tern::exact(value & m, out_width),
+        // Memory read data is handled by the sequential join; register
+        // outputs by the fixpoint initialisation. Neither reaches here.
+        ComponentKind::Register { .. } | ComponentKind::Memory { .. } => Tern::undef(out_width),
+        // Word-level kinds: one X bit contaminates the whole word.
+        _ => {
+            if tins.iter().any(|t| t.may_be_x()) {
+                Tern::undef(out_width)
+            } else {
+                Tern::defined(out_width)
+            }
+        }
+    }
+}
+
+/// The per-kind interval transfer function: the output interval, plus
+/// whether an `Add` can wrap. Sound over-approximations throughout; exact
+/// when every input is a singleton.
 fn transfer(
     kind: &ComponentKind,
     ins: &[Interval],
@@ -444,6 +842,8 @@ mod tests {
         let a = analyze(&d).unwrap();
         let out = d.outputs()[0].signal();
         assert_eq!(a.interval(out), Interval::singleton(8));
+        assert_eq!(a.tern(out), Tern::exact(8, 8));
+        assert_eq!(a.toggle_bound(out), 0);
     }
 
     #[test]
@@ -462,6 +862,9 @@ mod tests {
         // it: an 8-bit free-running counter must cover its full range.
         let out = q.unwrap_or(d.outputs()[0].signal());
         assert_eq!(a.interval(out), Interval::top(8));
+        // Initialized design: the widened counter still carries no X.
+        assert!(!a.may_be_x(out));
+        assert_eq!(a.toggle_bound(out), 8);
     }
 
     #[test]
@@ -475,6 +878,8 @@ mod tests {
         let a = analyze(&d).unwrap();
         let out = d.outputs()[0].signal();
         assert_eq!(a.interval(out), Interval { lo: 0, hi: 0x0f });
+        // High nibble is proven stable: only 4 bits can ever toggle.
+        assert_eq!(a.toggle_bound(out), 4);
     }
 
     #[test]
@@ -489,6 +894,8 @@ mod tests {
         let a = analyze(&d).unwrap();
         let out = d.outputs()[0].signal();
         assert_eq!(a.interval(out), Interval::singleton(1));
+        // The singleton interval pins the ternary word too.
+        assert_eq!(a.tern(out), Tern::exact(1, 1));
     }
 
     #[test]
@@ -502,10 +909,11 @@ mod tests {
         let a = analyze(&d).unwrap();
         let out = d.outputs()[0].signal();
         assert_eq!(a.interval(out), Interval { lo: 0, hi: 255 });
+        assert!(!a.may_be_x(out));
     }
 
     #[test]
-    fn cyclic_design_yields_none() {
+    fn cyclic_design_yields_blocked_reason() {
         use pe_rtl::{ComponentKind, Design};
         let mut d = Design::new("cyc");
         let a = d.add_signal("a", 1).unwrap();
@@ -514,6 +922,114 @@ mod tests {
             .unwrap();
         d.add_component("n2", ComponentKind::Not, &[b2], a, None)
             .unwrap();
-        assert!(analyze(&d).is_none());
+        assert_eq!(analyze(&d).unwrap_err(), AnalyzeBlocked::CombCycle);
+    }
+
+    #[test]
+    fn undriven_signal_yields_blocked_reason() {
+        use pe_rtl::Design;
+        let mut d = Design::new("orphaned");
+        d.add_signal("floater", 4).unwrap();
+        assert_eq!(
+            analyze(&d).unwrap_err(),
+            AnalyzeBlocked::Undriven {
+                signal: "floater".into()
+            }
+        );
+    }
+
+    #[test]
+    fn uninitialized_register_is_an_x_source() {
+        let mut b = DesignBuilder::new("ux");
+        let clk = b.clock("clk");
+        let x = b.input("x", 8);
+        let ghost = b.register_uninit("ghost", 8, clk);
+        b.connect_d(ghost, x);
+        let sum = b.add(ghost.q(), x);
+        b.output("y", sum);
+        let d = b.finish().unwrap();
+        let a = analyze(&d).unwrap();
+        let q = d.find_signal("ghost").unwrap();
+        assert!(a.may_be_x(q));
+        // X contaminates the adder's whole output word.
+        let out = d.outputs()[0].signal();
+        assert!(a.may_be_x(out));
+    }
+
+    #[test]
+    fn masking_kills_x_exactly() {
+        // ghost & 0x0f: the high nibble's X is provably cleared, the low
+        // nibble stays X. ghost & 0: the singleton interval kills all X.
+        let mut b = DesignBuilder::new("mask");
+        let clk = b.clock("clk");
+        let x = b.input("x", 8);
+        let ghost = b.register_uninit("ghost", 8, clk);
+        b.connect_d(ghost, x);
+        let low = b.constant(0x0f, 8);
+        let zero = b.constant(0, 8);
+        let masked = b.and(ghost.q(), low);
+        let killed = b.and(ghost.q(), zero);
+        b.output("m", masked);
+        b.output("k", killed);
+        let d = b.finish().unwrap();
+        let a = analyze(&d).unwrap();
+        let m = d.outputs()[0].signal();
+        let k = d.outputs()[1].signal();
+        assert_eq!(a.tern(m).x, 0x0f);
+        assert_eq!(a.toggle_bound(m), 4);
+        assert_eq!(a.tern(k), Tern::exact(0, 8));
+        assert!(!a.may_be_x(k));
+    }
+
+    #[test]
+    fn initialized_designs_carry_no_x() {
+        // The same shape with an initialized register must be X-free:
+        // no false positives from the product analysis.
+        let mut b = DesignBuilder::new("clean");
+        let clk = b.clock("clk");
+        let x = b.input("x", 8);
+        let st = b.register_named("st", 8, 0, clk);
+        b.connect_d(st, x);
+        let inv = b.not(st.q());
+        let sum = b.add(inv, x);
+        b.output("y", sum);
+        let d = b.finish().unwrap();
+        let a = analyze(&d).unwrap();
+        for (i, _) in d.signals().iter().enumerate() {
+            assert_eq!(a.terns[i].x, 0, "signal {i} falsely X");
+        }
+    }
+
+    #[test]
+    fn x_mux_select_poisons_output() {
+        let mut b = DesignBuilder::new("xsel");
+        let clk = b.clock("clk");
+        let sel_in = b.input("s", 1);
+        let sel = b.register_uninit("sel", 1, clk);
+        b.connect_d(sel, sel_in);
+        let a0 = b.constant(1, 4);
+        let a1 = b.constant(2, 4);
+        let y = b.mux(sel.q(), &[a0, a1]);
+        b.output("y", y);
+        let d = b.finish().unwrap();
+        let a = analyze(&d).unwrap();
+        let out = d.outputs()[0].signal();
+        assert!(a.may_be_x(out));
+    }
+
+    #[test]
+    fn xor_of_signal_with_itself_snapshot_stays_defined() {
+        // The transition-detector shape: xor(snap, sig) with both defined
+        // is defined; with an X snapshot the detector word is X.
+        let mut b = DesignBuilder::new("trans");
+        let clk = b.clock("clk");
+        let x = b.input("x", 4);
+        let snap = b.register_named("snap", 4, 0, clk);
+        b.connect_d(snap, x);
+        let det = b.xor(snap.q(), x);
+        b.output("d", det);
+        let d = b.finish().unwrap();
+        let a = analyze(&d).unwrap();
+        assert!(!a.may_be_x(d.outputs()[0].signal()));
     }
 }

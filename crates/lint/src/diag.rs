@@ -50,6 +50,23 @@ pub enum Rule {
     /// An aggregator adder whose interval can exceed its output width
     /// (a per-strobe sample could wrap before reaching the accumulator).
     AggWrap,
+    /// Interval/ternary dataflow analysis could not run (undriven signal
+    /// or combinational cycle), so its findings and certificates are
+    /// missing — not silently, but with this marker.
+    AnalysisBlocked,
+    /// Uninitialized (X) state can reach an instrumentation strobe: a
+    /// monitored signal, a strobe, or an accumulate enable may carry X
+    /// when sampled, so counted toggles may be garbage.
+    XStrobe,
+    /// The accumulator's increment (the domain aggregate) may carry X:
+    /// the accumulated energy itself can be contaminated.
+    XAccumulator,
+    /// A clock domain whose reset cover is incomplete: at least one of
+    /// its registers has no power-on value.
+    XResetCover,
+    /// A mux whose select may carry X: the mux output is arbitrary (and
+    /// a glitching select can momentarily drive non-leg values).
+    XMuxSelect,
 }
 
 /// All rules, in id order.
@@ -69,6 +86,11 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::StrobeUnreachable,
     Rule::AccOverflow,
     Rule::AggWrap,
+    Rule::AnalysisBlocked,
+    Rule::XStrobe,
+    Rule::XAccumulator,
+    Rule::XResetCover,
+    Rule::XMuxSelect,
 ];
 
 impl Rule {
@@ -90,6 +112,11 @@ impl Rule {
             Rule::StrobeUnreachable => "strobe-unreachable",
             Rule::AccOverflow => "acc-overflow",
             Rule::AggWrap => "agg-wrap",
+            Rule::AnalysisBlocked => "analysis-blocked",
+            Rule::XStrobe => "x-strobe",
+            Rule::XAccumulator => "x-accumulator",
+            Rule::XResetCover => "x-reset-cover",
+            Rule::XMuxSelect => "x-mux-select",
         }
     }
 
@@ -111,13 +138,18 @@ impl Rule {
             | Rule::UncoveredSequential
             | Rule::OrphanModel
             | Rule::MissingStrobe
-            | Rule::StrobeUnreachable => Severity::Error,
+            | Rule::StrobeUnreachable
+            | Rule::XStrobe
+            | Rule::XAccumulator => Severity::Error,
             Rule::Cdc
             | Rule::DeadLogic
             | Rule::UnreadSignal
             | Rule::UnusedInput
             | Rule::AccOverflow
-            | Rule::AggWrap => Severity::Warning,
+            | Rule::AggWrap
+            | Rule::AnalysisBlocked
+            | Rule::XResetCover
+            | Rule::XMuxSelect => Severity::Warning,
         }
     }
 }
@@ -259,6 +291,68 @@ pub struct AccBound {
     pub safe_cycles: u64,
 }
 
+/// A statically certified per-domain activity/energy ceiling: the product
+/// interval × ternary analysis proves the domain aggregate (the
+/// accumulator increment) never exceeds [`PowerCertificate::max_increment`]
+/// raw units per strobe, so any emulation of `H` cycles reads at most
+/// `max_increment · ⌈H / strobe_period⌉` raw units — a bound every
+/// measured energy must respect, garbage inputs included.
+///
+/// A certificate is only emitted when the aggregate is proven X-free; an
+/// X-contaminated accumulator ([`Rule::XAccumulator`]) has no meaningful
+/// ceiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerCertificate {
+    /// Clock-domain index.
+    pub domain: usize,
+    /// Clock name.
+    pub clock: String,
+    /// Proven worst-case per-strobe accumulator increment, in raw
+    /// fixed-point units (the refined interval bound of the aggregate,
+    /// which already folds per-bit toggle feasibility through the model
+    /// coefficients).
+    pub max_increment: u64,
+    /// Strobe period in cycles.
+    pub strobe_period: u32,
+    /// Bit pattern ([`f64::to_bits`]) of the coefficient format's LSB
+    /// weight in femtojoules. Stored as bits so the certificate is `Eq`
+    /// and survives text round trips exactly.
+    pub lsb_fj_bits: u64,
+    /// Total monitored bits feeding this domain's snapshot queues.
+    pub monitored_bits: u64,
+    /// Monitored bits proven stable by ternary analysis: they can never
+    /// toggle, so they can never contribute activity.
+    pub stable_bits: u64,
+    /// Proven per-strobe toggle-count upper bound across all monitored
+    /// signals (monitored bits that can actually change value).
+    pub toggle_bound: u64,
+}
+
+impl PowerCertificate {
+    /// The coefficient LSB weight in femtojoules.
+    pub fn lsb_fj(&self) -> f64 {
+        f64::from_bits(self.lsb_fj_bits)
+    }
+
+    /// The certified raw accumulator ceiling over `horizon_cycles`.
+    /// Computed in 128 bits: never wraps, always finite.
+    pub fn raw_bound(&self, horizon_cycles: u64) -> u128 {
+        let strobes = u128::from(horizon_cycles).div_ceil(u128::from(self.strobe_period));
+        u128::from(self.max_increment) * strobes
+    }
+
+    /// The certified energy ceiling in femtojoules over `horizon_cycles`.
+    ///
+    /// Uses the exact scaling shape of the measurement path
+    /// (`raw → f64`, `× lsb`, `× strobe_period`): both conversions are
+    /// monotone, so any measured energy whose raw reading is ≤
+    /// [`PowerCertificate::raw_bound`] is ≤ this value — no rounding
+    /// slack needed.
+    pub fn energy_bound_fj(&self, horizon_cycles: u64) -> f64 {
+        self.raw_bound(horizon_cycles) as f64 * self.lsb_fj() * f64::from(self.strobe_period)
+    }
+}
+
 /// The outcome of a lint run: findings plus proven accumulator bounds.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LintReport {
@@ -266,6 +360,9 @@ pub struct LintReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Proven accumulator bounds (instrumented designs only).
     pub bounds: Vec<AccBound>,
+    /// Certified per-domain activity/energy ceilings (instrumented
+    /// designs whose aggregates are proven X-free only).
+    pub certs: Vec<PowerCertificate>,
 }
 
 impl LintReport {
@@ -291,10 +388,16 @@ impl LintReport {
         self.diagnostics.iter().filter(move |d| d.rule == rule)
     }
 
-    /// Appends another report's findings and bounds.
+    /// Appends another report's findings, bounds, and certificates.
     pub fn merge(&mut self, other: LintReport) {
         self.diagnostics.extend(other.diagnostics);
         self.bounds.extend(other.bounds);
+        self.certs.extend(other.certs);
+    }
+
+    /// The certificate for one clock domain, if the analysis produced one.
+    pub fn cert_for_domain(&self, domain: usize) -> Option<&PowerCertificate> {
+        self.certs.iter().find(|c| c.domain == domain)
     }
 }
 
@@ -309,6 +412,14 @@ impl fmt::Display for LintReport {
                 "note: domain `{}` accumulator ({} bits) proven safe for {} cycles \
                  (max per-strobe increment {} raw, period {})",
                 b.clock, b.accumulator_bits, b.safe_cycles, b.max_increment, b.strobe_period
+            )?;
+        }
+        for c in &self.certs {
+            writeln!(
+                f,
+                "note: domain `{}` certified per-strobe increment ≤ {} raw, \
+                 toggle bound {}/{} monitored bits ({} proven stable)",
+                c.clock, c.max_increment, c.toggle_bound, c.monitored_bits, c.stable_bits
             )?;
         }
         Ok(())

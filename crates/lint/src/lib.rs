@@ -2,9 +2,11 @@
 //!
 //! Three layers share one analysis engine:
 //!
-//! 1. **Dataflow** ([`dataflow`]): forward constant propagation and
-//!    unsigned interval range analysis in topological order, with widening
-//!    at sequential boundaries for termination.
+//! 1. **Dataflow** ([`dataflow`]): forward constant propagation, unsigned
+//!    interval range analysis, and ternary {0, 1, X} propagation, run as
+//!    a product domain in topological order with widening at sequential
+//!    boundaries for termination. Uninitialized registers are the X
+//!    sources; the two domains refine each other after every transfer.
 //! 2. **Structural rules** ([`rules`]): the integrity checks migrated from
 //!    `pe-rtl::validate` (undriven signals, single driver, widths,
 //!    combinational cycles, clock discipline) plus clock-domain-crossing
@@ -13,9 +15,14 @@
 //! 3. **Instrumentation soundness** ([`soundness`]): run on the output of
 //!    `pe-instrument::transform` — every sequential component covered by
 //!    exactly one power model, every hosting clock domain's strobe
-//!    reaching its snapshot queues and accumulator, and accumulator
-//!    widths *proven* non-overflowing by interval analysis (or flagged
-//!    with the cycle count at which overflow becomes possible).
+//!    reaching its snapshot queues and accumulator, accumulator widths
+//!    *proven* non-overflowing by interval analysis (or flagged with the
+//!    cycle count at which overflow becomes possible), X-propagation
+//!    rules (X at a strobe, X in the accumulator, incomplete reset
+//!    cover, X-fed mux selects), and a **static activity certifier**
+//!    emitting one [`PowerCertificate`] per X-free clock domain: a
+//!    proven per-strobe increment ceiling that scales to a certified
+//!    energy upper bound over any horizon.
 //!
 //! Findings carry a stable rule id and an intrinsic severity; a
 //! [`Denylist`] promotes selected rules (or all of them) to hard errors
@@ -31,7 +38,8 @@ pub mod rules;
 pub mod soundness;
 
 pub use diag::{
-    AccBound, DenyParseError, Denylist, Diagnostic, LintReport, Rule, Severity, ALL_RULES,
+    AccBound, DenyParseError, Denylist, Diagnostic, LintReport, PowerCertificate, Rule, Severity,
+    ALL_RULES,
 };
 
 use pe_instrument::InstrumentedDesign;
@@ -42,6 +50,7 @@ pub fn lint_design(design: &Design) -> LintReport {
     LintReport {
         diagnostics: rules::structural(design),
         bounds: Vec::new(),
+        certs: Vec::new(),
     }
 }
 
@@ -93,6 +102,14 @@ mod tests {
         assert!(report.bounds[0].safe_cycles > 1_000_000);
         assert_eq!(report.bounds[0].accumulator_bits, 48);
         assert!(report.bounds[0].max_increment > 0);
+        // A fully initialized design earns a certificate, and its ceiling
+        // agrees with the overflow bound's increment.
+        assert_eq!(report.certs.len(), 1);
+        let cert = &report.certs[0];
+        assert_eq!(cert.max_increment, report.bounds[0].max_increment);
+        assert!(cert.monitored_bits > 0);
+        assert!(cert.energy_bound_fj(1_000_000).is_finite());
+        assert!(cert.energy_bound_fj(1_000_000) > 0.0);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Instrumentation-soundness checks over the output of
-//! `pe-instrument::transform`: model coverage, strobe reachability, and
-//! interval-proven accumulator overflow bounds.
+//! `pe-instrument::transform`: model coverage, strobe reachability,
+//! interval-proven accumulator overflow bounds, ternary X-propagation
+//! rules, and statically certified per-domain energy ceilings.
 
-use crate::dataflow::{analyze, Analysis};
-use crate::diag::{AccBound, Diagnostic, LintReport, Rule};
+use crate::dataflow::{analyze, Analysis, AnalyzeBlocked};
+use crate::diag::{AccBound, Diagnostic, LintReport, PowerCertificate, Rule};
 use pe_instrument::InstrumentedDesign;
 use pe_rtl::{ComponentKind, Design, SignalId};
 use pe_util::bits;
@@ -11,17 +12,182 @@ use std::collections::BTreeMap;
 
 /// Runs every soundness check. `horizon_cycles` is the emulation length
 /// the accumulators must survive; when set, a proven-safe bound below it
-/// raises [`Rule::AccOverflow`]. The proven bounds themselves are always
-/// recorded in the report.
+/// raises [`Rule::AccOverflow`]. The proven bounds and certificates
+/// themselves are always recorded in the report.
 pub fn check(inst: &InstrumentedDesign, horizon_cycles: Option<u64>) -> LintReport {
     let mut report = LintReport::default();
     coverage(inst, &mut report.diagnostics);
     strobe_reach(inst, &mut report.diagnostics);
-    if let Some(analysis) = analyze(&inst.design) {
-        overflow(inst, &analysis, horizon_cycles, &mut report);
-        aggregator_wrap(inst, &analysis, &mut report.diagnostics);
+    match analyze(&inst.design) {
+        Ok(analysis) => {
+            overflow(inst, &analysis, horizon_cycles, &mut report);
+            aggregator_wrap(inst, &analysis, &mut report.diagnostics);
+            x_propagation(inst, &analysis, &mut report.diagnostics);
+            certify(inst, &analysis, &mut report.certs);
+        }
+        Err(blocked) => report.diagnostics.push(Diagnostic {
+            rule: Rule::AnalysisBlocked,
+            component: None,
+            signal: match &blocked {
+                AnalyzeBlocked::Undriven { signal } => Some(signal.clone()),
+                AnalyzeBlocked::CombCycle => None,
+            },
+            message: format!(
+                "interval/ternary analysis skipped ({blocked}): overflow bounds, \
+                 X-propagation findings, and power certificates are unavailable"
+            ),
+        }),
     }
     report
+}
+
+/// X-propagation rules over the product analysis: uninitialized state
+/// must never be observable at a strobe, in the accumulated energy, or
+/// on a mux select; and every clock domain's reset cover is audited.
+fn x_propagation(inst: &InstrumentedDesign, analysis: &Analysis, out: &mut Vec<Diagnostic>) {
+    let design = &inst.design;
+
+    // Reset cover per clock domain, over the *original* design: the
+    // instrumentation hardware is always initialized by construction.
+    let mut uncovered: BTreeMap<usize, (usize, usize, String)> = BTreeMap::new();
+    for comp in design.components().iter().take(inst.original_components) {
+        let (ComponentKind::Register { init, .. }, Some(clock)) = (comp.kind(), comp.clock())
+        else {
+            continue;
+        };
+        let entry = uncovered
+            .entry(clock.index())
+            .or_insert((0, 0, String::new()));
+        entry.0 += 1;
+        if init.is_none() {
+            entry.1 += 1;
+            if entry.2.is_empty() {
+                entry.2 = comp.name().to_string();
+            }
+        }
+    }
+    for (clock_idx, (total, missing, first)) in &uncovered {
+        if *missing > 0 {
+            out.push(Diagnostic {
+                rule: Rule::XResetCover,
+                component: Some(first.clone()),
+                signal: None,
+                message: format!(
+                    "clock `{}`: {missing} of {total} registers have no power-on \
+                     value (incomplete reset cover)",
+                    design.clocks()[*clock_idx].name()
+                ),
+            });
+        }
+    }
+
+    // X at a strobe: the strobe/accumulate-enable path itself, and every
+    // monitored signal the strobe samples.
+    for dom in &inst.domains {
+        for name in [&dom.strobe, &dom.accumulate_enable] {
+            if let Some(sig) = design.find_signal(name) {
+                if analysis.may_be_x(sig) {
+                    out.push(Diagnostic {
+                        rule: Rule::XStrobe,
+                        component: Some(dom.accumulator.clone()),
+                        signal: Some(name.clone()),
+                        message: format!(
+                            "strobe path for clock `{}` may carry X: sampling \
+                             instants are undefined",
+                            dom.clock
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(agg) = design.find_signal(&dom.aggregate) {
+            if analysis.may_be_x(agg) {
+                out.push(Diagnostic {
+                    rule: Rule::XAccumulator,
+                    component: Some(dom.accumulator.clone()),
+                    signal: Some(dom.aggregate.clone()),
+                    message: format!(
+                        "accumulator increment for clock `{}` may carry X: the \
+                         accumulated energy is contaminated and no activity \
+                         certificate exists",
+                        dom.clock
+                    ),
+                });
+            }
+        }
+    }
+    for binding in &inst.bindings {
+        for name in &binding.monitored {
+            let Some(sig) = design.find_signal(name) else {
+                continue;
+            };
+            if analysis.may_be_x(sig) {
+                out.push(Diagnostic {
+                    rule: Rule::XStrobe,
+                    component: Some(binding.component.clone()),
+                    signal: Some(name.clone()),
+                    message: "monitored signal may sample uninitialized (X) state \
+                              at the strobe"
+                        .into(),
+                });
+            }
+        }
+    }
+
+    // X-fed mux selects, anywhere in the enhanced design: an X select
+    // makes the mux output arbitrary.
+    for comp in design.components() {
+        if !matches!(comp.kind(), ComponentKind::Mux) {
+            continue;
+        }
+        let sel = comp.inputs()[0];
+        if analysis.may_be_x(sel) {
+            out.push(Diagnostic {
+                rule: Rule::XMuxSelect,
+                component: Some(comp.name().to_string()),
+                signal: Some(design.signal(sel).name().to_string()),
+                message: "mux select may carry X: the selected leg is arbitrary".into(),
+            });
+        }
+    }
+}
+
+/// Emits one [`PowerCertificate`] per domain whose aggregate is proven
+/// X-free. The aggregate's refined interval bound *is* the folded
+/// coefficient ceiling: the product analysis already pushed per-bit
+/// toggle feasibility (ternary stability) through the transition
+/// detectors, coefficient AND gates, and adder tree.
+fn certify(inst: &InstrumentedDesign, analysis: &Analysis, certs: &mut Vec<PowerCertificate>) {
+    let design = &inst.design;
+    for dom in &inst.domains {
+        let Some(agg) = design.find_signal(&dom.aggregate) else {
+            continue;
+        };
+        if analysis.may_be_x(agg) {
+            continue; // an X-contaminated aggregate has no meaningful ceiling
+        }
+        let mut monitored_bits = 0u64;
+        let mut toggle_bound = 0u64;
+        for binding in inst.bindings.iter().filter(|b| b.domain == dom.domain) {
+            for name in &binding.monitored {
+                let Some(sig) = design.find_signal(name) else {
+                    continue;
+                };
+                monitored_bits += u64::from(design.signal(sig).width());
+                toggle_bound += u64::from(analysis.toggle_bound(sig));
+            }
+        }
+        certs.push(PowerCertificate {
+            domain: dom.domain,
+            clock: dom.clock.clone(),
+            max_increment: analysis.interval(agg).hi,
+            strobe_period: inst.strobe_period,
+            lsb_fj_bits: inst.format.lsb().to_bits(),
+            monitored_bits,
+            stable_bits: monitored_bits - toggle_bound,
+            toggle_bound,
+        });
+    }
 }
 
 /// Every sequential component of the *original* design must be covered by

@@ -145,3 +145,106 @@ fn duplicated_binding_fires_orphan_model() {
     let report = lint_instrumented(&inst, None);
     assert!(report.by_rule(Rule::OrphanModel).count() >= 1);
 }
+
+/// Characterizes and instruments an arbitrary design with the defaults.
+fn instrument_design(d: &Design) -> InstrumentedDesign {
+    let mut lib = ModelLibrary::new();
+    lib.characterize_design(d, &CharacterizeConfig::fast())
+        .unwrap();
+    instrument(d, &lib, &InstrumentConfig::default()).unwrap()
+}
+
+#[test]
+fn uninit_register_defect_fires_the_x_family() {
+    // The serving daemon's canonical unsound design: an uninitialized
+    // pipeline register whose X reaches the snapshots and the
+    // accumulator increment.
+    let bench = pe_designs::defects::defect_benchmark("Defect_Uninit_Reg").unwrap();
+    let inst = instrument_design(&bench.design);
+    let report = lint_instrumented(&inst, None);
+    for (rule, id) in [
+        (Rule::XResetCover, "x-reset-cover"),
+        (Rule::XStrobe, "x-strobe"),
+        (Rule::XAccumulator, "x-accumulator"),
+    ] {
+        assert_eq!(rule.id(), id);
+        assert!(
+            report.by_rule(rule).count() >= 1,
+            "{id} did not fire:\n{report}"
+        );
+    }
+    // A contaminated accumulator admits no finite activity bound.
+    assert!(
+        report.certs.len() < inst.domains.len(),
+        "an X-contaminated domain must not be certified"
+    );
+    assert!(
+        !report.is_clean(&Denylist::None),
+        "x-strobe and x-accumulator are errors even with no denylist"
+    );
+}
+
+#[test]
+fn x_mux_select_defect_fires_x_mux_select() {
+    let bench = pe_designs::defects::defect_benchmark("Defect_X_Mux").unwrap();
+    let inst = instrument_design(&bench.design);
+    let report = lint_instrumented(&inst, None);
+    assert_eq!(Rule::XMuxSelect.id(), "x-mux-select");
+    assert!(
+        report.by_rule(Rule::XMuxSelect).count() >= 1,
+        "x-mux-select did not fire:\n{report}"
+    );
+    assert!(!report.is_clean(&Denylist::All));
+}
+
+#[test]
+fn x_fed_strobe_fires_x_strobe_on_the_strobe_path() {
+    // The data path is fully initialized; only a 1-bit debug register is
+    // an X source. Rerouting the recorded strobe onto that bit must trip
+    // the strobe-path check specifically — sampling instants undefined.
+    let mut b = DesignBuilder::new("xstrobe");
+    let clk = b.clock("clk");
+    let x = b.input("x", 8);
+    let s1 = b.pipeline_reg("s1", x, 0, clk);
+    b.output("y", s1);
+    let gbit = b.register_uninit("gbit", 1, clk);
+    let bit0 = b.bit(x, 0);
+    b.connect_d(gbit, bit0);
+    b.output("t", gbit.q());
+    let d = b.finish().unwrap();
+    let mut inst = instrument_design(&d);
+    inst.domains[0].strobe = "gbit".into();
+    let report = lint_instrumented(&inst, None);
+    assert!(
+        report
+            .by_rule(Rule::XStrobe)
+            .any(|d| d.signal.as_deref() == Some("gbit")),
+        "x-strobe did not fire on the rerouted strobe:\n{report}"
+    );
+}
+
+#[test]
+fn comb_cycle_design_reports_analysis_blocked() {
+    // Cross-coupled combinational loop: interval/ternary analysis cannot
+    // run, and the report must say so instead of silently skipping the
+    // overflow proof and certificates.
+    let mut inst = baseline();
+    let a = inst.design.add_signal("loop_a", 1).unwrap();
+    let b2 = inst.design.add_signal("loop_b", 1).unwrap();
+    inst.design
+        .add_component("loop_n1", pe_rtl::ComponentKind::Not, &[a], b2, None)
+        .unwrap();
+    inst.design
+        .add_component("loop_n2", pe_rtl::ComponentKind::Not, &[b2], a, None)
+        .unwrap();
+    let report = lint_instrumented(&inst, None);
+    assert_eq!(Rule::AnalysisBlocked.id(), "analysis-blocked");
+    let hits: Vec<_> = report.by_rule(Rule::AnalysisBlocked).collect();
+    assert_eq!(hits.len(), 1, "{report}");
+    assert!(
+        hits[0].message.contains("combinational cycle"),
+        "blocked reason must name the cause: {}",
+        hits[0].message
+    );
+    assert!(report.certs.is_empty());
+}

@@ -541,7 +541,7 @@ mod tests {
     fn register_model_captures_clock_base() {
         let k = key(
             ComponentKind::Register {
-                init: 0,
+                init: Some(0),
                 has_enable: false,
             },
             &[8],

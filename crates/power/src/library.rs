@@ -289,9 +289,10 @@ fn kind_to_text(kind: &ComponentKind) -> String {
                 .collect::<Vec<_>>()
                 .join(";")
         ),
-        ComponentKind::Register { init, has_enable } => {
-            format!("reg:{init}:{}", u8::from(*has_enable))
-        }
+        ComponentKind::Register { init, has_enable } => match init {
+            Some(v) => format!("reg:{v}:{}", u8::from(*has_enable)),
+            None => format!("reg:x:{}", u8::from(*has_enable)),
+        },
         ComponentKind::Memory { words, init } => match init {
             None => format!("mem:{words}"),
             Some(init) => format!(
@@ -354,7 +355,10 @@ fn kind_from_text(token: &str) -> Result<ComponentKind, String> {
             table: parse_list(rest.first().ok_or("table needs entries")?)?,
         },
         "reg" => ComponentKind::Register {
-            init: parse_u64(rest.first().ok_or("reg needs init")?)?,
+            init: match rest.first().ok_or("reg needs init")? {
+                &"x" => None,
+                raw => Some(parse_u64(raw)?),
+            },
             has_enable: rest.get(1) == Some(&"1"),
         },
         "mem" => ComponentKind::Memory {
@@ -438,7 +442,7 @@ mod tests {
                 table: vec![3, 1, 4, 1],
             },
             ComponentKind::Register {
-                init: 9,
+                init: Some(9),
                 has_enable: true,
             },
             ComponentKind::Memory {

@@ -50,7 +50,7 @@ impl MemHandle {
 struct PendingReg {
     name: String,
     width: u32,
-    init: u64,
+    init: Option<u64>,
     clock: ClockId,
     q: SignalId,
     connected: bool,
@@ -399,6 +399,28 @@ impl DesignBuilder {
         name: &str,
         width: u32,
         init: u64,
+        clock: ClockId,
+    ) -> RegHandle {
+        self.register_pending(name, width, Some(init), clock)
+    }
+
+    /// Declares a register with **no** power-on value (an X source for
+    /// static analysis; two-state simulation still reads it as zero).
+    /// Connect its data input later via [`DesignBuilder::connect_d`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is taken (the `q` signal is named `{name}` and the
+    /// component `{name}_reg`).
+    pub fn register_uninit(&mut self, name: &str, width: u32, clock: ClockId) -> RegHandle {
+        self.register_pending(name, width, None, clock)
+    }
+
+    fn register_pending(
+        &mut self,
+        name: &str,
+        width: u32,
+        init: Option<u64>,
         clock: ClockId,
     ) -> RegHandle {
         let q = self

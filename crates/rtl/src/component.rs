@@ -97,10 +97,13 @@ pub enum ComponentKind {
     },
     /// Edge-triggered register. Inputs `[d]` or `[d, en]` (enable is
     /// 1 bit); output width equals `d` width; `init` is the power-on value
-    /// and must fit the width. Requires a clock domain.
+    /// and must fit the width. `None` means the register has **no defined
+    /// power-on value**: two-state simulation treats it as zero, but
+    /// static analysis must assume arbitrary garbage (X) until the first
+    /// write. Requires a clock domain.
     Register {
-        /// Power-on / reset value.
-        init: u64,
+        /// Power-on / reset value; `None` = uninitialized (X at power-on).
+        init: Option<u64>,
         /// Whether the register has a write-enable input.
         has_enable: bool,
     },
@@ -383,11 +386,13 @@ impl ComponentKind {
                 if *has_enable && in_widths[1] != 1 {
                     return Err(WidthError::new("register enable must be 1 bit"));
                 }
-                if *init > bits::mask(in_widths[0]) {
-                    return Err(WidthError::new(format!(
-                        "register init {init:#x} does not fit {} bits",
-                        in_widths[0]
-                    )));
+                if let Some(init) = init {
+                    if *init > bits::mask(in_widths[0]) {
+                        return Err(WidthError::new(format!(
+                            "register init {init:#x} does not fit {} bits",
+                            in_widths[0]
+                        )));
+                    }
                 }
                 out_eq(in_widths[0])
             }
@@ -689,7 +694,7 @@ mod tests {
     #[should_panic(expected = "sequential")]
     fn register_eval_panics() {
         ComponentKind::Register {
-            init: 0,
+            init: Some(0),
             has_enable: false,
         }
         .eval(&[0], &[8], 8);
@@ -712,7 +717,7 @@ mod tests {
             .check_widths(&[2], 4)
             .is_err());
         assert!(ComponentKind::Register {
-            init: 256,
+            init: Some(256),
             has_enable: false
         }
         .check_widths(&[8], 8)
@@ -750,7 +755,7 @@ mod tests {
         .check_widths(&[1, 1, 8, 1], 8)
         .is_ok());
         assert!(ComponentKind::Register {
-            init: 1,
+            init: Some(1),
             has_enable: true
         }
         .check_widths(&[8, 1], 8)

@@ -627,7 +627,7 @@ mod tests {
             d.add_component(
                 "r1",
                 ComponentKind::Register {
-                    init: 0,
+                    init: Some(0),
                     has_enable: false
                 },
                 &[a],

@@ -124,7 +124,11 @@ pub fn to_text(design: &Design) -> String {
                 out.push_str(&format!(" data={}", join_u64(table.iter().copied())))
             }
             ComponentKind::Register { init, has_enable } => {
-                out.push_str(&format!(" init={init} en={}", u8::from(*has_enable)))
+                match init {
+                    Some(v) => out.push_str(&format!(" init={v}")),
+                    None => out.push_str(" init=x"),
+                }
+                out.push_str(&format!(" en={}", u8::from(*has_enable)))
             }
             ComponentKind::Memory { words, init } => {
                 out.push_str(&format!(" words={words}"));
@@ -346,12 +350,15 @@ pub fn from_text(text: &str) -> Result<Design, ParseError> {
                         ComponentKind::Table { table: data }
                     }
                     "reg" => {
-                        let init = parse_u64(
-                            &ctx,
-                            kv.get("init")
-                                .ok_or_else(|| ctx.syntax("reg missing `init=`"))?,
-                            "init",
-                        )?;
+                        let raw = kv
+                            .get("init")
+                            .ok_or_else(|| ctx.syntax("reg missing `init=`"))?;
+                        // `init=x` declares an uninitialized register.
+                        let init = if *raw == "x" {
+                            None
+                        } else {
+                            Some(parse_u64(&ctx, raw, "init")?)
+                        };
                         let has_enable = matches!(kv.get("en"), Some(&"1"));
                         ComponentKind::Register { init, has_enable }
                     }

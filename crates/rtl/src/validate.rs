@@ -117,7 +117,7 @@ mod tests {
         d.add_component(
             "acc",
             ComponentKind::Register {
-                init: 0,
+                init: Some(0),
                 has_enable: false,
             },
             &[sum],

@@ -2,7 +2,7 @@
 //!
 //! Usage: `pe-serve [--transport stdio|tcp] [--listen ADDR] [--workers N]
 //! [--queue-cap N] [--linger-ms N] [--max-cycles N] [--retry-after-ms N]
-//! [--cache-dir DIR] [--cache-cap-mb N]`
+//! [--cache-dir DIR] [--cache-cap-mb N] [--deny RULES]`
 //!
 //! On the stdio transport the protocol runs over stdin/stdout and EOF is
 //! treated as `shutdown`; on TCP the daemon accepts any number of
@@ -33,6 +33,8 @@ Options:
   --retry-after-ms N      backoff hint on rejects (default: 50)
   --cache-dir DIR         on-disk model-library cache directory
   --cache-cap-mb N        LRU size cap for the cache, in MiB
+  --deny RULES            lint rules blocking admission: `all` (default),
+                          `none`, or comma-separated rule ids
   --help                  print this help
 ";
 
@@ -75,6 +77,10 @@ fn parse_args() -> Result<Args, String> {
             "--retry-after-ms" => {
                 args.config.retry_after_ms =
                     parse_num(&value("--retry-after-ms")?, "--retry-after-ms")?;
+            }
+            "--deny" => {
+                args.config.deny = pe_lint::Denylist::parse(&value("--deny")?)
+                    .map_err(|e| format!("--deny: {e}"))?;
             }
             "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
             "--cache-cap-mb" => {

@@ -21,6 +21,7 @@
 //! result   := "event=result req=" token " design=" token " cycles=" u64
 //!             " seed=" u64 " batch=" u64 " lane=" u64 " occupancy=" u64
 //!             " energy_fj=" float " energy_bits=" 16hex
+//!             " cert_fj=" float " cert_bits=" 16hex
 //! error    := "event=error req=" (token|"-") " code=" code
 //!             " message=" rest-of-line
 //! pong     := "event=pong"
@@ -30,9 +31,12 @@
 //!
 //! `energy_bits` is the authoritative energy value (raw `f64` bits), so
 //! results round-trip bit-exactly through text; `energy_fj` is the
-//! human-readable rendering of the same bits. A malformed line is a
-//! structured [`ProtoError`] naming what went wrong — parsing never
-//! panics, whatever the input.
+//! human-readable rendering of the same bits. `cert_bits`/`cert_fj`
+//! carry the design's statically certified energy ceiling over the
+//! requested horizon the same way — every served energy is ≤ its
+//! certificate, so clients can sanity-check responses against a proven
+//! bound. A malformed line is a structured [`ProtoError`] naming what
+//! went wrong — parsing never panics, whatever the input.
 
 use std::fmt;
 
@@ -229,6 +233,10 @@ pub enum ErrorCode {
     UnknownDesign,
     /// `cycles` was zero or above the server's limit.
     CyclesOutOfRange,
+    /// The design failed static admission: lint errors under the
+    /// server's denylist, or no finite activity certificate. Rejected
+    /// before any simulation work.
+    UnsoundDesign,
     /// The server failed internally while running the job.
     Internal,
 }
@@ -240,6 +248,7 @@ impl ErrorCode {
             ErrorCode::Parse => "parse",
             ErrorCode::UnknownDesign => "unknown_design",
             ErrorCode::CyclesOutOfRange => "cycles_out_of_range",
+            ErrorCode::UnsoundDesign => "unsound_design",
             ErrorCode::Internal => "internal",
         }
     }
@@ -249,6 +258,7 @@ impl ErrorCode {
             "parse" => ErrorCode::Parse,
             "unknown_design" => ErrorCode::UnknownDesign,
             "cycles_out_of_range" => ErrorCode::CyclesOutOfRange,
+            "unsound_design" => ErrorCode::UnsoundDesign,
             "internal" => ErrorCode::Internal,
             _ => return None,
         })
@@ -315,12 +325,21 @@ pub struct ResultBody {
     /// Raw bits of the `f64` energy readout — identical to a serial
     /// `read_energy_fj` for the same (design, seed, cycles, model).
     pub energy_bits: u64,
+    /// Raw bits of the `f64` statically certified energy ceiling over
+    /// this job's horizon (the sum of the design's per-domain
+    /// certificates). The measured energy is proven ≤ this value.
+    pub cert_bits: u64,
 }
 
 impl ResultBody {
     /// The energy readout in femtojoules.
     pub fn energy_fj(&self) -> f64 {
         f64::from_bits(self.energy_bits)
+    }
+
+    /// The certified energy ceiling in femtojoules.
+    pub fn cert_fj(&self) -> f64 {
+        f64::from_bits(self.cert_bits)
     }
 }
 
@@ -389,7 +408,8 @@ impl fmt::Display for Response {
             Response::Result(r) => write!(
                 f,
                 "event=result req={} design={} cycles={} seed={} batch={} lane={} \
-                 occupancy={} energy_fj={:e} energy_bits={:016x}",
+                 occupancy={} energy_fj={:e} energy_bits={:016x} cert_fj={:e} \
+                 cert_bits={:016x}",
                 r.req,
                 r.design,
                 r.cycles,
@@ -398,7 +418,9 @@ impl fmt::Display for Response {
                 r.lane,
                 r.occupancy,
                 r.energy_fj(),
-                r.energy_bits
+                r.energy_bits,
+                r.cert_fj(),
+                r.cert_bits
             ),
             Response::Error { req, code, message } => write!(
                 f,
@@ -455,17 +477,25 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
                     "occupancy",
                     "energy_fj",
                     "energy_bits",
+                    "cert_fj",
+                    "cert_bits",
                 ],
             )?;
-            let bits_raw = field(&fields, "energy_bits")?;
-            let energy_bits = u64::from_str_radix(bits_raw, 16)
-                .map_err(|_| ProtoError::new(format!("energy_bits `{bits_raw}` is not hex")))?;
-            // energy_fj is advisory (it renders the same bits); require
-            // it to be present and a float, but trust the bits.
-            let fj_raw = field(&fields, "energy_fj")?;
-            fj_raw
-                .parse::<f64>()
-                .map_err(|_| ProtoError::new(format!("energy_fj `{fj_raw}` is not a float")))?;
+            // The *_fj fields are advisory (they render the same bits);
+            // require them to be present and floats, but trust the bits.
+            let mut bits = [0u64; 2];
+            for (slot, (bits_key, fj_key)) in bits
+                .iter_mut()
+                .zip([("energy_bits", "energy_fj"), ("cert_bits", "cert_fj")])
+            {
+                let bits_raw = field(&fields, bits_key)?;
+                *slot = u64::from_str_radix(bits_raw, 16)
+                    .map_err(|_| ProtoError::new(format!("{bits_key} `{bits_raw}` is not hex")))?;
+                let fj_raw = field(&fields, fj_key)?;
+                fj_raw
+                    .parse::<f64>()
+                    .map_err(|_| ProtoError::new(format!("{fj_key} `{fj_raw}` is not a float")))?;
+            }
             Ok(Response::Result(ResultBody {
                 req: parse_token(&fields, "req")?,
                 design: parse_token(&fields, "design")?,
@@ -474,7 +504,8 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
                 batch: parse_u64(&fields, "batch")?,
                 lane: parse_u64(&fields, "lane")?,
                 occupancy: parse_u64(&fields, "occupancy")?,
-                energy_bits,
+                energy_bits: bits[0],
+                cert_bits: bits[1],
             }))
         }
         "error" => {
@@ -577,6 +608,7 @@ mod tests {
             lane: 17,
             occupancy: 64,
             energy_bits: 0.1f64.to_bits(), // not exactly representable in decimal
+            cert_bits: 0.3f64.to_bits(),
         });
         let parsed = parse_response(&r.to_string()).unwrap();
         assert_eq!(parsed, r);
@@ -584,6 +616,7 @@ mod tests {
             panic!("not a result")
         };
         assert_eq!(body.energy_fj().to_bits(), 0.1f64.to_bits());
+        assert_eq!(body.cert_fj().to_bits(), 0.3f64.to_bits());
     }
 
     #[test]

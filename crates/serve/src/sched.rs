@@ -18,9 +18,11 @@
 //! everything already accepted, then [`Scheduler::drain`] returns.
 
 use pe_core::PowerEmulationFlow;
-use pe_designs::suite::{benchmark, Benchmark};
+use pe_designs::defects::benchmark_or_defect;
+use pe_designs::suite::Benchmark;
 use pe_harness::{obtain_library, ModelCache, RegistrySink};
 use pe_instrument::InstrumentedDesign;
+use pe_lint::{lint_instrumented, Denylist, LintReport};
 use pe_power::CharacterizeConfig;
 use pe_sim::WideSimulator;
 use pe_trace::Registry;
@@ -52,6 +54,12 @@ pub struct ServeConfig {
     /// On-disk model-library cache shared by all tenants; `None`
     /// characterizes from scratch per (design, model).
     pub model_cache: Option<ModelCache>,
+    /// Lint rules promoted to admission-blocking errors. A submitted
+    /// design whose instrumented lint report has any effective error
+    /// under this denylist — or that lacks a per-domain activity
+    /// certificate — is rejected with `unsound_design` before any
+    /// simulation work.
+    pub deny: Denylist,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +71,7 @@ impl Default for ServeConfig {
             linger: Duration::from_millis(2),
             retry_after_ms: 50,
             model_cache: None,
+            deny: Denylist::All,
         }
     }
 }
@@ -107,10 +116,43 @@ struct SchedState {
 
 /// A (design, model) pair resolved all the way to an instrumented
 /// design, ready to construct simulators from. Built once, shared by
-/// every batch of the group.
+/// every batch of the group. Carries the static lint report (including
+/// per-domain power certificates) the admission gate decides on.
 struct PreparedDesign {
     bench: Benchmark,
     inst: InstrumentedDesign,
+    report: LintReport,
+}
+
+impl PreparedDesign {
+    /// The total certified energy ceiling over `cycles`, in femtojoules:
+    /// the sum of every domain's certificate. Admission guarantees one
+    /// certificate per domain, so this is finite for admitted designs.
+    fn cert_energy_fj(&self, cycles: u64) -> f64 {
+        self.report
+            .certs
+            .iter()
+            .map(|c| c.energy_bound_fj(cycles))
+            .sum()
+    }
+
+    /// Why this design must not be served, if any reason exists.
+    fn admission_error(&self, deny: &Denylist) -> Option<String> {
+        if let Some(first) = self.report.errors(deny).next() {
+            return Some(format!(
+                "design fails static admission ({} effective errors, first: {first})",
+                self.report.error_count(deny)
+            ));
+        }
+        if self.report.certs.len() < self.inst.domains.len() {
+            return Some(format!(
+                "design lacks an activity certificate for {} of {} clock domains",
+                self.inst.domains.len() - self.report.certs.len(),
+                self.inst.domains.len()
+            ));
+        }
+        None
+    }
 }
 
 struct Shared {
@@ -186,7 +228,7 @@ impl Scheduler {
         let reply = |r: Response| {
             let _ = tx.send(r);
         };
-        if benchmark(&req.design).is_none() {
+        if benchmark_or_defect(&req.design).is_none() {
             shared.registry.counter("serve.requests_failed").inc();
             reply(Response::Error {
                 req: Some(req.id),
@@ -207,6 +249,57 @@ impl Scheduler {
             });
             return;
         }
+        // Static admission: resolve (and memoize) the prepared design —
+        // characterize, instrument, lint, but never simulate — so an
+        // unsound design is turned away before it consumes queue space
+        // or a single worker cycle. The first submit of a (design,
+        // model) pair pays the characterization here; later submits hit
+        // the memo.
+        let key = GroupKey {
+            design: req.design.clone(),
+            model: req.model,
+        };
+        match prepared(shared, &key).as_ref() {
+            Err(msg) => {
+                shared.registry.counter("serve.requests_failed").inc();
+                reply(Response::Error {
+                    req: Some(req.id),
+                    code: ErrorCode::Internal,
+                    message: msg.clone(),
+                });
+                return;
+            }
+            Ok(prep) => {
+                if let Some(msg) = prep.admission_error(&shared.config.deny) {
+                    shared.registry.counter("serve.requests_unsound").inc();
+                    shared.registry.counter("serve.requests_failed").inc();
+                    reply(Response::Error {
+                        req: Some(req.id),
+                        code: ErrorCode::UnsoundDesign,
+                        message: msg,
+                    });
+                    return;
+                }
+                // The proven accumulator bound caps the horizon harder
+                // than the configured maximum: past it the served energy
+                // could silently wrap.
+                if let Some(limit) = prep.report.bounds.iter().map(|b| b.safe_cycles).min() {
+                    if req.cycles > limit {
+                        shared.registry.counter("serve.requests_failed").inc();
+                        reply(Response::Error {
+                            req: Some(req.id),
+                            code: ErrorCode::CyclesOutOfRange,
+                            message: format!(
+                                "cycles {} exceeds the certified accumulator-safe \
+                                 horizon {limit} for design `{}`",
+                                req.cycles, req.design
+                            ),
+                        });
+                        return;
+                    }
+                }
+            }
+        }
         let mut st = lock_state(shared);
         let reject = if st.shutting_down {
             Some(RejectReason::ShuttingDown)
@@ -225,10 +318,6 @@ impl Scheduler {
             });
             return;
         }
-        let key = GroupKey {
-            design: req.design.clone(),
-            model: req.model,
-        };
         let id = req.id.clone();
         let job = Job {
             req,
@@ -426,6 +515,10 @@ fn run_batch(shared: &Shared, batch_id: u64, key: &GroupKey, jobs: Vec<Job>) -> 
     let mut delivered = 0;
     match outcome {
         Ok(energies) => {
+            let p = prep
+                .as_ref()
+                .as_ref()
+                .expect("a successful batch implies a prepared design");
             for (lane, job) in jobs.into_iter().enumerate() {
                 let latency = job.submitted.elapsed().as_micros() as u64;
                 shared
@@ -443,6 +536,7 @@ fn run_batch(shared: &Shared, batch_id: u64, key: &GroupKey, jobs: Vec<Job>) -> 
                     lane: lane as u64,
                     occupancy,
                     energy_bits: energies[lane].to_bits(),
+                    cert_bits: p.cert_energy_fj(job.req.cycles).to_bits(),
                 }));
             }
         }
@@ -489,7 +583,7 @@ fn prepared(shared: &Shared, key: &GroupKey) -> Arc<Result<PreparedDesign, Strin
 }
 
 fn build_prepared(shared: &Shared, key: &GroupKey) -> Result<PreparedDesign, String> {
-    let bench = benchmark(&key.design)
+    let bench = benchmark_or_defect(&key.design)
         .ok_or_else(|| format!("design `{}` is not in the suite", key.design))?;
     let config = match key.model {
         ModelChoice::Fast => CharacterizeConfig::fast(),
@@ -505,11 +599,19 @@ fn build_prepared(shared: &Shared, key: &GroupKey) -> Result<PreparedDesign, Str
         &sink,
     )
     .map_err(|e| format!("characterize failed: {e}"))?;
-    flow.install_library(library);
-    let (inst, _overhead) = flow
-        .stage_instrument(&bench.design)
+    // Instrument directly rather than through `stage_instrument`: the
+    // flow's built-in lint gate would turn an unsound design into an
+    // opaque `internal` failure, but admission owns that decision — the
+    // report is kept so `submit` can answer `unsound_design` with the
+    // findings.
+    let inst = pe_instrument::instrument(&bench.design, &library, flow.instrument_config())
         .map_err(|e| format!("instrument failed: {e}"))?;
-    Ok(PreparedDesign { bench, inst })
+    let report = lint_instrumented(&inst, None);
+    Ok(PreparedDesign {
+        bench,
+        inst,
+        report,
+    })
 }
 
 /// Runs one packed batch on the wide engine. Lane `l` executes job `l`'s

@@ -83,6 +83,7 @@ fn random_response(rng: &mut Rng) -> Response {
             // Arbitrary bit patterns, including NaNs and infinities —
             // the transport must not care what the f64 means.
             energy_bits: rng.next(),
+            cert_bits: rng.next(),
         }),
         3 => Response::Error {
             req: if rng.below(2) == 0 {
@@ -93,10 +94,11 @@ fn random_response(rng: &mut Rng) -> Response {
                 // one.
                 Some(rng.token()).filter(|t| t != "-").or(Some("x".into()))
             },
-            code: match rng.below(4) {
+            code: match rng.below(5) {
                 0 => ErrorCode::Parse,
                 1 => ErrorCode::UnknownDesign,
                 2 => ErrorCode::CyclesOutOfRange,
+                3 => ErrorCode::UnsoundDesign,
                 _ => ErrorCode::Internal,
             },
             message: format!("{} {} {}", rng.token(), rng.token(), rng.token()),
@@ -159,11 +161,15 @@ fn result_energy_bits_survive_text_for_adversarial_floats() {
             lane: 0,
             occupancy: 1,
             energy_bits: bits,
+            // The certificate rides the same advisory-float + exact-bits
+            // encoding, so it must survive the same adversarial values.
+            cert_bits: bits ^ u64::MAX,
         });
         let Response::Result(body) = parse_response(&r.to_string()).unwrap() else {
             panic!("not a result");
         };
         assert_eq!(body.energy_bits, bits);
+        assert_eq!(body.cert_bits, bits ^ u64::MAX);
     }
 }
 

@@ -174,6 +174,59 @@ fn a_client_vanishing_mid_stream_leaks_nothing() {
 }
 
 #[test]
+fn unsound_designs_are_rejected_at_admission_before_any_simulation() {
+    let (addr, sched, server) = start_server(ServeConfig {
+        model_cache: Some(shared_cache()),
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(addr);
+    // Both seeded-defect designs resolve by name (they are not
+    // `unknown_design`) but fail the static X-propagation gate.
+    for design in ["Defect_Uninit_Reg", "Defect_X_Mux"] {
+        c.send(&format!("submit id=bad design={design} cycles=50 seed=0"));
+        match c.recv() {
+            Response::Error { req, code, message } => {
+                assert_eq!(req.as_deref(), Some("bad"), "{design}");
+                assert_eq!(code, ErrorCode::UnsoundDesign, "{design}");
+                assert!(!message.is_empty(), "{design}");
+            }
+            other => panic!("{design}: expected unsound_design, got {other}"),
+        }
+    }
+    // The rejection happened at admission: nothing was queued and no
+    // batch (hence no simulation) ever ran.
+    assert_eq!(sched.pending(), 0);
+    assert_eq!(sched.registry().counter("serve.batches").get(), 0);
+    assert_eq!(sched.registry().counter("serve.requests_unsound").get(), 2);
+
+    // The connection survives, and a sound design flows through with
+    // its certified ceiling riding the result — never below the
+    // measured energy.
+    c.send("submit id=good design=Bubble_Sort cycles=64 seed=3");
+    assert!(matches!(c.recv(), Response::Accepted { .. }));
+    match c.recv() {
+        Response::Result(body) => {
+            assert_eq!(body.req, "good");
+            let energy = f64::from_bits(body.energy_bits);
+            let cert = body.cert_fj();
+            assert!(cert.is_finite() && cert > 0.0, "cert {cert:e}");
+            assert!(
+                energy <= cert,
+                "measured {energy:e} fJ exceeds certified {cert:e} fJ"
+            );
+        }
+        other => panic!("expected a result, got {other}"),
+    }
+
+    c.send("shutdown");
+    assert!(matches!(c.recv(), Response::Bye { .. }));
+    server
+        .join()
+        .expect("server thread")
+        .expect("server exits cleanly");
+}
+
+#[test]
 fn graceful_shutdown_drains_accepted_jobs_before_bye() {
     let (addr, _sched, server) = start_server(ServeConfig {
         model_cache: Some(shared_cache()),

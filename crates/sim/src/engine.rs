@@ -93,7 +93,7 @@ impl<'a> Simulator<'a> {
         for comp in design.components() {
             match comp.kind() {
                 ComponentKind::Register { init, has_enable } => {
-                    values[comp.output().index()] = *init;
+                    values[comp.output().index()] = init.unwrap_or(0);
                     regs.push(CompiledReg {
                         d: comp.inputs()[0].index() as u32,
                         en: has_enable.then(|| comp.inputs()[1].index() as u32),
@@ -355,7 +355,7 @@ impl<'a> Simulator<'a> {
         }
         for comp in self.design.components() {
             if let ComponentKind::Register { init, .. } = comp.kind() {
-                self.values[comp.output().index()] = *init;
+                self.values[comp.output().index()] = init.unwrap_or(0);
             }
         }
         for mem in &self.mems {

@@ -206,7 +206,7 @@ impl<'a> WideSimulator<'a> {
             match comp.kind() {
                 ComponentKind::Register { init, .. } => {
                     let q = self.slots[comp.output().index()];
-                    broadcast(&mut self.slices, q, *init);
+                    broadcast(&mut self.slices, q, init.unwrap_or(0));
                 }
                 ComponentKind::Memory { words, init } => {
                     let mem = self

@@ -23,12 +23,24 @@ echo "== trace bench smoke (waveform integral invariant, BENCH_trace.json)"
 cargo run -p pe-bench --release --offline --bin trace -- --scale test --jobs 2 \
   --out BENCH_trace.json --waveform-dir waveforms
 
+echo "== lint gate (--deny all --machine) vs locked fixture"
+cargo run -p pe-bench --release --offline --quiet --bin lint -- \
+  --scale test --jobs 2 --deny all --machine 2>/dev/null > LINT_machine.txt
+diff -u tests/golden/lint_machine.txt LINT_machine.txt
+
 echo "== serve smoke (stdio transport: ping, submit, drained shutdown)"
 serve_out=$(printf 'ping\nsubmit id=smoke design=Bubble_Sort cycles=64 seed=1\nshutdown\n' \
   | cargo run -p pe-serve --release --offline --quiet -- --transport stdio)
 grep -q '^event=pong$' <<<"$serve_out"
 grep -q '^event=result req=smoke ' <<<"$serve_out"
+grep -q 'cert_bits=' <<<"$serve_out"
 grep -q '^event=bye ' <<<"$serve_out"
+
+echo "== serve admission smoke (unsound design rejected before simulation)"
+serve_admit=$(printf 'submit id=evil design=Defect_Uninit_Reg cycles=64 seed=1\nshutdown\n' \
+  | cargo run -p pe-serve --release --offline --quiet -- --transport stdio)
+grep -q '^event=error req=evil code=unsound_design ' <<<"$serve_admit"
+! grep -q '^event=result' <<<"$serve_admit"
 
 echo "== serve bench smoke (lane packing vs serial, bit-exact, BENCH_serve_smoke.json)"
 cargo run -p pe-bench --release --offline --bin serve -- --scale test --jobs 2 \
