@@ -6,7 +6,13 @@
 //!
 //! Usage: `cargo run -p pe-bench --release --bin trace --
 //! [--scale test|paper] [--jobs N] [--cache-dir DIR] [--out PATH]
-//! [--waveform-dir DIR] [--sample-period N] [--capture MODE]`
+//! [--waveform-dir DIR] [--sample-period N] [--capture MODE]
+//! [--engine graph|tape]`
+//!
+//! `--engine tape` runs the 64-lane leg on the compiled instruction
+//! tape instead of the graph interpreter; the serial leg stays on the
+//! graph engine, so the run doubles as a cross-engine bit-exactness
+//! check (the assemble stage rejects the first diverging sample).
 //!
 //! `--jobs 1` (the default) keeps the overhead columns uncontended.
 //! `--sample-period N` samples every Nth strobe boundary; the default 64
@@ -22,7 +28,7 @@ use pe_bench::cli::{BenchArgs, CliError, FlagExt};
 use pe_bench::standard_flow;
 use pe_designs::suite::all_benchmarks;
 use pe_harness::trace::{mean_overhead_pct, render_json, run_trace_bench};
-use pe_harness::{Fanout, Metrics, RegistrySink, StderrLines};
+use pe_harness::{Engine, Fanout, Metrics, RegistrySink, StderrLines};
 use pe_trace::{CaptureMode, Profiler, Registry};
 use std::path::PathBuf;
 
@@ -31,6 +37,7 @@ struct TraceExt {
     waveform_dir: PathBuf,
     sample_period: u32,
     capture: CaptureMode,
+    engine: Engine,
 }
 
 fn parse_capture(raw: &str) -> Result<CaptureMode, CliError> {
@@ -67,6 +74,9 @@ impl FlagExt for TraceExt {
                 })?;
             }
             "--capture" => self.capture = parse_capture(&value("--capture")?)?,
+            "--engine" => {
+                self.engine = value("--engine")?.parse().map_err(CliError::Invalid)?;
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -79,6 +89,7 @@ fn main() {
         waveform_dir: PathBuf::from("waveforms"),
         sample_period: 64,
         capture: CaptureMode::Decimate(4096),
+        engine: Engine::Graph,
     };
     let args = BenchArgs::from_env_with(
         "trace",
@@ -86,14 +97,16 @@ fn main() {
         "\x20 --out PATH           result JSON path (default: BENCH_trace.json)\n\
          \x20 --waveform-dir DIR   per-design waveform files (default: waveforms/)\n\
          \x20 --sample-period N    sample every N strobes (default: 64)\n\
-         \x20 --capture MODE       unbounded | ring:N | decimate:N (default: decimate:4096)\n",
+         \x20 --capture MODE       unbounded | ring:N | decimate:N (default: decimate:4096)\n\
+         \x20 --engine ENGINE      graph | tape wide engine (default: graph)\n",
     );
     let cache = args.open_cache();
     let benchmarks = all_benchmarks();
 
     println!(
-        "observability evaluation — power waveforms and tracing overhead ({:?} scale, {} job(s))",
-        args.scale, args.jobs
+        "observability evaluation — power waveforms and tracing overhead \
+         ({:?} scale, {} job(s), {} wide engine)",
+        args.scale, args.jobs, ext.engine
     );
     println!("(every waveform must integrate bit-exactly to the engine's cumulative energy");
     println!(" readback, and serial vs wide lane 0 must match sample-for-sample)");
@@ -109,6 +122,7 @@ fn main() {
         &standard_flow,
         &benchmarks,
         args.scale,
+        ext.engine,
         ext.sample_period,
         ext.capture,
         args.jobs,
@@ -159,6 +173,7 @@ fn main() {
     let doc = render_json(
         &trace_rows,
         args.scale,
+        ext.engine,
         ext.sample_period,
         &profiler,
         &registry,

@@ -1,7 +1,8 @@
 //! The bit-parallel throughput benchmark: runs every suite design's
 //! testbench 64 ways — 64 serial single-lane simulations vs one 64-lane
-//! wide simulation — verifies the waveforms bit-identical lane by lane,
-//! and writes the measurements to `BENCH_wide.json`.
+//! wide simulation vs one compiled-tape 64-lane run — verifies the
+//! waveforms bit-identical lane by lane, and writes the measurements to
+//! `BENCH_wide.json`.
 //!
 //! Usage: `cargo run -p pe-bench --release --bin wide --
 //! [--scale test|paper] [--jobs N] [--cache-dir DIR] [--out PATH]`
@@ -14,7 +15,7 @@
 
 use pe_bench::cli::{BenchArgs, CliError, FlagExt};
 use pe_designs::suite::all_benchmarks;
-use pe_harness::wide::{geomean_speedup, render_json, run_wide_bench};
+use pe_harness::wide::{geomean_speedup, geomean_tape_speedup, render_json, run_wide_bench};
 use pe_harness::{Fanout, Metrics, StderrLines};
 use std::path::PathBuf;
 
@@ -48,11 +49,12 @@ fn main() {
     let benchmarks = all_benchmarks();
 
     println!(
-        "bit-parallel evaluation — 64-lane wide engine vs serial ({:?} scale, {} job(s))",
+        "bit-parallel evaluation — 64-lane wide engine vs serial vs compiled tape \
+         ({:?} scale, {} job(s))",
         args.scale, args.jobs
     );
     println!("(each design: 64 seeded testbench shards; every lane's waveform digest is");
-    println!(" verified bit-identical between the engines before speedup is reported)");
+    println!(" verified bit-identical between all engines before speedup is reported)");
     println!();
 
     let progress = StderrLines::new("wide", false);
@@ -67,19 +69,31 @@ fn main() {
     };
 
     println!(
-        "{:<14} {:>9} {:>6} {:>12} {:>12} {:>9}  digest",
-        "design", "cycles", "lanes", "serial (s)", "wide (s)", "speedup"
+        "{:<14} {:>9} {:>6} {:>12} {:>12} {:>12} {:>9} {:>9}  digest",
+        "design", "cycles", "lanes", "serial (s)", "wide (s)", "tape (s)", "speedup", "tape x"
     );
     for r in &rows {
         println!(
-            "{:<14} {:>9} {:>6} {:>12.4} {:>12.4} {:>8.1}x  {}",
-            r.design, r.cycles, r.lanes, r.serial_seconds, r.wide_seconds, r.speedup, r.digest
+            "{:<14} {:>9} {:>6} {:>12.4} {:>12.4} {:>12.4} {:>8.1}x {:>8.2}x  {}",
+            r.design,
+            r.cycles,
+            r.lanes,
+            r.serial_seconds,
+            r.wide_seconds,
+            r.tape_seconds,
+            r.speedup,
+            r.tape_speedup,
+            r.digest
         );
     }
     println!();
     println!(
         "geometric-mean speedup: {:.1}x (64 lanes per word op)",
         geomean_speedup(&rows)
+    );
+    println!(
+        "geometric-mean tape speedup over graph wide engine: {:.2}x (compile included)",
+        geomean_tape_speedup(&rows)
     );
 
     let doc = render_json(&rows, args.scale);

@@ -11,11 +11,19 @@
 
 use crate::suite::{benchmark, Benchmark, Workload};
 use pe_rtl::builder::DesignBuilder;
-use pe_rtl::Design;
+use pe_rtl::{ComponentKind, Design};
 
 /// Names of every defect benchmark, resolvable via
 /// [`benchmark_or_defect`].
 pub const DEFECT_NAMES: &[&str] = &["Defect_Uninit_Reg", "Defect_X_Mux"];
+
+/// Names of the *structurally* broken designs, resolvable via
+/// [`structural_defect_design`]. Unlike [`DEFECT_NAMES`], these do not
+/// simulate at all: `Design::validate` (and therefore every engine
+/// constructor and the tape compiler) rejects them with a diagnosed
+/// reason — a combinational cycle or an undriven signal — matching the
+/// lint rule ids `comb-cycle` and `undriven-signal`.
+pub const STRUCTURAL_DEFECT_NAMES: &[&str] = &["Defect_Comb_Cycle", "Defect_Undriven"];
 
 /// A pipeline whose second stage has no power-on value: its X reaches the
 /// instrumentation snapshots (`x-strobe`), the accumulator increment
@@ -48,6 +56,48 @@ fn x_mux_design() -> Design {
     let out = b.pipeline_reg("out", picked, 0, clk);
     b.output("y", out);
     b.finish().expect("defect design is structurally valid")
+}
+
+/// Two inverters chasing each other's tails: `loop_a` and `loop_b` form
+/// a combinational cycle no topological schedule can order
+/// (`comb-cycle`). Built with the raw [`Design`] API — the builder's
+/// `finish()` would refuse to hand it over.
+fn comb_cycle_design() -> Design {
+    let mut d = Design::new("defect_comb_cycle");
+    let x = d.add_input("x", 8).expect("signal");
+    let a = d.add_signal("a", 8).expect("signal");
+    let b = d.add_signal("b", 8).expect("signal");
+    d.add_component("loop_a", ComponentKind::Xor, &[x, b], a, None)
+        .expect("component");
+    d.add_component("loop_b", ComponentKind::Not, &[a], b, None)
+        .expect("component");
+    d.add_output("y", a).expect("port");
+    d
+}
+
+/// A gate reading a signal nothing drives (`undriven-signal`): `ghost`
+/// is declared but never connected to a driver.
+fn undriven_design() -> Design {
+    let mut d = Design::new("defect_undriven");
+    let x = d.add_input("x", 8).expect("signal");
+    let ghost = d.add_signal("ghost", 8).expect("signal");
+    let y = d.add_signal("mix_out", 8).expect("signal");
+    d.add_component("mix", ComponentKind::And, &[x, ghost], y, None)
+        .expect("component");
+    d.add_output("y", y).expect("port");
+    d
+}
+
+/// Finds a structurally broken design by name (see
+/// [`STRUCTURAL_DEFECT_NAMES`]). Returns the raw [`Design`] rather than
+/// a [`Benchmark`]: these cannot run a workload — the point is that
+/// admission paths reject them with the diagnosed structural reason.
+pub fn structural_defect_design(name: &str) -> Option<Design> {
+    match name {
+        "Defect_Comb_Cycle" => Some(comb_cycle_design()),
+        "Defect_Undriven" => Some(undriven_design()),
+        _ => None,
+    }
 }
 
 /// Finds a defect benchmark by name.

@@ -227,10 +227,85 @@ fn traced_wide_run(
     Ok(waveform)
 }
 
+/// [`traced_wide_run`] on the compiled instruction tape: compiles the
+/// instrumented design into a [`pe_tape::Tape`] (the compile is part of
+/// the engine's cost), runs all 64 shards through the
+/// [`pe_tape::WideTapeSimulator`], and enforces the same lane-0
+/// integral invariant. The waveform must be bit-identical to the graph
+/// engine's — the assemble job checks it against the serial waveform.
+fn traced_wide_run_tape(
+    bench: &Benchmark,
+    inst: &InstrumentedDesign,
+    cycles: u64,
+    sample_period: u32,
+    capture: CaptureMode,
+    registry: &Registry,
+) -> Result<PowerWaveform, HarnessError> {
+    let name = bench.name;
+    let tape =
+        pe_tape::Tape::compile(&inst.design).map_err(|e| HarnessError::new("wide", name, e))?;
+    let mut sim = pe_tape::WideTapeSimulator::new(&tape);
+    let mut tbs = bench.testbench_shards(cycles, LANES);
+    let mut rec = inst.waveform_recorder(name, sample_period, capture);
+    let strobe = u64::from(inst.strobe_period.max(1));
+    let offer = |rec: &mut pe_trace::WaveformRecorder,
+                 sim: &mut pe_tape::WideTapeSimulator<'_>,
+                 cycle: u64| {
+        let raw = inst
+            .try_read_raw_totals_lane(sim, 0)
+            .map_err(|e| HarnessError::new("wide", name, e))?;
+        rec.offer(cycle, &raw)
+            .map_err(|e| HarnessError::new("wide", name, e))
+    };
+    offer(&mut rec, &mut sim, 0)?;
+    let mut covered_final = false;
+    for cycle in 0..cycles {
+        for (lane, tb) in tbs.iter_mut().enumerate() {
+            tb.apply(cycle, &mut sim.lane(lane));
+        }
+        for (lane, tb) in tbs.iter_mut().enumerate() {
+            tb.observe(cycle, &mut sim.lane(lane));
+        }
+        sim.step();
+        if (cycle + 1) % strobe == 0 {
+            if rec.wants_next() {
+                offer(&mut rec, &mut sim, cycle + 1)?;
+                covered_final = cycle + 1 == cycles;
+            } else {
+                rec.skip();
+            }
+        }
+    }
+    if !covered_final {
+        offer(&mut rec, &mut sim, cycles)?;
+    }
+    let energy = inst
+        .try_read_energy_fj_lane(&mut sim, 0)
+        .map_err(|e| HarnessError::new("wide", name, e))?;
+    sim.record_metrics(registry);
+    registry.gauge("wide.lane_occupancy").set(1.0);
+    let waveform = rec.finish();
+    if !matches!(capture, CaptureMode::Ring(_)) {
+        let integral = waveform.integral_fj();
+        if integral.to_bits() != energy.to_bits() {
+            return Err(HarnessError::new(
+                "wide",
+                name,
+                format!("tape lane 0 waveform integral {integral:e} != energy readback {energy:e}"),
+            ));
+        }
+    }
+    Ok(waveform)
+}
+
 /// Runs the observability benchmark as a job graph; `(row, waveform)`
 /// pairs come back in `benchmarks` order. Flow stages are timed into
 /// `profiler`; engine, instrumentation, and job metrics land in
 /// `registry`. Use `workers = 1` when the overhead columns matter.
+/// `engine` picks the 64-lane executor for the wide job — the serial
+/// baseline always runs on the graph engine, so a tape run doubles as a
+/// cross-engine waveform equality check (the assemble job rejects the
+/// first diverging sample).
 ///
 /// # Errors
 ///
@@ -243,6 +318,7 @@ pub fn run_trace_bench(
     flow_factory: FlowFactory<'_>,
     benchmarks: &[Benchmark],
     scale: Scale,
+    engine: crate::Engine,
     sample_period: u32,
     capture: CaptureMode,
     workers: usize,
@@ -301,8 +377,13 @@ pub fn run_trace_bench(
             let Node::Instrumented(inst) = &*deps[0] else {
                 unreachable!("wide depends on flow")
             };
-            let waveform = profiler.time("run_wide", name, || {
-                traced_wide_run(bench, inst, cycles, sample_period, capture, registry)
+            let waveform = profiler.time("run_wide", name, || match engine {
+                crate::Engine::Graph => {
+                    traced_wide_run(bench, inst, cycles, sample_period, capture, registry)
+                }
+                crate::Engine::Tape => {
+                    traced_wide_run_tape(bench, inst, cycles, sample_period, capture, registry)
+                }
             })?;
             Ok(Node::Wide { waveform })
         });
@@ -410,6 +491,7 @@ fn json_escape(s: &str) -> String {
 pub fn render_json(
     rows: &[TraceRow],
     scale: Scale,
+    engine: crate::Engine,
     sample_period: u32,
     profiler: &Profiler,
     registry: &Registry,
@@ -423,6 +505,7 @@ pub fn render_json(
             Scale::Paper => "paper",
         }
     ));
+    out.push_str(&format!("  \"engine\": \"{engine}\",\n"));
     out.push_str(&format!("  \"sample_period\": {sample_period},\n"));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -477,6 +560,7 @@ mod tests {
             &fast_flow,
             &benches,
             Scale::Test,
+            crate::Engine::Graph,
             1,
             CaptureMode::Unbounded,
             1,
@@ -528,6 +612,38 @@ mod tests {
     }
 
     #[test]
+    fn tape_engine_produces_the_identical_waveform() {
+        let benches = [benchmark("Bubble_Sort").unwrap()];
+        let mut digests = Vec::new();
+        for engine in [crate::Engine::Graph, crate::Engine::Tape] {
+            let profiler = Profiler::new();
+            let registry = Registry::new();
+            let rows = run_trace_bench(
+                &fast_flow,
+                &benches,
+                Scale::Test,
+                engine,
+                1,
+                CaptureMode::Unbounded,
+                1,
+                None,
+                &profiler,
+                &registry,
+                &NullSink,
+            )
+            .unwrap();
+            // The assemble job already enforced serial == wide
+            // sample-for-sample; keep the digest for the cross-engine
+            // comparison below.
+            digests.push(rows[0].0.digest.clone());
+        }
+        assert_eq!(
+            digests[0], digests[1],
+            "graph and tape engines must trace bit-identical waveforms"
+        );
+    }
+
+    #[test]
     fn decimated_capture_still_integrates_exactly() {
         let benches = [benchmark("HVPeakF").unwrap()];
         let profiler = Profiler::new();
@@ -536,6 +652,7 @@ mod tests {
             &fast_flow,
             &benches,
             Scale::Test,
+            crate::Engine::Graph,
             1,
             CaptureMode::Decimate(32),
             1,
@@ -568,8 +685,16 @@ mod tests {
         let profiler = Profiler::new();
         let registry = Registry::new();
         registry.counter("trace.samples_total").add(1201);
-        let doc = render_json(&rows, Scale::Test, 1, &profiler, &registry);
+        let doc = render_json(
+            &rows,
+            Scale::Test,
+            crate::Engine::Tape,
+            1,
+            &profiler,
+            &registry,
+        );
         assert!(doc.contains("\"bench\": \"trace\""));
+        assert!(doc.contains("\"engine\": \"tape\""));
         assert!(doc.contains("\"integral_matches_readback\": true"));
         assert!(doc.contains("\"mean_overhead_pct\": 5.00"));
         assert!(doc.contains("\"trace.samples_total\": 1201"));

@@ -1,14 +1,15 @@
 //! The bit-parallel throughput benchmark: 64 testbench shards per design,
-//! run once through the serial RTL engine (lane by lane) and once through
-//! the 64-lane [`pe_sim::WideSimulator`], with waveform digests proving
-//! the two executions bit-identical before any speedup is reported.
+//! run once through the serial RTL engine (lane by lane), once through
+//! the 64-lane [`pe_sim::WideSimulator`], and once through the compiled
+//! 64-lane [`pe_tape::WideTapeSimulator`], with waveform digests proving
+//! all three executions bit-identical before any speedup is reported.
 //!
-//! Per benchmark, three jobs on the [`crate::executor::JobGraph`]:
+//! Per benchmark, four jobs on the [`crate::executor::JobGraph`]:
 //!
 //! ```text
-//! serial (64 × Simulator) ──┐
-//!                           ├─► assemble (verify digests, compute speedup)
-//! wide (1 × WideSimulator) ─┘
+//! serial (64 × Simulator) ────────┐
+//! wide (1 × WideSimulator) ───────┼─► assemble (verify digests, speedups)
+//! tape (compile + interpret) ─────┘
 //! ```
 //!
 //! The digest covers every output bit of every lane on every cycle,
@@ -46,8 +47,14 @@ pub struct WideRow {
     pub serial_seconds: f64,
     /// Wall time for one 64-lane wide run, seconds (measured).
     pub wide_seconds: f64,
+    /// Wall time for one 64-lane compiled-tape run, seconds (measured,
+    /// including `Tape::compile`).
+    pub tape_seconds: f64,
     /// `serial_seconds / wide_seconds`.
     pub speedup: f64,
+    /// `wide_seconds / tape_seconds` — the compiled tape's advantage
+    /// over the graph wide engine on the same workload.
+    pub tape_speedup: f64,
     /// FNV-1a-128 over all lanes' waveforms, identical in both engines
     /// (the row fails otherwise).
     pub digest: String,
@@ -163,6 +170,39 @@ fn serial_lane_digest(bench: &Benchmark, cycles: u64, shard: u64) -> Result<u128
     Ok(chain.digest(cycles))
 }
 
+/// Runs all 64 shards through the compiled-tape wide engine, digesting
+/// every lane's output ports each cycle (same sampling point as the
+/// other two paths). Compilation happens inside the caller's timing
+/// window — the tape must win *including* its one-time build cost.
+fn tape_digests(bench: &Benchmark, cycles: u64) -> Result<Vec<u128>, HarnessError> {
+    let tape = pe_tape::Tape::compile(&bench.design)
+        .map_err(|e| HarnessError::new("tape", bench.name, e))?;
+    let mut sim = pe_tape::WideTapeSimulator::new(&tape);
+    // Resolve every output bit to its plane index once; per cycle the
+    // digest reads the settled arena directly — the same zero-copy
+    // discipline as the graph path's `slices()` borrow.
+    let out_planes: Vec<u32> = output_signals(bench)
+        .iter()
+        .flat_map(|&(sig, _)| sim.plane_indices(sig).to_vec())
+        .collect();
+    let mut tbs = bench.testbench_shards(cycles, LANES);
+    let mut chain = PackChain::new();
+    for cycle in 0..cycles {
+        for (lane, tb) in tbs.iter_mut().enumerate() {
+            tb.apply(cycle, &mut sim.lane(lane));
+        }
+        for (lane, tb) in tbs.iter_mut().enumerate() {
+            tb.observe(cycle, &mut sim.lane(lane));
+        }
+        let pl = sim.settled_planes();
+        for &pi in &out_planes {
+            chain.update(pl[pi as usize]);
+        }
+        sim.step();
+    }
+    Ok(chain.digests(cycles))
+}
+
 /// Runs all 64 shards through the wide engine at once, digesting every
 /// lane's output ports each cycle (same sampling point as the serial
 /// path).
@@ -231,7 +271,16 @@ pub fn run_wide_bench(
             })
         });
 
-        let row = graph.add("assemble", name, vec![serial, wide], move |deps| {
+        let tape = graph.add("tape", name, vec![], move |_| {
+            let start = Instant::now();
+            let lane_digests = tape_digests(bench, cycles)?;
+            Ok(Node::Run {
+                lane_digests,
+                seconds: start.elapsed().as_secs_f64(),
+            })
+        });
+
+        let row = graph.add("assemble", name, vec![serial, wide, tape], move |deps| {
             let Node::Run {
                 lane_digests: serial_digests,
                 seconds: serial_seconds,
@@ -246,6 +295,13 @@ pub fn run_wide_bench(
             else {
                 unreachable!("assemble depends on wide")
             };
+            let Node::Run {
+                lane_digests: tape_lane_digests,
+                seconds: tape_seconds,
+            } = &*deps[2]
+            else {
+                unreachable!("assemble depends on tape")
+            };
             if let Some(lane) = (0..LANES).find(|&l| serial_digests[l] != wide_lane_digests[l]) {
                 return Err(HarnessError::new(
                     "assemble",
@@ -253,6 +309,16 @@ pub fn run_wide_bench(
                     format!(
                         "lane {lane} diverges: serial {:032x} vs wide {:032x}",
                         serial_digests[lane], wide_lane_digests[lane]
+                    ),
+                ));
+            }
+            if let Some(lane) = (0..LANES).find(|&l| serial_digests[l] != tape_lane_digests[l]) {
+                return Err(HarnessError::new(
+                    "assemble",
+                    name,
+                    format!(
+                        "lane {lane} diverges: serial {:032x} vs tape {:032x}",
+                        serial_digests[lane], tape_lane_digests[lane]
                     ),
                 ));
             }
@@ -266,7 +332,9 @@ pub fn run_wide_bench(
                 lanes: LANES,
                 serial_seconds: *serial_seconds,
                 wide_seconds: *wide_seconds,
+                tape_seconds: *tape_seconds,
                 speedup: serial_seconds / wide_seconds.max(1e-12),
+                tape_speedup: wide_seconds / tape_seconds.max(1e-12),
                 digest: combined.hex(),
             }))
         });
@@ -310,6 +378,16 @@ pub fn geomean_speedup(rows: &[WideRow]) -> f64 {
     (log_sum / rows.len() as f64).exp()
 }
 
+/// Geometric mean of the per-design tape-over-graph speedups (0 for no
+/// rows).
+pub fn geomean_tape_speedup(rows: &[WideRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = rows.iter().map(|r| r.tape_speedup.max(1e-12).ln()).sum();
+    (log_sum / rows.len() as f64).exp()
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -331,20 +409,27 @@ pub fn render_json(rows: &[WideRow], scale: Scale) -> String {
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"design\": \"{}\", \"cycles\": {}, \"serial_seconds\": {:.6}, \
-             \"wide_seconds\": {:.6}, \"speedup\": {:.3}, \"digest\": \"{}\"}}{}\n",
+             \"wide_seconds\": {:.6}, \"tape_seconds\": {:.6}, \"speedup\": {:.3}, \
+             \"tape_speedup\": {:.3}, \"digest\": \"{}\"}}{}\n",
             json_escape(&r.design),
             r.cycles,
             r.serial_seconds,
             r.wide_seconds,
+            r.tape_seconds,
             r.speedup,
+            r.tape_speedup,
             r.digest,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"geomean_speedup\": {:.3}\n",
+        "  \"geomean_speedup\": {:.3},\n",
         geomean_speedup(rows)
+    ));
+    out.push_str(&format!(
+        "  \"geomean_tape_speedup\": {:.3}\n",
+        geomean_tape_speedup(rows)
     ));
     out.push_str("}\n");
     out
@@ -369,15 +454,17 @@ mod tests {
         // assemble; sanity-check the measured columns are populated.
         assert!(r.serial_seconds > 0.0);
         assert!(r.wide_seconds > 0.0);
+        assert!(r.tape_seconds > 0.0);
         assert!(r.speedup > 1.0, "wide should beat 64 serial runs");
+        assert!(r.tape_speedup > 0.0);
     }
 
     #[test]
-    fn metrics_count_three_jobs_per_benchmark() {
+    fn metrics_count_four_jobs_per_benchmark() {
         let benches = [benchmark("HVPeakF").unwrap()];
         let metrics = Metrics::new();
         run_wide_bench(&benches, Scale::Test, 2, &metrics).unwrap();
-        assert_eq!(metrics.jobs_finished(), 3);
+        assert_eq!(metrics.jobs_finished(), 4);
         assert_eq!(metrics.jobs_failed(), 0);
     }
 
@@ -389,13 +476,17 @@ mod tests {
             lanes: 64,
             serial_seconds: 1.0,
             wide_seconds: 0.05,
+            tape_seconds: 0.02,
             speedup: 20.0,
+            tape_speedup: 2.5,
             digest: "0".repeat(32),
         }];
         let doc = render_json(&rows, Scale::Test);
         assert!(doc.contains("\"bench\": \"wide\""));
         assert!(doc.contains("\"design\": \"DCT\""));
+        assert!(doc.contains("\"tape_seconds\": 0.020000"));
         assert!(doc.contains("\"geomean_speedup\": 20.000"));
+        assert!(doc.contains("\"geomean_tape_speedup\": 2.500"));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
 
@@ -407,11 +498,15 @@ mod tests {
             lanes: 64,
             serial_seconds: s,
             wide_seconds: 1.0,
+            tape_seconds: 1.0,
             speedup: s,
+            tape_speedup: s / 2.0,
             digest: String::new(),
         };
         let rows = vec![mk(4.0), mk(16.0)];
         assert!((geomean_speedup(&rows) - 8.0).abs() < 1e-9);
+        assert!((geomean_tape_speedup(&rows) - 4.0).abs() < 1e-9);
         assert_eq!(geomean_speedup(&[]), 0.0);
+        assert_eq!(geomean_tape_speedup(&[]), 0.0);
     }
 }

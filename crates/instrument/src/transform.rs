@@ -3,7 +3,7 @@
 use crate::config::{AggregatorTopology, InstrumentConfig};
 use pe_power::{ModelKey, ModelLibrary};
 use pe_rtl::{ClockId, ComponentKind, Design, DesignError, SignalId};
-use pe_sim::Simulator;
+use pe_sim::{SimControl, WideControl};
 use pe_util::bits;
 use pe_util::fixed::FxFormat;
 use pe_util::PortError;
@@ -130,7 +130,10 @@ impl InstrumentedDesign {
     ///
     /// [`PortError::NoSuchOutput`] if the simulator is not running this
     /// instrumented design (a total port is missing).
-    pub fn try_read_energy_fj(&self, sim: &mut Simulator<'_>) -> Result<f64, PortError> {
+    pub fn try_read_energy_fj<S: SimControl + ?Sized>(
+        &self,
+        sim: &mut S,
+    ) -> Result<f64, PortError> {
         let raw = self.try_read_raw_totals(sim)?;
         Ok(self.raw_totals_to_fj(&raw))
     }
@@ -146,7 +149,10 @@ impl InstrumentedDesign {
     ///
     /// [`PortError::NoSuchOutput`] if the simulator is not running this
     /// instrumented design (a total port is missing).
-    pub fn try_read_raw_totals(&self, sim: &mut Simulator<'_>) -> Result<Vec<u64>, PortError> {
+    pub fn try_read_raw_totals<S: SimControl + ?Sized>(
+        &self,
+        sim: &mut S,
+    ) -> Result<Vec<u64>, PortError> {
         self.total_ports.iter().map(|p| sim.try_output(p)).collect()
     }
 
@@ -161,9 +167,9 @@ impl InstrumentedDesign {
     /// # Panics
     ///
     /// Panics if `lane >= 64`.
-    pub fn try_read_raw_totals_lane(
+    pub fn try_read_raw_totals_lane<W: WideControl + ?Sized>(
         &self,
-        sim: &mut pe_sim::WideSimulator<'_>,
+        sim: &mut W,
         lane: usize,
     ) -> Result<Vec<u64>, PortError> {
         self.total_ports
@@ -214,7 +220,10 @@ impl InstrumentedDesign {
     ///
     /// [`PortError::NoSuchOutput`] if the simulator is not running this
     /// instrumented design.
-    pub fn try_read_waveform_raw(&self, sim: &mut Simulator<'_>) -> Result<Vec<u64>, PortError> {
+    pub fn try_read_waveform_raw<S: SimControl + ?Sized>(
+        &self,
+        sim: &mut S,
+    ) -> Result<Vec<u64>, PortError> {
         self.total_ports
             .iter()
             .chain(self.model_ports.iter().map(|(_, p)| p))
@@ -269,7 +278,7 @@ impl InstrumentedDesign {
     /// # Panics
     ///
     /// Panics if the simulator is not running this instrumented design.
-    pub fn read_energy_fj(&self, sim: &mut Simulator<'_>) -> f64 {
+    pub fn read_energy_fj<S: SimControl + ?Sized>(&self, sim: &mut S) -> f64 {
         self.try_read_energy_fj(sim)
             .unwrap_or_else(|e| panic!("{e}"))
     }
@@ -288,9 +297,9 @@ impl InstrumentedDesign {
     /// # Panics
     ///
     /// Panics if `lane >= 64`.
-    pub fn try_read_energy_fj_lane(
+    pub fn try_read_energy_fj_lane<W: WideControl + ?Sized>(
         &self,
-        sim: &mut pe_sim::WideSimulator<'_>,
+        sim: &mut W,
         lane: usize,
     ) -> Result<f64, PortError> {
         let raw = self.try_read_raw_totals_lane(sim, lane)?;
@@ -304,7 +313,7 @@ impl InstrumentedDesign {
     ///
     /// Panics if the simulator is not running this instrumented design or
     /// `lane >= 64`.
-    pub fn read_energy_fj_lane(&self, sim: &mut pe_sim::WideSimulator<'_>, lane: usize) -> f64 {
+    pub fn read_energy_fj_lane<W: WideControl + ?Sized>(&self, sim: &mut W, lane: usize) -> f64 {
         self.try_read_energy_fj_lane(sim, lane)
             .unwrap_or_else(|e| panic!("{e}"))
     }
@@ -316,9 +325,9 @@ impl InstrumentedDesign {
     ///
     /// [`PortError::NoSuchOutput`] if the component was not given an
     /// output port (or the simulator runs a different design).
-    pub fn try_read_model_fj(
+    pub fn try_read_model_fj<S: SimControl + ?Sized>(
         &self,
-        sim: &mut Simulator<'_>,
+        sim: &mut S,
         component: &str,
     ) -> Result<f64, PortError> {
         let port = &self
@@ -336,7 +345,7 @@ impl InstrumentedDesign {
     /// # Panics
     ///
     /// Panics if the component was not given an output port.
-    pub fn read_model_fj(&self, sim: &mut Simulator<'_>, component: &str) -> f64 {
+    pub fn read_model_fj<S: SimControl + ?Sized>(&self, sim: &mut S, component: &str) -> f64 {
         self.try_read_model_fj(sim, component)
             .unwrap_or_else(|e| panic!("{e}"))
     }
@@ -820,6 +829,7 @@ mod tests {
     use super::*;
     use pe_power::CharacterizeConfig;
     use pe_rtl::builder::DesignBuilder;
+    use pe_sim::Simulator;
 
     fn counter_design() -> Design {
         let mut b = DesignBuilder::new("cnt");

@@ -122,6 +122,12 @@ struct PreparedDesign {
     bench: Benchmark,
     inst: InstrumentedDesign,
     report: LintReport,
+    /// The instrumented design compiled into an instruction tape, built
+    /// once per group so every batch skips straight to simulator
+    /// construction. `None` when the tape compiler rejects the design —
+    /// those batches fall back to the graph engine (and admission
+    /// usually rejects such designs anyway).
+    tape: Option<pe_tape::Tape>,
 }
 
 impl PreparedDesign {
@@ -607,44 +613,80 @@ fn build_prepared(shared: &Shared, key: &GroupKey) -> Result<PreparedDesign, Str
     let inst = pe_instrument::instrument(&bench.design, &library, flow.instrument_config())
         .map_err(|e| format!("instrument failed: {e}"))?;
     let report = lint_instrumented(&inst, None);
+    let tape = match pe_tape::Tape::compile(&inst.design) {
+        Ok(tape) => Some(tape),
+        Err(_) => {
+            shared.registry.counter("serve.tape_fallbacks").inc();
+            None
+        }
+    };
     Ok(PreparedDesign {
         bench,
         inst,
         report,
+        tape,
     })
 }
 
-/// Runs one packed batch on the wide engine. Lane `l` executes job `l`'s
-/// testbench shard for exactly its requested cycles; the batch steps to
-/// the longest request, and each lane's energy is read at its own cycle
-/// boundary — the accumulator state there is bit-identical to a serial
-/// run of the same length, because lanes never interact.
+/// Runs one packed batch on the wide engine — the group's prepared
+/// instruction tape when it compiled, the graph interpreter otherwise.
+/// Lane `l` executes job `l`'s testbench shard for exactly its requested
+/// cycles; the batch steps to the longest request, and each lane's
+/// energy is read at its own cycle boundary — the accumulator state
+/// there is bit-identical to a serial run of the same length, because
+/// lanes never interact (and the tape is bit-identical to the graph
+/// engine by construction, enforced by the differential suite).
 fn run_wide(prep: &PreparedDesign, jobs: &[Job]) -> Result<Vec<f64>, String> {
-    let mut sim = WideSimulator::new(&prep.inst.design).map_err(|e| e.to_string())?;
     let mut tbs: Vec<_> = jobs
         .iter()
         .map(|j| prep.bench.testbench_shard(j.req.cycles, j.req.seed))
         .collect();
     let max_cycles = jobs.iter().map(|j| j.req.cycles).max().unwrap_or(0);
     let mut energies = vec![0.0f64; jobs.len()];
-    for cycle in 0..max_cycles {
-        for (lane, tb) in tbs.iter_mut().enumerate() {
-            if cycle < jobs[lane].req.cycles {
-                tb.apply(cycle, &mut sim.lane(lane));
+    if let Some(tape) = &prep.tape {
+        let mut sim = pe_tape::WideTapeSimulator::new(tape);
+        for cycle in 0..max_cycles {
+            for (lane, tb) in tbs.iter_mut().enumerate() {
+                if cycle < jobs[lane].req.cycles {
+                    tb.apply(cycle, &mut sim.lane(lane));
+                }
+            }
+            for (lane, tb) in tbs.iter_mut().enumerate() {
+                if cycle < jobs[lane].req.cycles {
+                    tb.observe(cycle, &mut sim.lane(lane));
+                }
+            }
+            sim.step();
+            for (lane, job) in jobs.iter().enumerate() {
+                if cycle + 1 == job.req.cycles {
+                    energies[lane] = prep
+                        .inst
+                        .try_read_energy_fj_lane(&mut sim, lane)
+                        .map_err(|e| e.to_string())?;
+                }
             }
         }
-        for (lane, tb) in tbs.iter_mut().enumerate() {
-            if cycle < jobs[lane].req.cycles {
-                tb.observe(cycle, &mut sim.lane(lane));
+    } else {
+        let mut sim = WideSimulator::new(&prep.inst.design).map_err(|e| e.to_string())?;
+        for cycle in 0..max_cycles {
+            for (lane, tb) in tbs.iter_mut().enumerate() {
+                if cycle < jobs[lane].req.cycles {
+                    tb.apply(cycle, &mut sim.lane(lane));
+                }
             }
-        }
-        sim.step();
-        for (lane, job) in jobs.iter().enumerate() {
-            if cycle + 1 == job.req.cycles {
-                energies[lane] = prep
-                    .inst
-                    .try_read_energy_fj_lane(&mut sim, lane)
-                    .map_err(|e| e.to_string())?;
+            for (lane, tb) in tbs.iter_mut().enumerate() {
+                if cycle < jobs[lane].req.cycles {
+                    tb.observe(cycle, &mut sim.lane(lane));
+                }
+            }
+            sim.step();
+            for (lane, job) in jobs.iter().enumerate() {
+                if cycle + 1 == job.req.cycles {
+                    energies[lane] = prep
+                        .inst
+                        .try_read_energy_fj_lane(&mut sim, lane)
+                        .map_err(|e| e.to_string())?;
+                }
             }
         }
     }

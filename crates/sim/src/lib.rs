@@ -56,5 +56,5 @@ pub mod waveform;
 pub mod wide;
 
 pub use engine::Simulator;
-pub use testbench::{run, ConstInputs, SimControl, Testbench, VectorTestbench};
+pub use testbench::{run, ConstInputs, SimControl, Testbench, VectorTestbench, WideControl};
 pub use wide::{run_lanes, WideLane, WideSimulator};

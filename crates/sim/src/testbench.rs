@@ -63,6 +63,32 @@ pub trait SimControl {
     }
 }
 
+/// The per-lane observation surface a 64-lane engine exposes.
+///
+/// Both [`crate::wide::WideSimulator`] and any drop-in wide engine (the
+/// compiled-tape interpreter in `pe-tape`) implement this trait, so
+/// lane-indexed readouts — instrumented energy accumulators, waveform
+/// strobes, serve-side result gathers — are written once and run on
+/// either engine.
+pub trait WideControl {
+    /// Current value of a named output port in one lane.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::NoSuchOutput`] if no such output port exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    fn try_output_lane(&mut self, name: &str, lane: usize) -> Result<u64, PortError>;
+}
+
+impl WideControl for crate::wide::WideSimulator<'_> {
+    fn try_output_lane(&mut self, name: &str, lane: usize) -> Result<u64, PortError> {
+        crate::wide::WideSimulator::try_output_lane(self, name, lane)
+    }
+}
+
 impl SimControl for Simulator<'_> {
     fn cycle(&self) -> u64 {
         Simulator::cycle(self)

@@ -16,12 +16,24 @@ cargo build --workspace --release --offline
 echo "== cargo test"
 cargo test --workspace --release --offline -q
 
+echo "== tape differential suite (compiled tape vs graph engines, bit-exact)"
+cargo test --release --offline -q --test tape_differential
+
 echo "== wide bench smoke (lane digests verified, BENCH_wide.json)"
 cargo run -p pe-bench --release --offline --bin wide -- --scale test --jobs 2 --out BENCH_wide.json
+
+echo "== tape columns present in BENCH_wide.json"
+grep -q '"tape_seconds"' BENCH_wide.json
+grep -q '"tape_speedup"' BENCH_wide.json
 
 echo "== trace bench smoke (waveform integral invariant, BENCH_trace.json)"
 cargo run -p pe-bench --release --offline --bin trace -- --scale test --jobs 2 \
   --out BENCH_trace.json --waveform-dir waveforms
+
+echo "== trace bench smoke on the tape engine (cross-engine waveform equality)"
+cargo run -p pe-bench --release --offline --bin trace -- --scale test --jobs 2 \
+  --engine tape --out BENCH_trace_tape.json --waveform-dir waveforms_tape
+grep -q '"engine": "tape"' BENCH_trace_tape.json
 
 echo "== lint gate (--deny all --machine) vs locked fixture"
 cargo run -p pe-bench --release --offline --quiet --bin lint -- \

@@ -12,6 +12,7 @@
 //! |---|---|---|
 //! | [`rtl`] | `pe-rtl` | structural RTL netlist IR |
 //! | [`sim`] | `pe-sim` | cycle-accurate RTL simulator |
+//! | [`tape`] | `pe-tape` | compiled instruction-tape engines |
 //! | [`gate`] | `pe-gate` | gate-level expansion + switched-energy reference |
 //! | [`power`] | `pe-power` | characterization-based macromodels |
 //! | [`estimators`] | `pe-estimators` | software RTL/gate power estimators |
@@ -63,5 +64,6 @@ pub use pe_lint as lint;
 pub use pe_power as power;
 pub use pe_rtl as rtl;
 pub use pe_sim as sim;
+pub use pe_tape as tape;
 pub use pe_trace as trace;
 pub use pe_util as util;

@@ -9,7 +9,12 @@
 //!   cycles so a mismatch names the cycle window where the run first
 //!   diverged instead of just "digest differs";
 //! * the bit-exact gate-level switching energy total over a 200-cycle
-//!   prefix (an `f64::to_bits` hex, so any rounding drift is caught).
+//!   prefix (an `f64::to_bits` hex, so any rounding drift is caught);
+//! * the compiled-tape engine's full-run waveform digest (asserted
+//!   equal to the graph engine's at regeneration time, so cross-engine
+//!   bit-exactness is locked into the repo) and the tape's instruction
+//!   and plane counts — a compiler change that alters how a suite
+//!   design lowers shows up as a reviewable fixture diff.
 //!
 //! The committed *power* waveforms (`tests/golden/*.waveform`) are
 //! checked sample-for-sample by `tests/trace.rs`, which names the first
@@ -52,6 +57,16 @@ struct Fixture {
     checkpoints: Vec<(u64, String)>,
     gate_cycles: u64,
     gate_energy_fj_bits: u64,
+    /// Full-run output waveform digest of the compiled-tape serial
+    /// engine — must equal the graph engine's final checkpoint, so the
+    /// fixture locks cross-engine bit-exactness into the repo.
+    tape_waveform_fnv128: String,
+    /// Locked instruction counts of the compiled tape: a compiler
+    /// change that alters how a suite design lowers shows up here as a
+    /// reviewable diff instead of silently.
+    tape_serial_instructions: u64,
+    tape_wide_instructions: u64,
+    tape_wide_planes: u64,
 }
 
 impl Fixture {
@@ -66,6 +81,20 @@ impl Fixture {
         }
         writeln!(out, "gate_cycles {}", self.gate_cycles).unwrap();
         writeln!(out, "gate_energy_fj_bits {:016x}", self.gate_energy_fj_bits).unwrap();
+        writeln!(out, "tape_waveform_fnv128 {}", self.tape_waveform_fnv128).unwrap();
+        writeln!(
+            out,
+            "tape_serial_instructions {}",
+            self.tape_serial_instructions
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "tape_wide_instructions {}",
+            self.tape_wide_instructions
+        )
+        .unwrap();
+        writeln!(out, "tape_wide_planes {}", self.tape_wide_planes).unwrap();
         out
     }
 
@@ -77,6 +106,10 @@ impl Fixture {
         let mut checkpoints = Vec::new();
         let mut gate_cycles = None;
         let mut gate_energy_fj_bits = None;
+        let mut tape_waveform_fnv128 = None;
+        let mut tape_serial_instructions = None;
+        let mut tape_wide_instructions = None;
+        let mut tape_wide_planes = None;
         for (i, line) in text.lines().enumerate() {
             let err = |what: &str| format!("line {}: {what}: `{line}`", i + 1);
             let mut fields = line.split_whitespace();
@@ -100,6 +133,18 @@ impl Fixture {
                     gate_energy_fj_bits =
                         Some(u64::from_str_radix(val, 16).map_err(|_| err("bad bits"))?);
                 }
+                "tape_waveform_fnv128" => tape_waveform_fnv128 = Some(val.to_string()),
+                "tape_serial_instructions" => {
+                    tape_serial_instructions =
+                        Some(val.parse().map_err(|_| err("bad instruction count"))?);
+                }
+                "tape_wide_instructions" => {
+                    tape_wide_instructions =
+                        Some(val.parse().map_err(|_| err("bad instruction count"))?);
+                }
+                "tape_wide_planes" => {
+                    tape_wide_planes = Some(val.parse().map_err(|_| err("bad plane count"))?);
+                }
                 _ => return Err(err("unknown key")),
             }
         }
@@ -112,6 +157,12 @@ impl Fixture {
             checkpoints,
             gate_cycles: gate_cycles.ok_or("missing `gate_cycles`")?,
             gate_energy_fj_bits: gate_energy_fj_bits.ok_or("missing `gate_energy_fj_bits`")?,
+            tape_waveform_fnv128: tape_waveform_fnv128.ok_or("missing `tape_waveform_fnv128`")?,
+            tape_serial_instructions: tape_serial_instructions
+                .ok_or("missing `tape_serial_instructions`")?,
+            tape_wide_instructions: tape_wide_instructions
+                .ok_or("missing `tape_wide_instructions`")?,
+            tape_wide_planes: tape_wide_planes.ok_or("missing `tape_wide_planes`")?,
         })
     }
 }
@@ -141,6 +192,27 @@ fn waveform_checkpoints(bench: &Benchmark) -> (u64, Vec<(u64, String)>) {
     (cycles, checkpoints)
 }
 
+/// Full-run output waveform digest of the compiled-tape serial engine
+/// on the identical workload — hashed exactly like
+/// [`waveform_checkpoints`], so it must reproduce that function's final
+/// digest bit for bit.
+fn tape_waveform_digest(bench: &Benchmark, tape: &power_emulation::tape::Tape) -> String {
+    let cycles = bench.cycles(Scale::Test);
+    let mut sim = power_emulation::tape::TapeSimulator::new(tape);
+    let mut tb = bench.testbench(cycles);
+    let outs: Vec<_> = bench.design.outputs().iter().map(|p| p.signal()).collect();
+    let mut h = Fnv128::new();
+    for cycle in 0..cycles {
+        tb.apply(cycle, &mut sim);
+        tb.observe(cycle, &mut sim);
+        for &sig in &outs {
+            h.update(&sim.value(sig).to_le_bytes());
+        }
+        sim.step();
+    }
+    h.hex()
+}
+
 /// Gate-level switching energy over the workload prefix, bit-exact.
 fn gate_energy_bits(bench: &Benchmark, cells: &CellLibrary) -> u64 {
     let expanded = expand_design(&bench.design);
@@ -168,12 +240,24 @@ fn gate_energy_bits(bench: &Benchmark, cells: &CellLibrary) -> u64 {
 /// Regenerates one design's fixture from scratch.
 fn regenerate(bench: &Benchmark, cells: &CellLibrary) -> Fixture {
     let (waveform_cycles, checkpoints) = waveform_checkpoints(bench);
+    let tape = power_emulation::tape::Tape::compile(&bench.design).expect("suite design compiles");
+    let tape_waveform_fnv128 = tape_waveform_digest(bench, &tape);
+    let (_, full) = checkpoints.last().expect("at least one checkpoint");
+    assert_eq!(
+        &tape_waveform_fnv128, full,
+        "{}: tape engine waveform diverged from the graph engine",
+        bench.name
+    );
     Fixture {
         design: bench.name.to_string(),
         waveform_cycles,
         checkpoints,
         gate_cycles: GATE_CYCLES,
         gate_energy_fj_bits: gate_energy_bits(bench, cells),
+        tape_waveform_fnv128,
+        tape_serial_instructions: tape.serial_instructions() as u64,
+        tape_wide_instructions: tape.wide_instructions() as u64,
+        tape_wide_planes: tape.wide_planes() as u64,
     }
 }
 
@@ -231,6 +315,33 @@ fn diff(want: &Fixture, got: &Fixture) -> Vec<String> {
             got.gate_energy_fj_bits
         ));
     }
+    if want.tape_waveform_fnv128 != got.tape_waveform_fnv128 {
+        out.push(format!(
+            "tape waveform digest: fixture {}, regenerated {}",
+            want.tape_waveform_fnv128, got.tape_waveform_fnv128
+        ));
+    }
+    for (label, w, g) in [
+        (
+            "tape_serial_instructions",
+            want.tape_serial_instructions,
+            got.tape_serial_instructions,
+        ),
+        (
+            "tape_wide_instructions",
+            want.tape_wide_instructions,
+            got.tape_wide_instructions,
+        ),
+        (
+            "tape_wide_planes",
+            want.tape_wide_planes,
+            got.tape_wide_planes,
+        ),
+    ] {
+        if w != g {
+            out.push(format!("{label}: fixture {w}, regenerated {g}"));
+        }
+    }
     out
 }
 
@@ -287,6 +398,10 @@ fn fixture_render_and_parse_round_trip() {
         ],
         gate_cycles: GATE_CYCLES,
         gate_energy_fj_bits: 0x40a5_5512_3456_789a,
+        tape_waveform_fnv128: "fedcba9876543210fedcba9876543210".to_string(),
+        tape_serial_instructions: 123,
+        tape_wide_instructions: 456,
+        tape_wide_planes: 789,
     };
     let parsed = Fixture::parse(&fixture.render()).expect("round trip");
     assert_eq!(parsed, fixture);
@@ -304,6 +419,10 @@ fn diff_localises_the_first_diverging_checkpoint_window() {
             .collect(),
         gate_cycles: GATE_CYCLES,
         gate_energy_fj_bits: 1,
+        tape_waveform_fnv128: "aa".to_string(),
+        tape_serial_instructions: 1,
+        tape_wide_instructions: 2,
+        tape_wide_planes: 3,
     };
     let want = mk(&["aa", "bb", "cc"]);
     let got = mk(&["aa", "ee", "ff"]);

@@ -1,0 +1,373 @@
+//! Differential torture suite for the compiled instruction-tape engines.
+//!
+//! `pe-tape` claims bit-identical semantics with the graph engines it
+//! replaces — serial tape vs serial graph, 64-lane tape vs 64-lane
+//! graph — after compiling the netlist once into flat instruction
+//! streams. This suite enforces the claim the same way
+//! `tests/differential.rs` does for the wide graph engines:
+//!
+//! * serial tape vs serial graph on every output, every cycle, for the
+//!   full seven-design benchmark suite;
+//! * wide tape vs wide graph on every lane of seeded per-lane stimulus
+//!   shards;
+//! * gate-level switching energy with tape lanes supplying the stimulus
+//!   (bit-exact f64 on spot lanes);
+//! * instrumented `read_energy_fj` per lane through the generic readout
+//!   (wide tape vs serial graph runs);
+//! * the two-state defect designs (uninitialized registers) compile and
+//!   match the graph engines;
+//! * structurally broken designs are rejected at compile time with the
+//!   same diagnosed reason the lint engine reports.
+//!
+//! Every assertion names the design, signal, lane, and first diverging
+//! cycle, so a red run points straight at the divergence.
+
+use pe_util::lanes::LANES;
+use power_emulation::designs::defects::{
+    defect_benchmark, structural_defect_design, DEFECT_NAMES, STRUCTURAL_DEFECT_NAMES,
+};
+use power_emulation::designs::suite::{all_benchmarks, benchmark, Benchmark, Scale};
+use power_emulation::gate::cells::CellLibrary;
+use power_emulation::gate::expand::expand_design;
+use power_emulation::gate::{GateSimulator, WideGateSimulator};
+use power_emulation::sim::{Simulator, WideSimulator};
+use power_emulation::tape::{Tape, TapeSimulator, WideTapeSimulator};
+
+/// Cycles compared per design (MPEG4 is the expensive one).
+fn budget(name: &str) -> u64 {
+    match name {
+        "MPEG4" => 250,
+        _ => 600,
+    }
+}
+
+/// The design's output ports as `(name, signal)` pairs.
+fn outputs(bench: &Benchmark) -> Vec<(String, power_emulation::rtl::SignalId)> {
+    bench
+        .design
+        .outputs()
+        .iter()
+        .map(|p| (p.name().to_string(), p.signal()))
+        .collect()
+}
+
+/// Input ports as `(name, signal)` pairs.
+fn inputs(bench: &Benchmark) -> Vec<(String, power_emulation::rtl::SignalId)> {
+    bench
+        .design
+        .inputs()
+        .iter()
+        .map(|p| (p.name().to_string(), p.signal()))
+        .collect()
+}
+
+/// The serial tape interpreter reproduces the serial graph engine on
+/// every output, every cycle, across the whole suite.
+#[test]
+fn serial_tape_matches_serial_graph_on_every_output() {
+    for bench in all_benchmarks() {
+        let cycles = budget(bench.name).min(bench.cycles(Scale::Test));
+        let outs = outputs(&bench);
+        let tape = Tape::compile(&bench.design).expect("tape compiles");
+
+        let mut graph = Simulator::new(&bench.design).expect("serial sim");
+        let mut taped = TapeSimulator::new(&tape);
+        let mut graph_tb = bench.testbench(cycles);
+        let mut tape_tb = bench.testbench(cycles);
+
+        for cycle in 0..cycles {
+            graph_tb.apply(cycle, &mut graph);
+            tape_tb.apply(cycle, &mut taped);
+            graph_tb.observe(cycle, &mut graph);
+            tape_tb.observe(cycle, &mut taped);
+            for (name, sig) in &outs {
+                let got = taped.value(*sig);
+                let want = graph.value(*sig);
+                assert_eq!(
+                    got, want,
+                    "{}::{name} diverged: first at cycle {cycle} \
+                     (tape {got:#x}, graph {want:#x})",
+                    bench.name
+                );
+            }
+            graph.step();
+            taped.step();
+        }
+    }
+}
+
+/// Every lane of the wide tape interpreter reproduces the wide graph
+/// engine under per-lane stimulus shards, output for output, cycle for
+/// cycle.
+#[test]
+fn wide_tape_matches_wide_graph_on_every_lane() {
+    for bench in all_benchmarks() {
+        let cycles = budget(bench.name).min(bench.cycles(Scale::Test));
+        let outs = outputs(&bench);
+        let tape = Tape::compile(&bench.design).expect("tape compiles");
+
+        let mut graph = WideSimulator::new(&bench.design).expect("wide sim");
+        let mut taped = WideTapeSimulator::new(&tape);
+        let mut graph_tbs = bench.testbench_shards(cycles, LANES);
+        let mut tape_tbs = bench.testbench_shards(cycles, LANES);
+
+        for cycle in 0..cycles {
+            for lane in 0..LANES {
+                graph_tbs[lane].apply(cycle, &mut graph.lane(lane));
+                tape_tbs[lane].apply(cycle, &mut taped.lane(lane));
+            }
+            for lane in 0..LANES {
+                graph_tbs[lane].observe(cycle, &mut graph.lane(lane));
+                tape_tbs[lane].observe(cycle, &mut taped.lane(lane));
+            }
+            for (name, sig) in &outs {
+                for lane in 0..LANES {
+                    let got = taped.value_lane(*sig, lane);
+                    let want = graph.value_lane(*sig, lane);
+                    assert_eq!(
+                        got, want,
+                        "{}::{name} diverged: lane {lane}, first at cycle {cycle} \
+                         (tape {got:#x}, graph {want:#x})",
+                        bench.name
+                    );
+                }
+            }
+            graph.step();
+            taped.step();
+        }
+    }
+}
+
+/// Gate-level switching energy is bit-exact when the stimulus comes
+/// through tape lanes: the wide gate engine fed by the wide tape's
+/// settled input lanes matches serial gate runs fed by the same lanes.
+#[test]
+fn gate_energy_from_tape_lanes_is_bit_exact_on_spot_lanes() {
+    let cells = CellLibrary::cmos130();
+    for name in ["Bubble_Sort", "Vld", "DCT"] {
+        let bench = benchmark(name).unwrap();
+        let cycles = 200;
+        let expanded = expand_design(&bench.design);
+        let ins = inputs(&bench);
+        let tape = Tape::compile(&bench.design).expect("tape compiles");
+
+        let mut wide = WideGateSimulator::new(&expanded, &cells);
+        let mut tbs = bench.testbench_shards(cycles, LANES);
+        let spot_lanes = [0usize, 17, 63];
+        let mut serial_gates: Vec<GateSimulator<'_>> = spot_lanes
+            .iter()
+            .map(|_| GateSimulator::new(&expanded, &cells))
+            .collect();
+        let mut rtl = WideTapeSimulator::new(&tape);
+
+        for cycle in 0..cycles {
+            for (lane, tb) in tbs.iter_mut().enumerate() {
+                tb.apply(cycle, &mut rtl.lane(lane));
+                tb.observe(cycle, &mut rtl.lane(lane));
+            }
+            for (pname, sig) in &ins {
+                for lane in 0..LANES {
+                    let v = rtl.value_lane(*sig, lane);
+                    wide.set_input_lane(pname, lane, v);
+                }
+                for (si, &lane) in spot_lanes.iter().enumerate() {
+                    serial_gates[si]
+                        .try_set_input(pname, rtl.value_lane(*sig, lane))
+                        .unwrap();
+                }
+            }
+            rtl.step();
+            wide.step();
+            for (si, &lane) in spot_lanes.iter().enumerate() {
+                serial_gates[si].step();
+                let got = wide.last_cycle_energy_fj_lane(lane);
+                let want = serial_gates[si].last_cycle_energy_fj();
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{name} gate energy diverged: lane {lane}, first at cycle {cycle} \
+                     (tape-fed {got} fJ, serial {want} fJ)"
+                );
+            }
+        }
+    }
+}
+
+/// The instrumented design's hardware energy readout is bit-exactly
+/// equal per lane between a 64-lane tape run and fresh serial graph
+/// runs — the same generic readout drives both engines.
+#[test]
+fn instrumented_energy_readout_matches_per_lane_on_tape() {
+    use power_emulation::core::PowerEmulationFlow;
+    use power_emulation::power::CharacterizeConfig;
+
+    for name in ["Bubble_Sort", "HVPeakF"] {
+        let bench = benchmark(name).unwrap();
+        let cycles = 200;
+        let flow = PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
+        flow.prepare_models(&bench.design).expect("characterize");
+        let (instrumented, _) = flow.stage_instrument(&bench.design).expect("instrument");
+        let tape = Tape::compile(&instrumented.design).expect("instrumented tape compiles");
+
+        let mut wide = WideTapeSimulator::new(&tape);
+        let mut serials: Vec<Simulator<'_>> = (0..LANES)
+            .map(|_| Simulator::new(&instrumented.design).expect("serial sim"))
+            .collect();
+        let mut wide_tbs = bench.testbench_shards(cycles, LANES);
+        let mut serial_tbs = bench.testbench_shards(cycles, LANES);
+
+        for cycle in 0..cycles {
+            for lane in 0..LANES {
+                wide_tbs[lane].apply(cycle, &mut wide.lane(lane));
+                serial_tbs[lane].apply(cycle, &mut serials[lane]);
+            }
+            wide.step();
+            for s in &mut serials {
+                s.step();
+            }
+            if cycle % 50 != 49 {
+                continue;
+            }
+            for (lane, serial) in serials.iter_mut().enumerate() {
+                let got = instrumented.read_energy_fj_lane(&mut wide, lane);
+                let want = instrumented.read_energy_fj(serial);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{name} instrumented energy diverged: lane {lane}, first at cycle {cycle} \
+                     (tape {got} fJ, serial {want} fJ)"
+                );
+            }
+        }
+    }
+}
+
+/// The serial tape also matches the graph engine through the
+/// instrumented serial readout path (same `SimControl` generic).
+#[test]
+fn instrumented_serial_readout_matches_on_tape() {
+    use power_emulation::core::PowerEmulationFlow;
+    use power_emulation::power::CharacterizeConfig;
+
+    let bench = benchmark("Bubble_Sort").unwrap();
+    let cycles = 200;
+    let flow = PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
+    flow.prepare_models(&bench.design).expect("characterize");
+    let (instrumented, _) = flow.stage_instrument(&bench.design).expect("instrument");
+    let tape = Tape::compile(&instrumented.design).expect("instrumented tape compiles");
+
+    let mut graph = Simulator::new(&instrumented.design).expect("serial sim");
+    let mut taped = TapeSimulator::new(&tape);
+    let mut graph_tb = bench.testbench(cycles);
+    let mut tape_tb = bench.testbench(cycles);
+
+    for cycle in 0..cycles {
+        graph_tb.apply(cycle, &mut graph);
+        tape_tb.apply(cycle, &mut taped);
+        graph.step();
+        taped.step();
+        if cycle % 50 != 49 {
+            continue;
+        }
+        let got = instrumented.read_energy_fj(&mut taped);
+        let want = instrumented.read_energy_fj(&mut graph);
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "Bubble_Sort instrumented energy diverged on the serial tape at cycle {cycle} \
+             (tape {got} fJ, graph {want} fJ)"
+        );
+    }
+}
+
+/// The two-state defect designs from PR 7 (uninitialized registers,
+/// X-steered muxes) compile to tapes and match the graph engines — the
+/// tape honors two-state power-on semantics, serial and wide.
+#[test]
+fn two_state_defect_designs_match_on_tape() {
+    for name in DEFECT_NAMES {
+        let bench = defect_benchmark(name).unwrap();
+        let cycles = 100;
+        let outs = outputs(&bench);
+        let tape = Tape::compile(&bench.design)
+            .unwrap_or_else(|e| panic!("{name} must compile under two-state semantics: {e}"));
+
+        let mut graph = Simulator::new(&bench.design).expect("serial sim");
+        let mut taped = TapeSimulator::new(&tape);
+        let mut graph_tb = bench.testbench(cycles);
+        let mut tape_tb = bench.testbench(cycles);
+        for cycle in 0..cycles {
+            graph_tb.apply(cycle, &mut graph);
+            tape_tb.apply(cycle, &mut taped);
+            for (pname, sig) in &outs {
+                assert_eq!(
+                    taped.value(*sig),
+                    graph.value(*sig),
+                    "{name}::{pname} diverged: first at cycle {cycle}"
+                );
+            }
+            graph.step();
+            taped.step();
+        }
+
+        let mut wide_graph = WideSimulator::new(&bench.design).expect("wide sim");
+        let mut wide_tape = WideTapeSimulator::new(&tape);
+        let mut graph_tbs = bench.testbench_shards(cycles, LANES);
+        let mut tape_tbs = bench.testbench_shards(cycles, LANES);
+        for cycle in 0..cycles {
+            for lane in 0..LANES {
+                graph_tbs[lane].apply(cycle, &mut wide_graph.lane(lane));
+                tape_tbs[lane].apply(cycle, &mut wide_tape.lane(lane));
+            }
+            for (pname, sig) in &outs {
+                for lane in 0..LANES {
+                    assert_eq!(
+                        wide_tape.value_lane(*sig, lane),
+                        wide_graph.value_lane(*sig, lane),
+                        "{name}::{pname} diverged: lane {lane}, first at cycle {cycle}"
+                    );
+                }
+            }
+            wide_graph.step();
+            wide_tape.step();
+        }
+    }
+}
+
+/// Structurally broken designs fail tape compilation with the same
+/// diagnosed reason the lint engine reports — not a panic, not a
+/// miscompiled tape.
+#[test]
+fn structural_defects_fail_tape_compilation_with_diagnosed_reason() {
+    use power_emulation::rtl::DesignError;
+
+    for name in STRUCTURAL_DEFECT_NAMES {
+        let design = structural_defect_design(name).unwrap();
+        let err = Tape::compile(&design)
+            .map(|_| ())
+            .expect_err(&format!("{name} must be rejected by the tape compiler"));
+        match *name {
+            "Defect_Comb_Cycle" => {
+                assert_eq!(err.rule(), "comb-cycle", "{name}: {err}");
+                assert!(
+                    matches!(err.cause, DesignError::CombinationalCycle { .. }),
+                    "{name}: wrong cause {:?}",
+                    err.cause
+                );
+            }
+            "Defect_Undriven" => {
+                assert_eq!(err.rule(), "undriven-signal", "{name}: {err}");
+                assert!(
+                    matches!(err.cause, DesignError::UndrivenSignal { .. }),
+                    "{name}: wrong cause {:?}",
+                    err.cause
+                );
+            }
+            other => panic!("unknown structural defect {other}"),
+        }
+        // The graph engine rejects the same designs with the same cause
+        // (the tape adds no new admission holes).
+        let graph_err = Simulator::new(&design).expect_err("graph engine must also reject");
+        assert_eq!(format!("{graph_err}"), format!("{}", err.cause), "{name}");
+    }
+}
