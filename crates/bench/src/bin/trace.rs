@@ -1,5 +1,5 @@
 //! The observability benchmark: captures strobe-aligned power waveforms
-//! for every suite design on the serial and 64-lane engines, verifies
+//! for every suite design on the serial and wide engines, verifies
 //! each waveform integrates bit-exactly to the engine's cumulative
 //! energy readback, measures the wall-clock cost of tracing, and writes
 //! `BENCH_trace.json` plus one `.waveform` file per design.
@@ -7,12 +7,14 @@
 //! Usage: `cargo run -p pe-bench --release --bin trace --
 //! [--scale test|paper] [--jobs N] [--cache-dir DIR] [--out PATH]
 //! [--waveform-dir DIR] [--sample-period N] [--capture MODE]
-//! [--engine graph|tape]`
+//! [--engine graph|tape] [--lanes 64|128|256]`
 //!
-//! `--engine tape` runs the 64-lane leg on the compiled instruction
+//! `--engine tape` runs the wide leg on the compiled instruction
 //! tape instead of the graph interpreter; the serial leg stays on the
 //! graph engine, so the run doubles as a cross-engine bit-exactness
 //! check (the assemble stage rejects the first diverging sample).
+//! `--lanes` picks the wide leg's lane-word width (default 64); the
+//! traced lane-0 waveform must be identical at every width.
 //!
 //! `--jobs 1` (the default) keeps the overhead columns uncontended.
 //! `--sample-period N` samples every Nth strobe boundary; the default 64
@@ -38,6 +40,7 @@ struct TraceExt {
     sample_period: u32,
     capture: CaptureMode,
     engine: Engine,
+    lanes: usize,
 }
 
 fn parse_capture(raw: &str) -> Result<CaptureMode, CliError> {
@@ -77,6 +80,19 @@ impl FlagExt for TraceExt {
             "--engine" => {
                 self.engine = value("--engine")?.parse().map_err(CliError::Invalid)?;
             }
+            "--lanes" => {
+                let raw = value("--lanes")?;
+                self.lanes = match raw.as_str() {
+                    "64" => 64,
+                    "128" => 128,
+                    "256" => 256,
+                    _ => {
+                        return Err(CliError::Invalid(format!(
+                            "--lanes `{raw}` is not one of 64, 128, 256"
+                        )))
+                    }
+                };
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -90,6 +106,7 @@ fn main() {
         sample_period: 64,
         capture: CaptureMode::Decimate(4096),
         engine: Engine::Graph,
+        lanes: 64,
     };
     let args = BenchArgs::from_env_with(
         "trace",
@@ -98,15 +115,16 @@ fn main() {
          \x20 --waveform-dir DIR   per-design waveform files (default: waveforms/)\n\
          \x20 --sample-period N    sample every N strobes (default: 64)\n\
          \x20 --capture MODE       unbounded | ring:N | decimate:N (default: decimate:4096)\n\
-         \x20 --engine ENGINE      graph | tape wide engine (default: graph)\n",
+         \x20 --engine ENGINE      graph | tape wide engine (default: graph)\n\
+         \x20 --lanes N            wide-leg lane width, 64 | 128 | 256 (default: 64)\n",
     );
     let cache = args.open_cache();
     let benchmarks = all_benchmarks();
 
     println!(
         "observability evaluation — power waveforms and tracing overhead \
-         ({:?} scale, {} job(s), {} wide engine)",
-        args.scale, args.jobs, ext.engine
+         ({:?} scale, {} job(s), {} wide engine at {} lanes)",
+        args.scale, args.jobs, ext.engine, ext.lanes
     );
     println!("(every waveform must integrate bit-exactly to the engine's cumulative energy");
     println!(" readback, and serial vs wide lane 0 must match sample-for-sample)");
@@ -123,6 +141,7 @@ fn main() {
         &benchmarks,
         args.scale,
         ext.engine,
+        ext.lanes,
         ext.sample_period,
         ext.capture,
         args.jobs,

@@ -1,26 +1,33 @@
 //! The bit-parallel throughput benchmark: runs every suite design's
-//! testbench 64 ways — 64 serial single-lane simulations vs one 64-lane
-//! wide simulation vs one compiled-tape 64-lane run — verifies the
-//! waveforms bit-identical lane by lane, and writes the measurements to
-//! `BENCH_wide.json`.
+//! testbench through 64 serial single-lane simulations, then through the
+//! wide graph engine and the compiled-tape engine at every requested lane
+//! width (64, 128, 256 — lane `l` replays shard `l % 64`), verifies the
+//! waveforms bit-identical lane by lane at every width, and writes the
+//! measurements to `BENCH_wide.json` with per-width geomeans.
 //!
 //! Usage: `cargo run -p pe-bench --release --bin wide --
-//! [--scale test|paper] [--jobs N] [--cache-dir DIR] [--out PATH]`
+//! [--scale test|paper] [--jobs N] [--lanes LIST] [--cache-dir DIR]
+//! [--out PATH]`
 //!
 //! `--jobs 1` (the default) keeps the measured wall-clock columns
 //! uncontended; higher counts overlap designs and are useful only for a
-//! quick correctness pass. `--cache-dir` is accepted (every binary
-//! speaks the full shared dialect) but has no effect here: the wide
-//! benchmark simulates raw designs and never characterizes.
+//! quick correctness pass. `--lanes` takes a comma-separated subset of
+//! `64,128,256` (default: all three). `--cache-dir` is accepted (every
+//! binary speaks the full shared dialect) but has no effect here: the
+//! wide benchmark simulates raw designs and never characterizes.
 
 use pe_bench::cli::{BenchArgs, CliError, FlagExt};
 use pe_designs::suite::all_benchmarks;
-use pe_harness::wide::{geomean_speedup, geomean_tape_speedup, render_json, run_wide_bench};
+use pe_harness::wide::{
+    geomean_settle_mlcps, geomean_speedup, geomean_tape_speedup, render_json, rows_at,
+    run_wide_bench, widths_present, WIDE_BENCH_WIDTHS,
+};
 use pe_harness::{Fanout, Metrics, StderrLines};
 use std::path::PathBuf;
 
 struct WideExt {
     out: PathBuf,
+    lanes: Vec<usize>,
 }
 
 impl FlagExt for WideExt {
@@ -31,6 +38,27 @@ impl FlagExt for WideExt {
     ) -> Result<bool, CliError> {
         match flag {
             "--out" => self.out = PathBuf::from(value("--out")?),
+            "--lanes" => {
+                let raw = value("--lanes")?;
+                let mut widths = Vec::new();
+                for part in raw.split(',') {
+                    match part.trim() {
+                        "64" => widths.push(64),
+                        "128" => widths.push(128),
+                        "256" => widths.push(256),
+                        other => {
+                            return Err(CliError::Invalid(format!(
+                                "--lanes: unsupported width {other:?} (expected a \
+                                 comma-separated subset of 64,128,256)"
+                            )))
+                        }
+                    }
+                }
+                if widths.is_empty() {
+                    return Err(CliError::Invalid("--lanes: empty width list".into()));
+                }
+                self.lanes = widths;
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -40,27 +68,37 @@ impl FlagExt for WideExt {
 fn main() {
     let mut ext = WideExt {
         out: PathBuf::from("BENCH_wide.json"),
+        lanes: WIDE_BENCH_WIDTHS.to_vec(),
     };
     let args = BenchArgs::from_env_with(
         "wide",
         &mut ext,
-        "\x20 --out PATH           result JSON path (default: BENCH_wide.json)\n",
+        "\x20 --out PATH           result JSON path (default: BENCH_wide.json)\n\
+         \x20 --lanes LIST         lane widths to run, comma-separated subset of\n\
+         \x20                      64,128,256 (default: 64,128,256)\n",
     );
     let benchmarks = all_benchmarks();
 
     println!(
-        "bit-parallel evaluation — 64-lane wide engine vs serial vs compiled tape \
+        "bit-parallel evaluation — wide engine at {} lanes vs serial vs compiled tape \
          ({:?} scale, {} job(s))",
-        args.scale, args.jobs
+        ext.lanes
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join("/"),
+        args.scale,
+        args.jobs
     );
-    println!("(each design: 64 seeded testbench shards; every lane's waveform digest is");
-    println!(" verified bit-identical between all engines before speedup is reported)");
+    println!("(each design: 64 seeded testbench shards, lane l replaying shard l%64; every");
+    println!(" lane's waveform digest is verified bit-identical between all engines at every");
+    println!(" width before speedup is reported)");
     println!();
 
     let progress = StderrLines::new("wide", false);
     let metrics = Metrics::new();
     let sink = Fanout(vec![&progress, &metrics]);
-    let rows = match run_wide_bench(&benchmarks, args.scale, args.jobs, &sink) {
+    let rows = match run_wide_bench(&benchmarks, args.scale, args.jobs, &ext.lanes, &sink) {
         Ok(rows) => rows,
         Err(e) => {
             eprintln!("[wide] {e}");
@@ -69,12 +107,20 @@ fn main() {
     };
 
     println!(
-        "{:<14} {:>9} {:>6} {:>12} {:>12} {:>12} {:>9} {:>9}  digest",
-        "design", "cycles", "lanes", "serial (s)", "wide (s)", "tape (s)", "speedup", "tape x"
+        "{:<14} {:>9} {:>6} {:>12} {:>12} {:>12} {:>9} {:>9} {:>12}  digest",
+        "design",
+        "cycles",
+        "lanes",
+        "serial (s)",
+        "wide (s)",
+        "tape (s)",
+        "speedup",
+        "tape x",
+        "settle Mlc/s"
     );
     for r in &rows {
         println!(
-            "{:<14} {:>9} {:>6} {:>12.4} {:>12.4} {:>12.4} {:>8.1}x {:>8.2}x  {}",
+            "{:<14} {:>9} {:>6} {:>12.4} {:>12.4} {:>12.4} {:>8.1}x {:>8.2}x {:>12.1}  {}",
             r.design,
             r.cycles,
             r.lanes,
@@ -83,18 +129,22 @@ fn main() {
             r.tape_seconds,
             r.speedup,
             r.tape_speedup,
+            r.settle_mlcps,
             r.digest
         );
     }
     println!();
-    println!(
-        "geometric-mean speedup: {:.1}x (64 lanes per word op)",
-        geomean_speedup(&rows)
-    );
-    println!(
-        "geometric-mean tape speedup over graph wide engine: {:.2}x (compile included)",
-        geomean_tape_speedup(&rows)
-    );
+    for w in widths_present(&rows) {
+        let at = rows_at(&rows, w);
+        println!(
+            "{w:>4} lanes: geomean speedup {:>6.1}x   tape-over-graph {:>5.2}x   \
+             settle phase {:>8.1} Mlane-cycles/s",
+            geomean_speedup(&at),
+            geomean_tape_speedup(&at),
+            geomean_settle_mlcps(&at)
+        );
+    }
+    println!();
 
     let doc = render_json(&rows, args.scale);
     match std::fs::write(&ext.out, &doc) {

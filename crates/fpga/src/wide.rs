@@ -1,49 +1,50 @@
-//! Bit-parallel 64-lane execution of a mapped LUT netlist.
+//! Bit-parallel lane-word execution of a mapped LUT netlist.
 //!
 //! [`WideLutSimulator`] mirrors [`crate::emulate::LutSimulator`] with one
-//! `u64` per net (bit `l` = lane `l`), the same lane packing as the wide
-//! RTL and gate engines. Each K-input LUT evaluates over all 64 lanes by
-//! folding its truth table as a mux tree of word ops: the 2^K constant
-//! truth rows collapse pairwise on each input's slice
-//! (`new[e] = (!x & old[2e]) | (x & old[2e+1])`), costing ~2^K word ops
-//! per LUT instead of 64 serial table lookups. This is the closest
-//! software analogue of what the FPGA itself does — every LUT in the
-//! fabric evaluates simultaneously; here every *lane* of each LUT does.
+//! [`LaneWord`] per net (lane `l` = lane `l`'s value), the same lane
+//! packing as the wide RTL and gate engines, at 1/64/128/256 lanes. Each
+//! K-input LUT evaluates over all lanes by folding its truth table as a
+//! mux tree of word ops: the 2^K constant truth rows collapse pairwise on
+//! each input's slice (`new[e] = (!x & old[2e]) | (x & old[2e+1])`),
+//! costing ~2^K word ops per LUT instead of `W::LANES` serial table
+//! lookups. This is the closest software analogue of what the FPGA itself
+//! does — every LUT in the fabric evaluates simultaneously; here every
+//! *lane* of each LUT does.
 
 use crate::lut::LutNetlist;
 use pe_gate::netlist::NetId;
-use pe_util::lanes::{unpack_lanes, LANES};
+use pe_util::lanes::LaneWord;
 use pe_util::PortError;
 
 /// Pending BRAM commit: the read-out lanes plus, when any lane wrote,
 /// the per-lane write address/data and the write-enable mask.
-type MemOp = ([u64; LANES], Option<([u64; LANES], [u64; LANES], u64)>);
+type MemOp<W> = (Vec<u64>, Option<(Vec<u64>, Vec<u64>, W)>);
 
-/// Cycle-accurate, 64-lane simulator for a mapped netlist.
+/// Cycle-accurate, lane-word-parallel simulator for a mapped netlist.
 #[derive(Debug)]
-pub struct WideLutSimulator<'a> {
+pub struct WideLutSimulator<'a, W: LaneWord = u64> {
     netlist: &'a LutNetlist,
-    values: Vec<u64>,
-    /// Per-BRAM backing store, `state[word * LANES + lane]`.
+    values: Vec<W>,
+    /// Per-BRAM backing store, `state[word * W::LANES + lane]`.
     mem_state: Vec<Vec<u64>>,
     dirty: bool,
     cycle: u64,
 }
 
-impl<'a> WideLutSimulator<'a> {
+impl<'a, W: LaneWord> WideLutSimulator<'a, W> {
     /// Creates a simulator with every lane at power-on state.
     pub fn new(netlist: &'a LutNetlist) -> Self {
-        let mut values = vec![0u64; netlist.net_count()];
+        let mut values = vec![W::zero(); netlist.net_count()];
         for ff in netlist.ffs() {
-            values[ff.q.index()] = if ff.init { !0u64 } else { 0 };
+            values[ff.q.index()] = W::splat(ff.init);
         }
         let mem_state = netlist
             .brams()
             .iter()
             .map(|b| {
-                let mut state = vec![0u64; b.words as usize * LANES];
+                let mut state = vec![0u64; b.words as usize * W::LANES];
                 for (w, &v) in b.init.iter().enumerate() {
-                    state[w * LANES..(w + 1) * LANES].fill(v);
+                    state[w * W::LANES..(w + 1) * W::LANES].fill(v);
                 }
                 state
             })
@@ -62,6 +63,11 @@ impl<'a> WideLutSimulator<'a> {
         self.cycle
     }
 
+    /// Number of lanes this instantiation evaluates per pass.
+    pub fn lanes(&self) -> usize {
+        W::LANES
+    }
+
     fn settle(&mut self) {
         if !self.dirty {
             return;
@@ -70,17 +76,17 @@ impl<'a> WideLutSimulator<'a> {
             let k = lut.inputs.len();
             // Fold the truth table over the input slices: start from the
             // 2^k constant rows (all-0 / all-1 words) and halve per input.
-            let mut rows = [0u64; 16];
+            let mut rows = [W::zero(); 16];
             let n = 1usize << k;
             for (e, row) in rows.iter_mut().enumerate().take(n) {
-                *row = if (lut.truth >> e) & 1 == 1 { !0u64 } else { 0 };
+                *row = W::splat((lut.truth >> e) & 1 == 1);
             }
             let mut size = n;
             for &input in &lut.inputs {
                 let x = self.values[input.index()];
                 size /= 2;
                 for e in 0..size {
-                    rows[e] = (!x & rows[2 * e]) | (x & rows[2 * e + 1]);
+                    rows[e] = W::blend(x, rows[2 * e + 1], rows[2 * e]);
                 }
             }
             self.values[lut.output.index()] = rows[0];
@@ -97,14 +103,14 @@ impl<'a> WideLutSimulator<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `lane >= 64`.
+    /// Panics if `lane >= W::LANES`.
     pub fn try_set_input_lane(
         &mut self,
         name: &str,
         lane: usize,
         value: u64,
     ) -> Result<(), PortError> {
-        assert!(lane < LANES, "lane {lane} out of range 0..{LANES}");
+        assert!(lane < W::LANES, "lane {lane} out of range 0..{}", W::LANES);
         let nets = self
             .netlist
             .inputs()
@@ -119,11 +125,11 @@ impl<'a> WideLutSimulator<'a> {
                 width: nets.len() as u32,
             });
         }
-        let lane_mask = 1u64 << lane;
         for (i, net) in nets.iter().enumerate() {
-            let bit = if (value >> i) & 1 == 1 { lane_mask } else { 0 };
+            let bit = (value >> i) & 1 == 1;
             let cur = self.values[net.index()];
-            let new = (cur & !lane_mask) | bit;
+            let mut new = cur;
+            new.set_lane(lane, bit);
             if new != cur {
                 self.values[net.index()] = new;
                 self.dirty = true;
@@ -137,7 +143,7 @@ impl<'a> WideLutSimulator<'a> {
     /// # Panics
     ///
     /// Panics if the port does not exist, the value does not fit, or
-    /// `lane >= 64`.
+    /// `lane >= W::LANES`.
     pub fn set_input_lane(&mut self, name: &str, lane: usize, value: u64) {
         self.try_set_input_lane(name, lane, value)
             .unwrap_or_else(|e| panic!("{e}"));
@@ -151,9 +157,9 @@ impl<'a> WideLutSimulator<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `lane >= 64`.
+    /// Panics if `lane >= W::LANES`.
     pub fn try_output_lane(&mut self, name: &str, lane: usize) -> Result<u64, PortError> {
-        assert!(lane < LANES, "lane {lane} out of range 0..{LANES}");
+        assert!(lane < W::LANES, "lane {lane} out of range 0..{}", W::LANES);
         self.settle();
         let nets = self
             .netlist
@@ -165,7 +171,7 @@ impl<'a> WideLutSimulator<'a> {
         Ok(nets
             .iter()
             .enumerate()
-            .map(|(i, net)| ((self.values[net.index()] >> lane) & 1) << i)
+            .map(|(i, net)| (self.values[net.index()].lane(lane) as u64) << i)
             .sum())
     }
 
@@ -173,47 +179,47 @@ impl<'a> WideLutSimulator<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the port does not exist or `lane >= 64`.
+    /// Panics if the port does not exist or `lane >= W::LANES`.
     pub fn output_lane(&mut self, name: &str, lane: usize) -> u64 {
         self.try_output_lane(name, lane)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn bus_lanes(&self, nets: &[NetId], lanes: &mut [u64; LANES]) {
-        let mut tmp = [0u64; LANES];
+    fn bus_lanes(&self, nets: &[NetId], lanes: &mut [u64]) {
+        let mut tmp = [W::zero(); 64];
         for (i, n) in nets.iter().enumerate() {
             tmp[i] = self.values[n.index()];
         }
-        unpack_lanes(&tmp[..nets.len()], lanes);
+        pe_util::lanes::unpack::<W>(&tmp[..nets.len()], lanes);
     }
 
     /// Advances one clock edge on all domains in every lane.
     pub fn step(&mut self) {
         self.settle();
-        let new_q: Vec<u64> = self
+        let new_q: Vec<W> = self
             .netlist
             .ffs()
             .iter()
             .map(|ff| self.values[ff.d.index()])
             .collect();
-        let mem_ops: Vec<MemOp> = self
+        let mem_ops: Vec<MemOp<W>> = self
             .netlist
             .brams()
             .iter()
             .enumerate()
             .map(|(mi, bram)| {
                 let words = bram.words as usize;
-                let mut raddr = [0u64; LANES];
+                let mut raddr = vec![0u64; W::LANES];
                 self.bus_lanes(&bram.raddr, &mut raddr);
                 let state = &self.mem_state[mi];
-                let mut read = [0u64; LANES];
+                let mut read = vec![0u64; W::LANES];
                 for (l, r) in read.iter_mut().enumerate() {
-                    *r = state[(raddr[l] as usize % words) * LANES + l];
+                    *r = state[(raddr[l] as usize % words) * W::LANES + l];
                 }
                 let wen = self.values[bram.wen.index()];
-                let write = if wen != 0 {
-                    let mut waddr = [0u64; LANES];
-                    let mut wdata = [0u64; LANES];
+                let write = if !wen.is_zero() {
+                    let mut waddr = vec![0u64; W::LANES];
+                    let mut wdata = vec![0u64; W::LANES];
                     self.bus_lanes(&bram.waddr, &mut waddr);
                     self.bus_lanes(&bram.wdata, &mut wdata);
                     Some((waddr, wdata, wen))
@@ -228,21 +234,18 @@ impl<'a> WideLutSimulator<'a> {
         }
         for (mi, (bram, (read, write))) in self.netlist.brams().iter().zip(mem_ops).enumerate() {
             for (i, net) in bram.rdata.iter().enumerate() {
-                let mut slice = 0u64;
+                let mut slice = W::zero();
                 for (l, r) in read.iter().enumerate() {
-                    slice |= ((r >> i) & 1) << l;
+                    slice.set_lane(l, (r >> i) & 1 == 1);
                 }
                 self.values[net.index()] = slice;
             }
             if let Some((waddr, wdata, wen)) = write {
                 let words = bram.words as usize;
                 let state = &mut self.mem_state[mi];
-                let mut w = wen;
-                while w != 0 {
-                    let l = w.trailing_zeros() as usize;
-                    w &= w - 1;
-                    state[(waddr[l] as usize % words) * LANES + l] = wdata[l];
-                }
+                wen.for_each_lane(|l| {
+                    state[(waddr[l] as usize % words) * W::LANES + l] = wdata[l];
+                });
             }
         }
         self.dirty = true;
@@ -259,8 +262,7 @@ mod tests {
     use pe_rtl::builder::DesignBuilder;
     use pe_util::rng::Xoshiro;
 
-    #[test]
-    fn every_lane_matches_a_serial_lut_run() {
+    fn every_lane_matches_serial<W: LaneWord>() {
         let mut b = DesignBuilder::new("mix");
         let clk = b.clock("clk");
         let x = b.input("x", 8);
@@ -282,9 +284,9 @@ mod tests {
         let d = b.finish().unwrap();
 
         let mapped = map_to_luts(&expand_design(&d).netlist);
-        let mut wide = WideLutSimulator::new(&mapped);
+        let mut wide = WideLutSimulator::<W>::new(&mapped);
         let mut serials: Vec<LutSimulator<'_>> =
-            (0..LANES).map(|_| LutSimulator::new(&mapped)).collect();
+            (0..W::LANES).map(|_| LutSimulator::new(&mapped)).collect();
         let mut rng = Xoshiro::new(0x10A);
         for cycle in 0..80 {
             for (lane, serial) in serials.iter_mut().enumerate() {
@@ -299,7 +301,8 @@ mod tests {
                     assert_eq!(
                         wide.output_lane(port, lane),
                         serial.output(port),
-                        "cycle {cycle} lane {lane} port {port}"
+                        "lanes {} cycle {cycle} lane {lane} port {port}",
+                        W::LANES
                     );
                 }
             }
@@ -308,5 +311,13 @@ mod tests {
                 s.step();
             }
         }
+    }
+
+    #[test]
+    fn every_lane_matches_a_serial_lut_run() {
+        every_lane_matches_serial::<bool>();
+        every_lane_matches_serial::<u64>();
+        every_lane_matches_serial::<[u64; 2]>();
+        every_lane_matches_serial::<[u64; 4]>();
     }
 }

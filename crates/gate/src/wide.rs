@@ -1,42 +1,45 @@
-//! Bit-parallel 64-lane gate simulation with per-lane energy accounting.
+//! Bit-parallel lane-word gate simulation with per-lane energy accounting.
 //!
-//! [`WideGateSimulator`] runs 64 independent gate-level simulations at
-//! once: every net holds one `u64` whose bit `l` is the net's value in
-//! lane `l`, and each gate evaluates as a single word op (an AND2 serves
-//! 64 simulations per `&`). Energy is accounted **per lane** with the
-//! identical floating-point accumulation order as [`crate::GateSimulator`]
-//! — gate toggles in gate-index order, then flip-flop clock/toggle
-//! energies, then memory access energies, then leakage, then the cycle
-//! total folded into the running total — so each lane's
+//! [`WideGateSimulator`] runs `W::LANES` independent gate-level
+//! simulations at once: every net holds one [`LaneWord`] whose lane `l`
+//! is the net's value in lane `l`, and each gate evaluates as a single
+//! word op (an AND2 serves `W::LANES` simulations per op — 64 for `u64`,
+//! 128/256 for the `[u64; N]` words LLVM autovectorizes to SIMD). Energy
+//! is accounted **per lane** with the identical floating-point
+//! accumulation order as [`crate::GateSimulator`] — gate toggles in
+//! gate-index order, then flip-flop clock/toggle energies, then memory
+//! access energies, then leakage, then the cycle total folded into the
+//! running total — so each lane's
 //! [`WideGateSimulator::total_energy_fj_lane`] is *bit-identical* to the
-//! total a fresh serial simulator would report for that lane's stimulus.
-//! The differential suite relies on this exactness.
+//! total a fresh serial simulator would report for that lane's stimulus,
+//! at every width. The width-sweep differential suite relies on this
+//! exactness.
 
 use crate::cells::CellLibrary;
 use crate::expand::ExpandedDesign;
 use crate::netlist::{GateKind, NetId};
 use crate::sim::levelize;
-use pe_util::lanes::{unpack_lanes, LANES};
+use pe_util::lanes::LaneWord;
 use pe_util::PortError;
 
 /// Pending memory commit for one RAM: the read-out lanes plus, when any
 /// lane wrote, the per-lane write address/data and the write-enable mask.
-type MemUpdate = ([u64; LANES], Option<([u64; LANES], [u64; LANES], u64)>);
+type MemUpdate<W> = (Vec<u64>, Option<(Vec<u64>, Vec<u64>, W)>);
 
-/// A zero-delay, 64-lane gate-level simulator.
+/// A zero-delay, lane-word-parallel gate-level simulator.
 ///
 /// Mirrors [`crate::GateSimulator`] lane-for-lane; see the module docs for
 /// the energy-exactness contract. Inputs are driven per lane with
 /// [`WideGateSimulator::set_input_lane`] and outputs read with
 /// [`WideGateSimulator::output_lane`].
 #[derive(Debug)]
-pub struct WideGateSimulator<'a> {
+pub struct WideGateSimulator<'a, W: LaneWord = u64> {
     expanded: &'a ExpandedDesign,
     lib: &'a CellLibrary,
-    values: Vec<u64>,
-    prev_settled: Vec<u64>,
+    values: Vec<W>,
+    prev_settled: Vec<W>,
     order: Vec<u32>,
-    /// Per-memory backing store, `state[word * LANES + lane]`.
+    /// Per-memory backing store, `state[word * W::LANES + lane]`.
     mem_state: Vec<Vec<u64>>,
     lane_cycle_fj: Vec<f64>,
     lane_total_fj: Vec<f64>,
@@ -46,8 +49,8 @@ pub struct WideGateSimulator<'a> {
     dirty: bool,
 }
 
-impl<'a> WideGateSimulator<'a> {
-    /// Creates a 64-lane simulator with the default 10 ns clock period.
+impl<'a, W: LaneWord> WideGateSimulator<'a, W> {
+    /// Creates a lane-word simulator with the default 10 ns clock period.
     ///
     /// # Panics
     ///
@@ -58,7 +61,7 @@ impl<'a> WideGateSimulator<'a> {
         Self::with_period(expanded, lib, 10.0)
     }
 
-    /// Creates a 64-lane simulator with an explicit clock period in
+    /// Creates a lane-word simulator with an explicit clock period in
     /// nanoseconds.
     ///
     /// # Panics
@@ -78,15 +81,15 @@ impl<'a> WideGateSimulator<'a> {
         }
         let leakage_fj_per_cycle = leak_nw * period_ns * 1e-3;
 
-        let mut values = vec![0u64; nl.net_count()];
+        let mut values = vec![W::zero(); nl.net_count()];
         let mut mem_state = Vec::with_capacity(nl.mems().len());
         for dff in nl.dffs() {
-            values[dff.q.index()] = if dff.init { !0u64 } else { 0 };
+            values[dff.q.index()] = W::splat(dff.init);
         }
         for m in nl.mems() {
-            let mut state = vec![0u64; m.words as usize * LANES];
+            let mut state = vec![0u64; m.words as usize * W::LANES];
             for (w, &v) in m.init.iter().enumerate() {
-                state[w * LANES..(w + 1) * LANES].fill(v);
+                state[w * W::LANES..(w + 1) * W::LANES].fill(v);
             }
             mem_state.push(state);
         }
@@ -98,8 +101,8 @@ impl<'a> WideGateSimulator<'a> {
             prev_settled: Vec::new(),
             order,
             mem_state,
-            lane_cycle_fj: vec![0.0; LANES],
-            lane_total_fj: vec![0.0; LANES],
+            lane_cycle_fj: vec![0.0; W::LANES],
+            lane_total_fj: vec![0.0; W::LANES],
             leakage_fj_per_cycle,
             period_ns,
             cycle: 0,
@@ -120,6 +123,11 @@ impl<'a> WideGateSimulator<'a> {
         self.cycle
     }
 
+    /// Number of lanes this instantiation evaluates per pass.
+    pub fn lanes(&self) -> usize {
+        W::LANES
+    }
+
     fn settle(&mut self) {
         if !self.dirty {
             return;
@@ -131,17 +139,17 @@ impl<'a> WideGateSimulator<'a> {
             let b = self.values[g.inputs[1].index()];
             let c = self.values[g.inputs[2].index()];
             self.values[g.output.index()] = match g.kind {
-                GateKind::Tie0 => 0,
-                GateKind::Tie1 => !0,
+                GateKind::Tie0 => W::zero(),
+                GateKind::Tie1 => W::ones(),
                 GateKind::Buf => a,
-                GateKind::Inv => !a,
-                GateKind::And2 => a & b,
-                GateKind::Or2 => a | b,
-                GateKind::Nand2 => !(a & b),
-                GateKind::Nor2 => !(a | b),
-                GateKind::Xor2 => a ^ b,
-                GateKind::Xnor2 => !(a ^ b),
-                GateKind::Mux2 => (a & c) | (!a & b),
+                GateKind::Inv => a.not(),
+                GateKind::And2 => a.and(b),
+                GateKind::Or2 => a.or(b),
+                GateKind::Nand2 => a.and(b).not(),
+                GateKind::Nor2 => a.or(b).not(),
+                GateKind::Xor2 => a.xor(b),
+                GateKind::Xnor2 => a.xor(b).not(),
+                GateKind::Mux2 => W::blend(a, c, b),
             };
         }
         self.dirty = false;
@@ -156,14 +164,14 @@ impl<'a> WideGateSimulator<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `lane >= 64`.
+    /// Panics if `lane >= W::LANES`.
     pub fn try_set_input_lane(
         &mut self,
         name: &str,
         lane: usize,
         value: u64,
     ) -> Result<(), PortError> {
-        assert!(lane < LANES, "lane {lane} out of range 0..{LANES}");
+        assert!(lane < W::LANES, "lane {lane} out of range 0..{}", W::LANES);
         let nets = self
             .expanded
             .netlist
@@ -179,11 +187,11 @@ impl<'a> WideGateSimulator<'a> {
                 width: nets.len() as u32,
             });
         }
-        let lane_mask = 1u64 << lane;
         for (i, net) in nets.iter().enumerate() {
-            let bit = if (value >> i) & 1 == 1 { lane_mask } else { 0 };
+            let bit = (value >> i) & 1 == 1;
             let cur = self.values[net.index()];
-            let new = (cur & !lane_mask) | bit;
+            let mut new = cur;
+            new.set_lane(lane, bit);
             if new != cur {
                 self.values[net.index()] = new;
                 self.dirty = true;
@@ -197,7 +205,7 @@ impl<'a> WideGateSimulator<'a> {
     /// # Panics
     ///
     /// Panics if the port does not exist, the value does not fit, or
-    /// `lane >= 64`.
+    /// `lane >= W::LANES`.
     pub fn set_input_lane(&mut self, name: &str, lane: usize, value: u64) {
         self.try_set_input_lane(name, lane, value)
             .unwrap_or_else(|e| panic!("{e}"));
@@ -211,9 +219,9 @@ impl<'a> WideGateSimulator<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `lane >= 64`.
+    /// Panics if `lane >= W::LANES`.
     pub fn try_output_lane(&mut self, name: &str, lane: usize) -> Result<u64, PortError> {
-        assert!(lane < LANES, "lane {lane} out of range 0..{LANES}");
+        assert!(lane < W::LANES, "lane {lane} out of range 0..{}", W::LANES);
         self.settle();
         let nets = self
             .expanded
@@ -226,7 +234,7 @@ impl<'a> WideGateSimulator<'a> {
         Ok(nets
             .iter()
             .enumerate()
-            .map(|(i, net)| ((self.values[net.index()] >> lane) & 1) << i)
+            .map(|(i, net)| (self.values[net.index()].lane(lane) as u64) << i)
             .sum())
     }
 
@@ -234,19 +242,20 @@ impl<'a> WideGateSimulator<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the port does not exist or `lane >= 64`.
+    /// Panics if the port does not exist or `lane >= W::LANES`.
     pub fn output_lane(&mut self, name: &str, lane: usize) -> u64 {
         self.try_output_lane(name, lane)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Unpacks a bus of nets into per-lane scalar values.
-    fn bus_lanes(&self, nets: &[NetId], lanes: &mut [u64; LANES]) {
-        let mut tmp = [0u64; LANES];
+    /// Unpacks a bus of nets into per-lane scalar values (`lanes.len()`
+    /// must be `W::LANES`).
+    fn bus_lanes(&self, nets: &[NetId], lanes: &mut [u64]) {
+        let mut tmp = [W::zero(); 64];
         for (i, n) in nets.iter().enumerate() {
             tmp[i] = self.values[n.index()];
         }
-        unpack_lanes(&tmp[..nets.len()], lanes);
+        pe_util::lanes::unpack::<W>(&tmp[..nets.len()], lanes);
     }
 
     /// Advances one clock edge on all domains in every lane, accounting
@@ -260,17 +269,14 @@ impl<'a> WideGateSimulator<'a> {
         let gates = self.expanded.netlist.gates();
         for g in gates.iter() {
             let net = g.output.index();
-            let toggled = self.values[net] ^ self.prev_settled[net];
-            if toggled == 0 {
+            let toggled = self.values[net].xor(self.prev_settled[net]);
+            if toggled.is_zero() {
                 continue;
             }
             let e = self.lib.gate(g.kind).toggle_energy_fj;
-            let mut t = toggled;
-            while t != 0 {
-                let l = t.trailing_zeros() as usize;
-                t &= t - 1;
+            toggled.for_each_lane(|l| {
                 self.lane_cycle_fj[l] += e;
-            }
+            });
         }
 
         // 2. Sequential capture with flip-flop/memory energies.
@@ -284,38 +290,35 @@ impl<'a> WideGateSimulator<'a> {
             for e in self.lane_cycle_fj.iter_mut() {
                 *e += dff_clk;
             }
-            let mut t = d ^ q;
-            while t != 0 {
-                let l = t.trailing_zeros() as usize;
-                t &= t - 1;
+            d.xor(q).for_each_lane(|l| {
                 self.lane_cycle_fj[l] += dff_spec.toggle_energy_fj;
-            }
+            });
             new_q.push(d);
         }
         let mems = self.expanded.netlist.mems();
-        let mut mem_updates: Vec<MemUpdate> = Vec::with_capacity(mems.len());
+        let mut mem_updates: Vec<MemUpdate<W>> = Vec::with_capacity(mems.len());
         for (mi, mem) in mems.iter().enumerate() {
             let width = mem.wdata.len() as u32;
             let read_e = self.lib.mem_read_energy_fj(width);
             let write_e = self.lib.mem_write_energy_fj(width);
-            let mut raddr = [0u64; LANES];
+            let mut raddr = vec![0u64; W::LANES];
             self.bus_lanes(&mem.raddr, &mut raddr);
             let state = &self.mem_state[mi];
             let words = mem.words as usize;
-            let mut read = [0u64; LANES];
+            let mut read = vec![0u64; W::LANES];
             for (l, r) in read.iter_mut().enumerate() {
-                *r = state[(raddr[l] as usize % words) * LANES + l];
+                *r = state[(raddr[l] as usize % words) * W::LANES + l];
             }
             let wen = self.values[mem.wen.index()];
             for (l, e) in self.lane_cycle_fj.iter_mut().enumerate() {
                 *e += read_e;
-                if (wen >> l) & 1 == 1 {
+                if wen.lane(l) {
                     *e += write_e;
                 }
             }
-            let write = if wen != 0 {
-                let mut waddr = [0u64; LANES];
-                let mut wdata = [0u64; LANES];
+            let write = if !wen.is_zero() {
+                let mut waddr = vec![0u64; W::LANES];
+                let mut wdata = vec![0u64; W::LANES];
                 self.bus_lanes(&mem.waddr, &mut waddr);
                 self.bus_lanes(&mem.wdata, &mut wdata);
                 Some((waddr, wdata, wen))
@@ -338,21 +341,18 @@ impl<'a> WideGateSimulator<'a> {
         }
         for (mi, (mem, (read, write))) in mems.iter().zip(mem_updates).enumerate() {
             for (i, net) in mem.rdata.iter().enumerate() {
-                let mut slice = 0u64;
+                let mut slice = W::zero();
                 for (l, r) in read.iter().enumerate() {
-                    slice |= ((r >> i) & 1) << l;
+                    slice.set_lane(l, (r >> i) & 1 == 1);
                 }
                 self.values[net.index()] = slice;
             }
             if let Some((waddr, wdata, wen)) = write {
                 let words = mem.words as usize;
                 let state = &mut self.mem_state[mi];
-                let mut w = wen;
-                while w != 0 {
-                    let l = w.trailing_zeros() as usize;
-                    w &= w - 1;
-                    state[(waddr[l] as usize % words) * LANES + l] = wdata[l];
-                }
+                wen.for_each_lane(|l| {
+                    state[(waddr[l] as usize % words) * W::LANES + l] = wdata[l];
+                });
             }
         }
         self.prev_settled.copy_from_slice(&self.values);
@@ -385,8 +385,7 @@ mod tests {
     use pe_rtl::builder::DesignBuilder;
     use pe_util::rng::Xoshiro;
 
-    #[test]
-    fn every_lane_matches_a_serial_run_bit_for_bit() {
+    fn every_lane_matches_serial<W: LaneWord>() {
         let mut b = DesignBuilder::new("acc");
         let clk = b.clock("clk");
         let x = b.input("x", 8);
@@ -398,9 +397,10 @@ mod tests {
         let ex = expand_design(&d);
         let lib = CellLibrary::cmos130();
 
-        let mut wide = WideGateSimulator::new(&ex, &lib);
-        let mut serials: Vec<GateSimulator<'_>> =
-            (0..LANES).map(|_| GateSimulator::new(&ex, &lib)).collect();
+        let mut wide = WideGateSimulator::<W>::new(&ex, &lib);
+        let mut serials: Vec<GateSimulator<'_>> = (0..W::LANES)
+            .map(|_| GateSimulator::new(&ex, &lib))
+            .collect();
         let mut rng = Xoshiro::new(0xAAA);
         for _ in 0..40 {
             for (lane, serial) in serials.iter_mut().enumerate() {
@@ -417,16 +417,26 @@ mod tests {
             assert_eq!(
                 wide.output_lane("total", lane),
                 serial.try_output("total").unwrap(),
-                "lane {lane} output"
+                "lanes {} lane {lane} output",
+                W::LANES
             );
             let wide_e = wide.total_energy_fj_lane(lane);
             let serial_e = serial.total_energy_fj();
             assert_eq!(
                 wide_e.to_bits(),
                 serial_e.to_bits(),
-                "lane {lane} energy: wide {wide_e} vs serial {serial_e}"
+                "lanes {} lane {lane} energy: wide {wide_e} vs serial {serial_e}",
+                W::LANES
             );
         }
+    }
+
+    #[test]
+    fn every_lane_matches_a_serial_run_bit_for_bit() {
+        every_lane_matches_serial::<bool>();
+        every_lane_matches_serial::<u64>();
+        every_lane_matches_serial::<[u64; 2]>();
+        every_lane_matches_serial::<[u64; 4]>();
     }
 
     #[test]
@@ -444,9 +454,10 @@ mod tests {
         let ex = expand_design(&d);
         let lib = CellLibrary::cmos130();
 
-        let mut wide = WideGateSimulator::new(&ex, &lib);
+        let mut wide = WideGateSimulator::<[u64; 2]>::new(&ex, &lib);
+        const N: usize = 128;
         let mut serials: Vec<GateSimulator<'_>> =
-            (0..LANES).map(|_| GateSimulator::new(&ex, &lib)).collect();
+            (0..N).map(|_| GateSimulator::new(&ex, &lib)).collect();
         let mut rng = Xoshiro::new(0xBBB);
         for _ in 0..60 {
             for (lane, serial) in serials.iter_mut().enumerate() {
@@ -460,7 +471,7 @@ mod tests {
             for s in &mut serials {
                 s.step();
             }
-            for lane in [0, 7, 63] {
+            for lane in [0, 7, 63, 127] {
                 assert_eq!(
                     wide.output_lane("rd", lane),
                     serials[lane].try_output("rd").unwrap(),

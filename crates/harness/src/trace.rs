@@ -20,7 +20,7 @@ use pe_designs::suite::{Benchmark, Scale};
 use pe_instrument::InstrumentedDesign;
 use pe_sim::{Simulator, WideSimulator};
 use pe_trace::{CaptureMode, PowerWaveform, Profiler, Registry};
-use pe_util::lanes::LANES;
+use pe_util::lanes::LaneWord;
 use std::time::Instant;
 
 use crate::cache::{obtain_library, ModelCache};
@@ -163,9 +163,12 @@ fn untraced_serial_run(
     Ok(seconds)
 }
 
-/// Runs all 64 shards through the wide engine, recording lane 0 (the
-/// canonical stimulus) and enforcing the lane-0 integral invariant.
-fn traced_wide_run(
+/// Runs one shard per lane through the wide engine at width `W`,
+/// recording lane 0 (the canonical stimulus) and enforcing the lane-0
+/// integral invariant. Lane 0 runs shard 0 at every width, so the traced
+/// waveform is width-independent by construction — and the assemble job
+/// checks it against the serial waveform to prove it.
+fn traced_wide_run<W: LaneWord>(
     bench: &Benchmark,
     inst: &InstrumentedDesign,
     cycles: u64,
@@ -175,17 +178,18 @@ fn traced_wide_run(
 ) -> Result<PowerWaveform, HarnessError> {
     let name = bench.name;
     let mut sim =
-        WideSimulator::new(&inst.design).map_err(|e| HarnessError::new("wide", name, e))?;
-    let mut tbs = bench.testbench_shards(cycles, LANES);
+        WideSimulator::<W>::new(&inst.design).map_err(|e| HarnessError::new("wide", name, e))?;
+    let mut tbs = bench.testbench_shards(cycles, W::LANES);
     let mut rec = inst.waveform_recorder(name, sample_period, capture);
     let strobe = u64::from(inst.strobe_period.max(1));
-    let offer = |rec: &mut pe_trace::WaveformRecorder, sim: &mut WideSimulator<'_>, cycle: u64| {
-        let raw = inst
-            .try_read_raw_totals_lane(sim, 0)
-            .map_err(|e| HarnessError::new("wide", name, e))?;
-        rec.offer(cycle, &raw)
-            .map_err(|e| HarnessError::new("wide", name, e))
-    };
+    let offer =
+        |rec: &mut pe_trace::WaveformRecorder, sim: &mut WideSimulator<'_, W>, cycle: u64| {
+            let raw = inst
+                .try_read_raw_totals_lane(sim, 0)
+                .map_err(|e| HarnessError::new("wide", name, e))?;
+            rec.offer(cycle, &raw)
+                .map_err(|e| HarnessError::new("wide", name, e))
+        };
     offer(&mut rec, &mut sim, 0)?;
     let mut covered_final = false;
     for cycle in 0..cycles {
@@ -229,11 +233,12 @@ fn traced_wide_run(
 
 /// [`traced_wide_run`] on the compiled instruction tape: compiles the
 /// instrumented design into a [`pe_tape::Tape`] (the compile is part of
-/// the engine's cost), runs all 64 shards through the
-/// [`pe_tape::WideTapeSimulator`], and enforces the same lane-0
-/// integral invariant. The waveform must be bit-identical to the graph
-/// engine's — the assemble job checks it against the serial waveform.
-fn traced_wide_run_tape(
+/// the engine's cost), runs one shard per lane through the
+/// [`pe_tape::WideTapeSimulator`] at width `W`, and enforces the same
+/// lane-0 integral invariant. The waveform must be bit-identical to the
+/// graph engine's — the assemble job checks it against the serial
+/// waveform.
+fn traced_wide_run_tape<W: LaneWord>(
     bench: &Benchmark,
     inst: &InstrumentedDesign,
     cycles: u64,
@@ -244,12 +249,12 @@ fn traced_wide_run_tape(
     let name = bench.name;
     let tape =
         pe_tape::Tape::compile(&inst.design).map_err(|e| HarnessError::new("wide", name, e))?;
-    let mut sim = pe_tape::WideTapeSimulator::new(&tape);
-    let mut tbs = bench.testbench_shards(cycles, LANES);
+    let mut sim = pe_tape::WideTapeSimulator::<W>::new(&tape);
+    let mut tbs = bench.testbench_shards(cycles, W::LANES);
     let mut rec = inst.waveform_recorder(name, sample_period, capture);
     let strobe = u64::from(inst.strobe_period.max(1));
     let offer = |rec: &mut pe_trace::WaveformRecorder,
-                 sim: &mut pe_tape::WideTapeSimulator<'_>,
+                 sim: &mut pe_tape::WideTapeSimulator<'_, W>,
                  cycle: u64| {
         let raw = inst
             .try_read_raw_totals_lane(sim, 0)
@@ -302,9 +307,10 @@ fn traced_wide_run_tape(
 /// pairs come back in `benchmarks` order. Flow stages are timed into
 /// `profiler`; engine, instrumentation, and job metrics land in
 /// `registry`. Use `workers = 1` when the overhead columns matter.
-/// `engine` picks the 64-lane executor for the wide job — the serial
-/// baseline always runs on the graph engine, so a tape run doubles as a
-/// cross-engine waveform equality check (the assemble job rejects the
+/// `engine` picks the executor for the wide job and `lanes` its width
+/// (64, 128, or 256) — the serial baseline always runs on the graph
+/// engine, so a tape or wider-word run doubles as a cross-engine,
+/// cross-width waveform equality check (the assemble job rejects the
 /// first diverging sample).
 ///
 /// # Errors
@@ -312,13 +318,14 @@ fn traced_wide_run_tape(
 /// Returns the first failing stage in schedule order — including an
 /// invariant violation (waveform integral vs energy readback) or a
 /// serial/wide waveform divergence, which names the first diverging
-/// sample.
+/// sample — or an immediate error for a width outside {64, 128, 256}.
 #[allow(clippy::too_many_arguments)]
 pub fn run_trace_bench(
     flow_factory: FlowFactory<'_>,
     benchmarks: &[Benchmark],
     scale: Scale,
     engine: crate::Engine,
+    lanes: usize,
     sample_period: u32,
     capture: CaptureMode,
     workers: usize,
@@ -327,6 +334,13 @@ pub fn run_trace_bench(
     registry: &Registry,
     sink: &dyn EventSink,
 ) -> Result<Vec<(TraceRow, PowerWaveform)>, HarnessError> {
+    if !matches!(lanes, 64 | 128 | 256) {
+        return Err(HarnessError::new(
+            "wide",
+            "setup",
+            format!("unsupported lane width {lanes} (expected 64, 128, or 256)"),
+        ));
+    }
     let mut graph: JobGraph<'_, Node, HarnessError> = JobGraph::new();
     let mut row_jobs = Vec::with_capacity(benchmarks.len());
 
@@ -377,13 +391,50 @@ pub fn run_trace_bench(
             let Node::Instrumented(inst) = &*deps[0] else {
                 unreachable!("wide depends on flow")
             };
-            let waveform = profiler.time("run_wide", name, || match engine {
-                crate::Engine::Graph => {
-                    traced_wide_run(bench, inst, cycles, sample_period, capture, registry)
+            let waveform = profiler.time("run_wide", name, || match (engine, lanes) {
+                (crate::Engine::Graph, 64) => {
+                    traced_wide_run::<u64>(bench, inst, cycles, sample_period, capture, registry)
                 }
-                crate::Engine::Tape => {
-                    traced_wide_run_tape(bench, inst, cycles, sample_period, capture, registry)
-                }
+                (crate::Engine::Graph, 128) => traced_wide_run::<[u64; 2]>(
+                    bench,
+                    inst,
+                    cycles,
+                    sample_period,
+                    capture,
+                    registry,
+                ),
+                (crate::Engine::Graph, _) => traced_wide_run::<[u64; 4]>(
+                    bench,
+                    inst,
+                    cycles,
+                    sample_period,
+                    capture,
+                    registry,
+                ),
+                (crate::Engine::Tape, 64) => traced_wide_run_tape::<u64>(
+                    bench,
+                    inst,
+                    cycles,
+                    sample_period,
+                    capture,
+                    registry,
+                ),
+                (crate::Engine::Tape, 128) => traced_wide_run_tape::<[u64; 2]>(
+                    bench,
+                    inst,
+                    cycles,
+                    sample_period,
+                    capture,
+                    registry,
+                ),
+                (crate::Engine::Tape, _) => traced_wide_run_tape::<[u64; 4]>(
+                    bench,
+                    inst,
+                    cycles,
+                    sample_period,
+                    capture,
+                    registry,
+                ),
             })?;
             Ok(Node::Wide { waveform })
         });
@@ -561,6 +612,7 @@ mod tests {
             &benches,
             Scale::Test,
             crate::Engine::Graph,
+            64,
             1,
             CaptureMode::Unbounded,
             1,
@@ -612,10 +664,13 @@ mod tests {
     }
 
     #[test]
-    fn tape_engine_produces_the_identical_waveform() {
+    fn tape_engine_at_a_wider_word_produces_the_identical_waveform() {
         let benches = [benchmark("Bubble_Sort").unwrap()];
         let mut digests = Vec::new();
-        for engine in [crate::Engine::Graph, crate::Engine::Tape] {
+        // Graph engine at 64 lanes vs tape engine at 128: the traced
+        // lane-0 waveform must be invariant across both the engine and
+        // the lane width.
+        for (engine, lanes) in [(crate::Engine::Graph, 64), (crate::Engine::Tape, 128)] {
             let profiler = Profiler::new();
             let registry = Registry::new();
             let rows = run_trace_bench(
@@ -623,6 +678,7 @@ mod tests {
                 &benches,
                 Scale::Test,
                 engine,
+                lanes,
                 1,
                 CaptureMode::Unbounded,
                 1,
@@ -639,7 +695,7 @@ mod tests {
         }
         assert_eq!(
             digests[0], digests[1],
-            "graph and tape engines must trace bit-identical waveforms"
+            "graph@64 and tape@128 must trace bit-identical lane-0 waveforms"
         );
     }
 
@@ -653,6 +709,7 @@ mod tests {
             &benches,
             Scale::Test,
             crate::Engine::Graph,
+            64,
             1,
             CaptureMode::Decimate(32),
             1,

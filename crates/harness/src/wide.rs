@@ -1,92 +1,131 @@
 //! The bit-parallel throughput benchmark: 64 testbench shards per design,
-//! run once through the serial RTL engine (lane by lane), once through
-//! the 64-lane [`pe_sim::WideSimulator`], and once through the compiled
-//! 64-lane [`pe_tape::WideTapeSimulator`], with waveform digests proving
-//! all three executions bit-identical before any speedup is reported.
+//! run once through the serial RTL engine (lane by lane), then through the
+//! [`pe_sim::WideSimulator`] and the compiled [`pe_tape::WideTapeSimulator`]
+//! at every requested lane width (64, 128, 256), with waveform digests
+//! proving every execution bit-identical before any speedup is reported.
+//! Lanes beyond 63 replay the 64 shard streams round-robin (lane `l` runs
+//! shard `l % 64`), so one serial baseline verifies every width.
 //!
-//! Per benchmark, four jobs on the [`crate::executor::JobGraph`]:
+//! Per benchmark, one serial job plus three jobs per width on the
+//! [`crate::executor::JobGraph`]:
 //!
 //! ```text
-//! serial (64 × Simulator) ────────┐
-//! wide (1 × WideSimulator) ───────┼─► assemble (verify digests, speedups)
-//! tape (compile + interpret) ─────┘
+//! serial (64 × Simulator) ──┬─► assemble@64  (verify digests, speedups)
+//!   wide@64 ────────────────┤
+//!   tape@64 ────────────────┘
+//!   wide@128 ─── ··· ───────► assemble@128   (same serial digests)
+//!   ...
 //! ```
 //!
 //! The digest covers every output bit of every lane on every cycle,
-//! sampled at the same point of the cycle in both engines, so a single
+//! sampled at the same point of the cycle in all engines, so a single
 //! diverging bit anywhere in the run fails the row. Each lane runs a
 //! rotate-XOR accumulator over its output bit stream; the serial engine
-//! computes the 64 chains bit by bit, the wide engine computes all of
-//! them *bit-parallel* (one word op folds one output bit of all 64 lanes,
+//! computes the chains bit by bit, the wide engines compute all of them
+//! *bit-parallel* (one lane-word op folds one output bit of every lane,
 //! exactly as the datapath itself evaluates), and the final accumulator
 //! states are digested with FNV-1a-128. Hashing is thus part of each
 //! engine's natural representation and never dominates what it measures.
-//! Wall-clock columns are measured; everything else is deterministic.
+//!
+//! Besides the full testbench-driven run (whose wall clock includes the
+//! inherently serial per-lane stimulus loop), every tape job times a
+//! *settle phase*: broadcast fresh inputs, settle, step — the pure
+//! lane-word core with no per-lane work at all. Its throughput is
+//! reported in million lane·cycles per second; wider words win here
+//! because one instruction dispatch feeds 2 or 4 backing words (and LLVM
+//! autovectorizes the per-word loops). Wall-clock columns are measured;
+//! everything else is deterministic.
 
 use pe_designs::suite::{Benchmark, Scale};
 use pe_rtl::SignalId;
 use pe_sim::{Simulator, WideSimulator};
 use pe_util::hash::Fnv128;
-use pe_util::lanes::LANES;
+use pe_util::lanes::{LaneWord, LANES};
 use std::time::Instant;
 
 use crate::events::EventSink;
 use crate::executor::{JobGraph, JobOutcome};
 use crate::figure3::HarnessError;
 
-/// One design's serial-vs-wide comparison.
+/// The lane widths the wide benchmark exercises by default: one backing
+/// word, two, and four.
+pub const WIDE_BENCH_WIDTHS: [usize; 3] = [64, 128, 256];
+
+/// One design's serial-vs-wide comparison at one lane width.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WideRow {
     /// Design name.
     pub design: String,
     /// Cycles per lane.
     pub cycles: u64,
-    /// Stimulus lanes exercised (64).
+    /// Stimulus lanes exercised by the wide engines in this row (64, 128,
+    /// or 256). Lane `l` replays testbench shard `l % 64`.
     pub lanes: usize,
-    /// Wall time for 64 serial single-lane runs, seconds (measured).
+    /// Wall time for the 64 serial single-lane runs, seconds (measured
+    /// once per design, shared by every width's row).
     pub serial_seconds: f64,
-    /// Wall time for one 64-lane wide run, seconds (measured).
+    /// Wall time for one `lanes`-wide graph run, seconds (measured).
     pub wide_seconds: f64,
-    /// Wall time for one 64-lane compiled-tape run, seconds (measured,
-    /// including `Tape::compile`).
+    /// Wall time for one `lanes`-wide compiled-tape run, seconds
+    /// (measured, including `Tape::compile`).
     pub tape_seconds: f64,
-    /// `serial_seconds / wide_seconds`.
+    /// Serial-equivalent speedup: `serial_seconds * (lanes/64) /
+    /// wide_seconds`. A `lanes`-wide run performs `lanes/64` times the
+    /// serial baseline's work (each shard stream is replayed on
+    /// `lanes/64` lanes), so the baseline cost is scaled to match.
     pub speedup: f64,
     /// `wide_seconds / tape_seconds` — the compiled tape's advantage
     /// over the graph wide engine on the same workload.
     pub tape_speedup: f64,
-    /// FNV-1a-128 over all lanes' waveforms, identical in both engines
-    /// (the row fails otherwise).
+    /// Wall time of the settle-phase microbench on the compiled tape:
+    /// `cycles` iterations of broadcast-inputs → settle → step, no
+    /// per-lane stimulus loop (measured).
+    pub settle_seconds: f64,
+    /// Settle-phase throughput, million lane·cycles per second:
+    /// `lanes * cycles / settle_seconds / 1e6`. The column where wider
+    /// words must win — one instruction dispatch feeds `lanes/64`
+    /// backing words.
+    pub settle_mlcps: f64,
+    /// FNV-1a-128 over the 64 serial lane digests, identical in every
+    /// engine at every width (the row fails otherwise).
     pub digest: String,
 }
 
 /// The per-engine artifact passed between jobs: one waveform digest per
-/// lane plus the measured wall time.
+/// lane plus the measured wall times (`settle_seconds` is 0 except for
+/// tape jobs, which also run the settle-phase microbench).
 enum Node {
     Run {
         lane_digests: Vec<u128>,
         seconds: f64,
+        settle_seconds: f64,
     },
     Row(WideRow),
 }
 
-fn output_signals(bench: &Benchmark) -> Vec<(SignalId, u32)> {
-    bench
-        .design
-        .outputs()
+fn port_signals(ports: &[pe_rtl::Port], design: &pe_rtl::Design) -> Vec<(SignalId, u32)> {
+    ports
         .iter()
         .map(|p| {
             let sig = p.signal();
-            (sig, bench.design.signal(sig).width())
+            (sig, design.signal(sig).width())
         })
         .collect()
 }
 
+fn output_signals(bench: &Benchmark) -> Vec<(SignalId, u32)> {
+    port_signals(bench.design.outputs(), &bench.design)
+}
+
+fn input_signals(bench: &Benchmark) -> Vec<(SignalId, u32)> {
+    port_signals(bench.design.inputs(), &bench.design)
+}
+
 /// Order-sensitive per-lane waveform checksum: `acc = rotl(acc, 1) ^ bit`
 /// for every output bit in a fixed order (outputs ascending, bits
-/// ascending, cycles ascending). Defined per *bit* so the wide engine can
-/// fold all 64 lanes' chains with one word op per output bit (see
-/// [`PackChain`]); both engines compute the identical per-lane function.
+/// ascending, cycles ascending). Defined per *bit* so the wide engines can
+/// fold all lanes' chains with one lane-word op per output bit (see
+/// [`PackChain`]); every engine computes the identical per-lane function.
 #[derive(Clone, Copy)]
 struct LaneChain(u64);
 
@@ -111,43 +150,51 @@ impl LaneChain {
     }
 }
 
-/// All 64 lanes' [`LaneChain`]s, bit-parallel: plane `j` holds bit `j` of
-/// every lane's accumulator, and the rotate is an index shift, so folding
-/// one output bit of all 64 lanes is a single XOR into the current base
-/// plane. This is the digest in the wide engine's own representation —
-/// the slices feed it directly, no transpose per cycle.
-struct PackChain {
-    planes: [u64; 64],
+/// All lanes' [`LaneChain`]s, bit-parallel at any width: plane `j` holds
+/// bit `j` of every lane's accumulator, and the rotate is an index shift,
+/// so folding one output bit of all `W::LANES` lanes is a single lane-word
+/// XOR into the current base plane. This is the digest in the wide
+/// engine's own representation — the slices feed it directly, no
+/// transpose per cycle.
+struct PackChain<W: LaneWord> {
+    planes: [W; 64],
     off: usize,
 }
 
-impl PackChain {
+impl<W: LaneWord> PackChain<W> {
     fn new() -> Self {
         PackChain {
-            planes: [0u64; 64],
+            planes: [W::zero(); 64],
             off: 0,
         }
     }
 
-    /// Folds one bit-plane word (bit `l` = this output bit in lane `l`).
+    /// Folds one bit-plane word (lane `l`'s bit of this output bit).
     #[inline]
-    fn update(&mut self, plane: u64) {
+    fn update(&mut self, plane: W) {
         self.off = (self.off + 63) & 63;
-        self.planes[self.off] ^= plane;
+        self.planes[self.off] = self.planes[self.off].xor(plane);
     }
 
-    /// Recovers the per-lane accumulators (one transpose, at end of run)
-    /// and digests each as [`LaneChain::digest`] would.
+    /// Recovers the per-lane accumulators (one transpose per backing
+    /// word, at end of run) and digests each as [`LaneChain::digest`]
+    /// would.
     fn digests(&self, cycles: u64) -> Vec<u128> {
-        let mut ordered = [0u64; 64];
-        for (j, slot) in ordered.iter_mut().enumerate() {
-            *slot = self.planes[(j + self.off) & 63];
+        let mut out = vec![0u128; W::LANES];
+        for wi in 0..W::WORDS {
+            let mut ordered = [0u64; 64];
+            for (j, slot) in ordered.iter_mut().enumerate() {
+                *slot = self.planes[(j + self.off) & 63].word(wi);
+            }
+            pe_util::lanes::transpose64(&mut ordered);
+            for (l, &acc) in ordered.iter().enumerate() {
+                let lane = wi * 64 + l;
+                if lane < W::LANES {
+                    out[lane] = LaneChain(acc).digest(cycles);
+                }
+            }
         }
-        pe_util::lanes::transpose64(&mut ordered);
-        ordered
-            .iter()
-            .map(|&acc| LaneChain(acc).digest(cycles))
-            .collect()
+        out
     }
 }
 
@@ -170,14 +217,26 @@ fn serial_lane_digest(bench: &Benchmark, cycles: u64, shard: u64) -> Result<u128
     Ok(chain.digest(cycles))
 }
 
-/// Runs all 64 shards through the compiled-tape wide engine, digesting
-/// every lane's output ports each cycle (same sampling point as the
-/// other two paths). Compilation happens inside the caller's timing
-/// window — the tape must win *including* its one-time build cost.
-fn tape_digests(bench: &Benchmark, cycles: u64) -> Result<Vec<u128>, HarnessError> {
-    let tape = pe_tape::Tape::compile(&bench.design)
-        .map_err(|e| HarnessError::new("tape", bench.name, e))?;
-    let mut sim = pe_tape::WideTapeSimulator::new(&tape);
+/// Builds one testbench per lane, lane `l` running shard `l % 64` — so
+/// every width's digests verify against the same 64 serial baselines.
+fn lane_testbenches<W: LaneWord>(
+    bench: &Benchmark,
+    cycles: u64,
+) -> Vec<Box<dyn pe_sim::Testbench>> {
+    (0..W::LANES)
+        .map(|l| bench.testbench_shard(cycles, (l % LANES) as u64))
+        .collect()
+}
+
+/// Runs all shards through the compiled-tape wide engine at width `W`,
+/// digesting every lane's output ports each cycle (same sampling point as
+/// the other paths).
+fn tape_run_digests<W: LaneWord>(
+    bench: &Benchmark,
+    tape: &pe_tape::Tape,
+    cycles: u64,
+) -> Vec<u128> {
+    let mut sim = pe_tape::WideTapeSimulator::<W>::new(tape);
     // Resolve every output bit to its plane index once; per cycle the
     // digest reads the settled arena directly — the same zero-copy
     // discipline as the graph path's `slices()` borrow.
@@ -185,8 +244,8 @@ fn tape_digests(bench: &Benchmark, cycles: u64) -> Result<Vec<u128>, HarnessErro
         .iter()
         .flat_map(|&(sig, _)| sim.plane_indices(sig).to_vec())
         .collect();
-    let mut tbs = bench.testbench_shards(cycles, LANES);
-    let mut chain = PackChain::new();
+    let mut tbs = lane_testbenches::<W>(bench, cycles);
+    let mut chain = PackChain::<W>::new();
     for cycle in 0..cycles {
         for (lane, tb) in tbs.iter_mut().enumerate() {
             tb.apply(cycle, &mut sim.lane(lane));
@@ -200,18 +259,67 @@ fn tape_digests(bench: &Benchmark, cycles: u64) -> Result<Vec<u128>, HarnessErro
         }
         sim.step();
     }
-    Ok(chain.digests(cycles))
+    chain.digests(cycles)
 }
 
-/// Runs all 64 shards through the wide engine at once, digesting every
-/// lane's output ports each cycle (same sampling point as the serial
-/// path).
-fn wide_digests(bench: &Benchmark, cycles: u64) -> Result<Vec<u128>, HarnessError> {
-    let mut sim =
-        WideSimulator::new(&bench.design).map_err(|e| HarnessError::new("wide", bench.name, e))?;
+/// The settle-phase microbench: `iters` iterations of broadcast fresh
+/// input words → settle → step on a fresh tape simulator at width `W`.
+/// No per-lane loop anywhere — this is the pure lane-word core, where a
+/// wider word amortizes each instruction dispatch over more lanes.
+/// Returns the measured seconds.
+fn settle_phase_seconds<W: LaneWord>(
+    tape: &pe_tape::Tape,
+    inputs: &[(SignalId, u32)],
+    iters: u64,
+) -> f64 {
+    let mut sim = pe_tape::WideTapeSimulator::<W>::new(tape);
+    let mut rng: u64 = 0x9e37_79b9_7f4a_7c15;
+    let start = Instant::now();
+    for _ in 0..iters {
+        for &(sig, width) in inputs {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let mask = if width >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            sim.broadcast_input(sig, rng & mask);
+        }
+        let _ = sim.settled_planes();
+        sim.step();
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// The tape job at width `W`: compile + digest run inside the timed
+/// window (the tape must win *including* its one-time build cost), then
+/// the settle-phase microbench, timed separately.
+fn tape_job<W: LaneWord>(bench: &Benchmark, cycles: u64) -> Result<Node, HarnessError> {
+    let start = Instant::now();
+    let tape = pe_tape::Tape::compile(&bench.design)
+        .map_err(|e| HarnessError::new("tape", bench.name, e))?;
+    let lane_digests = tape_run_digests::<W>(bench, &tape, cycles);
+    let seconds = start.elapsed().as_secs_f64();
+    let settle_seconds = settle_phase_seconds::<W>(&tape, &input_signals(bench), cycles);
+    Ok(Node::Run {
+        lane_digests,
+        seconds,
+        settle_seconds,
+    })
+}
+
+/// Runs all shards through the graph wide engine at width `W`, digesting
+/// every lane's output ports each cycle (same sampling point as the
+/// serial path).
+fn wide_job<W: LaneWord>(bench: &Benchmark, cycles: u64) -> Result<Node, HarnessError> {
+    let start = Instant::now();
+    let mut sim = WideSimulator::<W>::new(&bench.design)
+        .map_err(|e| HarnessError::new("wide", bench.name, e))?;
     let outs = output_signals(bench);
-    let mut tbs = bench.testbench_shards(cycles, LANES);
-    let mut chain = PackChain::new();
+    let mut tbs = lane_testbenches::<W>(bench, cycles);
+    let mut chain = PackChain::<W>::new();
     for cycle in 0..cycles {
         for (lane, tb) in tbs.iter_mut().enumerate() {
             tb.apply(cycle, &mut sim.lane(lane));
@@ -226,26 +334,49 @@ fn wide_digests(bench: &Benchmark, cycles: u64) -> Result<Vec<u128>, HarnessErro
         }
         sim.step();
     }
-    Ok(chain.digests(cycles))
+    Ok(Node::Run {
+        lane_digests: chain.digests(cycles),
+        seconds: start.elapsed().as_secs_f64(),
+        settle_seconds: 0.0,
+    })
 }
 
-/// Runs the serial-vs-wide benchmark as a job graph; rows come back in
-/// `benchmarks` order. Use `workers = 1` when the wall-clock columns
-/// matter (overlapping jobs contend for the measured time).
+/// Stage labels are static per width so progress lines name the width.
+fn stage_names(lanes: usize) -> Result<(&'static str, &'static str, &'static str), String> {
+    match lanes {
+        64 => Ok(("wide64", "tape64", "assemble64")),
+        128 => Ok(("wide128", "tape128", "assemble128")),
+        256 => Ok(("wide256", "tape256", "assemble256")),
+        other => Err(format!(
+            "unsupported lane width {other} (expected 64, 128, or 256)"
+        )),
+    }
+}
+
+/// Runs the serial-vs-wide benchmark as a job graph at every width in
+/// `lane_widths`; rows come back in `benchmarks` order, widths in
+/// `lane_widths` order within each design. Use `workers = 1` when the
+/// wall-clock columns matter (overlapping jobs contend for the measured
+/// time).
 ///
 /// # Errors
 ///
 /// Returns the first failing stage in schedule order — including an
-/// `assemble` failure naming the first lane whose waveform digests
-/// diverge between the engines.
+/// `assemble` failure naming the width and the first lane whose waveform
+/// digests diverge between the engines — or an immediate error for a
+/// width outside {64, 128, 256}.
 pub fn run_wide_bench(
     benchmarks: &[Benchmark],
     scale: Scale,
     workers: usize,
+    lane_widths: &[usize],
     sink: &dyn EventSink,
 ) -> Result<Vec<WideRow>, HarnessError> {
+    for &lanes in lane_widths {
+        stage_names(lanes).map_err(|e| HarnessError::new("wide", "setup", e))?;
+    }
     let mut graph: JobGraph<'_, Node, HarnessError> = JobGraph::new();
-    let mut row_jobs = Vec::with_capacity(benchmarks.len());
+    let mut row_jobs = Vec::with_capacity(benchmarks.len() * lane_widths.len());
 
     for bench in benchmarks {
         let cycles = bench.cycles(scale);
@@ -259,86 +390,100 @@ pub fn run_wide_bench(
             Ok(Node::Run {
                 lane_digests,
                 seconds: start.elapsed().as_secs_f64(),
+                settle_seconds: 0.0,
             })
         });
 
-        let wide = graph.add("wide", name, vec![], move |_| {
-            let start = Instant::now();
-            let lane_digests = wide_digests(bench, cycles)?;
-            Ok(Node::Run {
-                lane_digests,
-                seconds: start.elapsed().as_secs_f64(),
-            })
-        });
+        for &lanes in lane_widths {
+            let (wide_stage, tape_stage, assemble_stage) =
+                stage_names(lanes).expect("widths validated above");
 
-        let tape = graph.add("tape", name, vec![], move |_| {
-            let start = Instant::now();
-            let lane_digests = tape_digests(bench, cycles)?;
-            Ok(Node::Run {
-                lane_digests,
-                seconds: start.elapsed().as_secs_f64(),
-            })
-        });
+            let wide = graph.add(wide_stage, name, vec![], move |_| match lanes {
+                64 => wide_job::<u64>(bench, cycles),
+                128 => wide_job::<[u64; 2]>(bench, cycles),
+                _ => wide_job::<[u64; 4]>(bench, cycles),
+            });
 
-        let row = graph.add("assemble", name, vec![serial, wide, tape], move |deps| {
-            let Node::Run {
-                lane_digests: serial_digests,
-                seconds: serial_seconds,
-            } = &*deps[0]
-            else {
-                unreachable!("assemble depends on serial")
-            };
-            let Node::Run {
-                lane_digests: wide_lane_digests,
-                seconds: wide_seconds,
-            } = &*deps[1]
-            else {
-                unreachable!("assemble depends on wide")
-            };
-            let Node::Run {
-                lane_digests: tape_lane_digests,
-                seconds: tape_seconds,
-            } = &*deps[2]
-            else {
-                unreachable!("assemble depends on tape")
-            };
-            if let Some(lane) = (0..LANES).find(|&l| serial_digests[l] != wide_lane_digests[l]) {
-                return Err(HarnessError::new(
-                    "assemble",
-                    name,
-                    format!(
-                        "lane {lane} diverges: serial {:032x} vs wide {:032x}",
-                        serial_digests[lane], wide_lane_digests[lane]
-                    ),
-                ));
-            }
-            if let Some(lane) = (0..LANES).find(|&l| serial_digests[l] != tape_lane_digests[l]) {
-                return Err(HarnessError::new(
-                    "assemble",
-                    name,
-                    format!(
-                        "lane {lane} diverges: serial {:032x} vs tape {:032x}",
-                        serial_digests[lane], tape_lane_digests[lane]
-                    ),
-                ));
-            }
-            let mut combined = Fnv128::new();
-            for d in serial_digests {
-                combined.update(&d.to_le_bytes());
-            }
-            Ok(Node::Row(WideRow {
-                design: name.to_string(),
-                cycles,
-                lanes: LANES,
-                serial_seconds: *serial_seconds,
-                wide_seconds: *wide_seconds,
-                tape_seconds: *tape_seconds,
-                speedup: serial_seconds / wide_seconds.max(1e-12),
-                tape_speedup: wide_seconds / tape_seconds.max(1e-12),
-                digest: combined.hex(),
-            }))
-        });
-        row_jobs.push(row);
+            let tape = graph.add(tape_stage, name, vec![], move |_| match lanes {
+                64 => tape_job::<u64>(bench, cycles),
+                128 => tape_job::<[u64; 2]>(bench, cycles),
+                _ => tape_job::<[u64; 4]>(bench, cycles),
+            });
+
+            let row = graph.add(
+                assemble_stage,
+                name,
+                vec![serial, wide, tape],
+                move |deps| {
+                    let Node::Run {
+                        lane_digests: serial_digests,
+                        seconds: serial_seconds,
+                        ..
+                    } = &*deps[0]
+                    else {
+                        unreachable!("assemble depends on serial")
+                    };
+                    let Node::Run {
+                        lane_digests: wide_lane_digests,
+                        seconds: wide_seconds,
+                        ..
+                    } = &*deps[1]
+                    else {
+                        unreachable!("assemble depends on wide")
+                    };
+                    let Node::Run {
+                        lane_digests: tape_lane_digests,
+                        seconds: tape_seconds,
+                        settle_seconds,
+                    } = &*deps[2]
+                    else {
+                        unreachable!("assemble depends on tape")
+                    };
+                    // Lane l of a wide run replays shard l % 64 — verify it
+                    // against that shard's serial digest.
+                    for (engine, digests) in
+                        [("wide", wide_lane_digests), ("tape", tape_lane_digests)]
+                    {
+                        if let Some(lane) =
+                            (0..lanes).find(|&l| serial_digests[l % LANES] != digests[l])
+                        {
+                            return Err(HarnessError::new(
+                                "assemble",
+                                name,
+                                format!(
+                                    "width {lanes}: lane {lane} diverges: serial shard {} \
+                                 {:032x} vs {engine} {:032x}",
+                                    lane % LANES,
+                                    serial_digests[lane % LANES],
+                                    digests[lane]
+                                ),
+                            ));
+                        }
+                    }
+                    let mut combined = Fnv128::new();
+                    for d in serial_digests {
+                        combined.update(&d.to_le_bytes());
+                    }
+                    let scale_up = (lanes / LANES) as f64;
+                    Ok(Node::Row(WideRow {
+                        design: name.to_string(),
+                        cycles,
+                        lanes,
+                        serial_seconds: *serial_seconds,
+                        wide_seconds: *wide_seconds,
+                        tape_seconds: *tape_seconds,
+                        speedup: serial_seconds * scale_up / wide_seconds.max(1e-12),
+                        tape_speedup: wide_seconds / tape_seconds.max(1e-12),
+                        settle_seconds: *settle_seconds,
+                        settle_mlcps: (lanes as f64 * cycles as f64)
+                            / settle_seconds.max(1e-12)
+                            / 1e6,
+                        digest: combined.hex(),
+                    }))
+                },
+            );
+            row_jobs.push(row);
+        }
     }
 
     let outcomes = graph.run(workers, sink);
@@ -369,23 +514,44 @@ fn collect_rows(
         .collect()
 }
 
-/// Geometric mean of the per-design speedups (0 for no rows).
-pub fn geomean_speedup(rows: &[WideRow]) -> f64 {
-    if rows.is_empty() {
-        return 0.0;
-    }
-    let log_sum: f64 = rows.iter().map(|r| r.speedup.max(1e-12).ln()).sum();
-    (log_sum / rows.len() as f64).exp()
+/// The distinct lane widths present in `rows`, ascending.
+pub fn widths_present(rows: &[WideRow]) -> Vec<usize> {
+    let mut widths: Vec<usize> = rows.iter().map(|r| r.lanes).collect();
+    widths.sort_unstable();
+    widths.dedup();
+    widths
 }
 
-/// Geometric mean of the per-design tape-over-graph speedups (0 for no
-/// rows).
-pub fn geomean_tape_speedup(rows: &[WideRow]) -> f64 {
-    if rows.is_empty() {
+/// The rows measured at lane width `lanes`, in input order.
+pub fn rows_at(rows: &[WideRow], lanes: usize) -> Vec<WideRow> {
+    rows.iter().filter(|r| r.lanes == lanes).cloned().collect()
+}
+
+fn geomean(it: impl Iterator<Item = f64>, n: usize) -> f64 {
+    if n == 0 {
         return 0.0;
     }
-    let log_sum: f64 = rows.iter().map(|r| r.tape_speedup.max(1e-12).ln()).sum();
-    (log_sum / rows.len() as f64).exp()
+    let log_sum: f64 = it.map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / n as f64).exp()
+}
+
+/// Geometric mean of the per-row serial-equivalent speedups (0 for no
+/// rows). Pass [`rows_at`] output for a per-width figure.
+pub fn geomean_speedup(rows: &[WideRow]) -> f64 {
+    geomean(rows.iter().map(|r| r.speedup), rows.len())
+}
+
+/// Geometric mean of the per-row tape-over-graph speedups (0 for no
+/// rows).
+pub fn geomean_tape_speedup(rows: &[WideRow]) -> f64 {
+    geomean(rows.iter().map(|r| r.tape_speedup), rows.len())
+}
+
+/// Geometric mean of the per-row settle-phase throughputs in million
+/// lane·cycles per second (0 for no rows). Compare across widths via
+/// [`rows_at`]: the acceptance bar is that 128 or 256 lanes beat 64 here.
+pub fn geomean_settle_mlcps(rows: &[WideRow]) -> f64 {
+    geomean(rows.iter().map(|r| r.settle_mlcps), rows.len())
 }
 
 fn json_escape(s: &str) -> String {
@@ -393,8 +559,10 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Renders the benchmark result as the `BENCH_wide.json` document: one
-/// row per design plus the geometric-mean speedup.
+/// row per (design, width), plus a per-width geomean block and the
+/// all-row aggregate geomeans.
 pub fn render_json(rows: &[WideRow], scale: Scale) -> String {
+    let widths = widths_present(rows);
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"wide\",\n");
     out.push_str(&format!(
@@ -404,22 +572,47 @@ pub fn render_json(rows: &[WideRow], scale: Scale) -> String {
             Scale::Paper => "paper",
         }
     ));
-    out.push_str(&format!("  \"lanes\": {LANES},\n"));
+    out.push_str(&format!(
+        "  \"lane_widths\": [{}],\n",
+        widths
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"design\": \"{}\", \"cycles\": {}, \"serial_seconds\": {:.6}, \
-             \"wide_seconds\": {:.6}, \"tape_seconds\": {:.6}, \"speedup\": {:.3}, \
-             \"tape_speedup\": {:.3}, \"digest\": \"{}\"}}{}\n",
+            "    {{\"design\": \"{}\", \"cycles\": {}, \"lanes\": {}, \
+             \"serial_seconds\": {:.6}, \"wide_seconds\": {:.6}, \"tape_seconds\": {:.6}, \
+             \"speedup\": {:.3}, \"tape_speedup\": {:.3}, \"settle_seconds\": {:.6}, \
+             \"settle_mlcps\": {:.3}, \"digest\": \"{}\"}}{}\n",
             json_escape(&r.design),
             r.cycles,
+            r.lanes,
             r.serial_seconds,
             r.wide_seconds,
             r.tape_seconds,
             r.speedup,
             r.tape_speedup,
+            r.settle_seconds,
+            r.settle_mlcps,
             r.digest,
             if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"widths\": [\n");
+    for (i, &w) in widths.iter().enumerate() {
+        let at = rows_at(rows, w);
+        out.push_str(&format!(
+            "    {{\"lanes\": {}, \"geomean_speedup\": {:.3}, \"geomean_tape_speedup\": {:.3}, \
+             \"geomean_settle_mlcps\": {:.3}}}{}\n",
+            w,
+            geomean_speedup(&at),
+            geomean_tape_speedup(&at),
+            geomean_settle_mlcps(&at),
+            if i + 1 < widths.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");
@@ -442,56 +635,82 @@ mod tests {
     use pe_designs::suite::benchmark;
 
     #[test]
-    fn wide_rows_verify_and_speed_up() {
+    fn wide_rows_verify_and_speed_up_at_every_width() {
         let benches = [benchmark("Bubble_Sort").unwrap()];
-        let rows = run_wide_bench(&benches, Scale::Test, 1, &NullSink).unwrap();
-        assert_eq!(rows.len(), 1);
-        let r = &rows[0];
-        assert_eq!(r.design, "Bubble_Sort");
-        assert_eq!(r.lanes, 64);
-        assert_eq!(r.digest.len(), 32);
-        // The digests already passed lane-by-lane verification inside
-        // assemble; sanity-check the measured columns are populated.
-        assert!(r.serial_seconds > 0.0);
-        assert!(r.wide_seconds > 0.0);
-        assert!(r.tape_seconds > 0.0);
-        assert!(r.speedup > 1.0, "wide should beat 64 serial runs");
-        assert!(r.tape_speedup > 0.0);
+        let rows = run_wide_bench(&benches, Scale::Test, 1, &WIDE_BENCH_WIDTHS, &NullSink).unwrap();
+        assert_eq!(rows.len(), 3);
+        for (r, &lanes) in rows.iter().zip(WIDE_BENCH_WIDTHS.iter()) {
+            assert_eq!(r.design, "Bubble_Sort");
+            assert_eq!(r.lanes, lanes);
+            assert_eq!(r.digest.len(), 32);
+            // The digests already passed lane-by-lane verification inside
+            // assemble; sanity-check the measured columns are populated.
+            assert!(r.serial_seconds > 0.0);
+            assert!(r.wide_seconds > 0.0);
+            assert!(r.tape_seconds > 0.0);
+            assert!(r.settle_seconds > 0.0);
+            assert!(r.settle_mlcps > 0.0);
+            assert!(r.speedup > 1.0, "{lanes}-lane wide should beat serial");
+            assert!(r.tape_speedup > 0.0);
+        }
+        // All three widths verified against the same serial baseline, so
+        // they share the combined digest.
+        assert_eq!(rows[0].digest, rows[1].digest);
+        assert_eq!(rows[1].digest, rows[2].digest);
+        assert_eq!(rows[0].serial_seconds, rows[1].serial_seconds);
     }
 
     #[test]
-    fn metrics_count_four_jobs_per_benchmark() {
+    fn unsupported_width_is_rejected_up_front() {
+        let benches = [benchmark("Bubble_Sort").unwrap()];
+        let err = run_wide_bench(&benches, Scale::Test, 1, &[96], &NullSink).unwrap_err();
+        assert!(err.to_string().contains("unsupported lane width 96"));
+    }
+
+    #[test]
+    fn metrics_count_one_serial_plus_three_jobs_per_width() {
         let benches = [benchmark("HVPeakF").unwrap()];
         let metrics = Metrics::new();
-        run_wide_bench(&benches, Scale::Test, 2, &metrics).unwrap();
-        assert_eq!(metrics.jobs_finished(), 4);
+        run_wide_bench(&benches, Scale::Test, 2, &[64, 128], &metrics).unwrap();
+        assert_eq!(metrics.jobs_finished(), 7);
         assert_eq!(metrics.jobs_failed(), 0);
     }
 
-    #[test]
-    fn json_document_is_well_formed() {
-        let rows = vec![WideRow {
+    fn row(lanes: usize, speedup: f64) -> WideRow {
+        WideRow {
             design: "DCT".into(),
             cycles: 1200,
-            lanes: 64,
+            lanes,
             serial_seconds: 1.0,
             wide_seconds: 0.05,
             tape_seconds: 0.02,
-            speedup: 20.0,
-            tape_speedup: 2.5,
+            speedup,
+            tape_speedup: speedup / 2.0,
+            settle_seconds: 0.01,
+            settle_mlcps: lanes as f64 * 1200.0 / 0.01 / 1e6,
             digest: "0".repeat(32),
-        }];
+        }
+    }
+
+    #[test]
+    fn json_document_is_well_formed_with_per_width_blocks() {
+        let rows = vec![row(64, 20.0), row(128, 40.0)];
         let doc = render_json(&rows, Scale::Test);
         assert!(doc.contains("\"bench\": \"wide\""));
+        assert!(doc.contains("\"lane_widths\": [64, 128]"));
         assert!(doc.contains("\"design\": \"DCT\""));
+        assert!(doc.contains("\"lanes\": 64"));
+        assert!(doc.contains("\"lanes\": 128"));
         assert!(doc.contains("\"tape_seconds\": 0.020000"));
-        assert!(doc.contains("\"geomean_speedup\": 20.000"));
-        assert!(doc.contains("\"geomean_tape_speedup\": 2.500"));
+        assert!(doc.contains("\"settle_mlcps\": 7.680"));
+        assert!(doc.contains("\"settle_mlcps\": 15.360"));
+        assert!(doc.contains("\"geomean_settle_mlcps\": 7.680"));
+        assert!(doc.contains("\"geomean_settle_mlcps\": 15.360"));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
 
     #[test]
-    fn geomean_is_geometric() {
+    fn geomeans_are_geometric_and_width_filtered() {
         let mk = |s: f64| WideRow {
             design: "d".into(),
             cycles: 1,
@@ -501,12 +720,21 @@ mod tests {
             tape_seconds: 1.0,
             speedup: s,
             tape_speedup: s / 2.0,
+            settle_seconds: 1.0,
+            settle_mlcps: s * 10.0,
             digest: String::new(),
         };
         let rows = vec![mk(4.0), mk(16.0)];
         assert!((geomean_speedup(&rows) - 8.0).abs() < 1e-9);
         assert!((geomean_tape_speedup(&rows) - 4.0).abs() < 1e-9);
+        assert!((geomean_settle_mlcps(&rows) - 80.0).abs() < 1e-9);
         assert_eq!(geomean_speedup(&[]), 0.0);
         assert_eq!(geomean_tape_speedup(&[]), 0.0);
+        assert_eq!(geomean_settle_mlcps(&[]), 0.0);
+
+        let mixed = vec![row(64, 4.0), row(128, 16.0)];
+        assert_eq!(widths_present(&mixed), vec![64, 128]);
+        assert_eq!(rows_at(&mixed, 128).len(), 1);
+        assert!((geomean_speedup(&rows_at(&mixed, 128)) - 16.0).abs() < 1e-9);
     }
 }

@@ -968,7 +968,7 @@ mod tests {
         let lib = library_for(&d);
         let inst = instrument(&d, &lib, &InstrumentConfig::default()).unwrap();
 
-        let mut wide = pe_sim::WideSimulator::new(&inst.design).unwrap();
+        let mut wide = pe_sim::WideSimulator::<u64>::new(&inst.design).unwrap();
         let mut serials: Vec<Simulator<'_>> = (0..64)
             .map(|_| Simulator::new(&inst.design).unwrap())
             .collect();

@@ -1,8 +1,9 @@
 //! The `pe-serve` daemon: the estimation service over stdio or TCP.
 //!
 //! Usage: `pe-serve [--transport stdio|tcp] [--listen ADDR] [--workers N]
-//! [--queue-cap N] [--linger-ms N] [--max-cycles N] [--retry-after-ms N]
-//! [--cache-dir DIR] [--cache-cap-mb N] [--deny RULES]`
+//! [--queue-cap N] [--lanes N] [--linger-ms N] [--max-cycles N]
+//! [--retry-after-ms N] [--cache-dir DIR] [--cache-cap-mb N]
+//! [--deny RULES]`
 //!
 //! On the stdio transport the protocol runs over stdin/stdout and EOF is
 //! treated as `shutdown`; on TCP the daemon accepts any number of
@@ -21,13 +22,15 @@ Usage: pe-serve [OPTIONS]
 
 The power-estimation daemon: accepts `submit` jobs over a line-oriented
 protocol and answers with per-request energy readouts, batching
-same-design requests into 64-lane wide-engine runs.
+same-design requests into wide-engine runs whose lane width (64, 128,
+or 256) follows the batch size.
 
 Options:
   --transport stdio|tcp   transport to serve on (default: stdio)
   --listen ADDR           TCP listen address (default: 127.0.0.1:7070)
   --workers N             batch worker threads (default: 2)
   --queue-cap N           pending-job bound before rejects (default: 256)
+  --lanes N               max jobs packed per batch, 1..=256 (default: 128)
   --linger-ms N           batch fill window in ms (default: 2)
   --max-cycles N          per-request cycle limit (default: 1048576)
   --retry-after-ms N      backoff hint on rejects (default: 50)
@@ -66,6 +69,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--queue-cap" => {
                 args.config.queue_cap = parse_num(&value("--queue-cap")?, "--queue-cap")? as usize;
+            }
+            "--lanes" => {
+                args.config.lanes = parse_num(&value("--lanes")?, "--lanes")? as usize;
             }
             "--linger-ms" => {
                 args.config.linger =

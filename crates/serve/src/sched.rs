@@ -2,14 +2,16 @@
 //!
 //! Every accepted job lands in a per-(design, model) group. Worker
 //! threads repeatedly take the oldest group, pack up to
-//! [`LANES`](pe_util::lanes::LANES) of its jobs into one
-//! [`WideSimulator`] run — round-robin across the group's clients, so no
-//! client can starve the others — and demultiplex the per-lane energy
-//! readouts back to each job's response channel. Because the wide
+//! [`ServeConfig::lanes`] of its jobs into one wide-engine run —
+//! round-robin across the group's clients, so no client can starve the
+//! others — and demultiplex the per-lane energy readouts back to each
+//! job's response channel. The engine width follows the batch: up to 64
+//! jobs run on the `u64` lane word, up to 128 on `[u64; 2]`, up to 256
+//! on `[u64; 4]` — same core, wider registers. Because the wide
 //! engine's lanes are bit-independent of each other (PR 3's differential
-//! suite), a lane's readout is bit-identical to what a serial
-//! `read_energy_fj` run of the same (design, stimulus, cycles) would
-//! produce: batching changes throughput, never answers.
+//! suite, now swept over every width), a lane's readout is bit-identical
+//! to what a serial `read_energy_fj` run of the same (design, stimulus,
+//! cycles) would produce: batching changes throughput, never answers.
 //!
 //! Backpressure is explicit: the pending queue is bounded by
 //! [`ServeConfig::queue_cap`], and a submit over the cap gets a
@@ -26,7 +28,7 @@ use pe_lint::{lint_instrumented, Denylist, LintReport};
 use pe_power::CharacterizeConfig;
 use pe_sim::WideSimulator;
 use pe_trace::Registry;
-use pe_util::lanes::LANES;
+use pe_util::lanes::{LaneWord, MAX_LANES};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -60,6 +62,12 @@ pub struct ServeConfig {
     /// certificate — is rejected with `unsound_design` before any
     /// simulation work.
     pub deny: Denylist,
+    /// Largest number of jobs packed into one batch. The engine width
+    /// follows the batch size (≤ 64 → 64-lane, ≤ 128 → 128-lane, else
+    /// 256-lane), so values above 64 let one pass serve more than a
+    /// `u64`'s worth of same-design clients. Clamped to
+    /// [`MAX_LANES`](pe_util::lanes::MAX_LANES).
+    pub lanes: usize,
 }
 
 impl Default for ServeConfig {
@@ -72,7 +80,26 @@ impl Default for ServeConfig {
             retry_after_ms: 50,
             model_cache: None,
             deny: Denylist::All,
+            lanes: 128,
         }
+    }
+}
+
+/// The effective batch-size cap: the configured lane count clamped to
+/// what the widest lane word provides.
+fn batch_cap(config: &ServeConfig) -> usize {
+    config.lanes.clamp(1, MAX_LANES)
+}
+
+/// The lane width the engine will run `n` jobs at — the smallest
+/// [`LaneWord`] that fits the batch.
+fn lane_width_for(n: usize) -> usize {
+    if n <= 64 {
+        64
+    } else if n <= 128 {
+        128
+    } else {
+        256
     }
 }
 
@@ -419,8 +446,8 @@ fn worker_loop(shared: &Shared) {
 }
 
 /// Blocks for work, lingers up to the configured window to let a
-/// partial batch fill, then takes up to [`LANES`] jobs from the oldest
-/// group, round-robin across its clients. The linger is a deadline, not
+/// partial batch fill, then takes up to [`ServeConfig::lanes`] jobs
+/// from the oldest group, round-robin across its clients. The linger is a deadline, not
 /// a single wait: submits notify the condvar, and a woken worker keeps
 /// waiting out the remainder of the window (re-checking fill each time)
 /// rather than treating the first wakeup as the whole linger — the
@@ -447,7 +474,10 @@ fn next_batch(shared: &Shared) -> Option<(u64, GroupKey, Vec<Job>)> {
             .cloned()
             .expect("pending > 0 implies a group");
         let group_len = st.groups.get(&key).map_or(0, |g| g.len);
-        if group_len < LANES && !st.shutting_down && !shared.config.linger.is_zero() {
+        if group_len < batch_cap(&shared.config)
+            && !st.shutting_down
+            && !shared.config.linger.is_zero()
+        {
             let now = Instant::now();
             let deadline = *linger_deadline.get_or_insert(now + shared.config.linger);
             if now < deadline {
@@ -466,8 +496,9 @@ fn next_batch(shared: &Shared) -> Option<(u64, GroupKey, Vec<Job>)> {
 fn take_batch(shared: &Shared, st: &mut SchedState) -> (u64, GroupKey, Vec<Job>) {
     let key = st.order.pop_front().expect("caller checked pending > 0");
     let group = st.groups.get_mut(&key).expect("ordered group exists");
+    let cap = batch_cap(&shared.config);
     let mut jobs = Vec::new();
-    while jobs.len() < LANES && group.len > 0 {
+    while jobs.len() < cap && group.len > 0 {
         // Next non-empty client queue at or after the cursor, wrapping.
         let next = group
             .clients
@@ -562,6 +593,12 @@ fn run_batch(shared: &Shared, batch_id: u64, key: &GroupKey, jobs: Vec<Job>) -> 
         .registry
         .histogram("serve.batch_lanes")
         .observe(occupancy);
+    // Occupancy as a percentage of the lane width the batch actually ran
+    // at — a 100-job batch is 79% of a 128-lane pack, not 156% of 64.
+    shared
+        .registry
+        .histogram("serve.lane_occupancy")
+        .observe(occupancy * 100 / lane_width_for(total) as u64);
     shared
         .registry
         .histogram("serve.batch_wall_us")
@@ -628,15 +665,24 @@ fn build_prepared(shared: &Shared, key: &GroupKey) -> Result<PreparedDesign, Str
     })
 }
 
-/// Runs one packed batch on the wide engine — the group's prepared
-/// instruction tape when it compiled, the graph interpreter otherwise.
-/// Lane `l` executes job `l`'s testbench shard for exactly its requested
-/// cycles; the batch steps to the longest request, and each lane's
-/// energy is read at its own cycle boundary — the accumulator state
-/// there is bit-identical to a serial run of the same length, because
-/// lanes never interact (and the tape is bit-identical to the graph
-/// engine by construction, enforced by the differential suite).
+/// Runs one packed batch on the wide engine at the narrowest lane width
+/// that fits it — the group's prepared instruction tape when it
+/// compiled, the graph interpreter otherwise. Lane `l` executes job
+/// `l`'s testbench shard for exactly its requested cycles; the batch
+/// steps to the longest request, and each lane's energy is read at its
+/// own cycle boundary — the accumulator state there is bit-identical to
+/// a serial run of the same length, because lanes never interact (and
+/// the tape is bit-identical to the graph engine by construction,
+/// enforced by the width-sweep differential suite).
 fn run_wide(prep: &PreparedDesign, jobs: &[Job]) -> Result<Vec<f64>, String> {
+    match lane_width_for(jobs.len()) {
+        64 => run_wide_at::<u64>(prep, jobs),
+        128 => run_wide_at::<[u64; 2]>(prep, jobs),
+        _ => run_wide_at::<[u64; 4]>(prep, jobs),
+    }
+}
+
+fn run_wide_at<W: LaneWord>(prep: &PreparedDesign, jobs: &[Job]) -> Result<Vec<f64>, String> {
     let mut tbs: Vec<_> = jobs
         .iter()
         .map(|j| prep.bench.testbench_shard(j.req.cycles, j.req.seed))
@@ -644,7 +690,7 @@ fn run_wide(prep: &PreparedDesign, jobs: &[Job]) -> Result<Vec<f64>, String> {
     let max_cycles = jobs.iter().map(|j| j.req.cycles).max().unwrap_or(0);
     let mut energies = vec![0.0f64; jobs.len()];
     if let Some(tape) = &prep.tape {
-        let mut sim = pe_tape::WideTapeSimulator::new(tape);
+        let mut sim = pe_tape::WideTapeSimulator::<W>::new(tape);
         for cycle in 0..max_cycles {
             for (lane, tb) in tbs.iter_mut().enumerate() {
                 if cycle < jobs[lane].req.cycles {
@@ -667,7 +713,7 @@ fn run_wide(prep: &PreparedDesign, jobs: &[Job]) -> Result<Vec<f64>, String> {
             }
         }
     } else {
-        let mut sim = WideSimulator::new(&prep.inst.design).map_err(|e| e.to_string())?;
+        let mut sim = WideSimulator::<W>::new(&prep.inst.design).map_err(|e| e.to_string())?;
         for cycle in 0..max_cycles {
             for (lane, tb) in tbs.iter_mut().enumerate() {
                 if cycle < jobs[lane].req.cycles {
@@ -815,18 +861,30 @@ mod tests {
     }
 
     #[test]
-    fn take_batch_caps_at_lane_count() {
+    fn take_batch_caps_at_configured_lanes() {
+        // Default config packs up to 128 lanes; 140 same-design jobs
+        // split into one full 128-lane batch plus a 12-job remainder.
         let sched = paused(256);
         let (tx, _rx) = mpsc::channel();
-        for i in 0..70 {
+        for i in 0..140 {
             sched.submit(submit_req(&format!("r{i}"), "Bubble_Sort", 10, i), i, &tx);
         }
         let mut st = lock_state(&sched.shared);
         let (_, _, jobs) = take_batch(&sched.shared, &mut st);
-        assert_eq!(jobs.len(), LANES);
-        assert_eq!(st.pending, 6);
-        assert_eq!(st.in_flight, LANES);
+        assert_eq!(jobs.len(), 128);
+        assert_eq!(st.pending, 12);
+        assert_eq!(st.in_flight, 128);
         // The leftover group is still scheduled.
         assert_eq!(st.order.len(), 1);
+    }
+
+    #[test]
+    fn lane_width_tracks_batch_size() {
+        assert_eq!(lane_width_for(1), 64);
+        assert_eq!(lane_width_for(64), 64);
+        assert_eq!(lane_width_for(65), 128);
+        assert_eq!(lane_width_for(128), 128);
+        assert_eq!(lane_width_for(129), 256);
+        assert_eq!(lane_width_for(256), 256);
     }
 }

@@ -63,13 +63,13 @@ pub trait SimControl {
     }
 }
 
-/// The per-lane observation surface a 64-lane engine exposes.
+/// The per-lane observation surface a lane-word engine exposes.
 ///
 /// Both [`crate::wide::WideSimulator`] and any drop-in wide engine (the
-/// compiled-tape interpreter in `pe-tape`) implement this trait, so
-/// lane-indexed readouts — instrumented energy accumulators, waveform
-/// strobes, serve-side result gathers — are written once and run on
-/// either engine.
+/// compiled-tape interpreter in `pe-tape`) implement this trait at every
+/// [`pe_util::lanes::LaneWord`] width, so lane-indexed readouts —
+/// instrumented energy accumulators, waveform strobes, serve-side result
+/// gathers — are written once and run on any engine at any width.
 pub trait WideControl {
     /// Current value of a named output port in one lane.
     ///
@@ -79,13 +79,20 @@ pub trait WideControl {
     ///
     /// # Panics
     ///
-    /// Panics if `lane >= 64`.
+    /// Panics if `lane >= `[`WideControl::lanes`].
     fn try_output_lane(&mut self, name: &str, lane: usize) -> Result<u64, PortError>;
+
+    /// Number of lanes this engine instantiation evaluates per pass.
+    fn lanes(&self) -> usize;
 }
 
-impl WideControl for crate::wide::WideSimulator<'_> {
+impl<W: pe_util::lanes::LaneWord> WideControl for crate::wide::WideSimulator<'_, W> {
     fn try_output_lane(&mut self, name: &str, lane: usize) -> Result<u64, PortError> {
         crate::wide::WideSimulator::try_output_lane(self, name, lane)
+    }
+
+    fn lanes(&self) -> usize {
+        W::LANES
     }
 }
 

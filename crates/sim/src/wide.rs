@@ -1,30 +1,39 @@
-//! Bit-parallel 64-lane RTL simulation.
+//! Bit-parallel lane-word RTL simulation.
 //!
-//! [`WideSimulator`] evaluates a [`Design`] for 64 *independent* stimulus
-//! vectors at once. Every signal bit is stored as one `u64` *slice* whose
-//! bit `l` is that signal bit's value in lane `l` (see [`pe_util::lanes`]);
-//! combinational components are evaluated with plain word-wide
-//! AND/OR/XOR/NOT over the slices, so one pass over the netlist advances
-//! 64 simulations. This is the software analogue of the paper's FPGA
-//! datapath, which evaluates every power model simultaneously in hardware:
-//! the word width plays the role of the hardware's spatial parallelism.
+//! [`WideSimulator`] evaluates a [`Design`] for `W::LANES` *independent*
+//! stimulus vectors at once. Every signal bit is stored as one
+//! [`LaneWord`] *slice* whose lane `l` is that signal bit's value in lane
+//! `l` (see [`pe_util::lanes`]); combinational components are evaluated
+//! with plain word-wide AND/OR/XOR/NOT over the slices, so one pass over
+//! the netlist advances `W::LANES` simulations. This is the software
+//! analogue of the paper's FPGA datapath, which evaluates every power
+//! model simultaneously in hardware: the lane-word width plays the role
+//! of the hardware's spatial parallelism.
+//!
+//! The width is a type parameter: `bool` is a single lane (serial
+//! simulation as the 1-lane instantiation), `u64` the classic 64-lane
+//! slice, and `[u64; 2]` / `[u64; 4]` give 128 / 256 lanes whose array
+//! word ops LLVM autovectorizes to SIMD — one core, no per-width code.
 //!
 //! Semantics are bit-identical to the serial [`Simulator`] per lane —
 //! two-phase synchronous evaluation (settle in topological order, then a
 //! capture/commit clock edge), read-first memories, enable-gated
 //! registers, multi-clock domains, and the exact edge-case behaviour of
 //! every [`ComponentKind`] (shift saturation, mux clamping, signed
-//! compares). The differential suite (`tests/differential.rs`) and the
-//! property harness enforce this lane-for-lane against fresh serial runs.
+//! compares). The width-sweep differential suite (`tests/differential.rs`)
+//! and the property harness enforce this lane-for-lane against fresh
+//! serial runs at 1, 64, 128, and 256 lanes.
 //!
-//! Lanes are fully independent: every operation is either a bitwise word
-//! op (columns never mix) or an explicitly per-lane scalar op (memory
+//! Lanes are fully independent: every operation is either a lane-wise
+//! word op (lanes never mix) or an explicitly per-lane scalar op (memory
 //! addressing, large table lookups). Driving one lane's inputs can never
 //! perturb another lane.
+//!
+//! [`Simulator`]: crate::Simulator
 
 use crate::testbench::{SimControl, Testbench};
 use pe_rtl::{ComponentKind, Design, DesignError, SignalId};
-use pe_util::lanes::LANES;
+use pe_util::lanes::LaneWord;
 use pe_util::PortError;
 
 /// Bit-slice location of a signal: offset into the slice arena plus width.
@@ -54,7 +63,7 @@ struct WideReg {
 
 /// Per-lane staging buffer for one top-level input. Lane writes land
 /// here in O(1); the buffer transposes into the bit-slice arena once per
-/// settle, so driving all 64 lanes costs one transpose per input instead
+/// settle, so driving all lanes costs one transpose per input instead
 /// of a per-bit read-modify-write per lane. The port name and width mask
 /// are carried so by-name driving resolves and validates in one pass.
 #[derive(Debug)]
@@ -62,7 +71,8 @@ struct StagedInput<'a> {
     name: &'a str,
     slot: Slot,
     mask: u64,
-    lanes: [u64; LANES],
+    /// One scalar per lane, `W::LANES` long.
+    lanes: Vec<u64>,
     dirty: bool,
 }
 
@@ -79,7 +89,8 @@ struct WideMem {
     state_index: usize,
 }
 
-/// A 64-lane bit-parallel simulator for a [`Design`].
+/// A lane-word bit-parallel simulator for a [`Design`], generic over the
+/// lane width `W` (defaulting to the classic 64-lane `u64`).
 ///
 /// Construction mirrors [`Simulator::new`]; every lane starts from the
 /// same power-on state (register `init` values, memory initial contents,
@@ -88,17 +99,19 @@ struct WideMem {
 /// [`WideSimulator::broadcast_input`]), and values are read back per lane
 /// with [`WideSimulator::value_lane`]. [`WideSimulator::lane`] wraps one
 /// lane as a [`SimControl`] so unmodified [`Testbench`]es can drive it.
+///
+/// [`Simulator::new`]: crate::Simulator::new
 #[derive(Debug)]
-pub struct WideSimulator<'a> {
+pub struct WideSimulator<'a, W: LaneWord = u64> {
     design: &'a Design,
     slots: Vec<Slot>,
-    slices: Vec<u64>,
+    slices: Vec<W>,
     ops: Vec<WideOp>,
     regs: Vec<WideReg>,
     mems: Vec<WideMem>,
-    /// Per-memory backing store, `state[word * LANES + lane]`.
+    /// Per-memory backing store, `state[word * W::LANES + lane]`.
     mem_state: Vec<Vec<u64>>,
-    reg_scratch: Vec<u64>,
+    reg_scratch: Vec<W>,
     staged: Vec<StagedInput<'a>>,
     /// Signal index → index into `staged`, for input-driven signals.
     staged_of: Vec<Option<u32>>,
@@ -107,8 +120,8 @@ pub struct WideSimulator<'a> {
     settles: u64,
 }
 
-impl<'a> WideSimulator<'a> {
-    /// Compiles a design for 64-lane simulation.
+impl<'a, W: LaneWord> WideSimulator<'a, W> {
+    /// Compiles a design for `W::LANES`-lane simulation.
     ///
     /// # Errors
     ///
@@ -124,7 +137,7 @@ impl<'a> WideSimulator<'a> {
             slots.push(Slot { off, width });
             off += width;
         }
-        let slices = vec![0u64; off as usize];
+        let slices = vec![W::zero(); off as usize];
         let slot = |s: SignalId| slots[s.index()];
         let mut ops = Vec::with_capacity(order.len());
         for id in order {
@@ -178,7 +191,7 @@ impl<'a> WideSimulator<'a> {
                 name: port.name(),
                 slot,
                 mask: pe_util::bits::mask(slot.width),
-                lanes: [0u64; LANES],
+                lanes: vec![0u64; W::LANES],
                 dirty: false,
             });
         }
@@ -190,7 +203,7 @@ impl<'a> WideSimulator<'a> {
             regs,
             mems,
             mem_state,
-            reg_scratch: vec![0u64; scratch_len as usize],
+            reg_scratch: vec![W::zero(); scratch_len as usize],
             staged,
             staged_of,
             dirty: true,
@@ -216,10 +229,10 @@ impl<'a> WideSimulator<'a> {
                         .expect("memory was compiled");
                     let state = &mut self.mem_state[mem.state_index];
                     state.clear();
-                    state.resize(*words as usize * LANES, 0);
+                    state.resize(*words as usize * W::LANES, 0);
                     if let Some(init) = init {
                         for (w, &v) in init.iter().enumerate() {
-                            state[w * LANES..(w + 1) * LANES].fill(v);
+                            state[w * W::LANES..(w + 1) * W::LANES].fill(v);
                         }
                     }
                 }
@@ -233,14 +246,19 @@ impl<'a> WideSimulator<'a> {
         self.design
     }
 
+    /// Number of lanes this instantiation evaluates per pass.
+    pub fn lanes(&self) -> usize {
+        W::LANES
+    }
+
     /// Number of clock edges stepped so far (shared by all lanes).
     pub fn cycle(&self) -> u64 {
         self.cycle
     }
 
     /// Number of wide settle passes performed so far. Each pass
-    /// evaluates all 64 lanes at once, so comparing this against a
-    /// serial run's [`crate::Simulator::settle_count`] exposes the
+    /// evaluates all `W::LANES` lanes at once, so comparing this against
+    /// a serial run's [`crate::Simulator::settle_count`] exposes the
     /// bit-parallel work amortization.
     pub fn settle_count(&self) -> u64 {
         self.settles
@@ -261,9 +279,9 @@ impl<'a> WideSimulator<'a> {
     /// # Panics
     ///
     /// Panics if `signal` is not input-driven, `value` does not fit its
-    /// width, or `lane >= 64`.
+    /// width, or `lane >= W::LANES`.
     pub fn set_input_lane(&mut self, signal: SignalId, lane: usize, value: u64) {
-        assert!(lane < LANES, "lane {lane} out of range 0..{LANES}");
+        assert!(lane < W::LANES, "lane {lane} out of range 0..{}", W::LANES);
         let Some(si) = self.staged_of[signal.index()] else {
             panic!(
                 "signal `{}` is not a top-level input",
@@ -342,7 +360,7 @@ impl<'a> WideSimulator<'a> {
         for st in &mut self.staged {
             if st.dirty {
                 let range = st.slot.off as usize..(st.slot.off + st.slot.width) as usize;
-                pe_util::lanes::pack_lanes(&st.lanes, st.slot.width, &mut self.slices[range]);
+                pe_util::lanes::pack::<W>(&st.lanes, st.slot.width, &mut self.slices[range]);
                 st.dirty = false;
             }
         }
@@ -356,9 +374,9 @@ impl<'a> WideSimulator<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `lane >= 64`.
+    /// Panics if `lane >= W::LANES`.
     pub fn value_lane(&mut self, signal: SignalId, lane: usize) -> u64 {
-        assert!(lane < LANES, "lane {lane} out of range 0..{LANES}");
+        assert!(lane < W::LANES, "lane {lane} out of range 0..{}", W::LANES);
         self.settle();
         let slot = self.slots[signal.index()];
         gather_lane(&self.slices, slot, lane)
@@ -388,10 +406,10 @@ impl<'a> WideSimulator<'a> {
     }
 
     /// Settles and returns the raw bit-slices of a signal: element `i`
-    /// holds bit `i` of the signal across all 64 lanes. This is the hot
+    /// holds bit `i` of the signal across all lanes. This is the hot
     /// read of packed power-model evaluation (XOR transition detection
-    /// over slices, 64 cycles of switching activity per word op).
-    pub fn slices(&mut self, signal: SignalId) -> &[u64] {
+    /// over slices, `W::LANES` cycles of switching activity per word op).
+    pub fn slices(&mut self, signal: SignalId) -> &[W] {
         self.settle();
         let slot = self.slots[signal.index()];
         &self.slices[slot.off as usize..(slot.off + slot.width) as usize]
@@ -426,7 +444,7 @@ impl<'a> WideSimulator<'a> {
                     for i in 0..w {
                         let d = self.slices[d0 + i];
                         let q = self.slices[q0 + i];
-                        self.reg_scratch[s0 + i] = (en & d) | (!en & q);
+                        self.reg_scratch[s0 + i] = W::blend(en, d, q);
                     }
                 }
             }
@@ -434,26 +452,26 @@ impl<'a> WideSimulator<'a> {
         // Memory capture: per-lane scalar addressing. `rdata` next-values
         // are staged in the scratch lane buffers and committed with the
         // registers below.
-        let mut mem_rdata: Vec<[u64; LANES]> = Vec::with_capacity(self.mems.len());
-        let mut mem_writes: Vec<(usize, [u64; LANES], [u64; LANES], u64)> =
+        let mut mem_rdata: Vec<Vec<u64>> = Vec::with_capacity(self.mems.len());
+        let mut mem_writes: Vec<(usize, Vec<u64>, Vec<u64>, W)> =
             Vec::with_capacity(self.mems.len());
         for mem in &self.mems {
             if only.is_some_and(|c| c != mem.clock) {
                 continue;
             }
-            let mut raddr = [0u64; LANES];
+            let mut raddr = vec![0u64; W::LANES];
             unpack_slot(&self.slices, mem.raddr, &mut raddr);
             let state = &self.mem_state[mem.state_index];
             let words = mem.words as usize;
-            let mut read = [0u64; LANES];
-            for l in 0..LANES {
-                read[l] = state[(raddr[l] as usize % words) * LANES + l];
+            let mut read = vec![0u64; W::LANES];
+            for (l, r) in read.iter_mut().enumerate() {
+                *r = state[(raddr[l] as usize % words) * W::LANES + l];
             }
             mem_rdata.push(read);
             let wen = self.slices[mem.wen as usize];
-            if wen != 0 {
-                let mut waddr = [0u64; LANES];
-                let mut wdata = [0u64; LANES];
+            if !wen.is_zero() {
+                let mut waddr = vec![0u64; W::LANES];
+                let mut wdata = vec![0u64; W::LANES];
                 unpack_slot(&self.slices, mem.waddr, &mut waddr);
                 unpack_slot(&self.slices, mem.wdata, &mut wdata);
                 mem_writes.push((mem.state_index, waddr, wdata, wen));
@@ -480,12 +498,9 @@ impl<'a> WideSimulator<'a> {
             let words = self.mems.iter().find(|m| m.state_index == state_index);
             let words = words.expect("memory exists").words as usize;
             let state = &mut self.mem_state[state_index];
-            let mut w = wen;
-            while w != 0 {
-                let l = w.trailing_zeros() as usize;
-                w &= w - 1;
-                state[(waddr[l] as usize % words) * LANES + l] = wdata[l];
-            }
+            wen.for_each_lane(|l| {
+                state[(waddr[l] as usize % words) * W::LANES + l] = wdata[l];
+            });
         }
         self.cycle += 1;
         self.dirty = true;
@@ -501,7 +516,7 @@ impl<'a> WideSimulator<'a> {
     /// Resets every lane to power-on state: registers to `init`, memories
     /// to initial contents, inputs to zero, cycle counter to 0.
     pub fn reset(&mut self) {
-        self.slices.fill(0);
+        self.slices.fill(W::zero());
         for st in &mut self.staged {
             st.lanes.fill(0);
             st.dirty = false;
@@ -516,9 +531,9 @@ impl<'a> WideSimulator<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `lane >= 64`.
-    pub fn lane<'s>(&'s mut self, lane: usize) -> WideLane<'s, 'a> {
-        assert!(lane < LANES, "lane {lane} out of range 0..{LANES}");
+    /// Panics if `lane >= W::LANES`.
+    pub fn lane<'s>(&'s mut self, lane: usize) -> WideLane<'s, 'a, W> {
+        assert!(lane < W::LANES, "lane {lane} out of range 0..{}", W::LANES);
         WideLane { sim: self, lane }
     }
 }
@@ -526,12 +541,12 @@ impl<'a> WideSimulator<'a> {
 /// One lane of a [`WideSimulator`], exposed through [`SimControl`] so a
 /// [`Testbench`] written for the serial engine can drive it unchanged.
 #[derive(Debug)]
-pub struct WideLane<'s, 'a> {
-    sim: &'s mut WideSimulator<'a>,
+pub struct WideLane<'s, 'a, W: LaneWord = u64> {
+    sim: &'s mut WideSimulator<'a, W>,
     lane: usize,
 }
 
-impl SimControl for WideLane<'_, '_> {
+impl<W: LaneWord> SimControl for WideLane<'_, '_, W> {
     fn cycle(&self) -> u64 {
         self.sim.cycle()
     }
@@ -553,19 +568,23 @@ impl SimControl for WideLane<'_, '_> {
     }
 }
 
-/// Runs up to 64 testbenches in lock-step, one per lane. Lane `l` executes
-/// `tbs[l]` exactly as [`crate::run`] would against a serial simulator;
-/// lanes whose testbench has fewer cycles than the longest simply stop
-/// receiving stimulus (their inputs hold). Returns the number of clock
-/// edges stepped (the maximum cycle count).
+/// Runs up to `W::LANES` testbenches in lock-step, one per lane. Lane `l`
+/// executes `tbs[l]` exactly as [`crate::run`] would against a serial
+/// simulator; lanes whose testbench has fewer cycles than the longest
+/// simply stop receiving stimulus (their inputs hold). Returns the number
+/// of clock edges stepped (the maximum cycle count).
 ///
 /// # Panics
 ///
-/// Panics if more than 64 testbenches are supplied.
-pub fn run_lanes(sim: &mut WideSimulator<'_>, tbs: &mut [Box<dyn Testbench>]) -> u64 {
+/// Panics if more than `W::LANES` testbenches are supplied.
+pub fn run_lanes<W: LaneWord>(
+    sim: &mut WideSimulator<'_, W>,
+    tbs: &mut [Box<dyn Testbench>],
+) -> u64 {
     assert!(
-        tbs.len() <= LANES,
-        "at most {LANES} lanes, got {}",
+        tbs.len() <= W::LANES,
+        "at most {} lanes, got {}",
+        W::LANES,
         tbs.len()
     );
     let cycles = tbs.iter().map(|t| t.cycles()).max().unwrap_or(0);
@@ -590,32 +609,32 @@ pub fn run_lanes(sim: &mut WideSimulator<'_>, tbs: &mut [Box<dyn Testbench>]) ->
 
 /// Broadcasts a scalar value into a slot: each output slice becomes all-0
 /// or all-1 according to the corresponding value bit.
-fn broadcast(slices: &mut [u64], out: Slot, value: u64) {
+fn broadcast<W: LaneWord>(slices: &mut [W], out: Slot, value: u64) {
     for i in 0..out.width {
-        slices[(out.off + i) as usize] = if (value >> i) & 1 == 1 { !0u64 } else { 0 };
+        slices[(out.off + i) as usize] = W::splat((value >> i) & 1 == 1);
     }
 }
 
 /// Reads one lane's scalar value out of a slot.
-fn gather_lane(slices: &[u64], slot: Slot, lane: usize) -> u64 {
+fn gather_lane<W: LaneWord>(slices: &[W], slot: Slot, lane: usize) -> u64 {
     let mut v = 0u64;
     for i in 0..slot.width {
-        v |= ((slices[(slot.off + i) as usize] >> lane) & 1) << i;
+        v |= (slices[(slot.off + i) as usize].lane(lane) as u64) << i;
     }
     v
 }
 
-/// Unpacks a slot's slices into per-lane scalars via the 64×64 transpose.
-fn unpack_slot(slices: &[u64], slot: Slot, lanes: &mut [u64; LANES]) {
-    pe_util::lanes::unpack_lanes(
+/// Unpacks a slot's slices into per-lane scalars via the block transpose.
+fn unpack_slot<W: LaneWord>(slices: &[W], slot: Slot, lanes: &mut [u64]) {
+    pe_util::lanes::unpack::<W>(
         &slices[slot.off as usize..(slot.off + slot.width) as usize],
         lanes,
     );
 }
 
 /// Packs per-lane scalars into a slot's slices.
-fn pack_slot(lanes: &[u64; LANES], slot: Slot, slices: &mut [u64]) {
-    pe_util::lanes::pack_lanes(
+fn pack_slot<W: LaneWord>(lanes: &[u64], slot: Slot, slices: &mut [W]) {
+    pe_util::lanes::pack::<W>(
         lanes,
         slot.width,
         &mut slices[slot.off as usize..(slot.off + slot.width) as usize],
@@ -625,23 +644,27 @@ fn pack_slot(lanes: &[u64; LANES], slot: Slot, slices: &mut [u64]) {
 /// Bit `i` of slot `s` across all lanes, reading 0 beyond the slot's width
 /// (values are zero-extended exactly as the serial engine's masked words).
 #[inline]
-fn rd(slices: &[u64], s: Slot, i: u32) -> u64 {
+fn rd<W: LaneWord>(slices: &[W], s: Slot, i: u32) -> W {
     if i < s.width {
         slices[(s.off + i) as usize]
     } else {
-        0
+        W::zero()
     }
 }
 
 /// All-lanes mask of `slot == value` for a constant `value`. Exits as
 /// soon as the mask empties (no lane can match any more).
-fn eq_const(slices: &[u64], s: Slot, value: u64) -> u64 {
-    let mut m = !0u64;
+fn eq_const<W: LaneWord>(slices: &[W], s: Slot, value: u64) -> W {
+    let mut m = W::ones();
     for i in 0..s.width {
         let bit = slices[(s.off + i) as usize];
-        m &= if (value >> i) & 1 == 1 { bit } else { !bit };
-        if m == 0 {
-            return 0;
+        m = m.and(if (value >> i) & 1 == 1 {
+            bit
+        } else {
+            bit.not()
+        });
+        if m.is_zero() {
+            return W::zero();
         }
     }
     m
@@ -650,47 +673,47 @@ fn eq_const(slices: &[u64], s: Slot, value: u64) -> u64 {
 /// Lane-mask of `a < b` (unsigned) via the final borrow of `a - b`.
 /// When `signed` is set the MSBs are flipped first (two's-complement
 /// order is unsigned order with the sign bit inverted).
-fn lt_mask(slices: &[u64], a: Slot, b: Slot, w: u32, signed: bool) -> u64 {
-    let mut borrow = 0u64;
+fn lt_mask<W: LaneWord>(slices: &[W], a: Slot, b: Slot, w: u32, signed: bool) -> W {
+    let mut borrow = W::zero();
     for i in 0..w {
         let mut ai = rd(slices, a, i);
         let mut bi = rd(slices, b, i);
         if signed && i == w - 1 {
-            ai = !ai;
-            bi = !bi;
+            ai = ai.not();
+            bi = bi.not();
         }
         // Borrow of a - b at bit i.
-        borrow = (!ai & bi) | (borrow & !(ai ^ bi));
+        borrow = ai.not().and(bi).or(borrow.andn(ai.xor(bi)));
     }
     borrow
 }
 
-/// Evaluates one combinational component over all 64 lanes.
+/// Evaluates one combinational component over all lanes.
 ///
 /// The output slot never aliases an input slot (combinational cycles are
 /// rejected at design validation), so writes may proceed in place while
 /// inputs are still being read — except where noted (shifts copy into the
 /// output first and then permute it in place).
-fn eval_wide(kind: &ComponentKind, ins: &[Slot], out: Slot, slices: &mut [u64]) {
+fn eval_wide<W: LaneWord>(kind: &ComponentKind, ins: &[Slot], out: Slot, slices: &mut [W]) {
     match kind {
         ComponentKind::Add => {
             let (a, b) = (ins[0], ins[1]);
-            let mut carry = 0u64;
+            let mut carry = W::zero();
             for i in 0..out.width {
                 let ai = rd(slices, a, i);
                 let bi = rd(slices, b, i);
-                slices[(out.off + i) as usize] = ai ^ bi ^ carry;
-                carry = (ai & bi) | (carry & (ai ^ bi));
+                slices[(out.off + i) as usize] = ai.xor(bi).xor(carry);
+                carry = ai.and(bi).or(carry.and(ai.xor(bi)));
             }
         }
         ComponentKind::Sub => {
             let (a, b) = (ins[0], ins[1]);
-            let mut borrow = 0u64;
+            let mut borrow = W::zero();
             for i in 0..out.width {
                 let ai = rd(slices, a, i);
                 let bi = rd(slices, b, i);
-                slices[(out.off + i) as usize] = ai ^ bi ^ borrow;
-                borrow = (!ai & bi) | (borrow & !(ai ^ bi));
+                slices[(out.off + i) as usize] = ai.xor(bi).xor(borrow);
+                borrow = ai.not().and(bi).or(borrow.andn(ai.xor(bi)));
             }
         }
         ComponentKind::Mul => {
@@ -702,70 +725,70 @@ fn eval_wide(kind: &ComponentKind, ins: &[Slot], out: Slot, slices: &mut [u64]) 
                 (ins[0], ins[1])
             };
             for i in 0..out.width {
-                slices[(out.off + i) as usize] = 0;
+                slices[(out.off + i) as usize] = W::zero();
             }
             for j in 0..b.width.min(out.width) {
                 let bj = rd(slices, b, j);
-                let mut carry = 0u64;
+                let mut carry = W::zero();
                 for i in 0..(out.width - j) {
-                    let pp = rd(slices, a, i) & bj;
+                    let pp = rd(slices, a, i).and(bj);
                     let acc = slices[(out.off + j + i) as usize];
-                    slices[(out.off + j + i) as usize] = acc ^ pp ^ carry;
-                    carry = (acc & pp) | (carry & (acc ^ pp));
+                    slices[(out.off + j + i) as usize] = acc.xor(pp).xor(carry);
+                    carry = acc.and(pp).or(carry.and(acc.xor(pp)));
                 }
             }
         }
         ComponentKind::Neg => {
             // -a == ~a + 1: invert and ripple an initial carry of 1.
             let a = ins[0];
-            let mut carry = !0u64;
+            let mut carry = W::ones();
             for i in 0..out.width {
-                let ai = !rd(slices, a, i);
-                slices[(out.off + i) as usize] = ai ^ carry;
-                carry &= ai;
+                let ai = rd(slices, a, i).not();
+                slices[(out.off + i) as usize] = ai.xor(carry);
+                carry = carry.and(ai);
             }
         }
         ComponentKind::Eq => {
             slices[out.off as usize] = eq_mask(slices, ins[0], ins[1]);
         }
         ComponentKind::Ne => {
-            slices[out.off as usize] = !eq_mask(slices, ins[0], ins[1]);
+            slices[out.off as usize] = eq_mask(slices, ins[0], ins[1]).not();
         }
         ComponentKind::Lt => {
             slices[out.off as usize] = lt_mask(slices, ins[0], ins[1], ins[0].width, false);
         }
         ComponentKind::Le => {
-            slices[out.off as usize] = !lt_mask(slices, ins[1], ins[0], ins[0].width, false);
+            slices[out.off as usize] = lt_mask(slices, ins[1], ins[0], ins[0].width, false).not();
         }
         ComponentKind::SLt => {
             slices[out.off as usize] = lt_mask(slices, ins[0], ins[1], ins[0].width, true);
         }
         ComponentKind::SLe => {
-            slices[out.off as usize] = !lt_mask(slices, ins[1], ins[0], ins[0].width, true);
+            slices[out.off as usize] = lt_mask(slices, ins[1], ins[0], ins[0].width, true).not();
         }
         ComponentKind::And => {
             for i in 0..out.width {
-                let mut acc = !0u64;
+                let mut acc = W::ones();
                 for s in ins {
-                    acc &= rd(slices, *s, i);
+                    acc = acc.and(rd(slices, *s, i));
                 }
                 slices[(out.off + i) as usize] = acc;
             }
         }
         ComponentKind::Or => {
             for i in 0..out.width {
-                let mut acc = 0u64;
+                let mut acc = W::zero();
                 for s in ins {
-                    acc |= rd(slices, *s, i);
+                    acc = acc.or(rd(slices, *s, i));
                 }
                 slices[(out.off + i) as usize] = acc;
             }
         }
         ComponentKind::Xor => {
             for i in 0..out.width {
-                let mut acc = 0u64;
+                let mut acc = W::zero();
                 for s in ins {
-                    acc ^= rd(slices, *s, i);
+                    acc = acc.xor(rd(slices, *s, i));
                 }
                 slices[(out.off + i) as usize] = acc;
             }
@@ -773,30 +796,30 @@ fn eval_wide(kind: &ComponentKind, ins: &[Slot], out: Slot, slices: &mut [u64]) 
         ComponentKind::Not => {
             let a = ins[0];
             for i in 0..out.width {
-                slices[(out.off + i) as usize] = !rd(slices, a, i);
+                slices[(out.off + i) as usize] = rd(slices, a, i).not();
             }
         }
         ComponentKind::RedAnd => {
             let a = ins[0];
-            let mut acc = !0u64;
+            let mut acc = W::ones();
             for i in 0..a.width {
-                acc &= slices[(a.off + i) as usize];
+                acc = acc.and(slices[(a.off + i) as usize]);
             }
             slices[out.off as usize] = acc;
         }
         ComponentKind::RedOr => {
             let a = ins[0];
-            let mut acc = 0u64;
+            let mut acc = W::zero();
             for i in 0..a.width {
-                acc |= slices[(a.off + i) as usize];
+                acc = acc.or(slices[(a.off + i) as usize]);
             }
             slices[out.off as usize] = acc;
         }
         ComponentKind::RedXor => {
             let a = ins[0];
-            let mut acc = 0u64;
+            let mut acc = W::zero();
             for i in 0..a.width {
-                acc ^= slices[(a.off + i) as usize];
+                acc = acc.xor(slices[(a.off + i) as usize]);
             }
             slices[out.off as usize] = acc;
         }
@@ -811,7 +834,7 @@ fn eval_wide(kind: &ComponentKind, ins: &[Slot], out: Slot, slices: &mut [u64]) 
             }
             for j in 0..amt.width {
                 let aj = slices[(amt.off + j) as usize];
-                if aj == 0 {
+                if aj.is_zero() {
                     continue;
                 }
                 let dist = (1u64 << j.min(32)).min(out.width as u64) as u32;
@@ -819,10 +842,10 @@ fn eval_wide(kind: &ComponentKind, ins: &[Slot], out: Slot, slices: &mut [u64]) 
                     let src = if i >= dist {
                         slices[(out.off + i - dist) as usize]
                     } else {
-                        0
+                        W::zero()
                     };
                     let cur = slices[(out.off + i) as usize];
-                    slices[(out.off + i) as usize] = (aj & src) | (!aj & cur);
+                    slices[(out.off + i) as usize] = W::blend(aj, src, cur);
                 }
             }
         }
@@ -831,14 +854,14 @@ fn eval_wide(kind: &ComponentKind, ins: &[Slot], out: Slot, slices: &mut [u64]) 
             let fill = if matches!(kind, ComponentKind::Sar) {
                 slices[(a.off + a.width - 1) as usize]
             } else {
-                0
+                W::zero()
             };
             for i in 0..out.width {
                 slices[(out.off + i) as usize] = rd(slices, a, i);
             }
             for j in 0..amt.width {
                 let aj = slices[(amt.off + j) as usize];
-                if aj == 0 {
+                if aj.is_zero() {
                     continue;
                 }
                 let dist = (1u64 << j.min(32)).min(out.width as u64) as u32;
@@ -849,7 +872,7 @@ fn eval_wide(kind: &ComponentKind, ins: &[Slot], out: Slot, slices: &mut [u64]) 
                         fill
                     };
                     let cur = slices[(out.off + i) as usize];
-                    slices[(out.off + i) as usize] = (aj & src) | (!aj & cur);
+                    slices[(out.off + i) as usize] = W::blend(aj, src, cur);
                 }
             }
         }
@@ -860,14 +883,14 @@ fn eval_wide(kind: &ComponentKind, ins: &[Slot], out: Slot, slices: &mut [u64]) 
                 // Two legs: any non-zero select picks the second (the
                 // clamp-to-last rule makes sel ≥ 2 equivalent to 1), so a
                 // single OR-reduction of the select bits is the leg mask.
-                let mut m1 = 0u64;
+                let mut m1 = W::zero();
                 for i in 0..sel.width {
-                    m1 |= slices[(sel.off + i) as usize];
+                    m1 = m1.or(slices[(sel.off + i) as usize]);
                 }
                 let (a, b) = (ins[1], ins[2]);
                 for i in 0..out.width {
                     slices[(out.off + i) as usize] =
-                        (m1 & rd(slices, b, i)) | (!m1 & rd(slices, a, i));
+                        W::blend(m1, rd(slices, b, i), rd(slices, a, i));
                 }
                 return;
             }
@@ -875,26 +898,26 @@ fn eval_wide(kind: &ComponentKind, ins: &[Slot], out: Slot, slices: &mut [u64]) 
             // masks into a stack buffer (zipped, so the hot inner loop is
             // bounds-check free), then store the result once.
             let w = out.width as usize;
-            let mut acc = [0u64; 64];
-            let mut used = 0u64;
+            let mut acc = [W::zero(); 64];
+            let mut used = W::zero();
             for d in 0..n_data {
                 // The last data input also absorbs every out-of-range
                 // select value (the serial clamp-to-last rule).
                 let m = if d + 1 == n_data {
-                    !used
+                    used.not()
                 } else {
                     let m = eq_const(slices, sel, d as u64);
-                    used |= m;
+                    used = used.or(m);
                     m
                 };
-                if m == 0 {
+                if m.is_zero() {
                     continue;
                 }
                 let leg = ins[1 + d];
                 let lw = (leg.width as usize).min(w);
                 let leg_sl = &slices[leg.off as usize..leg.off as usize + lw];
                 for (a, &s) in acc[..lw].iter_mut().zip(leg_sl) {
-                    *a |= m & s;
+                    *a = a.or(m.and(s));
                 }
             }
             slices[out.off as usize..out.off as usize + w].copy_from_slice(&acc[..w]);
@@ -942,14 +965,14 @@ fn eval_wide(kind: &ComponentKind, ins: &[Slot], out: Slot, slices: &mut [u64]) 
                 // Small tables: one equality mask per entry, OR the
                 // entry's set bits under that mask.
                 for i in 0..out.width {
-                    slices[(out.off + i) as usize] = 0;
+                    slices[(out.off + i) as usize] = W::zero();
                 }
                 for (entry, &tv) in table.iter().enumerate() {
                     if tv == 0 {
                         continue;
                     }
                     let m = eq_const(slices, addr, entry as u64);
-                    if m == 0 {
+                    if m.is_zero() {
                         continue;
                     }
                     let mut v = tv;
@@ -957,17 +980,18 @@ fn eval_wide(kind: &ComponentKind, ins: &[Slot], out: Slot, slices: &mut [u64]) 
                         let i = v.trailing_zeros();
                         v &= v - 1;
                         if i < out.width {
-                            slices[(out.off + i) as usize] |= m;
+                            let s = &mut slices[(out.off + i) as usize];
+                            *s = s.or(m);
                         }
                     }
                 }
             } else {
                 // Large tables: unpack addresses, look up per lane, repack.
-                let mut addrs = [0u64; LANES];
+                let mut addrs = vec![0u64; W::LANES];
                 unpack_slot(slices, addr, &mut addrs);
-                let mut vals = [0u64; LANES];
-                for l in 0..LANES {
-                    vals[l] = table[addrs[l] as usize];
+                let mut vals = vec![0u64; W::LANES];
+                for (l, v) in vals.iter_mut().enumerate() {
+                    *v = table[addrs[l] as usize];
                 }
                 pack_slot(&vals, out, slices);
             }
@@ -979,10 +1003,10 @@ fn eval_wide(kind: &ComponentKind, ins: &[Slot], out: Slot, slices: &mut [u64]) 
 }
 
 /// All-lanes mask of `a == b`.
-fn eq_mask(slices: &[u64], a: Slot, b: Slot) -> u64 {
-    let mut m = !0u64;
+fn eq_mask<W: LaneWord>(slices: &[W], a: Slot, b: Slot) -> W {
+    let mut m = W::ones();
     for i in 0..a.width {
-        m &= !(rd(slices, a, i) ^ rd(slices, b, i));
+        m = m.andn(rd(slices, a, i).xor(rd(slices, b, i)));
     }
     m
 }
@@ -993,6 +1017,7 @@ mod tests {
     use crate::engine::Simulator;
     use crate::testbench::run;
     use pe_rtl::builder::DesignBuilder;
+    use pe_util::lanes::LANES;
     use pe_util::rng::Xoshiro;
 
     fn counter() -> Design {
@@ -1009,15 +1034,14 @@ mod tests {
     #[test]
     fn all_lanes_count_in_lock_step() {
         let d = counter();
-        let mut wide = WideSimulator::new(&d).unwrap();
+        let mut wide = WideSimulator::<u64>::new(&d).unwrap();
         wide.step_n(7);
         for lane in 0..LANES {
             assert_eq!(wide.output_lane("count", lane), 7, "lane {lane}");
         }
     }
 
-    #[test]
-    fn lanes_are_independent() {
+    fn lanes_independent<W: LaneWord>() {
         let mut b = DesignBuilder::new("mix");
         let clk = b.clock("clk");
         let x = b.input("x", 8);
@@ -1027,22 +1051,30 @@ mod tests {
         b.output("total", acc.q());
         let d = b.finish().unwrap();
         let x = d.find_input("x").unwrap();
-        let mut wide = WideSimulator::new(&d).unwrap();
-        for lane in 0..LANES {
-            wide.set_input_lane(x, lane, lane as u64);
+        let mut wide = WideSimulator::<W>::new(&d).unwrap();
+        for lane in 0..W::LANES {
+            wide.set_input_lane(x, lane, (lane as u64) & 0xFF);
         }
         wide.step_n(3);
-        for lane in 0..LANES {
+        for lane in 0..W::LANES {
             assert_eq!(
                 wide.output_lane("total", lane),
-                (3 * lane as u64) & 0xFF,
-                "lane {lane}"
+                (3 * (lane as u64 & 0xFF)) & 0xFF,
+                "lanes {} lane {lane}",
+                W::LANES
             );
         }
     }
 
     #[test]
-    fn wide_lane_matches_serial_on_memory_design() {
+    fn lanes_are_independent_at_every_width() {
+        lanes_independent::<bool>();
+        lanes_independent::<u64>();
+        lanes_independent::<[u64; 2]>();
+        lanes_independent::<[u64; 4]>();
+    }
+
+    fn wide_matches_serial_on_memory_design<W: LaneWord>() {
         let mut b = DesignBuilder::new("mem");
         let clk = b.clock("clk");
         let raddr = b.input("raddr", 3);
@@ -1054,9 +1086,9 @@ mod tests {
         b.output("rdata", m.rdata());
         let d = b.finish().unwrap();
 
-        let mut wide = WideSimulator::new(&d).unwrap();
+        let mut wide = WideSimulator::<W>::new(&d).unwrap();
         let mut serials: Vec<Simulator<'_>> =
-            (0..LANES).map(|_| Simulator::new(&d).unwrap()).collect();
+            (0..W::LANES).map(|_| Simulator::new(&d).unwrap()).collect();
         let mut rng = Xoshiro::new(0xD1FF);
         let ports = ["raddr", "waddr", "wdata", "wen"];
         let widths = [3u32, 3, 8, 1];
@@ -1072,7 +1104,8 @@ mod tests {
                 assert_eq!(
                     wide.output_lane("rdata", lane),
                     serial.output("rdata"),
-                    "lane {lane}"
+                    "lanes {} lane {lane}",
+                    W::LANES
                 );
             }
             wide.step();
@@ -1083,9 +1116,16 @@ mod tests {
     }
 
     #[test]
+    fn wide_lane_matches_serial_on_memory_design_at_every_width() {
+        wide_matches_serial_on_memory_design::<bool>();
+        wide_matches_serial_on_memory_design::<u64>();
+        wide_matches_serial_on_memory_design::<[u64; 2]>();
+    }
+
+    #[test]
     fn run_lanes_drives_testbenches_per_lane() {
         let d = counter();
-        let mut wide = WideSimulator::new(&d).unwrap();
+        let mut wide = WideSimulator::<u64>::new(&d).unwrap();
         let mut tbs: Vec<Box<dyn Testbench>> = (0..4)
             .map(|_| Box::new(crate::ConstInputs::new(5, vec![])) as Box<dyn Testbench>)
             .collect();
@@ -1097,15 +1137,15 @@ mod tests {
     #[test]
     fn reset_restores_power_on_state_in_every_lane() {
         let d = counter();
-        let mut wide = WideSimulator::new(&d).unwrap();
+        let mut wide = WideSimulator::<[u64; 4]>::new(&d).unwrap();
         wide.step_n(9);
         wide.reset();
         assert_eq!(wide.cycle(), 0);
-        for lane in [0, 13, 63] {
+        for lane in [0, 13, 255] {
             assert_eq!(wide.output_lane("count", lane), 0);
         }
         wide.step();
-        assert_eq!(wide.output_lane("count", 63), 1);
+        assert_eq!(wide.output_lane("count", 255), 1);
     }
 
     #[test]
@@ -1115,7 +1155,7 @@ mod tests {
         let mut tb = crate::ConstInputs::new(12, vec![]);
         run(&mut serial, &mut tb);
 
-        let mut wide = WideSimulator::new(&d).unwrap();
+        let mut wide = WideSimulator::<u64>::new(&d).unwrap();
         for _ in 0..12 {
             wide.step();
         }

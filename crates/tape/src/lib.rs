@@ -13,18 +13,21 @@
 //!   cone, constant-folds cones whose inputs are all constants, and
 //!   lowers the remainder to dense instructions with pre-resolved
 //!   operand indices — no per-cycle graph walks, no `HashMap` lookups.
-//! * [`TapeSimulator`] interprets the serial program over a flat
-//!   one-word-per-signal state array, bit-identical to
-//!   [`pe_sim::Simulator`].
-//! * [`WideTapeSimulator`] interprets the 64-lane program over a plane
-//!   arena. The wide compiler additionally *elides* wiring at compile
-//!   time: slices, concatenations, zero/sign extensions,
-//!   constant-amount shifts, and constant-select muxes become plane
-//!   aliases that cost nothing per cycle (the graph engine runs full
-//!   barrel stages for a constant shift), and out-of-width operand
-//!   reads resolve to a reserved all-zero plane, eliminating the width
-//!   branch from the hot loop. Bit-identical to
+//! * [`WideTapeSimulator`] interprets the program over a plane arena of
+//!   [`pe_util::lanes::LaneWord`]s — generic from 1 (`bool`) through 64
+//!   (`u64`) to 128/256 (`[u64; 2]`/`[u64; 4]`) lanes; the compiled
+//!   program is width-independent. The compiler additionally *elides*
+//!   wiring at compile time: slices, concatenations, zero/sign
+//!   extensions, constant-amount shifts, and constant-select muxes
+//!   become plane aliases that cost nothing per cycle (the graph engine
+//!   runs full barrel stages for a constant shift), and out-of-width
+//!   operand reads resolve to a reserved all-zero plane, eliminating
+//!   the width branch from the hot loop. Bit-identical to
 //!   [`pe_sim::WideSimulator`], lane for lane.
+//! * [`TapeSimulator`] is the serial engine: a thin wrapper fixing the
+//!   wide interpreter at one lane (`bool` lane word), bit-identical to
+//!   [`pe_sim::Simulator`] — there is no duplicated serial interpreter
+//!   to keep in sync.
 //!
 //! A [`Tape`] owns its whole program (it does not borrow the
 //! [`Design`]), so it can be memoized and shared — `pe-serve` keeps one
@@ -41,7 +44,6 @@ pub use serial::TapeSimulator;
 pub use wide::{run_lanes, TapeLane, WideTapeSimulator};
 
 use pe_rtl::{Design, DesignError};
-use pe_util::bits;
 use std::fmt;
 
 /// Why a design cannot be compiled to a tape.
@@ -94,24 +96,21 @@ pub(crate) struct TapePort {
     pub signal: u32,
 }
 
-/// A compiled design: both the serial and the 64-lane instruction
-/// programs plus the signal metadata the interpreters need. Owns
+/// A compiled design: the width-independent lane-word instruction
+/// program plus the signal metadata the interpreters need. Owns
 /// everything — no borrow of the source [`Design`] — so it can be
-/// cached and shared across simulator constructions.
+/// cached and shared across simulator constructions at any lane width.
 #[derive(Debug)]
 pub struct Tape {
     pub(crate) name: String,
     pub(crate) widths: Vec<u32>,
-    pub(crate) input_driven: Vec<bool>,
     pub(crate) names: Vec<String>,
-    pub(crate) inputs: Vec<TapePort>,
     pub(crate) outputs: Vec<TapePort>,
-    pub(crate) serial: serial::SerialProgram,
     pub(crate) wide: wide::WideProgram,
 }
 
 impl Tape {
-    /// Compiles `design` into serial and 64-lane instruction tapes.
+    /// Compiles `design` into the lane-word instruction tape.
     ///
     /// # Errors
     ///
@@ -122,28 +121,14 @@ impl Tape {
         design.validate()?;
         let order = pe_rtl::topo_order(design)?;
         let consts = fold_constants(design, &order);
-        let serial = serial::compile_serial(design, &order, &consts);
         let wide = wide::compile_wide(design, &order, &consts);
-        let mut input_driven = vec![false; design.signals().len()];
-        for p in design.inputs() {
-            input_driven[p.signal().index()] = true;
-        }
         Ok(Tape {
             name: design.name().to_string(),
             widths: design.signals().iter().map(|s| s.width()).collect(),
-            input_driven,
             names: design
                 .signals()
                 .iter()
                 .map(|s| s.name().to_string())
-                .collect(),
-            inputs: design
-                .inputs()
-                .iter()
-                .map(|p| TapePort {
-                    name: p.name().to_string(),
-                    signal: p.signal().index() as u32,
-                })
                 .collect(),
             outputs: design
                 .outputs()
@@ -153,7 +138,6 @@ impl Tape {
                     signal: p.signal().index() as u32,
                 })
                 .collect(),
-            serial,
             wide,
         })
     }
@@ -163,14 +147,10 @@ impl Tape {
         &self.name
     }
 
-    /// Number of instructions on the serial tape (constant cones fold to
-    /// zero instructions; n-ary gates decompose into binary chains).
-    pub fn serial_instructions(&self) -> usize {
-        self.serial.instrs.len()
-    }
-
-    /// Number of instructions on the 64-lane tape (wiring — slices,
-    /// concats, extensions, constant shifts — is aliased away entirely).
+    /// Number of instructions on the tape (wiring — slices, concats,
+    /// extensions, constant shifts — is aliased away entirely; constant
+    /// cones fold to zero instructions). Width-independent: the same
+    /// program runs at every lane count.
     pub fn wide_instructions(&self) -> usize {
         self.wide.instrs.len()
     }
@@ -179,21 +159,6 @@ impl Tape {
     /// the reserved all-zeros and all-ones planes).
     pub fn wide_planes(&self) -> usize {
         self.wide.n_planes as usize
-    }
-
-    pub(crate) fn width(&self, signal: u32) -> u32 {
-        self.widths[signal as usize]
-    }
-
-    pub(crate) fn mask(&self, signal: u32) -> u64 {
-        bits::mask(self.widths[signal as usize])
-    }
-
-    pub(crate) fn find_input(&self, name: &str) -> Option<u32> {
-        self.inputs
-            .iter()
-            .find(|p| p.name == name)
-            .map(|p| p.signal)
     }
 
     pub(crate) fn find_output(&self, name: &str) -> Option<u32> {
@@ -206,9 +171,8 @@ impl Tape {
 
 /// Per-signal compile-time constants: `Some(v)` iff the signal is
 /// driven by a cone whose leaves are all `Const` components. Those
-/// signals need no instructions — the serial tape writes them once at
-/// reset, and the wide tape aliases their bits to the reserved
-/// zero/one planes.
+/// signals need no instructions — the tape aliases their bits to the
+/// reserved zero/one planes.
 pub(crate) fn fold_constants(design: &Design, order: &[pe_rtl::ComponentId]) -> Vec<Option<u64>> {
     let mut consts: Vec<Option<u64>> = vec![None; design.signals().len()];
     let mut ins: Vec<u64> = Vec::new();

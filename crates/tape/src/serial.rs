@@ -1,461 +1,56 @@
-//! Serial instruction-tape interpreter.
+//! Serial tape simulation as the 1-lane instantiation of the wide core.
 //!
-//! The compiler lowers each combinational component in topological order
-//! to one or more dense instructions over a flat `Vec<u64>` state array
-//! indexed by signal id. Masks, widths, slice positions, and table
-//! references are resolved at compile time; the interpreter's hot loop
-//! is a single `match` over value-carrying instructions with no graph,
-//! name, or `HashMap` access. Semantics mirror [`pe_sim::Simulator`]
-//! bit for bit: lazy settle, capture-then-commit clock edges,
-//! read-first memories, enable-gated registers.
+//! There is no serial interpreter anymore: [`TapeSimulator`] wraps
+//! [`WideTapeSimulator`]`<bool>` — the lane-word core evaluated with a
+//! one-lane word — so the serial and wide engines cannot drift apart.
+//! Per-lane semantics are the wide core's, which the differential suite
+//! pins to [`pe_sim::Simulator`] bit for bit; this wrapper only fixes
+//! the lane index at 0 and keeps the serial engine's metric names.
 
+use crate::wide::WideTapeSimulator;
 use crate::Tape;
-use pe_rtl::{ClockId, ComponentKind, Design, SignalId};
-use pe_util::bits;
+use pe_rtl::{ClockId, SignalId};
 use pe_util::PortError;
 
-/// One compiled combinational operation. Operand fields are signal
-/// indices into the flat state array; masks and widths are pre-resolved.
-#[derive(Debug, Clone)]
-pub(crate) enum SInstr {
-    /// `dst = (a + b) & mask`
-    Add { a: u32, b: u32, dst: u32, mask: u64 },
-    /// `dst = (a - b) & mask`
-    Sub { a: u32, b: u32, dst: u32, mask: u64 },
-    /// `dst = (a * b) & mask`
-    Mul { a: u32, b: u32, dst: u32, mask: u64 },
-    /// `dst = (-a) & mask`
-    Neg { a: u32, dst: u32, mask: u64 },
-    /// `dst = (a == b)`
-    Eq { a: u32, b: u32, dst: u32 },
-    /// `dst = (a != b)`
-    Ne { a: u32, b: u32, dst: u32 },
-    /// `dst = (a < b)` unsigned
-    Lt { a: u32, b: u32, dst: u32 },
-    /// `dst = (a <= b)` unsigned
-    Le { a: u32, b: u32, dst: u32 },
-    /// `dst = (a < b)` signed at width `w`
-    SLt { a: u32, b: u32, dst: u32, w: u32 },
-    /// `dst = (a <= b)` signed at width `w`
-    SLe { a: u32, b: u32, dst: u32, w: u32 },
-    /// `dst = a & b` (n-ary gates are decomposed into chains)
-    And2 { a: u32, b: u32, dst: u32 },
-    /// `dst = a | b`
-    Or2 { a: u32, b: u32, dst: u32 },
-    /// `dst = a ^ b`
-    Xor2 { a: u32, b: u32, dst: u32 },
-    /// `dst = !a & mask`
-    Not { a: u32, dst: u32, mask: u64 },
-    /// `dst = (a == mask)` where `mask` covers the input width
-    RedAnd { a: u32, dst: u32, mask: u64 },
-    /// `dst = (a != 0)`
-    RedOr { a: u32, dst: u32 },
-    /// `dst = parity(a)`
-    RedXor { a: u32, dst: u32 },
-    /// Logical shift left by the live value of `amt`
-    Shl {
-        a: u32,
-        amt: u32,
-        dst: u32,
-        w: u32,
-        mask: u64,
-    },
-    /// Logical shift right by the live value of `amt`
-    Shr {
-        a: u32,
-        amt: u32,
-        dst: u32,
-        w: u32,
-        mask: u64,
-    },
-    /// Arithmetic shift right by the live value of `amt`
-    Sar {
-        a: u32,
-        amt: u32,
-        dst: u32,
-        w: u32,
-        mask: u64,
-    },
-    /// `dst = if sel != 0 { b } else { a }`
-    Mux2 { sel: u32, a: u32, b: u32, dst: u32 },
-    /// `dst = state[pool[min(sel, n-1)]]` — data-leg indices live in the
-    /// operand pool
-    MuxN {
-        sel: u32,
-        pool: u32,
-        n: u32,
-        dst: u32,
-    },
-    /// `dst = (a >> lo) & mask`
-    Slice {
-        a: u32,
-        lo: u32,
-        dst: u32,
-        mask: u64,
-    },
-    /// `dst = a` (zero-extension; first concat part)
-    Copy { a: u32, dst: u32 },
-    /// `dst |= a << sh` (subsequent concat parts)
-    OrShl { a: u32, sh: u32, dst: u32 },
-    /// `dst = sign_extend(a, w) & mask`
-    Sext { a: u32, dst: u32, w: u32, mask: u64 },
-    /// `dst = tables[tbl][a]`
-    Tbl { a: u32, tbl: u32, dst: u32 },
-}
-
-/// A compiled register (identical record to the graph engine's).
-#[derive(Debug, Clone)]
-pub(crate) struct SReg {
-    pub d: u32,
-    pub en: Option<u32>,
-    pub q: u32,
-    pub clock: u32,
-    pub init: u64,
-}
-
-/// A compiled memory; the tape owns the initial contents so reset does
-/// not need the design.
-#[derive(Debug, Clone)]
-pub(crate) struct SMem {
-    pub raddr: u32,
-    pub waddr: u32,
-    pub wdata: u32,
-    pub wen: u32,
-    pub rdata: u32,
-    pub words: u32,
-    pub clock: u32,
-    pub state_index: u32,
-    pub init: Vec<u64>,
-}
-
-/// The full serial program: instruction tape, operand pool, lookup
-/// tables, power-on writes (constant-folded cones and register inits),
-/// and sequential records.
-#[derive(Debug)]
-pub(crate) struct SerialProgram {
-    pub instrs: Vec<SInstr>,
-    pub pool: Vec<u32>,
-    pub tables: Vec<Vec<u64>>,
-    /// `(signal, value)` written at power-on/reset: constant-folded
-    /// cone outputs (never touched again) and register init values.
-    pub resets: Vec<(u32, u64)>,
-    pub regs: Vec<SReg>,
-    pub mems: Vec<SMem>,
-    pub n_signals: u32,
-}
-
-pub(crate) fn compile_serial(
-    design: &Design,
-    order: &[pe_rtl::ComponentId],
-    consts: &[Option<u64>],
-) -> SerialProgram {
-    let mut p = SerialProgram {
-        instrs: Vec::new(),
-        pool: Vec::new(),
-        tables: Vec::new(),
-        resets: Vec::new(),
-        regs: Vec::new(),
-        mems: Vec::new(),
-        n_signals: design.signals().len() as u32,
-    };
-    for (i, c) in consts.iter().enumerate() {
-        if let Some(v) = c {
-            p.resets.push((i as u32, *v));
-        }
-    }
-    for &id in order {
-        let comp = design.component(id);
-        let (ins, in_w, dst, out_w) = crate::comp_shape(design, comp);
-        if consts[dst as usize].is_some() {
-            continue; // whole cone folded at compile time
-        }
-        let mask = bits::mask(out_w);
-        let instr = match comp.kind() {
-            ComponentKind::Add => SInstr::Add {
-                a: ins[0],
-                b: ins[1],
-                dst,
-                mask,
-            },
-            ComponentKind::Sub => SInstr::Sub {
-                a: ins[0],
-                b: ins[1],
-                dst,
-                mask,
-            },
-            ComponentKind::Mul => SInstr::Mul {
-                a: ins[0],
-                b: ins[1],
-                dst,
-                mask,
-            },
-            ComponentKind::Neg => SInstr::Neg {
-                a: ins[0],
-                dst,
-                mask,
-            },
-            ComponentKind::Eq => SInstr::Eq {
-                a: ins[0],
-                b: ins[1],
-                dst,
-            },
-            ComponentKind::Ne => SInstr::Ne {
-                a: ins[0],
-                b: ins[1],
-                dst,
-            },
-            ComponentKind::Lt => SInstr::Lt {
-                a: ins[0],
-                b: ins[1],
-                dst,
-            },
-            ComponentKind::Le => SInstr::Le {
-                a: ins[0],
-                b: ins[1],
-                dst,
-            },
-            ComponentKind::SLt => SInstr::SLt {
-                a: ins[0],
-                b: ins[1],
-                dst,
-                w: in_w[0],
-            },
-            ComponentKind::SLe => SInstr::SLe {
-                a: ins[0],
-                b: ins[1],
-                dst,
-                w: in_w[0],
-            },
-            ComponentKind::And => {
-                push_chain(&mut p.instrs, &ins, dst, |a, b, dst| SInstr::And2 {
-                    a,
-                    b,
-                    dst,
-                });
-                continue;
-            }
-            ComponentKind::Or => {
-                push_chain(&mut p.instrs, &ins, dst, |a, b, dst| SInstr::Or2 {
-                    a,
-                    b,
-                    dst,
-                });
-                continue;
-            }
-            ComponentKind::Xor => {
-                push_chain(&mut p.instrs, &ins, dst, |a, b, dst| SInstr::Xor2 {
-                    a,
-                    b,
-                    dst,
-                });
-                continue;
-            }
-            ComponentKind::Not => SInstr::Not {
-                a: ins[0],
-                dst,
-                mask,
-            },
-            ComponentKind::RedAnd => SInstr::RedAnd {
-                a: ins[0],
-                dst,
-                mask: bits::mask(in_w[0]),
-            },
-            ComponentKind::RedOr => SInstr::RedOr { a: ins[0], dst },
-            ComponentKind::RedXor => SInstr::RedXor { a: ins[0], dst },
-            ComponentKind::Shl => SInstr::Shl {
-                a: ins[0],
-                amt: ins[1],
-                dst,
-                w: out_w,
-                mask,
-            },
-            ComponentKind::Shr => SInstr::Shr {
-                a: ins[0],
-                amt: ins[1],
-                dst,
-                w: in_w[0],
-                mask,
-            },
-            ComponentKind::Sar => SInstr::Sar {
-                a: ins[0],
-                amt: ins[1],
-                dst,
-                w: in_w[0],
-                mask,
-            },
-            ComponentKind::Mux => {
-                if ins.len() == 3 {
-                    SInstr::Mux2 {
-                        sel: ins[0],
-                        a: ins[1],
-                        b: ins[2],
-                        dst,
-                    }
-                } else {
-                    let pool = p.pool.len() as u32;
-                    p.pool.extend_from_slice(&ins[1..]);
-                    SInstr::MuxN {
-                        sel: ins[0],
-                        pool,
-                        n: (ins.len() - 1) as u32,
-                        dst,
-                    }
-                }
-            }
-            ComponentKind::Slice { lo } => SInstr::Slice {
-                a: ins[0],
-                lo: *lo,
-                dst,
-                mask,
-            },
-            ComponentKind::Concat => {
-                // Part 0 occupies the LSBs; the output width is exactly
-                // the sum of part widths, so no final mask is needed.
-                p.instrs.push(SInstr::Copy { a: ins[0], dst });
-                let mut sh = in_w[0];
-                for (a, w) in ins[1..].iter().zip(&in_w[1..]) {
-                    p.instrs.push(SInstr::OrShl { a: *a, sh, dst });
-                    sh += w;
-                }
-                continue;
-            }
-            ComponentKind::ZeroExt => SInstr::Copy { a: ins[0], dst },
-            ComponentKind::SignExt => SInstr::Sext {
-                a: ins[0],
-                dst,
-                w: in_w[0],
-                mask,
-            },
-            ComponentKind::Const { value } => {
-                // Unreachable: a Const cone always folds. Kept total for
-                // safety.
-                p.resets.push((dst, value & mask));
-                continue;
-            }
-            ComponentKind::Table { table } => {
-                let tbl = p.tables.len() as u32;
-                p.tables.push(table.iter().map(|&v| v & mask).collect());
-                SInstr::Tbl {
-                    a: ins[0],
-                    tbl,
-                    dst,
-                }
-            }
-            ComponentKind::Register { .. } | ComponentKind::Memory { .. } => {
-                unreachable!("topo order is combinational-only")
-            }
-        };
-        p.instrs.push(instr);
-    }
-    for comp in design.components() {
-        match comp.kind() {
-            ComponentKind::Register { init, has_enable } => {
-                p.regs.push(SReg {
-                    d: comp.inputs()[0].index() as u32,
-                    en: has_enable.then(|| comp.inputs()[1].index() as u32),
-                    q: comp.output().index() as u32,
-                    clock: comp.clock().expect("registers are clocked").index() as u32,
-                    init: init.unwrap_or(0),
-                });
-            }
-            ComponentKind::Memory { words, init } => {
-                let state_index = p.mems.len() as u32;
-                p.mems.push(SMem {
-                    raddr: comp.inputs()[0].index() as u32,
-                    waddr: comp.inputs()[1].index() as u32,
-                    wdata: comp.inputs()[2].index() as u32,
-                    wen: comp.inputs()[3].index() as u32,
-                    rdata: comp.output().index() as u32,
-                    words: *words,
-                    clock: comp.clock().expect("memories are clocked").index() as u32,
-                    state_index,
-                    init: match init {
-                        Some(init) => init.clone(),
-                        None => vec![0u64; *words as usize],
-                    },
-                });
-            }
-            _ => {}
-        }
-    }
-    p
-}
-
-/// Decomposes an n-ary gate into a left-fold chain through `dst`.
-fn push_chain(
-    instrs: &mut Vec<SInstr>,
-    ins: &[u32],
-    dst: u32,
-    make: impl Fn(u32, u32, u32) -> SInstr,
-) {
-    instrs.push(make(ins[0], ins[1], dst));
-    for &a in &ins[2..] {
-        instrs.push(make(dst, a, dst));
-    }
-}
-
-/// Pending memory commit, identical to the graph engine's.
-type MemNext = (u32, u64, Option<(usize, usize, u64)>);
-
 /// Serial interpreter over a compiled [`Tape`] — the drop-in
-/// counterpart of [`pe_sim::Simulator`], bit-identical cycle for cycle.
+/// counterpart of [`pe_sim::Simulator`], realized as the single-lane
+/// (`bool` lane word) instantiation of the wide interpreter.
 #[derive(Debug)]
 pub struct TapeSimulator<'t> {
-    tape: &'t Tape,
-    values: Vec<u64>,
-    mem_state: Vec<Vec<u64>>,
-    dirty: bool,
-    cycle: u64,
-    settles: u64,
+    inner: WideTapeSimulator<'t, bool>,
 }
 
 impl<'t> TapeSimulator<'t> {
-    /// Builds an interpreter at power-on state. Cheap: allocates the
-    /// state array and copies memory contents; all compilation already
-    /// happened in [`Tape::compile`].
+    /// Builds a simulator with the design at power-on state.
     pub fn new(tape: &'t Tape) -> Self {
-        let p = &tape.serial;
-        let mut values = vec![0u64; p.n_signals as usize];
-        for &(s, v) in &p.resets {
-            values[s as usize] = v;
-        }
-        for reg in &p.regs {
-            values[reg.q as usize] = reg.init;
-        }
-        let mem_state = p.mems.iter().map(|m| m.init.clone()).collect();
         Self {
-            tape,
-            values,
-            mem_state,
-            dirty: true,
-            cycle: 0,
-            settles: 0,
+            inner: WideTapeSimulator::new(tape),
         }
     }
 
     /// The compiled tape under interpretation.
     pub fn tape(&self) -> &'t Tape {
-        self.tape
+        self.inner.tape()
     }
 
     /// Number of clock edges stepped so far.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.inner.cycle()
     }
 
-    /// Number of combinational settle passes performed so far.
+    /// Number of settle passes performed so far.
     pub fn settle_count(&self) -> u64 {
-        self.settles
+        self.inner.settle_count()
     }
 
     /// Observes run counters into `registry` (`sim.cycles`,
-    /// `sim.settle_passes` — the same histograms the graph engine
-    /// publishes, so dashboards are engine-agnostic).
+    /// `sim.settle_passes` — the serial graph engine's histograms, so
+    /// dashboards are engine-agnostic).
     pub fn record_metrics(&self, registry: &pe_trace::Registry) {
-        registry.histogram("sim.cycles").observe(self.cycle);
+        registry.histogram("sim.cycles").observe(self.cycle());
         registry
             .histogram("sim.settle_passes")
-            .observe(self.settles);
+            .observe(self.settle_count());
     }
 
     /// Drives a top-level input signal.
@@ -463,25 +58,9 @@ impl<'t> TapeSimulator<'t> {
     /// # Panics
     ///
     /// Panics if `signal` is not input-driven or `value` does not fit
-    /// its width — both are testbench bugs.
+    /// its width.
     pub fn set_input(&mut self, signal: SignalId, value: u64) {
-        let i = signal.index();
-        assert!(
-            self.tape.input_driven[i],
-            "signal `{}` is not a top-level input",
-            self.tape.names[i]
-        );
-        assert!(
-            value <= bits::mask(self.tape.widths[i]),
-            "value {:#x} does not fit `{}` ({} bits)",
-            value,
-            self.tape.names[i],
-            self.tape.widths[i]
-        );
-        if self.values[i] != value {
-            self.values[i] = value;
-            self.dirty = true;
-        }
+        self.inner.set_input_lane(signal, 0, value);
     }
 
     /// Drives a top-level input by port name.
@@ -491,22 +70,8 @@ impl<'t> TapeSimulator<'t> {
     /// [`PortError::NoSuchInput`] if no such input port exists, or
     /// [`PortError::ValueTooWide`] if the value does not fit.
     pub fn try_set_input_by_name(&mut self, name: &str, value: u64) -> Result<(), PortError> {
-        let sig = self
-            .tape
-            .find_input(name)
-            .ok_or_else(|| PortError::NoSuchInput(name.to_string()))?;
-        if value > self.tape.mask(sig) {
-            return Err(PortError::ValueTooWide {
-                port: name.to_string(),
-                value,
-                width: self.tape.width(sig),
-            });
-        }
-        if self.values[sig as usize] != value {
-            self.values[sig as usize] = value;
-            self.dirty = true;
-        }
-        Ok(())
+        use pe_sim::SimControl as _;
+        self.inner.lane(0).try_set_input_by_name(name, value)
     }
 
     /// Drives a top-level input by port name.
@@ -519,145 +84,9 @@ impl<'t> TapeSimulator<'t> {
             .unwrap_or_else(|e| panic!("{e}"));
     }
 
-    fn settle(&mut self) {
-        if !self.dirty {
-            return;
-        }
-        self.settles += 1;
-        let v = &mut self.values;
-        let p = &self.tape.serial;
-        for instr in &p.instrs {
-            match *instr {
-                SInstr::Add { a, b, dst, mask } => {
-                    v[dst as usize] = v[a as usize].wrapping_add(v[b as usize]) & mask;
-                }
-                SInstr::Sub { a, b, dst, mask } => {
-                    v[dst as usize] = v[a as usize].wrapping_sub(v[b as usize]) & mask;
-                }
-                SInstr::Mul { a, b, dst, mask } => {
-                    v[dst as usize] = v[a as usize].wrapping_mul(v[b as usize]) & mask;
-                }
-                SInstr::Neg { a, dst, mask } => {
-                    v[dst as usize] = v[a as usize].wrapping_neg() & mask;
-                }
-                SInstr::Eq { a, b, dst } => {
-                    v[dst as usize] = (v[a as usize] == v[b as usize]) as u64;
-                }
-                SInstr::Ne { a, b, dst } => {
-                    v[dst as usize] = (v[a as usize] != v[b as usize]) as u64;
-                }
-                SInstr::Lt { a, b, dst } => {
-                    v[dst as usize] = (v[a as usize] < v[b as usize]) as u64;
-                }
-                SInstr::Le { a, b, dst } => {
-                    v[dst as usize] = (v[a as usize] <= v[b as usize]) as u64;
-                }
-                SInstr::SLt { a, b, dst, w } => {
-                    v[dst as usize] = (bits::sign_extend(v[a as usize], w)
-                        < bits::sign_extend(v[b as usize], w))
-                        as u64;
-                }
-                SInstr::SLe { a, b, dst, w } => {
-                    v[dst as usize] = (bits::sign_extend(v[a as usize], w)
-                        <= bits::sign_extend(v[b as usize], w))
-                        as u64;
-                }
-                SInstr::And2 { a, b, dst } => {
-                    v[dst as usize] = v[a as usize] & v[b as usize];
-                }
-                SInstr::Or2 { a, b, dst } => {
-                    v[dst as usize] = v[a as usize] | v[b as usize];
-                }
-                SInstr::Xor2 { a, b, dst } => {
-                    v[dst as usize] = v[a as usize] ^ v[b as usize];
-                }
-                SInstr::Not { a, dst, mask } => {
-                    v[dst as usize] = !v[a as usize] & mask;
-                }
-                SInstr::RedAnd { a, dst, mask } => {
-                    v[dst as usize] = (v[a as usize] == mask) as u64;
-                }
-                SInstr::RedOr { a, dst } => {
-                    v[dst as usize] = (v[a as usize] != 0) as u64;
-                }
-                SInstr::RedXor { a, dst } => {
-                    v[dst as usize] = (v[a as usize].count_ones() & 1) as u64;
-                }
-                SInstr::Shl {
-                    a,
-                    amt,
-                    dst,
-                    w,
-                    mask,
-                } => {
-                    let amt = v[amt as usize];
-                    v[dst as usize] = if amt >= w as u64 {
-                        0
-                    } else {
-                        (v[a as usize] << amt) & mask
-                    };
-                }
-                SInstr::Shr {
-                    a,
-                    amt,
-                    dst,
-                    w,
-                    mask,
-                } => {
-                    let amt = v[amt as usize];
-                    v[dst as usize] = if amt >= w as u64 {
-                        0
-                    } else {
-                        (v[a as usize] >> amt) & mask
-                    };
-                }
-                SInstr::Sar {
-                    a,
-                    amt,
-                    dst,
-                    w,
-                    mask,
-                } => {
-                    let sx = bits::sign_extend(v[a as usize], w);
-                    let amt = v[amt as usize].min(63);
-                    v[dst as usize] = ((sx >> amt) as u64) & mask;
-                }
-                SInstr::Mux2 { sel, a, b, dst } => {
-                    v[dst as usize] = if v[sel as usize] != 0 {
-                        v[b as usize]
-                    } else {
-                        v[a as usize]
-                    };
-                }
-                SInstr::MuxN { sel, pool, n, dst } => {
-                    let idx = (v[sel as usize] as usize).min(n as usize - 1);
-                    let src = p.pool[pool as usize + idx];
-                    v[dst as usize] = v[src as usize];
-                }
-                SInstr::Slice { a, lo, dst, mask } => {
-                    v[dst as usize] = (v[a as usize] >> lo) & mask;
-                }
-                SInstr::Copy { a, dst } => {
-                    v[dst as usize] = v[a as usize];
-                }
-                SInstr::OrShl { a, sh, dst } => {
-                    v[dst as usize] |= v[a as usize] << sh;
-                }
-                SInstr::Sext { a, dst, w, mask } => {
-                    v[dst as usize] = (bits::sign_extend(v[a as usize], w) as u64) & mask;
-                }
-                SInstr::Tbl { a, tbl, dst } => {
-                    v[dst as usize] = p.tables[tbl as usize][v[a as usize] as usize];
-                }
-            }
-        }
-        self.dirty = false;
-    }
-
     /// Current value of a signal (settling first if needed).
     pub fn value(&mut self, signal: SignalId) -> u64 {
-        self.settle();
-        self.values[signal.index()]
+        self.inner.value_lane(signal, 0)
     }
 
     /// Current value of a named output port.
@@ -666,12 +95,7 @@ impl<'t> TapeSimulator<'t> {
     ///
     /// [`PortError::NoSuchOutput`] if no such output port exists.
     pub fn try_output(&mut self, name: &str) -> Result<u64, PortError> {
-        let sig = self
-            .tape
-            .find_output(name)
-            .ok_or_else(|| PortError::NoSuchOutput(name.to_string()))?;
-        self.settle();
-        Ok(self.values[sig as usize])
+        self.inner.try_output_lane(name, 0)
     }
 
     /// Current value of a named output port.
@@ -683,95 +107,25 @@ impl<'t> TapeSimulator<'t> {
         self.try_output(name).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Settles and returns a consistent snapshot of all signal values,
-    /// indexed by [`SignalId::index`].
-    pub fn values(&mut self) -> &[u64] {
-        self.settle();
-        &self.values
-    }
-
     /// Advances one clock edge on **all** clock domains.
     pub fn step(&mut self) {
-        self.step_domains(None);
+        self.inner.step();
     }
 
     /// Advances one clock edge on the given domain only.
     pub fn step_clock(&mut self, clock: ClockId) {
-        self.step_domains(Some(clock.index() as u32));
-    }
-
-    fn step_domains(&mut self, only: Option<u32>) {
-        self.settle();
-        let p = &self.tape.serial;
-        // Capture phase, then commit — models simultaneous edges,
-        // identical to the graph engine.
-        let mut reg_next: Vec<(u32, u64)> = Vec::with_capacity(p.regs.len());
-        for reg in &p.regs {
-            if only.is_some_and(|c| c != reg.clock) {
-                continue;
-            }
-            let enabled = reg.en.is_none_or(|en| self.values[en as usize] != 0);
-            if enabled {
-                reg_next.push((reg.q, self.values[reg.d as usize]));
-            }
-        }
-        let mut mem_next: Vec<MemNext> = Vec::with_capacity(p.mems.len());
-        for mem in &p.mems {
-            if only.is_some_and(|c| c != mem.clock) {
-                continue;
-            }
-            let raddr = self.values[mem.raddr as usize] as usize % mem.words as usize;
-            let read = self.mem_state[mem.state_index as usize][raddr];
-            let write = if self.values[mem.wen as usize] != 0 {
-                let waddr = self.values[mem.waddr as usize] as usize % mem.words as usize;
-                Some((
-                    mem.state_index as usize,
-                    waddr,
-                    self.values[mem.wdata as usize],
-                ))
-            } else {
-                None
-            };
-            mem_next.push((mem.rdata, read, write));
-        }
-        for (q, val) in reg_next {
-            self.values[q as usize] = val;
-        }
-        for (rdata, read, write) in mem_next {
-            self.values[rdata as usize] = read;
-            if let Some((state, addr, data)) = write {
-                self.mem_state[state][addr] = data;
-            }
-        }
-        self.cycle += 1;
-        self.dirty = true;
+        self.inner.step_clock(clock);
     }
 
     /// Runs `n` clock edges on all domains.
     pub fn step_n(&mut self, n: u64) {
-        for _ in 0..n {
-            self.step();
-        }
+        self.inner.step_n(n);
     }
 
-    /// Resets to power-on state: registers to `init`, memories to their
-    /// initial contents, inputs to zero, cycle counter to 0.
+    /// Resets to power-on state: registers to `init`, memories to
+    /// initial contents, inputs to zero, cycle counter 0.
     pub fn reset(&mut self) {
-        let p = &self.tape.serial;
-        for v in &mut self.values {
-            *v = 0;
-        }
-        for &(s, val) in &p.resets {
-            self.values[s as usize] = val;
-        }
-        for reg in &p.regs {
-            self.values[reg.q as usize] = reg.init;
-        }
-        for mem in &p.mems {
-            self.mem_state[mem.state_index as usize].copy_from_slice(&mem.init);
-        }
-        self.cycle = 0;
-        self.dirty = true;
+        self.inner.reset();
     }
 }
 

@@ -1,7 +1,12 @@
-//! 64-lane instruction-tape interpreter.
+//! Lane-word instruction-tape interpreter.
 //!
-//! Every signal bit is a *plane*: one `u64` whose bit `l` is that
-//! signal bit's value in lane `l`. Unlike the graph engine's bit-slice
+//! Every signal bit is a *plane*: one [`LaneWord`] whose lane `l` is that
+//! signal bit's value in lane `l`. The interpreter is generic over the
+//! lane word, so one core covers 1 (`bool`, the serial engine), 64
+//! (`u64`), 128 (`[u64; 2]`), and 256 (`[u64; 4]`) lanes; the compiled
+//! program itself is width-independent — plane counts and instruction
+//! streams are identical at every width. Unlike the graph engine's
+//! bit-slice
 //! arena (one contiguous slot per signal), the tape compiler maps each
 //! signal to an arbitrary list of planes, which turns all pure wiring
 //! into compile-time aliasing:
@@ -27,7 +32,7 @@
 use crate::Tape;
 use pe_rtl::{ClockId, ComponentKind, Design, SignalId};
 use pe_sim::{SimControl, Testbench};
-use pe_util::lanes::LANES;
+use pe_util::lanes::{LaneWord, MAX_LANES};
 use pe_util::{bits, PortError};
 
 /// Reserved plane: all lanes 0. Never written.
@@ -801,17 +806,20 @@ pub(crate) fn compile_wide(
 
 /// Pending per-memory capture, mirroring the graph engine's commit
 /// ordering.
-type MemCapture = (u32, [u64; LANES]);
-type MemWrite = (usize, [u64; LANES], [u64; LANES], u64);
+type MemCapture = (u32, Vec<u64>);
+type MemWrite<W> = (usize, Vec<u64>, Vec<u64>, W);
 
-/// 64-lane interpreter over a compiled [`Tape`] — the drop-in
-/// counterpart of [`pe_sim::WideSimulator`], bit-identical per lane.
+/// Lane-word interpreter over a compiled [`Tape`] — the drop-in
+/// counterpart of [`pe_sim::WideSimulator`], bit-identical per lane at
+/// every [`LaneWord`] width. `W = bool` is the serial engine (wrapped
+/// by [`crate::TapeSimulator`]), `u64` the classic 64-lane pack,
+/// `[u64; 2]` / `[u64; 4]` the 128- and 256-lane packs.
 #[derive(Debug)]
-pub struct WideTapeSimulator<'t> {
+pub struct WideTapeSimulator<'t, W: LaneWord = u64> {
     tape: &'t Tape,
-    planes: Vec<u64>,
+    planes: Vec<W>,
     /// One-hot select masks, filled by `SelMasks` instructions.
-    masks: Vec<u64>,
+    masks: Vec<W>,
     /// Per mask group: the single active leg when all lanes agree on
     /// the select this settle, else -1.
     uniform: Vec<i32>,
@@ -820,13 +828,14 @@ pub struct WideTapeSimulator<'t> {
     /// matching `mem_clean` flag is set. A capture whose address planes
     /// match the cache — and with no intervening write — leaves the
     /// read-data planes untouched, skipping both transposes.
-    mem_raddr_cache: Vec<Vec<u64>>,
+    mem_raddr_cache: Vec<Vec<W>>,
     mem_clean: Vec<bool>,
-    reg_scratch: Vec<u64>,
-    /// Per *port*: staged per-lane values. Drives are a plain
-    /// compare-and-store; a dirty group merges its ports' lanes into
-    /// one packed word per lane at settle, where the loop vectorizes.
-    staged_lanes: Vec<[u64; LANES]>,
+    reg_scratch: Vec<W>,
+    /// Per *port*: staged per-lane values, flattened at stride
+    /// `W::LANES`. Drives are a plain compare-and-store; a dirty group
+    /// merges its ports' lanes into one packed word per lane at settle,
+    /// where the loop vectorizes.
+    staged_lanes: Vec<u64>,
     /// Per *port* — settle folds members into the owning group's merge
     /// decision, so the drive path never touches port metadata.
     staged_dirty: Vec<bool>,
@@ -839,7 +848,7 @@ pub struct WideTapeSimulator<'t> {
     settles: u64,
 }
 
-impl<'t> WideTapeSimulator<'t> {
+impl<'t, W: LaneWord> WideTapeSimulator<'t, W> {
     /// Builds an interpreter with every lane at power-on state. Cheap
     /// relative to `WideSimulator::new`: no validation, no topological
     /// sort, no per-component lowering — just arena allocation.
@@ -847,22 +856,22 @@ impl<'t> WideTapeSimulator<'t> {
         let p = &tape.wide;
         let mut sim = Self {
             tape,
-            planes: vec![0u64; p.n_planes as usize],
-            masks: vec![0u64; p.masks_len as usize],
+            planes: vec![W::zero(); p.n_planes as usize],
+            masks: vec![W::zero(); p.masks_len as usize],
             uniform: vec![-1; p.mask_groups.len()],
             mem_state: p
                 .mems
                 .iter()
-                .map(|m| vec![0u64; m.words as usize * LANES])
+                .map(|m| vec![0u64; m.words as usize * W::LANES])
                 .collect(),
             mem_raddr_cache: p
                 .mems
                 .iter()
-                .map(|m| vec![0u64; m.addr_w as usize])
+                .map(|m| vec![W::zero(); m.addr_w as usize])
                 .collect(),
             mem_clean: vec![false; p.mems.len()],
-            reg_scratch: vec![0u64; p.scratch_len as usize],
-            staged_lanes: vec![[0u64; LANES]; p.staged.len()],
+            reg_scratch: vec![W::zero(); p.scratch_len as usize],
+            staged_lanes: vec![0u64; p.staged.len() * W::LANES],
             staged_dirty: vec![false; p.staged.len()],
             stage_hint: 0,
             dirty: true,
@@ -875,17 +884,16 @@ impl<'t> WideTapeSimulator<'t> {
 
     fn load_power_on_state(&mut self) {
         let p = &self.tape.wide;
-        self.planes[ONE as usize] = !0u64;
+        self.planes[ONE as usize] = W::ones();
         for reg in &p.regs {
             for i in 0..reg.w {
-                self.planes[(reg.q + i) as usize] =
-                    if (reg.init >> i) & 1 == 1 { !0u64 } else { 0 };
+                self.planes[(reg.q + i) as usize] = W::splat((reg.init >> i) & 1 == 1);
             }
         }
         for mem in &p.mems {
             let state = &mut self.mem_state[mem.state_index as usize];
             for (w, &v) in mem.init.iter().enumerate() {
-                state[w * LANES..(w + 1) * LANES].fill(v);
+                state[w * W::LANES..(w + 1) * W::LANES].fill(v);
             }
         }
     }
@@ -905,6 +913,11 @@ impl<'t> WideTapeSimulator<'t> {
         self.settles
     }
 
+    /// Number of lanes this instantiation evaluates per pass.
+    pub fn lanes(&self) -> usize {
+        W::LANES
+    }
+
     /// Observes run counters into `registry` (`sim.wide_cycles`,
     /// `sim.wide_settle_passes` — the graph engine's histograms, so
     /// dashboards are engine-agnostic).
@@ -920,9 +933,9 @@ impl<'t> WideTapeSimulator<'t> {
     /// # Panics
     ///
     /// Panics if `signal` is not input-driven, `value` does not fit its
-    /// width, or `lane >= 64`.
+    /// width, or `lane >= W::LANES`.
     pub fn set_input_lane(&mut self, signal: SignalId, lane: usize, value: u64) {
-        assert!(lane < LANES, "lane {lane} out of range 0..{LANES}");
+        assert!(lane < W::LANES, "lane {lane} out of range 0..{}", W::LANES);
         let p = &self.tape.wide;
         let Some(si) = p.staged_of[signal.index()] else {
             panic!(
@@ -945,9 +958,9 @@ impl<'t> WideTapeSimulator<'t> {
     /// group merge deferred to settle.
     #[inline]
     fn stage_port(&mut self, si: usize, lane: usize, value: u64) {
-        let lanes = &mut self.staged_lanes[si];
-        if lanes[lane] != value {
-            lanes[lane] = value;
+        let v = &mut self.staged_lanes[si * W::LANES + lane];
+        if *v != value {
+            *v = value;
             self.staged_dirty[si] = true;
             self.dirty = true;
         }
@@ -1001,10 +1014,11 @@ impl<'t> WideTapeSimulator<'t> {
             self.tape.names[signal.index()],
             st.width
         );
-        let lanes = &mut self.staged_lanes[si as usize];
+        let si = si as usize;
+        let lanes = &mut self.staged_lanes[si * W::LANES..(si + 1) * W::LANES];
         if lanes.iter().any(|&v| v != value) {
             lanes.fill(value);
-            self.staged_dirty[si as usize] = true;
+            self.staged_dirty[si] = true;
             self.dirty = true;
         }
     }
@@ -1022,16 +1036,18 @@ impl<'t> WideTapeSimulator<'t> {
                 continue;
             }
             self.staged_dirty[members].fill(false);
-            let mut merged = self.staged_lanes[first];
+            let mut merged = [0u64; MAX_LANES];
+            let merged = &mut merged[..W::LANES];
+            merged.copy_from_slice(&self.staged_lanes[first * W::LANES..(first + 1) * W::LANES]);
             for si in first + 1..first + grp.n_ports as usize {
                 let off = p.staged[si].off;
-                let lanes = &self.staged_lanes[si];
+                let lanes = &self.staged_lanes[si * W::LANES..(si + 1) * W::LANES];
                 for (m, &v) in merged.iter_mut().zip(lanes.iter()) {
                     *m |= v << off;
                 }
             }
             let range = grp.base as usize..(grp.base + grp.width) as usize;
-            pe_util::lanes::pack_lanes(&merged, grp.width, &mut self.planes[range]);
+            pe_util::lanes::pack::<W>(merged, grp.width, &mut self.planes[range]);
         }
         let pl = &mut self.planes;
         let masks = &mut self.masks;
@@ -1040,140 +1056,140 @@ impl<'t> WideTapeSimulator<'t> {
         for instr in &p.instrs {
             match *instr {
                 WInstr::Add { a, b, dst, w } => {
-                    let mut carry = 0u64;
+                    let mut carry = W::zero();
                     for i in 0..w {
                         let ai = pl[pool[(a + i) as usize] as usize];
                         let bi = pl[pool[(b + i) as usize] as usize];
-                        pl[(dst + i) as usize] = ai ^ bi ^ carry;
-                        carry = (ai & bi) | (carry & (ai ^ bi));
+                        pl[(dst + i) as usize] = ai.xor(bi).xor(carry);
+                        carry = ai.and(bi).or(carry.and(ai.xor(bi)));
                     }
                 }
                 WInstr::AddD { a, b, dst, w } => {
                     let (a, b, dst, w) = (a as usize, b as usize, dst as usize, w as usize);
                     assert!(a + w <= pl.len() && b + w <= pl.len() && dst + w <= pl.len());
-                    let mut carry = 0u64;
+                    let mut carry = W::zero();
                     for i in 0..w {
                         let ai = pl[a + i];
                         let bi = pl[b + i];
-                        pl[dst + i] = ai ^ bi ^ carry;
-                        carry = (ai & bi) | (carry & (ai ^ bi));
+                        pl[dst + i] = ai.xor(bi).xor(carry);
+                        carry = ai.and(bi).or(carry.and(ai.xor(bi)));
                     }
                 }
                 WInstr::Sub { a, b, dst, w } => {
-                    let mut borrow = 0u64;
+                    let mut borrow = W::zero();
                     for i in 0..w {
                         let ai = pl[pool[(a + i) as usize] as usize];
                         let bi = pl[pool[(b + i) as usize] as usize];
-                        pl[(dst + i) as usize] = ai ^ bi ^ borrow;
-                        borrow = (!ai & bi) | (borrow & !(ai ^ bi));
+                        pl[(dst + i) as usize] = ai.xor(bi).xor(borrow);
+                        borrow = ai.not().and(bi).or(borrow.and(ai.xor(bi).not()));
                     }
                 }
                 WInstr::SubD { a, b, dst, w } => {
                     let (a, b, dst, w) = (a as usize, b as usize, dst as usize, w as usize);
                     assert!(a + w <= pl.len() && b + w <= pl.len() && dst + w <= pl.len());
-                    let mut borrow = 0u64;
+                    let mut borrow = W::zero();
                     for i in 0..w {
                         let ai = pl[a + i];
                         let bi = pl[b + i];
-                        pl[dst + i] = ai ^ bi ^ borrow;
-                        borrow = (!ai & bi) | (borrow & !(ai ^ bi));
+                        pl[dst + i] = ai.xor(bi).xor(borrow);
+                        borrow = ai.not().and(bi).or(borrow.and(ai.xor(bi).not()));
                     }
                 }
                 WInstr::Mul { a, b, dst, w, bw } => {
                     for i in 0..w {
-                        pl[(dst + i) as usize] = 0;
+                        pl[(dst + i) as usize] = W::zero();
                     }
                     for j in 0..bw {
                         let bj = pl[pool[(b + j) as usize] as usize];
-                        let mut carry = 0u64;
+                        let mut carry = W::zero();
                         for i in 0..(w - j) {
-                            let pp = pl[pool[(a + i) as usize] as usize] & bj;
+                            let pp = pl[pool[(a + i) as usize] as usize].and(bj);
                             let acc = pl[(dst + j + i) as usize];
-                            pl[(dst + j + i) as usize] = acc ^ pp ^ carry;
-                            carry = (acc & pp) | (carry & (acc ^ pp));
+                            pl[(dst + j + i) as usize] = acc.xor(pp).xor(carry);
+                            carry = acc.and(pp).or(carry.and(acc.xor(pp)));
                         }
                     }
                 }
                 WInstr::MulS { a, b, dst, w, bw } => {
-                    let mut av = [0u64; LANES];
-                    let mut bv = [0u64; LANES];
-                    unpack_pool(pl, pool, a, w, &mut av);
-                    unpack_pool(pl, pool, b, bw, &mut bv);
+                    let mut av = [0u64; MAX_LANES];
+                    let mut bv = [0u64; MAX_LANES];
+                    unpack_pool(pl, pool, a, w, &mut av[..W::LANES]);
+                    unpack_pool(pl, pool, b, bw, &mut bv[..W::LANES]);
                     let m = bits::mask(w);
-                    let mut prod = [0u64; LANES];
-                    for l in 0..LANES {
+                    let mut prod = [0u64; MAX_LANES];
+                    for l in 0..W::LANES {
                         prod[l] = av[l].wrapping_mul(bv[l]) & m;
                     }
                     let range = dst as usize..(dst + w) as usize;
-                    pe_util::lanes::pack_lanes(&prod, w, &mut pl[range]);
+                    pe_util::lanes::pack::<W>(&prod[..W::LANES], w, &mut pl[range]);
                 }
                 WInstr::Neg { a, dst, w } => {
-                    let mut carry = !0u64;
+                    let mut carry = W::ones();
                     for i in 0..w {
-                        let ai = !pl[pool[(a + i) as usize] as usize];
-                        pl[(dst + i) as usize] = ai ^ carry;
-                        carry &= ai;
+                        let ai = pl[pool[(a + i) as usize] as usize].not();
+                        pl[(dst + i) as usize] = ai.xor(carry);
+                        carry = carry.and(ai);
                     }
                 }
                 WInstr::Eq { a, b, dst, w } => {
                     pl[dst as usize] = eq_chain(pl, pool, a, b, w);
                 }
                 WInstr::Ne { a, b, dst, w } => {
-                    pl[dst as usize] = !eq_chain(pl, pool, a, b, w);
+                    pl[dst as usize] = eq_chain(pl, pool, a, b, w).not();
                 }
                 WInstr::Lt { a, b, dst, w } => {
                     pl[dst as usize] = lt_chain(pl, pool, a, b, w, false);
                 }
                 WInstr::Le { a, b, dst, w } => {
-                    pl[dst as usize] = !lt_chain(pl, pool, b, a, w, false);
+                    pl[dst as usize] = lt_chain(pl, pool, b, a, w, false).not();
                 }
                 WInstr::SLt { a, b, dst, w } => {
                     pl[dst as usize] = lt_chain(pl, pool, a, b, w, true);
                 }
                 WInstr::SLe { a, b, dst, w } => {
-                    pl[dst as usize] = !lt_chain(pl, pool, b, a, w, true);
+                    pl[dst as usize] = lt_chain(pl, pool, b, a, w, true).not();
                 }
                 WInstr::And2 { a, b, dst, w } => {
                     for i in 0..w {
                         pl[(dst + i) as usize] = pl[pool[(a + i) as usize] as usize]
-                            & pl[pool[(b + i) as usize] as usize];
+                            .and(pl[pool[(b + i) as usize] as usize]);
                     }
                 }
                 WInstr::Or2 { a, b, dst, w } => {
                     for i in 0..w {
                         pl[(dst + i) as usize] = pl[pool[(a + i) as usize] as usize]
-                            | pl[pool[(b + i) as usize] as usize];
+                            .or(pl[pool[(b + i) as usize] as usize]);
                     }
                 }
                 WInstr::Xor2 { a, b, dst, w } => {
                     for i in 0..w {
                         pl[(dst + i) as usize] = pl[pool[(a + i) as usize] as usize]
-                            ^ pl[pool[(b + i) as usize] as usize];
+                            .xor(pl[pool[(b + i) as usize] as usize]);
                     }
                 }
                 WInstr::Not { a, dst, w } => {
                     for i in 0..w {
-                        pl[(dst + i) as usize] = !pl[pool[(a + i) as usize] as usize];
+                        pl[(dst + i) as usize] = pl[pool[(a + i) as usize] as usize].not();
                     }
                 }
                 WInstr::RedAnd { a, dst, w } => {
-                    let mut acc = !0u64;
+                    let mut acc = W::ones();
                     for i in 0..w {
-                        acc &= pl[pool[(a + i) as usize] as usize];
+                        acc = acc.and(pl[pool[(a + i) as usize] as usize]);
                     }
                     pl[dst as usize] = acc;
                 }
                 WInstr::RedOr { a, dst, w } => {
-                    let mut acc = 0u64;
+                    let mut acc = W::zero();
                     for i in 0..w {
-                        acc |= pl[pool[(a + i) as usize] as usize];
+                        acc = acc.or(pl[pool[(a + i) as usize] as usize]);
                     }
                     pl[dst as usize] = acc;
                 }
                 WInstr::RedXor { a, dst, w } => {
-                    let mut acc = 0u64;
+                    let mut acc = W::zero();
                     for i in 0..w {
-                        acc ^= pl[pool[(a + i) as usize] as usize];
+                        acc = acc.xor(pl[pool[(a + i) as usize] as usize]);
                     }
                     pl[dst as usize] = acc;
                 }
@@ -1189,7 +1205,7 @@ impl<'t> WideTapeSimulator<'t> {
                     }
                     for j in 0..amt_w {
                         let aj = pl[pool[(amt + j) as usize] as usize];
-                        if aj == 0 {
+                        if aj.is_zero() {
                             continue;
                         }
                         let dist = (1u64 << j.min(32)).min(w as u64) as u32;
@@ -1197,10 +1213,10 @@ impl<'t> WideTapeSimulator<'t> {
                             let src = if i >= dist {
                                 pl[(dst + i - dist) as usize]
                             } else {
-                                0
+                                W::zero()
                             };
                             let cur = pl[(dst + i) as usize];
-                            pl[(dst + i) as usize] = (aj & src) | (!aj & cur);
+                            pl[(dst + i) as usize] = W::blend(aj, src, cur);
                         }
                     }
                 }
@@ -1221,14 +1237,14 @@ impl<'t> WideTapeSimulator<'t> {
                     let fill = if matches!(instr, WInstr::Sar { .. }) {
                         pl[pool[(a + w - 1) as usize] as usize]
                     } else {
-                        0
+                        W::zero()
                     };
                     for i in 0..w {
                         pl[(dst + i) as usize] = pl[pool[(a + i) as usize] as usize];
                     }
                     for j in 0..amt_w {
                         let aj = pl[pool[(amt + j) as usize] as usize];
-                        if aj == 0 {
+                        if aj.is_zero() {
                             continue;
                         }
                         let dist = (1u64 << j.min(32)).min(w as u64) as u32;
@@ -1239,7 +1255,7 @@ impl<'t> WideTapeSimulator<'t> {
                                 fill
                             };
                             let cur = pl[(dst + i) as usize];
-                            pl[(dst + i) as usize] = (aj & src) | (!aj & cur);
+                            pl[(dst + i) as usize] = W::blend(aj, src, cur);
                         }
                     }
                 }
@@ -1247,13 +1263,13 @@ impl<'t> WideTapeSimulator<'t> {
                     let mx = &p.mux2s[idx as usize];
                     let w = mx.w as usize;
                     let dst = mx.dst as usize;
-                    let mut m1 = 0u64;
+                    let mut m1 = W::zero();
                     for j in 0..mx.sel_w {
-                        m1 |= pl[pool[(mx.sel + j) as usize] as usize];
+                        m1 = m1.or(pl[pool[(mx.sel + j) as usize] as usize]);
                     }
-                    if m1 == 0 || m1 == !0u64 {
+                    if m1.is_zero() || m1.is_ones() {
                         // Every lane picks the same leg: straight copy.
-                        let (run, off) = if m1 == 0 {
+                        let (run, off) = if m1.is_zero() {
                             (mx.a_run, mx.a)
                         } else {
                             (mx.b_run, mx.b)
@@ -1261,7 +1277,7 @@ impl<'t> WideTapeSimulator<'t> {
                         if run.0 != NOT_RUN {
                             let (rb, rl) = (run.0 as usize, run.1 as usize);
                             pl.copy_within(rb..rb + rl, dst);
-                            pl[dst + rl..dst + w].fill(0);
+                            pl[dst + rl..dst + w].fill(W::zero());
                         } else {
                             for i in 0..w as u32 {
                                 pl[dst + i as usize] = pl[pool[(off + i) as usize] as usize];
@@ -1272,25 +1288,25 @@ impl<'t> WideTapeSimulator<'t> {
                         // the plane arena, so the per-leg loops vectorize
                         // (reading and writing `pl` in one loop defeats
                         // the optimizer's aliasing analysis).
-                        let mut acc = [0u64; 64];
+                        let mut acc = [W::zero(); 64];
                         if mx.a_run.0 != NOT_RUN {
                             let (ab, al) = (mx.a_run.0 as usize, mx.a_run.1 as usize);
                             for (x, &s) in acc[..al].iter_mut().zip(&pl[ab..ab + al]) {
-                                *x = !m1 & s;
+                                *x = s.andn(m1);
                             }
                         } else {
                             for (i, x) in acc[..w].iter_mut().enumerate() {
-                                *x = !m1 & pl[pool[mx.a as usize + i] as usize];
+                                *x = pl[pool[mx.a as usize + i] as usize].andn(m1);
                             }
                         }
                         if mx.b_run.0 != NOT_RUN {
                             let (bb, bl) = (mx.b_run.0 as usize, mx.b_run.1 as usize);
                             for (x, &s) in acc[..bl].iter_mut().zip(&pl[bb..bb + bl]) {
-                                *x |= m1 & s;
+                                *x = x.or(m1.and(s));
                             }
                         } else {
                             for (i, x) in acc[..w].iter_mut().enumerate() {
-                                *x |= m1 & pl[pool[mx.b as usize + i] as usize];
+                                *x = x.or(m1.and(pl[pool[mx.b as usize + i] as usize]));
                             }
                         }
                         pl[dst..dst + w].copy_from_slice(&acc[..w]);
@@ -1299,19 +1315,19 @@ impl<'t> WideTapeSimulator<'t> {
                 WInstr::SelMasks { group } => {
                     let g = &p.mask_groups[group as usize];
                     let base = g.base as usize;
-                    let mut used = 0u64;
+                    let mut used = W::zero();
                     let mut nonzero = 0u32;
                     let mut win = -1i32;
                     for d in 0..g.n {
                         let m = if d + 1 == g.n {
-                            !used
+                            used.not()
                         } else {
                             let m = eq_const_pool(pl, pool, g.sel, g.sel_w, d as u64);
-                            used |= m;
+                            used = used.or(m);
                             m
                         };
                         masks[base + d as usize] = m;
-                        if m != 0 {
+                        if !m.is_zero() {
                             nonzero += 1;
                             win = d as i32;
                         }
@@ -1331,7 +1347,7 @@ impl<'t> WideTapeSimulator<'t> {
                         if lb != NOT_RUN {
                             let (lb, len) = (lb as usize, len as usize);
                             pl.copy_within(lb..lb + len, dst);
-                            pl[dst + len..dst + w].fill(0);
+                            pl[dst + len..dst + w].fill(W::zero());
                         } else {
                             for i in 0..w {
                                 pl[dst + i] = pl[pool[leg + i] as usize];
@@ -1342,22 +1358,22 @@ impl<'t> WideTapeSimulator<'t> {
                         // disjoint from the plane arena — the run loops
                         // vectorize, and the result stores once.
                         let mbase = mx.masks as usize;
-                        let mut acc = [0u64; 64];
+                        let mut acc = [W::zero(); 64];
                         for d in 0..mx.n as usize {
                             let m = masks[mbase + d];
-                            if m == 0 {
+                            if m.is_zero() {
                                 continue;
                             }
                             let (lb, len) = p.leg_runs[mx.runs as usize + d];
                             if lb != NOT_RUN {
                                 let (lb, len) = (lb as usize, len as usize);
                                 for (x, &s) in acc[..len].iter_mut().zip(&pl[lb..lb + len]) {
-                                    *x |= m & s;
+                                    *x = x.or(m.and(s));
                                 }
                             } else {
                                 let leg = mx.legs as usize + d * w;
                                 for (i, x) in acc[..w].iter_mut().enumerate() {
-                                    *x |= m & pl[pool[leg + i] as usize];
+                                    *x = x.or(m.and(pl[pool[leg + i] as usize]));
                                 }
                             }
                         }
@@ -1368,14 +1384,14 @@ impl<'t> WideTapeSimulator<'t> {
                     let t = &p.tables[idx as usize];
                     if t.table.len() <= 64 {
                         for i in 0..t.w {
-                            pl[(t.dst + i) as usize] = 0;
+                            pl[(t.dst + i) as usize] = W::zero();
                         }
                         for (entry, &tv) in t.table.iter().enumerate() {
                             if tv == 0 {
                                 continue;
                             }
                             let m = eq_const_pool(pl, pool, t.addr, t.addr_w, entry as u64);
-                            if m == 0 {
+                            if m.is_zero() {
                                 continue;
                             }
                             let mut v = tv;
@@ -1383,23 +1399,26 @@ impl<'t> WideTapeSimulator<'t> {
                                 let i = v.trailing_zeros();
                                 v &= v - 1;
                                 if i < t.w {
-                                    pl[(t.dst + i) as usize] |= m;
+                                    pl[(t.dst + i) as usize] = pl[(t.dst + i) as usize].or(m);
                                 }
                             }
                         }
                     } else {
-                        let mut buf = [0u64; 64];
+                        let mut buf = [W::zero(); 64];
                         for i in 0..t.addr_w as usize {
                             buf[i] = pl[pool[t.addr as usize + i] as usize];
                         }
-                        let mut addrs = [0u64; LANES];
-                        pe_util::lanes::unpack_lanes(&buf[..t.addr_w as usize], &mut addrs);
-                        let mut vals = [0u64; LANES];
-                        for l in 0..LANES {
+                        let mut addrs = [0u64; MAX_LANES];
+                        pe_util::lanes::unpack::<W>(
+                            &buf[..t.addr_w as usize],
+                            &mut addrs[..W::LANES],
+                        );
+                        let mut vals = [0u64; MAX_LANES];
+                        for l in 0..W::LANES {
                             vals[l] = t.table[addrs[l] as usize];
                         }
                         let range = t.dst as usize..(t.dst + t.w) as usize;
-                        pe_util::lanes::pack_lanes(&vals, t.w, &mut pl[range]);
+                        pe_util::lanes::pack::<W>(&vals[..W::LANES], t.w, &mut pl[range]);
                     }
                 }
             }
@@ -1412,16 +1431,16 @@ impl<'t> WideTapeSimulator<'t> {
     ///
     /// # Panics
     ///
-    /// Panics if `lane >= 64`.
+    /// Panics if `lane >= W::LANES`.
     pub fn value_lane(&mut self, signal: SignalId, lane: usize) -> u64 {
-        assert!(lane < LANES, "lane {lane} out of range 0..{LANES}");
+        assert!(lane < W::LANES, "lane {lane} out of range 0..{}", W::LANES);
         self.settle();
         let p = &self.tape.wide;
         let base = p.plane_base[signal.index()] as usize;
         let w = self.tape.widths[signal.index()] as usize;
         let mut v = 0u64;
         for i in 0..w {
-            v |= ((self.planes[p.plane_map[base + i] as usize] >> lane) & 1) << i;
+            v |= (self.planes[p.plane_map[base + i] as usize].lane(lane) as u64) << i;
         }
         v
     }
@@ -1431,7 +1450,12 @@ impl<'t> WideTapeSimulator<'t> {
     /// # Errors
     ///
     /// [`PortError::NoSuchOutput`] if no such output port exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= W::LANES`.
     pub fn try_output_lane(&mut self, name: &str, lane: usize) -> Result<u64, PortError> {
+        assert!(lane < W::LANES, "lane {lane} out of range 0..{}", W::LANES);
         let sig = self
             .tape
             .find_output(name)
@@ -1442,7 +1466,7 @@ impl<'t> WideTapeSimulator<'t> {
         let w = self.tape.widths[sig as usize] as usize;
         let mut v = 0u64;
         for i in 0..w {
-            v |= ((self.planes[p.plane_map[base + i] as usize] >> lane) & 1) << i;
+            v |= (self.planes[p.plane_map[base + i] as usize].lane(lane) as u64) << i;
         }
         Ok(v)
     }
@@ -1462,7 +1486,7 @@ impl<'t> WideTapeSimulator<'t> {
     /// [`WideTapeSimulator::plane_indices`] to locate a signal's bits;
     /// this is the tape counterpart of the graph engine's `slices()`
     /// borrow.
-    pub fn settled_planes(&mut self) -> &[u64] {
+    pub fn settled_planes(&mut self) -> &[W] {
         self.settle();
         &self.planes
     }
@@ -1480,7 +1504,7 @@ impl<'t> WideTapeSimulator<'t> {
     }
 
     /// Settles and copies the bit planes of `signal` into `out`
-    /// (`out[i]` = bit `i` across all 64 lanes). The tape's aliasing
+    /// (`out[i]` = bit `i` across all lanes). The tape's aliasing
     /// means a signal's planes are not generally contiguous, so this
     /// replaces the graph engine's `slices()` borrow for packed
     /// digesting and transition detection.
@@ -1488,7 +1512,7 @@ impl<'t> WideTapeSimulator<'t> {
     /// # Panics
     ///
     /// Panics if `out.len()` differs from the signal's width.
-    pub fn read_planes_into(&mut self, signal: SignalId, out: &mut [u64]) {
+    pub fn read_planes_into(&mut self, signal: SignalId, out: &mut [W]) {
         self.settle();
         let p = &self.tape.wide;
         let base = p.plane_base[signal.index()] as usize;
@@ -1526,7 +1550,7 @@ impl<'t> WideTapeSimulator<'t> {
                     if d != NOT_RUN {
                         let (d, len, w) = (d as usize, len as usize, reg.w as usize);
                         self.reg_scratch[s0..s0 + len].copy_from_slice(&self.planes[d..d + len]);
-                        self.reg_scratch[s0 + len..s0 + w].fill(0);
+                        self.reg_scratch[s0 + len..s0 + w].fill(W::zero());
                     } else {
                         for i in 0..reg.w {
                             self.reg_scratch[s0 + i as usize] =
@@ -1536,17 +1560,17 @@ impl<'t> WideTapeSimulator<'t> {
                 }
                 Some(e) => {
                     let en = self.planes[e as usize];
-                    if en == 0 {
+                    if en.is_zero() {
                         // No lane captures: hold Q.
                         let (q, w) = (reg.q as usize, reg.w as usize);
                         self.reg_scratch[s0..s0 + w].copy_from_slice(&self.planes[q..q + w]);
-                    } else if en == !0u64 {
+                    } else if en.is_ones() {
                         let (d, len) = reg.d_run;
                         if d != NOT_RUN {
                             let (d, len, w) = (d as usize, len as usize, reg.w as usize);
                             self.reg_scratch[s0..s0 + len]
                                 .copy_from_slice(&self.planes[d..d + len]);
-                            self.reg_scratch[s0 + len..s0 + w].fill(0);
+                            self.reg_scratch[s0 + len..s0 + w].fill(W::zero());
                         } else {
                             for i in 0..reg.w {
                                 self.reg_scratch[s0 + i as usize] =
@@ -1557,14 +1581,14 @@ impl<'t> WideTapeSimulator<'t> {
                         for i in 0..reg.w {
                             let d = self.planes[p.pool[(reg.d + i) as usize] as usize];
                             let q = self.planes[(reg.q + i) as usize];
-                            self.reg_scratch[s0 + i as usize] = (en & d) | (!en & q);
+                            self.reg_scratch[s0 + i as usize] = W::blend(en, d, q);
                         }
                     }
                 }
             }
         }
         let mut mem_rdata: Vec<Option<MemCapture>> = Vec::with_capacity(p.mems.len());
-        let mut mem_writes: Vec<MemWrite> = Vec::with_capacity(p.mems.len());
+        let mut mem_writes: Vec<MemWrite<W>> = Vec::with_capacity(p.mems.len());
         for mem in &p.mems {
             if only.is_some_and(|c| c != mem.clock) {
                 continue;
@@ -1583,40 +1607,39 @@ impl<'t> WideTapeSimulator<'t> {
                     *c = self.planes[p.pool[mem.raddr as usize + i] as usize];
                 }
                 self.mem_clean[mi] = true;
-                let mut raddr = [0u64; LANES];
+                let mut raddr = vec![0u64; W::LANES];
                 unpack_pool(&self.planes, &p.pool, mem.raddr, mem.addr_w, &mut raddr);
                 let state = &self.mem_state[mi];
                 let words = mem.words as usize;
-                let mut read = [0u64; LANES];
-                for l in 0..LANES {
-                    read[l] = state[(raddr[l] as usize % words) * LANES + l];
+                let mut read = vec![0u64; W::LANES];
+                for (l, r) in read.iter_mut().enumerate() {
+                    *r = state[(raddr[l] as usize % words) * W::LANES + l];
                 }
                 mem_rdata.push(Some((mem.rdata, read)));
             }
             let wen = self.planes[mem.wen as usize];
-            if wen != 0 {
-                let mut waddr = [0u64; LANES];
-                let mut wdata = [0u64; LANES];
-                if wen.count_ones() <= 8 {
+            if !wen.is_zero() {
+                let mut waddr = vec![0u64; W::LANES];
+                let mut wdata = vec![0u64; W::LANES];
+                if wen.count_lanes() <= 8 {
                     // Few lanes write: gathering their bits directly is
-                    // cheaper than two full 64x64 transposes.
-                    let mut m = wen;
-                    while m != 0 {
-                        let l = m.trailing_zeros() as usize;
-                        m &= m - 1;
+                    // cheaper than full per-word transposes.
+                    wen.for_each_lane(|l| {
                         let mut a = 0u64;
                         for i in 0..mem.addr_w as usize {
-                            a |= (self.planes[p.pool[mem.waddr as usize + i] as usize] >> l & 1)
+                            a |= (self.planes[p.pool[mem.waddr as usize + i] as usize].lane(l)
+                                as u64)
                                 << i;
                         }
                         let mut d = 0u64;
                         for i in 0..mem.data_w as usize {
-                            d |= (self.planes[p.pool[mem.wdata as usize + i] as usize] >> l & 1)
+                            d |= (self.planes[p.pool[mem.wdata as usize + i] as usize].lane(l)
+                                as u64)
                                 << i;
                         }
                         waddr[l] = a;
                         wdata[l] = d;
-                    }
+                    });
                 } else {
                     unpack_pool(&self.planes, &p.pool, mem.waddr, mem.addr_w, &mut waddr);
                     unpack_pool(&self.planes, &p.pool, mem.wdata, mem.data_w, &mut wdata);
@@ -1643,17 +1666,14 @@ impl<'t> WideTapeSimulator<'t> {
                 continue;
             };
             let range = rdata as usize..rdata as usize + mem.data_w as usize;
-            pe_util::lanes::pack_lanes(&read, mem.data_w, &mut self.planes[range]);
+            pe_util::lanes::pack::<W>(&read, mem.data_w, &mut self.planes[range]);
         }
         for (state_index, waddr, wdata, wen) in mem_writes {
             let words = p.mems[state_index].words as usize;
             let state = &mut self.mem_state[state_index];
-            let mut w = wen;
-            while w != 0 {
-                let l = w.trailing_zeros() as usize;
-                w &= w - 1;
-                state[(waddr[l] as usize % words) * LANES + l] = wdata[l];
-            }
+            wen.for_each_lane(|l| {
+                state[(waddr[l] as usize % words) * W::LANES + l] = wdata[l];
+            });
         }
         self.cycle += 1;
         self.dirty = true;
@@ -1669,14 +1689,12 @@ impl<'t> WideTapeSimulator<'t> {
     /// Resets every lane to power-on state: registers to `init`,
     /// memories to initial contents, inputs to zero, cycle counter 0.
     pub fn reset(&mut self) {
-        self.planes.fill(0);
-        self.masks.fill(0);
+        self.planes.fill(W::zero());
+        self.masks.fill(W::zero());
         self.uniform.fill(-1);
         self.mem_state.iter_mut().for_each(|s| s.fill(0));
         self.mem_clean.fill(false);
-        for lanes in &mut self.staged_lanes {
-            lanes.fill(0);
-        }
+        self.staged_lanes.fill(0);
         self.staged_dirty.fill(false);
         self.stage_hint = 0;
         self.load_power_on_state();
@@ -1689,16 +1707,20 @@ impl<'t> WideTapeSimulator<'t> {
     ///
     /// # Panics
     ///
-    /// Panics if `lane >= 64`.
-    pub fn lane<'s>(&'s mut self, lane: usize) -> TapeLane<'s, 't> {
-        assert!(lane < LANES, "lane {lane} out of range 0..{LANES}");
+    /// Panics if `lane >= W::LANES`.
+    pub fn lane<'s>(&'s mut self, lane: usize) -> TapeLane<'s, 't, W> {
+        assert!(lane < W::LANES, "lane {lane} out of range 0..{}", W::LANES);
         TapeLane { sim: self, lane }
     }
 }
 
-impl pe_sim::WideControl for WideTapeSimulator<'_> {
+impl<W: LaneWord> pe_sim::WideControl for WideTapeSimulator<'_, W> {
     fn try_output_lane(&mut self, name: &str, lane: usize) -> Result<u64, PortError> {
         WideTapeSimulator::try_output_lane(self, name, lane)
+    }
+
+    fn lanes(&self) -> usize {
+        W::LANES
     }
 }
 
@@ -1706,12 +1728,12 @@ impl pe_sim::WideControl for WideTapeSimulator<'_> {
 /// so a [`Testbench`] written for the serial engine can drive it
 /// unchanged.
 #[derive(Debug)]
-pub struct TapeLane<'s, 't> {
-    sim: &'s mut WideTapeSimulator<'t>,
+pub struct TapeLane<'s, 't, W: LaneWord = u64> {
+    sim: &'s mut WideTapeSimulator<'t, W>,
     lane: usize,
 }
 
-impl SimControl for TapeLane<'_, '_> {
+impl<W: LaneWord> SimControl for TapeLane<'_, '_, W> {
     fn cycle(&self) -> u64 {
         self.sim.cycle()
     }
@@ -1733,16 +1755,20 @@ impl SimControl for TapeLane<'_, '_> {
     }
 }
 
-/// Runs up to 64 testbenches in lock-step, one per lane — the tape
-/// counterpart of [`pe_sim::run_lanes`].
+/// Runs up to `W::LANES` testbenches in lock-step, one per lane — the
+/// tape counterpart of [`pe_sim::run_lanes`].
 ///
 /// # Panics
 ///
-/// Panics if more than 64 testbenches are supplied.
-pub fn run_lanes(sim: &mut WideTapeSimulator<'_>, tbs: &mut [Box<dyn Testbench>]) -> u64 {
+/// Panics if more than `W::LANES` testbenches are supplied.
+pub fn run_lanes<W: LaneWord>(
+    sim: &mut WideTapeSimulator<'_, W>,
+    tbs: &mut [Box<dyn Testbench>],
+) -> u64 {
     assert!(
-        tbs.len() <= LANES,
-        "at most {LANES} lanes, got {}",
+        tbs.len() <= W::LANES,
+        "at most {} lanes, got {}",
+        W::LANES,
         tbs.len()
     );
     let cycles = tbs.iter().map(|t| t.cycles()).max().unwrap_or(0);
@@ -1763,12 +1789,12 @@ pub fn run_lanes(sim: &mut WideTapeSimulator<'_>, tbs: &mut [Box<dyn Testbench>]
 }
 
 /// All-lanes mask of pooled operands `a == b` over `w` bits.
-fn eq_chain(planes: &[u64], pool: &[u32], a: u32, b: u32, w: u32) -> u64 {
-    let mut m = !0u64;
+fn eq_chain<W: LaneWord>(planes: &[W], pool: &[u32], a: u32, b: u32, w: u32) -> W {
+    let mut m = W::ones();
     for i in 0..w {
         let ai = planes[pool[(a + i) as usize] as usize];
         let bi = planes[pool[(b + i) as usize] as usize];
-        m &= !(ai ^ bi);
+        m = m.and(ai.xor(bi).not());
     }
     m
 }
@@ -1776,40 +1802,44 @@ fn eq_chain(planes: &[u64], pool: &[u32], a: u32, b: u32, w: u32) -> u64 {
 /// Lane-mask of `a < b` via the final borrow of `a - b`; `signed`
 /// complements the MSB planes (two's-complement order is unsigned
 /// order with the sign bit inverted).
-fn lt_chain(planes: &[u64], pool: &[u32], a: u32, b: u32, w: u32, signed: bool) -> u64 {
-    let mut borrow = 0u64;
+fn lt_chain<W: LaneWord>(planes: &[W], pool: &[u32], a: u32, b: u32, w: u32, signed: bool) -> W {
+    let mut borrow = W::zero();
     for i in 0..w {
         let mut ai = planes[pool[(a + i) as usize] as usize];
         let mut bi = planes[pool[(b + i) as usize] as usize];
         if signed && i == w - 1 {
-            ai = !ai;
-            bi = !bi;
+            ai = ai.not();
+            bi = bi.not();
         }
-        borrow = (!ai & bi) | (borrow & !(ai ^ bi));
+        borrow = ai.not().and(bi).or(borrow.and(ai.xor(bi).not()));
     }
     borrow
 }
 
 /// All-lanes mask of `pooled operand == value` for a constant, exiting
 /// as soon as no lane can match.
-fn eq_const_pool(planes: &[u64], pool: &[u32], sel: u32, w: u32, value: u64) -> u64 {
-    let mut m = !0u64;
+fn eq_const_pool<W: LaneWord>(planes: &[W], pool: &[u32], sel: u32, w: u32, value: u64) -> W {
+    let mut m = W::ones();
     for i in 0..w {
         let bit = planes[pool[(sel + i) as usize] as usize];
-        m &= if (value >> i) & 1 == 1 { bit } else { !bit };
-        if m == 0 {
-            return 0;
+        m = m.and(if (value >> i) & 1 == 1 {
+            bit
+        } else {
+            bit.not()
+        });
+        if m.is_zero() {
+            return W::zero();
         }
     }
     m
 }
 
 /// Unpacks a pooled (possibly non-contiguous) operand into per-lane
-/// scalars via a staging copy and the 64×64 transpose.
-fn unpack_pool(planes: &[u64], pool: &[u32], off: u32, w: u32, lanes: &mut [u64; LANES]) {
-    let mut buf = [0u64; 64];
+/// scalars via a staging copy and the per-word 64×64 transpose.
+fn unpack_pool<W: LaneWord>(planes: &[W], pool: &[u32], off: u32, w: u32, lanes: &mut [u64]) {
+    let mut buf = [W::zero(); 64];
     for i in 0..w as usize {
         buf[i] = planes[pool[off as usize + i] as usize];
     }
-    pe_util::lanes::unpack_lanes(&buf[..w as usize], lanes);
+    pe_util::lanes::unpack::<W>(&buf[..w as usize], lanes);
 }

@@ -16,15 +16,27 @@ cargo build --workspace --release --offline
 echo "== cargo test"
 cargo test --workspace --release --offline -q
 
-echo "== tape differential suite (compiled tape vs graph engines, bit-exact)"
-cargo test --release --offline -q --test tape_differential
+echo "== width-sweep differential matrix (1/64/128/256 lanes, bit-exact)"
+cargo test --release --offline -q --test differential --test tape_differential --test properties
 
-echo "== wide bench smoke (lane digests verified, BENCH_wide.json)"
+echo "== wide bench smoke at 128 lanes (lane digests verified)"
+cargo run -p pe-bench --release --offline --bin wide -- --scale test --jobs 2 \
+  --lanes 128 --out BENCH_wide_128.json
+grep -q '"lanes": 128' BENCH_wide_128.json
+rm -f BENCH_wide_128.json
+
+echo "== wide bench smoke, all widths (lane digests verified, BENCH_wide.json)"
 cargo run -p pe-bench --release --offline --bin wide -- --scale test --jobs 2 --out BENCH_wide.json
 
-echo "== tape columns present in BENCH_wide.json"
+echo "== per-width columns present in BENCH_wide.json"
 grep -q '"tape_seconds"' BENCH_wide.json
 grep -q '"tape_speedup"' BENCH_wide.json
+grep -q '"lane_widths": \[64, 128, 256\]' BENCH_wide.json
+grep -q '"lanes": 64' BENCH_wide.json
+grep -q '"lanes": 128' BENCH_wide.json
+grep -q '"lanes": 256' BENCH_wide.json
+grep -q '"settle_mlcps"' BENCH_wide.json
+grep -q '"geomean_settle_mlcps"' BENCH_wide.json
 
 echo "== trace bench smoke (waveform integral invariant, BENCH_trace.json)"
 cargo run -p pe-bench --release --offline --bin trace -- --scale test --jobs 2 \

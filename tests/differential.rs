@@ -1,20 +1,26 @@
-//! Differential testing of the bit-parallel 64-lane engines against every
-//! serial engine in the workspace.
+//! Differential testing of the bit-parallel lane-word engines against
+//! every serial engine in the workspace, at every supported width.
 //!
 //! The wide simulators claim lane-for-lane bit-identical semantics with
-//! their serial counterparts; this suite enforces the claim on the full
-//! seven-design benchmark suite with seeded per-lane stimulus shards:
+//! their serial counterparts at 1, 64, 128, and 256 lanes; this suite
+//! enforces the claim on the full seven-design benchmark suite with
+//! seeded per-lane stimulus shards:
 //!
-//! * wide RTL vs 64 fresh serial RTL runs (every output, every cycle);
+//! * wide RTL vs fresh serial RTL runs (every output, every cycle, at
+//!   every lane width);
 //! * wide gate-level and wide LUT-level vs the wide RTL engine
-//!   (cross-substrate, all lanes at once);
-//! * gate-level switching energy per lane vs serial runs (bit-exact f64);
-//! * instrumented `read_energy_fj` per lane vs serial instrumented runs.
+//!   (cross-substrate, all lanes at once, at every width);
+//! * gate-level switching energy per lane vs serial runs (bit-exact
+//!   f64, at every width);
+//! * instrumented `read_energy_fj` per lane vs serial instrumented runs
+//!   (at every width).
 //!
-//! Every assertion names the design, signal, lane, and first diverging
-//! cycle, so a red run points straight at the divergence.
+//! Cycle budgets scale down with lane width so each width instantiation
+//! does comparable total work. Every assertion names the design,
+//! signal, width, lane, and first diverging cycle, so a red run points
+//! straight at the divergence.
 
-use pe_util::lanes::LANES;
+use pe_util::lanes::LaneWord;
 use power_emulation::designs::suite::{all_benchmarks, benchmark, Benchmark, Scale};
 use power_emulation::fpga::lut::map_to_luts;
 use power_emulation::fpga::WideLutSimulator;
@@ -24,12 +30,22 @@ use power_emulation::gate::{GateSimulator, WideGateSimulator};
 use power_emulation::sim::{Simulator, WideSimulator};
 
 /// Cycles compared per design (the gate/LUT expansions of MPEG4 are the
-/// expensive ones).
-fn budget(name: &str) -> u64 {
-    match name {
+/// expensive ones), scaled down for the wider lane words so each width
+/// costs roughly the same wall clock.
+fn budget(name: &str, lanes: usize) -> u64 {
+    let base = match name {
         "MPEG4" => 250,
         _ => 600,
-    }
+    };
+    base / (lanes as u64 / 64).max(1)
+}
+
+/// Spot lanes probing both ends and the middle of a word, deduplicated
+/// for narrow words.
+fn spot_lanes(lanes: usize) -> Vec<usize> {
+    let mut spots = vec![0usize, lanes / 4, lanes - 1];
+    spots.dedup();
+    spots
 }
 
 /// The design's output ports as `(name, signal)` pairs.
@@ -52,27 +68,26 @@ fn inputs(bench: &Benchmark) -> Vec<(String, power_emulation::rtl::SignalId)> {
         .collect()
 }
 
-/// Every lane of the wide RTL engine reproduces a fresh serial RTL run of
-/// the same stimulus shard, output for output, cycle for cycle.
-#[test]
-fn wide_rtl_matches_serial_rtl_on_every_lane() {
+/// Every lane of the wide RTL engine reproduces a fresh serial RTL run
+/// of the same stimulus shard, output for output, cycle for cycle.
+fn wide_rtl_matches_serial_rtl_at<W: LaneWord>() {
     for bench in all_benchmarks() {
-        let cycles = budget(bench.name).min(bench.cycles(Scale::Test));
+        let cycles = budget(bench.name, W::LANES).min(bench.cycles(Scale::Test));
         let outs = outputs(&bench);
 
-        let mut wide = WideSimulator::new(&bench.design).expect("wide sim");
-        let mut serials: Vec<Simulator<'_>> = (0..LANES)
+        let mut wide = WideSimulator::<W>::new(&bench.design).expect("wide sim");
+        let mut serials: Vec<Simulator<'_>> = (0..W::LANES)
             .map(|_| Simulator::new(&bench.design).expect("serial sim"))
             .collect();
-        let mut wide_tbs = bench.testbench_shards(cycles, LANES);
-        let mut serial_tbs = bench.testbench_shards(cycles, LANES);
+        let mut wide_tbs = bench.testbench_shards(cycles, W::LANES);
+        let mut serial_tbs = bench.testbench_shards(cycles, W::LANES);
 
         for cycle in 0..cycles {
-            for lane in 0..LANES {
+            for lane in 0..W::LANES {
                 wide_tbs[lane].apply(cycle, &mut wide.lane(lane));
                 serial_tbs[lane].apply(cycle, &mut serials[lane]);
             }
-            for lane in 0..LANES {
+            for lane in 0..W::LANES {
                 wide_tbs[lane].observe(cycle, &mut wide.lane(lane));
                 serial_tbs[lane].observe(cycle, &mut serials[lane]);
             }
@@ -81,10 +96,12 @@ fn wide_rtl_matches_serial_rtl_on_every_lane() {
                     let got = wide.value_lane(*sig, lane);
                     let want = serial.value(*sig);
                     assert_eq!(
-                        got, want,
-                        "{}::{name} diverged: lane {lane}, first at cycle {cycle} \
+                        got,
+                        want,
+                        "{}::{name} diverged: width {}, lane {lane}, first at cycle {cycle} \
                          (wide {got:#x}, serial {want:#x})",
-                        bench.name
+                        bench.name,
+                        W::LANES
                     );
                 }
             }
@@ -96,23 +113,42 @@ fn wide_rtl_matches_serial_rtl_on_every_lane() {
     }
 }
 
-/// The wide gate-level and wide LUT-level engines agree with the wide RTL
-/// engine on every lane of the suite workloads (the synthesis path
-/// preserves behaviour lane-for-lane, not just for one stimulus).
 #[test]
-fn wide_gate_and_wide_lut_match_wide_rtl_on_every_lane() {
+fn wide_rtl_matches_serial_rtl_at_1_lane() {
+    wide_rtl_matches_serial_rtl_at::<bool>();
+}
+
+#[test]
+fn wide_rtl_matches_serial_rtl_at_64_lanes() {
+    wide_rtl_matches_serial_rtl_at::<u64>();
+}
+
+#[test]
+fn wide_rtl_matches_serial_rtl_at_128_lanes() {
+    wide_rtl_matches_serial_rtl_at::<[u64; 2]>();
+}
+
+#[test]
+fn wide_rtl_matches_serial_rtl_at_256_lanes() {
+    wide_rtl_matches_serial_rtl_at::<[u64; 4]>();
+}
+
+/// The wide gate-level and wide LUT-level engines agree with the wide
+/// RTL engine on every lane of the suite workloads (the synthesis path
+/// preserves behaviour lane-for-lane, not just for one stimulus).
+fn wide_gate_and_lut_match_wide_rtl_at<W: LaneWord>() {
     let cells = CellLibrary::cmos130();
     for bench in all_benchmarks() {
-        let cycles = budget(bench.name).min(bench.cycles(Scale::Test)) / 2;
+        let cycles = budget(bench.name, W::LANES).min(bench.cycles(Scale::Test)) / 2;
         let expanded = expand_design(&bench.design);
         let mapped = map_to_luts(&expanded.netlist);
         let ins = inputs(&bench);
         let outs = outputs(&bench);
 
-        let mut rtl = WideSimulator::new(&bench.design).expect("wide rtl");
-        let mut gate = WideGateSimulator::new(&expanded, &cells);
-        let mut lut = WideLutSimulator::new(&mapped);
-        let mut tbs = bench.testbench_shards(cycles, LANES);
+        let mut rtl = WideSimulator::<W>::new(&bench.design).expect("wide rtl");
+        let mut gate = WideGateSimulator::<W>::new(&expanded, &cells);
+        let mut lut = WideLutSimulator::<W>::new(&mapped);
+        let mut tbs = bench.testbench_shards(cycles, W::LANES);
 
         for cycle in 0..cycles {
             for (lane, tb) in tbs.iter_mut().enumerate() {
@@ -121,26 +157,32 @@ fn wide_gate_and_wide_lut_match_wide_rtl_on_every_lane() {
             }
             // Mirror the settled RTL input lanes into the other engines.
             for (name, sig) in &ins {
-                for lane in 0..LANES {
+                for lane in 0..W::LANES {
                     let v = rtl.value_lane(*sig, lane);
                     gate.set_input_lane(name, lane, v);
                     lut.set_input_lane(name, lane, v);
                 }
             }
             for (name, sig) in &outs {
-                for lane in 0..LANES {
+                for lane in 0..W::LANES {
                     let want = rtl.value_lane(*sig, lane);
                     let got_gate = gate.output_lane(name, lane);
                     assert_eq!(
-                        got_gate, want,
-                        "{}::{name} diverged at gate level: lane {lane}, first at cycle {cycle}",
-                        bench.name
+                        got_gate,
+                        want,
+                        "{}::{name} diverged at gate level: width {}, lane {lane}, \
+                         first at cycle {cycle}",
+                        bench.name,
+                        W::LANES
                     );
                     let got_lut = lut.output_lane(name, lane);
                     assert_eq!(
-                        got_lut, want,
-                        "{}::{name} diverged at LUT level: lane {lane}, first at cycle {cycle}",
-                        bench.name
+                        got_lut,
+                        want,
+                        "{}::{name} diverged at LUT level: width {}, lane {lane}, \
+                         first at cycle {cycle}",
+                        bench.name,
+                        W::LANES
                     );
                 }
             }
@@ -151,26 +193,45 @@ fn wide_gate_and_wide_lut_match_wide_rtl_on_every_lane() {
     }
 }
 
+#[test]
+fn wide_gate_and_wide_lut_match_wide_rtl_at_1_lane() {
+    wide_gate_and_lut_match_wide_rtl_at::<bool>();
+}
+
+#[test]
+fn wide_gate_and_wide_lut_match_wide_rtl_at_64_lanes() {
+    wide_gate_and_lut_match_wide_rtl_at::<u64>();
+}
+
+#[test]
+fn wide_gate_and_wide_lut_match_wide_rtl_at_128_lanes() {
+    wide_gate_and_lut_match_wide_rtl_at::<[u64; 2]>();
+}
+
+#[test]
+fn wide_gate_and_wide_lut_match_wide_rtl_at_256_lanes() {
+    wide_gate_and_lut_match_wide_rtl_at::<[u64; 4]>();
+}
+
 /// The wide gate engine's per-lane switching energy is bit-exactly the
 /// serial gate engine's, checked on spot lanes across three designs.
-#[test]
-fn wide_gate_energy_is_bit_exact_on_spot_lanes() {
+fn wide_gate_energy_is_bit_exact_at<W: LaneWord>() {
     let cells = CellLibrary::cmos130();
     for name in ["Bubble_Sort", "Vld", "DCT"] {
         let bench = benchmark(name).unwrap();
-        let cycles = 200;
+        let cycles = 200 / (W::LANES as u64 / 64).max(1);
         let expanded = expand_design(&bench.design);
         let ins = inputs(&bench);
 
-        let mut wide = WideGateSimulator::new(&expanded, &cells);
-        let mut tbs = bench.testbench_shards(cycles, LANES);
+        let mut wide = WideGateSimulator::<W>::new(&expanded, &cells);
+        let mut tbs = bench.testbench_shards(cycles, W::LANES);
         // Reference inputs per lane come from serial RTL shard runs.
-        let spot_lanes = [0usize, 17, 63];
-        let mut serial_gates: Vec<GateSimulator<'_>> = spot_lanes
+        let spots = spot_lanes(W::LANES);
+        let mut serial_gates: Vec<GateSimulator<'_>> = spots
             .iter()
             .map(|_| GateSimulator::new(&expanded, &cells))
             .collect();
-        let mut rtl = WideSimulator::new(&bench.design).expect("wide rtl");
+        let mut rtl = WideSimulator::<W>::new(&bench.design).expect("wide rtl");
 
         for cycle in 0..cycles {
             for (lane, tb) in tbs.iter_mut().enumerate() {
@@ -178,11 +239,11 @@ fn wide_gate_energy_is_bit_exact_on_spot_lanes() {
                 tb.observe(cycle, &mut rtl.lane(lane));
             }
             for (pname, sig) in &ins {
-                for lane in 0..LANES {
+                for lane in 0..W::LANES {
                     let v = rtl.value_lane(*sig, lane);
                     wide.set_input_lane(pname, lane, v);
                 }
-                for (si, &lane) in spot_lanes.iter().enumerate() {
+                for (si, &lane) in spots.iter().enumerate() {
                     serial_gates[si]
                         .try_set_input(pname, rtl.value_lane(*sig, lane))
                         .unwrap();
@@ -190,51 +251,72 @@ fn wide_gate_energy_is_bit_exact_on_spot_lanes() {
             }
             rtl.step();
             wide.step();
-            for (si, &lane) in spot_lanes.iter().enumerate() {
+            for (si, &lane) in spots.iter().enumerate() {
                 serial_gates[si].step();
                 let got = wide.last_cycle_energy_fj_lane(lane);
                 let want = serial_gates[si].last_cycle_energy_fj();
                 assert_eq!(
                     got.to_bits(),
                     want.to_bits(),
-                    "{name} gate energy diverged: lane {lane}, first at cycle {cycle} \
-                     (wide {got} fJ, serial {want} fJ)"
+                    "{name} gate energy diverged: width {}, lane {lane}, \
+                     first at cycle {cycle} (wide {got} fJ, serial {want} fJ)",
+                    W::LANES
                 );
             }
         }
-        for (si, &lane) in spot_lanes.iter().enumerate() {
+        for (si, &lane) in spots.iter().enumerate() {
             assert_eq!(
                 wide.total_energy_fj_lane(lane).to_bits(),
                 serial_gates[si].total_energy_fj().to_bits(),
-                "{name} total gate energy diverged on lane {lane}"
+                "{name} total gate energy diverged: width {}, lane {lane}",
+                W::LANES
             );
         }
     }
 }
 
-/// The instrumented design's hardware energy readout is bit-exactly equal
-/// per lane between a 64-lane wide run and fresh serial runs.
 #[test]
-fn instrumented_energy_readout_matches_per_lane() {
+fn wide_gate_energy_is_bit_exact_at_1_lane() {
+    wide_gate_energy_is_bit_exact_at::<bool>();
+}
+
+#[test]
+fn wide_gate_energy_is_bit_exact_at_64_lanes() {
+    wide_gate_energy_is_bit_exact_at::<u64>();
+}
+
+#[test]
+fn wide_gate_energy_is_bit_exact_at_128_lanes() {
+    wide_gate_energy_is_bit_exact_at::<[u64; 2]>();
+}
+
+#[test]
+fn wide_gate_energy_is_bit_exact_at_256_lanes() {
+    wide_gate_energy_is_bit_exact_at::<[u64; 4]>();
+}
+
+/// The instrumented design's hardware energy readout is bit-exactly
+/// equal per lane between a wide run and fresh serial runs.
+fn instrumented_readout_matches_at<W: LaneWord>() {
     use power_emulation::core::PowerEmulationFlow;
     use power_emulation::power::CharacterizeConfig;
 
     for name in ["Bubble_Sort", "HVPeakF"] {
         let bench = benchmark(name).unwrap();
-        let cycles = 200;
+        let cycles = 200 / (W::LANES as u64 / 64).max(1);
         let flow = PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
         flow.prepare_models(&bench.design).expect("characterize");
         let (instrumented, _) = flow.stage_instrument(&bench.design).expect("instrument");
 
-        let mut wide = WideSimulator::new(&instrumented.design).expect("wide sim");
-        let mut serials: Vec<Simulator<'_>> = (0..LANES)
+        let mut wide = WideSimulator::<W>::new(&instrumented.design).expect("wide sim");
+        let mut serials: Vec<Simulator<'_>> = (0..W::LANES)
             .map(|_| Simulator::new(&instrumented.design).expect("serial sim"))
             .collect();
-        let mut wide_tbs = bench.testbench_shards(cycles, LANES);
-        let mut serial_tbs = bench.testbench_shards(cycles, LANES);
+        let mut wide_tbs = bench.testbench_shards(cycles, W::LANES);
+        let mut serial_tbs = bench.testbench_shards(cycles, W::LANES);
 
         for cycle in 0..cycles {
-            for lane in 0..LANES {
+            for lane in 0..W::LANES {
                 wide_tbs[lane].apply(cycle, &mut wide.lane(lane));
                 serial_tbs[lane].apply(cycle, &mut serials[lane]);
             }
@@ -251,10 +333,31 @@ fn instrumented_energy_readout_matches_per_lane() {
                 assert_eq!(
                     got.to_bits(),
                     want.to_bits(),
-                    "{name} instrumented energy diverged: lane {lane}, first at cycle {cycle} \
-                     (wide {got} fJ, serial {want} fJ)"
+                    "{name} instrumented energy diverged: width {}, lane {lane}, \
+                     first at cycle {cycle} (wide {got} fJ, serial {want} fJ)",
+                    W::LANES
                 );
             }
         }
     }
+}
+
+#[test]
+fn instrumented_energy_readout_matches_per_lane_at_1_lane() {
+    instrumented_readout_matches_at::<bool>();
+}
+
+#[test]
+fn instrumented_energy_readout_matches_per_lane_at_64_lanes() {
+    instrumented_readout_matches_at::<u64>();
+}
+
+#[test]
+fn instrumented_energy_readout_matches_per_lane_at_128_lanes() {
+    instrumented_readout_matches_at::<[u64; 2]>();
+}
+
+#[test]
+fn instrumented_energy_readout_matches_per_lane_at_256_lanes() {
+    instrumented_readout_matches_at::<[u64; 4]>();
 }

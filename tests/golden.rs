@@ -14,7 +14,12 @@
 //!   equal to the graph engine's at regeneration time, so cross-engine
 //!   bit-exactness is locked into the repo) and the tape's instruction
 //!   and plane counts — a compiler change that alters how a suite
-//!   design lowers shows up as a reviewable fixture diff.
+//!   design lowers shows up as a reviewable fixture diff;
+//! * per-width tape waveform digests over a capped window, one per lane
+//!   word (1, 64, 128, and 256 lanes), asserted equal to each other at
+//!   regeneration time — the same compiled program must produce the
+//!   same waveform at every width, and each instantiation's plane count
+//!   must equal the compiler's (width-independent) plane count.
 //!
 //! The committed *power* waveforms (`tests/golden/*.waveform`) are
 //! checked sample-for-sample by `tests/trace.rs`, which names the first
@@ -36,6 +41,13 @@ use std::path::PathBuf;
 
 /// Cycles of gate-level energy accumulation per fixture.
 const GATE_CYCLES: u64 = 200;
+
+/// Cycles hashed per lane-width tape digest (capped so the four width
+/// instantiations stay cheap relative to the full-run serial digests).
+const TAPE_WIDTH_CYCLES: u64 = 256;
+
+/// Lane widths pinned by the per-width tape digests.
+const TAPE_WIDTHS: [u32; 4] = [1, 64, 128, 256];
 
 /// Rolling-digest checkpoints recorded per fixture (plus the final
 /// digest, which doubles as the last checkpoint).
@@ -61,12 +73,20 @@ struct Fixture {
     /// engine — must equal the graph engine's final checkpoint, so the
     /// fixture locks cross-engine bit-exactness into the repo.
     tape_waveform_fnv128: String,
-    /// Locked instruction counts of the compiled tape: a compiler
-    /// change that alters how a suite design lowers shows up here as a
-    /// reviewable diff instead of silently.
-    tape_serial_instructions: u64,
+    /// Locked instruction and plane counts of the compiled tape: a
+    /// compiler change that alters how a suite design lowers shows up
+    /// here as a reviewable diff instead of silently. Both counts are
+    /// width-independent — every lane-word instantiation runs the same
+    /// program over the same number of planes.
     tape_wide_instructions: u64,
     tape_wide_planes: u64,
+    /// Cycles hashed per per-width tape digest.
+    tape_width_cycles: u64,
+    /// `(lane width, digest)` of the top lane's output waveform over
+    /// the capped window, in ascending width order. Regeneration
+    /// asserts all four digests are identical — width never changes the
+    /// waveform.
+    tape_width_digests: Vec<(u32, String)>,
 }
 
 impl Fixture {
@@ -84,17 +104,15 @@ impl Fixture {
         writeln!(out, "tape_waveform_fnv128 {}", self.tape_waveform_fnv128).unwrap();
         writeln!(
             out,
-            "tape_serial_instructions {}",
-            self.tape_serial_instructions
-        )
-        .unwrap();
-        writeln!(
-            out,
             "tape_wide_instructions {}",
             self.tape_wide_instructions
         )
         .unwrap();
         writeln!(out, "tape_wide_planes {}", self.tape_wide_planes).unwrap();
+        writeln!(out, "tape_width_cycles {}", self.tape_width_cycles).unwrap();
+        for (width, digest) in &self.tape_width_digests {
+            writeln!(out, "tape_waveform_fnv128_at_width {width} {digest}").unwrap();
+        }
         out
     }
 
@@ -107,9 +125,10 @@ impl Fixture {
         let mut gate_cycles = None;
         let mut gate_energy_fj_bits = None;
         let mut tape_waveform_fnv128 = None;
-        let mut tape_serial_instructions = None;
         let mut tape_wide_instructions = None;
         let mut tape_wide_planes = None;
+        let mut tape_width_cycles = None;
+        let mut tape_width_digests = Vec::new();
         for (i, line) in text.lines().enumerate() {
             let err = |what: &str| format!("line {}: {what}: `{line}`", i + 1);
             let mut fields = line.split_whitespace();
@@ -134,9 +153,13 @@ impl Fixture {
                         Some(u64::from_str_radix(val, 16).map_err(|_| err("bad bits"))?);
                 }
                 "tape_waveform_fnv128" => tape_waveform_fnv128 = Some(val.to_string()),
-                "tape_serial_instructions" => {
-                    tape_serial_instructions =
-                        Some(val.parse().map_err(|_| err("bad instruction count"))?);
+                "tape_width_cycles" => {
+                    tape_width_cycles = Some(val.parse().map_err(|_| err("bad cycle count"))?);
+                }
+                "tape_waveform_fnv128_at_width" => {
+                    let width = val.parse().map_err(|_| err("bad lane width"))?;
+                    let digest = fields.next().ok_or_else(|| err("missing digest"))?;
+                    tape_width_digests.push((width, digest.to_string()));
                 }
                 "tape_wide_instructions" => {
                     tape_wide_instructions =
@@ -158,11 +181,11 @@ impl Fixture {
             gate_cycles: gate_cycles.ok_or("missing `gate_cycles`")?,
             gate_energy_fj_bits: gate_energy_fj_bits.ok_or("missing `gate_energy_fj_bits`")?,
             tape_waveform_fnv128: tape_waveform_fnv128.ok_or("missing `tape_waveform_fnv128`")?,
-            tape_serial_instructions: tape_serial_instructions
-                .ok_or("missing `tape_serial_instructions`")?,
             tape_wide_instructions: tape_wide_instructions
                 .ok_or("missing `tape_wide_instructions`")?,
             tape_wide_planes: tape_wide_planes.ok_or("missing `tape_wide_planes`")?,
+            tape_width_cycles: tape_width_cycles.ok_or("missing `tape_width_cycles`")?,
+            tape_width_digests,
         })
     }
 }
@@ -213,6 +236,61 @@ fn tape_waveform_digest(bench: &Benchmark, tape: &power_emulation::tape::Tape) -
     h.hex()
 }
 
+/// Output waveform digest of the *top* lane of a `W::LANES`-wide tape
+/// run over the capped window, hashed exactly like
+/// [`waveform_checkpoints`]. Driving the highest lane exercises the
+/// word's last backing word, where packing bugs would hide. Also locks
+/// the instantiation's plane count to the compiler's width-independent
+/// count.
+fn tape_width_digest<W: pe_util::lanes::LaneWord>(
+    bench: &Benchmark,
+    tape: &power_emulation::tape::Tape,
+) -> String {
+    use power_emulation::sim::SimControl as _;
+    let cycles = bench.cycles(Scale::Test).min(TAPE_WIDTH_CYCLES);
+    let mut sim = power_emulation::tape::WideTapeSimulator::<W>::new(tape);
+    assert_eq!(
+        sim.settled_planes().len(),
+        tape.wide_planes(),
+        "{}: {}-lane tape allocated a different plane count than the compiler reports",
+        bench.name,
+        W::LANES
+    );
+    let lane = W::LANES - 1;
+    let mut tb = bench.testbench(cycles);
+    let outs: Vec<_> = bench.design.outputs().iter().map(|p| p.signal()).collect();
+    let mut h = Fnv128::new();
+    for cycle in 0..cycles {
+        tb.apply(cycle, &mut sim.lane(lane));
+        tb.observe(cycle, &mut sim.lane(lane));
+        for &sig in &outs {
+            h.update(&sim.lane(lane).value(sig).to_le_bytes());
+        }
+        sim.step();
+    }
+    h.hex()
+}
+
+/// The four per-width digests in ascending width order, asserted
+/// identical — the same compiled program must produce the same waveform
+/// at 1, 64, 128, and 256 lanes.
+fn tape_width_digests(bench: &Benchmark, tape: &power_emulation::tape::Tape) -> Vec<(u32, String)> {
+    let digests = vec![
+        (1, tape_width_digest::<bool>(bench, tape)),
+        (64, tape_width_digest::<u64>(bench, tape)),
+        (128, tape_width_digest::<[u64; 2]>(bench, tape)),
+        (256, tape_width_digest::<[u64; 4]>(bench, tape)),
+    ];
+    for (width, digest) in &digests[1..] {
+        assert_eq!(
+            digest, &digests[0].1,
+            "{}: {width}-lane tape waveform diverged from the 1-lane waveform",
+            bench.name
+        );
+    }
+    digests
+}
+
 /// Gate-level switching energy over the workload prefix, bit-exact.
 fn gate_energy_bits(bench: &Benchmark, cells: &CellLibrary) -> u64 {
     let expanded = expand_design(&bench.design);
@@ -255,9 +333,10 @@ fn regenerate(bench: &Benchmark, cells: &CellLibrary) -> Fixture {
         gate_cycles: GATE_CYCLES,
         gate_energy_fj_bits: gate_energy_bits(bench, cells),
         tape_waveform_fnv128,
-        tape_serial_instructions: tape.serial_instructions() as u64,
         tape_wide_instructions: tape.wide_instructions() as u64,
         tape_wide_planes: tape.wide_planes() as u64,
+        tape_width_cycles: bench.cycles(Scale::Test).min(TAPE_WIDTH_CYCLES),
+        tape_width_digests: tape_width_digests(bench, &tape),
     }
 }
 
@@ -323,11 +402,6 @@ fn diff(want: &Fixture, got: &Fixture) -> Vec<String> {
     }
     for (label, w, g) in [
         (
-            "tape_serial_instructions",
-            want.tape_serial_instructions,
-            got.tape_serial_instructions,
-        ),
-        (
             "tape_wide_instructions",
             want.tape_wide_instructions,
             got.tape_wide_instructions,
@@ -337,9 +411,30 @@ fn diff(want: &Fixture, got: &Fixture) -> Vec<String> {
             want.tape_wide_planes,
             got.tape_wide_planes,
         ),
+        (
+            "tape_width_cycles",
+            want.tape_width_cycles,
+            got.tape_width_cycles,
+        ),
     ] {
         if w != g {
             out.push(format!("{label}: fixture {w}, regenerated {g}"));
+        }
+    }
+    for &width in &TAPE_WIDTHS {
+        let find = |f: &Fixture| {
+            f.tape_width_digests
+                .iter()
+                .find(|(w, _)| *w == width)
+                .map(|(_, d)| d.clone())
+        };
+        let (w, g) = (find(want), find(got));
+        if w != g {
+            out.push(format!(
+                "tape waveform digest at width {width}: fixture {}, regenerated {}",
+                w.unwrap_or_else(|| "<missing>".to_string()),
+                g.unwrap_or_else(|| "<missing>".to_string())
+            ));
         }
     }
     out
@@ -399,9 +494,13 @@ fn fixture_render_and_parse_round_trip() {
         gate_cycles: GATE_CYCLES,
         gate_energy_fj_bits: 0x40a5_5512_3456_789a,
         tape_waveform_fnv128: "fedcba9876543210fedcba9876543210".to_string(),
-        tape_serial_instructions: 123,
         tape_wide_instructions: 456,
         tape_wide_planes: 789,
+        tape_width_cycles: 96,
+        tape_width_digests: TAPE_WIDTHS
+            .iter()
+            .map(|&w| (w, "fedcba9876543210fedcba9876543210".to_string()))
+            .collect(),
     };
     let parsed = Fixture::parse(&fixture.render()).expect("round trip");
     assert_eq!(parsed, fixture);
@@ -420,9 +519,10 @@ fn diff_localises_the_first_diverging_checkpoint_window() {
         gate_cycles: GATE_CYCLES,
         gate_energy_fj_bits: 1,
         tape_waveform_fnv128: "aa".to_string(),
-        tape_serial_instructions: 1,
         tape_wide_instructions: 2,
         tape_wide_planes: 3,
+        tape_width_cycles: 96,
+        tape_width_digests: TAPE_WIDTHS.iter().map(|&w| (w, "aa".to_string())).collect(),
     };
     let want = mk(&["aa", "bb", "cc"]);
     let got = mk(&["aa", "ee", "ff"]);

@@ -7,7 +7,7 @@
 //! case seed.
 
 use pe_util::fixed::{Fx, FxFormat};
-use pe_util::lanes::{pack_lanes, unpack_lanes, LANES};
+use pe_util::lanes::{pack_lanes, unpack_lanes, LaneWord, LANES};
 use pe_util::rng::Xoshiro;
 use power_emulation::fpga::emulate::LutSimulator;
 use power_emulation::fpga::lut::map_to_luts;
@@ -247,34 +247,34 @@ fn lane_pack_unpack_round_trips() {
     });
 }
 
-/// Any single lane of a 64-lane wide pack behaves exactly like a fresh
-/// serial simulation fed that lane's stimulus, on randomized designs and
-/// randomized per-lane input streams.
-#[test]
-fn any_wide_lane_equals_a_fresh_serial_run() {
+/// Any single lane of a `W::LANES`-wide pack behaves exactly like a
+/// fresh serial simulation fed that lane's stimulus, on randomized
+/// designs and randomized per-lane input streams.
+fn wide_lane_equals_serial_at<W: LaneWord>(cases: u64) {
     use power_emulation::sim::{SimControl, WideSimulator};
 
-    check("any_wide_lane_equals_a_fresh_serial_run", 16, |rng| {
+    let name = format!("any_wide_lane_equals_a_fresh_serial_run[{}]", W::LANES);
+    check(&name, cases, |rng| {
         let width = rng.range(2, 11) as u32;
         let ops = random_ops(rng);
         let design = random_design(width, &ops);
         let mask = pe_util::bits::mask(width);
         let cycles = rng.range(2, 13);
 
-        // Drive all 64 lanes with independent random streams, recording
+        // Drive all lanes with independent random streams, recording
         // the stimulus so any lane can be replayed serially.
-        let mut wide = WideSimulator::new(&design).unwrap();
-        let mut stim: Vec<[(u64, u64); LANES]> = Vec::new();
-        let mut wide_outs: Vec<[u64; LANES]> = Vec::new();
+        let mut wide = WideSimulator::<W>::new(&design).unwrap();
+        let mut stim: Vec<Vec<(u64, u64)>> = Vec::new();
+        let mut wide_outs: Vec<Vec<u64>> = Vec::new();
         for _ in 0..cycles {
-            let mut row = [(0u64, 0u64); LANES];
+            let mut row = vec![(0u64, 0u64); W::LANES];
             for (lane, r) in row.iter_mut().enumerate() {
                 *r = (rng.bits(12) & mask, rng.bits(12) & mask);
                 wide.lane(lane).set_input_by_name("a", r.0);
                 wide.lane(lane).set_input_by_name("b", r.1);
             }
             stim.push(row);
-            let mut outs = [0u64; LANES];
+            let mut outs = vec![0u64; W::LANES];
             for (lane, o) in outs.iter_mut().enumerate() {
                 *o = wide.output_lane("out", lane);
             }
@@ -282,8 +282,11 @@ fn any_wide_lane_equals_a_fresh_serial_run() {
             wide.step();
         }
 
-        // Replay a few arbitrary lanes serially.
-        for lane in [0usize, rng.range(1, 62) as usize, 63] {
+        // Replay a few arbitrary lanes serially (all distinct lanes when
+        // the word is narrow).
+        let mut replay = vec![0usize, W::LANES / 2, W::LANES - 1];
+        replay.dedup();
+        for lane in replay {
             let mut serial = Simulator::new(&design).unwrap();
             for (cycle, row) in stim.iter().enumerate() {
                 serial.set_input_by_name("a", row[lane].0);
@@ -291,7 +294,8 @@ fn any_wide_lane_equals_a_fresh_serial_run() {
                 assert_eq!(
                     wide_outs[cycle][lane],
                     serial.output("out"),
-                    "lane {lane} diverged from fresh serial run at cycle {cycle}"
+                    "width {}: lane {lane} diverged from fresh serial run at cycle {cycle}",
+                    W::LANES
                 );
                 serial.step();
             }
@@ -299,18 +303,27 @@ fn any_wide_lane_equals_a_fresh_serial_run() {
     });
 }
 
-/// The compiled instruction tape agrees with the graph engines
-/// cycle-for-cycle on random netlists — the serial tape against the
-/// serial graph simulator, and every lane of the 64-lane tape against
-/// the 64-lane graph engine — including designs whose pipeline
-/// registers have no power-on value (the two-state engines read them
-/// as zero, and the tape must agree from reset onward).
 #[test]
-fn tape_agrees_with_graph_on_random_designs() {
+fn any_wide_lane_equals_a_fresh_serial_run() {
+    wide_lane_equals_serial_at::<bool>(4);
+    wide_lane_equals_serial_at::<u64>(16);
+    wide_lane_equals_serial_at::<[u64; 2]>(8);
+    wide_lane_equals_serial_at::<[u64; 4]>(4);
+}
+
+/// The compiled instruction tape agrees with the graph engines
+/// cycle-for-cycle on random netlists at lane width `W::LANES` — the
+/// serial tape against the serial graph simulator, and every lane of
+/// the wide tape against the wide graph engine at the same width —
+/// including designs whose pipeline registers have no power-on value
+/// (the two-state engines read them as zero, and the tape must agree
+/// from reset onward).
+fn tape_agrees_with_graph_at<W: LaneWord>(cases: u64) {
     use power_emulation::sim::{SimControl, WideSimulator};
     use power_emulation::tape::{Tape, TapeSimulator, WideTapeSimulator};
 
-    check("tape_agrees_with_graph_on_random_designs", 16, |rng| {
+    let name = format!("tape_agrees_with_graph_on_random_designs[{}]", W::LANES);
+    check(&name, cases, |rng| {
         let width = rng.range(2, 11) as u32;
         let ops = random_ops(rng);
         let uninit = rng.bits(1) == 1;
@@ -338,27 +351,36 @@ fn tape_agrees_with_graph_on_random_designs() {
         }
 
         // Wide pair, independent per-lane streams.
-        let mut wide = WideSimulator::new(&design).unwrap();
-        let mut wide_tape = WideTapeSimulator::new(&tape);
+        let mut wide = WideSimulator::<W>::new(&design).unwrap();
+        let mut wide_tape = WideTapeSimulator::<W>::new(&tape);
         for cycle in 0..cycles {
-            for lane in 0..LANES {
+            for lane in 0..W::LANES {
                 let (a, b) = (rng.bits(12) & mask, rng.bits(12) & mask);
                 wide.lane(lane).set_input_by_name("a", a);
                 wide.lane(lane).set_input_by_name("b", b);
                 wide_tape.lane(lane).set_input_by_name("a", a);
                 wide_tape.lane(lane).set_input_by_name("b", b);
             }
-            for lane in 0..LANES {
+            for lane in 0..W::LANES {
                 assert_eq!(
                     wide.output_lane("out", lane),
                     wide_tape.output_lane("out", lane),
-                    "wide tape lane {lane} diverged at cycle {cycle} (uninit: {uninit})"
+                    "width {}: wide tape lane {lane} diverged at cycle {cycle} (uninit: {uninit})",
+                    W::LANES
                 );
             }
             wide.step();
             wide_tape.step();
         }
     });
+}
+
+#[test]
+fn tape_agrees_with_graph_on_random_designs() {
+    tape_agrees_with_graph_at::<bool>(4);
+    tape_agrees_with_graph_at::<u64>(16);
+    tape_agrees_with_graph_at::<[u64; 2]>(8);
+    tape_agrees_with_graph_at::<[u64; 4]>(4);
 }
 
 /// A macromodel's output is bounded by base + Σcoeffs and monotone in

@@ -1,28 +1,31 @@
 //! Differential torture suite for the compiled instruction-tape engines.
 //!
 //! `pe-tape` claims bit-identical semantics with the graph engines it
-//! replaces — serial tape vs serial graph, 64-lane tape vs 64-lane
-//! graph — after compiling the netlist once into flat instruction
-//! streams. This suite enforces the claim the same way
+//! replaces at every lane width — the serial tape is literally the
+//! 1-lane (`bool` lane word) instantiation of the wide interpreter, and
+//! the same compiled program must run bit-identically at 64, 128, and
+//! 256 lanes. This suite enforces the claim the same way
 //! `tests/differential.rs` does for the wide graph engines:
 //!
 //! * serial tape vs serial graph on every output, every cycle, for the
 //!   full seven-design benchmark suite;
 //! * wide tape vs wide graph on every lane of seeded per-lane stimulus
-//!   shards;
+//!   shards, at 1, 64, 128, and 256 lanes;
 //! * gate-level switching energy with tape lanes supplying the stimulus
-//!   (bit-exact f64 on spot lanes);
+//!   (bit-exact f64 on spot lanes, at every width);
 //! * instrumented `read_energy_fj` per lane through the generic readout
-//!   (wide tape vs serial graph runs);
+//!   (wide tape vs serial graph runs, at every width);
 //! * the two-state defect designs (uninitialized registers) compile and
-//!   match the graph engines;
+//!   match the graph engines at every width;
 //! * structurally broken designs are rejected at compile time with the
 //!   same diagnosed reason the lint engine reports.
 //!
-//! Every assertion names the design, signal, lane, and first diverging
-//! cycle, so a red run points straight at the divergence.
+//! Cycle budgets scale down with lane width so each width instantiation
+//! does comparable total work. Every assertion names the design,
+//! signal, width, lane, and first diverging cycle, so a red run points
+//! straight at the divergence.
 
-use pe_util::lanes::LANES;
+use pe_util::lanes::LaneWord;
 use power_emulation::designs::defects::{
     defect_benchmark, structural_defect_design, DEFECT_NAMES, STRUCTURAL_DEFECT_NAMES,
 };
@@ -33,12 +36,23 @@ use power_emulation::gate::{GateSimulator, WideGateSimulator};
 use power_emulation::sim::{Simulator, WideSimulator};
 use power_emulation::tape::{Tape, TapeSimulator, WideTapeSimulator};
 
-/// Cycles compared per design (MPEG4 is the expensive one).
-fn budget(name: &str) -> u64 {
-    match name {
+/// Cycles compared per design (MPEG4 is the expensive one), scaled down
+/// for the wider lane words so each width costs roughly the same wall
+/// clock.
+fn budget(name: &str, lanes: usize) -> u64 {
+    let base = match name {
         "MPEG4" => 250,
         _ => 600,
-    }
+    };
+    base / (lanes as u64 / 64).max(1)
+}
+
+/// Spot lanes probing both ends and the middle of a word, deduplicated
+/// for narrow words.
+fn spot_lanes(lanes: usize) -> Vec<usize> {
+    let mut spots = vec![0usize, lanes / 4, lanes - 1];
+    spots.dedup();
+    spots
 }
 
 /// The design's output ports as `(name, signal)` pairs.
@@ -66,7 +80,7 @@ fn inputs(bench: &Benchmark) -> Vec<(String, power_emulation::rtl::SignalId)> {
 #[test]
 fn serial_tape_matches_serial_graph_on_every_output() {
     for bench in all_benchmarks() {
-        let cycles = budget(bench.name).min(bench.cycles(Scale::Test));
+        let cycles = budget(bench.name, 64).min(bench.cycles(Scale::Test));
         let outs = outputs(&bench);
         let tape = Tape::compile(&bench.design).expect("tape compiles");
 
@@ -98,37 +112,38 @@ fn serial_tape_matches_serial_graph_on_every_output() {
 
 /// Every lane of the wide tape interpreter reproduces the wide graph
 /// engine under per-lane stimulus shards, output for output, cycle for
-/// cycle.
-#[test]
-fn wide_tape_matches_wide_graph_on_every_lane() {
+/// cycle — on the *same* compiled tape at each width.
+fn wide_tape_matches_wide_graph_at<W: LaneWord>() {
     for bench in all_benchmarks() {
-        let cycles = budget(bench.name).min(bench.cycles(Scale::Test));
+        let cycles = budget(bench.name, W::LANES).min(bench.cycles(Scale::Test));
         let outs = outputs(&bench);
         let tape = Tape::compile(&bench.design).expect("tape compiles");
 
-        let mut graph = WideSimulator::new(&bench.design).expect("wide sim");
-        let mut taped = WideTapeSimulator::new(&tape);
-        let mut graph_tbs = bench.testbench_shards(cycles, LANES);
-        let mut tape_tbs = bench.testbench_shards(cycles, LANES);
+        let mut graph = WideSimulator::<W>::new(&bench.design).expect("wide sim");
+        let mut taped = WideTapeSimulator::<W>::new(&tape);
+        let mut graph_tbs = bench.testbench_shards(cycles, W::LANES);
+        let mut tape_tbs = bench.testbench_shards(cycles, W::LANES);
 
         for cycle in 0..cycles {
-            for lane in 0..LANES {
+            for lane in 0..W::LANES {
                 graph_tbs[lane].apply(cycle, &mut graph.lane(lane));
                 tape_tbs[lane].apply(cycle, &mut taped.lane(lane));
             }
-            for lane in 0..LANES {
+            for lane in 0..W::LANES {
                 graph_tbs[lane].observe(cycle, &mut graph.lane(lane));
                 tape_tbs[lane].observe(cycle, &mut taped.lane(lane));
             }
             for (name, sig) in &outs {
-                for lane in 0..LANES {
+                for lane in 0..W::LANES {
                     let got = taped.value_lane(*sig, lane);
                     let want = graph.value_lane(*sig, lane);
                     assert_eq!(
-                        got, want,
-                        "{}::{name} diverged: lane {lane}, first at cycle {cycle} \
+                        got,
+                        want,
+                        "{}::{name} diverged: width {}, lane {lane}, first at cycle {cycle} \
                          (tape {got:#x}, graph {want:#x})",
-                        bench.name
+                        bench.name,
+                        W::LANES
                     );
                 }
             }
@@ -138,27 +153,46 @@ fn wide_tape_matches_wide_graph_on_every_lane() {
     }
 }
 
+#[test]
+fn wide_tape_matches_wide_graph_at_1_lane() {
+    wide_tape_matches_wide_graph_at::<bool>();
+}
+
+#[test]
+fn wide_tape_matches_wide_graph_at_64_lanes() {
+    wide_tape_matches_wide_graph_at::<u64>();
+}
+
+#[test]
+fn wide_tape_matches_wide_graph_at_128_lanes() {
+    wide_tape_matches_wide_graph_at::<[u64; 2]>();
+}
+
+#[test]
+fn wide_tape_matches_wide_graph_at_256_lanes() {
+    wide_tape_matches_wide_graph_at::<[u64; 4]>();
+}
+
 /// Gate-level switching energy is bit-exact when the stimulus comes
 /// through tape lanes: the wide gate engine fed by the wide tape's
 /// settled input lanes matches serial gate runs fed by the same lanes.
-#[test]
-fn gate_energy_from_tape_lanes_is_bit_exact_on_spot_lanes() {
+fn gate_energy_from_tape_lanes_at<W: LaneWord>() {
     let cells = CellLibrary::cmos130();
     for name in ["Bubble_Sort", "Vld", "DCT"] {
         let bench = benchmark(name).unwrap();
-        let cycles = 200;
+        let cycles = 200 / (W::LANES as u64 / 64).max(1);
         let expanded = expand_design(&bench.design);
         let ins = inputs(&bench);
         let tape = Tape::compile(&bench.design).expect("tape compiles");
 
-        let mut wide = WideGateSimulator::new(&expanded, &cells);
-        let mut tbs = bench.testbench_shards(cycles, LANES);
-        let spot_lanes = [0usize, 17, 63];
-        let mut serial_gates: Vec<GateSimulator<'_>> = spot_lanes
+        let mut wide = WideGateSimulator::<W>::new(&expanded, &cells);
+        let mut tbs = bench.testbench_shards(cycles, W::LANES);
+        let spots = spot_lanes(W::LANES);
+        let mut serial_gates: Vec<GateSimulator<'_>> = spots
             .iter()
             .map(|_| GateSimulator::new(&expanded, &cells))
             .collect();
-        let mut rtl = WideTapeSimulator::new(&tape);
+        let mut rtl = WideTapeSimulator::<W>::new(&tape);
 
         for cycle in 0..cycles {
             for (lane, tb) in tbs.iter_mut().enumerate() {
@@ -166,11 +200,11 @@ fn gate_energy_from_tape_lanes_is_bit_exact_on_spot_lanes() {
                 tb.observe(cycle, &mut rtl.lane(lane));
             }
             for (pname, sig) in &ins {
-                for lane in 0..LANES {
+                for lane in 0..W::LANES {
                     let v = rtl.value_lane(*sig, lane);
                     wide.set_input_lane(pname, lane, v);
                 }
-                for (si, &lane) in spot_lanes.iter().enumerate() {
+                for (si, &lane) in spots.iter().enumerate() {
                     serial_gates[si]
                         .try_set_input(pname, rtl.value_lane(*sig, lane))
                         .unwrap();
@@ -178,46 +212,66 @@ fn gate_energy_from_tape_lanes_is_bit_exact_on_spot_lanes() {
             }
             rtl.step();
             wide.step();
-            for (si, &lane) in spot_lanes.iter().enumerate() {
+            for (si, &lane) in spots.iter().enumerate() {
                 serial_gates[si].step();
                 let got = wide.last_cycle_energy_fj_lane(lane);
                 let want = serial_gates[si].last_cycle_energy_fj();
                 assert_eq!(
                     got.to_bits(),
                     want.to_bits(),
-                    "{name} gate energy diverged: lane {lane}, first at cycle {cycle} \
-                     (tape-fed {got} fJ, serial {want} fJ)"
+                    "{name} gate energy diverged: width {}, lane {lane}, \
+                     first at cycle {cycle} (tape-fed {got} fJ, serial {want} fJ)",
+                    W::LANES
                 );
             }
         }
     }
 }
 
-/// The instrumented design's hardware energy readout is bit-exactly
-/// equal per lane between a 64-lane tape run and fresh serial graph
-/// runs — the same generic readout drives both engines.
 #[test]
-fn instrumented_energy_readout_matches_per_lane_on_tape() {
+fn gate_energy_from_tape_lanes_is_bit_exact_at_1_lane() {
+    gate_energy_from_tape_lanes_at::<bool>();
+}
+
+#[test]
+fn gate_energy_from_tape_lanes_is_bit_exact_at_64_lanes() {
+    gate_energy_from_tape_lanes_at::<u64>();
+}
+
+#[test]
+fn gate_energy_from_tape_lanes_is_bit_exact_at_128_lanes() {
+    gate_energy_from_tape_lanes_at::<[u64; 2]>();
+}
+
+#[test]
+fn gate_energy_from_tape_lanes_is_bit_exact_at_256_lanes() {
+    gate_energy_from_tape_lanes_at::<[u64; 4]>();
+}
+
+/// The instrumented design's hardware energy readout is bit-exactly
+/// equal per lane between a wide tape run and fresh serial graph runs —
+/// the same generic readout drives both engines at every width.
+fn instrumented_readout_on_tape_at<W: LaneWord>() {
     use power_emulation::core::PowerEmulationFlow;
     use power_emulation::power::CharacterizeConfig;
 
     for name in ["Bubble_Sort", "HVPeakF"] {
         let bench = benchmark(name).unwrap();
-        let cycles = 200;
+        let cycles = 200 / (W::LANES as u64 / 64).max(1);
         let flow = PowerEmulationFlow::new().with_characterize(CharacterizeConfig::fast());
         flow.prepare_models(&bench.design).expect("characterize");
         let (instrumented, _) = flow.stage_instrument(&bench.design).expect("instrument");
         let tape = Tape::compile(&instrumented.design).expect("instrumented tape compiles");
 
-        let mut wide = WideTapeSimulator::new(&tape);
-        let mut serials: Vec<Simulator<'_>> = (0..LANES)
+        let mut wide = WideTapeSimulator::<W>::new(&tape);
+        let mut serials: Vec<Simulator<'_>> = (0..W::LANES)
             .map(|_| Simulator::new(&instrumented.design).expect("serial sim"))
             .collect();
-        let mut wide_tbs = bench.testbench_shards(cycles, LANES);
-        let mut serial_tbs = bench.testbench_shards(cycles, LANES);
+        let mut wide_tbs = bench.testbench_shards(cycles, W::LANES);
+        let mut serial_tbs = bench.testbench_shards(cycles, W::LANES);
 
         for cycle in 0..cycles {
-            for lane in 0..LANES {
+            for lane in 0..W::LANES {
                 wide_tbs[lane].apply(cycle, &mut wide.lane(lane));
                 serial_tbs[lane].apply(cycle, &mut serials[lane]);
             }
@@ -234,12 +288,33 @@ fn instrumented_energy_readout_matches_per_lane_on_tape() {
                 assert_eq!(
                     got.to_bits(),
                     want.to_bits(),
-                    "{name} instrumented energy diverged: lane {lane}, first at cycle {cycle} \
-                     (tape {got} fJ, serial {want} fJ)"
+                    "{name} instrumented energy diverged: width {}, lane {lane}, \
+                     first at cycle {cycle} (tape {got} fJ, serial {want} fJ)",
+                    W::LANES
                 );
             }
         }
     }
+}
+
+#[test]
+fn instrumented_energy_readout_matches_per_lane_on_tape_at_1_lane() {
+    instrumented_readout_on_tape_at::<bool>();
+}
+
+#[test]
+fn instrumented_energy_readout_matches_per_lane_on_tape_at_64_lanes() {
+    instrumented_readout_on_tape_at::<u64>();
+}
+
+#[test]
+fn instrumented_energy_readout_matches_per_lane_on_tape_at_128_lanes() {
+    instrumented_readout_on_tape_at::<[u64; 2]>();
+}
+
+#[test]
+fn instrumented_energy_readout_matches_per_lane_on_tape_at_256_lanes() {
+    instrumented_readout_on_tape_at::<[u64; 4]>();
 }
 
 /// The serial tape also matches the graph engine through the
@@ -281,10 +356,45 @@ fn instrumented_serial_readout_matches_on_tape() {
 }
 
 /// The two-state defect designs from PR 7 (uninitialized registers,
-/// X-steered muxes) compile to tapes and match the graph engines — the
-/// tape honors two-state power-on semantics, serial and wide.
+/// X-steered muxes) compile to tapes and match the graph engines at
+/// every lane width — the tape honors two-state power-on semantics.
+fn two_state_defects_match_at<W: LaneWord>() {
+    for name in DEFECT_NAMES {
+        let bench = defect_benchmark(name).unwrap();
+        let cycles = 100 / (W::LANES as u64 / 64).max(1);
+        let outs = outputs(&bench);
+        let tape = Tape::compile(&bench.design)
+            .unwrap_or_else(|e| panic!("{name} must compile under two-state semantics: {e}"));
+
+        let mut wide_graph = WideSimulator::<W>::new(&bench.design).expect("wide sim");
+        let mut wide_tape = WideTapeSimulator::<W>::new(&tape);
+        let mut graph_tbs = bench.testbench_shards(cycles, W::LANES);
+        let mut tape_tbs = bench.testbench_shards(cycles, W::LANES);
+        for cycle in 0..cycles {
+            for lane in 0..W::LANES {
+                graph_tbs[lane].apply(cycle, &mut wide_graph.lane(lane));
+                tape_tbs[lane].apply(cycle, &mut wide_tape.lane(lane));
+            }
+            for (pname, sig) in &outs {
+                for lane in 0..W::LANES {
+                    assert_eq!(
+                        wide_tape.value_lane(*sig, lane),
+                        wide_graph.value_lane(*sig, lane),
+                        "{name}::{pname} diverged: width {}, lane {lane}, first at cycle {cycle}",
+                        W::LANES
+                    );
+                }
+            }
+            wide_graph.step();
+            wide_tape.step();
+        }
+    }
+}
+
+/// Serial leg of the two-state defect matrix: the `TapeSimulator`
+/// wrapper (the 1-lane instantiation) against the serial graph engine.
 #[test]
-fn two_state_defect_designs_match_on_tape() {
+fn two_state_defect_designs_match_on_serial_tape() {
     for name in DEFECT_NAMES {
         let bench = defect_benchmark(name).unwrap();
         let cycles = 100;
@@ -309,29 +419,27 @@ fn two_state_defect_designs_match_on_tape() {
             graph.step();
             taped.step();
         }
-
-        let mut wide_graph = WideSimulator::new(&bench.design).expect("wide sim");
-        let mut wide_tape = WideTapeSimulator::new(&tape);
-        let mut graph_tbs = bench.testbench_shards(cycles, LANES);
-        let mut tape_tbs = bench.testbench_shards(cycles, LANES);
-        for cycle in 0..cycles {
-            for lane in 0..LANES {
-                graph_tbs[lane].apply(cycle, &mut wide_graph.lane(lane));
-                tape_tbs[lane].apply(cycle, &mut wide_tape.lane(lane));
-            }
-            for (pname, sig) in &outs {
-                for lane in 0..LANES {
-                    assert_eq!(
-                        wide_tape.value_lane(*sig, lane),
-                        wide_graph.value_lane(*sig, lane),
-                        "{name}::{pname} diverged: lane {lane}, first at cycle {cycle}"
-                    );
-                }
-            }
-            wide_graph.step();
-            wide_tape.step();
-        }
     }
+}
+
+#[test]
+fn two_state_defect_designs_match_on_tape_at_1_lane() {
+    two_state_defects_match_at::<bool>();
+}
+
+#[test]
+fn two_state_defect_designs_match_on_tape_at_64_lanes() {
+    two_state_defects_match_at::<u64>();
+}
+
+#[test]
+fn two_state_defect_designs_match_on_tape_at_128_lanes() {
+    two_state_defects_match_at::<[u64; 2]>();
+}
+
+#[test]
+fn two_state_defect_designs_match_on_tape_at_256_lanes() {
+    two_state_defects_match_at::<[u64; 4]>();
 }
 
 /// Structurally broken designs fail tape compilation with the same

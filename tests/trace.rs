@@ -131,7 +131,7 @@ fn capture_wide_lane0(
     cycles: u64,
 ) -> (PowerWaveform, f64) {
     let strobe = u64::from(inst.strobe_period.max(1));
-    let mut sim = WideSimulator::new(&inst.design).expect("wide sim");
+    let mut sim = WideSimulator::<u64>::new(&inst.design).expect("wide sim");
     let mut tbs = bench.testbench_shards(cycles, LANES);
     let mut rec = domain_recorder(inst, bench.name, 1);
     let raw = inst
