@@ -24,6 +24,7 @@ use pe_lint::{Denylist, LintReport, ALL_RULES};
 struct LintFlags {
     deny: Denylist,
     machine: bool,
+    tape: bool,
 }
 
 impl FlagExt for LintFlags {
@@ -39,6 +40,7 @@ impl FlagExt for LintFlags {
                     .map_err(|e| CliError::Invalid(format!("--deny: {e}")))?;
             }
             "--machine" => self.machine = true,
+            "--tape" => self.tape = true,
             _ => return Ok(false),
         }
         Ok(true)
@@ -47,15 +49,22 @@ impl FlagExt for LintFlags {
 
 const EXTRA_USAGE: &str = "\x20 --deny RULES         promote warnings to errors: \
 `all`, `none`, or rule ids\n\
-\x20 --machine            key=value output, one line per design\n";
+\x20 --machine            key=value output, one line per design\n\
+\x20 --tape               compile, optimize, and translation-validate each \
+design's tape; report the certificate\n";
 
 fn main() {
     let mut flags = LintFlags {
         deny: Denylist::None,
         machine: false,
+        tape: false,
     };
     let args = BenchArgs::from_env_with("lint", &mut flags, EXTRA_USAGE);
-    let LintFlags { deny, machine } = flags;
+    let LintFlags {
+        deny,
+        machine,
+        tape,
+    } = flags;
     let cache = args.open_cache();
     let benchmarks = all_benchmarks();
 
@@ -113,6 +122,19 @@ fn main() {
         };
         let clean = report.is_clean(&deny);
         all_clean &= clean;
+        // Translation-validate the compiled tape alongside the lint
+        // verdict: the certificate is part of the static gate — a tape
+        // the validator cannot certify fails the run like a lint error.
+        let cert = if tape {
+            let (_, cert) = pe_tape::Tape::compile_optimized(&bench.design).unwrap_or_else(|e| {
+                eprintln!("[lint] {}: tape compilation failed: {e}", bench.name);
+                std::process::exit(1);
+            });
+            all_clean &= cert.validated;
+            Some(cert)
+        } else {
+            None
+        };
         if machine {
             print!(
                 "design={} horizon={horizon} findings={} errors={} clean={clean}",
@@ -145,6 +167,26 @@ fn main() {
                     c.energy_bound_fj(*horizon)
                 );
             }
+            if let Some(c) = &cert {
+                print!(
+                    " tape_pre_instructions={} tape_post_instructions={} tape_pre_planes={} \
+                     tape_post_planes={} tape_validated={} tape_netlist_fnv128={} \
+                     tape_ir_fnv128={}",
+                    c.pre_instructions,
+                    c.post_instructions,
+                    c.pre_planes,
+                    c.post_planes,
+                    c.validated,
+                    c.netlist_fnv128,
+                    c.ir_fnv128,
+                );
+                for p in &c.passes {
+                    print!(
+                        " tape_pass={}:{}->{}",
+                        p.pass, p.instructions_before, p.instructions_after
+                    );
+                }
+            }
             println!();
         } else {
             let verdict = if clean { "clean" } else { "FAILED" };
@@ -173,6 +215,22 @@ fn main() {
                     c.toggle_bound,
                     c.monitored_bits,
                     c.stable_bits
+                );
+            }
+            if let Some(c) = &cert {
+                let verdict = if c.validated {
+                    "validated"
+                } else {
+                    "NOT VALIDATED"
+                };
+                println!(
+                    "  note: tape {verdict}, {} -> {} instructions ({} removed), \
+                     {} -> {} planes",
+                    c.pre_instructions,
+                    c.post_instructions,
+                    c.instructions_removed(),
+                    c.pre_planes,
+                    c.post_planes
                 );
             }
         }

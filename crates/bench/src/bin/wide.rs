@@ -19,8 +19,8 @@
 use pe_bench::cli::{BenchArgs, CliError, FlagExt};
 use pe_designs::suite::all_benchmarks;
 use pe_harness::wide::{
-    geomean_settle_mlcps, geomean_speedup, geomean_tape_speedup, render_json, rows_at,
-    run_wide_bench, widths_present, WIDE_BENCH_WIDTHS,
+    geomean_opt_speedup, geomean_settle_mlcps, geomean_speedup, geomean_tape_speedup, render_json,
+    rows_at, run_wide_bench, widths_present, WIDE_BENCH_WIDTHS,
 };
 use pe_harness::{Fanout, Metrics, StderrLines};
 use std::path::PathBuf;
@@ -107,7 +107,7 @@ fn main() {
     };
 
     println!(
-        "{:<14} {:>9} {:>6} {:>12} {:>12} {:>12} {:>9} {:>9} {:>12}  digest",
+        "{:<14} {:>9} {:>6} {:>12} {:>12} {:>12} {:>9} {:>9} {:>11} {:>9} {:>12}  digest",
         "design",
         "cycles",
         "lanes",
@@ -116,11 +116,14 @@ fn main() {
         "tape (s)",
         "speedup",
         "tape x",
+        "instrs",
+        "opt x",
         "settle Mlc/s"
     );
     for r in &rows {
         println!(
-            "{:<14} {:>9} {:>6} {:>12.4} {:>12.4} {:>12.4} {:>8.1}x {:>8.2}x {:>12.1}  {}",
+            "{:<14} {:>9} {:>6} {:>12.4} {:>12.4} {:>12.4} {:>8.1}x {:>8.2}x {:>5}->{:<4} \
+             {:>8.2}x {:>12.1}  {}",
             r.design,
             r.cycles,
             r.lanes,
@@ -129,6 +132,9 @@ fn main() {
             r.tape_seconds,
             r.speedup,
             r.tape_speedup,
+            r.tape_pre_instructions,
+            r.tape_post_instructions,
+            r.opt_speedup,
             r.settle_mlcps,
             r.digest
         );
@@ -138,9 +144,10 @@ fn main() {
         let at = rows_at(&rows, w);
         println!(
             "{w:>4} lanes: geomean speedup {:>6.1}x   tape-over-graph {:>5.2}x   \
-             settle phase {:>8.1} Mlane-cycles/s",
+             optimized tape {:>5.2}x   settle phase {:>8.1} Mlane-cycles/s",
             geomean_speedup(&at),
             geomean_tape_speedup(&at),
+            geomean_opt_speedup(&at),
             geomean_settle_mlcps(&at)
         );
     }

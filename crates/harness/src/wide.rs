@@ -77,9 +77,23 @@ pub struct WideRow {
     /// `wide_seconds / tape_seconds` — the compiled tape's advantage
     /// over the graph wide engine on the same workload.
     pub tape_speedup: f64,
-    /// Wall time of the settle-phase microbench on the compiled tape:
-    /// `cycles` iterations of broadcast-inputs → settle → step, no
-    /// per-lane stimulus loop (measured).
+    /// Instructions straight out of `Tape::compile`, before the
+    /// optimization pipeline.
+    pub tape_pre_instructions: u64,
+    /// Instructions after the verified pass pipeline (dead-instruction
+    /// elimination, fold-forwarding, scheduling).
+    pub tape_post_instructions: u64,
+    /// Wall time for one `lanes`-wide run of the *optimized* tape,
+    /// seconds (measured, including `Tape::compile_optimized` — the
+    /// passes and the translation validator are part of the build cost
+    /// the optimized tape must amortize).
+    pub opt_seconds: f64,
+    /// `wide_seconds / opt_seconds` — the optimized tape's advantage
+    /// over the graph wide engine on the same workload.
+    pub opt_speedup: f64,
+    /// Wall time of the settle-phase microbench on the *optimized*
+    /// compiled tape: `cycles` iterations of broadcast-inputs → settle →
+    /// step, no per-lane stimulus loop (measured).
     pub settle_seconds: f64,
     /// Settle-phase throughput, million lane·cycles per second:
     /// `lanes * cycles / settle_seconds / 1e6`. The column where wider
@@ -99,6 +113,11 @@ enum Node {
         lane_digests: Vec<u128>,
         seconds: f64,
         settle_seconds: f64,
+        /// Optimized-tape wall time; 0 except for tape jobs.
+        opt_seconds: f64,
+        /// Certificate instruction counts; 0 except for tape jobs.
+        pre_instructions: u64,
+        post_instructions: u64,
     },
     Row(WideRow),
 }
@@ -302,11 +321,44 @@ fn tape_job<W: LaneWord>(bench: &Benchmark, cycles: u64) -> Result<Node, Harness
         .map_err(|e| HarnessError::new("tape", bench.name, e))?;
     let lane_digests = tape_run_digests::<W>(bench, &tape, cycles);
     let seconds = start.elapsed().as_secs_f64();
-    let settle_seconds = settle_phase_seconds::<W>(&tape, &input_signals(bench), cycles);
+    // The optimized tape runs the same workload in its own timed window:
+    // pass pipeline and translation validation are part of the build
+    // cost, and its waveform digests must match the baseline tape's
+    // lane for lane before any speedup is reported.
+    let opt_start = Instant::now();
+    let (opt_tape, cert) = pe_tape::Tape::compile_optimized(&bench.design)
+        .map_err(|e| HarnessError::new("tape", bench.name, e))?;
+    if !cert.validated {
+        return Err(HarnessError::new(
+            "tape",
+            bench.name,
+            format!(
+                "optimized tape failed translation validation: {}",
+                cert.reason.as_deref().unwrap_or("unknown reason")
+            ),
+        ));
+    }
+    let opt_digests = tape_run_digests::<W>(bench, &opt_tape, cycles);
+    let opt_seconds = opt_start.elapsed().as_secs_f64();
+    if let Some(lane) = (0..lane_digests.len()).find(|&l| lane_digests[l] != opt_digests[l]) {
+        return Err(HarnessError::new(
+            "tape",
+            bench.name,
+            format!(
+                "optimized tape diverges from baseline tape at lane {lane}: \
+                 {:032x} vs {:032x}",
+                lane_digests[lane], opt_digests[lane]
+            ),
+        ));
+    }
+    let settle_seconds = settle_phase_seconds::<W>(&opt_tape, &input_signals(bench), cycles);
     Ok(Node::Run {
         lane_digests,
         seconds,
         settle_seconds,
+        opt_seconds,
+        pre_instructions: cert.pre_instructions,
+        post_instructions: cert.post_instructions,
     })
 }
 
@@ -338,6 +390,9 @@ fn wide_job<W: LaneWord>(bench: &Benchmark, cycles: u64) -> Result<Node, Harness
         lane_digests: chain.digests(cycles),
         seconds: start.elapsed().as_secs_f64(),
         settle_seconds: 0.0,
+        opt_seconds: 0.0,
+        pre_instructions: 0,
+        post_instructions: 0,
     })
 }
 
@@ -391,6 +446,9 @@ pub fn run_wide_bench(
                 lane_digests,
                 seconds: start.elapsed().as_secs_f64(),
                 settle_seconds: 0.0,
+                opt_seconds: 0.0,
+                pre_instructions: 0,
+                post_instructions: 0,
             })
         });
 
@@ -435,6 +493,9 @@ pub fn run_wide_bench(
                         lane_digests: tape_lane_digests,
                         seconds: tape_seconds,
                         settle_seconds,
+                        opt_seconds,
+                        pre_instructions,
+                        post_instructions,
                     } = &*deps[2]
                     else {
                         unreachable!("assemble depends on tape")
@@ -474,6 +535,10 @@ pub fn run_wide_bench(
                         tape_seconds: *tape_seconds,
                         speedup: serial_seconds * scale_up / wide_seconds.max(1e-12),
                         tape_speedup: wide_seconds / tape_seconds.max(1e-12),
+                        tape_pre_instructions: *pre_instructions,
+                        tape_post_instructions: *post_instructions,
+                        opt_seconds: *opt_seconds,
+                        opt_speedup: wide_seconds / opt_seconds.max(1e-12),
                         settle_seconds: *settle_seconds,
                         settle_mlcps: (lanes as f64 * cycles as f64)
                             / settle_seconds.max(1e-12)
@@ -541,6 +606,12 @@ pub fn geomean_speedup(rows: &[WideRow]) -> f64 {
     geomean(rows.iter().map(|r| r.speedup), rows.len())
 }
 
+/// Geometric mean of the per-row optimized-tape-over-graph speedups (0
+/// for no rows).
+pub fn geomean_opt_speedup(rows: &[WideRow]) -> f64 {
+    geomean(rows.iter().map(|r| r.opt_speedup), rows.len())
+}
+
 /// Geometric mean of the per-row tape-over-graph speedups (0 for no
 /// rows).
 pub fn geomean_tape_speedup(rows: &[WideRow]) -> f64 {
@@ -585,7 +656,9 @@ pub fn render_json(rows: &[WideRow], scale: Scale) -> String {
         out.push_str(&format!(
             "    {{\"design\": \"{}\", \"cycles\": {}, \"lanes\": {}, \
              \"serial_seconds\": {:.6}, \"wide_seconds\": {:.6}, \"tape_seconds\": {:.6}, \
-             \"speedup\": {:.3}, \"tape_speedup\": {:.3}, \"settle_seconds\": {:.6}, \
+             \"speedup\": {:.3}, \"tape_speedup\": {:.3}, \
+             \"tape_pre_instructions\": {}, \"tape_post_instructions\": {}, \
+             \"opt_seconds\": {:.6}, \"opt_speedup\": {:.3}, \"settle_seconds\": {:.6}, \
              \"settle_mlcps\": {:.3}, \"digest\": \"{}\"}}{}\n",
             json_escape(&r.design),
             r.cycles,
@@ -595,6 +668,10 @@ pub fn render_json(rows: &[WideRow], scale: Scale) -> String {
             r.tape_seconds,
             r.speedup,
             r.tape_speedup,
+            r.tape_pre_instructions,
+            r.tape_post_instructions,
+            r.opt_seconds,
+            r.opt_speedup,
             r.settle_seconds,
             r.settle_mlcps,
             r.digest,
@@ -607,10 +684,11 @@ pub fn render_json(rows: &[WideRow], scale: Scale) -> String {
         let at = rows_at(rows, w);
         out.push_str(&format!(
             "    {{\"lanes\": {}, \"geomean_speedup\": {:.3}, \"geomean_tape_speedup\": {:.3}, \
-             \"geomean_settle_mlcps\": {:.3}}}{}\n",
+             \"geomean_opt_speedup\": {:.3}, \"geomean_settle_mlcps\": {:.3}}}{}\n",
             w,
             geomean_speedup(&at),
             geomean_tape_speedup(&at),
+            geomean_opt_speedup(&at),
             geomean_settle_mlcps(&at),
             if i + 1 < widths.len() { "," } else { "" }
         ));
@@ -621,8 +699,12 @@ pub fn render_json(rows: &[WideRow], scale: Scale) -> String {
         geomean_speedup(rows)
     ));
     out.push_str(&format!(
-        "  \"geomean_tape_speedup\": {:.3}\n",
+        "  \"geomean_tape_speedup\": {:.3},\n",
         geomean_tape_speedup(rows)
+    ));
+    out.push_str(&format!(
+        "  \"geomean_opt_speedup\": {:.3}\n",
+        geomean_opt_speedup(rows)
     ));
     out.push_str("}\n");
     out
@@ -652,6 +734,13 @@ mod tests {
             assert!(r.settle_mlcps > 0.0);
             assert!(r.speedup > 1.0, "{lanes}-lane wide should beat serial");
             assert!(r.tape_speedup > 0.0);
+            assert!(r.opt_seconds > 0.0);
+            assert!(r.opt_speedup > 0.0);
+            assert!(r.tape_pre_instructions > 0);
+            assert!(
+                r.tape_post_instructions < r.tape_pre_instructions,
+                "the pass pipeline should remove instructions"
+            );
         }
         // All three widths verified against the same serial baseline, so
         // they share the combined digest.
@@ -686,6 +775,10 @@ mod tests {
             tape_seconds: 0.02,
             speedup,
             tape_speedup: speedup / 2.0,
+            tape_pre_instructions: 395,
+            tape_post_instructions: 386,
+            opt_seconds: 0.015,
+            opt_speedup: speedup / 1.5,
             settle_seconds: 0.01,
             settle_mlcps: lanes as f64 * 1200.0 / 0.01 / 1e6,
             digest: "0".repeat(32),
@@ -702,6 +795,11 @@ mod tests {
         assert!(doc.contains("\"lanes\": 64"));
         assert!(doc.contains("\"lanes\": 128"));
         assert!(doc.contains("\"tape_seconds\": 0.020000"));
+        assert!(doc.contains("\"tape_pre_instructions\": 395"));
+        assert!(doc.contains("\"tape_post_instructions\": 386"));
+        assert!(doc.contains("\"opt_seconds\": 0.015000"));
+        assert!(doc.contains("\"opt_speedup\""));
+        assert!(doc.contains("\"geomean_opt_speedup\""));
         assert!(doc.contains("\"settle_mlcps\": 7.680"));
         assert!(doc.contains("\"settle_mlcps\": 15.360"));
         assert!(doc.contains("\"geomean_settle_mlcps\": 7.680"));
@@ -720,6 +818,10 @@ mod tests {
             tape_seconds: 1.0,
             speedup: s,
             tape_speedup: s / 2.0,
+            tape_pre_instructions: 10,
+            tape_post_instructions: 9,
+            opt_seconds: 1.0,
+            opt_speedup: s / 4.0,
             settle_seconds: 1.0,
             settle_mlcps: s * 10.0,
             digest: String::new(),
@@ -727,6 +829,8 @@ mod tests {
         let rows = vec![mk(4.0), mk(16.0)];
         assert!((geomean_speedup(&rows) - 8.0).abs() < 1e-9);
         assert!((geomean_tape_speedup(&rows) - 4.0).abs() < 1e-9);
+        assert!((geomean_opt_speedup(&rows) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean_opt_speedup(&[]), 0.0);
         assert!((geomean_settle_mlcps(&rows) - 80.0).abs() < 1e-9);
         assert_eq!(geomean_speedup(&[]), 0.0);
         assert_eq!(geomean_tape_speedup(&[]), 0.0);

@@ -237,6 +237,11 @@ pub enum ErrorCode {
     /// server's denylist, or no finite activity certificate. Rejected
     /// before any simulation work.
     UnsoundDesign,
+    /// The design compiled to an instruction tape but the translation
+    /// validator could not prove the optimized tape equivalent to the
+    /// source netlist — the tape carries no validated certificate, so
+    /// the server refuses to simulate with it.
+    TapeUnverified,
     /// The server failed internally while running the job.
     Internal,
 }
@@ -249,6 +254,7 @@ impl ErrorCode {
             ErrorCode::UnknownDesign => "unknown_design",
             ErrorCode::CyclesOutOfRange => "cycles_out_of_range",
             ErrorCode::UnsoundDesign => "unsound_design",
+            ErrorCode::TapeUnverified => "tape_unverified",
             ErrorCode::Internal => "internal",
         }
     }
@@ -259,6 +265,7 @@ impl ErrorCode {
             "unknown_design" => ErrorCode::UnknownDesign,
             "cycles_out_of_range" => ErrorCode::CyclesOutOfRange,
             "unsound_design" => ErrorCode::UnsoundDesign,
+            "tape_unverified" => ErrorCode::TapeUnverified,
             "internal" => ErrorCode::Internal,
             _ => return None,
         })

@@ -149,12 +149,18 @@ struct PreparedDesign {
     bench: Benchmark,
     inst: InstrumentedDesign,
     report: LintReport,
-    /// The instrumented design compiled into an instruction tape, built
-    /// once per group so every batch skips straight to simulator
-    /// construction. `None` when the tape compiler rejects the design —
-    /// those batches fall back to the graph engine (and admission
-    /// usually rejects such designs anyway).
+    /// The instrumented design compiled into an optimized instruction
+    /// tape, built once per group so every batch skips straight to
+    /// simulator construction. `None` when the tape compiler rejects
+    /// the design — those batches fall back to the graph engine (and
+    /// admission usually rejects such designs anyway).
     tape: Option<pe_tape::Tape>,
+    /// The translation-validation certificate for `tape`: netlist and
+    /// IR digests, per-pass instruction deltas, and whether the
+    /// optimized tape was proven equivalent to the source netlist.
+    /// Admission refuses to serve a group whose tape compiled but
+    /// carries `validated: false` (`tape_unverified`).
+    certificate: Option<pe_tape::TapeCertificate>,
 }
 
 impl PreparedDesign {
@@ -185,6 +191,23 @@ impl PreparedDesign {
             ));
         }
         None
+    }
+
+    /// Why this design's tape must not be trusted, if the translation
+    /// validator failed to certify it. A group whose tape compiled but
+    /// was not proven equivalent to its netlist is refused outright —
+    /// falling back to the graph engine would silently serve a design
+    /// the verification pipeline flagged.
+    fn tape_unverified_error(&self) -> Option<String> {
+        let cert = self.certificate.as_ref()?;
+        if cert.validated {
+            return None;
+        }
+        Some(format!(
+            "tape for design `{}` failed translation validation ({})",
+            cert.design,
+            cert.reason.as_deref().unwrap_or("unknown reason"),
+        ))
     }
 }
 
@@ -309,6 +332,16 @@ impl Scheduler {
                     reply(Response::Error {
                         req: Some(req.id),
                         code: ErrorCode::UnsoundDesign,
+                        message: msg,
+                    });
+                    return;
+                }
+                if let Some(msg) = prep.tape_unverified_error() {
+                    shared.registry.counter("serve.tape_unverified").inc();
+                    shared.registry.counter("serve.requests_failed").inc();
+                    reply(Response::Error {
+                        req: Some(req.id),
+                        code: ErrorCode::TapeUnverified,
                         message: msg,
                     });
                     return;
@@ -650,11 +683,11 @@ fn build_prepared(shared: &Shared, key: &GroupKey) -> Result<PreparedDesign, Str
     let inst = pe_instrument::instrument(&bench.design, &library, flow.instrument_config())
         .map_err(|e| format!("instrument failed: {e}"))?;
     let report = lint_instrumented(&inst, None);
-    let tape = match pe_tape::Tape::compile(&inst.design) {
-        Ok(tape) => Some(tape),
+    let (tape, certificate) = match pe_tape::Tape::compile_optimized(&inst.design) {
+        Ok((tape, certificate)) => (Some(tape), Some(certificate)),
         Err(_) => {
             shared.registry.counter("serve.tape_fallbacks").inc();
-            None
+            (None, None)
         }
     };
     Ok(PreparedDesign {
@@ -662,6 +695,7 @@ fn build_prepared(shared: &Shared, key: &GroupKey) -> Result<PreparedDesign, Str
         inst,
         report,
         tape,
+        certificate,
     })
 }
 
@@ -689,7 +723,13 @@ fn run_wide_at<W: LaneWord>(prep: &PreparedDesign, jobs: &[Job]) -> Result<Vec<f
         .collect();
     let max_cycles = jobs.iter().map(|j| j.req.cycles).max().unwrap_or(0);
     let mut energies = vec![0.0f64; jobs.len()];
-    if let Some(tape) = &prep.tape {
+    // Admission already refuses unverified tapes; this guard keeps the
+    // batch path honest even if a future caller skips admission.
+    let verified_tape = prep
+        .tape
+        .as_ref()
+        .filter(|_| prep.certificate.as_ref().is_some_and(|c| c.validated));
+    if let Some(tape) = verified_tape {
         let mut sim = pe_tape::WideTapeSimulator::<W>::new(tape);
         for cycle in 0..max_cycles {
             for (lane, tb) in tbs.iter_mut().enumerate() {
@@ -795,6 +835,40 @@ mod tests {
                 ..
             }
         ));
+        assert_eq!(sched.pending(), 0);
+    }
+
+    #[test]
+    fn unverified_tape_is_refused_at_admission() {
+        let sched = paused(8);
+        let key = GroupKey {
+            design: "Bubble_Sort".to_string(),
+            model: ModelChoice::Fast,
+        };
+        // Build the real prepared design, then doctor its certificate to
+        // simulate a tape the translation validator refused to certify.
+        let mut prep = build_prepared(&sched.shared, &key).expect("prepare succeeds");
+        let cert = prep
+            .certificate
+            .as_mut()
+            .expect("suite design has a certificate");
+        assert!(cert.validated, "suite design should certify cleanly");
+        cert.validated = false;
+        cert.reason = Some("signal-mismatch: doctored for test".to_string());
+        sched
+            .shared
+            .prepared
+            .lock()
+            .unwrap()
+            .insert(key, Arc::new(Ok(prep)));
+        let (tx, rx) = mpsc::channel();
+        sched.submit(submit_req("u0", "Bubble_Sort", 10, 0), 1, &tx);
+        let Response::Error { code, message, .. } = rx.try_recv().unwrap() else {
+            panic!("expected error");
+        };
+        assert_eq!(code, ErrorCode::TapeUnverified);
+        assert!(message.contains("translation validation"), "{message}");
+        assert_eq!(sched.registry().counter("serve.tape_unverified").get(), 1);
         assert_eq!(sched.pending(), 0);
     }
 

@@ -94,11 +94,12 @@ fn random_response(rng: &mut Rng) -> Response {
                 // one.
                 Some(rng.token()).filter(|t| t != "-").or(Some("x".into()))
             },
-            code: match rng.below(5) {
+            code: match rng.below(6) {
                 0 => ErrorCode::Parse,
                 1 => ErrorCode::UnknownDesign,
                 2 => ErrorCode::CyclesOutOfRange,
                 3 => ErrorCode::UnsoundDesign,
+                4 => ErrorCode::TapeUnverified,
                 _ => ErrorCode::Internal,
             },
             message: format!("{} {} {}", rng.token(), rng.token(), rng.token()),

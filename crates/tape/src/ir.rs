@@ -1,0 +1,304 @@
+//! Def/use analysis over the compiled wide program — the tape IR.
+//!
+//! The tape's executable form ([`crate::wide::WideProgram`]) is already
+//! an IR: a flat instruction list whose operands are plane indices
+//! resolved through pools, plus side tables for muxes, lookup tables,
+//! and sequential state. This module gives the optimizer and the
+//! verifier a uniform view of that program:
+//!
+//! * [`instr_def`] — the contiguous plane run an instruction writes;
+//! * [`instr_uses`] — every plane an instruction reads (through its
+//!   pools and side tables);
+//! * [`root_uses`] — the planes read *outside* the instruction stream:
+//!   the per-signal alias maps (any signal is observable through
+//!   [`crate::WideTapeSimulator::value_lane`]) and the sequential
+//!   capture pools (register D/enable, memory address/data/enable);
+//! * [`program_digest`] — an FNV-1a-128 fingerprint of the entire
+//!   program, the "IR digest" carried by a
+//!   [`crate::TapeCertificate`].
+//!
+//! Select-mask arena slots are modelled as *virtual planes* offset by
+//! [`MASK_PLANE_BASE`], so the `SelMasks` → `MuxN` producer/consumer
+//! relationship falls out of ordinary def-before-use reasoning instead
+//! of needing a special case in every analysis.
+
+use crate::wide::{WInstr, WideProgram};
+use pe_util::hash::Fnv128;
+
+/// Virtual-plane namespace for select-mask arena slots: mask slot `s`
+/// is plane `MASK_PLANE_BASE + s`. Real plane indices stay below this
+/// (the compiler allocates planes as dense `u32`s from 0).
+pub(crate) const MASK_PLANE_BASE: u32 = 1 << 31;
+
+/// Whether `plane` is a virtual select-mask slot.
+pub(crate) fn is_mask_plane(plane: u32) -> bool {
+    plane >= MASK_PLANE_BASE
+}
+
+/// The contiguous run of planes `instrs[i]` writes, as `(base, len)`.
+/// `SelMasks` writes virtual mask planes (see [`MASK_PLANE_BASE`]).
+pub(crate) fn instr_def(p: &WideProgram, i: usize) -> (u32, u32) {
+    match p.instrs[i] {
+        WInstr::Add { dst, w, .. }
+        | WInstr::AddD { dst, w, .. }
+        | WInstr::Sub { dst, w, .. }
+        | WInstr::SubD { dst, w, .. }
+        | WInstr::Mul { dst, w, .. }
+        | WInstr::MulS { dst, w, .. }
+        | WInstr::Neg { dst, w, .. }
+        | WInstr::And2 { dst, w, .. }
+        | WInstr::Or2 { dst, w, .. }
+        | WInstr::Xor2 { dst, w, .. }
+        | WInstr::Not { dst, w, .. }
+        | WInstr::Shl { dst, w, .. }
+        | WInstr::Shr { dst, w, .. }
+        | WInstr::Sar { dst, w, .. } => (dst, w),
+        WInstr::Eq { dst, .. }
+        | WInstr::Ne { dst, .. }
+        | WInstr::Lt { dst, .. }
+        | WInstr::Le { dst, .. }
+        | WInstr::SLt { dst, .. }
+        | WInstr::SLe { dst, .. }
+        | WInstr::RedAnd { dst, .. }
+        | WInstr::RedOr { dst, .. }
+        | WInstr::RedXor { dst, .. } => (dst, 1),
+        WInstr::Mux2 { idx } => {
+            let mx = &p.mux2s[idx as usize];
+            (mx.dst, mx.w)
+        }
+        WInstr::MuxN { idx } => {
+            let mx = &p.muxes[idx as usize];
+            (mx.dst, mx.w)
+        }
+        WInstr::SelMasks { group } => {
+            let g = &p.mask_groups[group as usize];
+            (MASK_PLANE_BASE + g.base, g.n)
+        }
+        WInstr::Tbl { idx } => {
+            let t = &p.tables[idx as usize];
+            (t.dst, t.w)
+        }
+    }
+}
+
+/// Appends the pool slice `pool[off .. off + w]` to `out`.
+fn pooled(p: &WideProgram, off: u32, w: u32, out: &mut Vec<u32>) {
+    out.extend_from_slice(&p.pool[off as usize..(off + w) as usize]);
+}
+
+/// Appends every plane `instrs[i]` reads to `out` — pooled operands,
+/// dense plane-run operands, side-table legs and selects, and (for
+/// `MuxN`) the virtual mask planes its group provides. Self-reads of
+/// planes the instruction writes first within one dispatch (barrel
+/// blends, multiply accumulation) are *not* uses; an n-ary chain link
+/// reading a prior link's output through its pool *is*.
+pub(crate) fn instr_uses(p: &WideProgram, i: usize, out: &mut Vec<u32>) {
+    match p.instrs[i] {
+        WInstr::Add { a, b, w, .. } | WInstr::Sub { a, b, w, .. } => {
+            pooled(p, a, w, out);
+            pooled(p, b, w, out);
+        }
+        WInstr::AddD { a, b, w, .. } | WInstr::SubD { a, b, w, .. } => {
+            out.extend(a..a + w);
+            out.extend(b..b + w);
+        }
+        WInstr::Mul { a, b, w, bw, .. } | WInstr::MulS { a, b, w, bw, .. } => {
+            pooled(p, a, w, out);
+            pooled(p, b, bw, out);
+        }
+        WInstr::Neg { a, w, .. }
+        | WInstr::Not { a, w, .. }
+        | WInstr::RedAnd { a, w, .. }
+        | WInstr::RedOr { a, w, .. }
+        | WInstr::RedXor { a, w, .. } => pooled(p, a, w, out),
+        WInstr::Eq { a, b, w, .. }
+        | WInstr::Ne { a, b, w, .. }
+        | WInstr::Lt { a, b, w, .. }
+        | WInstr::Le { a, b, w, .. }
+        | WInstr::SLt { a, b, w, .. }
+        | WInstr::SLe { a, b, w, .. }
+        | WInstr::And2 { a, b, w, .. }
+        | WInstr::Or2 { a, b, w, .. }
+        | WInstr::Xor2 { a, b, w, .. } => {
+            pooled(p, a, w, out);
+            pooled(p, b, w, out);
+        }
+        WInstr::Shl {
+            a, amt, w, amt_w, ..
+        }
+        | WInstr::Shr {
+            a, amt, w, amt_w, ..
+        }
+        | WInstr::Sar {
+            a, amt, w, amt_w, ..
+        } => {
+            pooled(p, a, w, out);
+            pooled(p, amt, amt_w, out);
+        }
+        WInstr::Mux2 { idx } => {
+            let mx = &p.mux2s[idx as usize];
+            pooled(p, mx.sel, mx.sel_w, out);
+            pooled(p, mx.a, mx.w, out);
+            pooled(p, mx.b, mx.w, out);
+        }
+        WInstr::MuxN { idx } => {
+            let mx = &p.muxes[idx as usize];
+            pooled(p, mx.legs, mx.n * mx.w, out);
+            let g = &p.mask_groups[mx.group as usize];
+            out.extend((g.base..g.base + g.n).map(|s| MASK_PLANE_BASE + s));
+        }
+        WInstr::SelMasks { group } => {
+            let g = &p.mask_groups[group as usize];
+            pooled(p, g.sel, g.sel_w, out);
+        }
+        WInstr::Tbl { idx } => {
+            let t = &p.tables[idx as usize];
+            pooled(p, t.addr, t.addr_w, out);
+        }
+    }
+}
+
+/// Appends every plane read *outside* the instruction stream: the full
+/// per-signal alias map (any signal is observable after settle) and the
+/// sequential capture pools.
+pub(crate) fn root_uses(p: &WideProgram, out: &mut Vec<u32>) {
+    out.extend_from_slice(&p.plane_map);
+    for reg in &p.regs {
+        pooled(p, reg.d, reg.w, out);
+        if let Some(en) = reg.en {
+            out.push(en);
+        }
+    }
+    for mem in &p.mems {
+        pooled(p, mem.raddr, mem.addr_w, out);
+        pooled(p, mem.waddr, mem.addr_w, out);
+        pooled(p, mem.wdata, mem.data_w, out);
+        out.push(mem.wen);
+    }
+}
+
+/// The planes holding pre-settle *state* — defined before any
+/// instruction runs and never legally written by one: the reserved
+/// zero/one planes, every stage-group (input) plane, every register Q
+/// run, and every memory read-data run.
+pub(crate) fn state_planes(p: &WideProgram) -> Vec<bool> {
+    let mut state = vec![false; p.n_planes as usize];
+    state[0] = true;
+    state[1] = true;
+    for g in &p.stage_groups {
+        for pl in g.base..g.base + g.width {
+            state[pl as usize] = true;
+        }
+    }
+    for reg in &p.regs {
+        for pl in reg.q..reg.q + reg.w {
+            state[pl as usize] = true;
+        }
+    }
+    for mem in &p.mems {
+        for pl in mem.rdata..mem.rdata + mem.data_w {
+            state[pl as usize] = true;
+        }
+    }
+    state
+}
+
+/// A stable discriminant for hashing and value-numbering instructions.
+pub(crate) fn instr_tag(i: &WInstr) -> u8 {
+    match i {
+        WInstr::Add { .. } => 0,
+        WInstr::AddD { .. } => 1,
+        WInstr::Sub { .. } => 2,
+        WInstr::SubD { .. } => 3,
+        WInstr::Mul { .. } => 4,
+        WInstr::MulS { .. } => 5,
+        WInstr::Neg { .. } => 6,
+        WInstr::Eq { .. } => 7,
+        WInstr::Ne { .. } => 8,
+        WInstr::Lt { .. } => 9,
+        WInstr::Le { .. } => 10,
+        WInstr::SLt { .. } => 11,
+        WInstr::SLe { .. } => 12,
+        WInstr::And2 { .. } => 13,
+        WInstr::Or2 { .. } => 14,
+        WInstr::Xor2 { .. } => 15,
+        WInstr::Not { .. } => 16,
+        WInstr::RedAnd { .. } => 17,
+        WInstr::RedOr { .. } => 18,
+        WInstr::RedXor { .. } => 19,
+        WInstr::Shl { .. } => 20,
+        WInstr::Shr { .. } => 21,
+        WInstr::Sar { .. } => 22,
+        WInstr::Mux2 { .. } => 23,
+        WInstr::MuxN { .. } => 24,
+        WInstr::SelMasks { .. } => 25,
+        WInstr::Tbl { .. } => 26,
+    }
+}
+
+/// FNV-1a-128 fingerprint of the whole compiled program: instruction
+/// stream (with defs and uses fully resolved), alias maps, side tables,
+/// and sequential records. Two tapes with the same digest execute
+/// identically; any pass that changes the program changes the digest.
+pub(crate) fn program_digest(p: &WideProgram) -> String {
+    let mut h = Fnv128::new();
+    let mut scratch = Vec::new();
+    h.update(b"instrs")
+        .update_field(&(p.instrs.len() as u64).to_le_bytes());
+    for i in 0..p.instrs.len() {
+        h.update(&[instr_tag(&p.instrs[i])]);
+        let (dst, w) = instr_def(p, i);
+        h.update(&dst.to_le_bytes());
+        h.update(&w.to_le_bytes());
+        scratch.clear();
+        instr_uses(p, i, &mut scratch);
+        for &u in &scratch {
+            h.update(&u.to_le_bytes());
+        }
+    }
+    h.update(b"planes").update_field(&p.n_planes.to_le_bytes());
+    h.update(b"map")
+        .update_field(&(p.plane_map.len() as u64).to_le_bytes());
+    for &m in &p.plane_map {
+        h.update(&m.to_le_bytes());
+    }
+    for &b in &p.plane_base {
+        h.update(&b.to_le_bytes());
+    }
+    h.update(b"tables")
+        .update_field(&(p.tables.len() as u64).to_le_bytes());
+    for t in &p.tables {
+        h.update(&t.w.to_le_bytes());
+        for &v in &t.table {
+            h.update(&v.to_le_bytes());
+        }
+    }
+    h.update(b"regs")
+        .update_field(&(p.regs.len() as u64).to_le_bytes());
+    for r in &p.regs {
+        for f in [r.d, r.q, r.w, r.clock, r.scratch, r.en.unwrap_or(u32::MAX)] {
+            h.update(&f.to_le_bytes());
+        }
+        h.update(&r.init.to_le_bytes());
+    }
+    h.update(b"mems")
+        .update_field(&(p.mems.len() as u64).to_le_bytes());
+    for m in &p.mems {
+        for f in [
+            m.raddr, m.waddr, m.wdata, m.addr_w, m.data_w, m.wen, m.rdata, m.words, m.clock,
+        ] {
+            h.update(&f.to_le_bytes());
+        }
+        for &v in &m.init {
+            h.update(&v.to_le_bytes());
+        }
+    }
+    h.update(b"staged")
+        .update_field(&(p.staged.len() as u64).to_le_bytes());
+    for s in &p.staged {
+        h.update(s.name.as_bytes());
+        h.update(&s.off.to_le_bytes());
+        h.update(&s.width.to_le_bytes());
+    }
+    h.hex()
+}

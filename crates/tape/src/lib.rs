@@ -37,13 +37,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod ir;
+mod passes;
 mod serial;
+pub mod verify;
 mod wide;
 
 pub use serial::TapeSimulator;
+pub use verify::{
+    validate_against, PassStat, TapeCertificate, ValidateError, WfError, DEFAULT_PROBE_CYCLES,
+    DEFAULT_PROBE_ROUNDS, MISCOMPILE_MUTATIONS,
+};
 pub use wide::{run_lanes, TapeLane, WideTapeSimulator};
 
 use pe_rtl::{Design, DesignError};
+use pe_util::hash::Fnv128;
 use std::fmt;
 
 /// Why a design cannot be compiled to a tape.
@@ -140,6 +148,54 @@ impl Tape {
                 .collect(),
             wide,
         })
+    }
+
+    /// Compiles `design`, runs the optimization pipeline (constant
+    /// fold-forwarding, dead-instruction elimination with plane
+    /// compaction, plane-locality scheduling — each re-proven
+    /// well-formed), and translation-validates the optimized tape
+    /// against the source netlist. The returned [`TapeCertificate`]
+    /// records the netlist and IR digests, per-pass instruction deltas,
+    /// and whether validation succeeded; callers that require a
+    /// faithful tape (admission in `pe-serve`) must check
+    /// `certificate.validated`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TapeError`] when the design itself is structurally
+    /// invalid — the same rejections as [`Tape::compile`]. A tape that
+    /// compiles but fails validation is *returned*, with the failure
+    /// named in the certificate.
+    pub fn compile_optimized(design: &Design) -> Result<(Self, TapeCertificate), TapeError> {
+        let mut tape = Tape::compile(design)?;
+        let pre_instructions = tape.wide.instrs.len() as u64;
+        let pre_planes = u64::from(tape.wide.n_planes);
+        let passes = passes::optimize(&mut tape.wide, &tape.widths);
+        let mut netlist_hash = Fnv128::new();
+        netlist_hash.update(pe_rtl::text::to_text(design).as_bytes());
+        let validation = verify::validate_against(
+            design,
+            &tape,
+            verify::DEFAULT_PROBE_ROUNDS,
+            verify::DEFAULT_PROBE_CYCLES,
+        );
+        let certificate = TapeCertificate {
+            design: design.name().to_string(),
+            netlist_fnv128: netlist_hash.hex(),
+            ir_fnv128: ir::program_digest(&tape.wide),
+            pre_instructions,
+            post_instructions: tape.wide.instrs.len() as u64,
+            pre_planes,
+            post_planes: u64::from(tape.wide.n_planes),
+            passes,
+            validated: validation.is_ok(),
+            reason: validation
+                .err()
+                .map(|e| format!("{}: {}", e.reason, e.detail)),
+            probe_rounds: verify::DEFAULT_PROBE_ROUNDS,
+            probe_cycles: verify::DEFAULT_PROBE_CYCLES,
+        };
+        Ok((tape, certificate))
     }
 
     /// The compiled design's name.

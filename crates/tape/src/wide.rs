@@ -36,12 +36,12 @@ use pe_util::lanes::{LaneWord, MAX_LANES};
 use pe_util::{bits, PortError};
 
 /// Reserved plane: all lanes 0. Never written.
-const ZERO: u32 = 0;
+pub(crate) const ZERO: u32 = 0;
 /// Reserved plane: all lanes 1. Never written.
-const ONE: u32 = 1;
+pub(crate) const ONE: u32 = 1;
 /// Sentinel in `leg_runs`: this leg is not a zero-padded contiguous
 /// run and must be read through the pool.
-const NOT_RUN: u32 = u32::MAX;
+pub(crate) const NOT_RUN: u32 = u32::MAX;
 
 /// One compiled 64-lane operation. `a`/`b`/`amt`/`sel` fields are pool
 /// offsets (each pool entry is a plane index, zero-padded to the read
@@ -150,7 +150,7 @@ pub(crate) enum WInstr {
 /// the select, the overwhelmingly common case for FSM/phase-counter
 /// selects — the interpreter records the winning leg so consuming muxes
 /// reduce to a straight plane copy.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct WMaskGroup {
     pub sel: u32,
     pub sel_w: u32,
@@ -160,7 +160,7 @@ pub(crate) struct WMaskGroup {
 
 /// Side table for an n-leg mux. Select masks come precomputed from the
 /// mux's [`WMaskGroup`]; the mux itself only accumulates legs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct WMux {
     /// Index of the mask group carrying this mux's select masks.
     pub group: u32,
@@ -179,7 +179,7 @@ pub(crate) struct WMux {
 /// (the serial clamp-to-last rule makes any non-zero select equivalent
 /// to 1). Legs carry their `(base, len)` runs so the blend reads
 /// contiguous plane slices when the operands allow it.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct WMux2 {
     pub sel: u32,
     pub sel_w: u32,
@@ -196,7 +196,7 @@ pub(crate) struct WMux2 {
 /// Side table for a lookup table. Small tables (≤ 64 entries) evaluate
 /// bit-parallel via one-hot address masks; larger ones unpack addresses
 /// per lane.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct WTable {
     pub addr: u32,
     pub addr_w: u32,
@@ -206,7 +206,7 @@ pub(crate) struct WTable {
 }
 
 /// A compiled register.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct WReg {
     /// Pool offset of the `w` D-input planes.
     pub d: u32,
@@ -227,7 +227,7 @@ pub(crate) struct WReg {
 
 /// A compiled memory. State is `state[word * LANES + lane]`, exactly
 /// the graph engine's layout.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct WMem {
     pub raddr: u32,
     pub waddr: u32,
@@ -250,7 +250,7 @@ pub(crate) struct WMem {
 /// into one packed word per lane at settle — paying **one** 64×64
 /// transpose per settle for all its ports, where the graph engine
 /// transposes per port.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct WStagedPort {
     pub name: String,
     /// Bit offset of this port inside the group word.
@@ -262,7 +262,7 @@ pub(crate) struct WStagedPort {
 /// A stage group: `width` total bits across the `n_ports` consecutive
 /// input ports starting at `first_port`, packing into the contiguous
 /// plane run at `base`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct WStageGroup {
     pub base: u32,
     pub width: u32,
@@ -271,7 +271,7 @@ pub(crate) struct WStageGroup {
 }
 
 /// The full 64-lane program.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct WideProgram {
     pub instrs: Vec<WInstr>,
     /// Operand pools: plane indices, zero-plane padded to read widths.
@@ -299,6 +299,31 @@ pub(crate) struct WideProgram {
     /// Signal index → index into `staged`, for input-driven signals.
     pub staged_of: Vec<Option<u32>>,
     pub scratch_len: u32,
+}
+
+/// A pooled operand whose planes form a contiguous ascending run can
+/// be read with single indirection; returns its base plane.
+pub(crate) fn dense_base(pool: &[u32], off: u32, w: u32) -> Option<u32> {
+    let b = pool[off as usize];
+    (1..w)
+        .all(|i| pool[(off + i) as usize] == b + i)
+        .then_some(b)
+}
+
+/// The longest ascending prefix run of a pooled operand, accepted only
+/// when everything past it is the zero plane — then the tail bits are
+/// constant 0 and never need reading.
+pub(crate) fn leg_run(pool: &[u32], off: u32, w: u32) -> (u32, u32) {
+    let b = pool[off as usize];
+    let mut k = 1;
+    while k < w && pool[(off + k) as usize] == b + k {
+        k += 1;
+    }
+    if (k..w).all(|i| pool[(off + i) as usize] == ZERO) {
+        (b, k)
+    } else {
+        (NOT_RUN, NOT_RUN)
+    }
 }
 
 pub(crate) fn compile_wide(
@@ -388,30 +413,6 @@ pub(crate) fn compile_wide(
         pool.extend(base..base + w);
         off
     }
-    // A pooled operand whose planes form a contiguous ascending run can
-    // be read with single indirection; returns its base plane.
-    fn dense_base(pool: &[u32], off: u32, w: u32) -> Option<u32> {
-        let b = pool[off as usize];
-        (1..w)
-            .all(|i| pool[(off + i) as usize] == b + i)
-            .then_some(b)
-    }
-    // The longest ascending prefix run of a pooled operand, accepted
-    // only when everything past it is the zero plane — then the tail
-    // bits are constant 0 and never need reading.
-    fn leg_run(pool: &[u32], off: u32, w: u32) -> (u32, u32) {
-        let b = pool[off as usize];
-        let mut k = 1;
-        while k < w && pool[(off + k) as usize] == b + k {
-            k += 1;
-        }
-        if (k..w).all(|i| pool[(off + i) as usize] == ZERO) {
-            (b, k)
-        } else {
-            (NOT_RUN, NOT_RUN)
-        }
-    }
-
     // Select-mask groups: distinct `(select planes, n)` pairs seen so
     // far, so muxes sharing a select share one mask computation.
     let mut group_of: std::collections::HashMap<(Vec<u32>, u32), u32> =

@@ -4,6 +4,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Smoke outputs (bench JSON, machine lint reports, waveform dirs) are
+# byproducts, not artifacts: write them to a scratch dir that dies with
+# the run instead of littering the repo root.
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -19,38 +25,52 @@ cargo test --workspace --release --offline -q
 echo "== width-sweep differential matrix (1/64/128/256 lanes, bit-exact)"
 cargo test --release --offline -q --test differential --test tape_differential --test properties
 
+echo "== seeded-miscompile suite (translation validator rejects every mutant)"
+cargo test --release --offline -q --test tape_miscompile
+
 echo "== wide bench smoke at 128 lanes (lane digests verified)"
 cargo run -p pe-bench --release --offline --bin wide -- --scale test --jobs 2 \
-  --lanes 128 --out BENCH_wide_128.json
-grep -q '"lanes": 128' BENCH_wide_128.json
-rm -f BENCH_wide_128.json
+  --lanes 128 --out "$scratch/BENCH_wide_128.json"
+grep -q '"lanes": 128' "$scratch/BENCH_wide_128.json"
 
 echo "== wide bench smoke, all widths (lane digests verified, BENCH_wide.json)"
-cargo run -p pe-bench --release --offline --bin wide -- --scale test --jobs 2 --out BENCH_wide.json
+cargo run -p pe-bench --release --offline --bin wide -- --scale test --jobs 2 \
+  --out "$scratch/BENCH_wide.json"
 
 echo "== per-width columns present in BENCH_wide.json"
-grep -q '"tape_seconds"' BENCH_wide.json
-grep -q '"tape_speedup"' BENCH_wide.json
-grep -q '"lane_widths": \[64, 128, 256\]' BENCH_wide.json
-grep -q '"lanes": 64' BENCH_wide.json
-grep -q '"lanes": 128' BENCH_wide.json
-grep -q '"lanes": 256' BENCH_wide.json
-grep -q '"settle_mlcps"' BENCH_wide.json
-grep -q '"geomean_settle_mlcps"' BENCH_wide.json
+grep -q '"tape_seconds"' "$scratch/BENCH_wide.json"
+grep -q '"tape_speedup"' "$scratch/BENCH_wide.json"
+grep -q '"lane_widths": \[64, 128, 256\]' "$scratch/BENCH_wide.json"
+grep -q '"lanes": 64' "$scratch/BENCH_wide.json"
+grep -q '"lanes": 128' "$scratch/BENCH_wide.json"
+grep -q '"lanes": 256' "$scratch/BENCH_wide.json"
+grep -q '"settle_mlcps"' "$scratch/BENCH_wide.json"
+grep -q '"geomean_settle_mlcps"' "$scratch/BENCH_wide.json"
+
+echo "== pass-stat columns present in BENCH_wide.json (verified optimization pipeline)"
+grep -q '"tape_pre_instructions"' "$scratch/BENCH_wide.json"
+grep -q '"tape_post_instructions"' "$scratch/BENCH_wide.json"
+grep -q '"opt_seconds"' "$scratch/BENCH_wide.json"
+grep -q '"opt_speedup"' "$scratch/BENCH_wide.json"
+grep -q '"geomean_opt_speedup"' "$scratch/BENCH_wide.json"
 
 echo "== trace bench smoke (waveform integral invariant, BENCH_trace.json)"
 cargo run -p pe-bench --release --offline --bin trace -- --scale test --jobs 2 \
-  --out BENCH_trace.json --waveform-dir waveforms
+  --out "$scratch/BENCH_trace.json" --waveform-dir "$scratch/waveforms"
 
 echo "== trace bench smoke on the tape engine (cross-engine waveform equality)"
 cargo run -p pe-bench --release --offline --bin trace -- --scale test --jobs 2 \
-  --engine tape --out BENCH_trace_tape.json --waveform-dir waveforms_tape
-grep -q '"engine": "tape"' BENCH_trace_tape.json
+  --engine tape --out "$scratch/BENCH_trace_tape.json" --waveform-dir "$scratch/waveforms_tape"
+grep -q '"engine": "tape"' "$scratch/BENCH_trace_tape.json"
 
-echo "== lint gate (--deny all --machine) vs locked fixture"
+echo "== lint gate with tape certificates (--deny all --machine --tape) vs locked fixture"
 cargo run -p pe-bench --release --offline --quiet --bin lint -- \
-  --scale test --jobs 2 --deny all --machine 2>/dev/null > LINT_machine.txt
-diff -u tests/golden/lint_machine.txt LINT_machine.txt
+  --scale test --jobs 2 --deny all --machine --tape 2>/dev/null > "$scratch/LINT_machine.txt"
+diff -u tests/golden/lint_machine.txt "$scratch/LINT_machine.txt"
+
+echo "== tape certificates validated for all suite designs"
+[ "$(grep -c ' tape_validated=true ' "$scratch/LINT_machine.txt")" -eq 7 ]
+! grep -q 'tape_validated=false' "$scratch/LINT_machine.txt"
 
 echo "== serve smoke (stdio transport: ping, submit, drained shutdown)"
 serve_out=$(printf 'ping\nsubmit id=smoke design=Bubble_Sort cycles=64 seed=1\nshutdown\n' \
@@ -68,6 +88,6 @@ grep -q '^event=error req=evil code=unsound_design ' <<<"$serve_admit"
 
 echo "== serve bench smoke (lane packing vs serial, bit-exact, BENCH_serve_smoke.json)"
 cargo run -p pe-bench --release --offline --bin serve -- --scale test --jobs 2 \
-  --clients 8 --requests 2 --cycles 128 --design Bubble_Sort --out BENCH_serve_smoke.json
+  --clients 8 --requests 2 --cycles 128 --design Bubble_Sort --out "$scratch/BENCH_serve_smoke.json"
 
 echo "verify: OK"

@@ -80,6 +80,13 @@ struct Fixture {
     /// program over the same number of planes.
     tape_wide_instructions: u64,
     tape_wide_planes: u64,
+    /// Locked instruction and plane counts of the *optimized* tape
+    /// (after the verified pass pipeline). Regeneration asserts the
+    /// optimized tape is translation-validated, strictly smaller than
+    /// the unoptimized program, and waveform-identical to the graph
+    /// engine — so a pass regression shows up as a fixture diff.
+    tape_opt_instructions: u64,
+    tape_opt_planes: u64,
     /// Cycles hashed per per-width tape digest.
     tape_width_cycles: u64,
     /// `(lane width, digest)` of the top lane's output waveform over
@@ -109,6 +116,8 @@ impl Fixture {
         )
         .unwrap();
         writeln!(out, "tape_wide_planes {}", self.tape_wide_planes).unwrap();
+        writeln!(out, "tape_opt_instructions {}", self.tape_opt_instructions).unwrap();
+        writeln!(out, "tape_opt_planes {}", self.tape_opt_planes).unwrap();
         writeln!(out, "tape_width_cycles {}", self.tape_width_cycles).unwrap();
         for (width, digest) in &self.tape_width_digests {
             writeln!(out, "tape_waveform_fnv128_at_width {width} {digest}").unwrap();
@@ -127,6 +136,8 @@ impl Fixture {
         let mut tape_waveform_fnv128 = None;
         let mut tape_wide_instructions = None;
         let mut tape_wide_planes = None;
+        let mut tape_opt_instructions = None;
+        let mut tape_opt_planes = None;
         let mut tape_width_cycles = None;
         let mut tape_width_digests = Vec::new();
         for (i, line) in text.lines().enumerate() {
@@ -168,6 +179,13 @@ impl Fixture {
                 "tape_wide_planes" => {
                     tape_wide_planes = Some(val.parse().map_err(|_| err("bad plane count"))?);
                 }
+                "tape_opt_instructions" => {
+                    tape_opt_instructions =
+                        Some(val.parse().map_err(|_| err("bad instruction count"))?);
+                }
+                "tape_opt_planes" => {
+                    tape_opt_planes = Some(val.parse().map_err(|_| err("bad plane count"))?);
+                }
                 _ => return Err(err("unknown key")),
             }
         }
@@ -184,6 +202,9 @@ impl Fixture {
             tape_wide_instructions: tape_wide_instructions
                 .ok_or("missing `tape_wide_instructions`")?,
             tape_wide_planes: tape_wide_planes.ok_or("missing `tape_wide_planes`")?,
+            tape_opt_instructions: tape_opt_instructions
+                .ok_or("missing `tape_opt_instructions`")?,
+            tape_opt_planes: tape_opt_planes.ok_or("missing `tape_opt_planes`")?,
             tape_width_cycles: tape_width_cycles.ok_or("missing `tape_width_cycles`")?,
             tape_width_digests,
         })
@@ -326,6 +347,26 @@ fn regenerate(bench: &Benchmark, cells: &CellLibrary) -> Fixture {
         "{}: tape engine waveform diverged from the graph engine",
         bench.name
     );
+    let (opt_tape, cert) = power_emulation::tape::Tape::compile_optimized(&bench.design)
+        .expect("suite design compiles");
+    assert!(
+        cert.validated,
+        "{}: optimized tape failed translation validation: {:?}",
+        bench.name, cert.reason
+    );
+    assert!(
+        cert.post_instructions < cert.pre_instructions,
+        "{}: pass pipeline removed no instructions ({} -> {})",
+        bench.name,
+        cert.pre_instructions,
+        cert.post_instructions
+    );
+    let opt_waveform = tape_waveform_digest(bench, &opt_tape);
+    assert_eq!(
+        &opt_waveform, full,
+        "{}: optimized tape waveform diverged from the graph engine",
+        bench.name
+    );
     Fixture {
         design: bench.name.to_string(),
         waveform_cycles,
@@ -335,6 +376,8 @@ fn regenerate(bench: &Benchmark, cells: &CellLibrary) -> Fixture {
         tape_waveform_fnv128,
         tape_wide_instructions: tape.wide_instructions() as u64,
         tape_wide_planes: tape.wide_planes() as u64,
+        tape_opt_instructions: cert.post_instructions,
+        tape_opt_planes: cert.post_planes,
         tape_width_cycles: bench.cycles(Scale::Test).min(TAPE_WIDTH_CYCLES),
         tape_width_digests: tape_width_digests(bench, &tape),
     }
@@ -411,6 +454,12 @@ fn diff(want: &Fixture, got: &Fixture) -> Vec<String> {
             want.tape_wide_planes,
             got.tape_wide_planes,
         ),
+        (
+            "tape_opt_instructions",
+            want.tape_opt_instructions,
+            got.tape_opt_instructions,
+        ),
+        ("tape_opt_planes", want.tape_opt_planes, got.tape_opt_planes),
         (
             "tape_width_cycles",
             want.tape_width_cycles,
@@ -496,6 +545,8 @@ fn fixture_render_and_parse_round_trip() {
         tape_waveform_fnv128: "fedcba9876543210fedcba9876543210".to_string(),
         tape_wide_instructions: 456,
         tape_wide_planes: 789,
+        tape_opt_instructions: 400,
+        tape_opt_planes: 700,
         tape_width_cycles: 96,
         tape_width_digests: TAPE_WIDTHS
             .iter()
@@ -521,6 +572,8 @@ fn diff_localises_the_first_diverging_checkpoint_window() {
         tape_waveform_fnv128: "aa".to_string(),
         tape_wide_instructions: 2,
         tape_wide_planes: 3,
+        tape_opt_instructions: 2,
+        tape_opt_planes: 3,
         tape_width_cycles: 96,
         tape_width_digests: TAPE_WIDTHS.iter().map(|&w| (w, "aa".to_string())).collect(),
     };

@@ -383,6 +383,87 @@ fn tape_agrees_with_graph_on_random_designs() {
     tape_agrees_with_graph_at::<[u64; 4]>(4);
 }
 
+/// The verified optimization pipeline holds up under randomized
+/// netlists: compile → optimize → translation-validate always certifies
+/// (the validator never rejects a faithful pipeline output, including
+/// designs with uninitialized pipeline registers), the optimized tape
+/// never grows the program, and the optimized tape's behaviour matches
+/// the graph engines cycle-for-cycle — serially (1 lane) and on every
+/// lane of a 64-lane wide run with independent per-lane streams.
+#[test]
+fn optimized_tape_certifies_and_agrees_on_random_designs() {
+    use power_emulation::sim::{SimControl, WideSimulator};
+    use power_emulation::tape::{Tape, TapeSimulator, WideTapeSimulator};
+
+    check(
+        "optimized_tape_certifies_and_agrees_on_random_designs",
+        24,
+        |rng| {
+            let width = rng.range(2, 11) as u32;
+            let ops = random_ops(rng);
+            let uninit = rng.bits(1) == 1;
+            let design = random_design_regs(width, &ops, uninit);
+            let (tape, cert) = Tape::compile_optimized(&design).expect("random design compiles");
+            assert!(
+                cert.validated,
+                "validator rejected a faithful optimized tape (uninit: {uninit}): {:?}",
+                cert.reason
+            );
+            assert!(
+                cert.post_instructions <= cert.pre_instructions,
+                "optimization grew the program: {} -> {}",
+                cert.pre_instructions,
+                cert.post_instructions
+            );
+            tape.check_well_formed()
+                .expect("optimized tape stays well-formed");
+            let mask = pe_util::bits::mask(width);
+            let cycles = rng.range(2, 13);
+
+            // Serial pair, identical stimulus.
+            let mut graph = Simulator::new(&design).unwrap();
+            let mut serial_tape = TapeSimulator::new(&tape);
+            for cycle in 0..cycles {
+                let (a, b) = (rng.bits(12) & mask, rng.bits(12) & mask);
+                graph.set_input_by_name("a", a);
+                graph.set_input_by_name("b", b);
+                serial_tape.set_input_by_name("a", a);
+                serial_tape.set_input_by_name("b", b);
+                assert_eq!(
+                    graph.output("out"),
+                    serial_tape.output("out"),
+                    "optimized serial tape diverged at cycle {cycle} (uninit: {uninit})"
+                );
+                graph.step();
+                serial_tape.step();
+            }
+
+            // Wide pair at 64 lanes, independent per-lane streams.
+            let mut wide = WideSimulator::<u64>::new(&design).unwrap();
+            let mut wide_tape = WideTapeSimulator::<u64>::new(&tape);
+            for cycle in 0..cycles {
+                for lane in 0..64 {
+                    let (a, b) = (rng.bits(12) & mask, rng.bits(12) & mask);
+                    wide.lane(lane).set_input_by_name("a", a);
+                    wide.lane(lane).set_input_by_name("b", b);
+                    wide_tape.lane(lane).set_input_by_name("a", a);
+                    wide_tape.lane(lane).set_input_by_name("b", b);
+                }
+                for lane in 0..64 {
+                    assert_eq!(
+                        wide.output_lane("out", lane),
+                        wide_tape.output_lane("out", lane),
+                        "optimized wide tape lane {lane} diverged at cycle {cycle} \
+                     (uninit: {uninit})"
+                    );
+                }
+                wide.step();
+                wide_tape.step();
+            }
+        },
+    );
+}
+
 /// A macromodel's output is bounded by base + Σcoeffs and monotone in
 /// the transition set (adding a toggled bit can only add energy for
 /// non-negative coefficients).

@@ -479,3 +479,128 @@ fn structural_defects_fail_tape_compilation_with_diagnosed_reason() {
         assert_eq!(format!("{graph_err}"), format!("{}", err.cause), "{name}");
     }
 }
+
+/// The *optimized* tape (after the verified pass pipeline) reproduces
+/// the wide graph engine on every lane of seeded per-lane stimulus
+/// shards — the translation validator's probe-based proof is backed by
+/// the same full differential matrix the unoptimized tape passes, on
+/// the same compiled-once program at each width.
+fn optimized_tape_matches_wide_graph_at<W: LaneWord>() {
+    for bench in all_benchmarks() {
+        let cycles = budget(bench.name, W::LANES).min(bench.cycles(Scale::Test));
+        let outs = outputs(&bench);
+        let (tape, cert) = Tape::compile_optimized(&bench.design).expect("tape compiles");
+        assert!(
+            cert.validated,
+            "{}: optimized tape failed translation validation: {:?}",
+            bench.name, cert.reason
+        );
+        assert!(
+            cert.post_instructions < cert.pre_instructions,
+            "{}: pass pipeline removed no instructions ({} -> {})",
+            bench.name,
+            cert.pre_instructions,
+            cert.post_instructions
+        );
+
+        let mut graph = WideSimulator::<W>::new(&bench.design).expect("wide sim");
+        let mut taped = WideTapeSimulator::<W>::new(&tape);
+        let mut graph_tbs = bench.testbench_shards(cycles, W::LANES);
+        let mut tape_tbs = bench.testbench_shards(cycles, W::LANES);
+
+        for cycle in 0..cycles {
+            for lane in 0..W::LANES {
+                graph_tbs[lane].apply(cycle, &mut graph.lane(lane));
+                tape_tbs[lane].apply(cycle, &mut taped.lane(lane));
+            }
+            for lane in 0..W::LANES {
+                graph_tbs[lane].observe(cycle, &mut graph.lane(lane));
+                tape_tbs[lane].observe(cycle, &mut taped.lane(lane));
+            }
+            for (name, sig) in &outs {
+                for lane in 0..W::LANES {
+                    let got = taped.value_lane(*sig, lane);
+                    let want = graph.value_lane(*sig, lane);
+                    assert_eq!(
+                        got,
+                        want,
+                        "{}::{name} diverged on the optimized tape: width {}, lane {lane}, \
+                         first at cycle {cycle} (tape {got:#x}, graph {want:#x})",
+                        bench.name,
+                        W::LANES
+                    );
+                }
+            }
+            graph.step();
+            taped.step();
+        }
+    }
+}
+
+#[test]
+fn optimized_tape_matches_wide_graph_at_1_lane() {
+    optimized_tape_matches_wide_graph_at::<bool>();
+}
+
+#[test]
+fn optimized_tape_matches_wide_graph_at_64_lanes() {
+    optimized_tape_matches_wide_graph_at::<u64>();
+}
+
+#[test]
+fn optimized_tape_matches_wide_graph_at_128_lanes() {
+    optimized_tape_matches_wide_graph_at::<[u64; 2]>();
+}
+
+#[test]
+fn optimized_tape_matches_wide_graph_at_256_lanes() {
+    optimized_tape_matches_wide_graph_at::<[u64; 4]>();
+}
+
+/// Every suite design's certificate carries consistent bookkeeping:
+/// digests present, per-pass deltas that chain from the pre-count to
+/// the post-count, and the probe configuration that proved equivalence.
+#[test]
+fn certificates_chain_pass_stats_and_carry_digests() {
+    for bench in all_benchmarks() {
+        let (tape, cert) = Tape::compile_optimized(&bench.design).expect("tape compiles");
+        assert_eq!(
+            cert.design,
+            bench.design.name(),
+            "certificate names the design"
+        );
+        assert_eq!(cert.netlist_fnv128.len(), 32, "{}", bench.name);
+        assert_eq!(cert.ir_fnv128.len(), 32, "{}", bench.name);
+        assert_eq!(
+            cert.post_instructions,
+            tape.wide_instructions() as u64,
+            "{}: certificate post-count matches the tape",
+            bench.name
+        );
+        assert!(
+            cert.probe_rounds > 0 && cert.probe_cycles > 0,
+            "{}",
+            bench.name
+        );
+        let mut instrs = cert.pre_instructions;
+        for stat in &cert.passes {
+            assert_eq!(
+                stat.instructions_before, instrs,
+                "{}: pass `{}` does not chain from the previous pass",
+                bench.name, stat.pass
+            );
+            instrs = stat.instructions_after;
+        }
+        assert_eq!(
+            instrs, cert.post_instructions,
+            "{}: pass chain does not end at the certified post-count",
+            bench.name
+        );
+        assert_eq!(
+            cert.instructions_removed(),
+            cert.pre_instructions - cert.post_instructions,
+            "{}",
+            bench.name
+        );
+    }
+}
